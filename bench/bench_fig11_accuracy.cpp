@@ -1,0 +1,107 @@
+// Reproduces paper Fig. 11: impact of the attack technique's temporal
+// accuracy and parameter (spatial) variation on the overall SSF, for both
+// the illegal-memory-write and illegal-memory-read benchmarks.
+//   (a) normalized SSF vs the range of the timing distribution (1 -> 100
+//       cycles): tighter timing -> higher SSF,
+//   (b) normalized SSF vs spatial accuracy, from a uniform spread over the
+//       whole chip to a delta aimed at the most vulnerable cells
+//       (paper: up to ~80x increase).
+#include <algorithm>
+
+#include "bench_util.h"
+
+using namespace fav;
+
+namespace {
+
+double evaluate_ssf(core::FaultAttackEvaluator& fw,
+                    const faultsim::AttackModel& attack, std::size_t n,
+                    std::uint64_t seed) {
+  auto sampler = fw.make_importance_sampler(attack);
+  Rng rng(seed);
+  return fw.evaluator().run(*sampler, rng, n).ssf();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig. 11 — temporal accuracy & parameter variation vs SSF");
+
+  core::FaultAttackEvaluator write_fw(soc::make_illegal_write_benchmark());
+  core::FaultAttackEvaluator read_fw(soc::make_illegal_read_benchmark());
+
+  // ---- (a) temporal accuracy ------------------------------------------
+  // The attacker intends to strike shortly before Tt; the technique's
+  // temporal accuracy widens the realized timing window t in [1, range].
+  const std::vector<int> ranges = {1, 2, 5, 10, 20, 50, 100};
+  bench::section("(a) normalized SSF vs range of temporal accuracy");
+  std::printf("%-8s %14s %14s\n", "range", "memory write", "memory read");
+  std::vector<double> w_ssf, r_ssf;
+  for (const int range : ranges) {
+    auto make = [&](core::FaultAttackEvaluator& fw) {
+      faultsim::AttackModel a = fw.subblock_attack_model(1.5, 2);
+      a.t_min = 1;
+      a.t_max = range;
+      return evaluate_ssf(fw, a, 3000, 100 + static_cast<std::uint64_t>(range));
+    };
+    w_ssf.push_back(make(write_fw));
+    r_ssf.push_back(make(read_fw));
+  }
+  // Normalize to the widest range (the paper normalizes mid-scale; only the
+  // trend matters).
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    std::printf("%-8d %14.3f %14.3f\n", ranges[i], w_ssf[i] / w_ssf.back(),
+                r_ssf[i] / r_ssf.back());
+  }
+  std::printf("(paper Fig. 11a: SSF decreases as the range grows)\n");
+
+  // ---- (b) spatial accuracy -------------------------------------------
+  bench::section("(b) normalized SSF vs spatial accuracy");
+  struct Spread {
+    const char* name;
+    double keep_fraction;  // of candidates, sorted by memory score
+  };
+  const std::vector<Spread> spreads = {
+      {"uniform (whole chip)", 1.0},
+      {"security sub-block", 0.25},
+      {"near config registers", 0.05},
+      {"delta (target cells)", 0.0},  // top-scoring cells only
+  };
+  std::printf("%-24s %14s %14s\n", "spatial spread", "memory write",
+              "memory read");
+  std::vector<double> w_sp, r_sp;
+  for (const Spread& sp : spreads) {
+    auto eval_spread = [&](core::FaultAttackEvaluator& fw,
+                           std::uint64_t seed) {
+      faultsim::AttackModel a = fw.chip_attack_model(1.5, 50);
+      a.t_min = 1;
+      // Rank candidates by how many potent memory-type cells their spot
+      // covers (what a well-informed attacker would aim for).
+      const auto model = fw.make_sampling_model(a);
+      std::vector<netlist::NodeId> ranked = a.candidate_centers;
+      std::stable_sort(ranked.begin(), ranked.end(),
+                       [&](netlist::NodeId x, netlist::NodeId y) {
+                         return model.memory_score(x) > model.memory_score(y);
+                       });
+      std::size_t keep = sp.keep_fraction > 0
+                             ? static_cast<std::size_t>(
+                                   sp.keep_fraction *
+                                   static_cast<double>(ranked.size()))
+                             : 8;  // delta: the attacker's exact aim point(s)
+      keep = std::max<std::size_t>(keep, 8);
+      a.candidate_centers.assign(ranked.begin(),
+                                 ranked.begin() + static_cast<long>(keep));
+      return evaluate_ssf(fw, a, 3000, seed);
+    };
+    w_sp.push_back(eval_spread(write_fw, 500 + w_sp.size()));
+    r_sp.push_back(eval_spread(read_fw, 600 + r_sp.size()));
+  }
+  for (std::size_t i = 0; i < spreads.size(); ++i) {
+    std::printf("%-24s %14.1f %14.1f\n", spreads[i].name,
+                w_sp[i] / w_sp.front(), r_sp[i] / r_sp.front());
+  }
+  std::printf(
+      "(paper Fig. 11b: from uniform to delta the normalized SSF rises by\n"
+      "orders of magnitude — capturing technique uncertainty matters)\n");
+  return 0;
+}

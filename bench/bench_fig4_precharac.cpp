@@ -1,0 +1,74 @@
+// Reproduces paper Fig. 4: distribution of the register characterization
+// parameters — (a) error lifetime and (b) error contamination number — for
+// every sequential cell of the evaluated processor.
+//
+// Paper shape to match: more than half of the registers sit at the long-
+// lifetime cap with ~0 contamination (the memory-type class), while the
+// rest (datapath/control state) have short lifetimes and a contamination
+// tail.
+#include "bench_util.h"
+#include "soc/benchmark.h"
+#include "util/stats.h"
+
+using namespace fav;
+
+int main() {
+  bench::banner(
+      "Fig. 4 — error lifetime & contamination distributions "
+      "(pre-characterization)");
+
+  const rtl::Program workload = soc::make_synthetic_workload();
+  const rtl::GoldenRun golden(workload, 400, 32);
+  precharac::CharacterizationConfig cfg;
+  cfg.stride = 7;  // dense injection sweep for smooth histograms
+  const precharac::RegisterCharacterization charac(golden, cfg);
+  const auto& map = rtl::Machine::reg_map();
+
+  Histogram lifetime_hist(0.0, static_cast<double>(cfg.horizon) + 1.0, 21);
+  Histogram contamination_hist(0.0, 21.0, 21);
+  for (int bit = 0; bit < map.total_bits(); ++bit) {
+    const auto& bc = charac.bit(bit);
+    lifetime_hist.add(bc.avg_lifetime);
+    contamination_hist.add(std::min(bc.avg_contamination, 20.0));
+  }
+
+  bench::section("(a) error lifetime distribution (fraction of registers)");
+  std::printf("%-16s %10s\n", "lifetime bin", "fraction");
+  for (std::size_t i = 0; i < lifetime_hist.bin_count(); ++i) {
+    if (lifetime_hist.bin_weight(i) == 0) continue;
+    std::printf("[%5.0f, %5.0f) %9.3f\n", lifetime_hist.bin_lo(i),
+                lifetime_hist.bin_hi(i), lifetime_hist.bin_fraction(i));
+  }
+
+  bench::section("(b) error contamination number (fraction of registers)");
+  std::printf("%-16s %10s\n", "contamination", "fraction");
+  for (std::size_t i = 0; i < contamination_hist.bin_count(); ++i) {
+    if (contamination_hist.bin_weight(i) == 0) continue;
+    std::printf("[%5.0f, %5.0f) %9.3f\n", contamination_hist.bin_lo(i),
+                contamination_hist.bin_hi(i),
+                contamination_hist.bin_fraction(i));
+  }
+
+  const auto memory_bits = charac.memory_type_bits();
+  const double frac = static_cast<double>(memory_bits.size()) /
+                      static_cast<double>(map.total_bits());
+  bench::section("classification (paper: >1/2 of registers are memory-type)");
+  std::printf("memory-type registers: %zu / %d (%.1f%%)\n", memory_bits.size(),
+              map.total_bits(), 100.0 * frac);
+
+  std::printf("\nper-field summary:\n%-14s %10s %14s %12s\n", "field",
+              "lifetime", "contamination", "class");
+  for (std::size_t fi = 0; fi < map.fields().size(); ++fi) {
+    const auto& f = map.fields()[fi];
+    RunningStats lt, ct;
+    int mem = 0;
+    for (int b = 0; b < f.width; ++b) {
+      lt.add(charac.bit(f.offset + b).avg_lifetime);
+      ct.add(charac.bit(f.offset + b).avg_contamination);
+      mem += charac.is_memory_type(f.offset + b) ? 1 : 0;
+    }
+    std::printf("%-14s %10.1f %14.2f %9d/%d\n", f.name.c_str(), lt.mean(),
+                ct.mean(), mem, f.width);
+  }
+  return 0;
+}

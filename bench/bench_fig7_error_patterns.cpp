@@ -1,0 +1,133 @@
+// Reproduces paper Fig. 7: bit-error patterns produced by the gate-level
+// fault-injection-cycle simulation.
+//   (a) error distribution across unmasked injections: single-bit /
+//       single-byte / multi-byte (paper: 58.6% / 26.9% / 14.5%) — evidence
+//       against the classic single-bit/single-byte fault assumption.
+//   (b) number of distinct error patterns induced by attacking combinational
+//       gates vs sequential elements (paper: comb 91.0%, common 6.1%,
+//       seq 2.9% — comb attacks generate far richer error behaviour).
+#include <set>
+
+#include "bench_util.h"
+#include "soc/benchmark.h"
+
+using namespace fav;
+
+int main() {
+  bench::banner("Fig. 7 — gate-level bit-error patterns");
+
+  const soc::SecurityBenchmark bench_def = soc::make_illegal_write_benchmark();
+  const soc::SocNetlist soc;
+  const layout::Placement placement(soc.netlist());
+  const faultsim::InjectionSimulator injector(soc.netlist());
+  const rtl::GoldenRun golden(bench_def.program, bench_def.max_cycles, 32);
+  const double period = injector.timing().clock_period();
+
+  // ---- (a) error size classes over radiated-spot injections -------------
+  std::size_t single_bit = 0, single_byte = 0, multi_byte = 0, masked = 0;
+  Rng rng(1701);
+  const auto& cells = placement.placed_nodes();
+  constexpr int kInjections = 12000;
+  for (int i = 0; i < kInjections; ++i) {
+    const std::uint64_t te = 40 + rng.uniform_below(golden.length() - 45);
+    rtl::Machine m = golden.restore(te);
+    soc::GateLevelMachine gate(soc, bench_def.program);
+    gate.load_state(m.state());
+    gate.mutable_ram() = m.ram();
+    gate.settle_inputs();
+    const auto center = cells[rng.uniform_below(cells.size())];
+    const auto struck = placement.nodes_within(center, 1.5);
+    const auto res =
+        injector.inject(gate.sim(), struck, rng.uniform01() * period);
+    if (res.masked()) {
+      ++masked;
+      continue;
+    }
+    std::set<int> bytes;
+    for (const auto dff : res.flipped_dffs) {
+      bytes.insert(soc.flat_bit_for_dff(dff) / 8);
+    }
+    if (res.flipped_dffs.size() == 1) {
+      ++single_bit;
+    } else if (bytes.size() == 1) {
+      ++single_byte;
+    } else {
+      ++multi_byte;
+    }
+  }
+  const double unmasked =
+      static_cast<double>(single_bit + single_byte + multi_byte);
+  bench::section("(a) error distribution over unmasked injections");
+  std::printf("injections: %d (masked: %zu)\n", kInjections, masked);
+  std::printf("single bit : %5.1f%%   (paper: 58.6%%)\n",
+              100.0 * single_bit / unmasked);
+  std::printf("single byte: %5.1f%%   (paper: 26.9%%)\n",
+              100.0 * single_byte / unmasked);
+  std::printf("multi byte : %5.1f%%   (paper: 14.5%%)\n",
+              100.0 * multi_byte / unmasked);
+
+  // ---- (b) pattern diversity: combinational vs sequential targets --------
+  // Each radiated spot is split by mechanism: the transients seeded at the
+  // covered combinational gates vs the direct upsets of the covered register
+  // cells. The distinct flip-sets each mechanism can produce are the "error
+  // patterns" of the paper's comparison.
+  std::set<std::vector<int>> comb_patterns, seq_patterns;
+  const std::vector<std::uint64_t> cycles = {45, 60, 75, 90, 105};
+  const std::vector<double> fracs = {0.35, 0.55, 0.75, 0.90, 0.98};
+  for (const std::uint64_t te : cycles) {
+    rtl::Machine m = golden.restore(te);
+    soc::GateLevelMachine gate(soc, bench_def.program);
+    gate.load_state(m.state());
+    gate.mutable_ram() = m.ram();
+    gate.settle_inputs();
+    for (std::size_t ci = 0; ci < cells.size(); ci += 2) {
+      const auto struck = placement.nodes_within(cells[ci], 1.5);
+      std::vector<netlist::NodeId> comb_struck, seq_struck;
+      for (const auto g : struck) {
+        (soc.netlist().is_dff(g) ? seq_struck : comb_struck).push_back(g);
+      }
+      if (!seq_struck.empty()) {
+        const auto res = injector.inject(gate.sim(), seq_struck, 0.0);
+        if (!res.masked()) {
+          std::vector<int> pattern;
+          for (const auto dff : res.flipped_dffs) {
+            pattern.push_back(soc.flat_bit_for_dff(dff));
+          }
+          seq_patterns.insert(pattern);
+        }
+      }
+      if (comb_struck.empty()) continue;
+      for (const double frac : fracs) {
+        const auto res =
+            injector.inject(gate.sim(), comb_struck, frac * period);
+        if (res.masked()) continue;
+        std::vector<int> pattern;
+        for (const auto dff : res.flipped_dffs) {
+          pattern.push_back(soc.flat_bit_for_dff(dff));
+        }
+        comb_patterns.insert(pattern);
+      }
+    }
+  }
+  std::set<std::vector<int>> common;
+  for (const auto& p : comb_patterns) {
+    if (seq_patterns.count(p)) common.insert(p);
+  }
+  const double total = static_cast<double>(comb_patterns.size() +
+                                           seq_patterns.size() -
+                                           common.size());
+  bench::section("(b) distinct error patterns by attacked cell kind");
+  std::printf("comb-gate attacks : %5zu patterns (%5.1f%%; paper: 91.0%%)\n",
+              comb_patterns.size() - common.size(),
+              100.0 * (comb_patterns.size() - common.size()) / total);
+  std::printf("common            : %5zu patterns (%5.1f%%; paper:  6.1%%)\n",
+              common.size(), 100.0 * common.size() / total);
+  std::printf("register attacks  : %5zu patterns (%5.1f%%; paper:  2.9%%)\n",
+              seq_patterns.size() - common.size(),
+              100.0 * (seq_patterns.size() - common.size()) / total);
+  std::printf(
+      "\ntakeaway: restricting fault models to sequential cells misses the\n"
+      "bulk of realizable error patterns, matching the paper's argument for\n"
+      "gate-level modeling.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Micro-performance benchmarks (google-benchmark) for the framework's hot
+// paths: RTL stepping, gate-level evaluation, transient injection, checkpoint
+// restore, and one full Monte Carlo sample. These quantify why the paper's
+// cross-level split (cheap RTL everywhere, gate level only for the injection
+// cycle) pays off.
+#include <benchmark/benchmark.h>
+
+#include "core/framework.h"
+#include "soc/benchmark.h"
+
+using namespace fav;
+
+namespace {
+
+struct Fixture {
+  soc::SecurityBenchmark bench = soc::make_illegal_write_benchmark();
+  soc::SocNetlist soc;
+  layout::Placement placement{soc.netlist()};
+  faultsim::InjectionSimulator injector{soc.netlist()};
+  rtl::GoldenRun golden{bench.program, bench.max_cycles, 32};
+};
+
+Fixture& fx() {
+  static Fixture f;
+  return f;
+}
+
+void BM_RtlStep(benchmark::State& state) {
+  rtl::Machine m(fx().bench.program);
+  for (auto _ : state) {
+    if (m.halted()) m.reset();
+    benchmark::DoNotOptimize(m.step());
+  }
+}
+BENCHMARK(BM_RtlStep);
+
+void BM_GateLevelCycle(benchmark::State& state) {
+  soc::GateLevelMachine gate(fx().soc, fx().bench.program);
+  for (auto _ : state) {
+    if (gate.halted()) gate.reset();
+    benchmark::DoNotOptimize(gate.step());
+  }
+}
+BENCHMARK(BM_GateLevelCycle);
+
+void BM_CheckpointRestore(benchmark::State& state) {
+  const auto cycle = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx().golden.restore(cycle));
+  }
+}
+BENCHMARK(BM_CheckpointRestore)->Arg(33)->Arg(63);
+
+void BM_TransientInjection(benchmark::State& state) {
+  rtl::Machine m = fx().golden.restore(80);
+  soc::GateLevelMachine gate(fx().soc, fx().bench.program);
+  gate.load_state(m.state());
+  gate.mutable_ram() = m.ram();
+  gate.settle_inputs();
+  const auto struck = fx().placement.nodes_within(
+      fx().placement.placed_nodes()[state.range(0) % 3000], 1.5);
+  const double strike = 0.8 * fx().injector.timing().clock_period();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx().injector.inject(gate.sim(), struck, strike));
+  }
+}
+BENCHMARK(BM_TransientInjection)->Arg(100)->Arg(2000);
+
+void BM_FullMonteCarloSample(benchmark::State& state) {
+  static core::FaultAttackEvaluator fw(soc::make_illegal_write_benchmark());
+  static const faultsim::AttackModel attack = fw.subblock_attack_model(1.5, 50);
+  static auto sampler = fw.make_importance_sampler(attack);
+  Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fw.evaluator().evaluate_sample(sampler->draw(rng)));
+  }
+}
+BENCHMARK(BM_FullMonteCarloSample);
+
+void BM_SignatureRecording(benchmark::State& state) {
+  const rtl::Program workload = soc::make_synthetic_workload();
+  for (auto _ : state) {
+    precharac::SignatureTrace trace(fx().soc, workload, 100);
+    benchmark::DoNotOptimize(trace.cycles());
+  }
+}
+BENCHMARK(BM_SignatureRecording);
+
+}  // namespace
+
+BENCHMARK_MAIN();

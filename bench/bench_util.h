@@ -1,0 +1,43 @@
+// Shared helpers for the experiment-reproduction benches (one binary per
+// paper table/figure; see DESIGN.md §4 and EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/framework.h"
+#include "core/hardening.h"
+
+namespace fav::bench {
+
+inline void banner(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void section(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+/// Candidate subsets by cell kind, for register-vs-combinational attacks.
+inline std::vector<netlist::NodeId> gates_only(
+    const soc::SocNetlist& soc, const std::vector<netlist::NodeId>& cells) {
+  std::vector<netlist::NodeId> out;
+  for (const auto id : cells) {
+    if (soc.netlist().is_comb_gate(id)) out.push_back(id);
+  }
+  return out;
+}
+
+inline std::vector<netlist::NodeId> dffs_only(
+    const soc::SocNetlist& soc, const std::vector<netlist::NodeId>& cells) {
+  std::vector<netlist::NodeId> out;
+  for (const auto id : cells) {
+    if (soc.netlist().is_dff(id)) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace fav::bench

@@ -1,0 +1,66 @@
+// Quickstart: evaluate a system's vulnerability against radiation-based
+// fault attacks in ~20 lines.
+//
+// The framework ships with MCU16 (a 16-bit micro-controller with a 4-region
+// MPU) and two security benchmarks. This example measures the System
+// Security Factor (SSF) — the probability that an attack bypasses the MPU's
+// memory-access policy undetected — using the importance-sampled cross-level
+// Monte Carlo flow.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/framework.h"
+#include "core/hardening.h"
+
+int main() {
+  using namespace fav;
+
+  // 1. Pick a security benchmark: a workload that attempts an illegal write
+  //    into a read-only MPU region at its target cycle Tt.
+  core::FaultAttackEvaluator framework(soc::make_illegal_write_benchmark());
+  std::printf("benchmark: %s\n", framework.benchmark().name.c_str());
+  std::printf("  elaborated netlist: %zu gates, %zu registers\n",
+              framework.soc().netlist().gate_count(),
+              framework.soc().netlist().dffs().size());
+  std::printf("  golden run: %llu cycles, illegal access at Tt = %llu\n",
+              static_cast<unsigned long long>(framework.golden().length()),
+              static_cast<unsigned long long>(framework.target_cycle()));
+
+  // 2. Describe the attacker: radiation spots (radius 1.5 cell pitches)
+  //    aimed at the security logic's neighbourhood, with a 50-cycle timing
+  //    uncertainty — the holistic fault model f_{T,P}.
+  const faultsim::AttackModel attack =
+      framework.subblock_attack_model(/*radius=*/1.5, /*t_range=*/50);
+  std::printf("  attack model: %zu candidate spot centers, t in [0, %d]\n",
+              attack.candidate_centers.size(), attack.t_max);
+
+  // 3. Estimate the SSF with the pre-characterization-driven importance
+  //    sampler (Fig. 5 of the paper: checkpoint restart -> gate-level
+  //    injection -> analytical or RTL-level outcome).
+  Rng rng(/*seed=*/2017);
+  auto sampler = framework.make_importance_sampler(attack);
+  const mc::SsfResult result =
+      framework.evaluator().run(*sampler, rng, /*n=*/3000);
+
+  std::printf("\nSSF = %.5f  (standard error %.5f)\n", result.ssf(),
+              result.stats.standard_error());
+  std::printf("  %zu/%zu sampled attacks succeeded\n", result.successes,
+              result.stats.count());
+  std::printf("  outcome paths: %zu masked, %zu analytical, %zu RTL-resumed\n",
+              result.masked, result.analytical, result.rtl);
+
+  // 4. The per-register attribution tells the designer what to protect.
+  std::printf("\ntop vulnerable registers:\n");
+  const auto critical = core::select_critical_fields(result, 0.95);
+  const auto& map = rtl::Machine::reg_map();
+  const double total_contribution =
+      result.ssf() * static_cast<double>(result.stats.count());
+  for (std::size_t i = 0; i < critical.size() && i < 8; ++i) {
+    std::printf("  %-12s contributes %.1f%% of SSF\n",
+                map.field(critical[i]).name.c_str(),
+                100.0 * result.field_contribution.at(critical[i]) /
+                    total_contribution);
+  }
+  return 0;
+}

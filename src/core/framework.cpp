@@ -1,0 +1,189 @@
+#include "core/framework.h"
+
+#include <algorithm>
+
+namespace fav::core {
+
+using faultsim::AttackModel;
+using netlist::NodeId;
+
+FaultAttackEvaluator::FaultAttackEvaluator(soc::SecurityBenchmark bench,
+                                           const FrameworkConfig& config)
+    : config_(config),
+      bench_(std::move(bench)),
+      soc_(),
+      placement_(soc_.netlist()),
+      synthetic_workload_(soc::make_synthetic_workload()) {
+  // Golden runs: the benchmark itself plus the synthetic pre-charac workload.
+  golden_ = std::make_unique<rtl::GoldenRun>(bench_.program, bench_.max_cycles,
+                                             config.checkpoint_interval);
+  synthetic_golden_ = std::make_unique<rtl::GoldenRun>(
+      synthetic_workload_, config.precharac_cycles,
+      config.checkpoint_interval);
+
+  // Pre-characterization (Section 4): cones, signatures, register classes.
+  cone_ = std::make_unique<netlist::UnrolledCone>(
+      soc_.netlist(), soc_.netlist().find_or_throw("mpu_viol"),
+      config.cone_fanin_depth, config.cone_fanout_depth);
+  signatures_ = std::make_unique<precharac::SignatureTrace>(
+      soc_, synthetic_workload_, config.precharac_cycles);
+  charac_ = std::make_unique<precharac::RegisterCharacterization>(
+      *synthetic_golden_, config.characterization);
+
+  injector_ = std::make_unique<faultsim::InjectionSimulator>(
+      soc_.netlist(), config.timing, config.transient);
+  evaluator_ = std::make_unique<mc::SsfEvaluator>(
+      soc_, placement_, *injector_, bench_, *golden_, charac_.get(),
+      config.evaluator);
+
+  // Potency of memory-type registers, from the analytical evaluator; it
+  // steers the mixed importance-sampling strategy.
+  //  * single-bit potency (score 1.0): flipping this bit alone enables the
+  //    attack (e.g. a permission-grant or region-limit bit),
+  //  * group potency (score 0.3): wholesale corruption of an MPU region's
+  //    configuration enables the attack — the garbage-latch mechanism, where
+  //    one transient on the config-write decode latches an attacker-chosen
+  //    value into a whole region register.
+  const rtl::RegisterMap& map = rtl::Machine::reg_map();
+  const mc::AnalyticalEvaluator analytical(bench_, *golden_);
+  const std::uint64_t tt = analytical.target_cycle();
+  auto& potency = config_.sampling.memory_bit_potency;
+  potency.assign(static_cast<std::size_t>(map.total_bits()), 0.0);
+  // Candidates: empirically memory-type bits plus structurally write-once
+  // (config-like) bits — a configuration flip can be persistent and
+  // attack-enabling even when its characterization shows contamination
+  // (e.g. the MPU enable bit suppresses the sticky flag).
+  for (int bit = 0; bit < map.total_bits(); ++bit) {
+    const bool persistent = charac_->is_memory_type(bit) ||
+                            map.field(map.locate(bit).first).config_like;
+    if (!persistent) continue;
+    rtl::ArchState faulty = golden_->state_at(tt);
+    map.flip_bit(faulty, bit);
+    const auto verdict = analytical.evaluate(faulty, tt);
+    if (verdict.has_value() && *verdict) {
+      potency[static_cast<std::size_t>(bit)] = 1.0;
+    }
+  }
+  for (int k = 0; k < rtl::kMpuRegionCount; ++k) {
+    rtl::ArchState faulty = golden_->state_at(tt);
+    faulty.mpu[static_cast<std::size_t>(k)] = {
+        0x0000, 0xFFFF, rtl::kPermRead | rtl::kPermWrite | rtl::kPermEnable};
+    const auto verdict = analytical.evaluate(faulty, tt);
+    if (!(verdict.has_value() && *verdict)) continue;
+    const std::string prefix = "mpu" + std::to_string(k) + "_";
+    for (const char* suffix : {"base", "limit", "perm"}) {
+      const auto& field = map.field(map.field_index(prefix + suffix));
+      for (int b = 0; b < field.width; ++b) {
+        auto& p = potency[static_cast<std::size_t>(field.offset + b)];
+        p = std::max(p, 0.3);
+      }
+    }
+  }
+}
+
+AttackModel FaultAttackEvaluator::chip_attack_model(double radius,
+                                                    int t_range) const {
+  FAV_CHECK(t_range >= 1);
+  AttackModel a;
+  a.t_min = 0;
+  a.t_max = t_range - 1;
+  a.candidate_centers = placement_.placed_nodes();
+  a.radii = {radius};
+  return a;
+}
+
+AttackModel FaultAttackEvaluator::subblock_attack_model(double radius,
+                                                        int t_range) const {
+  FAV_CHECK(t_range >= 1);
+  AttackModel a;
+  a.t_min = 0;
+  a.t_max = t_range - 1;
+  a.radii = {radius};
+  // Candidate support: every cell appearing in any extracted cone frame —
+  // the attacker aims the spot at the security logic's neighbourhood.
+  std::vector<char> in(soc_.netlist().node_count(), 0);
+  auto absorb = [&](const netlist::ConeFrame& f) {
+    for (const NodeId g : f.gates) in[g] = 1;
+    for (const NodeId r : f.registers) in[r] = 1;
+  };
+  for (const auto& f : cone_->fanin_frames()) absorb(f);
+  for (const auto& f : cone_->fanout_frames()) absorb(f);
+  for (NodeId id = 0; id < soc_.netlist().node_count(); ++id) {
+    if (in[id] && placement_.is_placed(id)) a.candidate_centers.push_back(id);
+  }
+  FAV_CHECK_MSG(!a.candidate_centers.empty(), "cone support is empty");
+  return a;
+}
+
+std::unique_ptr<mc::Sampler> FaultAttackEvaluator::make_random_sampler(
+    const AttackModel& attack) const {
+  attacks_.push_back(std::make_unique<AttackModel>(attack));
+  return std::make_unique<mc::RandomSampler>(*attacks_.back());
+}
+
+std::unique_ptr<mc::Sampler> FaultAttackEvaluator::make_cone_sampler(
+    const AttackModel& attack) const {
+  attacks_.push_back(std::make_unique<AttackModel>(attack));
+  return std::make_unique<mc::ConeSampler>(*attacks_.back(), *cone_,
+                                           placement_);
+}
+
+precharac::SamplingModel FaultAttackEvaluator::make_sampling_model(
+    const AttackModel& attack) const {
+  attacks_.push_back(std::make_unique<AttackModel>(attack));
+  return precharac::SamplingModel(soc_, placement_, *cone_, *signatures_,
+                                  *charac_, *attacks_.back(),
+                                  config_.sampling);
+}
+
+precharac::SamplingParams FaultAttackEvaluator::sampling_params_for(
+    const AttackModel& attack) const {
+  precharac::SamplingParams params = config_.sampling;
+  // Enumerate the deterministic memory-type subspace: for every candidate
+  // spot, the *direct* register upsets are fixed (independent of t and of
+  // the strike instant), so the analytical evaluator can decide their
+  // outcome outright. Spots whose direct flips provably enable the attack
+  // receive a dominant sampling boost.
+  const rtl::RegisterMap& map = rtl::Machine::reg_map();
+  const mc::AnalyticalEvaluator analytical(bench_, *golden_);
+  const std::uint64_t tt = analytical.target_cycle();
+  const rtl::ArchState base_state = golden_->state_at(tt);
+  const double max_radius =
+      *std::max_element(attack.radii.begin(), attack.radii.end());
+  params.center_boost.assign(soc_.netlist().node_count(), 0.0);
+  constexpr double kDirectHitBoost = 3.0e3;
+  for (const netlist::NodeId c : attack.candidate_centers) {
+    // Direct upsets of the *persistent* covered registers (memory-type or
+    // write-once config): their combined outcome is decidable analytically.
+    // Covered computation registers add transient noise the verdict cannot
+    // see — the boost is steering, not a proof, so that is acceptable.
+    std::vector<int> flips;
+    for (const netlist::NodeId g : placement_.nodes_within(c, max_radius)) {
+      if (!soc_.netlist().is_dff(g)) continue;
+      const int bit = soc_.flat_bit_for_dff(g);
+      if (charac_->is_memory_type(bit) ||
+          map.field(map.locate(bit).first).config_like) {
+        flips.push_back(bit);
+      }
+    }
+    if (flips.empty()) continue;
+    rtl::ArchState faulty = base_state;
+    for (const int bit : flips) map.flip_bit(faulty, bit);
+    const auto verdict = analytical.evaluate(faulty, tt);
+    if (verdict.has_value() && *verdict) {
+      params.center_boost[c] = kDirectHitBoost;
+    }
+  }
+  return params;
+}
+
+std::unique_ptr<mc::Sampler> FaultAttackEvaluator::make_importance_sampler(
+    const AttackModel& attack) const {
+  attacks_.push_back(std::make_unique<AttackModel>(attack));
+  models_.push_back(std::make_unique<precharac::SamplingModel>(
+      soc_, placement_, *cone_, *signatures_, *charac_, *attacks_.back(),
+      sampling_params_for(*attacks_.back())));
+  return std::make_unique<mc::ImportanceSampler>(*models_.back());
+}
+
+}  // namespace fav::core

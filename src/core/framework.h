@@ -1,0 +1,116 @@
+// Public facade of the cross-level Monte Carlo framework.
+//
+// FaultAttackEvaluator wires the whole pipeline of the paper together for a
+// given security benchmark:
+//   SoC elaboration -> placement -> golden run (+checkpoints)
+//   -> pre-characterization (signatures, correlations, register classes)
+//   -> responding-signal cone extraction
+//   -> gate-level injection simulator
+//   -> samplers (random / cone / importance) and the SSF evaluator.
+// Typical use (see examples/quickstart.cpp):
+//
+//   core::FaultAttackEvaluator fw(soc::make_illegal_write_benchmark());
+//   auto attack = fw.chip_attack_model();
+//   Rng rng(42);
+//   auto importance = fw.make_importance_sampler(attack);
+//   auto result = fw.evaluator().run(*importance, rng, 2000);
+//   std::cout << "SSF = " << result.ssf() << "\n";
+#pragma once
+
+#include <memory>
+
+#include "faultsim/attack_model.h"
+#include "faultsim/injection.h"
+#include "layout/placement.h"
+#include "mc/evaluator.h"
+#include "mc/samplers.h"
+#include "netlist/cones.h"
+#include "precharac/characterize.h"
+#include "precharac/sampling_model.h"
+#include "precharac/signatures.h"
+#include "rtl/golden.h"
+#include "soc/benchmark.h"
+#include "soc/soc_netlist.h"
+
+namespace fav::core {
+
+struct FrameworkConfig {
+  /// Golden run horizon and checkpoint spacing (Section 5.1).
+  std::uint64_t checkpoint_interval = 32;
+  /// Cone extraction depths; the fanin depth must cover the attack t-range.
+  int cone_fanin_depth = 60;
+  int cone_fanout_depth = 4;
+  /// Pre-characterization workload horizon.
+  std::uint64_t precharac_cycles = 400;
+  precharac::CharacterizationConfig characterization;
+  precharac::SamplingParams sampling;
+  faultsim::TimingModel timing;
+  faultsim::TransientParams transient;
+  mc::EvaluatorConfig evaluator;
+};
+
+class FaultAttackEvaluator {
+ public:
+  explicit FaultAttackEvaluator(soc::SecurityBenchmark bench,
+                                const FrameworkConfig& config = {});
+
+  /// --- assembled components (valid for this object's lifetime) ---------
+  const FrameworkConfig& config() const { return config_; }
+  const soc::SecurityBenchmark& benchmark() const { return bench_; }
+  const soc::SocNetlist& soc() const { return soc_; }
+  const layout::Placement& placement() const { return placement_; }
+  const rtl::GoldenRun& golden() const { return *golden_; }
+  const netlist::UnrolledCone& cone() const { return *cone_; }
+  const precharac::SignatureTrace& signatures() const { return *signatures_; }
+  const precharac::RegisterCharacterization& characterization() const {
+    return *charac_;
+  }
+  const faultsim::InjectionSimulator& injector() const { return *injector_; }
+  const mc::SsfEvaluator& evaluator() const { return *evaluator_; }
+  std::uint64_t target_cycle() const { return evaluator_->target_cycle(); }
+
+  /// --- attack models -----------------------------------------------------
+  /// Uniform f_{T,P} over the whole chip (every placed cell a candidate).
+  faultsim::AttackModel chip_attack_model(double radius = 1.5,
+                                          int t_range = 50) const;
+  /// f_{T,P} restricted to a sub-block around the security logic: the cells
+  /// in the responding signal's cones (the "1/8 of MPU" setup of Section 6).
+  faultsim::AttackModel subblock_attack_model(double radius = 1.5,
+                                              int t_range = 50) const;
+
+  /// --- samplers ----------------------------------------------------------
+  std::unique_ptr<mc::Sampler> make_random_sampler(
+      const faultsim::AttackModel& attack) const;
+  std::unique_ptr<mc::Sampler> make_cone_sampler(
+      const faultsim::AttackModel& attack) const;
+  /// Builds the importance model for `attack` (cached per attack identity is
+  /// the caller's concern; construction is cheap after pre-characterization).
+  std::unique_ptr<mc::Sampler> make_importance_sampler(
+      const faultsim::AttackModel& attack) const;
+  precharac::SamplingModel make_sampling_model(
+      const faultsim::AttackModel& attack) const;
+
+  /// Sampling parameters for `attack`, including the analytically-enumerated
+  /// per-spot direct-hit boosts (see framework.cpp).
+  precharac::SamplingParams sampling_params_for(
+      const faultsim::AttackModel& attack) const;
+
+ private:
+  FrameworkConfig config_;
+  soc::SecurityBenchmark bench_;
+  soc::SocNetlist soc_;
+  layout::Placement placement_;
+  rtl::Program synthetic_workload_;
+  std::unique_ptr<rtl::GoldenRun> golden_;
+  std::unique_ptr<rtl::GoldenRun> synthetic_golden_;
+  std::unique_ptr<netlist::UnrolledCone> cone_;
+  std::unique_ptr<precharac::SignatureTrace> signatures_;
+  std::unique_ptr<precharac::RegisterCharacterization> charac_;
+  std::unique_ptr<faultsim::InjectionSimulator> injector_;
+  std::unique_ptr<mc::SsfEvaluator> evaluator_;
+  // Importance samplers own their model; kept alive here.
+  mutable std::vector<std::unique_ptr<precharac::SamplingModel>> models_;
+  mutable std::vector<std::unique_ptr<faultsim::AttackModel>> attacks_;
+};
+
+}  // namespace fav::core

@@ -1,0 +1,76 @@
+// Holistic probabilistic fault model f_{T,P} (paper Section 3.2).
+//
+// An attack outcome is a joint sample of:
+//   t           — timing distance Tt - Te in cycles (temporal accuracy),
+//   center      — radiation spot center cell g,
+//   radius      — radiated-region radius r,
+//   strike_frac — intra-cycle hit instant as a fraction of the clock period
+//                 (sub-cycle technique variation; uniform under every
+//                 strategy, so it cancels from importance weights).
+// Following the paper, T and P are uniform over ranges centered at the
+// attacker's intended target; the ranges encode the temporal accuracy and
+// parameter variation of the concrete technique (Fig. 11 sweeps them).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace fav::faultsim {
+
+struct FaultSample {
+  int t = 0;                      // timing distance (cycles before Tt)
+  netlist::NodeId center = 0;     // radiation spot center
+  double radius = 0;              // radiated-region radius
+  double strike_frac = 0;         // in [0, 1)
+  int impact_cycles = 1;          // consecutive cycles hit by this injection
+  double weight = 1.0;            // importance weight f/g for the estimator
+};
+
+struct AttackModel {
+  int t_min = 0;
+  int t_max = 49;  // inclusive; 50-cycle window as in the paper's Section 6
+  /// Support of the spatial parameter (the "sub-block" the attacker aims at).
+  std::vector<netlist::NodeId> candidate_centers;
+  /// Discrete radius choices, uniform (Unif(r) in the paper's g_{P|T}).
+  std::vector<double> radii = {1.5};
+  /// Consecutive cycles impacted by one injection (paper Section 3.2: the
+  /// default assumption is a single cycle, but the framework "can easily
+  /// incorporate multi-cycle impact" — this is that hook; the same spot
+  /// strikes cycles Te .. Te+impact_cycles-1).
+  int impact_cycles = 1;
+
+  int t_count() const { return t_max - t_min + 1; }
+
+  void check_valid() const {
+    FAV_CHECK_MSG(t_min >= 0 && t_max >= t_min, "bad timing range");
+    FAV_CHECK_MSG(!candidate_centers.empty(), "no candidate centers");
+    FAV_CHECK_MSG(!radii.empty(), "no radii");
+    FAV_CHECK_MSG(impact_cycles >= 1, "impact_cycles must be >= 1");
+  }
+
+  /// Joint pmf of (t, center, radius) under the uniform holistic model.
+  double f_pmf() const {
+    return 1.0 / (static_cast<double>(t_count()) *
+                  static_cast<double>(candidate_centers.size()) *
+                  static_cast<double>(radii.size()));
+  }
+
+  /// Draws from f_{T,P} (this *is* the random-sampling baseline).
+  FaultSample sample(Rng& rng) const {
+    check_valid();
+    FaultSample s;
+    s.t = static_cast<int>(rng.uniform_int(t_min, t_max));
+    s.center = candidate_centers[rng.uniform_below(candidate_centers.size())];
+    s.radius = radii[rng.uniform_below(radii.size())];
+    s.strike_frac = rng.uniform01();
+    s.impact_cycles = impact_cycles;
+    s.weight = 1.0;
+    return s;
+  }
+};
+
+}  // namespace fav::faultsim

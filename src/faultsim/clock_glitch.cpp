@@ -1,0 +1,36 @@
+#include "faultsim/clock_glitch.h"
+
+#include <algorithm>
+
+namespace fav::faultsim {
+
+using netlist::NodeId;
+
+ClockGlitchSimulator::ClockGlitchSimulator(const netlist::Netlist& nl,
+                                           const TimingModel& timing_model)
+    : nl_(&nl), timing_(nl, timing_model) {
+  for (const NodeId dff : nl.dffs()) {
+    FAV_CHECK_MSG(!nl.node(dff).fanins.empty(),
+                  "DFF '" << nl.node(dff).name << "' has no D input");
+    critical_d_ =
+        std::max(critical_d_, timing_.arrival(nl.node(dff).fanins[0]));
+  }
+}
+
+std::vector<NodeId> ClockGlitchSimulator::flipped_dffs(
+    const netlist::LogicSimulator& sim, double glitch_period) const {
+  FAV_CHECK_MSG(glitch_period > 0.0, "glitch period must be positive");
+  const double setup = timing_.model().setup_time;
+  std::vector<NodeId> flips;
+  for (const NodeId dff : nl_->dffs()) {
+    const NodeId d = nl_->node(dff).fanins[0];
+    if (timing_.arrival(d) + setup <= glitch_period) continue;  // met timing
+    // Too slow: the register holds its old value. It is an *error* only if
+    // the new D actually differs.
+    if (sim.value(d) != sim.value(dff)) flips.push_back(dff);
+  }
+  std::sort(flips.begin(), flips.end());
+  return flips;
+}
+
+}  // namespace fav::faultsim

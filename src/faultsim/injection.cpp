@@ -1,0 +1,121 @@
+#include "faultsim/injection.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace fav::faultsim {
+
+using netlist::CellType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+InjectionSimulator::InjectionSimulator(const Netlist& nl,
+                                       const TimingModel& timing_model,
+                                       const TransientParams& params)
+    : nl_(&nl), timing_(nl, timing_model), params_(params) {
+  FAV_CHECK(params.initial_width > 0);
+  FAV_CHECK(params.max_pulses_per_node >= 1);
+}
+
+bool InjectionSimulator::sensitized(const netlist::LogicSimulator& sim,
+                                    NodeId node, int pin) const {
+  const auto& n = nl_->node(node);
+  if (n.type == CellType::kMux) {
+    // Pin 0 = select, 1 = a (sel=0), 2 = b (sel=1).
+    const bool sel = sim.value(n.fanins[0]);
+    if (pin == 0) {
+      // A glitching select only matters if the two data inputs differ.
+      return sim.value(n.fanins[1]) != sim.value(n.fanins[2]);
+    }
+    return (pin == 2) == sel;  // the unselected data pin is masked
+  }
+  for (int j = 0; j < static_cast<int>(n.fanins.size()); ++j) {
+    if (j == pin) continue;
+    if (netlist::is_controlling_value(n.type, j, sim.value(n.fanins[j]))) {
+      return false;  // a controlling side input absorbs the glitch
+    }
+  }
+  return true;
+}
+
+void InjectionSimulator::add_pulse(std::vector<Pulse>& list, Pulse p) const {
+  // Merge with any overlapping pulse (union of intervals).
+  for (Pulse& q : list) {
+    const double q_end = q.start + q.width;
+    const double p_end = p.start + p.width;
+    if (p.start <= q_end && q.start <= p_end) {
+      const double lo = std::min(q.start, p.start);
+      const double hi = std::max(q_end, p_end);
+      q.start = lo;
+      q.width = hi - lo;
+      return;
+    }
+  }
+  if (static_cast<int>(list.size()) < params_.max_pulses_per_node) {
+    list.push_back(p);
+    return;
+  }
+  // Keep the widest pulses (widest are hardest to mask downstream).
+  auto narrowest = std::min_element(
+      list.begin(), list.end(),
+      [](const Pulse& a, const Pulse& b) { return a.width < b.width; });
+  if (narrowest->width < p.width) *narrowest = p;
+}
+
+InjectionResult InjectionSimulator::inject(const netlist::LogicSimulator& sim,
+                                           std::span<const NodeId> struck,
+                                           double strike_time) const {
+  FAV_CHECK_MSG(strike_time >= 0.0, "strike time must be non-negative");
+  InjectionResult result;
+
+  std::vector<std::vector<Pulse>> pulses(nl_->node_count());
+  std::unordered_set<NodeId> flips;
+
+  for (NodeId g : struck) {
+    const auto& n = nl_->node(g);
+    if (n.type == CellType::kDff) {
+      ++result.struck_dffs;
+      if (flips.insert(g).second) ++result.direct_flips;
+    } else if (netlist::is_combinational_gate(n.type)) {
+      ++result.struck_gates;
+      add_pulse(pulses[g], {std::max(strike_time, timing_.arrival(g)),
+                            params_.initial_width});
+    }
+  }
+
+  // Topological sweep: every gate is visited after all producers, so pulse
+  // lists are final when consumed.
+  const TimingModel& tm = timing_.model();
+  for (NodeId id : nl_->topo_order()) {
+    const auto& n = nl_->node(id);
+    for (int pin = 0; pin < static_cast<int>(n.fanins.size()); ++pin) {
+      const auto& in_pulses = pulses[n.fanins[pin]];
+      if (in_pulses.empty()) continue;
+      if (!sensitized(sim, id, pin)) continue;
+      for (const Pulse& p : in_pulses) {
+        const double width = p.width - tm.attenuation;
+        if (width < tm.min_pulse_width) continue;  // electrically masked
+        add_pulse(pulses[id], {p.start + tm.delay(n.type), width});
+      }
+    }
+  }
+
+  // Latching-window check at every DFF D input.
+  const double window_lo = timing_.clock_period() - tm.setup_time;
+  const double window_hi = timing_.clock_period() + tm.hold_time;
+  for (NodeId dff : nl_->dffs()) {
+    const NodeId d = nl_->node(dff).fanins[0];
+    for (const Pulse& p : pulses[d]) {
+      if (p.start <= window_hi && window_lo <= p.start + p.width) {
+        if (flips.insert(dff).second) ++result.latched_flips;
+        break;
+      }
+    }
+  }
+
+  result.flipped_dffs.assign(flips.begin(), flips.end());
+  std::sort(result.flipped_dffs.begin(), result.flipped_dffs.end());
+  return result;
+}
+
+}  // namespace fav::faultsim

@@ -1,0 +1,86 @@
+// Gate-level fault-injection-cycle simulator (paper Section 5.3).
+//
+// Given the settled logic values of the injection cycle and the set of cells
+// inside the radiated spot, this simulator:
+//  1. seeds voltage transients at the outputs of the struck combinational
+//     gates (struck DFF cells upset directly, like an SEU),
+//  2. propagates the transients to the registers in topological order,
+//     applying logical masking (controlling side inputs) and electrical
+//     masking (per-stage pulse-width attenuation), and
+//  3. applies latching-window masking: a pulse reaching a D input flips the
+//     captured bit only if it overlaps the setup/hold window of the edge.
+// The output is the set of DFFs whose latched value differs from the golden
+// run — the cross-level hand-off back to RTL level (Fig. 5).
+//
+// The simulator is generic over any netlist; the SoC binding (DFF -> flat
+// register-map bit) happens in the Monte Carlo layer.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "faultsim/timing.h"
+#include "netlist/logicsim.h"
+
+namespace fav::faultsim {
+
+struct TransientParams {
+  /// Pulse width induced at a struck gate's output (same units as delays).
+  double initial_width = 3.0;
+  /// Bound on tracked pulses per net; overlapping pulses are merged first,
+  /// and the widest survivors are kept (protects against pathological fanout
+  /// reconvergence blow-up).
+  int max_pulses_per_node = 4;
+};
+
+struct InjectionResult {
+  /// DFFs whose latched value flipped at the cycle edge (sorted, unique).
+  std::vector<netlist::NodeId> flipped_dffs;
+  std::size_t struck_gates = 0;   // combinational cells in the spot
+  std::size_t struck_dffs = 0;    // sequential cells in the spot
+  std::size_t latched_flips = 0;  // flips caused by latched transients
+  std::size_t direct_flips = 0;   // flips caused by direct DFF upsets
+
+  bool masked() const { return flipped_dffs.empty(); }
+};
+
+class InjectionSimulator {
+ public:
+  explicit InjectionSimulator(const netlist::Netlist& nl,
+                              const TimingModel& timing_model = {},
+                              const TransientParams& params = {});
+
+  /// `sim` must hold the injection cycle's settled combinational values
+  /// (see soc::GateLevelMachine::settle_inputs). `struck` lists the cells
+  /// inside the radiated region (from layout::Placement::nodes_within).
+  /// `strike_time` is the radiation hit instant within the cycle, in
+  /// [0, clock_period): it models the intra-cycle technique-parameter
+  /// variation — a struck gate's transient begins at
+  /// max(strike_time, arrival(gate)) because glitches that fire before the
+  /// gate recomputes are overwritten. Struck DFF cells upset unconditionally.
+  InjectionResult inject(const netlist::LogicSimulator& sim,
+                         std::span<const netlist::NodeId> struck,
+                         double strike_time = 0.0) const;
+
+  const TimingAnalysis& timing() const { return timing_; }
+  const TransientParams& params() const { return params_; }
+
+ private:
+  struct Pulse {
+    double start = 0;
+    double width = 0;
+  };
+
+  /// True if a wrong value on `pin` of `node` reaches the output, given the
+  /// golden values of the other pins.
+  bool sensitized(const netlist::LogicSimulator& sim, netlist::NodeId node,
+                  int pin) const;
+
+  void add_pulse(std::vector<Pulse>& list, Pulse p) const;
+
+  const netlist::Netlist* nl_;
+  TimingAnalysis timing_;
+  TransientParams params_;
+};
+
+}  // namespace fav::faultsim

@@ -1,0 +1,54 @@
+#include "faultsim/timing.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace fav::faultsim {
+
+using netlist::CellType;
+
+double TimingModel::delay(CellType t) const {
+  switch (t) {
+    case CellType::kBuf:
+    case CellType::kNot:
+      return delay_inv;
+    case CellType::kNand:
+    case CellType::kNor:
+      return delay_nand_nor;
+    case CellType::kAnd:
+    case CellType::kOr:
+      return delay_and_or;
+    case CellType::kXor:
+    case CellType::kXnor:
+      return delay_xor;
+    case CellType::kMux:
+      return delay_mux;
+    default:
+      return 0.0;  // sources and DFF outputs settle at cycle start
+  }
+}
+
+TimingAnalysis::TimingAnalysis(const netlist::Netlist& nl,
+                               const TimingModel& model)
+    : model_(model), arrival_(nl.node_count(), 0.0) {
+  FAV_CHECK(model.clock_margin >= 1.0);
+  for (netlist::NodeId id : nl.topo_order()) {
+    const auto& n = nl.node(id);
+    double in_arrival = 0.0;
+    for (netlist::NodeId f : n.fanins) {
+      in_arrival = std::max(in_arrival, arrival_[f]);
+    }
+    arrival_[id] = in_arrival + model_.delay(n.type);
+    critical_ = std::max(critical_, arrival_[id]);
+  }
+  // DFF D inputs must also meet setup before the edge.
+  period_ = (critical_ + model_.setup_time) * model_.clock_margin;
+}
+
+double TimingAnalysis::arrival(netlist::NodeId id) const {
+  FAV_CHECK(id < arrival_.size());
+  return arrival_[id];
+}
+
+}  // namespace fav::faultsim

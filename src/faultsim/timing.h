@@ -1,0 +1,54 @@
+// Gate delay model and static timing analysis for the injection-cycle
+// simulator.
+//
+// The transient propagation of Section 5.3 needs, per node, an arrival time
+// (when its output settles) and per cell type a propagation delay and an
+// electrical attenuation (how much a passing pulse narrows). Values are a
+// synthetic standard-cell-ish calibration; only relative magnitudes matter
+// for the masking statistics.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace fav::faultsim {
+
+struct TimingModel {
+  /// Propagation delay per cell type (arbitrary time units ~ gate delays).
+  double delay_inv = 1.0;
+  double delay_nand_nor = 1.2;
+  double delay_and_or = 1.4;   // built as nand/nor + inverter
+  double delay_xor = 1.8;
+  double delay_mux = 1.6;
+  /// Pulse-width attenuation per traversed stage (electrical masking).
+  double attenuation = 0.15;
+  /// Pulses narrower than this die out.
+  double min_pulse_width = 0.5;
+  /// DFF latching window (setup + hold) around the clock edge.
+  double setup_time = 0.6;
+  double hold_time = 0.4;
+  /// Clock period = critical path * margin.
+  double clock_margin = 1.15;
+
+  double delay(netlist::CellType t) const;
+};
+
+class TimingAnalysis {
+ public:
+  TimingAnalysis(const netlist::Netlist& nl, const TimingModel& model);
+
+  /// Settle time of the node's output within a cycle (sources settle at 0).
+  double arrival(netlist::NodeId id) const;
+  double critical_path() const { return critical_; }
+  double clock_period() const { return period_; }
+  const TimingModel& model() const { return model_; }
+
+ private:
+  TimingModel model_;
+  std::vector<double> arrival_;
+  double critical_ = 0;
+  double period_ = 0;
+};
+
+}  // namespace fav::faultsim

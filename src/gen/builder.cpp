@@ -1,0 +1,272 @@
+#include "gen/builder.h"
+
+#include <algorithm>
+
+namespace fav::gen {
+
+NodeId Builder::const0() {
+  if (const0_ == netlist::kInvalidNode) const0_ = nl_->add_const(false);
+  return const0_;
+}
+
+NodeId Builder::const1() {
+  if (const1_ == netlist::kInvalidNode) const1_ = nl_->add_const(true);
+  return const1_;
+}
+
+NodeId Builder::bnot(NodeId a) { return nl_->add_gate(CellType::kNot, {a}); }
+NodeId Builder::bbuf(NodeId a) { return nl_->add_gate(CellType::kBuf, {a}); }
+NodeId Builder::band(NodeId a, NodeId b) {
+  return nl_->add_gate(CellType::kAnd, {a, b});
+}
+NodeId Builder::bor(NodeId a, NodeId b) {
+  return nl_->add_gate(CellType::kOr, {a, b});
+}
+NodeId Builder::bnand(NodeId a, NodeId b) {
+  return nl_->add_gate(CellType::kNand, {a, b});
+}
+NodeId Builder::bnor(NodeId a, NodeId b) {
+  return nl_->add_gate(CellType::kNor, {a, b});
+}
+NodeId Builder::bxor(NodeId a, NodeId b) {
+  return nl_->add_gate(CellType::kXor, {a, b});
+}
+NodeId Builder::bxnor(NodeId a, NodeId b) {
+  return nl_->add_gate(CellType::kXnor, {a, b});
+}
+NodeId Builder::bmux(NodeId sel, NodeId a, NodeId b) {
+  return nl_->add_gate(CellType::kMux, {sel, a, b});
+}
+
+NodeId Builder::and_all(std::span<const NodeId> bits) {
+  if (bits.empty()) return const1();
+  std::vector<NodeId> level(bits.begin(), bits.end());
+  while (level.size() > 1) {
+    std::vector<NodeId> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(band(level[i], level[i + 1]));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+NodeId Builder::or_all(std::span<const NodeId> bits) {
+  if (bits.empty()) return const0();
+  std::vector<NodeId> level(bits.begin(), bits.end());
+  while (level.size() > 1) {
+    std::vector<NodeId> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(bor(level[i], level[i + 1]));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+Word Builder::input_word(const std::string& name, int width) {
+  FAV_CHECK(width > 0);
+  Word w;
+  w.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    w.push_back(nl_->add_input(name + "[" + std::to_string(i) + "]"));
+  }
+  return w;
+}
+
+Word Builder::dff_word(const std::string& name, int width) {
+  FAV_CHECK(width > 0);
+  Word w;
+  w.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    w.push_back(nl_->add_dff(name + "[" + std::to_string(i) + "]"));
+  }
+  return w;
+}
+
+void Builder::connect_word(const Word& dffs, const Word& d) {
+  FAV_CHECK_MSG(dffs.size() == d.size(), "width mismatch in connect_word");
+  for (std::size_t i = 0; i < dffs.size(); ++i) nl_->connect_dff(dffs[i], d[i]);
+}
+
+Word Builder::constant_word(std::uint64_t value, int width) {
+  FAV_CHECK(width > 0 && width <= 64);
+  Word w;
+  w.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    w.push_back((value >> i) & 1 ? const1() : const0());
+  }
+  return w;
+}
+
+Word Builder::zext(const Word& a, int width) {
+  FAV_CHECK(static_cast<std::size_t>(width) >= a.size());
+  Word w = a;
+  while (w.size() < static_cast<std::size_t>(width)) w.push_back(const0());
+  return w;
+}
+
+Word Builder::slice(const Word& a, int lo, int width) const {
+  FAV_CHECK(lo >= 0 && width > 0);
+  FAV_CHECK_MSG(static_cast<std::size_t>(lo + width) <= a.size(),
+                "slice out of range");
+  return Word(a.begin() + lo, a.begin() + lo + width);
+}
+
+Word Builder::concat(const Word& lo, const Word& hi) const {
+  Word w = lo;
+  w.insert(w.end(), hi.begin(), hi.end());
+  return w;
+}
+
+Word Builder::not_word(const Word& a) {
+  Word w;
+  w.reserve(a.size());
+  for (NodeId b : a) w.push_back(bnot(b));
+  return w;
+}
+
+Word Builder::and_word(const Word& a, const Word& b) {
+  FAV_CHECK(a.size() == b.size());
+  Word w;
+  w.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) w.push_back(band(a[i], b[i]));
+  return w;
+}
+
+Word Builder::or_word(const Word& a, const Word& b) {
+  FAV_CHECK(a.size() == b.size());
+  Word w;
+  w.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) w.push_back(bor(a[i], b[i]));
+  return w;
+}
+
+Word Builder::xor_word(const Word& a, const Word& b) {
+  FAV_CHECK(a.size() == b.size());
+  Word w;
+  w.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) w.push_back(bxor(a[i], b[i]));
+  return w;
+}
+
+Word Builder::mux_word(NodeId sel, const Word& a, const Word& b) {
+  FAV_CHECK(a.size() == b.size());
+  Word w;
+  w.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) w.push_back(bmux(sel, a[i], b[i]));
+  return w;
+}
+
+Word Builder::mux_tree(const Word& sel, std::span<const Word> choices) {
+  FAV_CHECK_MSG(choices.size() == (std::size_t{1} << sel.size()),
+                "mux_tree needs 2^|sel| choices");
+  std::vector<Word> level(choices.begin(), choices.end());
+  for (NodeId s : sel) {
+    std::vector<Word> next;
+    next.reserve(level.size() / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(mux_word(s, level[i], level[i + 1]));
+    }
+    level = std::move(next);
+  }
+  FAV_CHECK(level.size() == 1);
+  return level[0];
+}
+
+std::pair<Word, NodeId> Builder::adder(const Word& a, const Word& b,
+                                       NodeId carry_in) {
+  FAV_CHECK(a.size() == b.size());
+  Word sum;
+  sum.reserve(a.size());
+  NodeId carry = carry_in;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const NodeId axb = bxor(a[i], b[i]);
+    sum.push_back(bxor(axb, carry));
+    // carry_out = (a & b) | (carry & (a ^ b))
+    carry = bor(band(a[i], b[i]), band(carry, axb));
+  }
+  return {std::move(sum), carry};
+}
+
+Word Builder::add_word(const Word& a, const Word& b) {
+  return adder(a, b, const0()).first;
+}
+
+Word Builder::sub_word(const Word& a, const Word& b) {
+  return adder(a, not_word(b), const1()).first;
+}
+
+Word Builder::increment(const Word& a) {
+  return adder(a, constant_word(0, static_cast<int>(a.size())), const1()).first;
+}
+
+NodeId Builder::eq_word(const Word& a, const Word& b) {
+  FAV_CHECK(a.size() == b.size());
+  std::vector<NodeId> bits;
+  bits.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) bits.push_back(bxnor(a[i], b[i]));
+  return and_all(bits);
+}
+
+NodeId Builder::ne_word(const Word& a, const Word& b) {
+  return bnot(eq_word(a, b));
+}
+
+NodeId Builder::ult(const Word& a, const Word& b) {
+  // a < b  <=>  carry-out of a + ~b + 1 is 0 (no borrow means a >= b).
+  const auto [sum, carry] = adder(a, not_word(b), const1());
+  (void)sum;
+  return bnot(carry);
+}
+
+NodeId Builder::ule(const Word& a, const Word& b) { return bnot(ult(b, a)); }
+NodeId Builder::uge(const Word& a, const Word& b) { return bnot(ult(a, b)); }
+NodeId Builder::ugt(const Word& a, const Word& b) { return ult(b, a); }
+
+NodeId Builder::reduce_or(const Word& a) { return or_all(a); }
+NodeId Builder::reduce_and(const Word& a) { return and_all(a); }
+NodeId Builder::is_zero(const Word& a) { return bnot(or_all(a)); }
+
+Word Builder::shl_word(const Word& a, const Word& shamt) {
+  Word cur = a;
+  for (std::size_t s = 0; s < shamt.size(); ++s) {
+    const std::size_t dist = std::size_t{1} << s;
+    Word shifted(cur.size(), const0());
+    for (std::size_t i = dist; i < cur.size(); ++i) shifted[i] = cur[i - dist];
+    cur = mux_word(shamt[s], cur, shifted);
+  }
+  return cur;
+}
+
+Word Builder::shr_word(const Word& a, const Word& shamt) {
+  Word cur = a;
+  for (std::size_t s = 0; s < shamt.size(); ++s) {
+    const std::size_t dist = std::size_t{1} << s;
+    Word shifted(cur.size(), const0());
+    for (std::size_t i = 0; i + dist < cur.size(); ++i) shifted[i] = cur[i + dist];
+    cur = mux_word(shamt[s], cur, shifted);
+  }
+  return cur;
+}
+
+Word Builder::decoder(const Word& sel) {
+  const std::size_t n = std::size_t{1} << sel.size();
+  Word out;
+  out.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    std::vector<NodeId> bits;
+    bits.reserve(sel.size());
+    for (std::size_t i = 0; i < sel.size(); ++i) {
+      bits.push_back((v >> i) & 1 ? bbuf(sel[i]) : bnot(sel[i]));
+    }
+    out.push_back(and_all(bits));
+  }
+  return out;
+}
+
+}  // namespace fav::gen

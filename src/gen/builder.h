@@ -1,0 +1,115 @@
+// Word-level structural generator over the gate-level netlist IR.
+//
+// This layer plays the role synthesis plays for the paper's commercial
+// processor: it elaborates multi-bit datapath operators (adders, muxes,
+// comparators, shifters, decoders) into the small standard-cell vocabulary
+// of netlist::CellType. Words are little-endian vectors of nets (index 0 is
+// the LSB).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace fav::gen {
+
+using netlist::CellType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+/// Little-endian bundle of nets.
+using Word = std::vector<NodeId>;
+
+class Builder {
+ public:
+  explicit Builder(Netlist& nl) : nl_(&nl) {}
+
+  Netlist& netlist() { return *nl_; }
+
+  /// --- single-bit primitives -------------------------------------------
+  NodeId const0();
+  NodeId const1();
+  NodeId bnot(NodeId a);
+  NodeId bbuf(NodeId a);
+  NodeId band(NodeId a, NodeId b);
+  NodeId bor(NodeId a, NodeId b);
+  NodeId bnand(NodeId a, NodeId b);
+  NodeId bnor(NodeId a, NodeId b);
+  NodeId bxor(NodeId a, NodeId b);
+  NodeId bxnor(NodeId a, NodeId b);
+  /// sel ? b : a
+  NodeId bmux(NodeId sel, NodeId a, NodeId b);
+  /// Balanced AND / OR trees (empty input yields the identity constant).
+  NodeId and_all(std::span<const NodeId> bits);
+  NodeId or_all(std::span<const NodeId> bits);
+
+  /// --- word construction -------------------------------------------------
+  Word input_word(const std::string& name, int width);
+  /// Creates `width` DFFs named "<name>[i]"; connect with connect_word.
+  Word dff_word(const std::string& name, int width);
+  void connect_word(const Word& dffs, const Word& d);
+  Word constant_word(std::uint64_t value, int width);
+  Word zext(const Word& a, int width);
+  Word slice(const Word& a, int lo, int width) const;
+  Word concat(const Word& lo, const Word& hi) const;
+
+  /// --- word-level logic ----------------------------------------------------
+  Word not_word(const Word& a);
+  Word and_word(const Word& a, const Word& b);
+  Word or_word(const Word& a, const Word& b);
+  Word xor_word(const Word& a, const Word& b);
+  /// sel ? b : a, bitwise.
+  Word mux_word(NodeId sel, const Word& a, const Word& b);
+  /// Select choices[index(sel)] where sel is a little-endian select word.
+  /// choices.size() must equal 1 << sel.size().
+  Word mux_tree(const Word& sel, std::span<const Word> choices);
+
+  /// --- arithmetic ------------------------------------------------------
+  /// Ripple-carry add with carry-in; returns {sum, carry_out}.
+  std::pair<Word, NodeId> adder(const Word& a, const Word& b, NodeId carry_in);
+  Word add_word(const Word& a, const Word& b);
+  /// a - b (two's complement; width of a).
+  Word sub_word(const Word& a, const Word& b);
+  Word increment(const Word& a);
+
+  /// --- comparison --------------------------------------------------------
+  NodeId eq_word(const Word& a, const Word& b);
+  NodeId ne_word(const Word& a, const Word& b);
+  /// Unsigned comparisons.
+  NodeId ult(const Word& a, const Word& b);
+  NodeId ule(const Word& a, const Word& b);
+  NodeId uge(const Word& a, const Word& b);
+  NodeId ugt(const Word& a, const Word& b);
+  NodeId reduce_or(const Word& a);
+  NodeId reduce_and(const Word& a);
+  NodeId is_zero(const Word& a);
+
+  /// --- shift ---------------------------------------------------------------
+  /// Logical barrel shifts by a (small) shift-amount word.
+  Word shl_word(const Word& a, const Word& shamt);
+  Word shr_word(const Word& a, const Word& shamt);
+
+  /// --- structured blocks -----------------------------------------------
+  /// One-hot decoder: output[i] = (sel == i), for i in [0, 2^sel.size()).
+  Word decoder(const Word& sel);
+
+ private:
+  Netlist* nl_;
+  NodeId const0_ = netlist::kInvalidNode;
+  NodeId const1_ = netlist::kInvalidNode;
+};
+
+/// Reads a word's value from any per-node evaluation function.
+template <typename ValueFn>
+std::uint64_t read_word(const Word& w, ValueFn&& value) {
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (value(w[i])) out |= std::uint64_t{1} << i;
+  }
+  return out;
+}
+
+}  // namespace fav::gen

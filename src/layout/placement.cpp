@@ -1,0 +1,90 @@
+#include "layout/placement.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fav::layout {
+
+using netlist::CellType;
+using netlist::NodeId;
+
+Placement::Placement(const netlist::Netlist& nl, double cell_pitch,
+                     double dff_height)
+    : pitch_(cell_pitch) {
+  FAV_CHECK(cell_pitch > 0);
+  FAV_CHECK(dff_height >= 1.0);
+  positions_.resize(nl.node_count());
+  placed_mask_.assign(nl.node_count(), 0);
+
+  const auto& levels = nl.levels();
+  const int max_level = nl.max_level();
+  columns_.resize(static_cast<std::size_t>(max_level) + 1);
+  std::vector<double> cursor(columns_.size(), 0.0);
+  for (int c = 0; c <= max_level; ++c) {
+    columns_[static_cast<std::size_t>(c)].x = pitch_ * c;
+  }
+
+  // Combinational gates go to their logic-level column; each DFF sits next
+  // to the logic that drives its D input (real placers keep registers close
+  // to their input cones), interleaving sequential cells with the datapath.
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    const CellType t = nl.node(id).type;
+    int col = -1;
+    double footprint = pitch_;
+    if (t == CellType::kDff) {
+      const auto& fanins = nl.node(id).fanins;
+      col = fanins.empty() ? 0 : levels[fanins[0]];
+      footprint = pitch_ * dff_height;
+    } else if (netlist::is_combinational_gate(t)) {
+      col = levels[id];
+    }
+    if (col < 0) continue;
+    auto& column = columns_[static_cast<std::size_t>(col)];
+    auto& y = cursor[static_cast<std::size_t>(col)];
+    positions_[id] = {column.x, y};
+    column.cells.push_back({y, id});
+    y += footprint;
+    placed_mask_[id] = 1;
+    placed_.push_back(id);
+    height_ = std::max(height_, positions_[id].y);
+  }
+  width_ = pitch_ * max_level;
+}
+
+bool Placement::is_placed(NodeId id) const {
+  FAV_CHECK(id < placed_mask_.size());
+  return placed_mask_[id] != 0;
+}
+
+Point Placement::position(NodeId id) const {
+  FAV_CHECK_MSG(is_placed(id), "node " << id << " is not placed");
+  return positions_[id];
+}
+
+std::vector<NodeId> Placement::nodes_within(Point center, double radius) const {
+  FAV_CHECK(radius >= 0);
+  std::vector<NodeId> out;
+  for (const Column& col : columns_) {
+    const double dx = col.x - center.x;
+    if (std::abs(dx) > radius) continue;
+    const double dy_max = std::sqrt(radius * radius - dx * dx);
+    const auto lo = std::lower_bound(
+        col.cells.begin(), col.cells.end(), center.y - dy_max,
+        [](const Cell& c, double y) { return c.y < y; });
+    for (auto it = lo; it != col.cells.end() && it->y <= center.y + dy_max;
+         ++it) {
+      out.push_back(it->id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeId> Placement::nodes_within(NodeId center,
+                                            double radius) const {
+  return nodes_within(position(center), radius);
+}
+
+}  // namespace fav::layout

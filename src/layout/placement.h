@@ -1,0 +1,67 @@
+// Physical placement model for the radiation fault technique.
+//
+// Radiation-based injection (paper Section 3.2) is parameterized by a spot
+// center g and radius r; the impacted gates are those whose placed location
+// falls inside the radiated disc (following [18]). A real flow would take
+// coordinates from the P&R database; here we synthesize a deterministic
+// levelized placement: combinational gates sit in columns by logic level,
+// and each sequential cell sits in the column of the logic driving its D
+// input (registers interleave with the datapath). Cells advance within a
+// column by their footprint — flip-flops are several gate-heights tall — so
+// cell density, and with it the multi-cell-upset rate, is realistic.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace fav::layout {
+
+struct Point {
+  double x = 0;
+  double y = 0;
+};
+
+class Placement {
+ public:
+  /// `dff_height` is the sequential-cell footprint in units of the gate
+  /// pitch (standard-cell DFFs are ~3-6 gate-equivalents tall).
+  explicit Placement(const netlist::Netlist& nl, double cell_pitch = 1.0,
+                     double dff_height = 3.0);
+
+  /// Gates and DFFs are placed; primary inputs and constants are not.
+  bool is_placed(netlist::NodeId id) const;
+  Point position(netlist::NodeId id) const;
+
+  /// All placed cells, ascending id.
+  const std::vector<netlist::NodeId>& placed_nodes() const { return placed_; }
+
+  /// Placed cells within Euclidean distance `radius` of `center`
+  /// (the radiated region).
+  std::vector<netlist::NodeId> nodes_within(Point center, double radius) const;
+  std::vector<netlist::NodeId> nodes_within(netlist::NodeId center,
+                                            double radius) const;
+
+  double width() const { return width_; }
+  double height() const { return height_; }
+
+ private:
+  struct Cell {
+    double y = 0;
+    netlist::NodeId id = 0;
+  };
+  struct Column {
+    double x = 0;
+    std::vector<Cell> cells;  // ascending y
+  };
+
+  double pitch_;
+  std::vector<Point> positions_;   // indexed by NodeId
+  std::vector<char> placed_mask_;  // indexed by NodeId
+  std::vector<netlist::NodeId> placed_;
+  std::vector<Column> columns_;
+  double width_ = 0;
+  double height_ = 0;
+};
+
+}  // namespace fav::layout

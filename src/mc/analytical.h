@@ -1,0 +1,52 @@
+// Analytical outcome evaluation for errors confined to memory-type registers
+// (paper Section 4, Observation 3; Fig. 5 step 6).
+//
+// When the latched fault hits only memory-type registers, the attack outcome
+// does not depend on the timing distance — it is fixed by the corrupted
+// system configuration, the benchmark's access trace, and the security
+// policy. The evaluator replays the golden run's data-access trace against
+// the corrupted MPU state:
+//   e = 1  iff  the benchmark's illegal access is now permitted,
+//               every legitimate access remains permitted (a denied legal
+//               access would set the sticky flag and expose the attack),
+//               and the corrupted state itself does not flag a violation.
+//
+// Soundness preconditions (checked; nullopt = fall back to RTL simulation):
+//  * no device-page write occurs at/after the injection cycle (the program
+//    would overwrite the corrupted configuration),
+//  * faults are limited to MPU configuration/status registers — the only
+//    memory-type registers by construction of MCU16; values loaded by the
+//    (now permitted) illegal access must not steer later control flow, which
+//    holds because the benchmarks' aftermath is address-independent.
+#pragma once
+
+#include <optional>
+
+#include "rtl/golden.h"
+#include "soc/benchmark.h"
+
+namespace fav::mc {
+
+class AnalyticalEvaluator {
+ public:
+  /// `golden` must be the golden run of `bench.program`; both must outlive
+  /// this object.
+  AnalyticalEvaluator(const soc::SecurityBenchmark& bench,
+                      const rtl::GoldenRun& golden);
+
+  /// Decides the attack outcome for a fault whose post-injection state is
+  /// `faulty` (architectural state at the beginning of cycle
+  /// `first_faulty_cycle`). Returns nullopt when the preconditions do not
+  /// hold and RTL simulation is required.
+  std::optional<bool> evaluate(const rtl::ArchState& faulty,
+                               std::uint64_t first_faulty_cycle) const;
+
+  std::uint64_t target_cycle() const { return target_cycle_; }
+
+ private:
+  const soc::SecurityBenchmark* bench_;
+  const rtl::GoldenRun* golden_;
+  std::uint64_t target_cycle_ = 0;
+};
+
+}  // namespace fav::mc

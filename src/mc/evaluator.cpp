@@ -1,0 +1,166 @@
+#include "mc/evaluator.h"
+
+#include <set>
+#include <unordered_set>
+
+namespace fav::mc {
+
+using rtl::Machine;
+using rtl::RegisterMap;
+
+SsfEvaluator::SsfEvaluator(
+    const soc::SocNetlist& soc, const layout::Placement& placement,
+    const faultsim::InjectionSimulator& injector,
+    const soc::SecurityBenchmark& bench, const rtl::GoldenRun& golden,
+    const precharac::RegisterCharacterization* characterization,
+    const EvaluatorConfig& config)
+    : soc_(&soc),
+      placement_(&placement),
+      injector_(&injector),
+      bench_(&bench),
+      golden_(&golden),
+      charac_(characterization),
+      config_(config),
+      analytical_(bench, golden) {
+  target_cycle_ = analytical_.target_cycle();
+  FAV_CHECK(config.trace_stride > 0);
+}
+
+bool SsfEvaluator::decide_outcome(rtl::Machine& machine,
+                                  const std::vector<int>& flips,
+                                  std::uint64_t first_faulty_cycle,
+                                  OutcomePath* path) const {
+  if (flips.empty()) {
+    if (path != nullptr) *path = OutcomePath::kMasked;
+    return false;
+  }
+  if (config_.use_analytical && charac_ != nullptr) {
+    bool all_memory_type = true;
+    for (const int bit : flips) {
+      if (!charac_->is_memory_type(bit)) {
+        all_memory_type = false;
+        break;
+      }
+    }
+    if (all_memory_type) {
+      const auto verdict =
+          analytical_.evaluate(machine.state(), first_faulty_cycle);
+      if (verdict.has_value()) {
+        if (path != nullptr) *path = OutcomePath::kAnalytical;
+        return *verdict;
+      }
+    }
+  }
+  if (path != nullptr) *path = OutcomePath::kRtl;
+  while (!machine.halted() && machine.cycle() < bench_->max_cycles) {
+    machine.step();
+  }
+  return bench_->attack_succeeded(machine.state(), machine.ram());
+}
+
+bool SsfEvaluator::outcome_for_flips(std::uint64_t te,
+                                     const std::vector<int>& flips,
+                                     OutcomePath* path) const {
+  const RegisterMap& map = Machine::reg_map();
+  if (flips.empty()) {
+    if (path != nullptr) *path = OutcomePath::kMasked;
+    return false;
+  }
+  // Execute the injection cycle at RTL level, then overlay the latched
+  // errors: they take effect from cycle te+1 (Fig. 5 step 5).
+  Machine machine = golden_->restore(te);
+  machine.step();
+  for (const int bit : flips) map.flip_bit(machine.mutable_state(), bit);
+  return decide_outcome(machine, flips, te + 1, path);
+}
+
+SampleRecord SsfEvaluator::evaluate_sample(
+    const faultsim::FaultSample& sample) const {
+  SampleRecord rec;
+  rec.sample = sample;
+  FAV_CHECK_MSG(sample.t >= 0, "negative timing distance not supported");
+  if (static_cast<std::uint64_t>(sample.t) > target_cycle_) {
+    // Injection before the program starts: nothing to strike.
+    rec.te = 0;
+    rec.path = OutcomePath::kMasked;
+    return rec;
+  }
+  rec.te = target_cycle_ - static_cast<std::uint64_t>(sample.t);
+
+  // Gate-level injection cycle(s). Multi-cycle impact (sample.impact_cycles
+  // > 1) strikes the same spot on consecutive cycles: each cycle is settled
+  // on the *already-corrupted* state, its latched errors overlaid, and the
+  // machine advanced — the paper's "multi-cycle impact" extension.
+  FAV_CHECK_MSG(sample.impact_cycles >= 1, "impact_cycles must be >= 1");
+  const auto struck = placement_->nodes_within(sample.center, sample.radius);
+  const double strike_time =
+      sample.strike_frac * injector_->timing().clock_period();
+  const RegisterMap& map = Machine::reg_map();
+
+  Machine machine = golden_->restore(rec.te);
+  soc::GateLevelMachine gate(*soc_, golden_->program());
+  std::set<int> flipped;
+  for (int j = 0; j < sample.impact_cycles && !machine.halted(); ++j) {
+    gate.load_state(machine.state());
+    gate.mutable_ram() = machine.ram();
+    gate.settle_inputs();
+    const auto inj = injector_->inject(gate.sim(), struck, strike_time);
+    machine.step();
+    for (const netlist::NodeId dff : inj.flipped_dffs) {
+      const int bit = soc_->flat_bit_for_dff(dff);
+      FAV_CHECK(bit >= 0);
+      map.flip_bit(machine.mutable_state(), bit);
+      flipped.insert(bit);
+    }
+  }
+  rec.flipped_bits.assign(flipped.begin(), flipped.end());
+
+  // `machine` is already positioned just past the last injection cycle with
+  // every latched error overlaid; for impact_cycles == 1 this is exactly the
+  // state outcome_for_flips would reconstruct.
+  rec.success = decide_outcome(
+      machine, rec.flipped_bits,
+      rec.te + static_cast<std::uint64_t>(sample.impact_cycles), &rec.path);
+  rec.contribution = rec.success ? sample.weight : 0.0;
+  return rec;
+}
+
+SsfResult SsfEvaluator::run(Sampler& sampler, Rng& rng, std::size_t n) const {
+  const RegisterMap& map = Machine::reg_map();
+  SsfResult result;
+  for (std::size_t i = 0; i < n; ++i) {
+    SampleRecord rec = evaluate_sample(sampler.draw(rng));
+    result.stats.add(rec.contribution);
+    switch (rec.path) {
+      case OutcomePath::kMasked: ++result.masked; break;
+      case OutcomePath::kAnalytical: ++result.analytical; break;
+      case OutcomePath::kRtl: ++result.rtl; break;
+    }
+    if (rec.success) {
+      ++result.successes;
+      std::unordered_set<int> fields;
+      for (const int bit : rec.flipped_bits) {
+        fields.insert(map.locate(bit).first);
+      }
+      if (!fields.empty()) {
+        const double share =
+            rec.contribution / static_cast<double>(fields.size());
+        for (const int f : fields) result.field_contribution[f] += share;
+      }
+      if (!rec.flipped_bits.empty()) {
+        const double share =
+            rec.contribution / static_cast<double>(rec.flipped_bits.size());
+        for (const int bit : rec.flipped_bits) {
+          result.bit_contribution[bit] += share;
+        }
+      }
+    }
+    if ((i + 1) % config_.trace_stride == 0) {
+      result.trace.push_back(result.stats.mean());
+    }
+    if (config_.keep_records) result.records.push_back(std::move(rec));
+  }
+  return result;
+}
+
+}  // namespace fav::mc

@@ -1,0 +1,121 @@
+// Cross-level Monte Carlo SSF evaluation engine (paper Fig. 5).
+//
+// For each fault sample (t, p):
+//   1. Te = Tt - t; restore the RTL machine from the nearest golden
+//      checkpoint and warm up to Te,
+//   2. hand the state to the gate level, settle the injection cycle, and run
+//      the transient simulation to obtain the latched bit errors,
+//   3. if no bits flipped            -> masked, e = 0,
+//      if only memory-type bits flip -> analytical evaluation,
+//      otherwise                     -> inject the errors back into the RTL
+//                                       model, resume to completion, apply
+//                                       the benchmark's success oracle,
+//   4. accumulate e * (f/g) into the importance-weighted SSF estimate.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "faultsim/injection.h"
+#include "layout/placement.h"
+#include "mc/analytical.h"
+#include "mc/samplers.h"
+#include "precharac/characterize.h"
+#include "rtl/golden.h"
+#include "soc/gate_machine.h"
+#include "util/stats.h"
+
+namespace fav::mc {
+
+enum class OutcomePath {
+  kMasked,      // no latched error
+  kAnalytical,  // memory-type-only error, decided without simulation
+  kRtl,         // required RTL-level resumption
+};
+
+struct SampleRecord {
+  faultsim::FaultSample sample;
+  std::uint64_t te = 0;
+  std::vector<int> flipped_bits;  // flat register-map bits
+  OutcomePath path = OutcomePath::kMasked;
+  bool success = false;
+  double contribution = 0.0;  // e * importance weight
+};
+
+struct SsfResult {
+  RunningStats stats;  // over per-sample contributions
+  std::size_t masked = 0;
+  std::size_t analytical = 0;
+  std::size_t rtl = 0;
+  std::size_t successes = 0;
+  /// Running estimate recorded every `trace_stride` samples (Fig. 9a).
+  std::vector<double> trace;
+  std::vector<SampleRecord> records;
+  /// SSF attribution: each success's contribution is split equally among
+  /// the flipped bits (= DFF cells) and, in parallel, among the flipped
+  /// register fields. Bit granularity drives hardening (each bit is a
+  /// standard cell that can be swapped for a resilient one); field
+  /// granularity is for human-readable reports.
+  std::map<int, double> bit_contribution;
+  std::map<int, double> field_contribution;
+
+  double ssf() const { return stats.mean(); }
+  double sample_variance() const { return stats.variance(); }
+};
+
+struct EvaluatorConfig {
+  /// Enables the analytical shortcut for memory-type-only errors.
+  bool use_analytical = true;
+  /// Record the running estimate every this many samples.
+  std::size_t trace_stride = 50;
+  /// Keep full per-sample records (needed for hardening re-evaluation).
+  bool keep_records = true;
+};
+
+class SsfEvaluator {
+ public:
+  /// `characterization` may be null: the analytical path is then disabled
+  /// (every unmasked sample resumes at RTL level). All references must
+  /// outlive the evaluator.
+  SsfEvaluator(const soc::SocNetlist& soc, const layout::Placement& placement,
+               const faultsim::InjectionSimulator& injector,
+               const soc::SecurityBenchmark& bench,
+               const rtl::GoldenRun& golden,
+               const precharac::RegisterCharacterization* characterization,
+               const EvaluatorConfig& config = {});
+
+  std::uint64_t target_cycle() const { return target_cycle_; }
+  const rtl::GoldenRun& golden() const { return *golden_; }
+  const soc::SecurityBenchmark& benchmark() const { return *bench_; }
+
+  /// Full evaluation of one fault sample.
+  SampleRecord evaluate_sample(const faultsim::FaultSample& sample) const;
+
+  /// Decides the outcome of a given flipped-bit set injected at the end of
+  /// cycle `te` (used by evaluate_sample and by hardening re-evaluation,
+  /// which filters flip sets).
+  bool outcome_for_flips(std::uint64_t te, const std::vector<int>& flips,
+                         OutcomePath* path = nullptr) const;
+
+  /// Draws `n` samples from `sampler` and accumulates the SSF estimate.
+  SsfResult run(Sampler& sampler, Rng& rng, std::size_t n) const;
+
+ private:
+  /// Shared outcome decision on a machine already positioned just past the
+  /// (last) injection cycle with the errors overlaid.
+  bool decide_outcome(rtl::Machine& machine, const std::vector<int>& flips,
+                      std::uint64_t first_faulty_cycle,
+                      OutcomePath* path) const;
+
+  const soc::SocNetlist* soc_;
+  const layout::Placement* placement_;
+  const faultsim::InjectionSimulator* injector_;
+  const soc::SecurityBenchmark* bench_;
+  const rtl::GoldenRun* golden_;
+  const precharac::RegisterCharacterization* charac_;
+  EvaluatorConfig config_;
+  AnalyticalEvaluator analytical_;
+  std::uint64_t target_cycle_ = 0;
+};
+
+}  // namespace fav::mc

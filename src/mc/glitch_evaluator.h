@@ -1,0 +1,59 @@
+// SSF evaluation for the clock-glitch technique.
+//
+// A glitch's flip set is a deterministic function of (cycle, depth): no
+// spatial or intra-cycle randomness. The evaluator therefore supports both
+// Monte Carlo estimation over the holistic model (uniform t and depth) and
+// exact SSF computation by exhaustive enumeration of the attack space —
+// a useful cross-check of the sampling machinery and a capability the paper
+// notes deterministic techniques admit.
+#pragma once
+
+#include "faultsim/clock_glitch.h"
+#include "mc/evaluator.h"
+
+namespace fav::mc {
+
+struct GlitchSampleRecord {
+  int t = 0;
+  double depth = 0;
+  std::uint64_t te = 0;
+  std::vector<int> flipped_bits;
+  OutcomePath path = OutcomePath::kMasked;
+  bool success = false;
+};
+
+struct GlitchSsfResult {
+  RunningStats stats;
+  std::size_t successes = 0;
+  std::vector<GlitchSampleRecord> records;
+
+  double ssf() const { return stats.mean(); }
+};
+
+class ClockGlitchEvaluator {
+ public:
+  /// `base` supplies the benchmark, golden run, analytical path, and the
+  /// DFF binding; all references must outlive this object.
+  ClockGlitchEvaluator(const SsfEvaluator& base, const soc::SocNetlist& soc,
+                       const faultsim::ClockGlitchSimulator& glitch);
+
+  /// Outcome of one glitch attack at timing distance t with the given depth
+  /// (fraction of the nominal clock period).
+  GlitchSampleRecord evaluate(int t, double depth) const;
+
+  /// Plain Monte Carlo over the holistic glitch model.
+  GlitchSsfResult run(const faultsim::ClockGlitchAttackModel& model, Rng& rng,
+                      std::size_t n) const;
+
+  /// Exact SSF: enumerates every (t, depth) of the (finite, deterministic)
+  /// attack space and averages the outcomes under the uniform model.
+  GlitchSsfResult evaluate_exact(
+      const faultsim::ClockGlitchAttackModel& model) const;
+
+ private:
+  const SsfEvaluator* base_;
+  const soc::SocNetlist* soc_;
+  const faultsim::ClockGlitchSimulator* glitch_;
+};
+
+}  // namespace fav::mc

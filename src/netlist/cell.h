@@ -1,0 +1,127 @@
+// Standard-cell vocabulary of the structural netlist IR.
+//
+// The library is deliberately small (the set a technology mapper would emit
+// for a control-dominated block): 1- and 2-input logic, a 2:1 mux, constants,
+// and a D flip-flop. Wider functions are composed by the generator layer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "util/check.h"
+
+namespace fav::netlist {
+
+enum class CellType : std::uint8_t {
+  kInput,   // primary input, no fanin
+  kConst0,  // constant 0
+  kConst1,  // constant 1
+  kBuf,     // 1 fanin
+  kNot,     // 1 fanin
+  kAnd,     // 2 fanins
+  kOr,      // 2 fanins
+  kNand,    // 2 fanins
+  kNor,     // 2 fanins
+  kXor,     // 2 fanins
+  kXnor,    // 2 fanins
+  kMux,     // 3 fanins: [sel, a, b] -> sel ? b : a
+  kDff,     // 1 fanin: D input; output is the register state
+};
+
+/// Number of fanins the cell type requires.
+constexpr int cell_arity(CellType t) {
+  switch (t) {
+    case CellType::kInput:
+    case CellType::kConst0:
+    case CellType::kConst1:
+      return 0;
+    case CellType::kBuf:
+    case CellType::kNot:
+    case CellType::kDff:
+      return 1;
+    case CellType::kAnd:
+    case CellType::kOr:
+    case CellType::kNand:
+    case CellType::kNor:
+    case CellType::kXor:
+    case CellType::kXnor:
+      return 2;
+    case CellType::kMux:
+      return 3;
+  }
+  return -1;
+}
+
+constexpr bool is_combinational_gate(CellType t) {
+  return t != CellType::kInput && t != CellType::kDff &&
+         t != CellType::kConst0 && t != CellType::kConst1;
+}
+
+constexpr bool is_source(CellType t) {
+  return t == CellType::kInput || t == CellType::kDff ||
+         t == CellType::kConst0 || t == CellType::kConst1;
+}
+
+constexpr std::string_view cell_name(CellType t) {
+  switch (t) {
+    case CellType::kInput: return "INPUT";
+    case CellType::kConst0: return "CONST0";
+    case CellType::kConst1: return "CONST1";
+    case CellType::kBuf: return "BUF";
+    case CellType::kNot: return "NOT";
+    case CellType::kAnd: return "AND";
+    case CellType::kOr: return "OR";
+    case CellType::kNand: return "NAND";
+    case CellType::kNor: return "NOR";
+    case CellType::kXor: return "XOR";
+    case CellType::kXnor: return "XNOR";
+    case CellType::kMux: return "MUX";
+    case CellType::kDff: return "DFF";
+  }
+  return "?";
+}
+
+/// Evaluates a combinational cell on concrete input values.
+/// `ins` must have exactly cell_arity(t) entries; not valid for sources.
+inline bool eval_cell(CellType t, std::span<const bool> ins) {
+  FAV_CHECK_MSG(static_cast<int>(ins.size()) == cell_arity(t),
+                "arity mismatch for " << cell_name(t));
+  switch (t) {
+    case CellType::kBuf: return ins[0];
+    case CellType::kNot: return !ins[0];
+    case CellType::kAnd: return ins[0] && ins[1];
+    case CellType::kOr: return ins[0] || ins[1];
+    case CellType::kNand: return !(ins[0] && ins[1]);
+    case CellType::kNor: return !(ins[0] || ins[1]);
+    case CellType::kXor: return ins[0] != ins[1];
+    case CellType::kXnor: return ins[0] == ins[1];
+    case CellType::kMux: return ins[0] ? ins[2] : ins[1];
+    default:
+      FAV_CHECK_MSG(false, "eval_cell on non-combinational " << cell_name(t));
+  }
+  return false;
+}
+
+/// True if input position `pin` holding value `v` forces the output of the
+/// cell regardless of the other inputs (used for logical-masking analysis in
+/// the gate-level transient propagation).
+inline bool is_controlling_value(CellType t, int pin, bool v) {
+  switch (t) {
+    case CellType::kAnd:
+    case CellType::kNand:
+      return v == false;
+    case CellType::kOr:
+    case CellType::kNor:
+      return v == true;
+    case CellType::kMux:
+      // Data pins never control alone; the select pin picks a side but the
+      // output still depends on that side's data, so nothing controls.
+      (void)pin;
+      return false;
+    default:
+      return false;  // BUF/NOT/XOR/XNOR have no controlling values
+  }
+}
+
+}  // namespace fav::netlist

@@ -1,0 +1,158 @@
+#include "netlist/cones.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace fav::netlist {
+
+namespace {
+
+struct Visit {
+  NodeId node;
+  int frame;
+};
+
+}  // namespace
+
+UnrolledCone::UnrolledCone(const Netlist& nl, NodeId responding_signal,
+                           int fanin_depth, int fanout_depth)
+    : rs_(responding_signal), fanout_depth_(fanout_depth) {
+  FAV_CHECK(fanin_depth >= 0);
+  FAV_CHECK(fanout_depth >= 0);
+  FAV_CHECK_MSG(responding_signal < nl.node_count(),
+                "responding signal id out of range");
+
+  fanin_.resize(static_cast<std::size_t>(fanin_depth) + 1);
+  for (int i = 0; i <= fanin_depth; ++i) fanin_[static_cast<std::size_t>(i)].frame = i;
+  fanout_.resize(static_cast<std::size_t>(fanout_depth));
+  for (int i = 0; i < fanout_depth; ++i) {
+    fanout_[static_cast<std::size_t>(i)].frame = -(i + 1);
+  }
+  members_.resize(static_cast<std::size_t>(fanin_depth + fanout_depth) + 1);
+
+  extract_fanin(nl, fanin_depth);
+  extract_fanout(nl, fanout_depth);
+
+  auto sort_frame = [](ConeFrame& f) {
+    std::sort(f.gates.begin(), f.gates.end());
+    std::sort(f.registers.begin(), f.registers.end());
+  };
+  for (auto& f : fanin_) sort_frame(f);
+  for (auto& f : fanout_) sort_frame(f);
+}
+
+const ConeFrame& UnrolledCone::frame(int frame_index) const {
+  FAV_CHECK_MSG(has_frame(frame_index), "frame " << frame_index << " not extracted");
+  if (frame_index >= 0) return fanin_[static_cast<std::size_t>(frame_index)];
+  return fanout_[static_cast<std::size_t>(-frame_index - 1)];
+}
+
+bool UnrolledCone::has_frame(int frame_index) const {
+  return frame_index >= -fanout_depth_ &&
+         frame_index <= static_cast<int>(fanin_.size()) - 1;
+}
+
+bool UnrolledCone::contains(int frame_index, NodeId node) const {
+  if (!has_frame(frame_index)) return false;
+  const auto offset = static_cast<std::size_t>(frame_index + fanout_depth_);
+  return members_[offset].count(node) > 0;
+}
+
+std::vector<NodeId> UnrolledCone::all_fanin_registers() const {
+  std::unordered_set<NodeId> seen;
+  for (const auto& f : fanin_) seen.insert(f.registers.begin(), f.registers.end());
+  std::vector<NodeId> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeId> UnrolledCone::all_fanin_gates() const {
+  std::unordered_set<NodeId> seen;
+  for (const auto& f : fanin_) seen.insert(f.gates.begin(), f.gates.end());
+  std::vector<NodeId> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void UnrolledCone::extract_fanin(const Netlist& nl, int depth) {
+  std::deque<Visit> queue;
+  queue.push_back({rs_, 0});
+  auto offset = [&](int frame) {
+    return static_cast<std::size_t>(frame + fanout_depth_);
+  };
+
+  while (!queue.empty()) {
+    const auto [id, frame] = queue.front();
+    queue.pop_front();
+    if (!members_[offset(frame)].insert(id).second) continue;
+
+    const Node& n = nl.node(id);
+    auto& cf = fanin_[static_cast<std::size_t>(frame)];
+    if (n.type == CellType::kDff) {
+      cf.registers.push_back(id);
+      // A fault stored in this DFF at `frame` was injected into its D-input
+      // logic one cycle earlier.
+      if (frame + 1 <= depth) {
+        for (NodeId f : n.fanins) queue.push_back({f, frame + 1});
+      }
+    } else if (is_combinational_gate(n.type)) {
+      cf.gates.push_back(id);
+      for (NodeId f : n.fanins) queue.push_back({f, frame});
+    }
+    // primary inputs / constants terminate the traversal
+  }
+}
+
+void UnrolledCone::extract_fanout(const Netlist& nl, int depth) {
+  const auto& fanouts = nl.fanouts();
+  std::deque<Visit> queue;
+  queue.push_back({rs_, 0});
+  // Forward traversal needs its own visited set: a node can legitimately be
+  // in both the fanin and the fanout cone of the same frame (reconvergence
+  // through the responding signal), and frame-0 membership was already
+  // claimed by extract_fanin for the fanin side.
+  std::vector<std::unordered_set<NodeId>> seen(
+      static_cast<std::size_t>(depth) + 1);
+
+  while (!queue.empty()) {
+    const auto [id, frame] = queue.front();
+    queue.pop_front();
+    if (!seen[static_cast<std::size_t>(-frame)].insert(id).second) continue;
+
+    for (const auto& e : fanouts[id]) {
+      const Node& c = nl.node(e.consumer);
+      if (c.type == CellType::kDff) {
+        // Value latched at the end of `frame` influences the next cycle.
+        const int next = frame - 1;
+        if (next < -depth) continue;
+        auto& cf = fanout_[static_cast<std::size_t>(-next - 1)];
+        if (members_[static_cast<std::size_t>(next + fanout_depth_)]
+                .insert(e.consumer)
+                .second) {
+          cf.registers.push_back(e.consumer);
+        }
+        queue.push_back({e.consumer, next});
+      } else if (is_combinational_gate(c.type)) {
+        if (frame < 0) {
+          auto& cf = fanout_[static_cast<std::size_t>(-frame - 1)];
+          if (members_[static_cast<std::size_t>(frame + fanout_depth_)]
+                  .insert(e.consumer)
+                  .second) {
+            cf.gates.push_back(e.consumer);
+          }
+        } else {
+          // Combinational fanout inside the observation cycle: timing
+          // distance is still 0, so it joins frame 0 (shared with fanin).
+          if (members_[static_cast<std::size_t>(fanout_depth_)]
+                  .insert(e.consumer)
+                  .second) {
+            fanin_[0].gates.push_back(e.consumer);
+          }
+        }
+        queue.push_back({e.consumer, frame});
+      }
+    }
+  }
+}
+
+}  // namespace fav::netlist

@@ -1,0 +1,30 @@
+#include "netlist/dot.h"
+
+namespace fav::netlist {
+
+void write_dot(const Netlist& nl, std::ostream& os,
+               const std::string& graph_name) {
+  os << "digraph " << graph_name << " {\n  rankdir=LR;\n";
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    const Node& n = nl.node(id);
+    const char* shape = "ellipse";
+    if (n.type == CellType::kDff) shape = "box";
+    if (n.type == CellType::kInput) shape = "invtriangle";
+    os << "  n" << id << " [shape=" << shape << ", label=\""
+       << cell_name(n.type);
+    if (!n.name.empty()) os << "\\n" << n.name;
+    os << "\"];\n";
+  }
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    for (NodeId f : nl.node(id).fanins) {
+      os << "  n" << f << " -> n" << id << ";\n";
+    }
+  }
+  for (const auto& [name, id] : nl.outputs()) {
+    os << "  out_" << name << " [shape=plaintext, label=\"" << name
+       << "\"];\n  n" << id << " -> out_" << name << ";\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace fav::netlist

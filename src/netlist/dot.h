@@ -1,0 +1,15 @@
+// Graphviz DOT export for debugging and documentation.
+#pragma once
+
+#include <ostream>
+
+#include "netlist/netlist.h"
+
+namespace fav::netlist {
+
+/// Writes the netlist as a DOT digraph. DFFs are drawn as boxes, primary
+/// inputs as triangles, gates as ellipses labelled with their cell type.
+void write_dot(const Netlist& nl, std::ostream& os,
+               const std::string& graph_name = "netlist");
+
+}  // namespace fav::netlist

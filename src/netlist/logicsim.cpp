@@ -1,0 +1,80 @@
+#include "netlist/logicsim.h"
+
+namespace fav::netlist {
+
+LogicSimulator::LogicSimulator(const Netlist& nl)
+    : nl_(&nl), values_(nl.node_count(), 0) {
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    if (nl.node(id).type == CellType::kConst1) values_[id] = 1;
+  }
+  nl.topo_order();  // force cycle check up-front
+}
+
+bool LogicSimulator::value(NodeId id) const {
+  FAV_CHECK(id < values_.size());
+  return values_[id] != 0;
+}
+
+void LogicSimulator::set_register(NodeId dff, bool value) {
+  FAV_CHECK_MSG(nl_->is_dff(dff), "node is not a DFF");
+  values_[dff] = value ? 1 : 0;
+}
+
+void LogicSimulator::set_input(NodeId input, bool value) {
+  FAV_CHECK_MSG(nl_->node(input).type == CellType::kInput,
+                "node is not a primary input");
+  values_[input] = value ? 1 : 0;
+}
+
+void LogicSimulator::set_input(const std::string& name, bool value) {
+  set_input(nl_->find_or_throw(name), value);
+}
+
+void LogicSimulator::evaluate_comb() {
+  for (NodeId id : nl_->topo_order()) {
+    const Node& n = nl_->node(id);
+    bool ins[3];
+    for (std::size_t i = 0; i < n.fanins.size(); ++i) {
+      ins[i] = values_[n.fanins[i]] != 0;
+    }
+    values_[id] = eval_cell(n.type, {ins, n.fanins.size()}) ? 1 : 0;
+  }
+}
+
+void LogicSimulator::clock_edge() {
+  // Two passes so that DFF-to-DFF chains latch the pre-edge values.
+  std::vector<char> next(nl_->dffs().size());
+  std::size_t k = 0;
+  for (NodeId dff : nl_->dffs()) {
+    const Node& n = nl_->node(dff);
+    FAV_CHECK_MSG(!n.fanins.empty(), "DFF '" << n.name << "' has no D input");
+    next[k++] = values_[n.fanins[0]];
+  }
+  k = 0;
+  for (NodeId dff : nl_->dffs()) values_[dff] = next[k++];
+}
+
+void LogicSimulator::step() {
+  evaluate_comb();
+  clock_edge();
+}
+
+bool LogicSimulator::output(const std::string& name) const {
+  return value(nl_->find_or_throw(name));
+}
+
+std::vector<bool> LogicSimulator::register_state() const {
+  std::vector<bool> out;
+  out.reserve(nl_->dffs().size());
+  for (NodeId dff : nl_->dffs()) out.push_back(values_[dff] != 0);
+  return out;
+}
+
+void LogicSimulator::load_register_state(const std::vector<bool>& state) {
+  FAV_CHECK_MSG(state.size() == nl_->dffs().size(),
+                "register state size mismatch");
+  std::size_t k = 0;
+  for (NodeId dff : nl_->dffs()) values_[dff] = state[k++] ? 1 : 0;
+}
+
+}  // namespace fav::netlist

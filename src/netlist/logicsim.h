@@ -1,0 +1,53 @@
+// Two-valued, levelized (oblivious) logic simulator over a Netlist.
+//
+// This is the zero-delay gate-level simulator used for:
+//  * switching-signature recording during pre-characterization,
+//  * golden per-node values inside the fault-injection cycle (the timing
+//    simulator needs side-input values for logical masking),
+//  * lock-step equivalence checks against the behavioural RTL model.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace fav::netlist {
+
+class LogicSimulator {
+ public:
+  explicit LogicSimulator(const Netlist& nl);
+
+  const Netlist& netlist() const { return *nl_; }
+
+  /// Direct state access (registers may be overwritten to load checkpoints
+  /// or to inject bit errors back into the sequential state).
+  bool value(NodeId id) const;
+  void set_register(NodeId dff, bool value);
+  void set_input(NodeId input, bool value);
+  void set_input(const std::string& name, bool value);
+
+  /// Recomputes all combinational nodes from current inputs + registers.
+  void evaluate_comb();
+
+  /// Clock edge: latches every DFF's D value into its state. Callers must
+  /// have run evaluate_comb() since the last input/state change.
+  void clock_edge();
+
+  /// Convenience: evaluate_comb() then clock_edge().
+  void step();
+
+  /// Reads a named output net (after evaluate_comb()).
+  bool output(const std::string& name) const;
+
+  /// Snapshot of all DFF states in Netlist::dffs() order.
+  std::vector<bool> register_state() const;
+  void load_register_state(const std::vector<bool>& state);
+
+ private:
+  const Netlist* nl_;
+  std::vector<char> values_;  // char (not vector<bool>) for fast access
+};
+
+}  // namespace fav::netlist

@@ -1,0 +1,190 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace fav::netlist {
+
+NodeId Netlist::add_input(std::string name) {
+  FAV_CHECK_MSG(!name.empty(), "primary inputs must be named");
+  Node n;
+  n.type = CellType::kInput;
+  n.name = std::move(name);
+  const NodeId id = add_node(std::move(n));
+  inputs_.push_back(id);
+  return id;
+}
+
+NodeId Netlist::add_const(bool value) {
+  Node n;
+  n.type = value ? CellType::kConst1 : CellType::kConst0;
+  return add_node(std::move(n));
+}
+
+NodeId Netlist::add_gate(CellType type, std::vector<NodeId> fanins,
+                         std::string name) {
+  FAV_CHECK_MSG(is_combinational_gate(type),
+                "add_gate requires a combinational type, got "
+                    << cell_name(type));
+  FAV_CHECK_MSG(static_cast<int>(fanins.size()) == cell_arity(type),
+                cell_name(type) << " needs " << cell_arity(type)
+                                << " fanins, got " << fanins.size());
+  for (NodeId f : fanins) {
+    FAV_CHECK_MSG(f < nodes_.size(), "fanin id " << f << " does not exist");
+  }
+  Node n;
+  n.type = type;
+  n.fanins = std::move(fanins);
+  n.name = std::move(name);
+  ++gate_count_;
+  return add_node(std::move(n));
+}
+
+NodeId Netlist::add_dff(std::string name) {
+  FAV_CHECK_MSG(!name.empty(), "DFFs must be named");
+  Node n;
+  n.type = CellType::kDff;
+  n.name = std::move(name);
+  const NodeId id = add_node(std::move(n));
+  dffs_.push_back(id);
+  return id;
+}
+
+void Netlist::connect_dff(NodeId dff, NodeId d_input) {
+  FAV_CHECK_MSG(dff < nodes_.size() && nodes_[dff].type == CellType::kDff,
+                "connect_dff target is not a DFF");
+  FAV_CHECK_MSG(d_input < nodes_.size(), "D input does not exist");
+  FAV_CHECK_MSG(nodes_[dff].fanins.empty(),
+                "DFF '" << nodes_[dff].name << "' already connected");
+  nodes_[dff].fanins.push_back(d_input);
+  invalidate_caches();
+}
+
+void Netlist::set_output(std::string name, NodeId node) {
+  FAV_CHECK_MSG(node < nodes_.size(), "output net does not exist");
+  FAV_CHECK_MSG(!name.empty(), "outputs must be named");
+  outputs_.emplace_back(std::move(name), node);
+}
+
+const Node& Netlist::node(NodeId id) const {
+  FAV_CHECK_MSG(id < nodes_.size(), "node id " << id << " out of range");
+  return nodes_[id];
+}
+
+std::optional<NodeId> Netlist::find(const std::string& name) const {
+  if (const auto it = by_name_.find(name); it != by_name_.end()) {
+    return it->second;
+  }
+  for (const auto& [oname, id] : outputs_) {
+    if (oname == name) return id;
+  }
+  return std::nullopt;
+}
+
+NodeId Netlist::find_or_throw(const std::string& name) const {
+  const auto id = find(name);
+  FAV_CHECK_MSG(id.has_value(), "no node named '" << name << "'");
+  return *id;
+}
+
+const std::vector<std::vector<Netlist::FanoutEdge>>& Netlist::fanouts() const {
+  build_derived();
+  return fanouts_;
+}
+
+const std::vector<NodeId>& Netlist::topo_order() const {
+  build_derived();
+  return topo_;
+}
+
+const std::vector<int>& Netlist::levels() const {
+  build_derived();
+  return levels_;
+}
+
+int Netlist::max_level() const {
+  build_derived();
+  int m = 0;
+  for (int l : levels_) m = std::max(m, l);
+  return m;
+}
+
+void Netlist::validate() const {
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    FAV_CHECK_MSG(static_cast<int>(n.fanins.size()) == cell_arity(n.type),
+                  "node " << id << " (" << cell_name(n.type) << " '" << n.name
+                          << "') has " << n.fanins.size() << " fanins, needs "
+                          << cell_arity(n.type));
+    for (NodeId f : n.fanins) {
+      FAV_CHECK_MSG(f < nodes_.size(),
+                    "node " << id << " references missing fanin " << f);
+    }
+  }
+  build_derived();  // throws on combinational cycles
+}
+
+NodeId Netlist::add_node(Node n) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  FAV_CHECK_MSG(nodes_.size() < kInvalidNode, "netlist too large");
+  if (!n.name.empty()) {
+    const auto [it, inserted] = by_name_.emplace(n.name, id);
+    FAV_CHECK_MSG(inserted, "duplicate node name '" << n.name << "'");
+    (void)it;
+  }
+  nodes_.push_back(std::move(n));
+  invalidate_caches();
+  return id;
+}
+
+void Netlist::invalidate_caches() { derived_valid_ = false; }
+
+void Netlist::build_derived() const {
+  if (derived_valid_) return;
+
+  fanouts_.assign(nodes_.size(), {});
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    for (int pin = 0; pin < static_cast<int>(n.fanins.size()); ++pin) {
+      fanouts_[n.fanins[pin]].push_back({id, pin});
+    }
+  }
+
+  // Kahn's algorithm over combinational gates. Sources (PIs, DFF outputs,
+  // constants) have no combinational dependencies.
+  std::vector<int> pending(nodes_.size(), 0);
+  std::deque<NodeId> ready;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (!is_combinational_gate(n.type)) continue;
+    int deps = 0;
+    for (NodeId f : n.fanins) {
+      if (is_combinational_gate(nodes_[f].type)) ++deps;
+    }
+    pending[id] = deps;
+    if (deps == 0) ready.push_back(id);
+  }
+
+  topo_.clear();
+  topo_.reserve(gate_count_);
+  levels_.assign(nodes_.size(), 0);
+  while (!ready.empty()) {
+    const NodeId id = ready.front();
+    ready.pop_front();
+    topo_.push_back(id);
+    int lvl = 0;
+    for (NodeId f : nodes_[id].fanins) lvl = std::max(lvl, levels_[f]);
+    levels_[id] = lvl + 1;
+    for (const FanoutEdge& e : fanouts_[id]) {
+      if (!is_combinational_gate(nodes_[e.consumer].type)) continue;
+      if (--pending[e.consumer] == 0) ready.push_back(e.consumer);
+    }
+  }
+  FAV_CHECK_MSG(topo_.size() == gate_count_,
+                "combinational cycle detected: only " << topo_.size() << " of "
+                                                      << gate_count_
+                                                      << " gates ordered");
+  derived_valid_ = true;
+}
+
+}  // namespace fav::netlist

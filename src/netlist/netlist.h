@@ -1,0 +1,102 @@
+// Structural gate-level netlist IR.
+//
+// A Netlist is a DAG of cells (plus DFFs, which break combinational cycles):
+// each node produces exactly one net, identified by the node id. DFF nodes
+// represent the register *output*; their single fanin is the D input net.
+// Primary outputs are named references to existing nets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/cell.h"
+
+namespace fav::netlist {
+
+using NodeId = std::uint32_t;
+constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+
+struct Node {
+  CellType type = CellType::kBuf;
+  std::vector<NodeId> fanins;
+  std::string name;  // optional; DFFs and PIs always named
+};
+
+class Netlist {
+ public:
+  /// --- construction ---------------------------------------------------
+  NodeId add_input(std::string name);
+  NodeId add_const(bool value);
+  /// Adds a combinational gate. Fanins must already exist.
+  NodeId add_gate(CellType type, std::vector<NodeId> fanins,
+                  std::string name = {});
+  /// Adds a DFF whose D input will be connected later via connect_dff.
+  /// Useful because register feedback loops need forward references.
+  NodeId add_dff(std::string name);
+  void connect_dff(NodeId dff, NodeId d_input);
+  /// Declares `node`'s net as a named primary output.
+  void set_output(std::string name, NodeId node);
+
+  /// --- structure queries ----------------------------------------------
+  std::size_t node_count() const { return nodes_.size(); }
+  const Node& node(NodeId id) const;
+  bool is_dff(NodeId id) const { return node(id).type == CellType::kDff; }
+  bool is_comb_gate(NodeId id) const {
+    return is_combinational_gate(node(id).type);
+  }
+
+  const std::vector<NodeId>& inputs() const { return inputs_; }
+  const std::vector<NodeId>& dffs() const { return dffs_; }
+  const std::vector<std::pair<std::string, NodeId>>& outputs() const {
+    return outputs_;
+  }
+  std::size_t gate_count() const { return gate_count_; }
+
+  /// Looks up a node by name (inputs, DFFs, and named gates/outputs).
+  std::optional<NodeId> find(const std::string& name) const;
+  NodeId find_or_throw(const std::string& name) const;
+
+  /// --- derived structure (built lazily, invalidated by mutation) -------
+  /// Fanout edges: for each node, the list of (consumer, pin) pairs.
+  struct FanoutEdge {
+    NodeId consumer;
+    int pin;
+  };
+  const std::vector<std::vector<FanoutEdge>>& fanouts() const;
+
+  /// Topological order of combinational gates (sources excluded). Every
+  /// gate appears after all of its fanins. Throws CheckError if a
+  /// combinational cycle exists.
+  const std::vector<NodeId>& topo_order() const;
+
+  /// Logic level of each node: 0 for sources, 1 + max(fanin level) for gates.
+  const std::vector<int>& levels() const;
+  int max_level() const;
+
+  /// Checks arity, dangling DFF inputs, and combinational cycles.
+  /// Throws CheckError describing the first violation found.
+  void validate() const;
+
+ private:
+  NodeId add_node(Node n);
+  void invalidate_caches();
+  void build_derived() const;
+
+  std::vector<Node> nodes_;
+  std::vector<NodeId> inputs_;
+  std::vector<NodeId> dffs_;
+  std::vector<std::pair<std::string, NodeId>> outputs_;
+  std::unordered_map<std::string, NodeId> by_name_;
+  std::size_t gate_count_ = 0;
+
+  // caches
+  mutable bool derived_valid_ = false;
+  mutable std::vector<std::vector<FanoutEdge>> fanouts_;
+  mutable std::vector<NodeId> topo_;
+  mutable std::vector<int> levels_;
+};
+
+}  // namespace fav::netlist

@@ -1,0 +1,75 @@
+#include "netlist/unroll.h"
+
+namespace fav::netlist {
+
+Unroller::Unroller(const Netlist& nl, int frames)
+    : frames_(frames), orig_nodes_(nl.node_count()) {
+  FAV_CHECK_MSG(frames >= 1, "need at least one frame");
+  map_.assign(static_cast<std::size_t>(frames) * orig_nodes_, kInvalidNode);
+  auto slot = [&](NodeId orig, int frame) -> NodeId& {
+    return map_[static_cast<std::size_t>(frame) * orig_nodes_ + orig];
+  };
+
+  for (int f = 0; f < frames; ++f) {
+    const std::string suffix = "@f" + std::to_string(f);
+    // Sources first.
+    for (NodeId id = 0; id < nl.node_count(); ++id) {
+      const Node& n = nl.node(id);
+      switch (n.type) {
+        case CellType::kInput:
+          slot(id, f) = out_.add_input(n.name + suffix);
+          break;
+        case CellType::kConst0:
+        case CellType::kConst1:
+          slot(id, f) = out_.add_const(n.type == CellType::kConst1);
+          break;
+        case CellType::kDff:
+          if (f == 0) {
+            slot(id, f) = out_.add_input(n.name + "@init");
+          } else {
+            // Register output in frame f = D input value in frame f-1.
+            FAV_CHECK(!n.fanins.empty());
+            slot(id, f) = out_.add_gate(
+                CellType::kBuf, {slot(n.fanins[0], f - 1)}, n.name + suffix);
+          }
+          break;
+        default:
+          break;  // gates handled below in topological order
+      }
+    }
+    for (NodeId id : nl.topo_order()) {
+      const Node& n = nl.node(id);
+      std::vector<NodeId> fanins;
+      fanins.reserve(n.fanins.size());
+      for (NodeId fin : n.fanins) {
+        FAV_CHECK_MSG(slot(fin, f) != kInvalidNode,
+                      "fanin not yet elaborated in frame " << f);
+        fanins.push_back(slot(fin, f));
+      }
+      slot(id, f) =
+          out_.add_gate(n.type, std::move(fanins),
+                        n.name.empty() ? std::string{} : n.name + suffix);
+    }
+  }
+
+  // Expose each original output in every frame.
+  for (const auto& [name, id] : nl.outputs()) {
+    for (int f = 0; f < frames; ++f) {
+      out_.set_output(name + "@f" + std::to_string(f), slot(id, f));
+    }
+  }
+}
+
+NodeId Unroller::at(NodeId orig, int frame) const {
+  FAV_CHECK_MSG(frame >= 0 && frame < frames_, "frame out of range");
+  FAV_CHECK_MSG(orig < orig_nodes_, "node out of range");
+  const NodeId id = map_[static_cast<std::size_t>(frame) * orig_nodes_ + orig];
+  FAV_CHECK(id != kInvalidNode);
+  return id;
+}
+
+NodeId Unroller::initial_state_input(NodeId orig_dff) const {
+  return at(orig_dff, 0);
+}
+
+}  // namespace fav::netlist

@@ -1,0 +1,42 @@
+// Explicit sequential unrolling: materializes k time-frames of a netlist as
+// one purely combinational netlist.
+//
+// Frame f's copy of each gate computes cycle f's value; DFF outputs of frame
+// 0 become primary inputs (the initial state), and DFF outputs of frame f>0
+// are driven by the D-input copy of frame f-1. The paper's
+// pre-characterization traverses the unrolled netlist; most of the framework
+// uses the implicit traversal in cones.h, but the explicit form is exposed
+// for BMC-style analyses and for cross-checking the implicit cone extraction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace fav::netlist {
+
+class Unroller {
+ public:
+  /// Unrolls `nl` for `frames` >= 1 time frames.
+  Unroller(const Netlist& nl, int frames);
+
+  const Netlist& unrolled() const { return out_; }
+  int frames() const { return frames_; }
+
+  /// Node in the unrolled netlist computing `orig`'s value at cycle `frame`.
+  /// For DFFs this is the register's *output* value in that frame.
+  NodeId at(NodeId orig, int frame) const;
+
+  /// Primary input of the unrolled netlist holding DFF `orig`'s initial
+  /// (frame 0) state.
+  NodeId initial_state_input(NodeId orig_dff) const;
+
+ private:
+  Netlist out_;
+  int frames_;
+  std::size_t orig_nodes_;
+  std::vector<NodeId> map_;  // [frame * orig_nodes_ + orig] -> unrolled id
+};
+
+}  // namespace fav::netlist

@@ -1,0 +1,28 @@
+// Structural Verilog export.
+//
+// Emits the netlist as a synthesizable structural Verilog-2001 module:
+// primary inputs and named outputs become ports, combinational cells become
+// continuous assigns, and DFFs a single posedge-clocked always block. This
+// is the interchange point with a conventional EDA flow (e.g. to re-run the
+// fault analysis netlist in a commercial simulator, or to feed it to
+// synthesis for area numbers).
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace fav::netlist {
+
+/// Writes `nl` as a Verilog module named `module_name`. Net names are
+/// `n<id>`; ports keep their (sanitized) design names, with the original
+/// name in a trailing comment where sanitization changed it.
+void write_verilog(const Netlist& nl, std::ostream& os,
+                   const std::string& module_name = "fav_top");
+
+/// Sanitizes an arbitrary design name into a legal Verilog identifier
+/// (alphanumerics and '_' only; leading digit prefixed). Exposed for tests.
+std::string verilog_identifier(const std::string& name);
+
+}  // namespace fav::netlist

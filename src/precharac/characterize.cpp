@@ -1,0 +1,106 @@
+#include "precharac/characterize.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace fav::precharac {
+
+using rtl::Machine;
+using rtl::RegisterMap;
+
+RegisterCharacterization::RegisterCharacterization(
+    const rtl::GoldenRun& golden, const CharacterizationConfig& config,
+    std::vector<int> bits)
+    : config_(config) {
+  FAV_CHECK(config.horizon > 0);
+  FAV_CHECK(config.stride > 0);
+  const RegisterMap& map = Machine::reg_map();
+  bits_.resize(static_cast<std::size_t>(map.total_bits()));
+  done_.assign(static_cast<std::size_t>(map.total_bits()), 0);
+
+  if (bits.empty()) {
+    bits.resize(static_cast<std::size_t>(map.total_bits()));
+    for (int i = 0; i < map.total_bits(); ++i) {
+      bits[static_cast<std::size_t>(i)] = i;
+    }
+  }
+
+  const std::uint64_t length = golden.length();
+  for (const int flat : bits) {
+    FAV_CHECK_MSG(flat >= 0 && flat < map.total_bits(),
+                  "flat bit " << flat << " out of range");
+    auto& bc = bits_[static_cast<std::size_t>(flat)];
+    const int origin_field = map.locate(flat).first;
+
+    for (std::uint64_t c = config.first_cycle; c < length;
+         c += config.stride) {
+      Machine m = golden.restore(c);
+      map.flip_bit(m.mutable_state(), flat);
+
+      double lifetime = static_cast<double>(config.horizon);
+      std::unordered_set<int> contaminated;
+      for (std::uint64_t k = 0; k < config.horizon; ++k) {
+        const std::uint64_t gold_cycle = std::min(c + k, length);
+        const BitVector faulty = map.pack(m.state());
+        const BitVector diff = faulty ^ golden.state_bits_at(gold_cycle);
+        if (diff.none()) {
+          lifetime = static_cast<double>(k);
+          break;
+        }
+        for (const std::size_t dbit : diff.set_bits()) {
+          const int f = map.locate(static_cast<int>(dbit)).first;
+          if (f != origin_field) contaminated.insert(f);
+        }
+        m.step();
+      }
+
+      bc.avg_lifetime += lifetime;
+      bc.max_lifetime = std::max(bc.max_lifetime, lifetime);
+      bc.avg_contamination += static_cast<double>(contaminated.size());
+      ++bc.samples;
+    }
+
+    if (bc.samples > 0) {
+      bc.avg_lifetime /= bc.samples;
+      bc.avg_contamination /= bc.samples;
+    }
+    done_[static_cast<std::size_t>(flat)] = 1;
+  }
+}
+
+bool RegisterCharacterization::characterized(int flat_bit) const {
+  FAV_CHECK(flat_bit >= 0 &&
+            flat_bit < static_cast<int>(done_.size()));
+  return done_[static_cast<std::size_t>(flat_bit)] != 0;
+}
+
+const BitCharacterization& RegisterCharacterization::bit(int flat_bit) const {
+  FAV_CHECK_MSG(characterized(flat_bit),
+                "bit " << flat_bit << " was not characterized");
+  return bits_[static_cast<std::size_t>(flat_bit)];
+}
+
+bool RegisterCharacterization::is_memory_type(int flat_bit) const {
+  if (!characterized(flat_bit)) return false;
+  const auto& bc = bits_[static_cast<std::size_t>(flat_bit)];
+  return bc.samples > 0 &&
+         bc.avg_lifetime >= config_.lifetime_threshold &&
+         bc.avg_contamination <= config_.contamination_threshold;
+}
+
+std::vector<int> RegisterCharacterization::memory_type_bits() const {
+  std::vector<int> out;
+  for (int i = 0; i < static_cast<int>(bits_.size()); ++i) {
+    if (is_memory_type(i)) out.push_back(i);
+  }
+  return out;
+}
+
+double RegisterCharacterization::lifetime(int flat_bit) const {
+  if (!characterized(flat_bit)) return 0.0;
+  return bits_[static_cast<std::size_t>(flat_bit)].avg_lifetime;
+}
+
+}  // namespace fav::precharac

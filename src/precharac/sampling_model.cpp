@@ -1,0 +1,245 @@
+#include "precharac/sampling_model.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fav::precharac {
+
+using faultsim::FaultSample;
+using netlist::CellType;
+using netlist::NodeId;
+
+SamplingModel::SamplingModel(const soc::SocNetlist& soc,
+                             const layout::Placement& placement,
+                             const netlist::UnrolledCone& cone,
+                             const SignatureTrace& signatures,
+                             const RegisterCharacterization& characterization,
+                             const faultsim::AttackModel& attack,
+                             const SamplingParams& params)
+    : soc_(&soc), attack_(&attack), params_(params) {
+  attack.check_valid();
+  FAV_CHECK(params.alpha >= 0);
+  FAV_CHECK(params.beta >= 0);
+  FAV_CHECK(params.memory_boost >= 0);
+  FAV_CHECK(params.defensive_mix >= 0.0 && params.defensive_mix <= 1.0);
+  FAV_CHECK(params.transit_boost >= 0);
+  const netlist::Netlist& nl = soc.netlist();
+  const NodeId rs = cone.responding_signal();
+
+  // --- L(g): reverse-topological max over same-cycle fanout registers ----
+  lifetime_l_.assign(nl.node_count(), 0.0);
+  for (const NodeId dff : nl.dffs()) {
+    const int bit = soc.flat_bit_for_dff(dff);
+    lifetime_l_[dff] = characterization.lifetime(bit);
+  }
+  const auto& topo = nl.topo_order();
+  const auto& fanouts = nl.fanouts();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    double l = 0.0;
+    for (const auto& e : fanouts[*it]) {
+      l = std::max(l, lifetime_l_[e.consumer]);
+    }
+    lifetime_l_[*it] = l;
+  }
+
+  // --- memory-type cone registers ---------------------------------------
+  // Per-DFF boost score: 1 for a plain memory-type cone register, plus the
+  // potency bonus when the analytical evaluator marked its bit as
+  // attack-enabling.
+  std::vector<double> mem_score_dff(nl.node_count(), 0.0);
+  if (!params.memory_bit_potency.empty()) {
+    FAV_CHECK_MSG(params.memory_bit_potency.size() ==
+                      static_cast<std::size_t>(
+                          soc::SocNetlist::reg_map().total_bits()),
+                  "memory_bit_potency size mismatch");
+  }
+  for (const NodeId dff : cone.all_fanin_registers()) {
+    const int bit = soc.flat_bit_for_dff(dff);
+    if (bit < 0) continue;
+    double score = characterization.is_memory_type(bit) ? 1.0 : 0.0;
+    if (!params.memory_bit_potency.empty()) {
+      // Potent bits score regardless of their empirical class: potency means
+      // the analytical evaluator proved the flip attack-enabling.
+      score += params.potency_boost *
+               params.memory_bit_potency[static_cast<std::size_t>(bit)];
+    }
+    if (score > 0.0) mem_score_dff[dff] = score;
+  }
+
+  // --- transit reach: gates that can latch errors into potent registers ---
+  // reach[g] = a combinational path exists from g to the D input of a
+  // register whose single-bit corruption analytically enables the attack.
+  std::vector<char> potent_dff(nl.node_count(), 0);
+  if (!params.memory_bit_potency.empty()) {
+    for (const NodeId dff : nl.dffs()) {
+      const int bit = soc.flat_bit_for_dff(dff);
+      if (bit >= 0 &&
+          params.memory_bit_potency[static_cast<std::size_t>(bit)] > 0.0) {
+        potent_dff[dff] = 1;
+      }
+    }
+  }
+  std::vector<char> potent_reach(nl.node_count(), 0);
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    char reach = 0;
+    for (const auto& e : fanouts[*it]) {
+      reach |= nl.is_dff(e.consumer) ? potent_dff[e.consumer]
+                                     : potent_reach[e.consumer];
+    }
+    potent_reach[*it] = reach;
+  }
+
+  // --- per-candidate spot summaries --------------------------------------
+  const double max_radius =
+      *std::max_element(attack.radii.begin(), attack.radii.end());
+  mem_score_.assign(nl.node_count(), 0.0);
+  transit_count_.assign(nl.node_count(), 0);
+  // spot[c] = cells covered by the largest radiated region centered at c.
+  std::vector<std::vector<NodeId>> spots(nl.node_count());
+  for (const NodeId c : attack.candidate_centers) {
+    FAV_CHECK_MSG(placement.is_placed(c),
+                  "candidate center " << c << " is not a placed cell");
+    spots[c] = placement.nodes_within(c, max_radius);
+    double score = 0.0;
+    int transit = 0;
+    for (const NodeId g : spots[c]) {
+      score += mem_score_dff[g];
+      if (potent_reach[g] != 0 && nl.is_comb_gate(g)) ++transit;
+    }
+    mem_score_[c] = score;
+    transit_count_[c] = transit;
+  }
+
+  // --- per-frame weights -------------------------------------------------
+  // Frame alignment: a transient generated at a gate during cycle Te = Tt-t
+  // corresponds to unrolled frame t (the gate copy feeding the registers
+  // whose frame-(t-1) value reaches rs); a *direct* DFF upset corrupts the
+  // register's value starting at frame t-1.
+  auto weight_of = [&](int frame, NodeId c) -> double {
+    double corr_term = 0.0;
+    bool touches_cone = false;
+    for (const NodeId g : spots[c]) {
+      const bool dff = nl.is_dff(g);
+      const int eff_frame = dff ? frame - 1 : frame;
+      if (eff_frame < 0 || !cone.contains(eff_frame, g)) continue;
+      touches_cone = true;
+      if (lifetime_l_[g] >= params.beta * eff_frame) {
+        corr_term =
+            std::max(corr_term, signatures.correlation(g, rs, eff_frame));
+      }
+    }
+    const double mem = frame >= 1 ? mem_score_[c] : 0.0;
+    const double transit =
+        frame >= 1 ? static_cast<double>(transit_count_[c]) : 0.0;
+    double direct = 0.0;
+    if (frame >= 1 && c < params.center_boost.size()) {
+      direct = params.center_boost[c];
+    }
+    if (!touches_cone && mem == 0.0 && transit == 0.0 && direct == 0.0) {
+      return 0.0;
+    }
+    return 1.0 + params.alpha * corr_term + params.memory_boost * mem +
+           params.transit_boost * transit + direct;
+  };
+
+  std::vector<double> omegas;
+  frames_.resize(static_cast<std::size_t>(attack.t_count()));
+  for (int t = attack.t_min; t <= attack.t_max; ++t) {
+    Frame& fr = frames_[static_cast<std::size_t>(t - attack.t_min)];
+    fr.center_index.assign(nl.node_count(), -1);
+    for (const NodeId c : attack.candidate_centers) {
+      const double w = weight_of(t, c);
+      if (w <= 0.0) continue;
+      fr.center_index[c] = static_cast<int>(fr.centers.size());
+      fr.centers.push_back(c);
+      fr.weights.push_back(w);
+      fr.total_weight += w;
+    }
+    if (!fr.centers.empty()) {
+      fr.conditional = DiscreteDistribution(fr.weights);
+    }
+    omegas.push_back(fr.total_weight);
+  }
+  const double total = std::accumulate(omegas.begin(), omegas.end(), 0.0);
+  FAV_CHECK_MSG(total > 0.0,
+                "no candidate spot touches the responding signal's cones — "
+                "importance sampling has empty support");
+  g_t_ = DiscreteDistribution(omegas);
+}
+
+double SamplingModel::lifetime_l(NodeId node) const {
+  FAV_CHECK(node < lifetime_l_.size());
+  return lifetime_l_[node];
+}
+
+double SamplingModel::memory_score(NodeId center) const {
+  FAV_CHECK(center < mem_score_.size());
+  return mem_score_[center];
+}
+
+int SamplingModel::transit_count(NodeId center) const {
+  FAV_CHECK(center < transit_count_.size());
+  return transit_count_[center];
+}
+
+int SamplingModel::frame_index(int t) const {
+  FAV_CHECK_MSG(t >= attack_->t_min && t <= attack_->t_max,
+                "t out of attack range");
+  return t - attack_->t_min;
+}
+
+double SamplingModel::center_weight(int frame, NodeId center) const {
+  if (frame < attack_->t_min || frame > attack_->t_max) return 0.0;
+  const Frame& fr = frames_[static_cast<std::size_t>(frame_index(frame))];
+  if (center >= fr.center_index.size()) return 0.0;
+  const int idx = fr.center_index[center];
+  return idx < 0 ? 0.0 : fr.weights[static_cast<std::size_t>(idx)];
+}
+
+double SamplingModel::g_pmf(int t, NodeId center) const {
+  const double f_tc =
+      1.0 / (static_cast<double>(attack_->t_count()) *
+             static_cast<double>(attack_->candidate_centers.size()));
+  const double eps = params_.defensive_mix;
+
+  double weighted = 0.0;
+  const Frame& fr = frames_[static_cast<std::size_t>(frame_index(t))];
+  if (!fr.centers.empty() && center < fr.center_index.size()) {
+    const int idx = fr.center_index[center];
+    if (idx >= 0) {
+      weighted = g_t_.pmf(static_cast<std::size_t>(frame_index(t))) *
+                 fr.conditional.pmf(static_cast<std::size_t>(idx));
+    }
+  }
+  return (1.0 - eps) * weighted + eps * f_tc;
+}
+
+FaultSample SamplingModel::sample(Rng& rng) const {
+  FaultSample s;
+  if (rng.bernoulli(params_.defensive_mix)) {
+    // Defensive component: plain draw from f_{T,P}.
+    s.t = static_cast<int>(rng.uniform_int(attack_->t_min, attack_->t_max));
+    s.center =
+        attack_->candidate_centers[rng.uniform_below(
+            attack_->candidate_centers.size())];
+  } else {
+    const std::size_t ti = g_t_.sample(rng);
+    s.t = attack_->t_min + static_cast<int>(ti);
+    const Frame& fr = frames_[ti];
+    FAV_CHECK_MSG(!fr.centers.empty(),
+                  "sampled a frame with empty support (zero weight expected)");
+    s.center = fr.centers[fr.conditional.sample(rng)];
+  }
+  s.radius = attack_->radii[rng.uniform_below(attack_->radii.size())];
+  s.strike_frac = rng.uniform01();
+  s.impact_cycles = attack_->impact_cycles;
+  // Importance weight f/g over the mixture; the uniform radius and
+  // strike_frac factors cancel. Bounded by 1/defensive_mix.
+  const double f_tc =
+      1.0 / (static_cast<double>(attack_->t_count()) *
+             static_cast<double>(attack_->candidate_centers.size()));
+  s.weight = f_tc / g_pmf(s.t, s.center);
+  return s;
+}
+
+}  // namespace fav::precharac

@@ -1,0 +1,44 @@
+// Switching signatures and bit-flip correlation (paper Section 4, step 2).
+//
+// A node's switching signature ss(g) is the per-cycle indicator of its logic
+// value toggling. The bit-flip correlation between a node in the i-th
+// unrolled frame and the responding signal rs is
+//   Corr_i(g, rs) = |ss(g) & (ss(rs) << i)| / |ss(g)|,
+// computed bit-parallel on packed signatures. Signatures are recorded by one
+// gate-level logic simulation of a synthetic workload (the cheap,
+// one-time pre-characterization pass).
+#pragma once
+
+#include <vector>
+
+#include "rtl/machine.h"
+#include "soc/gate_machine.h"
+#include "soc/soc_netlist.h"
+#include "util/bitvector.h"
+
+namespace fav::precharac {
+
+class SignatureTrace {
+ public:
+  /// Simulates `workload` on the gate level for up to `max_cycles` and
+  /// records every node's switching signature.
+  SignatureTrace(const soc::SocNetlist& soc, const rtl::Program& workload,
+                 std::uint64_t max_cycles);
+
+  std::uint64_t cycles() const { return cycles_; }
+
+  /// Switching signature of `node`; one bit per simulated cycle.
+  const BitVector& signature(netlist::NodeId node) const;
+
+  /// Bit-flip correlation Corr_frame(node, rs). Frame >= 0 looks backwards
+  /// (fanin side: node toggles `frame` cycles before rs), frame < 0 forwards.
+  /// Returns 0 when the node never switches (|ss(g)| = 0).
+  double correlation(netlist::NodeId node, netlist::NodeId rs,
+                     int frame) const;
+
+ private:
+  std::uint64_t cycles_ = 0;
+  std::vector<BitVector> signatures_;  // indexed by NodeId
+};
+
+}  // namespace fav::precharac

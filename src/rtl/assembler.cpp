@@ -1,0 +1,231 @@
+#include "rtl/assembler.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/check.h"
+
+namespace fav::rtl {
+
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::string clean;
+  for (char c : line) {
+    if (c == ';' || c == '#') break;
+    clean += (c == ',') ? ' ' : c;
+  }
+  std::istringstream is(clean);
+  std::vector<std::string> out;
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+bool is_integer(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i >= s.size()) return false;
+  if (s.size() > i + 2 && s[i] == '0' && (s[i + 1] == 'x' || s[i + 1] == 'X')) {
+    for (std::size_t j = i + 2; j < s.size(); ++j) {
+      if (!std::isxdigit(static_cast<unsigned char>(s[j]))) return false;
+    }
+    return true;
+  }
+  for (std::size_t j = i; j < s.size(); ++j) {
+    if (!std::isdigit(static_cast<unsigned char>(s[j]))) return false;
+  }
+  return true;
+}
+
+long parse_int(const std::string& s, int line_no) {
+  FAV_CHECK_MSG(is_integer(s), "line " << line_no << ": expected number, got '"
+                                       << s << "'");
+  return std::stol(s, nullptr, 0);
+}
+
+int parse_reg(const std::string& s, int line_no) {
+  FAV_CHECK_MSG(s.size() == 2 && (s[0] == 'r' || s[0] == 'R') &&
+                    s[1] >= '0' && s[1] <= '7',
+                "line " << line_no << ": expected register r0..r7, got '" << s
+                        << "'");
+  return s[1] - '0';
+}
+
+struct Stmt {
+  int line_no;
+  std::vector<std::string> tokens;  // mnemonic + operands
+  int address;                      // rom word address
+};
+
+bool is_mnemonic(const std::string& m) {
+  static const char* kAll[] = {"add", "sub", "and", "or",  "xor",  "shl",
+                               "shr", "mov", "addi", "lui", "ori", "li",
+                               "lw",  "sw",  "beq",  "bne", "jmp", "halt",
+                               "nop"};
+  for (const char* k : kAll) {
+    if (m == k) return true;
+  }
+  return false;
+}
+
+int words_for(const std::string& mnemonic) {
+  return mnemonic == "li" ? 2 : 1;
+}
+
+}  // namespace
+
+Program assemble(const std::string& source) {
+  Program prog;
+  std::map<std::string, int> labels;
+  std::vector<Stmt> stmts;
+
+  // Pass 1: strip labels, record addresses, collect .data directives.
+  std::istringstream is(source);
+  std::string line;
+  int line_no = 0;
+  int address = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    auto tokens = tokenize(line);
+    // Peel leading labels ("name:" possibly glued or separate).
+    while (!tokens.empty()) {
+      std::string& t = tokens.front();
+      if (t.back() == ':') {
+        std::string name = t.substr(0, t.size() - 1);
+        FAV_CHECK_MSG(!name.empty(), "line " << line_no << ": empty label");
+        FAV_CHECK_MSG(!labels.count(name),
+                      "line " << line_no << ": duplicate label '" << name << "'");
+        labels[name] = address;
+        tokens.erase(tokens.begin());
+      } else {
+        break;
+      }
+    }
+    if (tokens.empty()) continue;
+    if (tokens[0] == ".data") {
+      FAV_CHECK_MSG(tokens.size() == 3,
+                    "line " << line_no << ": .data needs <addr> <value>");
+      const long addr = parse_int(tokens[1], line_no);
+      const long value = parse_int(tokens[2], line_no);
+      FAV_CHECK_MSG(addr >= 0 && addr <= 0xFFFF,
+                    "line " << line_no << ": .data address out of range");
+      prog.ram_init.emplace_back(static_cast<std::uint16_t>(addr),
+                                 static_cast<std::uint16_t>(value & 0xFFFF));
+      continue;
+    }
+    FAV_CHECK_MSG(is_mnemonic(tokens[0]),
+                  "line " << line_no << ": unknown mnemonic '" << tokens[0]
+                          << "'");
+    stmts.push_back({line_no, tokens, address});
+    address += words_for(tokens[0]);
+  }
+
+  // Pass 2: encode.
+  auto resolve = [&](const std::string& s, int ln) -> long {
+    if (is_integer(s)) return parse_int(s, ln);
+    const auto it = labels.find(s);
+    FAV_CHECK_MSG(it != labels.end(),
+                  "line " << ln << ": undefined label '" << s << "'");
+    return it->second;
+  };
+  auto check_range = [](long v, long lo, long hi, int ln, const char* what) {
+    FAV_CHECK_MSG(v >= lo && v <= hi, "line " << ln << ": " << what << " "
+                                              << v << " out of range [" << lo
+                                              << ", " << hi << "]");
+  };
+
+  for (const auto& [name, addr] : labels) {
+    prog.labels.emplace_back(name, static_cast<std::uint16_t>(addr));
+  }
+
+  for (const Stmt& st : stmts) {
+    const std::string& m = st.tokens[0];
+    const int ln = st.line_no;
+    auto need = [&](std::size_t n) {
+      FAV_CHECK_MSG(st.tokens.size() == n + 1,
+                    "line " << ln << ": '" << m << "' needs " << n
+                            << " operands");
+    };
+
+    if (m == "add" || m == "sub" || m == "and" || m == "or" || m == "xor" ||
+        m == "shl" || m == "shr") {
+      need(3);
+      AluFunct f = AluFunct::kAdd;
+      if (m == "sub") f = AluFunct::kSub;
+      if (m == "and") f = AluFunct::kAnd;
+      if (m == "or") f = AluFunct::kOr;
+      if (m == "xor") f = AluFunct::kXor;
+      if (m == "shl") f = AluFunct::kShl;
+      if (m == "shr") f = AluFunct::kShr;
+      prog.rom.push_back(encode_alu(f, parse_reg(st.tokens[1], ln),
+                                    parse_reg(st.tokens[2], ln),
+                                    parse_reg(st.tokens[3], ln)));
+    } else if (m == "mov") {
+      need(2);
+      prog.rom.push_back(encode_alu(AluFunct::kMov,
+                                    parse_reg(st.tokens[1], ln),
+                                    parse_reg(st.tokens[2], ln), 0));
+    } else if (m == "addi") {
+      need(3);
+      const long imm = parse_int(st.tokens[3], ln);
+      check_range(imm, -32, 31, ln, "imm6");
+      prog.rom.push_back(encode_imm6(Opcode::kAddi,
+                                     parse_reg(st.tokens[1], ln),
+                                     parse_reg(st.tokens[2], ln),
+                                     static_cast<int>(imm)));
+    } else if (m == "lui" || m == "ori") {
+      need(2);
+      const long imm = parse_int(st.tokens[2], ln);
+      check_range(imm, 0, 255, ln, "imm8");
+      prog.rom.push_back(encode_imm8(m == "lui" ? Opcode::kLui : Opcode::kOri,
+                                     parse_reg(st.tokens[1], ln),
+                                     static_cast<int>(imm)));
+    } else if (m == "li") {
+      need(2);
+      const long imm = resolve(st.tokens[2], ln);
+      check_range(imm, 0, 0xFFFF, ln, "imm16");
+      const int rd = parse_reg(st.tokens[1], ln);
+      prog.rom.push_back(encode_imm8(Opcode::kLui, rd, (imm >> 8) & 0xFF));
+      prog.rom.push_back(encode_imm8(Opcode::kOri, rd, imm & 0xFF));
+    } else if (m == "lw" || m == "sw") {
+      need(3);
+      const long imm = parse_int(st.tokens[3], ln);
+      check_range(imm, -32, 31, ln, "imm6");
+      prog.rom.push_back(encode_imm6(m == "lw" ? Opcode::kLw : Opcode::kSw,
+                                     parse_reg(st.tokens[1], ln),
+                                     parse_reg(st.tokens[2], ln),
+                                     static_cast<int>(imm)));
+    } else if (m == "beq" || m == "bne") {
+      need(3);
+      long target = resolve(st.tokens[3], ln);
+      // Labels are absolute; immediates are already relative offsets.
+      if (!is_integer(st.tokens[3])) target -= st.address;
+      check_range(target, -32, 31, ln, "branch offset");
+      prog.rom.push_back(encode_imm6(m == "beq" ? Opcode::kBeq : Opcode::kBne,
+                                     parse_reg(st.tokens[1], ln),
+                                     parse_reg(st.tokens[2], ln),
+                                     static_cast<int>(target)));
+    } else if (m == "jmp") {
+      need(1);
+      const long target = resolve(st.tokens[1], ln);
+      check_range(target, 0, 0xFFF, ln, "jump target");
+      prog.rom.push_back(encode_jmp(static_cast<int>(target)));
+    } else if (m == "halt") {
+      need(0);
+      prog.rom.push_back(encode_halt());
+    } else if (m == "nop") {
+      need(0);
+      prog.rom.push_back(encode_nop());
+    }
+  }
+  return prog;
+}
+
+}  // namespace fav::rtl

@@ -1,0 +1,30 @@
+// Two-pass assembler for MCU16 benchmark programs.
+//
+// Syntax (one statement per line, ';' or '#' starts a comment):
+//   label:                       ; define label at current address
+//   .data <addr> <value>         ; initial RAM word
+//   add|sub|and|or|xor|shl|shr rd, ra, rb
+//   mov  rd, ra
+//   addi rd, ra, imm6            ; imm6 in [-32, 31]
+//   lui  rd, imm8                ; rd = imm8 << 8
+//   ori  rd, imm8                ; rd |= imm8
+//   li   rd, imm16               ; pseudo: lui + ori (always two words)
+//   lw   rd, ra, imm6
+//   sw   rs, ra, imm6            ; mem[ra + imm6] = rs
+//   beq|bne rA, rB, label|imm6   ; pc-relative
+//   jmp  label|imm12             ; absolute
+//   halt | nop
+// Immediates accept decimal or 0x-prefixed hex.
+#pragma once
+
+#include <string>
+
+#include "rtl/machine.h"
+
+namespace fav::rtl {
+
+/// Assembles source text into a Program. Throws fav::CheckError with the
+/// offending line number on any syntax or range error.
+Program assemble(const std::string& source);
+
+}  // namespace fav::rtl

@@ -1,0 +1,68 @@
+#include "rtl/isa.h"
+
+#include <sstream>
+
+namespace fav::rtl {
+
+namespace {
+
+const char* funct_name(AluFunct f) {
+  switch (f) {
+    case AluFunct::kAdd: return "add";
+    case AluFunct::kSub: return "sub";
+    case AluFunct::kAnd: return "and";
+    case AluFunct::kOr: return "or";
+    case AluFunct::kXor: return "xor";
+    case AluFunct::kShl: return "shl";
+    case AluFunct::kShr: return "shr";
+    case AluFunct::kMov: return "mov";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string disassemble(Instr instr) {
+  std::ostringstream os;
+  switch (instr.opcode()) {
+    case Opcode::kAlu:
+      os << funct_name(instr.funct()) << " r" << instr.rd() << ", r"
+         << instr.ra();
+      if (instr.funct() != AluFunct::kMov) os << ", r" << instr.rb();
+      break;
+    case Opcode::kAddi:
+      os << "addi r" << instr.rd() << ", r" << instr.ra() << ", "
+         << instr.imm6();
+      break;
+    case Opcode::kLui:
+      os << "lui r" << instr.rd() << ", " << static_cast<int>(instr.imm8());
+      break;
+    case Opcode::kOri:
+      os << "ori r" << instr.rd() << ", " << static_cast<int>(instr.imm8());
+      break;
+    case Opcode::kLw:
+      os << "lw r" << instr.rd() << ", r" << instr.ra() << ", " << instr.imm6();
+      break;
+    case Opcode::kSw:
+      os << "sw r" << instr.rd() << ", r" << instr.ra() << ", " << instr.imm6();
+      break;
+    case Opcode::kBeq:
+      os << "beq r" << instr.rd() << ", r" << instr.ra() << ", " << instr.imm6();
+      break;
+    case Opcode::kBne:
+      os << "bne r" << instr.rd() << ", r" << instr.ra() << ", " << instr.imm6();
+      break;
+    case Opcode::kJmp:
+      os << "jmp " << instr.imm12();
+      break;
+    case Opcode::kHalt:
+      os << "halt";
+      break;
+    case Opcode::kNop:
+      os << "nop";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace fav::rtl

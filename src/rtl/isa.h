@@ -1,0 +1,127 @@
+// MCU16 instruction set architecture.
+//
+// MCU16 is the micro-controller-class core that substitutes for the paper's
+// commercial processor (see DESIGN.md §2). It is a 16-bit, word-addressed,
+// single-cycle RISC with 8 general-purpose registers and a memory-mapped
+// 4-region MPU. The gate-level elaboration in src/soc implements exactly the
+// semantics defined here; the behavioural model in machine.h is the RTL-level
+// reference.
+//
+// Instruction formats (16-bit):
+//   [15:12] opcode | [11:9] rd / rs / rA | [8:6] ra / base / rB | [5:3] rb
+//   [5:0] imm6 (signed) | [7:0] imm8 | [11:0] imm12
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fav::rtl {
+
+enum class Opcode : std::uint8_t {
+  kAlu = 0x0,   // rd = ra <f3> rb
+  kAddi = 0x1,  // rd = ra + sext(imm6)
+  kLui = 0x2,   // rd = imm8 << 8
+  kOri = 0x3,   // rd = rd | imm8
+  kLw = 0x4,    // rd = mem[ra + sext(imm6)]
+  kSw = 0x5,    // mem[ra + sext(imm6)] = r[instr[11:9]]
+  kBeq = 0x6,   // if r[11:9] == r[8:6]: pc += sext(imm6)
+  kBne = 0x7,   // if r[11:9] != r[8:6]: pc += sext(imm6)
+  kJmp = 0x8,   // pc = imm12
+  kHalt = 0x9,  // stop; pc holds
+  kNop = 0xA,   // no operation (0xB..0xF decode as NOP too)
+};
+
+enum class AluFunct : std::uint8_t {
+  kAdd = 0,
+  kSub = 1,
+  kAnd = 2,
+  kOr = 3,
+  kXor = 4,
+  kShl = 5,  // shift amount = rb value & 0xF
+  kShr = 6,
+  kMov = 7,  // rd = ra
+};
+
+/// Decoded instruction fields (raw, before semantic interpretation).
+struct Instr {
+  std::uint16_t raw = 0;
+
+  Opcode opcode() const {
+    const auto op = static_cast<std::uint8_t>(raw >> 12);
+    return op <= 0xA ? static_cast<Opcode>(op) : Opcode::kNop;
+  }
+  int rd() const { return (raw >> 9) & 7; }
+  int ra() const { return (raw >> 6) & 7; }
+  int rb() const { return (raw >> 3) & 7; }
+  AluFunct funct() const { return static_cast<AluFunct>(raw & 7); }
+  std::uint8_t imm8() const { return static_cast<std::uint8_t>(raw & 0xFF); }
+  std::uint16_t imm12() const { return raw & 0x0FFF; }
+  /// Sign-extended 6-bit immediate.
+  std::int16_t imm6() const {
+    const auto v = static_cast<std::int16_t>(raw & 0x3F);
+    return (v & 0x20) ? static_cast<std::int16_t>(v - 0x40) : v;
+  }
+};
+
+/// --- encoders (used by the assembler and tests) -------------------------
+inline std::uint16_t encode_alu(AluFunct f, int rd, int ra, int rb) {
+  return static_cast<std::uint16_t>((0x0 << 12) | ((rd & 7) << 9) |
+                                    ((ra & 7) << 6) | ((rb & 7) << 3) |
+                                    static_cast<int>(f));
+}
+inline std::uint16_t encode_imm6(Opcode op, int rd, int ra, int imm6) {
+  return static_cast<std::uint16_t>((static_cast<int>(op) << 12) |
+                                    ((rd & 7) << 9) | ((ra & 7) << 6) |
+                                    (imm6 & 0x3F));
+}
+inline std::uint16_t encode_imm8(Opcode op, int rd, int imm8) {
+  return static_cast<std::uint16_t>((static_cast<int>(op) << 12) |
+                                    ((rd & 7) << 9) | (imm8 & 0xFF));
+}
+inline std::uint16_t encode_jmp(int imm12) {
+  return static_cast<std::uint16_t>((0x8 << 12) | (imm12 & 0xFFF));
+}
+inline std::uint16_t encode_halt() { return 0x9 << 12; }
+inline std::uint16_t encode_nop() { return 0xA << 12; }
+
+/// Disassembles one instruction (for traces and debugging).
+std::string disassemble(Instr instr);
+
+/// --- memory map ------------------------------------------------------------
+// Word addresses; everything at or above kDeviceBase bypasses the MPU data
+// check and addresses the device page (MPU configuration + status).
+inline constexpr std::uint16_t kDeviceBase = 0xFF00;
+inline constexpr int kMpuRegionCount = 4;
+/// Region k register file: base at +8k, limit at +8k+1, perm at +8k+2.
+inline constexpr std::uint16_t kMpuRegionStride = 8;
+inline constexpr std::uint16_t kMpuViolFlagAddr = 0xFF20;  // write clears
+inline constexpr std::uint16_t kMpuViolAddrAddr = 0xFF21;
+inline constexpr std::uint16_t kMpuEnableAddr = 0xFF22;
+
+/// Region permission bits.
+inline constexpr std::uint8_t kPermRead = 1;
+inline constexpr std::uint8_t kPermWrite = 2;
+inline constexpr std::uint8_t kPermEnable = 4;
+inline constexpr std::uint8_t kPermExec = 8;
+inline constexpr int kPermBits = 4;
+
+/// Control-register (kMpuEnableAddr) bits: bit 0 enables the MPU's data
+/// access check, bit 1 additionally enables the instruction access check
+/// (paper Fig. 1 shows both check paths). A denied fetch executes as a NOP
+/// and raises the violation signal with viol_addr = pc.
+inline constexpr std::uint16_t kMpuCtrlEnable = 1;
+inline constexpr std::uint16_t kMpuCtrlInstrCheck = 2;
+
+/// DMA engine (the "peripheral" bus master of paper Fig. 1; its accesses go
+/// through the same MPU data checks as the core's). Word registers:
+///   +0 source, +1 destination, +2 length, +3 control/status (bit 0: write 1
+///   to start, reads back the active flag). While active, one word moves per
+///   cycle; src/dst/len are write-locked. A denied access (or any device-page
+///   address) raises the violation signal and aborts the transfer.
+inline constexpr std::uint16_t kDmaBase = 0xFF30;
+inline constexpr std::uint16_t kDmaSrcAddr = 0xFF30;
+inline constexpr std::uint16_t kDmaDstAddr = 0xFF31;
+inline constexpr std::uint16_t kDmaLenAddr = 0xFF32;
+inline constexpr std::uint16_t kDmaCtrlAddr = 0xFF33;
+
+}  // namespace fav::rtl

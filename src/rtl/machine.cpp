@@ -1,0 +1,294 @@
+#include "rtl/machine.h"
+
+namespace fav::rtl {
+
+Machine::Machine(const Program& program) : program_(&program) { reset(); }
+
+void Machine::reset() {
+  state_ = ArchState{};
+  ram_ = Memory{};
+  for (const auto& [addr, value] : program_->ram_init) {
+    ram_.write(addr, value);
+  }
+  cycle_ = 0;
+}
+
+bool Machine::mpu_allows(const ArchState& state, std::uint16_t addr,
+                         bool is_write) {
+  if (addr >= kDeviceBase) return true;  // device page is never checked
+  if (!state.mpu_enable) return true;
+  const std::uint8_t need = is_write ? kPermWrite : kPermRead;
+  for (const MpuRegion& r : state.mpu) {
+    if ((r.perm & kPermEnable) == 0) continue;
+    if (addr >= r.base && addr <= r.limit && (r.perm & need) != 0) return true;
+  }
+  return false;
+}
+
+bool Machine::mpu_allows_exec(const ArchState& state, std::uint16_t pc) {
+  if (!state.mpu_enable || !state.instr_check) return true;
+  for (const MpuRegion& r : state.mpu) {
+    if ((r.perm & kPermEnable) == 0) continue;
+    if (pc >= r.base && pc <= r.limit && (r.perm & kPermExec) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint16_t Machine::device_read(std::uint16_t addr) const {
+  const std::uint16_t off = static_cast<std::uint16_t>(addr - kDeviceBase);
+  if (off < kMpuRegionCount * kMpuRegionStride) {
+    const auto& region = state_.mpu[off / kMpuRegionStride];
+    switch (off % kMpuRegionStride) {
+      case 0: return region.base;
+      case 1: return region.limit;
+      case 2: return region.perm;
+      default: return 0;
+    }
+  }
+  switch (addr) {
+    case kDmaSrcAddr: return state_.dma_src;
+    case kDmaDstAddr: return state_.dma_dst;
+    case kDmaLenAddr: return state_.dma_len;
+    case kDmaCtrlAddr: return state_.dma_active ? 1 : 0;
+    case kMpuViolFlagAddr: return state_.viol_sticky ? 1 : 0;
+    case kMpuViolAddrAddr: return state_.viol_addr;
+    case kMpuEnableAddr:
+      return static_cast<std::uint16_t>(
+          (state_.mpu_enable ? kMpuCtrlEnable : 0) |
+          (state_.instr_check ? kMpuCtrlInstrCheck : 0));
+    default: return 0;
+  }
+}
+
+void Machine::device_write(std::uint16_t addr, std::uint16_t value) {
+  const std::uint16_t off = static_cast<std::uint16_t>(addr - kDeviceBase);
+  if (off < kMpuRegionCount * kMpuRegionStride) {
+    auto& region = state_.mpu[off / kMpuRegionStride];
+    switch (off % kMpuRegionStride) {
+      case 0: region.base = value; break;
+      case 1: region.limit = value; break;
+      case 2:
+        region.perm = static_cast<std::uint8_t>(value & ((1 << kPermBits) - 1));
+        break;
+      default: break;  // reserved words ignore writes
+    }
+    return;
+  }
+  switch (addr) {
+    // DMA registers: src/dst/len are write-locked while a transfer runs;
+    // writing control bit 0 starts (if len > 0) or stops the engine.
+    case kDmaSrcAddr:
+      if (!state_.dma_active) state_.dma_src = value;
+      break;
+    case kDmaDstAddr:
+      if (!state_.dma_active) state_.dma_dst = value;
+      break;
+    case kDmaLenAddr:
+      if (!state_.dma_active) state_.dma_len = value;
+      break;
+    case kDmaCtrlAddr:
+      // Start only; a running transfer ignores control writes (it ends on
+      // completion or abort), keeping the engine's registers consistent.
+      if (!state_.dma_active) {
+        state_.dma_active = (value & 1) != 0 && state_.dma_len != 0;
+      }
+      break;
+    case kMpuViolFlagAddr:
+      state_.viol_sticky = false;  // any write clears the sticky flag
+      break;
+    case kMpuEnableAddr:
+      state_.mpu_enable = (value & kMpuCtrlEnable) != 0;
+      state_.instr_check = (value & kMpuCtrlInstrCheck) != 0;
+      break;
+    default:
+      break;
+  }
+}
+
+StepInfo Machine::step() {
+  StepInfo info;
+  ++cycle_;
+  if (state_.halted) return info;
+
+  // Fetch, then the instruction access check (paper Fig. 1): a denied
+  // fetch executes as a NOP and raises the responding signal with the pc as
+  // the violating address.
+  const Instr fetched{program_->fetch(state_.pc)};
+  info.instr = fetched;
+  const bool fetch_ok = mpu_allows_exec(state_, state_.pc);
+  const Instr instr = fetch_ok ? fetched : Instr{encode_nop()};
+  if (!fetch_ok) {
+    info.fetch_denied = true;
+    info.mpu_viol = true;
+  }
+
+  // Everything below reads pre-state only; architectural writes are applied
+  // at the end, exactly like the netlist's single clock edge.
+  const ArchState pre = state_;
+  std::uint16_t next_pc = static_cast<std::uint16_t>(pre.pc + 1);
+  bool reg_write = false;
+  int reg_write_idx = 0;
+  std::uint16_t reg_write_val = 0;
+
+  const std::uint16_t ra_val = pre.regs[static_cast<std::size_t>(instr.ra())];
+  const std::uint16_t rb_val = pre.regs[static_cast<std::size_t>(instr.rb())];
+  const std::uint16_t rd_val = pre.regs[static_cast<std::size_t>(instr.rd())];
+
+  switch (instr.opcode()) {
+    case Opcode::kAlu: {
+      std::uint16_t y = 0;
+      switch (instr.funct()) {
+        case AluFunct::kAdd: y = static_cast<std::uint16_t>(ra_val + rb_val); break;
+        case AluFunct::kSub: y = static_cast<std::uint16_t>(ra_val - rb_val); break;
+        case AluFunct::kAnd: y = ra_val & rb_val; break;
+        case AluFunct::kOr: y = ra_val | rb_val; break;
+        case AluFunct::kXor: y = ra_val ^ rb_val; break;
+        case AluFunct::kShl:
+          y = static_cast<std::uint16_t>(ra_val << (rb_val & 0xF));
+          break;
+        case AluFunct::kShr:
+          y = static_cast<std::uint16_t>(ra_val >> (rb_val & 0xF));
+          break;
+        case AluFunct::kMov: y = ra_val; break;
+      }
+      reg_write = true;
+      reg_write_idx = instr.rd();
+      reg_write_val = y;
+      break;
+    }
+    case Opcode::kAddi:
+      reg_write = true;
+      reg_write_idx = instr.rd();
+      reg_write_val = static_cast<std::uint16_t>(ra_val + instr.imm6());
+      break;
+    case Opcode::kLui:
+      reg_write = true;
+      reg_write_idx = instr.rd();
+      reg_write_val = static_cast<std::uint16_t>(instr.imm8() << 8);
+      break;
+    case Opcode::kOri:
+      reg_write = true;
+      reg_write_idx = instr.rd();
+      reg_write_val = rd_val | instr.imm8();
+      break;
+    case Opcode::kLw: {
+      const auto addr = static_cast<std::uint16_t>(ra_val + instr.imm6());
+      info.mem_read = true;
+      info.mem_addr = addr;
+      std::uint16_t value = 0;
+      if (addr >= kDeviceBase) {
+        value = device_read(addr);
+      } else if (mpu_allows(pre, addr, /*is_write=*/false)) {
+        value = ram_.read(addr);
+      } else {
+        info.mpu_viol = true;  // squashed load reads 0
+      }
+      info.mem_rdata = value;
+      reg_write = true;
+      reg_write_idx = instr.rd();
+      reg_write_val = value;
+      break;
+    }
+    case Opcode::kSw: {
+      const auto addr = static_cast<std::uint16_t>(ra_val + instr.imm6());
+      const std::uint16_t value = rd_val;  // [11:9] encodes the source
+      info.mem_write = true;
+      info.mem_addr = addr;
+      info.mem_wdata = value;
+      if (addr >= kDeviceBase) {
+        device_write(addr, value);
+      } else if (mpu_allows(pre, addr, /*is_write=*/true)) {
+        ram_.write(addr, value);
+        info.mem_write_done = true;
+      } else {
+        info.mpu_viol = true;
+      }
+      break;
+    }
+    case Opcode::kBeq:
+      if (rd_val == ra_val) {
+        next_pc = static_cast<std::uint16_t>(pre.pc + instr.imm6());
+      }
+      break;
+    case Opcode::kBne:
+      if (rd_val != ra_val) {
+        next_pc = static_cast<std::uint16_t>(pre.pc + instr.imm6());
+      }
+      break;
+    case Opcode::kJmp:
+      next_pc = instr.imm12();
+      break;
+    case Opcode::kHalt:
+      state_.halted = true;
+      next_pc = pre.pc;
+      break;
+    case Opcode::kNop:
+      break;
+  }
+
+  // --- DMA engine (peripheral bus master; same MPU data checks) ---------
+  // The transfer condition uses the pre-state: a DMA started by this cycle's
+  // control write begins moving data next cycle.
+  const bool core_viol = info.mpu_viol;  // fetch or core data check denial
+  if (pre.dma_active && pre.dma_len != 0) {
+    info.dma_read = true;
+    info.dma_addr_src = pre.dma_src;
+    info.dma_addr_dst = pre.dma_dst;
+    // The device page is off-limits to the DMA; everything else goes through
+    // the MPU like a core access.
+    const bool src_ok = pre.dma_src < kDeviceBase &&
+                        mpu_allows(pre, pre.dma_src, /*is_write=*/false);
+    const bool dst_ok = pre.dma_dst < kDeviceBase &&
+                        mpu_allows(pre, pre.dma_dst, /*is_write=*/true);
+    if (!src_ok || !dst_ok) {
+      info.dma_viol = true;
+      info.mpu_viol = true;  // the responding signal covers all three checks
+      state_.dma_active = false;  // abort
+    } else {
+      ram_.write(pre.dma_dst, ram_.read(pre.dma_src));
+      info.dma_write_done = true;
+      state_.dma_src = static_cast<std::uint16_t>(pre.dma_src + 1);
+      state_.dma_dst = static_cast<std::uint16_t>(pre.dma_dst + 1);
+      state_.dma_len = static_cast<std::uint16_t>(pre.dma_len - 1);
+      state_.dma_active = pre.dma_len > 1;
+    }
+  }
+
+  // Violation bookkeeping (matches the netlist's viol_sticky/viol_addr DFFs).
+  // Note device_write may already have *cleared* the sticky flag this cycle;
+  // a new violation cannot co-occur with a CPU device write, so ordering is
+  // safe. Priority for viol_addr: fetch, then core data, then DMA.
+  if (info.mpu_viol) {
+    if (!pre.viol_sticky) {
+      if (info.fetch_denied) {
+        state_.viol_addr = pre.pc;
+      } else if (core_viol) {
+        state_.viol_addr = info.mem_addr;
+      } else {
+        const bool src_bad = pre.dma_src >= kDeviceBase ||
+                             !mpu_allows(pre, pre.dma_src, false);
+        state_.viol_addr = src_bad ? pre.dma_src : pre.dma_dst;
+      }
+    }
+    state_.viol_sticky = true;
+  }
+
+  if (reg_write) {
+    state_.regs[static_cast<std::size_t>(reg_write_idx)] = reg_write_val;
+  }
+  state_.pc = next_pc;
+  return info;
+}
+
+std::uint64_t Machine::run(std::uint64_t cycles) {
+  std::uint64_t done = 0;
+  while (done < cycles && !state_.halted) {
+    step();
+    ++done;
+  }
+  return done;
+}
+
+}  // namespace fav::rtl

@@ -1,0 +1,58 @@
+#include "rtl/vcd.h"
+
+#include "rtl/machine.h"
+
+namespace fav::rtl {
+
+VcdWriter::VcdWriter(std::ostream& os, std::string top_module)
+    : os_(&os), top_(std::move(top_module)) {
+  last_.assign(RegisterMap::mcu16().fields().size(), 0);
+}
+
+std::string VcdWriter::code_for(std::size_t index) const {
+  // Short printable identifier codes: !, ", #, ... (VCD allows any
+  // printable ASCII); two characters once the single range is exhausted.
+  std::string code;
+  std::size_t v = index;
+  do {
+    code += static_cast<char>('!' + (v % 94));
+    v /= 94;
+  } while (v != 0);
+  return code;
+}
+
+void VcdWriter::write_header() {
+  const RegisterMap& map = RegisterMap::mcu16();
+  *os_ << "$version fav rtl::VcdWriter $end\n";
+  *os_ << "$timescale 1ns $end\n";
+  *os_ << "$scope module " << top_ << " $end\n";
+  for (std::size_t fi = 0; fi < map.fields().size(); ++fi) {
+    const auto& f = map.fields()[fi];
+    *os_ << "$var reg " << f.width << " " << code_for(fi) << " " << f.name
+         << " $end\n";
+  }
+  *os_ << "$upscope $end\n$enddefinitions $end\n";
+  header_written_ = true;
+}
+
+void VcdWriter::sample(std::uint64_t cycle, const ArchState& state) {
+  const RegisterMap& map = RegisterMap::mcu16();
+  if (!header_written_) write_header();
+  *os_ << "#" << cycle << "\n";
+  for (std::size_t fi = 0; fi < map.fields().size(); ++fi) {
+    const std::uint32_t v = map.get_field(state, static_cast<int>(fi));
+    if (samples_ > 0 && v == last_[fi]) continue;
+    last_[fi] = v;
+    const int width = map.fields()[fi].width;
+    if (width == 1) {
+      *os_ << (v & 1u) << code_for(fi) << "\n";
+    } else {
+      *os_ << "b";
+      for (int b = width - 1; b >= 0; --b) *os_ << ((v >> b) & 1u);
+      *os_ << " " << code_for(fi) << "\n";
+    }
+  }
+  ++samples_;
+}
+
+}  // namespace fav::rtl

@@ -1,0 +1,38 @@
+// Value-change-dump (VCD) tracing of the architectural state.
+//
+// Produces standard VCD that any waveform viewer (GTKWave etc.) opens —
+// the debugging view of a fault-attack run: dump a golden run and a faulty
+// run and diff the register traces to see the corruption propagate.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "rtl/registers.h"
+
+namespace fav::rtl {
+
+class VcdWriter {
+ public:
+  /// Declares one VCD variable per register field of the map.
+  VcdWriter(std::ostream& os, std::string top_module = "mcu16");
+
+  /// Records the state at time `cycle` (only changed fields are emitted).
+  void sample(std::uint64_t cycle, const ArchState& state);
+
+  std::size_t samples_written() const { return samples_; }
+
+ private:
+  std::string code_for(std::size_t index) const;
+  void write_header();
+
+  std::ostream* os_;
+  std::string top_;
+  bool header_written_ = false;
+  std::size_t samples_ = 0;
+  std::vector<std::uint32_t> last_;  // last emitted value per field
+};
+
+}  // namespace fav::rtl

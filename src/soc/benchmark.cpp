@@ -1,0 +1,273 @@
+#include "soc/benchmark.h"
+
+#include "rtl/assembler.h"
+
+namespace fav::soc {
+
+namespace {
+
+// Region 0: [0x0000, 0x3FFF] read+write; region 1: [0x4000, 0x4FFF]
+// read-only. Then enable the MPU.
+constexpr const char* kMpuSetup = R"(
+    li r1, 0xFF00
+    li r2, 0x0000
+    sw r2, r1, 0
+    li r2, 0x3FFF
+    sw r2, r1, 1
+    li r2, 7
+    sw r2, r1, 2
+    li r1, 0xFF08
+    li r2, 0x4000
+    sw r2, r1, 0
+    li r2, 0x4FFF
+    sw r2, r1, 1
+    li r2, 5
+    sw r2, r1, 2
+    li r1, 0xFF22
+    li r2, 1
+    sw r2, r1, 0
+)";
+
+// Legitimate busy-work: stores, loads, ALU traffic against open RAM. This is
+// the attack window preceding the illegal access (the range of Te).
+constexpr const char* kBusyWork = R"(
+    li r6, 0x0100
+    li r3, 12
+    li r5, 1
+busy:
+    sw r3, r6, 0
+    lw r4, r6, 0
+    add r4, r4, r3
+    sw r4, r6, 1
+    sub r3, r3, r5
+    bne r3, r0, busy
+)";
+
+constexpr const char* kAftermath = R"(
+    li r3, 4
+after:
+    lw r4, r6, 1
+    addi r4, r4, 1
+    sw r4, r6, 1
+    sub r3, r3, r5
+    bne r3, r0, after
+    halt
+)";
+
+}  // namespace
+
+bool SecurityBenchmark::attack_succeeded(const rtl::ArchState& state,
+                                         const rtl::Memory& ram) const {
+  if (state.viol_sticky) return false;  // attack was detected
+  switch (kind) {
+    case Kind::kIllegalWrite:
+    case Kind::kIllegalExecute:  // the privileged routine plants the token
+      return ram.read(protected_addr) == attack_value;
+    case Kind::kIllegalRead:
+      return ram.read(exfil_addr) == secret_value;
+  }
+  return false;
+}
+
+SecurityBenchmark make_illegal_write_benchmark() {
+  SecurityBenchmark b;
+  b.name = "illegal_memory_write";
+  b.kind = SecurityBenchmark::Kind::kIllegalWrite;
+  b.protected_addr = 0x4100;
+  b.protected_init = 0x1111;
+  b.attack_value = 0xBEEF;
+  b.max_cycles = 400;
+  b.program = rtl::assemble(
+      std::string(".data 0x4100 0x1111\n") + kMpuSetup + kBusyWork + R"(
+    ; --- illegal write into the read-only region (target cycle Tt) ---
+    li r1, 0x4100
+    li r2, 0xBEEF
+    sw r2, r1, 0
+)" + kAftermath);
+  return b;
+}
+
+SecurityBenchmark make_illegal_read_benchmark() {
+  SecurityBenchmark b;
+  b.name = "illegal_memory_read";
+  b.kind = SecurityBenchmark::Kind::kIllegalRead;
+  b.protected_addr = 0x5180;
+  b.secret_value = 0x5EC1;
+  b.exfil_addr = 0x0200;
+  b.max_cycles = 400;
+  // Region 2 holds the secret: enabled but with neither read nor write
+  // permission (privileged-only data).
+  b.program = rtl::assemble(
+      std::string(".data 0x5180 0x5EC1\n") + kMpuSetup + R"(
+    li r1, 0xFF10
+    li r2, 0x5000
+    sw r2, r1, 0
+    li r2, 0x5FFF
+    sw r2, r1, 1
+    li r2, 4
+    sw r2, r1, 2
+)" + kBusyWork + R"(
+    ; --- illegal read of the secret (target cycle Tt) ---
+    li r1, 0x5180
+    lw r7, r1, 0
+    li r4, 0x0200
+    sw r7, r4, 0     ; exfiltrate to open RAM
+)" + kAftermath);
+  return b;
+}
+
+SecurityBenchmark make_illegal_exec_benchmark() {
+  SecurityBenchmark b;
+  b.name = "illegal_execution";
+  b.kind = SecurityBenchmark::Kind::kIllegalExecute;
+  b.protected_addr = 0x0300;  // where the privileged routine puts its token
+  b.protected_init = 0x0000;
+  b.attack_value = 0xCAFE;
+  b.max_cycles = 400;
+  // Layout: main code (exec-granted by region 2) -> jmp hidden (Tt) ->
+  // hidden privileged routine (NOT exec-granted) -> epilogue (exec-granted
+  // by region 3). Fault-free, the fetch at `hidden` is denied, the routine
+  // NOP-slides without planting the token, and execution resumes at the
+  // epilogue with the violation recorded.
+  b.program = rtl::assemble(R"(
+    ; region 0: [0x0000, 0x3FFF] read+write (data accesses)
+    li r1, 0xFF00
+    li r2, 0x0000
+    sw r2, r1, 0
+    li r2, 0x3FFF
+    sw r2, r1, 1
+    li r2, 7
+    sw r2, r1, 2
+    ; region 2: execute for the main code [0, hidden-1]
+    li r1, 0xFF10
+    li r2, 0x0000
+    sw r2, r1, 0
+    li r2, hidden
+    addi r2, r2, -1
+    sw r2, r1, 1
+    li r2, 12         ; exec | enable
+    sw r2, r1, 2
+    ; region 3: execute for the epilogue
+    li r1, 0xFF18
+    li r2, epilogue
+    sw r2, r1, 0
+    li r2, end
+    sw r2, r1, 1
+    li r2, 12
+    sw r2, r1, 2
+    ; MPU on with the instruction access check
+    li r1, 0xFF22
+    li r2, 3
+    sw r2, r1, 0
+    ; busy work (the attack window)
+    li r6, 0x0100
+    li r3, 12
+    li r5, 1
+busy:
+    sw r3, r6, 0
+    lw r4, r6, 0
+    add r4, r4, r3
+    sw r4, r6, 1
+    sub r3, r3, r5
+    bne r3, r0, busy
+    ; --- illegal jump into the privileged routine (target cycle Tt) ---
+    jmp hidden
+hidden:
+    li r4, 0x0300
+    li r5, 0xCAFE
+    sw r5, r4, 0      ; plant the privileged token
+epilogue:
+    nop
+end:
+    halt
+  )");
+  // The successful attack's post-Tt trajectory for the analytical evaluator:
+  // fetches of the hidden routine + epilogue, and the token store.
+  const std::uint16_t hidden = b.program.label("hidden");
+  const std::uint16_t end = b.program.label("end");
+  for (std::uint16_t pc = hidden; pc <= end; ++pc) {
+    b.attack_path.push_back({pc, false, /*is_fetch=*/true});
+  }
+  b.attack_path.push_back({b.protected_addr, /*is_write=*/true, false});
+  return b;
+}
+
+SecurityBenchmark make_dma_exfiltration_benchmark() {
+  SecurityBenchmark b;
+  b.name = "dma_exfiltration";
+  b.kind = SecurityBenchmark::Kind::kIllegalRead;
+  b.protected_addr = 0x5180;
+  b.secret_value = 0x5EC1;
+  b.exfil_addr = 0x0200;
+  b.max_cycles = 400;
+  constexpr int kWords = 4;
+  // The peripheral path of paper Fig. 1: the program points the DMA engine
+  // at the privileged block and starts it at Tt. Fault-free, the engine's
+  // very first read is denied by the MPU and the transfer aborts.
+  b.program = rtl::assemble(
+      std::string(".data 0x5180 0x5EC1\n.data 0x5181 0x5EC2\n"
+                  ".data 0x5182 0x5EC3\n.data 0x5183 0x5EC4\n") +
+      kMpuSetup + R"(
+    ; region 2: the privileged block, enabled with no permissions
+    li r1, 0xFF10
+    li r2, 0x5000
+    sw r2, r1, 0
+    li r2, 0x5FFF
+    sw r2, r1, 1
+    li r2, 4
+    sw r2, r1, 2
+    ; program the DMA engine (device writes are never checked)
+    li r1, 0xFF30
+    li r2, 0x5180
+    sw r2, r1, 0      ; source: the secret block
+    li r2, 0x0200
+    sw r2, r1, 1      ; destination: open RAM
+    li r2, 4
+    sw r2, r1, 2      ; length
+)" + kBusyWork + R"(
+    ; --- start the illegal transfer (denied at target cycle Tt) ---
+    li r1, 0xFF33
+    li r2, 1
+    sw r2, r1, 0
+)" + kAftermath);
+  for (std::uint16_t i = 0; i < kWords; ++i) {
+    b.attack_path.push_back(
+        {static_cast<std::uint16_t>(b.protected_addr + i), false, false});
+    b.attack_path.push_back(
+        {static_cast<std::uint16_t>(b.exfil_addr + i), true, false});
+  }
+  return b;
+}
+
+rtl::Program make_synthetic_workload() {
+  // The pre-characterization workload must exercise the responding signal:
+  // each loop iteration issues one denied probe access (to an uncovered
+  // address) so the MPU violation wire toggles and switching signatures can
+  // correlate internal nodes with it. The probe does not disturb the rest of
+  // the workload (the squashed load reads 0 into a scratch register).
+  return rtl::assemble(std::string(kMpuSetup) + R"(
+    li r6, 0x0100
+    li r7, 0xEFFF     ; uncovered probe address (always denied; unreachable
+                      ; even by single-bit extensions of region limits)
+    li r3, 16
+    li r5, 1
+loop:
+    sw r3, r6, 0
+    lw r4, r6, 0
+    xor r4, r4, r3
+    shl r2, r4, r5
+    sw r2, r6, 1
+    lw r1, r6, 1
+    lw r2, r7, 0      ; denied probe: fires the responding signal
+    or r1, r1, r4
+    sw r1, r6, 2
+    sub r3, r3, r5
+    bne r3, r0, loop
+    ; read MPU status legitimately
+    li r1, 0xFF20
+    lw r2, r1, 0
+    halt
+  )");
+}
+
+}  // namespace fav::soc

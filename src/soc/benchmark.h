@@ -1,0 +1,77 @@
+// Security benchmarks: the workload programs whose vulnerability the
+// framework evaluates (paper Section 6: "benchmark ... written in C++ which
+// includes illegal memory write and read operations" — here written in MCU16
+// assembly).
+//
+// Each benchmark configures the MPU, performs legitimate busy-work (the
+// attack window), executes one illegal access at the target cycle Tt, and
+// runs a short aftermath before halting. The success oracle encodes the
+// attacker's goal: the malicious operation completed AND no violation was
+// recorded (the "illegal transition" of Section 3.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/machine.h"
+
+namespace fav::soc {
+
+struct SecurityBenchmark {
+  enum class Kind { kIllegalWrite, kIllegalRead, kIllegalExecute };
+
+  /// One access of the *successful* attack's trajectory after the target
+  /// cycle (needed by the analytical evaluator for benchmarks whose control
+  /// flow changes when the attack succeeds, i.e. kIllegalExecute: the hidden
+  /// routine's fetches and stores are not part of the golden trace).
+  struct AttackPathAccess {
+    std::uint16_t addr = 0;
+    bool is_write = false;
+    bool is_fetch = false;
+  };
+
+  std::string name;
+  Kind kind = Kind::kIllegalWrite;
+  rtl::Program program;
+  std::uint64_t max_cycles = 0;
+
+  std::uint16_t protected_addr = 0;  // word inside the read-only region
+  std::uint16_t protected_init = 0;  // its initial (legitimate) contents
+  std::uint16_t attack_value = 0;    // value the illegal write tries to plant
+  std::uint16_t exfil_addr = 0;      // where the illegal read leaks to
+  std::uint16_t secret_value = 0;    // contents the illegal read targets
+
+  /// Post-Tt accesses of the successful attack (kIllegalExecute only).
+  std::vector<AttackPathAccess> attack_path;
+
+  /// Attacker-goal oracle on the final machine state.
+  bool attack_succeeded(const rtl::ArchState& state,
+                        const rtl::Memory& ram) const;
+};
+
+/// Benchmark 1: illegal memory write into the read-only region.
+SecurityBenchmark make_illegal_write_benchmark();
+
+/// Benchmark 2: illegal memory read of a secret, exfiltrated to open RAM.
+SecurityBenchmark make_illegal_read_benchmark();
+
+/// Benchmark 3: illegal execution — jumping into a privileged routine that
+/// the MPU's instruction access check (paper Fig. 1) marks non-executable.
+/// The routine plants a privileged token in open RAM; the attacker wins if
+/// the token appears with no recorded violation.
+SecurityBenchmark make_illegal_exec_benchmark();
+
+/// Benchmark 4: DMA exfiltration — the peripheral bus master (paper Fig. 1)
+/// is pointed at a privileged block; the MPU denies the engine's first read
+/// at Tt. A fault that opens the block lets the transfer copy the secret to
+/// open RAM undetected.
+SecurityBenchmark make_dma_exfiltration_benchmark();
+
+/// Synthetic workload for pre-characterization (paper Section 4: switching
+/// signatures and register characterization run on synthetic benchmarks).
+/// Exercises the same MPU configuration and a representative mix of ALU,
+/// memory and branch activity, without any illegal access.
+rtl::Program make_synthetic_workload();
+
+}  // namespace fav::soc

@@ -1,0 +1,67 @@
+// Gate-level elaboration of MCU16.
+//
+// SocNetlist builds a structural netlist implementing exactly the semantics
+// of rtl::Machine (same ISA, same MPU, same memory map). Every architectural
+// register bit in rtl::RegisterMap corresponds 1:1 — by construction order —
+// to a DFF in the netlist, which is what allows the framework to hand state
+// between the RTL level and the gate level losslessly (paper Fig. 5 steps
+// 3/4/5). Instruction ROM and data RAM are external (standard SRAM macros in
+// a real flow); the netlist exposes fetch and memory ports.
+#pragma once
+
+#include <vector>
+
+#include "gen/builder.h"
+#include "netlist/netlist.h"
+#include "rtl/registers.h"
+
+namespace fav::soc {
+
+/// Netlist-level interface nets of the elaborated core.
+struct SocPorts {
+  // Primary inputs.
+  gen::Word instr;      // fetched instruction word (from external ROM)
+  gen::Word mem_rdata;  // combinational RAM read data
+
+  // Observable nets (registered or combinational).
+  gen::Word pc;         // current PC (drives the ROM address)
+  gen::Word mem_addr;   // data address
+  gen::Word mem_wdata;  // data to store
+  netlist::NodeId mem_read = netlist::kInvalidNode;   // RAM read performed
+  netlist::NodeId mem_write = netlist::kInvalidNode;  // RAM write performed
+  /// The responding signal (paper Section 4, Observation 1): a checked data
+  /// access was denied by the MPU this cycle.
+  netlist::NodeId mpu_viol = netlist::kInvalidNode;
+  netlist::NodeId halted = netlist::kInvalidNode;
+  /// DMA engine (peripheral bus master): transfer strobe and committed-write
+  /// strobe; addresses are read from the dma_src/dma_dst register words.
+  netlist::NodeId dma_transfer = netlist::kInvalidNode;
+  netlist::NodeId dma_write = netlist::kInvalidNode;
+  gen::Word dma_src;
+  gen::Word dma_dst;
+};
+
+class SocNetlist {
+ public:
+  SocNetlist();
+
+  const netlist::Netlist& netlist() const { return nl_; }
+  const SocPorts& ports() const { return ports_; }
+
+  /// The DFF implementing flat register-map bit `flat_bit`.
+  netlist::NodeId dff_for_bit(int flat_bit) const;
+  /// Inverse mapping; -1 when `node` is not a DFF of this design.
+  int flat_bit_for_dff(netlist::NodeId node) const;
+
+  static const rtl::RegisterMap& reg_map() { return rtl::RegisterMap::mcu16(); }
+
+ private:
+  void elaborate();
+
+  netlist::Netlist nl_;
+  SocPorts ports_;
+  std::vector<netlist::NodeId> bit_to_dff_;
+  std::vector<int> dff_to_bit_;  // indexed by NodeId
+};
+
+}  // namespace fav::soc

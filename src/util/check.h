@@ -1,0 +1,50 @@
+// Lightweight runtime-check utilities shared by all fav libraries.
+//
+// FAV_CHECK is used for precondition/invariant validation on public API
+// boundaries; it throws fav::CheckError (derived from std::logic_error) so
+// callers and tests can assert on violations without aborting the process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fav {
+
+/// Thrown when a FAV_CHECK condition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace fav
+
+/// Validate a condition; throws fav::CheckError with location info on failure.
+#define FAV_CHECK(cond)                                              \
+  do {                                                               \
+    if (!(cond)) ::fav::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Same as FAV_CHECK but appends a streamed message, e.g.
+///   FAV_CHECK_MSG(i < n, "index " << i << " out of range " << n);
+#define FAV_CHECK_MSG(cond, stream_expr)                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream fav_check_os_;                                   \
+      fav_check_os_ << stream_expr;                                       \
+      ::fav::detail::check_failed(#cond, __FILE__, __LINE__,              \
+                                  fav_check_os_.str());                   \
+    }                                                                     \
+  } while (0)

@@ -1,0 +1,37 @@
+// Weighted discrete distribution with O(log n) sampling and O(1) pmf lookup.
+//
+// Importance sampling needs both directions: draw an index from g, and then
+// evaluate g(index) (and f(index)) to form the likelihood ratio f/g. A plain
+// std::discrete_distribution hides the pmf, so we keep our own table.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace fav {
+
+class DiscreteDistribution {
+ public:
+  DiscreteDistribution() = default;
+  /// Weights must be non-negative with a positive sum; they are normalized.
+  explicit DiscreteDistribution(std::vector<double> weights);
+
+  std::size_t size() const { return pmf_.size(); }
+  bool empty() const { return pmf_.empty(); }
+
+  /// Probability of index i under the normalized distribution.
+  double pmf(std::size_t i) const;
+
+  /// Draws an index distributed according to the weights.
+  std::size_t sample(Rng& rng) const;
+
+  const std::vector<double>& probabilities() const { return pmf_; }
+
+ private:
+  std::vector<double> pmf_;
+  std::vector<double> cdf_;  // cdf_[i] = sum of pmf_[0..i]
+};
+
+}  // namespace fav

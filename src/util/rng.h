@@ -1,0 +1,102 @@
+// Deterministic, seedable random number generation for Monte Carlo sampling.
+//
+// We use xoshiro256** (public-domain algorithm by Blackman & Vigna) rather
+// than std::mt19937 for speed and for a guaranteed-stable stream across
+// standard library implementations — reproducible experiments require the
+// sample sequence to be identical everywhere.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/check.h"
+
+namespace fav {
+
+/// splitmix64; used to expand a single 64-bit seed into xoshiro state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97f4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5EEDDEADBEEFull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t uniform_below(std::uint64_t bound) {
+    FAV_CHECK(bound > 0);
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    FAV_CHECK_MSG(lo <= hi, "empty range [" << lo << ", " << hi << "]");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    return lo + static_cast<std::int64_t>(uniform_below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    FAV_CHECK(lo <= hi);
+    return lo + (hi - lo) * uniform01();
+  }
+
+  bool bernoulli(double p) { return uniform01() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace fav

@@ -1,0 +1,62 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fav {
+
+double RunningStats::standard_error() const {
+  if (n_ < 2) return 0.0;
+  return std::sqrt(variance() / static_cast<double>(n_));
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0.0) {
+  FAV_CHECK_MSG(hi > lo, "empty histogram range");
+  FAV_CHECK(bins > 0);
+}
+
+void Histogram::add(double x, double weight) {
+  const double rel = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::ptrdiff_t>(rel * static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(bin)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  FAV_CHECK(i < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  FAV_CHECK(i < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(i + 1) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_fraction(std::size_t i) const {
+  if (total_ == 0.0) return 0.0;
+  return bin_weight(i) / total_;
+}
+
+}  // namespace fav

@@ -1,0 +1,76 @@
+// Streaming statistics used by the SSF estimator and the benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace fav {
+
+/// Numerically-stable streaming mean/variance (Welford's algorithm).
+///
+/// The paper's convergence analysis (weak LLN bound) is driven by the sample
+/// variance sigma^2_E of the per-attack contribution; this accumulator tracks
+/// exactly that quantity for each sampling strategy.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  /// Population variance (n denominator); 0 for n < 1.
+  double population_variance() const {
+    return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  /// Standard error of the mean: sqrt(variance / n).
+  double standard_error() const;
+
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bin histogram over [lo, hi); values outside are clamped into the
+/// first/last bin. Used to reproduce the Fig. 4 characterization plots.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  double bin_weight(std::size_t i) const { return counts_.at(i); }
+  double total_weight() const { return total_; }
+  /// Fraction of total weight in bin i (0 if the histogram is empty).
+  double bin_fraction(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace fav

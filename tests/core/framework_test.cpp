@@ -1,0 +1,100 @@
+#include "core/framework.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace fav::core {
+namespace {
+
+// One shared instance: construction runs the full pre-characterization.
+FaultAttackEvaluator& fw() {
+  static FaultAttackEvaluator instance(soc::make_illegal_write_benchmark());
+  return instance;
+}
+
+TEST(Framework, AssemblesAllComponents) {
+  EXPECT_GT(fw().soc().netlist().gate_count(), 1000u);
+  EXPECT_GT(fw().golden().length(), 100u);
+  EXPECT_GT(fw().signatures().cycles(), 100u);
+  EXPECT_GT(fw().characterization().memory_type_bits().size(), 50u);
+  EXPECT_GT(fw().target_cycle(), 50u);
+}
+
+TEST(Framework, ChipAttackModelCoversAllPlacedCells) {
+  const auto a = fw().chip_attack_model(1.5, 50);
+  EXPECT_EQ(a.candidate_centers.size(), fw().placement().placed_nodes().size());
+  EXPECT_EQ(a.t_count(), 50);
+  EXPECT_THROW(fw().chip_attack_model(1.5, 0), fav::CheckError);
+}
+
+TEST(Framework, SubblockModelIsSmallerThanChip) {
+  const auto sub = fw().subblock_attack_model(1.5, 50);
+  const auto chip = fw().chip_attack_model(1.5, 50);
+  EXPECT_LT(sub.candidate_centers.size(), chip.candidate_centers.size() + 1);
+  EXPECT_GT(sub.candidate_centers.size(), 100u);
+}
+
+TEST(Framework, PotencyMarksGrantingBits) {
+  const auto& potency = fw().config().sampling.memory_bit_potency;
+  const auto& map = rtl::Machine::reg_map();
+  ASSERT_EQ(potency.size(), static_cast<std::size_t>(map.total_bits()));
+  // The write-permission bit of region 1 enables the illegal write.
+  const int grant = map.field(map.field_index("mpu1_perm")).offset + 1;
+  EXPECT_EQ(potency[static_cast<std::size_t>(grant)], 1);
+  // viol_addr bits never enable anything.
+  const int va = map.field(map.field_index("viol_addr")).offset;
+  for (int b = 0; b < 16; ++b) {
+    EXPECT_EQ(potency[static_cast<std::size_t>(va + b)], 0) << b;
+  }
+  int potent = 0;
+  for (const char p : potency) potent += p;
+  EXPECT_GT(potent, 2);
+  EXPECT_LT(potent, map.total_bits() / 4);
+}
+
+TEST(Framework, SamplersEvaluateEndToEnd) {
+  const auto attack = fw().subblock_attack_model(1.5, 50);
+  Rng rng(42);
+  auto random = fw().make_random_sampler(attack);
+  auto cone = fw().make_cone_sampler(attack);
+  auto importance = fw().make_importance_sampler(attack);
+  const auto r1 = fw().evaluator().run(*random, rng, 300);
+  const auto r2 = fw().evaluator().run(*cone, rng, 300);
+  const auto r3 = fw().evaluator().run(*importance, rng, 300);
+  EXPECT_EQ(r1.stats.count(), 300u);
+  EXPECT_EQ(r2.stats.count(), 300u);
+  EXPECT_EQ(r3.stats.count(), 300u);
+  // The importance strategy must find successes far more often.
+  EXPECT_GT(r3.successes, r1.successes);
+  EXPECT_GT(r3.successes, 10u);
+}
+
+TEST(Framework, ImportanceVarianceBeatsRandom) {
+  const auto attack = fw().subblock_attack_model(1.5, 50);
+  Rng rng(77);
+  auto random = fw().make_random_sampler(attack);
+  auto importance = fw().make_importance_sampler(attack);
+  const auto rr = fw().evaluator().run(*random, rng, 1500);
+  const auto ri = fw().evaluator().run(*importance, rng, 1500);
+  // Fig. 9's headline: orders-of-magnitude variance reduction. Require at
+  // least 10x here to keep the test robust across seeds.
+  if (rr.sample_variance() > 0 && ri.sample_variance() > 0) {
+    EXPECT_GT(rr.sample_variance() / ri.sample_variance(), 10.0);
+  }
+  EXPECT_GT(ri.successes, rr.successes);
+}
+
+TEST(Framework, ReadBenchmarkAlsoWorks) {
+  FaultAttackEvaluator read_fw(soc::make_illegal_read_benchmark());
+  EXPECT_GT(read_fw.target_cycle(), 50u);
+  const auto attack = read_fw.subblock_attack_model(1.5, 50);
+  Rng rng(5);
+  auto importance = read_fw.make_importance_sampler(attack);
+  const auto res = read_fw.evaluator().run(*importance, rng, 400);
+  EXPECT_GT(res.successes, 0u);
+  EXPECT_GT(res.ssf(), 0.0);
+}
+
+}  // namespace
+}  // namespace fav::core

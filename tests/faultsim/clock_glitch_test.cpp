@@ -1,0 +1,110 @@
+#include "faultsim/clock_glitch.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/builder.h"
+#include "util/check.h"
+
+namespace fav::faultsim {
+namespace {
+
+using netlist::CellType;
+using netlist::LogicSimulator;
+using netlist::Netlist;
+using netlist::NodeId;
+
+// Two registers with very different path depths:
+//   fast: in -> r_fast (arrival ~0)
+//   slow: in -> NOT^8 -> r_slow
+struct TwoPaths {
+  Netlist nl;
+  NodeId in, r_fast, r_slow;
+  TwoPaths() {
+    in = nl.add_input("in");
+    r_fast = nl.add_dff("r_fast");
+    nl.connect_dff(r_fast, in);
+    NodeId cur = in;
+    for (int i = 0; i < 8; ++i) cur = nl.add_gate(CellType::kNot, {cur});
+    r_slow = nl.add_dff("r_slow");
+    nl.connect_dff(r_slow, cur);
+  }
+};
+
+TEST(ClockGlitchSimulator, NominalPeriodNeverFlips) {
+  TwoPaths c;
+  ClockGlitchSimulator glitch(c.nl);
+  LogicSimulator sim(c.nl);
+  sim.set_input("in", true);
+  sim.evaluate_comb();
+  EXPECT_TRUE(
+      glitch.flipped_dffs(sim, glitch.timing().clock_period()).empty());
+}
+
+TEST(ClockGlitchSimulator, DeepGlitchFlipsSlowPathOnly) {
+  TwoPaths c;
+  const TimingModel tm;
+  ClockGlitchSimulator glitch(c.nl, tm);
+  LogicSimulator sim(c.nl);
+  sim.set_input("in", true);  // r_fast D = 1, r_slow D = NOT^8(1) = 1
+  sim.evaluate_comb();
+  // Glitch between the fast and slow arrivals: only the slow register
+  // misses timing, and it flips because its old Q (0) != new D (1).
+  const double mid = 4 * tm.delay_inv;
+  const auto flips = glitch.flipped_dffs(sim, mid);
+  ASSERT_EQ(flips.size(), 1u);
+  EXPECT_EQ(flips[0], c.r_slow);
+}
+
+TEST(ClockGlitchSimulator, HoldOfSameValueIsNoError) {
+  TwoPaths c;
+  const TimingModel tm;
+  ClockGlitchSimulator glitch(c.nl, tm);
+  LogicSimulator sim(c.nl);
+  // Preload r_slow with the value it would capture anyway: holding it is
+  // not an error.
+  sim.set_input("in", true);
+  sim.set_register(c.r_slow, true);
+  sim.evaluate_comb();
+  EXPECT_TRUE(glitch.flipped_dffs(sim, 4 * tm.delay_inv).empty());
+}
+
+TEST(ClockGlitchSimulator, VeryDeepGlitchFlipsEveryChangingRegister) {
+  TwoPaths c;
+  ClockGlitchSimulator glitch(c.nl);
+  LogicSimulator sim(c.nl);
+  sim.set_input("in", true);  // both registers would change 0 -> 1
+  sim.evaluate_comb();
+  const auto flips = glitch.flipped_dffs(sim, 1e-6);
+  EXPECT_EQ(flips.size(), 2u);
+}
+
+TEST(ClockGlitchSimulator, CriticalDArrival) {
+  TwoPaths c;
+  const TimingModel tm;
+  ClockGlitchSimulator glitch(c.nl, tm);
+  EXPECT_DOUBLE_EQ(glitch.critical_d_arrival(), 8 * tm.delay_inv);
+}
+
+TEST(ClockGlitchSimulator, InvalidPeriodThrows) {
+  TwoPaths c;
+  ClockGlitchSimulator glitch(c.nl);
+  LogicSimulator sim(c.nl);
+  sim.evaluate_comb();
+  EXPECT_THROW(glitch.flipped_dffs(sim, 0.0), fav::CheckError);
+}
+
+TEST(ClockGlitchAttackModel, Validation) {
+  ClockGlitchAttackModel m;
+  EXPECT_NO_THROW(m.check_valid());
+  EXPECT_EQ(m.t_count(), 50);
+  m.depths = {1.5};
+  EXPECT_THROW(m.check_valid(), fav::CheckError);
+  m.depths = {};
+  EXPECT_THROW(m.check_valid(), fav::CheckError);
+  m.depths = {0.5};
+  m.t_max = -1;
+  EXPECT_THROW(m.check_valid(), fav::CheckError);
+}
+
+}  // namespace
+}  // namespace fav::faultsim

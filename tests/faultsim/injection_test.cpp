@@ -1,0 +1,254 @@
+#include "faultsim/injection.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netlist/logicsim.h"
+
+namespace fav::faultsim {
+namespace {
+
+using netlist::CellType;
+using netlist::LogicSimulator;
+using netlist::Netlist;
+using netlist::NodeId;
+
+// Inverter chain of `depth` gates into a DFF: in -> NOT^depth -> r.
+struct Chain {
+  Netlist nl;
+  NodeId in;
+  std::vector<NodeId> gates;
+  NodeId r;
+  explicit Chain(int depth) {
+    in = nl.add_input("in");
+    NodeId cur = in;
+    for (int i = 0; i < depth; ++i) {
+      cur = nl.add_gate(CellType::kNot, {cur}, "g" + std::to_string(i));
+      gates.push_back(cur);
+    }
+    r = nl.add_dff("r");
+    nl.connect_dff(r, cur);
+  }
+};
+
+LogicSimulator settled(const Netlist& nl) {
+  LogicSimulator sim(nl);
+  sim.evaluate_comb();
+  return sim;
+}
+
+TEST(InjectionSimulator, NoStrikeIsMasked) {
+  Chain c(5);
+  InjectionSimulator inj(c.nl);
+  const LogicSimulator sim = settled(c.nl);
+  const auto result = inj.inject(sim, {});
+  EXPECT_TRUE(result.masked());
+  EXPECT_EQ(result.struck_gates, 0u);
+  EXPECT_EQ(result.struck_dffs, 0u);
+}
+
+TEST(InjectionSimulator, DirectDffStrikeAlwaysFlips) {
+  Chain c(5);
+  InjectionSimulator inj(c.nl);
+  const LogicSimulator sim = settled(c.nl);
+  const std::vector<NodeId> struck = {c.r};
+  const auto result = inj.inject(sim, struck, /*strike_time=*/0.0);
+  ASSERT_EQ(result.flipped_dffs.size(), 1u);
+  EXPECT_EQ(result.flipped_dffs[0], c.r);
+  EXPECT_EQ(result.struck_dffs, 1u);
+  EXPECT_EQ(result.direct_flips, 1u);
+  EXPECT_EQ(result.latched_flips, 0u);
+}
+
+TEST(InjectionSimulator, StrikeNearClockEdgeLatches) {
+  Chain c(5);
+  const TimingModel tm;
+  InjectionSimulator inj(c.nl, tm);
+  const LogicSimulator sim = settled(c.nl);
+  // Strike the first gate so the pulse arrives at the D input right around
+  // the latching window: choose strike_time so that
+  // start + 4*delay_inv hits window_lo.
+  const double window_lo = inj.timing().clock_period() - tm.setup_time;
+  const double strike = window_lo - 4 * tm.delay_inv - 0.1;
+  const std::vector<NodeId> struck = {c.gates[0]};
+  const auto result = inj.inject(sim, struck, strike);
+  ASSERT_EQ(result.flipped_dffs.size(), 1u);
+  EXPECT_EQ(result.flipped_dffs[0], c.r);
+  EXPECT_EQ(result.latched_flips, 1u);
+  EXPECT_EQ(result.struck_gates, 1u);
+}
+
+TEST(InjectionSimulator, LateStrikeMissesWindow) {
+  Chain c(5);
+  const TimingModel tm;
+  InjectionSimulator inj(c.nl, tm);
+  const LogicSimulator sim = settled(c.nl);
+  // Pulse arrives entirely after the hold window closes.
+  const double window_hi = inj.timing().clock_period() + tm.hold_time;
+  const double strike = window_hi - 4 * tm.delay_inv + 0.1;
+  const std::vector<NodeId> struck = {c.gates[0]};
+  const auto result = inj.inject(sim, struck, strike);
+  EXPECT_TRUE(result.masked());
+}
+
+TEST(InjectionSimulator, EarlyStrikeDiesBeforeWindow) {
+  // Long chain: generous slack between pulse arrival and the clock edge.
+  Chain c(30);
+  TimingModel tm;
+  tm.attenuation = 0.0;  // isolate temporal masking from electrical
+  InjectionSimulator inj(c.nl, tm);
+  const LogicSimulator sim = settled(c.nl);
+  // Strike the last gate early: pulse [29+1, +3] = [30, 33]; window starts at
+  // (30 + 0.6) * 1.15 - 0.6 ≈ 34.6 — the pulse is long gone.
+  const std::vector<NodeId> struck = {c.gates[29]};
+  const auto result = inj.inject(sim, struck, /*strike_time=*/0.0);
+  EXPECT_TRUE(result.masked());
+}
+
+TEST(InjectionSimulator, ElectricalMaskingKillsNarrowPulses) {
+  // With default attenuation 0.15 and width 3.0, a pulse survives at most
+  // (3.0 - 0.5) / 0.15 ≈ 16 stages. A 25-deep chain masks it regardless of
+  // timing.
+  Chain c(25);
+  InjectionSimulator inj(c.nl);
+  const LogicSimulator sim = settled(c.nl);
+  bool any_flip = false;
+  for (double frac : {0.0, 0.25, 0.5, 0.75, 0.95}) {
+    const auto result = inj.inject(
+        sim, std::vector<NodeId>{c.gates[0]},
+        frac * inj.timing().clock_period());
+    any_flip |= !result.masked();
+  }
+  EXPECT_FALSE(any_flip);
+}
+
+TEST(InjectionSimulator, LogicalMaskingByControllingSideInput) {
+  // glitch -> AND(g, side); side = 0 masks, side = 1 sensitizes.
+  Netlist nl;
+  const NodeId in = nl.add_input("in");
+  const NodeId side = nl.add_input("side");
+  const NodeId g1 = nl.add_gate(CellType::kNot, {in}, "g1");
+  const NodeId g2 = nl.add_gate(CellType::kAnd, {g1, side}, "g2");
+  const NodeId r = nl.add_dff("r");
+  nl.connect_dff(r, g2);
+
+  const TimingModel tm;
+  InjectionSimulator inj(nl, tm);
+  // Aim the pulse at the window through 1 AND delay.
+  const double window_lo = inj.timing().clock_period() - tm.setup_time;
+  const double strike = window_lo - tm.delay_and_or - 0.1;
+
+  LogicSimulator sim(nl);
+  sim.set_input("side", false);
+  sim.evaluate_comb();
+  EXPECT_TRUE(inj.inject(sim, std::vector<NodeId>{g1}, strike).masked());
+
+  sim.set_input("side", true);
+  sim.evaluate_comb();
+  EXPECT_FALSE(inj.inject(sim, std::vector<NodeId>{g1}, strike).masked());
+}
+
+TEST(InjectionSimulator, MuxSelectGlitchNeedsDifferingData) {
+  Netlist nl;
+  const NodeId sel = nl.add_input("sel");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId selbuf = nl.add_gate(CellType::kBuf, {sel}, "selbuf");
+  const NodeId m = nl.add_gate(CellType::kMux, {selbuf, a, b}, "m");
+  const NodeId r = nl.add_dff("r");
+  nl.connect_dff(r, m);
+
+  const TimingModel tm;
+  InjectionSimulator inj(nl, tm);
+  const double window_lo = inj.timing().clock_period() - tm.setup_time;
+  const double strike = window_lo - tm.delay_mux - 0.05;
+
+  LogicSimulator sim(nl);
+  sim.set_input("a", true);
+  sim.set_input("b", true);  // equal data: select glitch is invisible
+  sim.evaluate_comb();
+  EXPECT_TRUE(inj.inject(sim, std::vector<NodeId>{selbuf}, strike).masked());
+
+  sim.set_input("b", false);  // differing data: glitch reaches the output
+  sim.evaluate_comb();
+  EXPECT_FALSE(inj.inject(sim, std::vector<NodeId>{selbuf}, strike).masked());
+}
+
+TEST(InjectionSimulator, MuxUnselectedDataPinMasked) {
+  Netlist nl;
+  const NodeId sel = nl.add_input("sel");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId abuf = nl.add_gate(CellType::kBuf, {a}, "abuf");
+  const NodeId m = nl.add_gate(CellType::kMux, {sel, abuf, b}, "m");
+  const NodeId r = nl.add_dff("r");
+  nl.connect_dff(r, m);
+
+  const TimingModel tm;
+  InjectionSimulator inj(nl, tm);
+  const double window_lo = inj.timing().clock_period() - tm.setup_time;
+  const double strike = window_lo - tm.delay_mux - 0.05;
+
+  LogicSimulator sim(nl);
+  sim.set_input("sel", true);  // selects b: glitch on a-path is masked
+  sim.evaluate_comb();
+  EXPECT_TRUE(inj.inject(sim, std::vector<NodeId>{abuf}, strike).masked());
+
+  sim.set_input("sel", false);
+  sim.evaluate_comb();
+  EXPECT_FALSE(inj.inject(sim, std::vector<NodeId>{abuf}, strike).masked());
+}
+
+TEST(InjectionSimulator, FanoutReachesMultipleRegisters) {
+  // One struck gate fans out to two DFFs: both can flip.
+  Netlist nl;
+  const NodeId in = nl.add_input("in");
+  const NodeId g = nl.add_gate(CellType::kBuf, {in}, "g");
+  const NodeId r1 = nl.add_dff("r1");
+  const NodeId r2 = nl.add_dff("r2");
+  nl.connect_dff(r1, g);
+  nl.connect_dff(r2, g);
+
+  const TimingModel tm;
+  InjectionSimulator inj(nl, tm);
+  const double window_lo = inj.timing().clock_period() - tm.setup_time;
+  LogicSimulator sim(nl);
+  sim.evaluate_comb();
+  const auto result =
+      inj.inject(sim, std::vector<NodeId>{g}, window_lo - 0.05);
+  EXPECT_EQ(result.flipped_dffs.size(), 2u);
+  EXPECT_EQ(result.latched_flips, 2u);
+}
+
+TEST(InjectionSimulator, DeterministicForSameInputs) {
+  Chain c(8);
+  InjectionSimulator inj(c.nl);
+  const LogicSimulator sim = settled(c.nl);
+  const std::vector<NodeId> struck = {c.gates[0], c.gates[3], c.r};
+  const auto r1 = inj.inject(sim, struck, 2.0);
+  const auto r2 = inj.inject(sim, struck, 2.0);
+  EXPECT_EQ(r1.flipped_dffs, r2.flipped_dffs);
+  EXPECT_EQ(r1.struck_gates, r2.struck_gates);
+}
+
+TEST(InjectionSimulator, NegativeStrikeTimeThrows) {
+  Chain c(3);
+  InjectionSimulator inj(c.nl);
+  const LogicSimulator sim = settled(c.nl);
+  EXPECT_THROW(inj.inject(sim, std::vector<NodeId>{c.gates[0]}, -1.0),
+               fav::CheckError);
+}
+
+TEST(InjectionSimulator, BadParamsThrow) {
+  Chain c(3);
+  TransientParams tp;
+  tp.initial_width = 0.0;
+  EXPECT_THROW(InjectionSimulator(c.nl, TimingModel{}, tp), fav::CheckError);
+  tp.initial_width = 1.0;
+  tp.max_pulses_per_node = 0;
+  EXPECT_THROW(InjectionSimulator(c.nl, TimingModel{}, tp), fav::CheckError);
+}
+
+}  // namespace
+}  // namespace fav::faultsim

@@ -1,0 +1,81 @@
+#include "faultsim/timing.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/builder.h"
+
+namespace fav::faultsim {
+namespace {
+
+using netlist::CellType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+TEST(TimingModel, DelaysArePositiveForGates) {
+  const TimingModel tm;
+  for (CellType t : {CellType::kBuf, CellType::kNot, CellType::kAnd,
+                     CellType::kOr, CellType::kNand, CellType::kNor,
+                     CellType::kXor, CellType::kXnor, CellType::kMux}) {
+    EXPECT_GT(tm.delay(t), 0.0) << cell_name(t);
+  }
+  EXPECT_EQ(tm.delay(CellType::kInput), 0.0);
+  EXPECT_EQ(tm.delay(CellType::kDff), 0.0);
+}
+
+TEST(TimingAnalysis, ChainArrivalsAccumulate) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  NodeId cur = a;
+  for (int i = 0; i < 4; ++i) cur = nl.add_gate(CellType::kNot, {cur});
+  const TimingModel tm;
+  TimingAnalysis ta(nl, tm);
+  EXPECT_DOUBLE_EQ(ta.arrival(a), 0.0);
+  EXPECT_DOUBLE_EQ(ta.arrival(cur), 4 * tm.delay_inv);
+  EXPECT_DOUBLE_EQ(ta.critical_path(), 4 * tm.delay_inv);
+}
+
+TEST(TimingAnalysis, MaxOverFanins) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId slow = nl.add_gate(
+      CellType::kNot, {nl.add_gate(CellType::kNot, {a})});  // 2 inv deep
+  const NodeId g = nl.add_gate(CellType::kAnd, {a, slow});
+  const TimingModel tm;
+  TimingAnalysis ta(nl, tm);
+  EXPECT_DOUBLE_EQ(ta.arrival(g), 2 * tm.delay_inv + tm.delay_and_or);
+}
+
+TEST(TimingAnalysis, PeriodExceedsCriticalPlusSetup) {
+  Netlist nl;
+  gen::Builder b(nl);
+  const auto x = b.input_word("x", 8);
+  const auto y = b.input_word("y", 8);
+  const auto s = b.add_word(x, y);
+  const auto r = b.dff_word("r", 8);
+  b.connect_word(r, s);
+  const TimingModel tm;
+  TimingAnalysis ta(nl, tm);
+  EXPECT_GT(ta.critical_path(), 0.0);
+  EXPECT_GE(ta.clock_period(), ta.critical_path() + tm.setup_time);
+}
+
+TEST(TimingAnalysis, DffOutputsSettleAtZero) {
+  Netlist nl;
+  const NodeId r = nl.add_dff("r");
+  const NodeId g = nl.add_gate(CellType::kNot, {r});
+  nl.connect_dff(r, g);
+  TimingAnalysis ta(nl, TimingModel{});
+  EXPECT_DOUBLE_EQ(ta.arrival(r), 0.0);
+  EXPECT_GT(ta.arrival(g), 0.0);
+}
+
+TEST(TimingAnalysis, InvalidMarginThrows) {
+  Netlist nl;
+  nl.add_input("a");
+  TimingModel tm;
+  tm.clock_margin = 0.9;
+  EXPECT_THROW(TimingAnalysis(nl, tm), fav::CheckError);
+}
+
+}  // namespace
+}  // namespace fav::faultsim

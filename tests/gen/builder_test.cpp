@@ -1,0 +1,295 @@
+#include "gen/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/logicsim.h"
+#include "util/rng.h"
+
+namespace fav::gen {
+namespace {
+
+using netlist::LogicSimulator;
+
+// Harness: evaluate a combinational function of two input words over random
+// and corner-case operand pairs.
+class WordOpTest : public ::testing::Test {
+ protected:
+  static constexpr int kWidth = 8;
+
+  struct Circuit {
+    Netlist nl;
+    Word a, b;
+    Builder bld{nl};
+    Circuit() {
+      a = bld.input_word("a", kWidth);
+      b = bld.input_word("b", kWidth);
+    }
+  };
+
+  static void set_word(LogicSimulator& sim, const Word& w, std::uint64_t v) {
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      sim.set_input(w[i], (v >> i) & 1);
+    }
+  }
+
+  static std::uint64_t get_word(const LogicSimulator& sim, const Word& w) {
+    return read_word(w, [&](NodeId id) { return sim.value(id); });
+  }
+
+  static std::vector<std::pair<std::uint64_t, std::uint64_t>> operand_pairs() {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> out = {
+        {0, 0},     {0, 255},  {255, 0},  {255, 255},
+        {1, 255},   {128, 127}, {42, 42},  {200, 100},
+    };
+    fav::Rng rng(99);
+    for (int i = 0; i < 64; ++i) {
+      out.emplace_back(rng.uniform_below(256), rng.uniform_below(256));
+    }
+    return out;
+  }
+};
+
+TEST_F(WordOpTest, ConstantWord) {
+  Circuit c;
+  const Word k = c.bld.constant_word(0xA5, kWidth);
+  LogicSimulator sim(c.nl);
+  sim.evaluate_comb();
+  EXPECT_EQ(get_word(sim, k), 0xA5u);
+}
+
+TEST_F(WordOpTest, AddSubIncrement) {
+  Circuit c;
+  const Word sum = c.bld.add_word(c.a, c.b);
+  const Word diff = c.bld.sub_word(c.a, c.b);
+  const Word inc = c.bld.increment(c.a);
+  LogicSimulator sim(c.nl);
+  for (const auto& [va, vb] : operand_pairs()) {
+    set_word(sim, c.a, va);
+    set_word(sim, c.b, vb);
+    sim.evaluate_comb();
+    EXPECT_EQ(get_word(sim, sum), (va + vb) & 0xFF) << va << "+" << vb;
+    EXPECT_EQ(get_word(sim, diff), (va - vb) & 0xFF) << va << "-" << vb;
+    EXPECT_EQ(get_word(sim, inc), (va + 1) & 0xFF);
+  }
+}
+
+TEST_F(WordOpTest, AdderCarryOut) {
+  Circuit c;
+  auto [sum, carry] = c.bld.adder(c.a, c.b, c.bld.const0());
+  (void)sum;
+  LogicSimulator sim(c.nl);
+  for (const auto& [va, vb] : operand_pairs()) {
+    set_word(sim, c.a, va);
+    set_word(sim, c.b, vb);
+    sim.evaluate_comb();
+    EXPECT_EQ(sim.value(carry), va + vb > 0xFF) << va << "+" << vb;
+  }
+}
+
+TEST_F(WordOpTest, BitwiseOps) {
+  Circuit c;
+  const Word w_and = c.bld.and_word(c.a, c.b);
+  const Word w_or = c.bld.or_word(c.a, c.b);
+  const Word w_xor = c.bld.xor_word(c.a, c.b);
+  const Word w_not = c.bld.not_word(c.a);
+  LogicSimulator sim(c.nl);
+  for (const auto& [va, vb] : operand_pairs()) {
+    set_word(sim, c.a, va);
+    set_word(sim, c.b, vb);
+    sim.evaluate_comb();
+    EXPECT_EQ(get_word(sim, w_and), va & vb);
+    EXPECT_EQ(get_word(sim, w_or), va | vb);
+    EXPECT_EQ(get_word(sim, w_xor), va ^ vb);
+    EXPECT_EQ(get_word(sim, w_not), ~va & 0xFF);
+  }
+}
+
+TEST_F(WordOpTest, Comparisons) {
+  Circuit c;
+  const NodeId eq = c.bld.eq_word(c.a, c.b);
+  const NodeId ne = c.bld.ne_word(c.a, c.b);
+  const NodeId lt = c.bld.ult(c.a, c.b);
+  const NodeId le = c.bld.ule(c.a, c.b);
+  const NodeId ge = c.bld.uge(c.a, c.b);
+  const NodeId gt = c.bld.ugt(c.a, c.b);
+  LogicSimulator sim(c.nl);
+  for (const auto& [va, vb] : operand_pairs()) {
+    set_word(sim, c.a, va);
+    set_word(sim, c.b, vb);
+    sim.evaluate_comb();
+    EXPECT_EQ(sim.value(eq), va == vb) << va << " vs " << vb;
+    EXPECT_EQ(sim.value(ne), va != vb);
+    EXPECT_EQ(sim.value(lt), va < vb) << va << " < " << vb;
+    EXPECT_EQ(sim.value(le), va <= vb);
+    EXPECT_EQ(sim.value(ge), va >= vb);
+    EXPECT_EQ(sim.value(gt), va > vb);
+  }
+}
+
+TEST_F(WordOpTest, Reductions) {
+  Circuit c;
+  const NodeId any = c.bld.reduce_or(c.a);
+  const NodeId all = c.bld.reduce_and(c.a);
+  const NodeId zero = c.bld.is_zero(c.a);
+  LogicSimulator sim(c.nl);
+  for (std::uint64_t v : {0ull, 1ull, 0x80ull, 0xFFull, 0x7Full}) {
+    set_word(sim, c.a, v);
+    sim.evaluate_comb();
+    EXPECT_EQ(sim.value(any), v != 0);
+    EXPECT_EQ(sim.value(all), v == 0xFF);
+    EXPECT_EQ(sim.value(zero), v == 0);
+  }
+}
+
+TEST_F(WordOpTest, BarrelShifts) {
+  Circuit c;
+  const Word shamt = c.bld.slice(c.b, 0, 3);  // 0..7
+  const Word shl = c.bld.shl_word(c.a, shamt);
+  const Word shr = c.bld.shr_word(c.a, shamt);
+  LogicSimulator sim(c.nl);
+  for (std::uint64_t v : {0x01ull, 0x81ull, 0xFFull, 0x5Aull}) {
+    for (std::uint64_t s = 0; s < 8; ++s) {
+      set_word(sim, c.a, v);
+      set_word(sim, c.b, s);
+      sim.evaluate_comb();
+      EXPECT_EQ(get_word(sim, shl), (v << s) & 0xFF) << v << "<<" << s;
+      EXPECT_EQ(get_word(sim, shr), v >> s) << v << ">>" << s;
+    }
+  }
+}
+
+TEST_F(WordOpTest, MuxWordSelects) {
+  Circuit c;
+  const NodeId sel = c.nl.add_input("sel");
+  const Word m = c.bld.mux_word(sel, c.a, c.b);
+  LogicSimulator sim(c.nl);
+  set_word(sim, c.a, 0x12);
+  set_word(sim, c.b, 0x34);
+  sim.set_input(sel, false);
+  sim.evaluate_comb();
+  EXPECT_EQ(get_word(sim, m), 0x12u);
+  sim.set_input(sel, true);
+  sim.evaluate_comb();
+  EXPECT_EQ(get_word(sim, m), 0x34u);
+}
+
+TEST_F(WordOpTest, MuxTreeSelectsAmongFour) {
+  Netlist nl;
+  Builder bld(nl);
+  const Word sel = bld.input_word("sel", 2);
+  std::vector<Word> choices;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    choices.push_back(bld.constant_word(0x10 + i, 8));
+  }
+  const Word out = bld.mux_tree(sel, choices);
+  LogicSimulator sim(nl);
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    sim.set_input(sel[0], s & 1);
+    sim.set_input(sel[1], (s >> 1) & 1);
+    sim.evaluate_comb();
+    EXPECT_EQ(get_word(sim, out), 0x10 + s);
+  }
+}
+
+TEST_F(WordOpTest, MuxTreeWrongChoiceCountThrows) {
+  Netlist nl;
+  Builder bld(nl);
+  const Word sel = bld.input_word("sel", 2);
+  std::vector<Word> choices(3, bld.constant_word(0, 4));
+  EXPECT_THROW(bld.mux_tree(sel, choices), fav::CheckError);
+}
+
+TEST_F(WordOpTest, DecoderOneHot) {
+  Netlist nl;
+  Builder bld(nl);
+  const Word sel = bld.input_word("sel", 3);
+  const Word onehot = bld.decoder(sel);
+  ASSERT_EQ(onehot.size(), 8u);
+  LogicSimulator sim(nl);
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    for (std::size_t i = 0; i < 3; ++i) sim.set_input(sel[i], (s >> i) & 1);
+    sim.evaluate_comb();
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      EXPECT_EQ(sim.value(onehot[i]), i == s) << "sel=" << s << " bit " << i;
+    }
+  }
+}
+
+TEST_F(WordOpTest, DffWordHoldsState) {
+  Netlist nl;
+  Builder bld(nl);
+  const Word in = bld.input_word("in", 4);
+  const Word regs = bld.dff_word("r", 4);
+  bld.connect_word(regs, in);
+  LogicSimulator sim(nl);
+  for (std::size_t i = 0; i < 4; ++i) sim.set_input(in[i], (0xB >> i) & 1);
+  sim.step();
+  EXPECT_EQ(read_word(regs, [&](NodeId id) { return sim.value(id); }), 0xBu);
+}
+
+TEST_F(WordOpTest, SliceConcatZext) {
+  Netlist nl;
+  Builder bld(nl);
+  const Word a = bld.input_word("a", 8);
+  const Word hi = bld.slice(a, 4, 4);
+  const Word lohi = bld.concat(bld.slice(a, 0, 4), hi);
+  const Word wide = bld.zext(bld.slice(a, 0, 4), 8);
+  LogicSimulator sim(nl);
+  for (std::size_t i = 0; i < 8; ++i) sim.set_input(a[i], (0xC5 >> i) & 1);
+  sim.evaluate_comb();
+  auto val = [&](const Word& w) {
+    return read_word(w, [&](NodeId id) { return sim.value(id); });
+  };
+  EXPECT_EQ(val(hi), 0xCu);
+  EXPECT_EQ(val(lohi), 0xC5u);
+  EXPECT_EQ(val(wide), 0x05u);
+  EXPECT_THROW(bld.slice(a, 5, 4), fav::CheckError);
+}
+
+TEST_F(WordOpTest, AndAllOrAllEmpty) {
+  Netlist nl;
+  Builder bld(nl);
+  EXPECT_EQ(bld.and_all({}), bld.const1());
+  EXPECT_EQ(bld.or_all({}), bld.const0());
+}
+
+TEST_F(WordOpTest, ConstantsAreCached) {
+  Netlist nl;
+  Builder bld(nl);
+  EXPECT_EQ(bld.const0(), bld.const0());
+  EXPECT_EQ(bld.const1(), bld.const1());
+}
+
+// Parameterized width sweep: adder correctness is width-independent.
+class AdderWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdderWidthTest, AddMatchesReference) {
+  const int width = GetParam();
+  Netlist nl;
+  Builder bld(nl);
+  const Word a = bld.input_word("a", width);
+  const Word b = bld.input_word("b", width);
+  const Word sum = bld.add_word(a, b);
+  LogicSimulator sim(nl);
+  fav::Rng rng(static_cast<std::uint64_t>(width));
+  const std::uint64_t mask =
+      width == 64 ? ~0ull : (1ull << width) - 1;
+  for (int trial = 0; trial < 32; ++trial) {
+    const std::uint64_t va = rng.next() & mask;
+    const std::uint64_t vb = rng.next() & mask;
+    for (int i = 0; i < width; ++i) {
+      sim.set_input(a[static_cast<std::size_t>(i)], (va >> i) & 1);
+      sim.set_input(b[static_cast<std::size_t>(i)], (vb >> i) & 1);
+    }
+    sim.evaluate_comb();
+    EXPECT_EQ(read_word(sum, [&](NodeId id) { return sim.value(id); }),
+              (va + vb) & mask)
+        << "width " << width;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AdderWidthTest,
+                         ::testing::Values(1, 2, 3, 8, 16, 24, 32));
+
+}  // namespace
+}  // namespace fav::gen

@@ -1,0 +1,131 @@
+#include "layout/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/builder.h"
+#include "util/check.h"
+
+namespace fav::layout {
+namespace {
+
+using netlist::CellType;
+using netlist::Netlist;
+using netlist::NodeId;
+
+// Small circuit with two logic levels and a DFF.
+struct Fixture {
+  Netlist nl;
+  NodeId a, b, g1, g2, r;
+  Fixture() {
+    a = nl.add_input("a");
+    b = nl.add_input("b");
+    g1 = nl.add_gate(CellType::kAnd, {a, b}, "g1");
+    g2 = nl.add_gate(CellType::kNot, {g1}, "g2");
+    r = nl.add_dff("r");
+    nl.connect_dff(r, g2);
+  }
+};
+
+TEST(Placement, PlacesGatesAndDffsOnly) {
+  Fixture f;
+  Placement p(f.nl);
+  EXPECT_FALSE(p.is_placed(f.a));
+  EXPECT_FALSE(p.is_placed(f.b));
+  EXPECT_TRUE(p.is_placed(f.g1));
+  EXPECT_TRUE(p.is_placed(f.g2));
+  EXPECT_TRUE(p.is_placed(f.r));
+  EXPECT_EQ(p.placed_nodes().size(), 3u);
+  EXPECT_THROW(p.position(f.a), fav::CheckError);
+}
+
+TEST(Placement, ColumnsFollowLogicLevels) {
+  Fixture f;
+  Placement p(f.nl, 2.0);
+  EXPECT_DOUBLE_EQ(p.position(f.g1).x, 2.0);  // level 1
+  EXPECT_DOUBLE_EQ(p.position(f.g2).x, 4.0);  // level 2
+  // The DFF sits beside its D-input driver (g2, level 2).
+  EXPECT_DOUBLE_EQ(p.position(f.r).x, 4.0);
+}
+
+TEST(Placement, DistinctPositions) {
+  Fixture f;
+  Placement p(f.nl);
+  const auto& nodes = p.placed_nodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      const Point pi = p.position(nodes[i]);
+      const Point pj = p.position(nodes[j]);
+      EXPECT_TRUE(pi.x != pj.x || pi.y != pj.y)
+          << "nodes " << nodes[i] << " and " << nodes[j] << " collide";
+    }
+  }
+}
+
+TEST(Placement, RadiusZeroHitsOnlyCenter) {
+  Fixture f;
+  Placement p(f.nl);
+  const auto hit = p.nodes_within(f.g1, 0.0);
+  ASSERT_EQ(hit.size(), 1u);
+  EXPECT_EQ(hit[0], f.g1);
+}
+
+TEST(Placement, LargeRadiusHitsEverything) {
+  Fixture f;
+  Placement p(f.nl);
+  const auto hit = p.nodes_within(f.g1, 1000.0);
+  EXPECT_EQ(hit.size(), p.placed_nodes().size());
+}
+
+TEST(Placement, RadiusQueryMatchesBruteForce) {
+  // A wider circuit: an 8-bit adder tree.
+  Netlist nl;
+  gen::Builder bld(nl);
+  const auto a = bld.input_word("a", 8);
+  const auto b = bld.input_word("b", 8);
+  const auto sum = bld.add_word(a, b);
+  const auto regs = bld.dff_word("r", 8);
+  bld.connect_word(regs, sum);
+
+  Placement p(nl);
+  for (double radius : {0.5, 1.0, 2.5, 5.0}) {
+    for (NodeId center : {regs[0], sum[3], sum[7]}) {
+      const Point c = p.position(center);
+      const auto fast = p.nodes_within(c, radius);
+      std::vector<NodeId> slow;
+      for (NodeId id : p.placed_nodes()) {
+        const Point q = p.position(id);
+        const double dx = q.x - c.x, dy = q.y - c.y;
+        if (std::sqrt(dx * dx + dy * dy) <= radius + 1e-12) slow.push_back(id);
+      }
+      EXPECT_EQ(fast, slow) << "radius " << radius << " center " << center;
+    }
+  }
+}
+
+TEST(Placement, NegativeRadiusThrows) {
+  Fixture f;
+  Placement p(f.nl);
+  EXPECT_THROW(p.nodes_within(f.g1, -1.0), fav::CheckError);
+}
+
+TEST(Placement, InvalidPitchThrows) {
+  Fixture f;
+  EXPECT_THROW(Placement(f.nl, 0.0), fav::CheckError);
+}
+
+TEST(Placement, DimensionsCoverCells) {
+  Fixture f;
+  Placement p(f.nl);
+  for (NodeId id : p.placed_nodes()) {
+    const Point q = p.position(id);
+    EXPECT_GE(q.x, 0.0);
+    EXPECT_LE(q.x, p.width());
+    EXPECT_GE(q.y, 0.0);
+    EXPECT_LE(q.y, p.height());
+  }
+}
+
+}  // namespace
+}  // namespace fav::layout

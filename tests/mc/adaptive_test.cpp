@@ -1,0 +1,95 @@
+#include "mc/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+
+namespace fav::mc {
+namespace {
+
+core::FaultAttackEvaluator& fw() {
+  static core::FaultAttackEvaluator instance(
+      soc::make_illegal_write_benchmark());
+  return instance;
+}
+
+const faultsim::AttackModel& attack() {
+  static const faultsim::AttackModel a = fw().subblock_attack_model(1.5, 50);
+  return a;
+}
+
+const SsfResult& pilot() {
+  static const SsfResult res = [] {
+    auto sampler = fw().make_importance_sampler(attack());
+    Rng rng(4242);
+    return fw().evaluator().run(*sampler, rng, 2000);
+  }();
+  return res;
+}
+
+TEST(AdaptiveSampler, RequiresSuccessfulPilot) {
+  SsfResult empty;
+  EXPECT_THROW(AdaptiveImportanceSampler(attack(), empty), fav::CheckError);
+  SsfResult no_success;
+  no_success.records.emplace_back();  // one masked record
+  EXPECT_THROW(AdaptiveImportanceSampler(attack(), no_success),
+               fav::CheckError);
+}
+
+TEST(AdaptiveSampler, WeightsAreBoundedLikelihoodRatios) {
+  ASSERT_GT(pilot().successes, 0u);
+  AdaptiveImportanceSampler sampler(attack(), pilot());
+  Rng rng(1);
+  const double f = 1.0 / (attack().t_count() *
+                          static_cast<double>(attack().candidate_centers.size()));
+  for (int i = 0; i < 500; ++i) {
+    const auto s = sampler.draw(rng);
+    EXPECT_GE(s.t, attack().t_min);
+    EXPECT_LE(s.t, attack().t_max);
+    EXPECT_GT(s.weight, 0.0);
+    EXPECT_LE(s.weight, 1.0 / AdaptiveConfig{}.defensive_mix + 1e-9);
+    EXPECT_NEAR(s.weight, f / sampler.g_pmf(s.t, s.center), 1e-12);
+  }
+}
+
+TEST(AdaptiveSampler, SecondStageAgreesWithPilot) {
+  AdaptiveImportanceSampler sampler(attack(), pilot());
+  Rng rng(2);
+  const auto res = fw().evaluator().run(sampler, rng, 4000);
+  // Same quantity estimated: second-stage mean within a few sigma of the
+  // pilot's.
+  const double sigma =
+      res.stats.standard_error() + pilot().stats.standard_error();
+  EXPECT_NEAR(res.ssf(), pilot().ssf(), 5 * sigma + 1e-4);
+  EXPECT_GT(res.successes, 0u);
+}
+
+TEST(AdaptiveSampler, ConcentratesOnSuccessMass) {
+  AdaptiveImportanceSampler sampler(attack(), pilot());
+  Rng rng(3);
+  const auto res = fw().evaluator().run(sampler, rng, 2000);
+  // The refit should find successes at least as often as the pilot strategy.
+  const double pilot_rate = static_cast<double>(pilot().successes) /
+                            static_cast<double>(pilot().stats.count());
+  const double adaptive_rate = static_cast<double>(res.successes) /
+                               static_cast<double>(res.stats.count());
+  EXPECT_GT(adaptive_rate, 0.5 * pilot_rate);
+}
+
+TEST(AdaptiveSampler, InvalidConfigThrows) {
+  AdaptiveConfig bad;
+  bad.smoothing = 0;
+  EXPECT_THROW(AdaptiveImportanceSampler(attack(), pilot(), bad),
+               fav::CheckError);
+  bad = {};
+  bad.defensive_mix = 0;
+  EXPECT_THROW(AdaptiveImportanceSampler(attack(), pilot(), bad),
+               fav::CheckError);
+  bad = {};
+  bad.t_stratum = 0;
+  EXPECT_THROW(AdaptiveImportanceSampler(attack(), pilot(), bad),
+               fav::CheckError);
+}
+
+}  // namespace
+}  // namespace fav::mc

@@ -1,0 +1,121 @@
+// Analytical evaluation of the illegal-execution benchmark: the attack-path
+// replay must agree with RTL ground truth for memory-type faults.
+#include <gtest/gtest.h>
+
+#include "mc/analytical.h"
+#include "util/rng.h"
+
+namespace fav::mc {
+namespace {
+
+using rtl::Machine;
+using rtl::RegisterMap;
+
+struct Fixture {
+  soc::SecurityBenchmark bench = soc::make_illegal_exec_benchmark();
+  rtl::GoldenRun golden{bench.program, bench.max_cycles, 16};
+  AnalyticalEvaluator eval{bench, golden};
+};
+
+Fixture& fx() {
+  static Fixture f;
+  return f;
+}
+
+bool rtl_truth(const rtl::ArchState& faulty, std::uint64_t cycle) {
+  Machine m = fx().golden.restore(cycle);
+  m.set_state(faulty);
+  while (!m.halted() && m.cycle() < fx().bench.max_cycles) m.step();
+  return fx().bench.attack_succeeded(m.state(), m.ram());
+}
+
+TEST(AnalyticalExec, CleanStateFails) {
+  const std::uint64_t c = fx().eval.target_cycle() - 10;
+  const auto verdict = fx().eval.evaluate(fx().golden.state_at(c), c);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_FALSE(*verdict);
+}
+
+TEST(AnalyticalExec, InstrCheckOffSucceeds) {
+  const std::uint64_t c = fx().eval.target_cycle() - 10;
+  rtl::ArchState s = fx().golden.state_at(c);
+  s.instr_check = false;
+  const auto verdict = fx().eval.evaluate(s, c);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_TRUE(*verdict);
+  EXPECT_TRUE(rtl_truth(s, c));
+}
+
+TEST(AnalyticalExec, ExecOnDataRegionSucceeds) {
+  const std::uint64_t c = fx().eval.target_cycle() - 5;
+  rtl::ArchState s = fx().golden.state_at(c);
+  s.mpu[0].perm |= rtl::kPermExec;
+  const auto verdict = fx().eval.evaluate(s, c);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_TRUE(*verdict);
+  EXPECT_TRUE(rtl_truth(s, c));
+}
+
+TEST(AnalyticalExec, BreakingMainExecRegionFails) {
+  // Disabling region 2 denies the *main* code's own fetches: the attack is
+  // exposed long before the hidden routine could run.
+  const std::uint64_t c = fx().eval.target_cycle() - 10;
+  rtl::ArchState s = fx().golden.state_at(c);
+  s.mpu[2].perm = 0;
+  const auto verdict = fx().eval.evaluate(s, c);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_FALSE(*verdict);
+  EXPECT_FALSE(rtl_truth(s, c));
+}
+
+TEST(AnalyticalExec, ExecEverywhereStillSucceedsDespiteBrokenRegion2) {
+  // Region 0 (exec'd by the fault) covers the whole address space, so losing
+  // region 2 changes nothing — both evaluations must agree on success.
+  const std::uint64_t c = fx().eval.target_cycle() - 10;
+  rtl::ArchState s = fx().golden.state_at(c);
+  s.mpu[0].perm |= rtl::kPermExec;
+  s.mpu[2].perm = 0;
+  const auto verdict = fx().eval.evaluate(s, c);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_TRUE(*verdict);
+  EXPECT_TRUE(rtl_truth(s, c));
+}
+
+TEST(AnalyticalExec, FaultAfterTargetFails) {
+  const std::uint64_t c = fx().eval.target_cycle() + 1;
+  rtl::ArchState s = fx().golden.state_at(c);
+  s.instr_check = false;
+  s.viol_sticky = false;  // even hiding the first violation...
+  const auto verdict = fx().eval.evaluate(s, c);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_FALSE(*verdict);  // ...the token was never planted
+  EXPECT_FALSE(rtl_truth(s, c));
+}
+
+TEST(AnalyticalExec, CrossValidationSweep) {
+  const RegisterMap& map = Machine::reg_map();
+  fav::Rng rng(51);
+  std::vector<int> config_bits;
+  for (const auto& f : map.fields()) {
+    if (!f.config_like) continue;
+    for (int b = 0; b < f.width; ++b) config_bits.push_back(f.offset + b);
+  }
+  const std::uint64_t tt = fx().eval.target_cycle();
+  int decided = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    const std::uint64_t cycle = 60 + rng.uniform_below(tt - 60);
+    rtl::ArchState s = fx().golden.state_at(cycle);
+    const int nbits = 1 + static_cast<int>(rng.uniform_below(2));
+    for (int k = 0; k < nbits; ++k) {
+      map.flip_bit(s, config_bits[rng.uniform_below(config_bits.size())]);
+    }
+    const auto verdict = fx().eval.evaluate(s, cycle);
+    if (!verdict.has_value()) continue;
+    ++decided;
+    EXPECT_EQ(*verdict, rtl_truth(s, cycle)) << "trial " << trial;
+  }
+  EXPECT_GT(decided, 80);
+}
+
+}  // namespace
+}  // namespace fav::mc

@@ -1,0 +1,167 @@
+#include "mc/analytical.h"
+
+#include <gtest/gtest.h>
+
+#include "rtl/assembler.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace fav::mc {
+namespace {
+
+using rtl::Machine;
+using rtl::RegisterMap;
+
+struct Fixture {
+  soc::SecurityBenchmark bench = soc::make_illegal_write_benchmark();
+  rtl::GoldenRun golden{bench.program, bench.max_cycles, 16};
+  AnalyticalEvaluator eval{bench, golden};
+};
+
+Fixture& fx() {
+  static Fixture f;
+  return f;
+}
+
+// Ground truth by RTL simulation: restore at `cycle`, overwrite state, run
+// to completion, apply the oracle.
+bool rtl_truth(const rtl::ArchState& faulty, std::uint64_t cycle) {
+  Machine m = fx().golden.restore(cycle);
+  m.set_state(faulty);
+  while (!m.halted() && m.cycle() < fx().bench.max_cycles) m.step();
+  return fx().bench.attack_succeeded(m.state(), m.ram());
+}
+
+TEST(AnalyticalEvaluator, TargetCycleMatchesGolden) {
+  EXPECT_EQ(fx().eval.target_cycle(), *fx().golden.first_violation_cycle());
+}
+
+TEST(AnalyticalEvaluator, CleanStateFails) {
+  const std::uint64_t c = fx().eval.target_cycle() - 10;
+  const auto verdict = fx().eval.evaluate(fx().golden.state_at(c), c);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_FALSE(*verdict);
+  EXPECT_FALSE(rtl_truth(fx().golden.state_at(c), c));
+}
+
+TEST(AnalyticalEvaluator, GrantWriteSucceeds) {
+  const std::uint64_t c = fx().eval.target_cycle() - 10;
+  rtl::ArchState s = fx().golden.state_at(c);
+  s.mpu[1].perm |= rtl::kPermWrite;  // region 1 becomes writable
+  const auto verdict = fx().eval.evaluate(s, c);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_TRUE(*verdict);
+  EXPECT_TRUE(rtl_truth(s, c));
+}
+
+TEST(AnalyticalEvaluator, MpuDisableSucceeds) {
+  const std::uint64_t c = fx().eval.target_cycle() - 5;
+  rtl::ArchState s = fx().golden.state_at(c);
+  s.mpu_enable = false;
+  const auto verdict = fx().eval.evaluate(s, c);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_TRUE(*verdict);
+  EXPECT_TRUE(rtl_truth(s, c));
+}
+
+TEST(AnalyticalEvaluator, StickyFlagExposesAttack) {
+  const std::uint64_t c = fx().eval.target_cycle() - 10;
+  rtl::ArchState s = fx().golden.state_at(c);
+  s.mpu[1].perm |= rtl::kPermWrite;
+  s.viol_sticky = true;  // the fault itself trips the flag
+  const auto verdict = fx().eval.evaluate(s, c);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_FALSE(*verdict);
+  EXPECT_FALSE(rtl_truth(s, c));
+}
+
+TEST(AnalyticalEvaluator, BreakingLegalRegionExposesAttack) {
+  const std::uint64_t c = fx().eval.target_cycle() - 20;
+  rtl::ArchState s = fx().golden.state_at(c);
+  // Open region 1 for write AND destroy region 0 (legal traffic violates).
+  s.mpu[1].perm |= rtl::kPermWrite;
+  s.mpu[0].perm = 0;
+  const auto verdict = fx().eval.evaluate(s, c);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_FALSE(*verdict);
+  EXPECT_FALSE(rtl_truth(s, c));
+}
+
+TEST(AnalyticalEvaluator, FaultAfterTargetCycleFails) {
+  const std::uint64_t c = fx().eval.target_cycle() + 2;
+  rtl::ArchState s = fx().golden.state_at(c);
+  s.mpu[1].perm |= rtl::kPermWrite;  // too late: access already denied
+  const auto verdict = fx().eval.evaluate(s, c);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_FALSE(*verdict);
+  EXPECT_FALSE(rtl_truth(s, c));
+}
+
+TEST(AnalyticalEvaluator, ViolAddrCorruptionIrrelevant) {
+  const std::uint64_t c = fx().eval.target_cycle() - 10;
+  rtl::ArchState s = fx().golden.state_at(c);
+  s.viol_addr ^= 0x5555;
+  const auto verdict = fx().eval.evaluate(s, c);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_FALSE(*verdict);
+  EXPECT_FALSE(rtl_truth(s, c));
+}
+
+TEST(AnalyticalEvaluator, DeviceWriteAfterInjectionBailsOut) {
+  // A workload that reprograms the MPU after the fault window cannot be
+  // replayed statically: the evaluator must decline.
+  const auto bench = [] {
+    soc::SecurityBenchmark b = soc::make_illegal_write_benchmark();
+    return b;
+  }();
+  rtl::GoldenRun golden(bench.program, bench.max_cycles, 16);
+  AnalyticalEvaluator eval(bench, golden);
+  // The benchmark's own MPU setup writes are device writes near the start:
+  // evaluating a fault injected before them must return nullopt.
+  const auto verdict = eval.evaluate(golden.state_at(0), 0);
+  EXPECT_FALSE(verdict.has_value());
+}
+
+TEST(AnalyticalEvaluator, NoViolationBenchmarkThrows) {
+  const rtl::Program clean = rtl::assemble("addi r1, r0, 1\nhalt\n");
+  rtl::GoldenRun golden(clean, 100, 16);
+  soc::SecurityBenchmark b;
+  b.name = "clean";
+  b.program = clean;
+  b.max_cycles = 100;
+  EXPECT_THROW(AnalyticalEvaluator(b, golden), fav::CheckError);
+}
+
+// Property sweep: for random single- and double-bit corruptions of MPU
+// configuration state, the analytical verdict must equal RTL ground truth.
+class AnalyticalCrossValidation : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnalyticalCrossValidation, MatchesRtlSimulation) {
+  const RegisterMap& map = Machine::reg_map();
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  // Memory-type-ish fields: all MPU configuration plus status registers.
+  std::vector<int> config_bits;
+  for (const auto& f : map.fields()) {
+    if (!f.config_like) continue;
+    for (int b = 0; b < f.width; ++b) config_bits.push_back(f.offset + b);
+  }
+  const std::uint64_t tt = fx().eval.target_cycle();
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::uint64_t cycle = 55 + rng.uniform_below(tt - 55);
+    rtl::ArchState s = fx().golden.state_at(cycle);
+    const int nbits = 1 + static_cast<int>(rng.uniform_below(2));
+    for (int k = 0; k < nbits; ++k) {
+      map.flip_bit(s, config_bits[rng.uniform_below(config_bits.size())]);
+    }
+    const auto verdict = fx().eval.evaluate(s, cycle);
+    ASSERT_TRUE(verdict.has_value()) << "cycle " << cycle;
+    EXPECT_EQ(*verdict, rtl_truth(s, cycle))
+        << "cycle " << cycle << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalyticalCrossValidation,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace fav::mc

@@ -1,0 +1,239 @@
+#include "mc/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "soc/benchmark.h"
+#include "util/check.h"
+
+namespace fav::mc {
+namespace {
+
+using faultsim::FaultSample;
+using netlist::NodeId;
+
+struct Context {
+  soc::SocNetlist soc;
+  layout::Placement placement{soc.netlist()};
+  faultsim::InjectionSimulator injector{soc.netlist()};
+  soc::SecurityBenchmark bench = soc::make_illegal_write_benchmark();
+  rtl::GoldenRun golden{bench.program, bench.max_cycles, 32};
+  rtl::Program workload = soc::make_synthetic_workload();
+  rtl::GoldenRun synth_golden{workload, 400, 32};
+  precharac::RegisterCharacterization charac;
+  SsfEvaluator evaluator;
+
+  Context()
+      : charac(synth_golden,
+               [] {
+                 precharac::CharacterizationConfig cfg;
+                 cfg.stride = 23;
+                 return cfg;
+               }()),
+        evaluator(soc, placement, injector, bench, golden, &charac) {}
+};
+
+Context& ctx() {
+  static Context c;
+  return c;
+}
+
+int perm_bit(int region, int bit) {
+  const auto& map = soc::SocNetlist::reg_map();
+  return map.field(map.field_index("mpu" + std::to_string(region) + "_perm"))
+             .offset +
+         bit;
+}
+
+TEST(SsfEvaluator, TargetCycle) {
+  EXPECT_EQ(ctx().evaluator.target_cycle(),
+            *ctx().golden.first_violation_cycle());
+}
+
+TEST(SsfEvaluator, EmptyFlipsAreMasked) {
+  OutcomePath path;
+  EXPECT_FALSE(ctx().evaluator.outcome_for_flips(50, {}, &path));
+  EXPECT_EQ(path, OutcomePath::kMasked);
+}
+
+TEST(SsfEvaluator, GrantWriteFlipSucceedsAnalytically) {
+  // mpu1_perm bit 1 (write) is memory-type: flipping it grants the illegal
+  // write and the analytical path decides it.
+  OutcomePath path;
+  const bool success =
+      ctx().evaluator.outcome_for_flips(60, {perm_bit(1, 1)}, &path);
+  EXPECT_TRUE(success);
+  EXPECT_EQ(path, OutcomePath::kAnalytical);
+}
+
+TEST(SsfEvaluator, ComputationFlipGoesToRtl) {
+  // A PC bit is computation-type: outcome requires RTL resumption.
+  const auto& map = soc::SocNetlist::reg_map();
+  const int pc_bit = map.field(map.field_index("pc")).offset;
+  OutcomePath path;
+  ctx().evaluator.outcome_for_flips(60, {pc_bit}, &path);
+  EXPECT_EQ(path, OutcomePath::kRtl);
+}
+
+TEST(SsfEvaluator, AnalyticalAgreesWithForcedRtl) {
+  // With the analytical path disabled, outcomes must not change.
+  EvaluatorConfig cfg;
+  cfg.use_analytical = false;
+  SsfEvaluator rtl_only(ctx().soc, ctx().placement, ctx().injector,
+                        ctx().bench, ctx().golden, &ctx().charac, cfg);
+  for (const std::uint64_t te : {40ull, 60ull, 80ull, 100ull}) {
+    for (const std::vector<int> flips :
+         {std::vector<int>{perm_bit(1, 1)}, std::vector<int>{perm_bit(1, 0)},
+          std::vector<int>{perm_bit(0, 2)},
+          std::vector<int>{perm_bit(1, 1), perm_bit(1, 2)}}) {
+      OutcomePath p1, p2;
+      const bool a = ctx().evaluator.outcome_for_flips(te, flips, &p1);
+      const bool b = rtl_only.outcome_for_flips(te, flips, &p2);
+      EXPECT_EQ(a, b) << "te=" << te;
+      EXPECT_EQ(p2, OutcomePath::kRtl);
+    }
+  }
+}
+
+TEST(SsfEvaluator, SampleBeforeProgramStartIsMasked) {
+  FaultSample s;
+  s.t = static_cast<int>(ctx().evaluator.target_cycle()) + 5;
+  s.center = ctx().placement.placed_nodes().front();
+  s.radius = 1.0;
+  const SampleRecord rec = ctx().evaluator.evaluate_sample(s);
+  EXPECT_EQ(rec.path, OutcomePath::kMasked);
+  EXPECT_FALSE(rec.success);
+  EXPECT_EQ(rec.contribution, 0.0);
+}
+
+TEST(SsfEvaluator, EvaluateSampleFillsRecord) {
+  FaultSample s;
+  s.t = 10;
+  s.center = ctx().placement.placed_nodes().front();
+  s.radius = 2.0;
+  s.strike_frac = 0.9;
+  s.weight = 0.5;
+  const SampleRecord rec = ctx().evaluator.evaluate_sample(s);
+  EXPECT_EQ(rec.te, ctx().evaluator.target_cycle() - 10);
+  EXPECT_EQ(rec.contribution, rec.success ? 0.5 : 0.0);
+  for (const int bit : rec.flipped_bits) {
+    EXPECT_GE(bit, 0);
+    EXPECT_LT(bit, soc::SocNetlist::reg_map().total_bits());
+  }
+}
+
+TEST(SsfEvaluator, DirectStrikeOnGrantBitSucceeds) {
+  // Aim a zero-radius spot exactly at the mpu1_perm[1] DFF at t >= 1.
+  const NodeId dff = ctx().soc.dff_for_bit(perm_bit(1, 1));
+  FaultSample s;
+  s.t = 5;
+  s.center = dff;
+  s.radius = 0.0;
+  s.weight = 1.0;
+  const SampleRecord rec = ctx().evaluator.evaluate_sample(s);
+  ASSERT_EQ(rec.flipped_bits.size(), 1u);
+  EXPECT_EQ(rec.flipped_bits[0], perm_bit(1, 1));
+  EXPECT_TRUE(rec.success);
+  EXPECT_EQ(rec.path, OutcomePath::kAnalytical);
+}
+
+TEST(SsfEvaluator, DirectStrikeAtTZeroIsTooLate) {
+  const NodeId dff = ctx().soc.dff_for_bit(perm_bit(1, 1));
+  FaultSample s;
+  s.t = 0;  // latched at the end of the target cycle: too late
+  s.center = dff;
+  s.radius = 0.0;
+  s.weight = 1.0;
+  const SampleRecord rec = ctx().evaluator.evaluate_sample(s);
+  EXPECT_FALSE(rec.success);
+}
+
+TEST(SsfEvaluator, RunAccumulatesConsistentCounts) {
+  faultsim::AttackModel attack;
+  attack.t_min = 0;
+  attack.t_max = 19;
+  attack.candidate_centers = ctx().placement.placed_nodes();
+  RandomSampler sampler(attack);
+  Rng rng(11);
+  const SsfResult res = ctx().evaluator.run(sampler, rng, 400);
+  EXPECT_EQ(res.stats.count(), 400u);
+  EXPECT_EQ(res.masked + res.analytical + res.rtl, 400u);
+  EXPECT_EQ(res.records.size(), 400u);
+  EXPECT_EQ(res.trace.size(), 400u / 50);
+  EXPECT_GE(res.ssf(), 0.0);
+  EXPECT_LE(res.ssf(), 1.0);
+  // Per-field attribution sums to the total success contribution.
+  double attributed = 0;
+  for (const auto& [f, c] : res.field_contribution) attributed += c;
+  double contributed = 0;
+  for (const auto& r : res.records) contributed += r.contribution;
+  EXPECT_NEAR(attributed, contributed, 1e-9);
+}
+
+TEST(SsfEvaluator, DeterministicForSeed) {
+  faultsim::AttackModel attack;
+  attack.t_min = 0;
+  attack.t_max = 19;
+  attack.candidate_centers = ctx().placement.placed_nodes();
+  RandomSampler s1(attack), s2(attack);
+  Rng r1(21), r2(21);
+  const SsfResult a = ctx().evaluator.run(s1, r1, 150);
+  const SsfResult b = ctx().evaluator.run(s2, r2, 150);
+  EXPECT_EQ(a.ssf(), b.ssf());
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.masked, b.masked);
+}
+
+TEST(SsfEvaluator, MultiCycleImpactAccumulatesErrors) {
+  // Striking the same spot on consecutive cycles can only add flips; the
+  // single-cycle flip set must be a subset of the multi-cycle one when the
+  // spot covers persistent (memory-type) registers.
+  const NodeId dff = ctx().soc.dff_for_bit(perm_bit(1, 1));
+  FaultSample one;
+  one.t = 10;
+  one.center = dff;
+  one.radius = 1.2;
+  one.weight = 1.0;
+  FaultSample three = one;
+  three.impact_cycles = 3;
+  const SampleRecord r1 = ctx().evaluator.evaluate_sample(one);
+  const SampleRecord r3 = ctx().evaluator.evaluate_sample(three);
+  for (const int bit : r1.flipped_bits) {
+    // A bit flipped in cycle 1 may be re-flipped later, but the perm bit is
+    // memory-type and re-struck: odd number of strikes keeps it flipped.
+    (void)bit;
+  }
+  EXPECT_GE(r3.flipped_bits.size(), 1u);
+  EXPECT_EQ(r3.te, r1.te);
+}
+
+TEST(SsfEvaluator, MultiCycleSamplerPropagatesModel) {
+  faultsim::AttackModel attack;
+  attack.t_min = 1;
+  attack.t_max = 10;
+  attack.candidate_centers = ctx().placement.placed_nodes();
+  attack.impact_cycles = 4;
+  RandomSampler sampler(attack);
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(sampler.draw(rng).impact_cycles, 4);
+  }
+  const SsfResult res = ctx().evaluator.run(sampler, rng, 100);
+  EXPECT_EQ(res.stats.count(), 100u);
+}
+
+TEST(SsfEvaluator, InvalidImpactCyclesRejected) {
+  FaultSample s;
+  s.t = 5;
+  s.center = ctx().placement.placed_nodes().front();
+  s.impact_cycles = 0;
+  EXPECT_THROW(ctx().evaluator.evaluate_sample(s), fav::CheckError);
+}
+
+TEST(SsfEvaluator, NegativeTRejected) {
+  FaultSample s;
+  s.t = -1;
+  EXPECT_THROW(ctx().evaluator.evaluate_sample(s), fav::CheckError);
+}
+
+}  // namespace
+}  // namespace fav::mc

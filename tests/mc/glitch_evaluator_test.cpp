@@ -1,0 +1,100 @@
+#include "mc/glitch_evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "soc/benchmark.h"
+
+namespace fav::mc {
+namespace {
+
+struct Context {
+  soc::SocNetlist soc;
+  layout::Placement placement{soc.netlist()};
+  faultsim::InjectionSimulator injector{soc.netlist()};
+  faultsim::ClockGlitchSimulator glitch{soc.netlist()};
+  soc::SecurityBenchmark bench = soc::make_illegal_write_benchmark();
+  rtl::GoldenRun golden{bench.program, bench.max_cycles, 32};
+  rtl::Program workload = soc::make_synthetic_workload();
+  rtl::GoldenRun synth_golden{workload, 400, 32};
+  precharac::RegisterCharacterization charac;
+  SsfEvaluator base;
+  ClockGlitchEvaluator evaluator;
+
+  Context()
+      : charac(synth_golden,
+               [] {
+                 precharac::CharacterizationConfig cfg;
+                 cfg.stride = 23;
+                 return cfg;
+               }()),
+        base(soc, placement, injector, bench, golden, &charac),
+        evaluator(base, soc, glitch) {}
+};
+
+Context& ctx() {
+  static Context c;
+  return c;
+}
+
+TEST(ClockGlitchEvaluator, ShallowGlitchIsMasked) {
+  // A barely-shortened period misses no path.
+  const auto rec = ctx().evaluator.evaluate(5, 0.999);
+  EXPECT_TRUE(rec.flipped_bits.empty());
+  EXPECT_FALSE(rec.success);
+  EXPECT_EQ(rec.path, OutcomePath::kMasked);
+}
+
+TEST(ClockGlitchEvaluator, DeepGlitchFlipsSomething) {
+  bool any = false;
+  for (int t = 1; t <= 10; ++t) {
+    if (!ctx().evaluator.evaluate(t, 0.3).flipped_bits.empty()) any = true;
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST(ClockGlitchEvaluator, DeterministicPerAttack) {
+  const auto a = ctx().evaluator.evaluate(7, 0.5);
+  const auto b = ctx().evaluator.evaluate(7, 0.5);
+  EXPECT_EQ(a.flipped_bits, b.flipped_bits);
+  EXPECT_EQ(a.success, b.success);
+  EXPECT_EQ(a.te, ctx().base.target_cycle() - 7);
+}
+
+TEST(ClockGlitchEvaluator, InvalidArgumentsThrow) {
+  EXPECT_THROW(ctx().evaluator.evaluate(-1, 0.5), fav::CheckError);
+  EXPECT_THROW(ctx().evaluator.evaluate(1, 0.0), fav::CheckError);
+  EXPECT_THROW(ctx().evaluator.evaluate(1, 1.0), fav::CheckError);
+}
+
+TEST(ClockGlitchEvaluator, ExactEnumerationCoversWholeSpace) {
+  faultsim::ClockGlitchAttackModel model;
+  model.t_min = 1;
+  model.t_max = 20;
+  model.depths = {0.4, 0.7};
+  const auto exact = ctx().evaluator.evaluate_exact(model);
+  EXPECT_EQ(exact.stats.count(), 40u);
+  EXPECT_EQ(exact.records.size(), 40u);
+  EXPECT_GE(exact.ssf(), 0.0);
+  EXPECT_LE(exact.ssf(), 1.0);
+}
+
+TEST(ClockGlitchEvaluator, MonteCarloConvergesToExact) {
+  faultsim::ClockGlitchAttackModel model;
+  model.t_min = 1;
+  model.t_max = 10;
+  model.depths = {0.35, 0.55};
+  const auto exact = ctx().evaluator.evaluate_exact(model);
+  Rng rng(42);
+  const auto mc = ctx().evaluator.run(model, rng, 2000);
+  EXPECT_NEAR(mc.ssf(), exact.ssf(), 0.06);
+}
+
+TEST(ClockGlitchEvaluator, TimingDistanceBeforeStartIsMasked) {
+  const auto rec = ctx().evaluator.evaluate(
+      static_cast<int>(ctx().base.target_cycle()) + 3, 0.3);
+  EXPECT_FALSE(rec.success);
+  EXPECT_EQ(rec.path, OutcomePath::kMasked);
+}
+
+}  // namespace
+}  // namespace fav::mc

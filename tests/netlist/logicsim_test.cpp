@@ -1,0 +1,133 @@
+#include "netlist/logicsim.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace fav::netlist {
+namespace {
+
+// A 2-bit counter: classic sequential sanity check.
+struct Counter {
+  Netlist nl;
+  NodeId b0, b1;
+  Counter() {
+    b0 = nl.add_dff("b0");
+    b1 = nl.add_dff("b1");
+    const NodeId n0 = nl.add_gate(CellType::kNot, {b0});
+    const NodeId t1 = nl.add_gate(CellType::kXor, {b1, b0});
+    nl.connect_dff(b0, n0);
+    nl.connect_dff(b1, t1);
+    nl.set_output("b0", b0);
+    nl.set_output("b1", b1);
+  }
+};
+
+TEST(LogicSimulator, CombEvaluation) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId y = nl.add_gate(CellType::kXor, {a, b}, "y");
+  (void)y;
+  nl.set_output("y", y);
+
+  LogicSimulator sim(nl);
+  for (bool va : {false, true}) {
+    for (bool vb : {false, true}) {
+      sim.set_input("a", va);
+      sim.set_input("b", vb);
+      sim.evaluate_comb();
+      EXPECT_EQ(sim.output("y"), va != vb);
+    }
+  }
+}
+
+TEST(LogicSimulator, ConstantsInitialized) {
+  Netlist nl;
+  const NodeId c1 = nl.add_const(true);
+  const NodeId c0 = nl.add_const(false);
+  const NodeId y = nl.add_gate(CellType::kAnd, {c1, c0});
+  nl.set_output("y", y);
+  nl.set_output("one", c1);
+  LogicSimulator sim(nl);
+  sim.evaluate_comb();
+  EXPECT_FALSE(sim.output("y"));
+  EXPECT_TRUE(sim.output("one"));
+}
+
+TEST(LogicSimulator, CounterCountsModulo4) {
+  Counter c;
+  LogicSimulator sim(c.nl);
+  int expected = 0;
+  for (int cycle = 0; cycle < 12; ++cycle) {
+    sim.evaluate_comb();
+    const int val = (sim.value(c.b1) ? 2 : 0) + (sim.value(c.b0) ? 1 : 0);
+    EXPECT_EQ(val, expected) << "cycle " << cycle;
+    sim.clock_edge();
+    expected = (expected + 1) % 4;
+  }
+}
+
+TEST(LogicSimulator, DffChainShiftsNotRaces) {
+  // r1 -> r2 directly; after one edge r2 must hold r1's OLD value.
+  Netlist nl;
+  const NodeId in = nl.add_input("in");
+  const NodeId r1 = nl.add_dff("r1");
+  const NodeId r2 = nl.add_dff("r2");
+  nl.connect_dff(r1, in);
+  nl.connect_dff(r2, r1);
+
+  LogicSimulator sim(nl);
+  sim.set_input("in", true);
+  sim.step();
+  EXPECT_TRUE(sim.value(r1));
+  EXPECT_FALSE(sim.value(r2));  // old r1 value (0) latched, not the new one
+  sim.set_input("in", false);
+  sim.step();
+  EXPECT_FALSE(sim.value(r1));
+  EXPECT_TRUE(sim.value(r2));
+}
+
+TEST(LogicSimulator, RegisterStateRoundTrip) {
+  Counter c;
+  LogicSimulator sim(c.nl);
+  sim.step();
+  sim.step();
+  sim.step();  // counter = 3
+  const auto snapshot = sim.register_state();
+
+  LogicSimulator sim2(c.nl);
+  sim2.load_register_state(snapshot);
+  sim2.evaluate_comb();
+  EXPECT_EQ(sim2.value(c.b0), sim.value(c.b0));
+  EXPECT_EQ(sim2.value(c.b1), sim.value(c.b1));
+}
+
+TEST(LogicSimulator, LoadWrongSizeThrows) {
+  Counter c;
+  LogicSimulator sim(c.nl);
+  EXPECT_THROW(sim.load_register_state({true}), CheckError);
+}
+
+TEST(LogicSimulator, SetRegisterInjectsBitError) {
+  Counter c;
+  LogicSimulator sim(c.nl);
+  sim.step();  // counter = 1
+  sim.set_register(c.b1, true);  // inject: counter becomes 3
+  sim.evaluate_comb();
+  EXPECT_TRUE(sim.value(c.b1));
+  EXPECT_TRUE(sim.value(c.b0));
+}
+
+TEST(LogicSimulator, SetRegisterOnGateThrows) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId g = nl.add_gate(CellType::kNot, {a});
+  nl.set_output("y", g);
+  LogicSimulator sim(nl);
+  EXPECT_THROW(sim.set_register(g, true), CheckError);
+  EXPECT_THROW(sim.set_input(g, true), CheckError);
+}
+
+}  // namespace
+}  // namespace fav::netlist

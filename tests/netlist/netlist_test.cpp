@@ -1,0 +1,164 @@
+#include "netlist/netlist.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace fav::netlist {
+namespace {
+
+TEST(Cell, Arity) {
+  EXPECT_EQ(cell_arity(CellType::kInput), 0);
+  EXPECT_EQ(cell_arity(CellType::kNot), 1);
+  EXPECT_EQ(cell_arity(CellType::kAnd), 2);
+  EXPECT_EQ(cell_arity(CellType::kMux), 3);
+  EXPECT_EQ(cell_arity(CellType::kDff), 1);
+}
+
+TEST(Cell, EvalTruthTables) {
+  const bool f = false, t = true;
+  {
+    const bool ins[] = {t};
+    EXPECT_TRUE(eval_cell(CellType::kBuf, ins));
+    EXPECT_FALSE(eval_cell(CellType::kNot, ins));
+  }
+  for (bool a : {f, t}) {
+    for (bool b : {f, t}) {
+      const bool ins[] = {a, b};
+      EXPECT_EQ(eval_cell(CellType::kAnd, ins), a && b);
+      EXPECT_EQ(eval_cell(CellType::kOr, ins), a || b);
+      EXPECT_EQ(eval_cell(CellType::kNand, ins), !(a && b));
+      EXPECT_EQ(eval_cell(CellType::kNor, ins), !(a || b));
+      EXPECT_EQ(eval_cell(CellType::kXor, ins), a != b);
+      EXPECT_EQ(eval_cell(CellType::kXnor, ins), a == b);
+      for (bool s : {f, t}) {
+        const bool mins[] = {s, a, b};
+        EXPECT_EQ(eval_cell(CellType::kMux, mins), s ? b : a);
+      }
+    }
+  }
+}
+
+TEST(Cell, EvalArityMismatchThrows) {
+  const bool one[] = {true};
+  EXPECT_THROW(eval_cell(CellType::kAnd, one), CheckError);
+}
+
+TEST(Cell, ControllingValues) {
+  EXPECT_TRUE(is_controlling_value(CellType::kAnd, 0, false));
+  EXPECT_FALSE(is_controlling_value(CellType::kAnd, 0, true));
+  EXPECT_TRUE(is_controlling_value(CellType::kOr, 1, true));
+  EXPECT_TRUE(is_controlling_value(CellType::kNand, 0, false));
+  EXPECT_TRUE(is_controlling_value(CellType::kNor, 0, true));
+  EXPECT_FALSE(is_controlling_value(CellType::kXor, 0, true));
+  EXPECT_FALSE(is_controlling_value(CellType::kXor, 0, false));
+}
+
+TEST(Netlist, BuildSmallCircuit) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g = nl.add_gate(CellType::kAnd, {a, b}, "g");
+  nl.set_output("y", g);
+  EXPECT_EQ(nl.node_count(), 3u);
+  EXPECT_EQ(nl.gate_count(), 1u);
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  ASSERT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.outputs()[0].first, "y");
+  nl.validate();
+}
+
+TEST(Netlist, FindByName) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId g = nl.add_gate(CellType::kNot, {a}, "inv");
+  nl.set_output("out", g);
+  EXPECT_EQ(nl.find_or_throw("a"), a);
+  EXPECT_EQ(nl.find_or_throw("inv"), g);
+  EXPECT_EQ(nl.find_or_throw("out"), g);  // output alias resolves
+  EXPECT_FALSE(nl.find("nope").has_value());
+  EXPECT_THROW(nl.find_or_throw("nope"), CheckError);
+}
+
+TEST(Netlist, DuplicateNameThrows) {
+  Netlist nl;
+  nl.add_input("a");
+  EXPECT_THROW(nl.add_input("a"), CheckError);
+}
+
+TEST(Netlist, GateArityChecked) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  EXPECT_THROW(nl.add_gate(CellType::kAnd, {a}), CheckError);
+  EXPECT_THROW(nl.add_gate(CellType::kDff, {a}), CheckError);
+  EXPECT_THROW(nl.add_gate(CellType::kNot, {99}), CheckError);
+}
+
+TEST(Netlist, DffConnectLifecycle) {
+  Netlist nl;
+  const NodeId d = nl.add_dff("r");
+  const NodeId inv = nl.add_gate(CellType::kNot, {d}, "n");
+  nl.connect_dff(d, inv);  // toggle register
+  nl.validate();
+  EXPECT_THROW(nl.connect_dff(d, inv), CheckError);  // double connect
+}
+
+TEST(Netlist, UnconnectedDffFailsValidation) {
+  Netlist nl;
+  nl.add_dff("r");
+  EXPECT_THROW(nl.validate(), CheckError);
+}
+
+TEST(Netlist, TopoOrderRespectsDependencies) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g1 = nl.add_gate(CellType::kAnd, {a, b});
+  const NodeId g2 = nl.add_gate(CellType::kNot, {g1});
+  const NodeId g3 = nl.add_gate(CellType::kOr, {g2, a});
+  const auto& topo = nl.topo_order();
+  ASSERT_EQ(topo.size(), 3u);
+  auto pos = [&](NodeId id) {
+    return std::find(topo.begin(), topo.end(), id) - topo.begin();
+  };
+  EXPECT_LT(pos(g1), pos(g2));
+  EXPECT_LT(pos(g2), pos(g3));
+}
+
+TEST(Netlist, Levels) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId g1 = nl.add_gate(CellType::kNot, {a});
+  const NodeId g2 = nl.add_gate(CellType::kNot, {g1});
+  EXPECT_EQ(nl.levels()[a], 0);
+  EXPECT_EQ(nl.levels()[g1], 1);
+  EXPECT_EQ(nl.levels()[g2], 2);
+  EXPECT_EQ(nl.max_level(), 2);
+}
+
+TEST(Netlist, FanoutsTrackPins) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g = nl.add_gate(CellType::kMux, {a, b, a});
+  const auto& fo = nl.fanouts();
+  ASSERT_EQ(fo[a].size(), 2u);  // pins 0 and 2
+  EXPECT_EQ(fo[a][0].consumer, g);
+  EXPECT_EQ(fo[a][0].pin, 0);
+  EXPECT_EQ(fo[a][1].pin, 2);
+  ASSERT_EQ(fo[b].size(), 1u);
+  EXPECT_EQ(fo[b][0].pin, 1);
+}
+
+TEST(Netlist, SequentialLoopIsLegal) {
+  // DFF breaks the cycle: r -> not -> r.
+  Netlist nl;
+  const NodeId r = nl.add_dff("r");
+  const NodeId n = nl.add_gate(CellType::kNot, {r});
+  nl.connect_dff(r, n);
+  EXPECT_NO_THROW(nl.validate());
+  EXPECT_EQ(nl.topo_order().size(), 1u);
+}
+
+}  // namespace
+}  // namespace fav::netlist

@@ -1,0 +1,119 @@
+#include "precharac/characterize.h"
+
+#include <gtest/gtest.h>
+
+#include "soc/benchmark.h"
+#include "util/check.h"
+
+namespace fav::precharac {
+namespace {
+
+using rtl::Machine;
+using rtl::RegisterMap;
+
+const rtl::Program& workload() {
+  static const rtl::Program p = soc::make_synthetic_workload();
+  return p;
+}
+
+const rtl::GoldenRun& golden() {
+  static const rtl::GoldenRun g(workload(), 400, 16);
+  return g;
+}
+
+int field_bit(const std::string& name, int bit = 0) {
+  const RegisterMap& map = Machine::reg_map();
+  return map.field(map.field_index(name)).offset + bit;
+}
+
+TEST(RegisterCharacterization, UnusedMpuRegionIsMemoryType) {
+  // Region 3 is never configured by the synthetic workload: a bit error in
+  // its base register persists forever and contaminates nothing (MPU checks
+  // only use enabled regions and region 3 stays disabled).
+  const int bit = field_bit("mpu3_base", 7);
+  RegisterCharacterization charac(golden(), {}, {bit});
+  ASSERT_TRUE(charac.characterized(bit));
+  const auto& bc = charac.bit(bit);
+  EXPECT_GT(bc.samples, 0);
+  EXPECT_DOUBLE_EQ(bc.avg_lifetime,
+                   static_cast<double>(charac.config().horizon));
+  EXPECT_DOUBLE_EQ(bc.avg_contamination, 0.0);
+  EXPECT_TRUE(charac.is_memory_type(bit));
+}
+
+TEST(RegisterCharacterization, ViolAddrIsMemoryType) {
+  // viol_addr is only written on violation; the clean workload never
+  // violates, so errors stay.
+  const int bit = field_bit("viol_addr", 5);
+  RegisterCharacterization charac(golden(), {}, {bit});
+  EXPECT_TRUE(charac.is_memory_type(bit));
+}
+
+TEST(RegisterCharacterization, LoopRegisterIsComputationType) {
+  // r4 is rewritten every loop iteration: short lifetime.
+  const int bit = field_bit("r4", 2);
+  RegisterCharacterization charac(golden(), {}, {bit});
+  const auto& bc = charac.bit(bit);
+  EXPECT_LT(bc.avg_lifetime, charac.config().lifetime_threshold);
+  EXPECT_FALSE(charac.is_memory_type(bit));
+}
+
+TEST(RegisterCharacterization, PcErrorContaminates) {
+  // A PC bit error derails execution: many registers diverge.
+  const int bit = field_bit("pc", 1);
+  RegisterCharacterization charac(golden(), {}, {bit});
+  EXPECT_GT(charac.bit(bit).avg_contamination, 1.0);
+  EXPECT_FALSE(charac.is_memory_type(bit));
+}
+
+TEST(RegisterCharacterization, LifetimeAccessorDefaultsToZero) {
+  const int bit = field_bit("r4");
+  RegisterCharacterization charac(golden(), {}, {bit});
+  EXPECT_EQ(charac.lifetime(field_bit("r5")), 0.0);  // not characterized
+  EXPECT_FALSE(charac.is_memory_type(field_bit("r5")));
+  EXPECT_THROW(charac.bit(field_bit("r5")), fav::CheckError);
+}
+
+TEST(RegisterCharacterization, InvalidConfigThrows) {
+  CharacterizationConfig cfg;
+  cfg.horizon = 0;
+  EXPECT_THROW(RegisterCharacterization(golden(), cfg, {0}), fav::CheckError);
+  cfg = {};
+  cfg.stride = 0;
+  EXPECT_THROW(RegisterCharacterization(golden(), cfg, {0}), fav::CheckError);
+}
+
+TEST(RegisterCharacterization, OutOfRangeBitThrows) {
+  EXPECT_THROW(RegisterCharacterization(golden(), {}, {100000}),
+               fav::CheckError);
+}
+
+TEST(RegisterCharacterization, FullSweepClassesMatchExpectations) {
+  // Characterize every bit (the real pre-characterization pass) and check
+  // the aggregate shape of Fig. 4: a large fraction of bits are memory-type,
+  // and the expectation flags in the register map mostly agree with the
+  // empirical classification.
+  CharacterizationConfig cfg;
+  cfg.stride = 37;  // keep the test fast; benches use a denser sweep
+  RegisterCharacterization charac(golden(), cfg);
+  const RegisterMap& map = Machine::reg_map();
+
+  const auto memory_bits = charac.memory_type_bits();
+  EXPECT_GT(memory_bits.size(), 100u);  // MPU config dominates (144 bits)
+  EXPECT_LT(memory_bits.size(), static_cast<std::size_t>(map.total_bits()));
+
+  // Unconfigured MPU regions 2/3 must classify memory-type wholesale.
+  for (const char* field : {"mpu2_base", "mpu3_limit", "mpu3_perm"}) {
+    const int off = map.field(map.field_index(field)).offset;
+    for (int b = 0; b < map.field(map.field_index(field)).width; ++b) {
+      EXPECT_TRUE(charac.is_memory_type(off + b)) << field << "[" << b << "]";
+    }
+  }
+  // The PC must not.
+  for (int b = 0; b < 4; ++b) {
+    EXPECT_FALSE(charac.is_memory_type(field_bit("pc", b))) << b;
+  }
+}
+
+}  // namespace
+}  // namespace fav::precharac

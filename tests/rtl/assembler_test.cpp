@@ -1,0 +1,138 @@
+#include "rtl/assembler.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace fav::rtl {
+namespace {
+
+TEST(Assembler, EmptyAndComments) {
+  const Program p = assemble("; nothing\n  # also nothing\n\n");
+  EXPECT_TRUE(p.rom.empty());
+  EXPECT_TRUE(p.ram_init.empty());
+}
+
+TEST(Assembler, EncodesEveryMnemonic) {
+  const Program p = assemble(R"(
+    add r1, r2, r3
+    sub r1, r2, r3
+    and r1, r2, r3
+    or  r1, r2, r3
+    xor r1, r2, r3
+    shl r1, r2, r3
+    shr r1, r2, r3
+    mov r1, r2
+    addi r1, r2, -5
+    lui r1, 0x12
+    ori r1, 0x34
+    lw r1, r2, 1
+    sw r1, r2, 1
+    beq r1, r2, 0
+    bne r1, r2, 0
+    jmp 0
+    halt
+    nop
+  )");
+  ASSERT_EQ(p.rom.size(), 18u);
+  EXPECT_EQ(Instr{p.rom[0]}.funct(), AluFunct::kAdd);
+  EXPECT_EQ(Instr{p.rom[7]}.funct(), AluFunct::kMov);
+  EXPECT_EQ(Instr{p.rom[8]}.imm6(), -5);
+  EXPECT_EQ(Instr{p.rom[9]}.imm8(), 0x12);
+  EXPECT_EQ(Instr{p.rom[16]}.opcode(), Opcode::kHalt);
+  EXPECT_EQ(Instr{p.rom[17]}.opcode(), Opcode::kNop);
+}
+
+TEST(Assembler, LiExpandsToTwoWords) {
+  const Program p = assemble("li r3, 0xBEEF\n");
+  ASSERT_EQ(p.rom.size(), 2u);
+  EXPECT_EQ(Instr{p.rom[0]}.opcode(), Opcode::kLui);
+  EXPECT_EQ(Instr{p.rom[0]}.imm8(), 0xBE);
+  EXPECT_EQ(Instr{p.rom[1]}.opcode(), Opcode::kOri);
+  EXPECT_EQ(Instr{p.rom[1]}.imm8(), 0xEF);
+}
+
+TEST(Assembler, LabelsResolveForwardAndBackward) {
+  const Program p = assemble(R"(
+  back:
+    nop
+    beq r0, r0, fwd
+    bne r0, r1, back
+  fwd:
+    halt
+  )");
+  ASSERT_EQ(p.rom.size(), 4u);
+  EXPECT_EQ(Instr{p.rom[1]}.imm6(), 2);   // 3 - 1
+  EXPECT_EQ(Instr{p.rom[2]}.imm6(), -2);  // 0 - 2
+}
+
+TEST(Assembler, LabelAccountsForLiExpansion) {
+  const Program p = assemble(R"(
+    li r1, 0x1234
+  target:
+    beq r0, r0, target
+  )");
+  ASSERT_EQ(p.rom.size(), 3u);
+  EXPECT_EQ(Instr{p.rom[2]}.imm6(), 0);
+}
+
+TEST(Assembler, JmpToLabel) {
+  const Program p = assemble(R"(
+    nop
+    jmp end
+    nop
+  end:
+    halt
+  )");
+  EXPECT_EQ(Instr{p.rom[1]}.opcode(), Opcode::kJmp);
+  EXPECT_EQ(Instr{p.rom[1]}.imm12(), 3);
+}
+
+TEST(Assembler, DataDirective) {
+  const Program p = assemble(".data 0x4100 0xBEEF\n.data 16 255\n");
+  ASSERT_EQ(p.ram_init.size(), 2u);
+  EXPECT_EQ(p.ram_init[0].first, 0x4100);
+  EXPECT_EQ(p.ram_init[0].second, 0xBEEF);
+  EXPECT_EQ(p.ram_init[1].first, 16);
+  EXPECT_EQ(p.ram_init[1].second, 255);
+}
+
+TEST(Assembler, LabelOnSameLineAsInstr) {
+  const Program p = assemble("start: nop\n jmp start\n");
+  ASSERT_EQ(p.rom.size(), 2u);
+  EXPECT_EQ(Instr{p.rom[1]}.imm12(), 0);
+}
+
+TEST(Assembler, Errors) {
+  EXPECT_THROW(assemble("frobnicate r1\n"), CheckError);
+  EXPECT_THROW(assemble("add r1, r2\n"), CheckError);          // missing operand
+  EXPECT_THROW(assemble("add r1, r2, r8\n"), CheckError);      // bad register
+  EXPECT_THROW(assemble("addi r1, r2, 32\n"), CheckError);     // imm6 range
+  EXPECT_THROW(assemble("addi r1, r2, -33\n"), CheckError);
+  EXPECT_THROW(assemble("lui r1, 256\n"), CheckError);         // imm8 range
+  EXPECT_THROW(assemble("jmp nowhere\n"), CheckError);         // undefined label
+  EXPECT_THROW(assemble("x: nop\nx: nop\n"), CheckError);      // duplicate label
+  EXPECT_THROW(assemble(".data 0x10000 0\n"), CheckError);     // addr range
+  EXPECT_THROW(assemble("beq r0, r1, far\n" + std::string(40, 'n') +
+                        "op\nfar: halt\n"),
+               CheckError);  // mangled source still errors cleanly
+}
+
+TEST(Assembler, ErrorMessageIncludesLineNumber) {
+  try {
+    assemble("nop\nbadop r1\n");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Assembler, BranchOffsetOutOfRangeThrows) {
+  std::string src = "beq r0, r0, far\n";
+  for (int i = 0; i < 40; ++i) src += "nop\n";
+  src += "far: halt\n";
+  EXPECT_THROW(assemble(src), CheckError);
+}
+
+}  // namespace
+}  // namespace fav::rtl

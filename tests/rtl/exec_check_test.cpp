@@ -1,0 +1,157 @@
+// Instruction-access-check (execute permission) semantics of MCU16.
+#include <gtest/gtest.h>
+
+#include "rtl/assembler.h"
+#include "rtl/machine.h"
+
+namespace fav::rtl {
+namespace {
+
+// Grants execute on [0, split-1] via region 0 (exec|enable) and read/write
+// everywhere via region 1; turns on MPU + instruction check.
+std::string exec_setup(const std::string& split_label) {
+  return R"(
+    li r1, 0xFF00
+    li r2, 0x0000
+    sw r2, r1, 0
+    li r2, )" + split_label + R"(
+    addi r2, r2, -1
+    sw r2, r1, 1
+    li r2, 12        ; exec | enable
+    sw r2, r1, 2
+    li r1, 0xFF08
+    li r2, 0x0000
+    sw r2, r1, 0
+    li r2, 0x3FFF
+    sw r2, r1, 1
+    li r2, 7         ; read | write | enable
+    sw r2, r1, 2
+    li r1, 0xFF22
+    li r2, 3         ; MPU on + instruction check
+    sw r2, r1, 0
+  )";
+}
+
+TEST(ExecCheck, DeniedFetchExecutesAsNop) {
+  const Program p = assemble(exec_setup("forbidden") + R"(
+    li r3, 0x0100
+    jmp forbidden
+  forbidden:
+    addi r4, r0, 9   ; must NOT execute
+    sw r4, r3, 0     ; must NOT execute
+  )");
+  Machine m(p);
+  m.run(1000);
+  EXPECT_EQ(m.state().regs[4], 0);           // squashed
+  EXPECT_EQ(m.ram().read(0x0100), 0);        // squashed
+  EXPECT_TRUE(m.state().viol_sticky);
+  EXPECT_EQ(m.state().viol_addr, p.label("forbidden"));
+}
+
+TEST(ExecCheck, GrantedFetchesRunNormally) {
+  const Program p = assemble(exec_setup("limit") + R"(
+    addi r4, r0, 5
+  limit:
+    halt
+  )");
+  Machine m(p);
+  m.run(1000);
+  // `limit` itself is outside the exec region: the halt is squashed and the
+  // machine NOP-slides off the ROM without halting.
+  EXPECT_FALSE(m.halted());
+  EXPECT_EQ(m.state().regs[4], 5);
+  EXPECT_TRUE(m.state().viol_sticky);
+}
+
+TEST(ExecCheck, InstrCheckOffMeansNoFetchChecks) {
+  // MPU on (data checks) but ctrl bit 1 clear: fetches are never checked.
+  const Program p = assemble(R"(
+    li r1, 0xFF00
+    li r2, 0x0000
+    sw r2, r1, 0
+    li r2, 0x3FFF
+    sw r2, r1, 1
+    li r2, 7
+    sw r2, r1, 2
+    li r1, 0xFF22
+    li r2, 1
+    sw r2, r1, 0
+    addi r4, r0, 7
+    halt
+  )");
+  Machine m(p);
+  m.run(1000);
+  EXPECT_TRUE(m.halted());
+  EXPECT_EQ(m.state().regs[4], 7);
+  EXPECT_FALSE(m.state().viol_sticky);
+}
+
+TEST(ExecCheck, ControlRegisterReadBack) {
+  const Program p = assemble(R"(
+    li r1, 0xFF22
+    li r2, 3
+    sw r2, r1, 0
+    lw r3, r1, 0
+    halt
+  )");
+  Machine m(p);
+  m.run(100);
+  // With instr check on and no exec region, the fetch after the ctrl write
+  // is denied; readback therefore never happens and the machine NOP-slides.
+  EXPECT_FALSE(m.halted());
+  EXPECT_TRUE(m.state().instr_check);
+  EXPECT_TRUE(m.state().viol_sticky);
+}
+
+TEST(ExecCheck, ControlRegisterReadBackWithExecRegion) {
+  const Program p = assemble(exec_setup("theend") + R"(
+    li r1, 0xFF22
+    lw r3, r1, 0
+    li r4, 0x0100
+    sw r3, r4, 0
+    jmp theend
+  theend:
+    nop
+  )");
+  Machine m(p);
+  m.run(1000);
+  EXPECT_EQ(m.ram().read(0x0100), 3);  // enable | instr_check
+}
+
+TEST(ExecCheck, MpuAllowsExecHelper) {
+  ArchState s;
+  EXPECT_TRUE(Machine::mpu_allows_exec(s, 0x100));  // everything off
+  s.mpu_enable = true;
+  EXPECT_TRUE(Machine::mpu_allows_exec(s, 0x100));  // check not enabled
+  s.instr_check = true;
+  EXPECT_FALSE(Machine::mpu_allows_exec(s, 0x100));  // no region grants
+  s.mpu[2] = {0x0000, 0x01FF, kPermExec | kPermEnable};
+  EXPECT_TRUE(Machine::mpu_allows_exec(s, 0x100));
+  EXPECT_FALSE(Machine::mpu_allows_exec(s, 0x200));
+  s.mpu[2].perm = kPermExec;  // disabled region never grants
+  EXPECT_FALSE(Machine::mpu_allows_exec(s, 0x100));
+  s.instr_check = false;
+  EXPECT_TRUE(Machine::mpu_allows_exec(s, 0x200));
+}
+
+TEST(ExecCheck, StepInfoReportsFetchDenied) {
+  const Program p = assemble(exec_setup("stop") + R"(
+    jmp stop
+  stop:
+    addi r4, r0, 1
+  )");
+  Machine m(p);
+  bool denied = false;
+  while (!m.halted() && m.cycle() < 200) {
+    const StepInfo info = m.step();
+    if (info.fetch_denied) {
+      EXPECT_TRUE(info.mpu_viol);
+      denied = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(denied);
+}
+
+}  // namespace
+}  // namespace fav::rtl

@@ -1,0 +1,65 @@
+#include "rtl/isa.h"
+
+#include <gtest/gtest.h>
+
+namespace fav::rtl {
+namespace {
+
+TEST(Isa, EncodeDecodeAlu) {
+  const Instr i{encode_alu(AluFunct::kXor, 3, 5, 7)};
+  EXPECT_EQ(i.opcode(), Opcode::kAlu);
+  EXPECT_EQ(i.funct(), AluFunct::kXor);
+  EXPECT_EQ(i.rd(), 3);
+  EXPECT_EQ(i.ra(), 5);
+  EXPECT_EQ(i.rb(), 7);
+}
+
+TEST(Isa, EncodeDecodeImm6Positive) {
+  const Instr i{encode_imm6(Opcode::kAddi, 1, 2, 31)};
+  EXPECT_EQ(i.opcode(), Opcode::kAddi);
+  EXPECT_EQ(i.rd(), 1);
+  EXPECT_EQ(i.ra(), 2);
+  EXPECT_EQ(i.imm6(), 31);
+}
+
+TEST(Isa, EncodeDecodeImm6Negative) {
+  const Instr i{encode_imm6(Opcode::kAddi, 1, 2, -32)};
+  EXPECT_EQ(i.imm6(), -32);
+  const Instr j{encode_imm6(Opcode::kBeq, 0, 0, -1)};
+  EXPECT_EQ(j.imm6(), -1);
+}
+
+TEST(Isa, EncodeDecodeImm8) {
+  const Instr i{encode_imm8(Opcode::kLui, 6, 0xAB)};
+  EXPECT_EQ(i.opcode(), Opcode::kLui);
+  EXPECT_EQ(i.rd(), 6);
+  EXPECT_EQ(i.imm8(), 0xAB);
+}
+
+TEST(Isa, EncodeDecodeJmp) {
+  const Instr i{encode_jmp(0xABC)};
+  EXPECT_EQ(i.opcode(), Opcode::kJmp);
+  EXPECT_EQ(i.imm12(), 0xABC);
+}
+
+TEST(Isa, UndefinedOpcodesDecodeAsNop) {
+  for (int op = 0xB; op <= 0xF; ++op) {
+    const Instr i{static_cast<std::uint16_t>(op << 12)};
+    EXPECT_EQ(i.opcode(), Opcode::kNop) << op;
+  }
+}
+
+TEST(Isa, DisassembleRoundTripSpotChecks) {
+  EXPECT_EQ(disassemble(Instr{encode_alu(AluFunct::kAdd, 1, 2, 3)}),
+            "add r1, r2, r3");
+  EXPECT_EQ(disassemble(Instr{encode_alu(AluFunct::kMov, 1, 2, 0)}),
+            "mov r1, r2");
+  EXPECT_EQ(disassemble(Instr{encode_imm6(Opcode::kLw, 4, 5, -2)}),
+            "lw r4, r5, -2");
+  EXPECT_EQ(disassemble(Instr{encode_halt()}), "halt");
+  EXPECT_EQ(disassemble(Instr{encode_nop()}), "nop");
+  EXPECT_EQ(disassemble(Instr{encode_jmp(7)}), "jmp 7");
+}
+
+}  // namespace
+}  // namespace fav::rtl

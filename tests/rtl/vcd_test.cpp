@@ -1,0 +1,75 @@
+#include "rtl/vcd.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rtl/assembler.h"
+#include "rtl/machine.h"
+
+namespace fav::rtl {
+namespace {
+
+TEST(VcdWriter, HeaderDeclaresEveryField) {
+  std::ostringstream os;
+  VcdWriter vcd(os);
+  vcd.sample(0, ArchState{});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("$timescale"), std::string::npos);
+  EXPECT_NE(out.find("$scope module mcu16 $end"), std::string::npos);
+  for (const auto& f : RegisterMap::mcu16().fields()) {
+    EXPECT_NE(out.find(" " + f.name + " $end"), std::string::npos) << f.name;
+  }
+  EXPECT_NE(out.find("$enddefinitions $end"), std::string::npos);
+}
+
+TEST(VcdWriter, FirstSampleDumpsEverything) {
+  std::ostringstream os;
+  VcdWriter vcd(os);
+  ArchState s;
+  s.pc = 0x1234;
+  vcd.sample(0, s);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("#0\n"), std::string::npos);
+  EXPECT_NE(out.find("b0001001000110100 "), std::string::npos);  // pc value
+  EXPECT_EQ(vcd.samples_written(), 1u);
+}
+
+TEST(VcdWriter, OnlyChangesEmittedLater) {
+  std::ostringstream os;
+  VcdWriter vcd(os);
+  ArchState s;
+  vcd.sample(0, s);
+  const std::size_t after_first = os.str().size();
+  vcd.sample(1, s);  // nothing changed: just the timestamp
+  const std::string tail = os.str().substr(after_first);
+  EXPECT_EQ(tail, "#1\n");
+
+  s.regs[3] = 0x00FF;
+  vcd.sample(2, s);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("#2\nb0000000011111111 "), std::string::npos);
+}
+
+TEST(VcdWriter, TracesAProgramRun) {
+  const Program p = assemble(R"(
+    addi r1, r0, 3
+    addi r2, r0, 4
+    add r3, r1, r2
+    halt
+  )");
+  Machine m(p);
+  std::ostringstream os;
+  VcdWriter vcd(os);
+  while (!m.halted()) {
+    vcd.sample(m.cycle(), m.state());
+    m.step();
+  }
+  vcd.sample(m.cycle(), m.state());
+  EXPECT_EQ(vcd.samples_written(), 5u);
+  // r3 = 7 appears in the trace.
+  EXPECT_NE(os.str().find("b0000000000000111 "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fav::rtl

@@ -1,0 +1,234 @@
+// DMA engine (peripheral bus master) semantics, gate-level equivalence, and
+// the DMA-exfiltration benchmark.
+#include <gtest/gtest.h>
+
+#include "mc/analytical.h"
+#include "rtl/assembler.h"
+#include "rtl/golden.h"
+#include "soc/benchmark.h"
+#include "soc/gate_machine.h"
+#include "util/rng.h"
+
+namespace fav::soc {
+namespace {
+
+const SocNetlist& soc() {
+  static const SocNetlist instance;
+  return instance;
+}
+
+// MPU off: DMA moves freely.
+constexpr const char* kPlainCopy = R"(
+    .data 0x0100 0x1111
+    .data 0x0101 0x2222
+    .data 0x0102 0x3333
+    li r1, 0xFF30
+    li r2, 0x0100
+    sw r2, r1, 0
+    li r2, 0x0400
+    sw r2, r1, 1
+    li r2, 3
+    sw r2, r1, 2
+    li r2, 1
+    sw r2, r1, 3      ; start
+    nop
+    nop
+    nop
+    nop
+    lw r3, r1, 3      ; status: must be idle again
+    halt
+)";
+
+TEST(Dma, CopiesBlockWhenUnchecked) {
+  const rtl::Program p = rtl::assemble(kPlainCopy);
+  rtl::Machine m(p);
+  m.run(100);
+  EXPECT_TRUE(m.halted());
+  EXPECT_EQ(m.ram().read(0x0400), 0x1111);
+  EXPECT_EQ(m.ram().read(0x0401), 0x2222);
+  EXPECT_EQ(m.ram().read(0x0402), 0x3333);
+  EXPECT_FALSE(m.state().dma_active);
+  EXPECT_EQ(m.state().dma_len, 0);
+  EXPECT_EQ(m.state().regs[3], 0);  // status readback: idle
+  EXPECT_FALSE(m.state().viol_sticky);
+}
+
+TEST(Dma, RegistersLockedWhileActive) {
+  const rtl::Program p = rtl::assemble(R"(
+    .data 0x0100 0xAAAA
+    li r1, 0xFF30
+    li r2, 0x0100
+    sw r2, r1, 0
+    li r2, 0x0400
+    sw r2, r1, 1
+    li r2, 8
+    sw r2, r1, 2
+    li r2, 1
+    sw r2, r1, 3      ; start (8 words)
+    li r2, 0x0700
+    sw r2, r1, 1      ; attempt to redirect mid-transfer: must be ignored
+    halt
+  )");
+  rtl::Machine m(p);
+  m.run(100);
+  EXPECT_EQ(m.ram().read(0x0400), 0xAAAA);  // original destination used
+  EXPECT_EQ(m.ram().read(0x0700), 0);
+}
+
+TEST(Dma, StartWithZeroLengthIsNoop) {
+  const rtl::Program p = rtl::assemble(R"(
+    li r1, 0xFF30
+    li r2, 1
+    sw r2, r1, 3
+    halt
+  )");
+  rtl::Machine m(p);
+  m.run(100);
+  EXPECT_FALSE(m.state().dma_active);
+}
+
+TEST(Dma, MpuDeniesAndAborts) {
+  // Region 0 grants RW on [0, 0x3FFF]; the DMA destination lies outside.
+  const rtl::Program p = rtl::assemble(R"(
+    .data 0x0100 0x7777
+    li r1, 0xFF00
+    li r2, 0x0000
+    sw r2, r1, 0
+    li r2, 0x3FFF
+    sw r2, r1, 1
+    li r2, 7
+    sw r2, r1, 2
+    li r1, 0xFF22
+    li r2, 1
+    sw r2, r1, 0
+    li r1, 0xFF30
+    li r2, 0x0100
+    sw r2, r1, 0
+    li r2, 0x9000
+    sw r2, r1, 1      ; destination not covered by any region
+    li r2, 2
+    sw r2, r1, 2
+    li r2, 1
+    sw r2, r1, 3
+    nop
+    nop
+    halt
+  )");
+  rtl::Machine m(p);
+  bool dma_viol = false;
+  while (!m.halted() && m.cycle() < 200) {
+    if (m.step().dma_viol) dma_viol = true;
+  }
+  EXPECT_TRUE(dma_viol);
+  EXPECT_TRUE(m.state().viol_sticky);
+  EXPECT_EQ(m.state().viol_addr, 0x9000);  // the offending (write) address
+  EXPECT_FALSE(m.state().dma_active);      // aborted
+  EXPECT_EQ(m.ram().read(0x9000), 0);
+}
+
+TEST(Dma, DevicePageOffLimits) {
+  const rtl::Program p = rtl::assemble(R"(
+    li r1, 0xFF30
+    li r2, 0xFF00
+    sw r2, r1, 0      ; source on the device page
+    li r2, 0x0400
+    sw r2, r1, 1
+    li r2, 1
+    sw r2, r1, 2
+    li r2, 1
+    sw r2, r1, 3
+    nop
+    halt
+  )");
+  rtl::Machine m(p);
+  m.run(100);
+  EXPECT_TRUE(m.state().viol_sticky);
+  EXPECT_EQ(m.state().viol_addr, 0xFF00);
+}
+
+TEST(Dma, GateLevelLockstepPlainCopy) {
+  const rtl::Program p = rtl::assemble(kPlainCopy);
+  rtl::Machine beh(p);
+  GateLevelMachine gate(soc(), p);
+  const auto& map = SocNetlist::reg_map();
+  for (int c = 0; c < 100 && !beh.halted(); ++c) {
+    const auto bi = beh.step();
+    const auto gi = gate.step();
+    ASSERT_EQ(bi.dma_write_done, gi.dma_write_done) << "cycle " << c;
+    ASSERT_EQ(map.pack(beh.state()), map.pack(gate.extract_state()))
+        << "cycle " << c;
+  }
+  EXPECT_TRUE(beh.ram() == gate.ram());
+}
+
+TEST(Dma, GateLevelLockstepOnBenchmark) {
+  const SecurityBenchmark b = make_dma_exfiltration_benchmark();
+  rtl::Machine beh(b.program);
+  GateLevelMachine gate(soc(), b.program);
+  const auto& map = SocNetlist::reg_map();
+  for (std::uint64_t c = 0; c < b.max_cycles && !beh.halted(); ++c) {
+    const auto bi = beh.step();
+    const auto gi = gate.step();
+    ASSERT_EQ(bi.mpu_viol || bi.dma_viol, gi.mpu_viol || gi.dma_viol)
+        << "cycle " << c;
+    ASSERT_EQ(map.pack(beh.state()), map.pack(gate.extract_state()))
+        << "cycle " << c;
+  }
+  EXPECT_TRUE(beh.ram() == gate.ram());
+}
+
+TEST(DmaBenchmark, BaselineIsBlocked) {
+  const SecurityBenchmark b = make_dma_exfiltration_benchmark();
+  rtl::Machine m(b.program);
+  m.run(b.max_cycles);
+  EXPECT_TRUE(m.halted());
+  EXPECT_EQ(m.ram().read(b.exfil_addr), 0);  // nothing exfiltrated
+  EXPECT_TRUE(m.state().viol_sticky);
+  EXPECT_EQ(m.state().viol_addr, b.protected_addr);
+  EXPECT_FALSE(b.attack_succeeded(m.state(), m.ram()));
+}
+
+TEST(DmaBenchmark, OpeningSecretRegionEnablesExfiltration) {
+  const SecurityBenchmark b = make_dma_exfiltration_benchmark();
+  rtl::Machine m(b.program);
+  for (int c = 0; c < 60; ++c) m.step();
+  m.mutable_state().mpu[2].perm |= rtl::kPermRead;  // secret readable
+  m.run(b.max_cycles);
+  EXPECT_TRUE(b.attack_succeeded(m.state(), m.ram()))
+      << "exfil=" << m.ram().read(b.exfil_addr)
+      << " viol=" << m.state().viol_sticky;
+  EXPECT_EQ(m.ram().read(b.exfil_addr + 3), 0x5EC4);  // full block copied
+}
+
+TEST(DmaBenchmark, AnalyticalMatchesRtl) {
+  const SecurityBenchmark b = make_dma_exfiltration_benchmark();
+  rtl::GoldenRun golden(b.program, b.max_cycles, 16);
+  const mc::AnalyticalEvaluator eval(b, golden);
+  const auto& map = rtl::Machine::reg_map();
+  fav::Rng rng(77);
+  std::vector<int> config_bits;
+  for (const auto& f : map.fields()) {
+    if (!f.config_like) continue;
+    for (int bit = 0; bit < f.width; ++bit) config_bits.push_back(f.offset + bit);
+  }
+  int decided = 0, successes = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    const std::uint64_t cycle = 70 + rng.uniform_below(eval.target_cycle() - 70);
+    rtl::ArchState s = golden.state_at(cycle);
+    map.flip_bit(s, config_bits[rng.uniform_below(config_bits.size())]);
+    const auto verdict = eval.evaluate(s, cycle);
+    if (!verdict.has_value()) continue;
+    ++decided;
+    rtl::Machine m = golden.restore(cycle);
+    m.set_state(s);
+    while (!m.halted() && m.cycle() < b.max_cycles) m.step();
+    const bool truth = b.attack_succeeded(m.state(), m.ram());
+    EXPECT_EQ(*verdict, truth) << "trial " << trial;
+    successes += truth ? 1 : 0;
+  }
+  EXPECT_GT(decided, 80);
+  EXPECT_GT(successes, 0);  // read-perm flips on region 2 must enable it
+}
+
+}  // namespace
+}  // namespace fav::soc

@@ -1,0 +1,114 @@
+// Illegal-execution benchmark + RTL/gate equivalence of the instruction
+// access check.
+#include <gtest/gtest.h>
+
+#include "rtl/golden.h"
+#include "soc/benchmark.h"
+#include "soc/gate_machine.h"
+
+namespace fav::soc {
+namespace {
+
+const SocNetlist& soc() {
+  static const SocNetlist instance;
+  return instance;
+}
+
+TEST(ExecBenchmark, BaselineIsBlocked) {
+  const SecurityBenchmark b = make_illegal_exec_benchmark();
+  rtl::Machine m(b.program);
+  m.run(b.max_cycles);
+  EXPECT_TRUE(m.halted());  // NOP-slide lands on the granted epilogue
+  EXPECT_EQ(m.ram().read(b.protected_addr), 0);  // token never planted
+  EXPECT_TRUE(m.state().viol_sticky);
+  EXPECT_EQ(m.state().viol_addr, b.program.label("hidden"));
+  EXPECT_FALSE(b.attack_succeeded(m.state(), m.ram()));
+}
+
+TEST(ExecBenchmark, GoldenRunLocatesTargetCycle) {
+  const SecurityBenchmark b = make_illegal_exec_benchmark();
+  rtl::GoldenRun golden(b.program, b.max_cycles);
+  const auto tt = golden.first_violation_cycle();
+  ASSERT_TRUE(tt.has_value());
+  EXPECT_GE(*tt, 50u);  // attack window before the illegal jump
+  EXPECT_EQ(golden.pc_at(*tt), b.program.label("hidden"));
+}
+
+TEST(ExecBenchmark, DisablingInstrCheckEnablesAttack) {
+  const SecurityBenchmark b = make_illegal_exec_benchmark();
+  rtl::Machine m(b.program);
+  for (int c = 0; c < 60; ++c) m.step();
+  m.mutable_state().instr_check = false;  // the single-bit fault
+  m.run(b.max_cycles);
+  EXPECT_TRUE(b.attack_succeeded(m.state(), m.ram()))
+      << "token=" << m.ram().read(b.protected_addr)
+      << " viol=" << m.state().viol_sticky;
+  EXPECT_EQ(m.ram().read(b.protected_addr), b.attack_value);
+}
+
+TEST(ExecBenchmark, GrantingExecOnDataRegionEnablesAttack) {
+  const SecurityBenchmark b = make_illegal_exec_benchmark();
+  rtl::Machine m(b.program);
+  for (int c = 0; c < 60; ++c) m.step();
+  m.mutable_state().mpu[0].perm |= rtl::kPermExec;  // region 0 covers hidden
+  m.run(b.max_cycles);
+  EXPECT_TRUE(b.attack_succeeded(m.state(), m.ram()));
+}
+
+TEST(ExecBenchmark, AttackPathDescribesHiddenRoutine) {
+  const SecurityBenchmark b = make_illegal_exec_benchmark();
+  ASSERT_FALSE(b.attack_path.empty());
+  EXPECT_TRUE(b.attack_path.front().is_fetch);
+  EXPECT_EQ(b.attack_path.front().addr, b.program.label("hidden"));
+  // Exactly one data access: the token store.
+  int stores = 0;
+  for (const auto& p : b.attack_path) {
+    if (!p.is_fetch) {
+      ++stores;
+      EXPECT_TRUE(p.is_write);
+      EXPECT_EQ(p.addr, b.protected_addr);
+    }
+  }
+  EXPECT_EQ(stores, 1);
+}
+
+TEST(ExecBenchmark, GateLevelLockstep) {
+  const SecurityBenchmark b = make_illegal_exec_benchmark();
+  rtl::Machine beh(b.program);
+  GateLevelMachine gate(soc(), b.program);
+  const auto& map = SocNetlist::reg_map();
+  for (std::uint64_t c = 0; c < b.max_cycles && !beh.halted(); ++c) {
+    const auto bi = beh.step();
+    const auto gi = gate.step();
+    ASSERT_EQ(bi.mpu_viol, gi.mpu_viol) << "cycle " << c;
+    ASSERT_EQ(map.pack(beh.state()), map.pack(gate.extract_state()))
+        << "state diverged at cycle " << c;
+  }
+  EXPECT_TRUE(beh.ram() == gate.ram());
+}
+
+TEST(ExecBenchmark, GateLevelLockstepUnderFault) {
+  // Inject the instr_check-off fault into BOTH levels mid-run and verify
+  // they agree on the successful attack trajectory (the hidden routine).
+  const SecurityBenchmark b = make_illegal_exec_benchmark();
+  rtl::Machine beh(b.program);
+  GateLevelMachine gate(soc(), b.program);
+  for (int c = 0; c < 60; ++c) {
+    beh.step();
+    gate.step();
+  }
+  beh.mutable_state().instr_check = false;
+  gate.load_state(beh.state());
+  const auto& map = SocNetlist::reg_map();
+  for (std::uint64_t c = 60; c < b.max_cycles && !beh.halted(); ++c) {
+    beh.step();
+    gate.step();
+    ASSERT_EQ(map.pack(beh.state()), map.pack(gate.extract_state()))
+        << "cycle " << c;
+  }
+  EXPECT_TRUE(b.attack_succeeded(beh.state(), beh.ram()));
+  EXPECT_TRUE(b.attack_succeeded(gate.extract_state(), gate.ram()));
+}
+
+}  // namespace
+}  // namespace fav::soc

@@ -1,0 +1,68 @@
+#include "soc/soc_netlist.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace fav::soc {
+namespace {
+
+// Elaboration is deterministic but not free; share one instance.
+const SocNetlist& soc() {
+  static const SocNetlist instance;
+  return instance;
+}
+
+TEST(SocNetlist, ValidatesAndHasExpectedShape) {
+  const auto& nl = soc().netlist();
+  EXPECT_EQ(nl.dffs().size(), 357u);
+  EXPECT_EQ(nl.inputs().size(), 32u);  // instr + mem_rdata
+  EXPECT_GT(nl.gate_count(), 2000u);   // a real netlist, not a stub
+  EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(SocNetlist, DffBindingIsBijective) {
+  const auto& map = SocNetlist::reg_map();
+  for (int bit = 0; bit < map.total_bits(); ++bit) {
+    const auto dff = soc().dff_for_bit(bit);
+    EXPECT_TRUE(soc().netlist().is_dff(dff));
+    EXPECT_EQ(soc().flat_bit_for_dff(dff), bit);
+  }
+  EXPECT_THROW(soc().dff_for_bit(-1), fav::CheckError);
+  EXPECT_THROW(soc().dff_for_bit(map.total_bits()), fav::CheckError);
+}
+
+TEST(SocNetlist, NonDffMapsToMinusOne) {
+  // The responding signal is a gate, not a DFF.
+  EXPECT_EQ(soc().flat_bit_for_dff(soc().ports().mpu_viol), -1);
+}
+
+TEST(SocNetlist, DffNamesFollowRegisterMap) {
+  const auto& map = SocNetlist::reg_map();
+  const auto& nl = soc().netlist();
+  EXPECT_EQ(nl.node(soc().dff_for_bit(0)).name, "pc[0]");
+  const int sticky = map.field(map.field_index("viol_sticky")).offset;
+  EXPECT_EQ(nl.node(soc().dff_for_bit(sticky)).name, "viol_sticky[0]");
+}
+
+TEST(SocNetlist, RespondingSignalIsNamed) {
+  const auto& nl = soc().netlist();
+  EXPECT_EQ(nl.find_or_throw("mpu_viol"), soc().ports().mpu_viol);
+}
+
+TEST(SocNetlist, PortsAreValidNodes) {
+  const auto& nl = soc().netlist();
+  const auto& p = soc().ports();
+  EXPECT_EQ(p.instr.size(), 16u);
+  EXPECT_EQ(p.mem_rdata.size(), 16u);
+  EXPECT_EQ(p.pc.size(), 16u);
+  EXPECT_EQ(p.mem_addr.size(), 16u);
+  EXPECT_EQ(p.mem_wdata.size(), 16u);
+  EXPECT_LT(p.mem_read, nl.node_count());
+  EXPECT_LT(p.mem_write, nl.node_count());
+  EXPECT_LT(p.mpu_viol, nl.node_count());
+  EXPECT_LT(p.halted, nl.node_count());
+}
+
+}  // namespace
+}  // namespace fav::soc

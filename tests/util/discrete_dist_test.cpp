@@ -1,0 +1,71 @@
+#include "util/discrete_dist.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fav {
+namespace {
+
+TEST(DiscreteDistribution, NormalizesWeights) {
+  DiscreteDistribution d({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(d.pmf(0), 0.25);
+  EXPECT_DOUBLE_EQ(d.pmf(1), 0.75);
+}
+
+TEST(DiscreteDistribution, RejectsBadWeights) {
+  EXPECT_THROW(DiscreteDistribution(std::vector<double>{}), CheckError);
+  EXPECT_THROW(DiscreteDistribution({0.0, 0.0}), CheckError);
+  EXPECT_THROW(DiscreteDistribution({1.0, -0.5}), CheckError);
+}
+
+TEST(DiscreteDistribution, PmfOutOfRangeThrows) {
+  DiscreteDistribution d({1.0});
+  EXPECT_THROW(d.pmf(1), CheckError);
+}
+
+TEST(DiscreteDistribution, ZeroWeightNeverSampled) {
+  DiscreteDistribution d({0.0, 1.0, 0.0});
+  Rng rng(21);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(d.sample(rng), 1u);
+}
+
+TEST(DiscreteDistribution, EmpiricalFrequenciesMatchPmf) {
+  DiscreteDistribution d({5.0, 1.0, 3.0, 1.0});
+  Rng rng(22);
+  std::vector<int> counts(4, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[d.sample(rng)];
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kDraws, d.pmf(i), 0.01) << i;
+  }
+}
+
+TEST(DiscreteDistribution, SingleOutcome) {
+  DiscreteDistribution d({7.5});
+  Rng rng(23);
+  EXPECT_DOUBLE_EQ(d.pmf(0), 1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(d.sample(rng), 0u);
+}
+
+TEST(DiscreteDistribution, ImportanceReweightingIsUnbiased) {
+  // Estimating E_f[X] with samples from g using weights f/g must recover the
+  // same mean — the identity the SSF importance estimator relies on.
+  std::vector<double> f = {0.7, 0.2, 0.1};
+  std::vector<double> values = {1.0, 5.0, -2.0};
+  DiscreteDistribution fd(f), gd({0.2, 0.4, 0.4});
+  Rng rng(24);
+  double direct = 0.0, weighted = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    direct += values[fd.sample(rng)];
+    const std::size_t j = gd.sample(rng);
+    weighted += values[j] * fd.pmf(j) / gd.pmf(j);
+  }
+  const double truth = 0.7 * 1.0 + 0.2 * 5.0 + 0.1 * -2.0;
+  EXPECT_NEAR(direct / kDraws, truth, 0.02);
+  EXPECT_NEAR(weighted / kDraws, truth, 0.02);
+}
+
+}  // namespace
+}  // namespace fav

@@ -1,0 +1,100 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace fav {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(9);
+  const auto first = a.next();
+  a.next();
+  a.reseed(9);
+  EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, UniformBelowRespectsBound) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform_below(17), 17u);
+  }
+}
+
+TEST(Rng, UniformBelowOneIsZero) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_below(1), 0u);
+}
+
+TEST(Rng, UniformBelowZeroThrows) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform_below(0), CheckError);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(4);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values hit with overwhelming probability
+}
+
+TEST(Rng, UniformIntEmptyRangeThrows) {
+  Rng rng(4);
+  EXPECT_THROW(rng.uniform_int(2, 1), CheckError);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformBelowIsRoughlyUniform) {
+  Rng rng(6);
+  constexpr int kBuckets = 8;
+  int counts[kBuckets] = {};
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform_below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kDraws / kBuckets,
+                5 * std::sqrt(kDraws / kBuckets));
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(7);
+  int hits = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+}  // namespace
+}  // namespace fav

@@ -1,0 +1,136 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace fav {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.standard_error(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.population_variance(), 4.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, BernoulliVarianceMatchesClosedForm) {
+  // The SSF estimator's per-sample contribution under plain sampling is a
+  // Bernoulli(p) variable: variance must converge to p(1-p).
+  Rng rng(11);
+  RunningStats s;
+  const double p = 0.1;
+  for (int i = 0; i < 200000; ++i) s.add(rng.bernoulli(p) ? 1.0 : 0.0);
+  EXPECT_NEAR(s.mean(), p, 0.005);
+  EXPECT_NEAR(s.variance(), p * (1 - p), 0.005);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(12);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform_real(-3, 7);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean = a.mean();
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(RunningStats, StandardErrorShrinksWithN) {
+  Rng rng(13);
+  RunningStats small, large;
+  for (int i = 0; i < 100; ++i) small.add(rng.uniform01());
+  for (int i = 0; i < 10000; ++i) large.add(rng.uniform01());
+  EXPECT_GT(small.standard_error(), large.standard_error());
+}
+
+TEST(Histogram, BinsAndFractions) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);
+  h.add(1.0);  // falls in bin 0? 1.0/10*5 = 0.5 -> bin 0
+  h.add(2.5);
+  h.add(9.9);
+  EXPECT_EQ(h.bin_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(4), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_fraction(0), 0.5);
+}
+
+TEST(Histogram, OutOfRangeClamped) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-5.0);
+  h.add(42.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(1), 1.0);
+}
+
+TEST(Histogram, WeightedAdds) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.1, 2.5);
+  h.add(0.9, 0.5);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_fraction(0), 2.5 / 3.0);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(2.0, 12.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 12.0);
+  EXPECT_THROW(h.bin_lo(5), CheckError);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), CheckError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), CheckError);
+}
+
+TEST(Histogram, EmptyFractionIsZero) {
+  Histogram h(0.0, 1.0, 3);
+  EXPECT_DOUBLE_EQ(h.bin_fraction(1), 0.0);
+}
+
+}  // namespace
+}  // namespace fav

@@ -1,0 +1,249 @@
+// fav — command-line front end to the fault-attack vulnerability framework.
+//
+//   fav info                             design + benchmark overview
+//   fav characterize                     register characterization table
+//   fav evaluate   [options]             SSF estimation
+//   fav harden     [options]             critical cells + hardening report
+//   fav export-verilog [--out FILE]      structural Verilog of the SoC
+//   fav trace      [options] --out FILE  VCD of the golden run
+//
+// Common options:
+//   --benchmark write|read|exec|dma   (default write)
+//   --samples N                   (default 3000)
+//   --seed S                      (default 2017)
+//   --strategy random|cone|importance   (default importance)
+//   --t-range N                   (default 50)
+//   --radius R                    (default 1.5)
+//   --coverage C                  (default 0.95, harden only)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/framework.h"
+#include "core/hardening.h"
+#include "netlist/verilog.h"
+#include "rtl/vcd.h"
+
+using namespace fav;
+
+namespace {
+
+struct Options {
+  std::string command;
+  std::string benchmark = "write";
+  std::string strategy = "importance";
+  std::string out;
+  std::size_t samples = 3000;
+  std::uint64_t seed = 2017;
+  int t_range = 50;
+  double radius = 1.5;
+  double coverage = 0.95;
+};
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage: fav <info|characterize|evaluate|harden|export-verilog|"
+               "trace> [options]\n"
+               "options: --benchmark write|read|exec|dma  --samples N  --seed S\n"
+               "         --strategy random|cone|importance  --t-range N\n"
+               "         --radius R  --coverage C  --out FILE\n");
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  if (argc < 2) usage();
+  Options o;
+  o.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--benchmark") {
+      o.benchmark = value();
+    } else if (arg == "--samples") {
+      o.samples = std::stoul(value());
+    } else if (arg == "--seed") {
+      o.seed = std::stoull(value());
+    } else if (arg == "--strategy") {
+      o.strategy = value();
+    } else if (arg == "--t-range") {
+      o.t_range = std::stoi(value());
+    } else if (arg == "--radius") {
+      o.radius = std::stod(value());
+    } else if (arg == "--coverage") {
+      o.coverage = std::stod(value());
+    } else if (arg == "--out") {
+      o.out = value();
+    } else {
+      usage(("unknown option " + arg).c_str());
+    }
+  }
+  return o;
+}
+
+soc::SecurityBenchmark pick_benchmark(const std::string& name) {
+  if (name == "write") return soc::make_illegal_write_benchmark();
+  if (name == "read") return soc::make_illegal_read_benchmark();
+  if (name == "exec") return soc::make_illegal_exec_benchmark();
+  if (name == "dma") return soc::make_dma_exfiltration_benchmark();
+  usage(("unknown benchmark '" + name + "'").c_str());
+}
+
+int cmd_info(const Options& o) {
+  core::FaultAttackEvaluator fw(pick_benchmark(o.benchmark));
+  const auto& nl = fw.soc().netlist();
+  std::printf("MCU16 design\n");
+  std::printf("  gates            : %zu\n", nl.gate_count());
+  std::printf("  registers (DFFs) : %zu\n", nl.dffs().size());
+  std::printf("  logic levels     : %d\n", nl.max_level());
+  std::printf("  clock period     : %.1f (critical path %.1f)\n",
+              fw.injector().timing().clock_period(),
+              fw.injector().timing().critical_path());
+  std::printf("  placed cells     : %zu (%.0f x %.0f)\n",
+              fw.placement().placed_nodes().size(), fw.placement().width(),
+              fw.placement().height());
+  std::printf("benchmark '%s'\n", fw.benchmark().name.c_str());
+  std::printf("  golden run       : %llu cycles\n",
+              static_cast<unsigned long long>(fw.golden().length()));
+  std::printf("  target cycle Tt  : %llu\n",
+              static_cast<unsigned long long>(fw.target_cycle()));
+  std::printf("  memory-type bits : %zu / %d\n",
+              fw.characterization().memory_type_bits().size(),
+              rtl::Machine::reg_map().total_bits());
+  return 0;
+}
+
+int cmd_characterize(const Options& o) {
+  core::FaultAttackEvaluator fw(pick_benchmark(o.benchmark));
+  const auto& map = rtl::Machine::reg_map();
+  const auto& charac = fw.characterization();
+  std::printf("%-14s %10s %14s %10s\n", "field", "lifetime", "contamination",
+              "mem-type");
+  for (std::size_t fi = 0; fi < map.fields().size(); ++fi) {
+    const auto& f = map.fields()[fi];
+    double lt = 0, ct = 0;
+    int mem = 0;
+    for (int b = 0; b < f.width; ++b) {
+      lt += charac.bit(f.offset + b).avg_lifetime;
+      ct += charac.bit(f.offset + b).avg_contamination;
+      mem += charac.is_memory_type(f.offset + b) ? 1 : 0;
+    }
+    std::printf("%-14s %10.1f %14.2f %7d/%d\n", f.name.c_str(), lt / f.width,
+                ct / f.width, mem, f.width);
+  }
+  return 0;
+}
+
+mc::SsfResult run_eval(core::FaultAttackEvaluator& fw, const Options& o) {
+  const auto attack = fw.subblock_attack_model(o.radius, o.t_range);
+  std::unique_ptr<mc::Sampler> sampler;
+  if (o.strategy == "random") {
+    sampler = fw.make_random_sampler(attack);
+  } else if (o.strategy == "cone") {
+    sampler = fw.make_cone_sampler(attack);
+  } else if (o.strategy == "importance") {
+    sampler = fw.make_importance_sampler(attack);
+  } else {
+    usage(("unknown strategy '" + o.strategy + "'").c_str());
+  }
+  Rng rng(o.seed);
+  return fw.evaluator().run(*sampler, rng, o.samples);
+}
+
+int cmd_evaluate(const Options& o) {
+  core::FaultAttackEvaluator fw(pick_benchmark(o.benchmark));
+  const auto res = run_eval(fw, o);
+  std::printf("benchmark  : %s\n", fw.benchmark().name.c_str());
+  std::printf("strategy   : %s (n=%zu, seed=%llu)\n", o.strategy.c_str(),
+              o.samples, static_cast<unsigned long long>(o.seed));
+  std::printf("SSF        : %.6f\n", res.ssf());
+  std::printf("std error  : %.6f\n", res.stats.standard_error());
+  std::printf("variance   : %.3e\n", res.sample_variance());
+  std::printf("successes  : %zu\n", res.successes);
+  std::printf("paths      : %zu masked / %zu analytical / %zu rtl\n",
+              res.masked, res.analytical, res.rtl);
+  const auto& map = rtl::Machine::reg_map();
+  const auto fields = core::select_critical_fields(res, 0.95);
+  std::printf("critical   :");
+  for (const int f : fields) std::printf(" %s", map.field(f).name.c_str());
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_harden(const Options& o) {
+  core::FaultAttackEvaluator fw(pick_benchmark(o.benchmark));
+  const auto res = run_eval(fw, o);
+  const auto cells = core::select_critical_bits(res, o.coverage);
+  Rng rng(o.seed + 1);
+  const auto report = core::evaluate_hardening(fw.evaluator(), fw.soc(), res,
+                                               cells, {}, rng);
+  const auto& map = rtl::Machine::reg_map();
+  std::printf("baseline SSF : %.6f\n", report.base_ssf);
+  std::printf("hardened SSF : %.6f  (%.1fx better)\n", report.hardened_ssf,
+              report.improvement());
+  std::printf("cells        : %zu of %zu (%.1f%%)\n",
+              report.protected_bits.size(), report.total_register_bits,
+              100.0 * report.protected_register_fraction());
+  std::printf("area overhead: %.2f%%\n", 100.0 * report.area_overhead);
+  std::printf("hardened     :");
+  for (const int bit : report.protected_bits) {
+    const auto [fi, b] = map.locate(bit);
+    std::printf(" %s[%d]", map.field(fi).name.c_str(), b);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_export_verilog(const Options& o) {
+  const soc::SocNetlist soc;
+  if (o.out.empty()) {
+    netlist::write_verilog(soc.netlist(), std::cout, "mcu16");
+  } else {
+    std::ofstream f(o.out);
+    if (!f) usage(("cannot open " + o.out).c_str());
+    netlist::write_verilog(soc.netlist(), f, "mcu16");
+    std::printf("wrote %s\n", o.out.c_str());
+  }
+  return 0;
+}
+
+int cmd_trace(const Options& o) {
+  if (o.out.empty()) usage("trace requires --out FILE");
+  const soc::SecurityBenchmark bench = pick_benchmark(o.benchmark);
+  std::ofstream f(o.out);
+  if (!f) usage(("cannot open " + o.out).c_str());
+  rtl::VcdWriter vcd(f);
+  rtl::Machine m(bench.program);
+  while (!m.halted() && m.cycle() < bench.max_cycles) {
+    vcd.sample(m.cycle(), m.state());
+    m.step();
+  }
+  vcd.sample(m.cycle(), m.state());
+  std::printf("wrote %s (%zu samples)\n", o.out.c_str(),
+              vcd.samples_written());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options o = parse(argc, argv);
+    if (o.command == "info") return cmd_info(o);
+    if (o.command == "characterize") return cmd_characterize(o);
+    if (o.command == "evaluate") return cmd_evaluate(o);
+    if (o.command == "harden") return cmd_harden(o);
+    if (o.command == "export-verilog") return cmd_export_verilog(o);
+    if (o.command == "trace") return cmd_trace(o);
+    usage(("unknown command '" + o.command + "'").c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fav: %s\n", e.what());
+    return 1;
+  }
+}
