@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_precharac.dir/bench_fig4_precharac.cpp.o"
+  "CMakeFiles/bench_fig4_precharac.dir/bench_fig4_precharac.cpp.o.d"
+  "bench_fig4_precharac"
+  "bench_fig4_precharac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_precharac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

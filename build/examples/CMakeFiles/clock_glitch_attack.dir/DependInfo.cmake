@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/clock_glitch_attack.cpp" "examples/CMakeFiles/clock_glitch_attack.dir/clock_glitch_attack.cpp.o" "gcc" "examples/CMakeFiles/clock_glitch_attack.dir/clock_glitch_attack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fav_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/fav_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/precharac/CMakeFiles/fav_precharac.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/fav_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/fav_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/fav_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/faultsim/CMakeFiles/fav_faultsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/fav_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/fav_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fav_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

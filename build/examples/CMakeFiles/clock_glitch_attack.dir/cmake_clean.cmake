@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_glitch_attack.dir/clock_glitch_attack.cpp.o"
+  "CMakeFiles/clock_glitch_attack.dir/clock_glitch_attack.cpp.o.d"
+  "clock_glitch_attack"
+  "clock_glitch_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_glitch_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_attack_techniques.dir/compare_attack_techniques.cpp.o"
+  "CMakeFiles/compare_attack_techniques.dir/compare_attack_techniques.cpp.o.d"
+  "compare_attack_techniques"
+  "compare_attack_techniques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_attack_techniques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for compare_attack_techniques.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harden_design.dir/harden_design.cpp.o"
+  "CMakeFiles/harden_design.dir/harden_design.cpp.o.d"
+  "harden_design"
+  "harden_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harden_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

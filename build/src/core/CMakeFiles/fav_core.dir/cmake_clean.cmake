@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fav_core.dir/framework.cpp.o"
+  "CMakeFiles/fav_core.dir/framework.cpp.o.d"
+  "CMakeFiles/fav_core.dir/hardening.cpp.o"
+  "CMakeFiles/fav_core.dir/hardening.cpp.o.d"
+  "libfav_core.a"
+  "libfav_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fav_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

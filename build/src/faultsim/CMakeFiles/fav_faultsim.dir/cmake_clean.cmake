@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fav_faultsim.dir/clock_glitch.cpp.o"
+  "CMakeFiles/fav_faultsim.dir/clock_glitch.cpp.o.d"
+  "CMakeFiles/fav_faultsim.dir/injection.cpp.o"
+  "CMakeFiles/fav_faultsim.dir/injection.cpp.o.d"
+  "CMakeFiles/fav_faultsim.dir/timing.cpp.o"
+  "CMakeFiles/fav_faultsim.dir/timing.cpp.o.d"
+  "libfav_faultsim.a"
+  "libfav_faultsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fav_faultsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

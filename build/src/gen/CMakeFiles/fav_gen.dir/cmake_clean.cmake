@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fav_gen.dir/builder.cpp.o"
+  "CMakeFiles/fav_gen.dir/builder.cpp.o.d"
+  "libfav_gen.a"
+  "libfav_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fav_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fav_layout.dir/placement.cpp.o"
+  "CMakeFiles/fav_layout.dir/placement.cpp.o.d"
+  "libfav_layout.a"
+  "libfav_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fav_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mc/adaptive.cpp" "src/mc/CMakeFiles/fav_mc.dir/adaptive.cpp.o" "gcc" "src/mc/CMakeFiles/fav_mc.dir/adaptive.cpp.o.d"
+  "/root/repo/src/mc/analytical.cpp" "src/mc/CMakeFiles/fav_mc.dir/analytical.cpp.o" "gcc" "src/mc/CMakeFiles/fav_mc.dir/analytical.cpp.o.d"
+  "/root/repo/src/mc/evaluator.cpp" "src/mc/CMakeFiles/fav_mc.dir/evaluator.cpp.o" "gcc" "src/mc/CMakeFiles/fav_mc.dir/evaluator.cpp.o.d"
+  "/root/repo/src/mc/glitch_evaluator.cpp" "src/mc/CMakeFiles/fav_mc.dir/glitch_evaluator.cpp.o" "gcc" "src/mc/CMakeFiles/fav_mc.dir/glitch_evaluator.cpp.o.d"
+  "/root/repo/src/mc/samplers.cpp" "src/mc/CMakeFiles/fav_mc.dir/samplers.cpp.o" "gcc" "src/mc/CMakeFiles/fav_mc.dir/samplers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/precharac/CMakeFiles/fav_precharac.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/fav_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/fav_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/fav_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/fav_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/faultsim/CMakeFiles/fav_faultsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/fav_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fav_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

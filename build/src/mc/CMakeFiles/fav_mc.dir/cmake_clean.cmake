@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fav_mc.dir/adaptive.cpp.o"
+  "CMakeFiles/fav_mc.dir/adaptive.cpp.o.d"
+  "CMakeFiles/fav_mc.dir/analytical.cpp.o"
+  "CMakeFiles/fav_mc.dir/analytical.cpp.o.d"
+  "CMakeFiles/fav_mc.dir/evaluator.cpp.o"
+  "CMakeFiles/fav_mc.dir/evaluator.cpp.o.d"
+  "CMakeFiles/fav_mc.dir/glitch_evaluator.cpp.o"
+  "CMakeFiles/fav_mc.dir/glitch_evaluator.cpp.o.d"
+  "CMakeFiles/fav_mc.dir/samplers.cpp.o"
+  "CMakeFiles/fav_mc.dir/samplers.cpp.o.d"
+  "libfav_mc.a"
+  "libfav_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fav_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

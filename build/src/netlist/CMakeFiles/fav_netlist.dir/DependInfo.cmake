@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/cones.cpp" "src/netlist/CMakeFiles/fav_netlist.dir/cones.cpp.o" "gcc" "src/netlist/CMakeFiles/fav_netlist.dir/cones.cpp.o.d"
+  "/root/repo/src/netlist/dot.cpp" "src/netlist/CMakeFiles/fav_netlist.dir/dot.cpp.o" "gcc" "src/netlist/CMakeFiles/fav_netlist.dir/dot.cpp.o.d"
+  "/root/repo/src/netlist/logicsim.cpp" "src/netlist/CMakeFiles/fav_netlist.dir/logicsim.cpp.o" "gcc" "src/netlist/CMakeFiles/fav_netlist.dir/logicsim.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/fav_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/fav_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/unroll.cpp" "src/netlist/CMakeFiles/fav_netlist.dir/unroll.cpp.o" "gcc" "src/netlist/CMakeFiles/fav_netlist.dir/unroll.cpp.o.d"
+  "/root/repo/src/netlist/verilog.cpp" "src/netlist/CMakeFiles/fav_netlist.dir/verilog.cpp.o" "gcc" "src/netlist/CMakeFiles/fav_netlist.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fav_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fav_netlist.dir/cones.cpp.o"
+  "CMakeFiles/fav_netlist.dir/cones.cpp.o.d"
+  "CMakeFiles/fav_netlist.dir/dot.cpp.o"
+  "CMakeFiles/fav_netlist.dir/dot.cpp.o.d"
+  "CMakeFiles/fav_netlist.dir/logicsim.cpp.o"
+  "CMakeFiles/fav_netlist.dir/logicsim.cpp.o.d"
+  "CMakeFiles/fav_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/fav_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/fav_netlist.dir/unroll.cpp.o"
+  "CMakeFiles/fav_netlist.dir/unroll.cpp.o.d"
+  "CMakeFiles/fav_netlist.dir/verilog.cpp.o"
+  "CMakeFiles/fav_netlist.dir/verilog.cpp.o.d"
+  "libfav_netlist.a"
+  "libfav_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fav_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

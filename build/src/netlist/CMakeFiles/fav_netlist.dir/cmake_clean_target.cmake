@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfav_netlist.a"
+)

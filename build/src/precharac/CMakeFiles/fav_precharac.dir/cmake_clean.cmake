@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fav_precharac.dir/characterize.cpp.o"
+  "CMakeFiles/fav_precharac.dir/characterize.cpp.o.d"
+  "CMakeFiles/fav_precharac.dir/sampling_model.cpp.o"
+  "CMakeFiles/fav_precharac.dir/sampling_model.cpp.o.d"
+  "CMakeFiles/fav_precharac.dir/signatures.cpp.o"
+  "CMakeFiles/fav_precharac.dir/signatures.cpp.o.d"
+  "libfav_precharac.a"
+  "libfav_precharac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fav_precharac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/assembler.cpp" "src/rtl/CMakeFiles/fav_rtl.dir/assembler.cpp.o" "gcc" "src/rtl/CMakeFiles/fav_rtl.dir/assembler.cpp.o.d"
+  "/root/repo/src/rtl/golden.cpp" "src/rtl/CMakeFiles/fav_rtl.dir/golden.cpp.o" "gcc" "src/rtl/CMakeFiles/fav_rtl.dir/golden.cpp.o.d"
+  "/root/repo/src/rtl/isa.cpp" "src/rtl/CMakeFiles/fav_rtl.dir/isa.cpp.o" "gcc" "src/rtl/CMakeFiles/fav_rtl.dir/isa.cpp.o.d"
+  "/root/repo/src/rtl/machine.cpp" "src/rtl/CMakeFiles/fav_rtl.dir/machine.cpp.o" "gcc" "src/rtl/CMakeFiles/fav_rtl.dir/machine.cpp.o.d"
+  "/root/repo/src/rtl/registers.cpp" "src/rtl/CMakeFiles/fav_rtl.dir/registers.cpp.o" "gcc" "src/rtl/CMakeFiles/fav_rtl.dir/registers.cpp.o.d"
+  "/root/repo/src/rtl/vcd.cpp" "src/rtl/CMakeFiles/fav_rtl.dir/vcd.cpp.o" "gcc" "src/rtl/CMakeFiles/fav_rtl.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fav_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fav_rtl.dir/assembler.cpp.o"
+  "CMakeFiles/fav_rtl.dir/assembler.cpp.o.d"
+  "CMakeFiles/fav_rtl.dir/golden.cpp.o"
+  "CMakeFiles/fav_rtl.dir/golden.cpp.o.d"
+  "CMakeFiles/fav_rtl.dir/isa.cpp.o"
+  "CMakeFiles/fav_rtl.dir/isa.cpp.o.d"
+  "CMakeFiles/fav_rtl.dir/machine.cpp.o"
+  "CMakeFiles/fav_rtl.dir/machine.cpp.o.d"
+  "CMakeFiles/fav_rtl.dir/registers.cpp.o"
+  "CMakeFiles/fav_rtl.dir/registers.cpp.o.d"
+  "CMakeFiles/fav_rtl.dir/vcd.cpp.o"
+  "CMakeFiles/fav_rtl.dir/vcd.cpp.o.d"
+  "libfav_rtl.a"
+  "libfav_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fav_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

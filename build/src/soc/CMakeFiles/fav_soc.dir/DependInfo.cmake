@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/benchmark.cpp" "src/soc/CMakeFiles/fav_soc.dir/benchmark.cpp.o" "gcc" "src/soc/CMakeFiles/fav_soc.dir/benchmark.cpp.o.d"
+  "/root/repo/src/soc/gate_machine.cpp" "src/soc/CMakeFiles/fav_soc.dir/gate_machine.cpp.o" "gcc" "src/soc/CMakeFiles/fav_soc.dir/gate_machine.cpp.o.d"
+  "/root/repo/src/soc/soc_netlist.cpp" "src/soc/CMakeFiles/fav_soc.dir/soc_netlist.cpp.o" "gcc" "src/soc/CMakeFiles/fav_soc.dir/soc_netlist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gen/CMakeFiles/fav_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/fav_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/fav_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fav_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

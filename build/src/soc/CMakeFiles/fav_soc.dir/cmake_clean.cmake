@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fav_soc.dir/benchmark.cpp.o"
+  "CMakeFiles/fav_soc.dir/benchmark.cpp.o.d"
+  "CMakeFiles/fav_soc.dir/gate_machine.cpp.o"
+  "CMakeFiles/fav_soc.dir/gate_machine.cpp.o.d"
+  "CMakeFiles/fav_soc.dir/soc_netlist.cpp.o"
+  "CMakeFiles/fav_soc.dir/soc_netlist.cpp.o.d"
+  "libfav_soc.a"
+  "libfav_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fav_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fav_util.dir/bitvector.cpp.o"
+  "CMakeFiles/fav_util.dir/bitvector.cpp.o.d"
+  "CMakeFiles/fav_util.dir/discrete_dist.cpp.o"
+  "CMakeFiles/fav_util.dir/discrete_dist.cpp.o.d"
+  "CMakeFiles/fav_util.dir/stats.cpp.o"
+  "CMakeFiles/fav_util.dir/stats.cpp.o.d"
+  "libfav_util.a"
+  "libfav_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fav_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

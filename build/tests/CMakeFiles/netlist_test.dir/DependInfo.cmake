@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/netlist/cones_property_test.cpp" "tests/CMakeFiles/netlist_test.dir/netlist/cones_property_test.cpp.o" "gcc" "tests/CMakeFiles/netlist_test.dir/netlist/cones_property_test.cpp.o.d"
+  "/root/repo/tests/netlist/cones_test.cpp" "tests/CMakeFiles/netlist_test.dir/netlist/cones_test.cpp.o" "gcc" "tests/CMakeFiles/netlist_test.dir/netlist/cones_test.cpp.o.d"
+  "/root/repo/tests/netlist/logicsim_test.cpp" "tests/CMakeFiles/netlist_test.dir/netlist/logicsim_test.cpp.o" "gcc" "tests/CMakeFiles/netlist_test.dir/netlist/logicsim_test.cpp.o.d"
+  "/root/repo/tests/netlist/netlist_test.cpp" "tests/CMakeFiles/netlist_test.dir/netlist/netlist_test.cpp.o" "gcc" "tests/CMakeFiles/netlist_test.dir/netlist/netlist_test.cpp.o.d"
+  "/root/repo/tests/netlist/unroll_property_test.cpp" "tests/CMakeFiles/netlist_test.dir/netlist/unroll_property_test.cpp.o" "gcc" "tests/CMakeFiles/netlist_test.dir/netlist/unroll_property_test.cpp.o.d"
+  "/root/repo/tests/netlist/unroll_test.cpp" "tests/CMakeFiles/netlist_test.dir/netlist/unroll_test.cpp.o" "gcc" "tests/CMakeFiles/netlist_test.dir/netlist/unroll_test.cpp.o.d"
+  "/root/repo/tests/netlist/verilog_test.cpp" "tests/CMakeFiles/netlist_test.dir/netlist/verilog_test.cpp.o" "gcc" "tests/CMakeFiles/netlist_test.dir/netlist/verilog_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/fav_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/fav_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fav_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

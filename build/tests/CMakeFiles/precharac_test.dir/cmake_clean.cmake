@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precharac_test.dir/precharac/characterize_test.cpp.o"
+  "CMakeFiles/precharac_test.dir/precharac/characterize_test.cpp.o.d"
+  "CMakeFiles/precharac_test.dir/precharac/sampling_model_test.cpp.o"
+  "CMakeFiles/precharac_test.dir/precharac/sampling_model_test.cpp.o.d"
+  "CMakeFiles/precharac_test.dir/precharac/signatures_test.cpp.o"
+  "CMakeFiles/precharac_test.dir/precharac/signatures_test.cpp.o.d"
+  "precharac_test"
+  "precharac_test.pdb"
+  "precharac_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precharac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

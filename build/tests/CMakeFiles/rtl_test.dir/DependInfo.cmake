@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rtl/assembler_test.cpp" "tests/CMakeFiles/rtl_test.dir/rtl/assembler_test.cpp.o" "gcc" "tests/CMakeFiles/rtl_test.dir/rtl/assembler_test.cpp.o.d"
+  "/root/repo/tests/rtl/exec_check_test.cpp" "tests/CMakeFiles/rtl_test.dir/rtl/exec_check_test.cpp.o" "gcc" "tests/CMakeFiles/rtl_test.dir/rtl/exec_check_test.cpp.o.d"
+  "/root/repo/tests/rtl/golden_test.cpp" "tests/CMakeFiles/rtl_test.dir/rtl/golden_test.cpp.o" "gcc" "tests/CMakeFiles/rtl_test.dir/rtl/golden_test.cpp.o.d"
+  "/root/repo/tests/rtl/isa_test.cpp" "tests/CMakeFiles/rtl_test.dir/rtl/isa_test.cpp.o" "gcc" "tests/CMakeFiles/rtl_test.dir/rtl/isa_test.cpp.o.d"
+  "/root/repo/tests/rtl/machine_test.cpp" "tests/CMakeFiles/rtl_test.dir/rtl/machine_test.cpp.o" "gcc" "tests/CMakeFiles/rtl_test.dir/rtl/machine_test.cpp.o.d"
+  "/root/repo/tests/rtl/registers_test.cpp" "tests/CMakeFiles/rtl_test.dir/rtl/registers_test.cpp.o" "gcc" "tests/CMakeFiles/rtl_test.dir/rtl/registers_test.cpp.o.d"
+  "/root/repo/tests/rtl/vcd_test.cpp" "tests/CMakeFiles/rtl_test.dir/rtl/vcd_test.cpp.o" "gcc" "tests/CMakeFiles/rtl_test.dir/rtl/vcd_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/fav_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fav_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtl_test.dir/rtl/assembler_test.cpp.o"
+  "CMakeFiles/rtl_test.dir/rtl/assembler_test.cpp.o.d"
+  "CMakeFiles/rtl_test.dir/rtl/exec_check_test.cpp.o"
+  "CMakeFiles/rtl_test.dir/rtl/exec_check_test.cpp.o.d"
+  "CMakeFiles/rtl_test.dir/rtl/golden_test.cpp.o"
+  "CMakeFiles/rtl_test.dir/rtl/golden_test.cpp.o.d"
+  "CMakeFiles/rtl_test.dir/rtl/isa_test.cpp.o"
+  "CMakeFiles/rtl_test.dir/rtl/isa_test.cpp.o.d"
+  "CMakeFiles/rtl_test.dir/rtl/machine_test.cpp.o"
+  "CMakeFiles/rtl_test.dir/rtl/machine_test.cpp.o.d"
+  "CMakeFiles/rtl_test.dir/rtl/registers_test.cpp.o"
+  "CMakeFiles/rtl_test.dir/rtl/registers_test.cpp.o.d"
+  "CMakeFiles/rtl_test.dir/rtl/vcd_test.cpp.o"
+  "CMakeFiles/rtl_test.dir/rtl/vcd_test.cpp.o.d"
+  "rtl_test"
+  "rtl_test.pdb"
+  "rtl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

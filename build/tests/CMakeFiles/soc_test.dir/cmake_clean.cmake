@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_test.dir/soc/benchmark_test.cpp.o"
+  "CMakeFiles/soc_test.dir/soc/benchmark_test.cpp.o.d"
+  "CMakeFiles/soc_test.dir/soc/dma_test.cpp.o"
+  "CMakeFiles/soc_test.dir/soc/dma_test.cpp.o.d"
+  "CMakeFiles/soc_test.dir/soc/equivalence_test.cpp.o"
+  "CMakeFiles/soc_test.dir/soc/equivalence_test.cpp.o.d"
+  "CMakeFiles/soc_test.dir/soc/exec_benchmark_test.cpp.o"
+  "CMakeFiles/soc_test.dir/soc/exec_benchmark_test.cpp.o.d"
+  "CMakeFiles/soc_test.dir/soc/fuzz_equivalence_test.cpp.o"
+  "CMakeFiles/soc_test.dir/soc/fuzz_equivalence_test.cpp.o.d"
+  "CMakeFiles/soc_test.dir/soc/soc_netlist_test.cpp.o"
+  "CMakeFiles/soc_test.dir/soc/soc_netlist_test.cpp.o.d"
+  "soc_test"
+  "soc_test.pdb"
+  "soc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fav.dir/fav_cli.cpp.o"
+  "CMakeFiles/fav.dir/fav_cli.cpp.o.d"
+  "fav"
+  "fav.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fav.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
