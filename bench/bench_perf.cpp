@@ -77,6 +77,52 @@ void BM_FullMonteCarloSample(benchmark::State& state) {
 }
 BENCHMARK(BM_FullMonteCarloSample);
 
+// Per-sample evaluation with per-thread scratch reuse (no construction of a
+// fresh RTL + gate-level machine per sample). The delta against
+// BM_FullMonteCarloSample is what scratch reuse alone buys.
+void BM_FullMonteCarloSampleScratchReuse(benchmark::State& state) {
+  static core::FaultAttackEvaluator fw(soc::make_illegal_write_benchmark());
+  static const faultsim::AttackModel attack = fw.subblock_attack_model(1.5, 50);
+  static auto sampler = fw.make_importance_sampler(attack);
+  Rng rng(42);
+  mc::EvalScratch scratch(fw.evaluator());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fw.evaluator().evaluate_sample(sampler->draw(rng), scratch));
+  }
+}
+BENCHMARK(BM_FullMonteCarloSampleScratchReuse);
+
+// Full-batch sample throughput of the parallel engine at explicit thread
+// counts (Arg = EvaluatorConfig::threads). items_per_second is the metric to
+// compare: the Arg(4) row over the Arg(1) row is the engine's speedup, and
+// Arg(1) matches the sequential seed path (same scratch-reuse inner loop).
+void BM_MonteCarloRunThreads(benchmark::State& state) {
+  static core::FaultAttackEvaluator fw(soc::make_illegal_write_benchmark());
+  static const faultsim::AttackModel attack = fw.subblock_attack_model(1.5, 50);
+  static auto sampler = fw.make_importance_sampler(attack);
+  mc::EvaluatorConfig cfg;
+  cfg.threads = static_cast<std::size_t>(state.range(0));
+  cfg.keep_records = false;
+  const mc::SsfEvaluator engine(fw.soc(), fw.placement(), fw.injector(),
+                                fw.benchmark(), fw.golden(),
+                                &fw.characterization(), cfg);
+  constexpr std::size_t kSamples = 512;
+  for (auto _ : state) {
+    Rng rng(42);  // same pre-drawn batch every iteration and thread count
+    benchmark::DoNotOptimize(engine.run(*sampler, rng, kSamples));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kSamples));
+}
+BENCHMARK(BM_MonteCarloRunThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void BM_SignatureRecording(benchmark::State& state) {
   const rtl::Program workload = soc::make_synthetic_workload();
   for (auto _ : state) {

@@ -152,13 +152,15 @@ precharac::SamplingParams FaultAttackEvaluator::sampling_params_for(
       *std::max_element(attack.radii.begin(), attack.radii.end());
   params.center_boost.assign(soc_.netlist().node_count(), 0.0);
   constexpr double kDirectHitBoost = 3.0e3;
+  std::vector<netlist::NodeId> spot;  // query buffer reused across centers
   for (const netlist::NodeId c : attack.candidate_centers) {
     // Direct upsets of the *persistent* covered registers (memory-type or
     // write-once config): their combined outcome is decidable analytically.
     // Covered computation registers add transient noise the verdict cannot
     // see — the boost is steering, not a proof, so that is acceptable.
     std::vector<int> flips;
-    for (const netlist::NodeId g : placement_.nodes_within(c, max_radius)) {
+    placement_.nodes_within(c, max_radius, spot);
+    for (const netlist::NodeId g : spot) {
       if (!soc_.netlist().is_dff(g)) continue;
       const int bit = soc_.flat_bit_for_dff(g);
       if (charac_->is_memory_type(bit) ||
@@ -175,6 +177,25 @@ precharac::SamplingParams FaultAttackEvaluator::sampling_params_for(
     }
   }
   return params;
+}
+
+AdaptiveRunResult FaultAttackEvaluator::run_adaptive(
+    const AttackModel& attack, mc::Sampler& pilot_sampler, Rng& rng,
+    std::size_t pilot_n, std::size_t refine_n,
+    const mc::AdaptiveConfig& adaptive) const {
+  FAV_CHECK_MSG(config_.evaluator.keep_records,
+                "adaptive refit needs pilot records (keep_records)");
+  AdaptiveRunResult out;
+  out.pilot = evaluator_->run(pilot_sampler, rng, pilot_n);
+  if (out.pilot.successes == 0) {
+    // Nothing to adapt to; spend the refinement budget on the pilot sampler.
+    out.refined = evaluator_->run(pilot_sampler, rng, refine_n);
+    return out;
+  }
+  mc::AdaptiveImportanceSampler refit(attack, out.pilot, adaptive);
+  out.refined = evaluator_->run(refit, rng, refine_n);
+  out.adapted = true;
+  return out;
 }
 
 std::unique_ptr<mc::Sampler> FaultAttackEvaluator::make_importance_sampler(

@@ -22,6 +22,7 @@
 #include "faultsim/attack_model.h"
 #include "faultsim/injection.h"
 #include "layout/placement.h"
+#include "mc/adaptive.h"
 #include "mc/evaluator.h"
 #include "mc/samplers.h"
 #include "netlist/cones.h"
@@ -46,7 +47,18 @@ struct FrameworkConfig {
   precharac::SamplingParams sampling;
   faultsim::TimingModel timing;
   faultsim::TransientParams transient;
+  /// Evaluation-engine knobs; `evaluator.threads` selects the worker count
+  /// for every run issued through this framework (0 = all hardware threads).
   mc::EvaluatorConfig evaluator;
+};
+
+/// Outcome of the two-stage adaptive estimation (see run_adaptive).
+struct AdaptiveRunResult {
+  mc::SsfResult pilot;
+  mc::SsfResult refined;
+  /// False when the pilot found no successes and the refit stage fell back
+  /// to the pilot sampler (there was nothing to adapt to).
+  bool adapted = false;
 };
 
 class FaultAttackEvaluator {
@@ -94,6 +106,18 @@ class FaultAttackEvaluator {
   /// per-spot direct-hit boosts (see framework.cpp).
   precharac::SamplingParams sampling_params_for(
       const faultsim::AttackModel& attack) const;
+
+  /// --- adaptive two-stage estimation --------------------------------------
+  /// Runs `pilot_n` samples of `pilot_sampler`, refits an
+  /// AdaptiveImportanceSampler to the pilot's success mass, and runs the
+  /// remaining `refine_n` samples with it (falling back to the pilot sampler
+  /// when the pilot finds no successes). Both stages execute on the shared
+  /// evaluator, so `config().evaluator.threads` parallelizes the whole loop;
+  /// pilot records are required (keep_records must stay enabled).
+  AdaptiveRunResult run_adaptive(const faultsim::AttackModel& attack,
+                                 mc::Sampler& pilot_sampler, Rng& rng,
+                                 std::size_t pilot_n, std::size_t refine_n,
+                                 const mc::AdaptiveConfig& adaptive = {}) const;
 
  private:
   FrameworkConfig config_;

@@ -20,11 +20,7 @@ Placement::Placement(const netlist::Netlist& nl, double cell_pitch,
 
   const auto& levels = nl.levels();
   const int max_level = nl.max_level();
-  columns_.resize(static_cast<std::size_t>(max_level) + 1);
-  std::vector<double> cursor(columns_.size(), 0.0);
-  for (int c = 0; c <= max_level; ++c) {
-    columns_[static_cast<std::size_t>(c)].x = pitch_ * c;
-  }
+  std::vector<double> cursor(static_cast<std::size_t>(max_level) + 1, 0.0);
 
   // Combinational gates go to their logic-level column; each DFF sits next
   // to the logic that drives its D input (real placers keep registers close
@@ -41,16 +37,42 @@ Placement::Placement(const netlist::Netlist& nl, double cell_pitch,
       col = levels[id];
     }
     if (col < 0) continue;
-    auto& column = columns_[static_cast<std::size_t>(col)];
     auto& y = cursor[static_cast<std::size_t>(col)];
-    positions_[id] = {column.x, y};
-    column.cells.push_back({y, id});
+    positions_[id] = {pitch_ * col, y};
     y += footprint;
     placed_mask_[id] = 1;
     placed_.push_back(id);
     height_ = std::max(height_, positions_[id].y);
   }
   width_ = pitch_ * max_level;
+
+  // Build the uniform grid. One pitch per bucket keeps buckets small (a few
+  // cells) while typical query radii (~1-2 pitches) touch only a handful of
+  // buckets.
+  cell_ = pitch_;
+  nx_ = static_cast<std::size_t>(std::floor(width_ / cell_)) + 1;
+  ny_ = static_cast<std::size_t>(std::floor(height_ / cell_)) + 1;
+  std::vector<std::size_t> count(nx_ * ny_ + 1, 0);
+  auto bucket_of = [&](NodeId id) {
+    return bucket_y(positions_[id].y) * nx_ + bucket_x(positions_[id].x);
+  };
+  for (const NodeId id : placed_) ++count[bucket_of(id) + 1];
+  for (std::size_t b = 1; b < count.size(); ++b) count[b] += count[b - 1];
+  bucket_start_ = count;
+  bucket_items_.resize(placed_.size());
+  // placed_ ascends by id, so each bucket's slice also ascends by id.
+  std::vector<std::size_t> fill = bucket_start_;
+  for (const NodeId id : placed_) bucket_items_[fill[bucket_of(id)]++] = id;
+}
+
+std::size_t Placement::bucket_x(double x) const {
+  const double b = std::floor(std::max(x, 0.0) / cell_);
+  return std::min(nx_ - 1, static_cast<std::size_t>(b));
+}
+
+std::size_t Placement::bucket_y(double y) const {
+  const double b = std::floor(std::max(y, 0.0) / cell_);
+  return std::min(ny_ - 1, static_cast<std::size_t>(b));
 }
 
 bool Placement::is_placed(NodeId id) const {
@@ -63,23 +85,41 @@ Point Placement::position(NodeId id) const {
   return positions_[id];
 }
 
-std::vector<NodeId> Placement::nodes_within(Point center, double radius) const {
+void Placement::nodes_within(Point center, double radius,
+                             std::vector<NodeId>& out) const {
   FAV_CHECK(radius >= 0);
-  std::vector<NodeId> out;
-  for (const Column& col : columns_) {
-    const double dx = col.x - center.x;
-    if (std::abs(dx) > radius) continue;
-    const double dy_max = std::sqrt(radius * radius - dx * dx);
-    const auto lo = std::lower_bound(
-        col.cells.begin(), col.cells.end(), center.y - dy_max,
-        [](const Cell& c, double y) { return c.y < y; });
-    for (auto it = lo; it != col.cells.end() && it->y <= center.y + dy_max;
-         ++it) {
-      out.push_back(it->id);
+  out.clear();
+  const double r2 = radius * radius;
+  // Buckets overlapping the disc's bounding box; the box is clamped to the
+  // grid, so centers outside the die still work.
+  const std::size_t bx_lo = bucket_x(center.x - radius);
+  const std::size_t bx_hi = bucket_x(center.x + radius);
+  const std::size_t by_lo = bucket_y(center.y - radius);
+  const std::size_t by_hi = bucket_y(center.y + radius);
+  for (std::size_t by = by_lo; by <= by_hi; ++by) {
+    for (std::size_t bx = bx_lo; bx <= bx_hi; ++bx) {
+      const std::size_t b = by * nx_ + bx;
+      for (std::size_t i = bucket_start_[b]; i < bucket_start_[b + 1]; ++i) {
+        const NodeId id = bucket_items_[i];
+        const double dx = positions_[id].x - center.x;
+        const double dy = positions_[id].y - center.y;
+        if (dx * dx + dy * dy <= r2) out.push_back(id);
+      }
     }
   }
+  // Buckets are visited row-major, so ids arrive out of order across rows.
   std::sort(out.begin(), out.end());
+}
+
+std::vector<NodeId> Placement::nodes_within(Point center, double radius) const {
+  std::vector<NodeId> out;
+  nodes_within(center, radius, out);
   return out;
+}
+
+void Placement::nodes_within(NodeId center, double radius,
+                             std::vector<NodeId>& out) const {
+  nodes_within(position(center), radius, out);
 }
 
 std::vector<NodeId> Placement::nodes_within(NodeId center,

@@ -9,6 +9,12 @@
 // input (registers interleave with the datapath). Cells advance within a
 // column by their footprint — flip-flops are several gate-heights tall — so
 // cell density, and with it the multi-cell-upset rate, is realistic.
+//
+// Radius queries are served by a uniform grid built once at construction:
+// every placed cell is bucketed by position (bucket edge = one gate pitch),
+// and a query visits only the buckets overlapping the disc's bounding box.
+// The Monte Carlo engine and the pre-characterization loops issue one query
+// per sample / per candidate center, so this is a hot path.
 #pragma once
 
 #include <vector>
@@ -37,31 +43,37 @@ class Placement {
   const std::vector<netlist::NodeId>& placed_nodes() const { return placed_; }
 
   /// Placed cells within Euclidean distance `radius` of `center`
-  /// (the radiated region).
+  /// (the radiated region), ascending id.
   std::vector<netlist::NodeId> nodes_within(Point center, double radius) const;
   std::vector<netlist::NodeId> nodes_within(netlist::NodeId center,
                                             double radius) const;
+  /// Allocation-free variant for query loops: `out` is cleared and refilled.
+  void nodes_within(Point center, double radius,
+                    std::vector<netlist::NodeId>& out) const;
+  void nodes_within(netlist::NodeId center, double radius,
+                    std::vector<netlist::NodeId>& out) const;
 
   double width() const { return width_; }
   double height() const { return height_; }
 
  private:
-  struct Cell {
-    double y = 0;
-    netlist::NodeId id = 0;
-  };
-  struct Column {
-    double x = 0;
-    std::vector<Cell> cells;  // ascending y
-  };
+  std::size_t bucket_x(double x) const;
+  std::size_t bucket_y(double y) const;
 
   double pitch_;
   std::vector<Point> positions_;   // indexed by NodeId
   std::vector<char> placed_mask_;  // indexed by NodeId
   std::vector<netlist::NodeId> placed_;
-  std::vector<Column> columns_;
   double width_ = 0;
   double height_ = 0;
+
+  // Uniform grid over the die area (CSR layout: bucket b holds the ids in
+  // items_[start_[b] .. start_[b+1]), ascending id within a bucket).
+  double cell_ = 1.0;  // bucket edge length
+  std::size_t nx_ = 1;
+  std::size_t ny_ = 1;
+  std::vector<std::size_t> bucket_start_;
+  std::vector<netlist::NodeId> bucket_items_;
 };
 
 }  // namespace fav::layout

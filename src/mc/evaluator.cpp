@@ -1,12 +1,20 @@
 #include "mc/evaluator.h"
 
+#include <algorithm>
+#include <memory>
 #include <set>
 #include <unordered_set>
+
+#include "util/parallel.h"
 
 namespace fav::mc {
 
 using rtl::Machine;
 using rtl::RegisterMap;
+
+EvalScratch::EvalScratch(const SsfEvaluator& evaluator)
+    : machine_(evaluator.golden().program()),
+      gate_(evaluator.soc(), evaluator.golden().program()) {}
 
 SsfEvaluator::SsfEvaluator(
     const soc::SocNetlist& soc, const layout::Placement& placement,
@@ -76,6 +84,12 @@ bool SsfEvaluator::outcome_for_flips(std::uint64_t te,
 
 SampleRecord SsfEvaluator::evaluate_sample(
     const faultsim::FaultSample& sample) const {
+  EvalScratch scratch(*this);
+  return evaluate_sample(sample, scratch);
+}
+
+SampleRecord SsfEvaluator::evaluate_sample(const faultsim::FaultSample& sample,
+                                           EvalScratch& scratch) const {
   SampleRecord rec;
   rec.sample = sample;
   FAV_CHECK_MSG(sample.t >= 0, "negative timing distance not supported");
@@ -92,19 +106,24 @@ SampleRecord SsfEvaluator::evaluate_sample(
   // on the *already-corrupted* state, its latched errors overlaid, and the
   // machine advanced — the paper's "multi-cycle impact" extension.
   FAV_CHECK_MSG(sample.impact_cycles >= 1, "impact_cycles must be >= 1");
-  const auto struck = placement_->nodes_within(sample.center, sample.radius);
+  placement_->nodes_within(sample.center, sample.radius, scratch.struck_);
   const double strike_time =
       sample.strike_frac * injector_->timing().clock_period();
   const RegisterMap& map = Machine::reg_map();
 
-  Machine machine = golden_->restore(rec.te);
-  soc::GateLevelMachine gate(*soc_, golden_->program());
+  // The scratch machines are fully re-loaded here: restore_into rewrites the
+  // RTL state/RAM/cycle, and load_state + settle_inputs rewrite every
+  // register, input, and combinational value of the gate-level simulator —
+  // no state survives from the previous sample.
+  Machine& machine = scratch.machine_;
+  golden_->restore_into(machine, rec.te);
+  soc::GateLevelMachine& gate = scratch.gate_;
   std::set<int> flipped;
   for (int j = 0; j < sample.impact_cycles && !machine.halted(); ++j) {
     gate.load_state(machine.state());
     gate.mutable_ram() = machine.ram();
     gate.settle_inputs();
-    const auto inj = injector_->inject(gate.sim(), struck, strike_time);
+    const auto inj = injector_->inject(gate.sim(), scratch.struck_, strike_time);
     machine.step();
     for (const netlist::NodeId dff : inj.flipped_dffs) {
       const int bit = soc_->flat_bit_for_dff(dff);
@@ -125,11 +144,11 @@ SampleRecord SsfEvaluator::evaluate_sample(
   return rec;
 }
 
-SsfResult SsfEvaluator::run(Sampler& sampler, Rng& rng, std::size_t n) const {
+SsfResult SsfEvaluator::reduce(std::vector<SampleRecord>&& records) const {
   const RegisterMap& map = Machine::reg_map();
   SsfResult result;
-  for (std::size_t i = 0; i < n; ++i) {
-    SampleRecord rec = evaluate_sample(sampler.draw(rng));
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    SampleRecord& rec = records[i];
     result.stats.add(rec.contribution);
     switch (rec.path) {
       case OutcomePath::kMasked: ++result.masked; break;
@@ -161,6 +180,50 @@ SsfResult SsfEvaluator::run(Sampler& sampler, Rng& rng, std::size_t n) const {
     if (config_.keep_records) result.records.push_back(std::move(rec));
   }
   return result;
+}
+
+SsfResult SsfEvaluator::run(Sampler& sampler, Rng& rng, std::size_t n) const {
+  // (a) Pre-draw the whole batch sequentially. Sampler and Rng are stateful
+  // and not thread-safe; drawing on the calling thread keeps the random
+  // stream bitwise-identical to the sequential engine for every thread
+  // count (evaluation itself consumes no randomness).
+  std::vector<faultsim::FaultSample> samples;
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) samples.push_back(sampler.draw(rng));
+
+  // (b) Evaluate each sample into its own slot; workers reuse per-thread
+  // scratch machines. Block scheduling is dynamic (sample cost varies by
+  // outcome path), which is safe because slot writes, not schedule order,
+  // carry the results.
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min(resolve_thread_count(config_.threads),
+                                        std::max<std::size_t>(n, 1)));
+  std::vector<SampleRecord> records(n);
+  if (workers <= 1) {
+    EvalScratch scratch(*this);
+    for (std::size_t i = 0; i < n; ++i) {
+      records[i] = evaluate_sample(samples[i], scratch);
+    }
+  } else {
+    // Materialize the netlist's lazily-derived data (topological order,
+    // levels, fanouts) before the workers share it read-only.
+    soc_->netlist().levels();
+    std::vector<std::unique_ptr<EvalScratch>> scratch;
+    scratch.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      scratch.push_back(std::make_unique<EvalScratch>(*this));
+    }
+    parallel_for(n, workers, /*grain=*/8,
+                 [&](std::size_t worker, std::size_t lo, std::size_t hi) {
+                   for (std::size_t i = lo; i < hi; ++i) {
+                     records[i] = evaluate_sample(samples[i], *scratch[worker]);
+                   }
+                 });
+  }
+
+  // (c) Reduce in sample-index order — the exact accumulation a sequential
+  // loop would perform, so the estimate is independent of the schedule.
+  return reduce(std::move(records));
 }
 
 }  // namespace fav::mc

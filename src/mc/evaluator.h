@@ -70,6 +70,29 @@ struct EvaluatorConfig {
   std::size_t trace_stride = 50;
   /// Keep full per-sample records (needed for hardening re-evaluation).
   bool keep_records = true;
+  /// Worker threads for run(): 1 = sequential, 0 = hardware concurrency.
+  /// Results are bitwise-identical for every value — samples are pre-drawn
+  /// on the calling thread and reduced in sample-index order.
+  std::size_t threads = 1;
+};
+
+class SsfEvaluator;
+
+/// Reusable per-worker evaluation state: one RTL machine, one gate-level
+/// machine, and the struck-cell query buffer, constructed once and re-loaded
+/// for every sample. Constructing a GateLevelMachine allocates the full
+/// logic-simulator state (~every net of the SoC) and a 64K-word RAM; doing
+/// that per sample dominates the masked-sample path, so the engine keeps one
+/// scratch per worker thread. Not thread-safe: one scratch per thread.
+class EvalScratch {
+ public:
+  explicit EvalScratch(const SsfEvaluator& evaluator);
+
+ private:
+  friend class SsfEvaluator;
+  rtl::Machine machine_;
+  soc::GateLevelMachine gate_;
+  std::vector<netlist::NodeId> struck_;
 };
 
 class SsfEvaluator {
@@ -87,9 +110,15 @@ class SsfEvaluator {
   std::uint64_t target_cycle() const { return target_cycle_; }
   const rtl::GoldenRun& golden() const { return *golden_; }
   const soc::SecurityBenchmark& benchmark() const { return *bench_; }
+  const soc::SocNetlist& soc() const { return *soc_; }
 
-  /// Full evaluation of one fault sample.
+  /// Full evaluation of one fault sample (convenience: builds a fresh
+  /// scratch; use the scratch overload inside sampling loops).
   SampleRecord evaluate_sample(const faultsim::FaultSample& sample) const;
+  /// Same, reusing `scratch`'s machines and buffers. Thread-safe as long as
+  /// each thread uses its own scratch: the evaluator itself is only read.
+  SampleRecord evaluate_sample(const faultsim::FaultSample& sample,
+                               EvalScratch& scratch) const;
 
   /// Decides the outcome of a given flipped-bit set injected at the end of
   /// cycle `te` (used by evaluate_sample and by hardening re-evaluation,
@@ -98,9 +127,20 @@ class SsfEvaluator {
                          OutcomePath* path = nullptr) const;
 
   /// Draws `n` samples from `sampler` and accumulates the SSF estimate.
+  ///
+  /// With config.threads != 1 the samples are evaluated on a worker pool.
+  /// Determinism contract: the sample batch is pre-drawn sequentially from
+  /// `sampler` (the stateful Rng stream is untouched by the workers), each
+  /// worker evaluates into its sample's slot using per-thread scratch state,
+  /// and the result is reduced in sample-index order — so ssf(), variance,
+  /// trace, records, and the contribution maps are bitwise-identical for
+  /// every thread count, including the sequential engine.
   SsfResult run(Sampler& sampler, Rng& rng, std::size_t n) const;
 
  private:
+  /// Seed-order accumulation of evaluated records into an SsfResult; the
+  /// single reduction path shared by the sequential and parallel engines.
+  SsfResult reduce(std::vector<SampleRecord>&& records) const;
   /// Shared outcome decision on a machine already positioned just past the
   /// (last) injection cycle with the errors overlaid.
   bool decide_outcome(rtl::Machine& machine, const std::vector<int>& flips,

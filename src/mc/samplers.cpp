@@ -24,7 +24,7 @@ ConeSampler::ConeSampler(const faultsim::AttackModel& attack,
       *std::max_element(attack.radii.begin(), attack.radii.end());
   std::vector<std::vector<NodeId>> spots(attack.candidate_centers.size());
   for (std::size_t i = 0; i < attack.candidate_centers.size(); ++i) {
-    spots[i] = placement.nodes_within(attack.candidate_centers[i], max_radius);
+    placement.nodes_within(attack.candidate_centers[i], max_radius, spots[i]);
   }
   for (int t = attack.t_min; t <= attack.t_max; ++t) {
     Frame fr;

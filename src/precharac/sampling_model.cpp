@@ -99,7 +99,7 @@ SamplingModel::SamplingModel(const soc::SocNetlist& soc,
   for (const NodeId c : attack.candidate_centers) {
     FAV_CHECK_MSG(placement.is_placed(c),
                   "candidate center " << c << " is not a placed cell");
-    spots[c] = placement.nodes_within(c, max_radius);
+    placement.nodes_within(c, max_radius, spots[c]);
     double score = 0.0;
     int transit = 0;
     for (const NodeId g : spots[c]) {

@@ -1,5 +1,7 @@
 #include "rtl/golden.h"
 
+#include <algorithm>
+
 namespace fav::rtl {
 
 GoldenRun::GoldenRun(const Program& program, std::uint64_t max_cycles,
@@ -70,25 +72,33 @@ std::optional<std::uint64_t> GoldenRun::first_violation_cycle() const {
 }
 
 const Checkpoint& GoldenRun::nearest_checkpoint(std::uint64_t cycle) const {
-  const Checkpoint* best = &checkpoints_.front();
-  for (const Checkpoint& cp : checkpoints_) {
-    if (cp.cycle <= cycle) best = &cp;
-  }
-  return *best;
+  // Checkpoints are recorded in ascending cycle order; binary-search the
+  // last one at or before `cycle`. The first checkpoint is at cycle 0.
+  const auto it = std::upper_bound(
+      checkpoints_.begin(), checkpoints_.end(), cycle,
+      [](std::uint64_t c, const Checkpoint& cp) { return c < cp.cycle; });
+  return it == checkpoints_.begin() ? checkpoints_.front() : *std::prev(it);
 }
 
 Machine GoldenRun::restore(std::uint64_t cycle,
                            std::uint64_t* warmup_cycles) const {
-  FAV_CHECK_MSG(cycle <= length_, "cycle " << cycle << " beyond golden run");
-  const Checkpoint& cp = nearest_checkpoint(cycle);
   Machine m(*program_);
+  restore_into(m, cycle, warmup_cycles);
+  return m;
+}
+
+void GoldenRun::restore_into(Machine& m, std::uint64_t cycle,
+                             std::uint64_t* warmup_cycles) const {
+  FAV_CHECK_MSG(cycle <= length_, "cycle " << cycle << " beyond golden run");
+  FAV_CHECK_MSG(&m.program() == program_,
+                "machine was built for a different program");
+  const Checkpoint& cp = nearest_checkpoint(cycle);
   m.set_state(cp.state);
-  m.mutable_ram() = cp.ram;
+  m.mutable_ram() = cp.ram;  // copy-assign reuses the machine's RAM buffer
   m.set_cycle(cp.cycle);
   const std::uint64_t warmup = cycle - cp.cycle;
   for (std::uint64_t i = 0; i < warmup; ++i) m.step();
   if (warmup_cycles != nullptr) *warmup_cycles = warmup;
-  return m;
 }
 
 }  // namespace fav::rtl

@@ -79,6 +79,13 @@ class GoldenRun {
   Machine restore(std::uint64_t cycle,
                   std::uint64_t* warmup_cycles = nullptr) const;
 
+  /// Same as restore(), but repositions an existing machine built for this
+  /// golden run's program. Reusing one machine across many restores avoids a
+  /// 64K-word RAM allocation per call — the Monte Carlo engine keeps one
+  /// machine per worker and restores it for every sample.
+  void restore_into(Machine& machine, std::uint64_t cycle,
+                    std::uint64_t* warmup_cycles = nullptr) const;
+
  private:
   const Program* program_;
   std::uint64_t length_ = 0;

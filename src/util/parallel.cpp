@@ -1,0 +1,56 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+
+namespace fav {
+
+std::size_t resolve_thread_count(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void parallel_for(
+    std::size_t n, std::size_t threads, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  FAV_CHECK(grain > 0);
+  if (n == 0) return;
+  const std::size_t workers =
+      std::min(resolve_thread_count(threads), (n + grain - 1) / grain);
+  if (workers <= 1) {
+    fn(0, 0, n);
+    return;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto work = [&](std::size_t worker) {
+    try {
+      for (;;) {
+        const std::size_t begin = cursor.fetch_add(grain);
+        if (begin >= n) return;
+        fn(worker, begin, std::min(begin + grain, n));
+      }
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(work, w);
+  work(0);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace fav

@@ -1,0 +1,35 @@
+// Minimal threading utilities for the Monte Carlo engine.
+//
+// The framework's parallelism model is deliberately simple: work is an index
+// range [0, n), workers pull fixed-size blocks of consecutive indices from a
+// shared cursor, and every side effect is written to a per-index slot (or
+// per-worker scratch), so the *schedule* never influences the *result*.
+// Determinism is then the caller's to keep: draw random inputs sequentially
+// up front and reduce outputs in index order.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace fav {
+
+/// Resolves a requested worker count: 0 means "use the hardware concurrency"
+/// (at least 1); any other value is returned unchanged.
+std::size_t resolve_thread_count(std::size_t requested);
+
+/// Runs `fn(worker, begin, end)` until the index range [0, n) is exhausted.
+/// Blocks of `grain` consecutive indices are handed out dynamically, so
+/// uneven per-index cost load-balances across `threads` workers. `worker` is
+/// in [0, resolved_threads) and identifies the calling thread, letting the
+/// caller index per-worker scratch state without locking.
+///
+/// With `threads` <= 1 (after resolution) or n <= grain the whole range runs
+/// inline on the calling thread as worker 0 — no threads are spawned.
+/// The first exception thrown by any worker is rethrown on the caller after
+/// all workers have joined.
+void parallel_for(
+    std::size_t n, std::size_t threads, std::size_t grain,
+    const std::function<void(std::size_t worker, std::size_t begin,
+                             std::size_t end)>& fn);
+
+}  // namespace fav

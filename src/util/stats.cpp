@@ -34,11 +34,20 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x, double weight) {
-  const double rel = (x - lo_) / (hi_ - lo_);
-  auto bin = static_cast<std::ptrdiff_t>(rel * static_cast<double>(counts_.size()));
-  bin = std::clamp<std::ptrdiff_t>(bin, 0,
-                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  counts_[static_cast<std::size_t>(bin)] += weight;
+  // A NaN sample carries no bin information; dropping it keeps the histogram
+  // well-defined (casting a NaN-derived index would be undefined behavior).
+  if (std::isnan(x)) return;
+  std::size_t bin = 0;
+  if (x >= hi_) {
+    bin = counts_.size() - 1;
+  } else if (x > lo_) {
+    // x is finite and strictly inside (lo, hi): the index math is safe.
+    const double rel = (x - lo_) / (hi_ - lo_);
+    bin = std::min(
+        counts_.size() - 1,
+        static_cast<std::size_t>(rel * static_cast<double>(counts_.size())));
+  }
+  counts_[bin] += weight;
   total_ += weight;
 }
 

@@ -85,6 +85,61 @@ TEST(Framework, ImportanceVarianceBeatsRandom) {
   EXPECT_GT(ri.successes, rr.successes);
 }
 
+TEST(Framework, RunAdaptiveRefinesFromPilot) {
+  const auto attack = fw().subblock_attack_model(1.5, 50);
+  Rng rng(21);
+  auto pilot = fw().make_importance_sampler(attack);
+  const auto out = fw().run_adaptive(attack, *pilot, rng, 600, 400);
+  EXPECT_EQ(out.pilot.stats.count(), 600u);
+  EXPECT_EQ(out.refined.stats.count(), 400u);
+  // The importance pilot finds successes on this benchmark, so the refit
+  // stage must actually adapt and keep finding them.
+  EXPECT_TRUE(out.adapted);
+  EXPECT_GT(out.pilot.successes, 0u);
+  EXPECT_GT(out.refined.successes, 0u);
+  EXPECT_GT(out.refined.ssf(), 0.0);
+}
+
+TEST(Framework, RunAdaptiveFallsBackWithoutPilotSuccesses) {
+  // A hopeless pilot (zero-radius strikes on one far-away cell at the maximum
+  // timing distance) finds nothing; the refit stage must fall back to the
+  // pilot sampler instead of fitting a model to an empty success set.
+  auto attack = fw().subblock_attack_model(1.5, 50);
+  attack.candidate_centers = {fw().placement().placed_nodes().back()};
+  attack.radii = {0.0};
+  attack.t_min = attack.t_max = 49;
+  Rng rng(3);
+  auto pilot = fw().make_random_sampler(attack);
+  const auto out = fw().run_adaptive(attack, *pilot, rng, 40, 30);
+  if (out.pilot.successes == 0) {
+    EXPECT_FALSE(out.adapted);
+    EXPECT_EQ(out.refined.stats.count(), 30u);
+  }
+}
+
+TEST(Framework, ThreadsKnobPreservesFrameworkResults) {
+  // End-to-end determinism through the facade: a framework configured with
+  // a worker pool must reproduce the shared sequential framework bit for bit.
+  FrameworkConfig cfg;
+  cfg.evaluator.threads = 4;
+  FaultAttackEvaluator threaded(soc::make_illegal_write_benchmark(), cfg);
+  const auto attack = threaded.subblock_attack_model(1.5, 50);
+  Rng r1(42), r2(42);
+  auto s1 = threaded.make_importance_sampler(attack);
+  auto s2 = fw().make_importance_sampler(fw().subblock_attack_model(1.5, 50));
+  const auto parallel = threaded.evaluator().run(*s1, r1, 400);
+  const auto sequential = fw().evaluator().run(*s2, r2, 400);
+  EXPECT_EQ(parallel.ssf(), sequential.ssf());
+  EXPECT_EQ(parallel.sample_variance(), sequential.sample_variance());
+  EXPECT_EQ(parallel.successes, sequential.successes);
+  EXPECT_EQ(parallel.masked, sequential.masked);
+  EXPECT_EQ(parallel.analytical, sequential.analytical);
+  EXPECT_EQ(parallel.rtl, sequential.rtl);
+  EXPECT_EQ(parallel.trace, sequential.trace);
+  EXPECT_EQ(parallel.bit_contribution, sequential.bit_contribution);
+  EXPECT_EQ(parallel.field_contribution, sequential.field_contribution);
+}
+
 TEST(Framework, ReadBenchmarkAlsoWorks) {
   FaultAttackEvaluator read_fw(soc::make_illegal_read_benchmark());
   EXPECT_GT(read_fw.target_cycle(), 50u);

@@ -6,6 +6,7 @@
 
 #include "gen/builder.h"
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace fav::layout {
 namespace {
@@ -102,6 +103,53 @@ TEST(Placement, RadiusQueryMatchesBruteForce) {
       EXPECT_EQ(fast, slow) << "radius " << radius << " center " << center;
     }
   }
+}
+
+TEST(Placement, GridIndexMatchesBruteForceOnRandomQueries) {
+  // Heavier randomized cross-check of the uniform-grid index: random pitches
+  // and DFF heights produce varied placements; random centers (including
+  // off-die points) and radii must agree with an exhaustive scan under the
+  // same inclusion rule (squared-distance comparison).
+  Netlist nl;
+  gen::Builder bld(nl);
+  const auto a = bld.input_word("a", 12);
+  const auto b = bld.input_word("b", 12);
+  const auto sum = bld.add_word(a, b);
+  const auto lt = bld.ult(a, b);
+  const auto regs = bld.dff_word("r", 12);
+  bld.connect_word(regs, sum);
+  const NodeId flag = nl.add_dff("f");
+  nl.connect_dff(flag, lt);
+
+  Rng rng(99);
+  for (const double pitch : {0.7, 1.0, 2.0}) {
+    const Placement p(nl, pitch, 3.5);
+    for (int q = 0; q < 200; ++q) {
+      Point c;
+      // Sample on-die and slightly off-die centers.
+      c.x = rng.uniform_real(-2.0 * pitch, p.width() + 2.0 * pitch);
+      c.y = rng.uniform_real(-2.0 * pitch, p.height() + 2.0 * pitch);
+      const double radius = rng.uniform_real(0.0, 4.0 * pitch);
+      const auto fast = p.nodes_within(c, radius);
+      std::vector<NodeId> slow;
+      for (const NodeId id : p.placed_nodes()) {
+        const Point q2 = p.position(id);
+        const double dx = q2.x - c.x, dy = q2.y - c.y;
+        if (dx * dx + dy * dy <= radius * radius) slow.push_back(id);
+      }
+      EXPECT_EQ(fast, slow) << "pitch " << pitch << " center (" << c.x << ", "
+                            << c.y << ") radius " << radius;
+    }
+  }
+}
+
+TEST(Placement, BufferReuseOverloadMatchesAndClears) {
+  Fixture f;
+  Placement p(f.nl);
+  std::vector<NodeId> out = {123456};  // stale content must be cleared
+  p.nodes_within(f.g1, 1000.0, out);
+  EXPECT_EQ(out, p.nodes_within(f.g1, 1000.0));
+  EXPECT_EQ(out.size(), p.placed_nodes().size());
 }
 
 TEST(Placement, NegativeRadiusThrows) {

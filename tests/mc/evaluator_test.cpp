@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "soc/benchmark.h"
 #include "util/check.h"
 
@@ -181,6 +184,160 @@ TEST(SsfEvaluator, DeterministicForSeed) {
   EXPECT_EQ(a.ssf(), b.ssf());
   EXPECT_EQ(a.successes, b.successes);
   EXPECT_EQ(a.masked, b.masked);
+}
+
+// Reference implementation of the seed's sequential engine: interleaved
+// draw/evaluate with a fresh machine per sample and streaming accumulation.
+// The parallel engine must reproduce it bit for bit.
+SsfResult seed_sequential_run(const SsfEvaluator& ev, Sampler& sampler,
+                              Rng& rng, std::size_t n,
+                              const EvaluatorConfig& cfg) {
+  const auto& map = soc::SocNetlist::reg_map();
+  SsfResult result;
+  for (std::size_t i = 0; i < n; ++i) {
+    SampleRecord rec = ev.evaluate_sample(sampler.draw(rng));
+    result.stats.add(rec.contribution);
+    switch (rec.path) {
+      case OutcomePath::kMasked: ++result.masked; break;
+      case OutcomePath::kAnalytical: ++result.analytical; break;
+      case OutcomePath::kRtl: ++result.rtl; break;
+    }
+    if (rec.success) {
+      ++result.successes;
+      std::set<int> fields;
+      for (const int bit : rec.flipped_bits) {
+        fields.insert(map.locate(bit).first);
+      }
+      if (!fields.empty()) {
+        const double share =
+            rec.contribution / static_cast<double>(fields.size());
+        for (const int f : fields) result.field_contribution[f] += share;
+      }
+      if (!rec.flipped_bits.empty()) {
+        const double share =
+            rec.contribution / static_cast<double>(rec.flipped_bits.size());
+        for (const int bit : rec.flipped_bits) {
+          result.bit_contribution[bit] += share;
+        }
+      }
+    }
+    if ((i + 1) % cfg.trace_stride == 0) {
+      result.trace.push_back(result.stats.mean());
+    }
+    if (cfg.keep_records) result.records.push_back(std::move(rec));
+  }
+  return result;
+}
+
+void expect_bitwise_equal(const SsfResult& a, const SsfResult& b) {
+  EXPECT_EQ(a.ssf(), b.ssf());
+  EXPECT_EQ(a.sample_variance(), b.sample_variance());
+  EXPECT_EQ(a.stats.count(), b.stats.count());
+  EXPECT_EQ(a.stats.min(), b.stats.min());
+  EXPECT_EQ(a.stats.max(), b.stats.max());
+  EXPECT_EQ(a.masked, b.masked);
+  EXPECT_EQ(a.analytical, b.analytical);
+  EXPECT_EQ(a.rtl, b.rtl);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.trace, b.trace);  // element-wise bitwise double equality
+  EXPECT_EQ(a.bit_contribution, b.bit_contribution);
+  EXPECT_EQ(a.field_contribution, b.field_contribution);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].te, b.records[i].te) << i;
+    EXPECT_EQ(a.records[i].flipped_bits, b.records[i].flipped_bits) << i;
+    EXPECT_EQ(a.records[i].path, b.records[i].path) << i;
+    EXPECT_EQ(a.records[i].success, b.records[i].success) << i;
+    EXPECT_EQ(a.records[i].contribution, b.records[i].contribution) << i;
+  }
+}
+
+TEST(SsfEvaluatorParallel, ThreadCountDoesNotChangeAnyResultBit) {
+  faultsim::AttackModel attack;
+  attack.t_min = 0;
+  attack.t_max = 19;
+  attack.candidate_centers = ctx().placement.placed_nodes();
+
+  // Reference: the seed engine's literal accumulation, threads-free.
+  RandomSampler seed_sampler(attack);
+  Rng seed_rng(31);
+  const SsfResult seed = seed_sequential_run(
+      ctx().evaluator, seed_sampler, seed_rng, 300, EvaluatorConfig{});
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    EvaluatorConfig cfg;
+    cfg.threads = threads;
+    SsfEvaluator ev(ctx().soc, ctx().placement, ctx().injector, ctx().bench,
+                    ctx().golden, &ctx().charac, cfg);
+    RandomSampler sampler(attack);
+    Rng rng(31);
+    const SsfResult res = ev.run(sampler, rng, 300);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_bitwise_equal(res, seed);
+  }
+}
+
+TEST(SsfEvaluatorParallel, AutoThreadsMatchesSequential) {
+  faultsim::AttackModel attack;
+  attack.t_min = 0;
+  attack.t_max = 9;
+  attack.candidate_centers = ctx().placement.placed_nodes();
+  EvaluatorConfig cfg;
+  cfg.threads = 0;  // hardware concurrency
+  SsfEvaluator auto_ev(ctx().soc, ctx().placement, ctx().injector, ctx().bench,
+                       ctx().golden, &ctx().charac, cfg);
+  RandomSampler s1(attack), s2(attack);
+  Rng r1(7), r2(7);
+  const SsfResult parallel = auto_ev.run(s1, r1, 120);
+  const SsfResult sequential = ctx().evaluator.run(s2, r2, 120);
+  expect_bitwise_equal(parallel, sequential);
+}
+
+TEST(SsfEvaluator, ScratchReuseMatchesFreshMachines) {
+  // Evaluating a stream of samples through one scratch must give exactly the
+  // per-sample results of fresh-machine evaluation, in any order.
+  faultsim::AttackModel attack;
+  attack.t_min = 0;
+  attack.t_max = 19;
+  attack.candidate_centers = ctx().placement.placed_nodes();
+  RandomSampler sampler(attack);
+  Rng rng(13);
+  EvalScratch scratch(ctx().evaluator);
+  for (int i = 0; i < 60; ++i) {
+    const faultsim::FaultSample s = sampler.draw(rng);
+    const SampleRecord fresh = ctx().evaluator.evaluate_sample(s);
+    const SampleRecord reused = ctx().evaluator.evaluate_sample(s, scratch);
+    EXPECT_EQ(fresh.te, reused.te);
+    EXPECT_EQ(fresh.flipped_bits, reused.flipped_bits);
+    EXPECT_EQ(fresh.path, reused.path);
+    EXPECT_EQ(fresh.success, reused.success);
+    EXPECT_EQ(fresh.contribution, reused.contribution);
+  }
+}
+
+TEST(SsfEvaluatorParallel, WorkerExceptionPropagates) {
+  // An invalid sample evaluated on a worker must surface on the caller.
+  class BadSampler final : public Sampler {
+   public:
+    faultsim::FaultSample draw(Rng&) override {
+      faultsim::FaultSample s;
+      s.t = 5;
+      s.center = ctx().placement.placed_nodes().front();
+      s.impact_cycles = 0;  // rejected by evaluate_sample
+      return s;
+    }
+    const std::string& name() const override { return name_; }
+
+   private:
+    std::string name_ = "bad";
+  };
+  EvaluatorConfig cfg;
+  cfg.threads = 4;
+  SsfEvaluator ev(ctx().soc, ctx().placement, ctx().injector, ctx().bench,
+                  ctx().golden, &ctx().charac, cfg);
+  BadSampler sampler;
+  Rng rng(1);
+  EXPECT_THROW(ev.run(sampler, rng, 64), fav::CheckError);
 }
 
 TEST(SsfEvaluator, MultiCycleImpactAccumulatesErrors) {

@@ -1,0 +1,97 @@
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+
+namespace fav {
+namespace {
+
+TEST(ResolveThreadCount, ZeroMeansHardware) {
+  EXPECT_GE(resolve_thread_count(0), 1u);
+  EXPECT_EQ(resolve_thread_count(1), 1u);
+  EXPECT_EQ(resolve_thread_count(7), 7u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 3u, 8u}) {
+    for (const std::size_t n : {0u, 1u, 7u, 64u, 1000u}) {
+      std::vector<std::atomic<int>> hits(n);
+      parallel_for(n, threads, 8,
+                   [&](std::size_t, std::size_t lo, std::size_t hi) {
+                     for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+                   });
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "n=" << n << " threads=" << threads
+                                     << " index " << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelFor, BlocksAreContiguousAndGrainSized) {
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> blocks;
+  parallel_for(100, 4, 8, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    const std::lock_guard<std::mutex> lock(mu);
+    blocks.emplace_back(lo, hi);
+  });
+  std::size_t covered = 0;
+  for (const auto& [lo, hi] : blocks) {
+    EXPECT_LT(lo, hi);
+    EXPECT_LE(hi - lo, 8u);
+    EXPECT_EQ(lo % 8, 0u);  // blocks start on grain boundaries
+    covered += hi - lo;
+  }
+  EXPECT_EQ(covered, 100u);
+}
+
+TEST(ParallelFor, WorkerIndicesAreDistinctAndInRange) {
+  // Every reported worker id must be usable as an index into a scratch
+  // array of `threads` elements.
+  std::mutex mu;
+  std::set<std::size_t> workers;
+  parallel_for(64, 4, 1, [&](std::size_t w, std::size_t, std::size_t) {
+    const std::lock_guard<std::mutex> lock(mu);
+    workers.insert(w);
+  });
+  for (const std::size_t w : workers) EXPECT_LT(w, 4u);
+}
+
+TEST(ParallelFor, SmallRangeRunsInline) {
+  // n <= grain: must execute on the calling thread as worker 0.
+  const auto caller = std::this_thread::get_id();
+  parallel_for(4, 8, 8, [&](std::size_t w, std::size_t, std::size_t) {
+    EXPECT_EQ(w, 0u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  for (const std::size_t threads : {1u, 4u}) {
+    EXPECT_THROW(
+        parallel_for(100, threads, 4,
+                     [&](std::size_t, std::size_t lo, std::size_t hi) {
+                       // Fires in whichever block holds index 48 — exactly
+                       // once under any partitioning, including inline.
+                       if (lo <= 48 && 48 < hi) throw std::runtime_error("boom");
+                     }),
+        std::runtime_error);
+  }
+}
+
+TEST(ParallelFor, ZeroGrainRejected) {
+  EXPECT_THROW(
+      parallel_for(10, 2, 0, [](std::size_t, std::size_t, std::size_t) {}),
+      CheckError);
+}
+
+}  // namespace
+}  // namespace fav

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include "util/rng.h"
 
@@ -64,6 +66,61 @@ TEST(RunningStats, MergeEqualsSequential) {
   EXPECT_DOUBLE_EQ(a.max(), all.max());
 }
 
+TEST(RunningStats, OrderedShardMergeReproducesSequentialStream) {
+  // The parallel engine's invariant: splitting one add-stream into K disjoint
+  // contiguous shards and merging them back in index order must reproduce the
+  // sequential accumulation. Shard counts include 1 (trivial) and more shards
+  // than would ever run as threads.
+  Rng rng(2017);
+  std::vector<double> xs(777);
+  for (double& x : xs) {
+    // Mimic SSF contributions: mostly zeros with occasional large weights.
+    x = rng.bernoulli(0.1) ? rng.uniform_real(0.0, 50.0) : 0.0;
+  }
+  RunningStats sequential;
+  for (const double x : xs) sequential.add(x);
+
+  for (const std::size_t shards : {1u, 2u, 5u, 16u, 777u}) {
+    std::vector<RunningStats> shard(shards);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      shard[i * shards / xs.size()].add(xs[i]);
+    }
+    RunningStats merged;
+    for (const RunningStats& s : shard) merged.merge(s);
+    EXPECT_EQ(merged.count(), sequential.count()) << shards << " shards";
+    EXPECT_DOUBLE_EQ(merged.min(), sequential.min()) << shards << " shards";
+    EXPECT_DOUBLE_EQ(merged.max(), sequential.max()) << shards << " shards";
+    EXPECT_NEAR(merged.mean(), sequential.mean(), 1e-12) << shards << " shards";
+    EXPECT_NEAR(merged.variance(), sequential.variance(),
+                1e-12 * sequential.variance() + 1e-12)
+        << shards << " shards";
+  }
+}
+
+TEST(RunningStats, MergeEmptyAndSingleElementShards) {
+  // Edge shard shapes from uneven partitions: empty shards must be no-ops
+  // and single-element shards must behave like a plain add.
+  const std::vector<double> xs = {3.0, -1.0, 4.0};
+  RunningStats sequential;
+  for (const double x : xs) sequential.add(x);
+
+  RunningStats merged;
+  RunningStats empty;
+  merged.merge(empty);  // empty into empty
+  EXPECT_EQ(merged.count(), 0u);
+  for (const double x : xs) {
+    RunningStats single;
+    single.add(x);
+    merged.merge(single);
+    merged.merge(empty);  // interleaved empty shards change nothing
+  }
+  EXPECT_EQ(merged.count(), sequential.count());
+  EXPECT_NEAR(merged.mean(), sequential.mean(), 1e-12);
+  EXPECT_NEAR(merged.variance(), sequential.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(merged.min(), sequential.min());
+  EXPECT_DOUBLE_EQ(merged.max(), sequential.max());
+}
+
 TEST(RunningStats, MergeWithEmpty) {
   RunningStats a, b;
   a.add(1.0);
@@ -103,6 +160,33 @@ TEST(Histogram, OutOfRangeClamped) {
   h.add(42.0);
   EXPECT_DOUBLE_EQ(h.bin_weight(0), 1.0);
   EXPECT_DOUBLE_EQ(h.bin_weight(1), 1.0);
+}
+
+TEST(Histogram, NanSamplesAreDropped) {
+  // Regression: a NaN sample used to produce a NaN bin fraction and an
+  // undefined-behavior integer cast; it must now be ignored entirely.
+  Histogram h(0.0, 1.0, 4);
+  h.add(std::nan(""), 2.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 0.0);
+  for (std::size_t b = 0; b < h.bin_count(); ++b) {
+    EXPECT_DOUBLE_EQ(h.bin_weight(b), 0.0);
+  }
+  h.add(0.3);
+  h.add(std::nan(""));
+  EXPECT_DOUBLE_EQ(h.total_weight(), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_fraction(1), 1.0);
+}
+
+TEST(Histogram, InfinitySamplesClampToEdgeBins) {
+  // Infinities are extreme out-of-range values: clamp like any other
+  // out-of-range sample instead of feeding the index math.
+  Histogram h(0.0, 1.0, 3);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(h.bin_weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(2), 1.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 2.0);
 }
 
 TEST(Histogram, WeightedAdds) {

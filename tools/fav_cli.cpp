@@ -15,6 +15,9 @@
 //   --t-range N                   (default 50)
 //   --radius R                    (default 1.5)
 //   --coverage C                  (default 0.95, harden only)
+//   --threads N                   (default 1; 0 = all hardware threads.
+//                                  Estimates are bitwise-identical for every
+//                                  N — see DESIGN.md, parallel engine)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -41,6 +44,13 @@ struct Options {
   int t_range = 50;
   double radius = 1.5;
   double coverage = 0.95;
+  std::size_t threads = 1;
+
+  core::FrameworkConfig framework_config() const {
+    core::FrameworkConfig cfg;
+    cfg.evaluator.threads = threads;
+    return cfg;
+  }
 };
 
 [[noreturn]] void usage(const char* msg = nullptr) {
@@ -50,7 +60,8 @@ struct Options {
                "trace> [options]\n"
                "options: --benchmark write|read|exec|dma  --samples N  --seed S\n"
                "         --strategy random|cone|importance  --t-range N\n"
-               "         --radius R  --coverage C  --out FILE\n");
+               "         --radius R  --coverage C  --out FILE\n"
+               "         --threads N (0 = all hardware threads)\n");
   std::exit(2);
 }
 
@@ -78,6 +89,8 @@ Options parse(int argc, char** argv) {
       o.radius = std::stod(value());
     } else if (arg == "--coverage") {
       o.coverage = std::stod(value());
+    } else if (arg == "--threads") {
+      o.threads = std::stoul(value());
     } else if (arg == "--out") {
       o.out = value();
     } else {
@@ -157,7 +170,8 @@ mc::SsfResult run_eval(core::FaultAttackEvaluator& fw, const Options& o) {
 }
 
 int cmd_evaluate(const Options& o) {
-  core::FaultAttackEvaluator fw(pick_benchmark(o.benchmark));
+  core::FaultAttackEvaluator fw(pick_benchmark(o.benchmark),
+                                o.framework_config());
   const auto res = run_eval(fw, o);
   std::printf("benchmark  : %s\n", fw.benchmark().name.c_str());
   std::printf("strategy   : %s (n=%zu, seed=%llu)\n", o.strategy.c_str(),
@@ -177,7 +191,8 @@ int cmd_evaluate(const Options& o) {
 }
 
 int cmd_harden(const Options& o) {
-  core::FaultAttackEvaluator fw(pick_benchmark(o.benchmark));
+  core::FaultAttackEvaluator fw(pick_benchmark(o.benchmark),
+                                o.framework_config());
   const auto res = run_eval(fw, o);
   const auto cells = core::select_critical_bits(res, o.coverage);
   Rng rng(o.seed + 1);
