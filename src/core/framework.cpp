@@ -1,15 +1,53 @@
 #include "core/framework.h"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace fav::core {
 
 using faultsim::AttackModel;
 using netlist::NodeId;
 
+namespace {
+
+/// Throws before any expensive elaboration when the config is structurally
+/// invalid; used in the config_ member initializer so it runs first.
+FrameworkConfig validated(const FrameworkConfig& config) {
+  const Status status = config.validate();
+  if (!status.is_ok()) throw StatusError(status);
+  return config;
+}
+
+}  // namespace
+
+Status FrameworkConfig::validate() const {
+  auto invalid = [](const std::string& what) {
+    return Status(ErrorCode::kInvalidArgument, "FrameworkConfig: " + what);
+  };
+  if (checkpoint_interval == 0) {
+    return invalid("checkpoint_interval must be > 0");
+  }
+  if (cone_fanin_depth <= 0 || cone_fanout_depth <= 0) {
+    return invalid("cone depths must be positive");
+  }
+  if (precharac_cycles == 0) return invalid("precharac_cycles must be > 0");
+  if (evaluator.trace_stride == 0) {
+    return invalid("evaluator.trace_stride must be > 0");
+  }
+  return Status::ok();
+}
+
+void FaultAttackEvaluator::log_event(const std::string& message) const {
+  if (config_.log) {
+    config_.log(message);
+  } else {
+    std::fprintf(stderr, "fav: %s\n", message.c_str());
+  }
+}
+
 FaultAttackEvaluator::FaultAttackEvaluator(soc::SecurityBenchmark bench,
                                            const FrameworkConfig& config)
-    : config_(config),
+    : config_(validated(config)),
       bench_(std::move(bench)),
       soc_(),
       placement_(soc_.netlist()),
@@ -83,7 +121,7 @@ FaultAttackEvaluator::FaultAttackEvaluator(soc::SecurityBenchmark bench,
 
 AttackModel FaultAttackEvaluator::chip_attack_model(double radius,
                                                     int t_range) const {
-  FAV_CHECK(t_range >= 1);
+  FAV_ENSURE(t_range >= 1);
   AttackModel a;
   a.t_min = 0;
   a.t_max = t_range - 1;
@@ -94,7 +132,7 @@ AttackModel FaultAttackEvaluator::chip_attack_model(double radius,
 
 AttackModel FaultAttackEvaluator::subblock_attack_model(double radius,
                                                         int t_range) const {
-  FAV_CHECK(t_range >= 1);
+  FAV_ENSURE(t_range >= 1);
   AttackModel a;
   a.t_min = 0;
   a.t_max = t_range - 1;
@@ -111,7 +149,7 @@ AttackModel FaultAttackEvaluator::subblock_attack_model(double radius,
   for (NodeId id = 0; id < soc_.netlist().node_count(); ++id) {
     if (in[id] && placement_.is_placed(id)) a.candidate_centers.push_back(id);
   }
-  FAV_CHECK_MSG(!a.candidate_centers.empty(), "cone support is empty");
+  FAV_ENSURE_MSG(!a.candidate_centers.empty(), "cone support is empty");
   return a;
 }
 
@@ -183,19 +221,81 @@ AdaptiveRunResult FaultAttackEvaluator::run_adaptive(
     const AttackModel& attack, mc::Sampler& pilot_sampler, Rng& rng,
     std::size_t pilot_n, std::size_t refine_n,
     const mc::AdaptiveConfig& adaptive) const {
-  FAV_CHECK_MSG(config_.evaluator.keep_records,
+  FAV_ENSURE_MSG(config_.evaluator.keep_records,
                 "adaptive refit needs pilot records (keep_records)");
   AdaptiveRunResult out;
-  out.pilot = evaluator_->run(pilot_sampler, rng, pilot_n);
+  mc::Sampler* pilot = &pilot_sampler;
+  std::unique_ptr<mc::Sampler> fallback_pilot;
+  try {
+    out.pilot = evaluator_->run(*pilot, rng, pilot_n);
+  } catch (const std::exception& e) {
+    // Pilot stage failed (a sampler that throws while drawing): degrade to
+    // the cone → random chain instead of aborting the whole campaign.
+    SamplerSelection sel = make_sampler_with_fallback(attack, "cone");
+    out.downgrade_reason = "pilot sampler '" + pilot_sampler.name() +
+                           "' failed (" + e.what() + "); downgraded to '" +
+                           sel.actual + "'";
+    log_event("run_adaptive: " + out.downgrade_reason);
+    fallback_pilot = std::move(sel.sampler);
+    pilot = fallback_pilot.get();
+    out.pilot = evaluator_->run(*pilot, rng, pilot_n);
+  }
   if (out.pilot.successes == 0) {
     // Nothing to adapt to; spend the refinement budget on the pilot sampler.
-    out.refined = evaluator_->run(pilot_sampler, rng, refine_n);
+    out.refined = evaluator_->run(*pilot, rng, refine_n);
     return out;
   }
-  mc::AdaptiveImportanceSampler refit(attack, out.pilot, adaptive);
-  out.refined = evaluator_->run(refit, rng, refine_n);
-  out.adapted = true;
+  try {
+    mc::AdaptiveImportanceSampler refit(attack, out.pilot, adaptive);
+    out.refined = evaluator_->run(refit, rng, refine_n);
+    out.adapted = true;
+  } catch (const std::exception& e) {
+    // Refit construction failed: spend the refinement budget on the pilot
+    // sampler (the rng stream is untouched by the failed construction, so
+    // this fallback is deterministic).
+    out.downgrade_reason = std::string("adaptive refit failed (") + e.what() +
+                           "); refined stage uses the pilot sampler";
+    log_event("run_adaptive: " + out.downgrade_reason);
+    out.refined = evaluator_->run(*pilot, rng, refine_n);
+  }
   return out;
+}
+
+SamplerSelection FaultAttackEvaluator::make_sampler_with_fallback(
+    const AttackModel& attack, const std::string& strategy) const {
+  FAV_ENSURE_MSG(strategy == "importance" || strategy == "cone" ||
+                     strategy == "random",
+                 "unknown sampling strategy '" << strategy << "'");
+  SamplerSelection sel;
+  sel.requested = strategy;
+  auto downgrade = [&](const std::string& from, const std::string& to,
+                       const std::exception& e) {
+    if (!sel.downgrade_reason.empty()) sel.downgrade_reason += "; ";
+    sel.downgrade_reason +=
+        from + " sampler unavailable (" + e.what() + "), falling back to " + to;
+    log_event("sampler downgrade: " + sel.downgrade_reason);
+  };
+  if (strategy == "importance") {
+    try {
+      sel.sampler = make_importance_sampler(attack);
+      sel.actual = "importance";
+      return sel;
+    } catch (const std::exception& e) {
+      downgrade("importance", "cone", e);
+    }
+  }
+  if (strategy == "importance" || strategy == "cone") {
+    try {
+      sel.sampler = make_cone_sampler(attack);
+      sel.actual = "cone";
+      return sel;
+    } catch (const std::exception& e) {
+      downgrade("cone", "random", e);
+    }
+  }
+  sel.sampler = make_random_sampler(attack);
+  sel.actual = "random";
+  return sel;
 }
 
 std::unique_ptr<mc::Sampler> FaultAttackEvaluator::make_importance_sampler(

@@ -17,6 +17,7 @@
 //   std::cout << "SSF = " << result.ssf() << "\n";
 #pragma once
 
+#include <functional>
 #include <memory>
 
 #include "faultsim/attack_model.h"
@@ -50,6 +51,14 @@ struct FrameworkConfig {
   /// Evaluation-engine knobs; `evaluator.threads` selects the worker count
   /// for every run issued through this framework (0 = all hardware threads).
   mc::EvaluatorConfig evaluator;
+  /// Sink for robustness diagnostics (sampler downgrades, pilot fallbacks).
+  /// Null routes messages to stderr.
+  std::function<void(const std::string&)> log;
+
+  /// Structural validation of the knobs above. FaultAttackEvaluator rejects
+  /// an invalid config on construction (StatusError, kInvalidArgument)
+  /// before any expensive elaboration, instead of misbehaving downstream.
+  Status validate() const;
 };
 
 /// Outcome of the two-stage adaptive estimation (see run_adaptive).
@@ -57,8 +66,22 @@ struct AdaptiveRunResult {
   mc::SsfResult pilot;
   mc::SsfResult refined;
   /// False when the pilot found no successes and the refit stage fell back
-  /// to the pilot sampler (there was nothing to adapt to).
+  /// to the pilot sampler (there was nothing to adapt to), or when the refit
+  /// construction failed and was downgraded (see downgrade_reason).
   bool adapted = false;
+  /// Non-empty when a stage degraded instead of throwing: why the refit (or
+  /// the pilot sampler) was replaced with a simpler fallback.
+  std::string downgrade_reason;
+};
+
+/// A sampler plus the provenance of any graceful degradation that happened
+/// while building it (see make_sampler_with_fallback).
+struct SamplerSelection {
+  std::unique_ptr<mc::Sampler> sampler;
+  std::string requested;         // strategy asked for
+  std::string actual;            // strategy actually built
+  std::string downgrade_reason;  // empty when requested == actual
+  bool downgraded() const { return !downgrade_reason.empty(); }
 };
 
 class FaultAttackEvaluator {
@@ -102,6 +125,15 @@ class FaultAttackEvaluator {
   precharac::SamplingModel make_sampling_model(
       const faultsim::AttackModel& attack) const;
 
+  /// Builds the sampler for `strategy` ("importance", "cone" or "random")
+  /// with graceful degradation: if the importance model (or cone support)
+  /// fails to build, the next-simpler strategy is tried — importance → cone
+  /// → random — and the downgrade is logged (config().log) and recorded in
+  /// the returned selection instead of throwing out of the facade. Only a
+  /// failure of the final random fallback propagates.
+  SamplerSelection make_sampler_with_fallback(
+      const faultsim::AttackModel& attack, const std::string& strategy) const;
+
   /// Sampling parameters for `attack`, including the analytically-enumerated
   /// per-spot direct-hit boosts (see framework.cpp).
   precharac::SamplingParams sampling_params_for(
@@ -114,12 +146,21 @@ class FaultAttackEvaluator {
   /// when the pilot finds no successes). Both stages execute on the shared
   /// evaluator, so `config().evaluator.threads` parallelizes the whole loop;
   /// pilot records are required (keep_records must stay enabled).
+  ///
+  /// Degrades gracefully instead of throwing: if the pilot stage fails
+  /// (e.g. the pilot sampler throws while drawing), it is re-run on the cone
+  /// → random fallback chain; if the refit construction fails, the
+  /// refinement budget is spent on the pilot sampler. Every downgrade is
+  /// logged and surfaced in AdaptiveRunResult::downgrade_reason.
   AdaptiveRunResult run_adaptive(const faultsim::AttackModel& attack,
                                  mc::Sampler& pilot_sampler, Rng& rng,
                                  std::size_t pilot_n, std::size_t refine_n,
                                  const mc::AdaptiveConfig& adaptive = {}) const;
 
  private:
+  /// Routes a robustness diagnostic to config().log (stderr when unset).
+  void log_event(const std::string& message) const;
+
   FrameworkConfig config_;
   soc::SecurityBenchmark bench_;
   soc::SocNetlist soc_;

@@ -14,7 +14,7 @@ namespace {
 
 std::vector<int> select_greedy(const std::map<int, double>& contribution,
                                double coverage) {
-  FAV_CHECK(coverage > 0.0 && coverage <= 1.0);
+  FAV_ENSURE(coverage > 0.0 && coverage <= 1.0);
   std::vector<std::pair<int, double>> ranked(contribution.begin(),
                                              contribution.end());
   std::sort(ranked.begin(), ranked.end(),
@@ -71,9 +71,9 @@ HardeningReport evaluate_hardening(const mc::SsfEvaluator& evaluator,
                                    const mc::SsfResult& result,
                                    const std::vector<int>& protected_bits,
                                    const HardeningOptions& options, Rng& rng) {
-  FAV_CHECK(options.resilience_factor >= 1.0);
-  FAV_CHECK(options.area_factor >= 1.0);
-  FAV_CHECK_MSG(!result.records.empty(),
+  FAV_ENSURE(options.resilience_factor >= 1.0);
+  FAV_ENSURE(options.area_factor >= 1.0);
+  FAV_ENSURE_MSG(!result.records.empty(),
                 "hardening needs per-sample records (EvaluatorConfig::"
                 "keep_records)");
   const RegisterMap& map = Machine::reg_map();

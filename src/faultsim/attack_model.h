@@ -46,10 +46,10 @@ struct AttackModel {
   int t_count() const { return t_max - t_min + 1; }
 
   void check_valid() const {
-    FAV_CHECK_MSG(t_min >= 0 && t_max >= t_min, "bad timing range");
-    FAV_CHECK_MSG(!candidate_centers.empty(), "no candidate centers");
-    FAV_CHECK_MSG(!radii.empty(), "no radii");
-    FAV_CHECK_MSG(impact_cycles >= 1, "impact_cycles must be >= 1");
+    FAV_ENSURE_MSG(t_min >= 0 && t_max >= t_min, "bad timing range");
+    FAV_ENSURE_MSG(!candidate_centers.empty(), "no candidate centers");
+    FAV_ENSURE_MSG(!radii.empty(), "no radii");
+    FAV_ENSURE_MSG(impact_cycles >= 1, "impact_cycles must be >= 1");
   }
 
   /// Joint pmf of (t, center, radius) under the uniform holistic model.

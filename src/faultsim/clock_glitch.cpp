@@ -10,7 +10,7 @@ ClockGlitchSimulator::ClockGlitchSimulator(const netlist::Netlist& nl,
                                            const TimingModel& timing_model)
     : nl_(&nl), timing_(nl, timing_model) {
   for (const NodeId dff : nl.dffs()) {
-    FAV_CHECK_MSG(!nl.node(dff).fanins.empty(),
+    FAV_ENSURE_MSG(!nl.node(dff).fanins.empty(),
                   "DFF '" << nl.node(dff).name << "' has no D input");
     critical_d_ =
         std::max(critical_d_, timing_.arrival(nl.node(dff).fanins[0]));
@@ -19,7 +19,7 @@ ClockGlitchSimulator::ClockGlitchSimulator(const netlist::Netlist& nl,
 
 std::vector<NodeId> ClockGlitchSimulator::flipped_dffs(
     const netlist::LogicSimulator& sim, double glitch_period) const {
-  FAV_CHECK_MSG(glitch_period > 0.0, "glitch period must be positive");
+  FAV_ENSURE_MSG(glitch_period > 0.0, "glitch period must be positive");
   const double setup = timing_.model().setup_time;
   std::vector<NodeId> flips;
   for (const NodeId dff : nl_->dffs()) {

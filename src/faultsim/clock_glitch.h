@@ -54,10 +54,10 @@ struct ClockGlitchAttackModel {
   int t_count() const { return t_max - t_min + 1; }
 
   void check_valid() const {
-    FAV_CHECK_MSG(t_min >= 0 && t_max >= t_min, "bad timing range");
-    FAV_CHECK_MSG(!depths.empty(), "no glitch depths");
+    FAV_ENSURE_MSG(t_min >= 0 && t_max >= t_min, "bad timing range");
+    FAV_ENSURE_MSG(!depths.empty(), "no glitch depths");
     for (const double d : depths) {
-      FAV_CHECK_MSG(d > 0.0 && d < 1.0, "glitch depth must be in (0, 1)");
+      FAV_ENSURE_MSG(d > 0.0 && d < 1.0, "glitch depth must be in (0, 1)");
     }
   }
 };

@@ -13,8 +13,8 @@ InjectionSimulator::InjectionSimulator(const Netlist& nl,
                                        const TimingModel& timing_model,
                                        const TransientParams& params)
     : nl_(&nl), timing_(nl, timing_model), params_(params) {
-  FAV_CHECK(params.initial_width > 0);
-  FAV_CHECK(params.max_pulses_per_node >= 1);
+  FAV_ENSURE(params.initial_width > 0);
+  FAV_ENSURE(params.max_pulses_per_node >= 1);
 }
 
 bool InjectionSimulator::sensitized(const netlist::LogicSimulator& sim,
@@ -65,7 +65,7 @@ void InjectionSimulator::add_pulse(std::vector<Pulse>& list, Pulse p) const {
 InjectionResult InjectionSimulator::inject(const netlist::LogicSimulator& sim,
                                            std::span<const NodeId> struck,
                                            double strike_time) const {
-  FAV_CHECK_MSG(strike_time >= 0.0, "strike time must be non-negative");
+  FAV_ENSURE_MSG(strike_time >= 0.0, "strike time must be non-negative");
   InjectionResult result;
 
   std::vector<std::vector<Pulse>> pulses(nl_->node_count());

@@ -32,7 +32,7 @@ double TimingModel::delay(CellType t) const {
 TimingAnalysis::TimingAnalysis(const netlist::Netlist& nl,
                                const TimingModel& model)
     : model_(model), arrival_(nl.node_count(), 0.0) {
-  FAV_CHECK(model.clock_margin >= 1.0);
+  FAV_ENSURE(model.clock_margin >= 1.0);
   for (netlist::NodeId id : nl.topo_order()) {
     const auto& n = nl.node(id);
     double in_arrival = 0.0;
@@ -47,7 +47,7 @@ TimingAnalysis::TimingAnalysis(const netlist::Netlist& nl,
 }
 
 double TimingAnalysis::arrival(netlist::NodeId id) const {
-  FAV_CHECK(id < arrival_.size());
+  FAV_ENSURE(id < arrival_.size());
   return arrival_[id];
 }
 

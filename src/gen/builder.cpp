@@ -69,7 +69,7 @@ NodeId Builder::or_all(std::span<const NodeId> bits) {
 }
 
 Word Builder::input_word(const std::string& name, int width) {
-  FAV_CHECK(width > 0);
+  FAV_ENSURE(width > 0);
   Word w;
   w.reserve(static_cast<std::size_t>(width));
   for (int i = 0; i < width; ++i) {
@@ -79,7 +79,7 @@ Word Builder::input_word(const std::string& name, int width) {
 }
 
 Word Builder::dff_word(const std::string& name, int width) {
-  FAV_CHECK(width > 0);
+  FAV_ENSURE(width > 0);
   Word w;
   w.reserve(static_cast<std::size_t>(width));
   for (int i = 0; i < width; ++i) {
@@ -89,12 +89,12 @@ Word Builder::dff_word(const std::string& name, int width) {
 }
 
 void Builder::connect_word(const Word& dffs, const Word& d) {
-  FAV_CHECK_MSG(dffs.size() == d.size(), "width mismatch in connect_word");
+  FAV_ENSURE_MSG(dffs.size() == d.size(), "width mismatch in connect_word");
   for (std::size_t i = 0; i < dffs.size(); ++i) nl_->connect_dff(dffs[i], d[i]);
 }
 
 Word Builder::constant_word(std::uint64_t value, int width) {
-  FAV_CHECK(width > 0 && width <= 64);
+  FAV_ENSURE(width > 0 && width <= 64);
   Word w;
   w.reserve(static_cast<std::size_t>(width));
   for (int i = 0; i < width; ++i) {
@@ -104,15 +104,15 @@ Word Builder::constant_word(std::uint64_t value, int width) {
 }
 
 Word Builder::zext(const Word& a, int width) {
-  FAV_CHECK(static_cast<std::size_t>(width) >= a.size());
+  FAV_ENSURE(static_cast<std::size_t>(width) >= a.size());
   Word w = a;
   while (w.size() < static_cast<std::size_t>(width)) w.push_back(const0());
   return w;
 }
 
 Word Builder::slice(const Word& a, int lo, int width) const {
-  FAV_CHECK(lo >= 0 && width > 0);
-  FAV_CHECK_MSG(static_cast<std::size_t>(lo + width) <= a.size(),
+  FAV_ENSURE(lo >= 0 && width > 0);
+  FAV_ENSURE_MSG(static_cast<std::size_t>(lo + width) <= a.size(),
                 "slice out of range");
   return Word(a.begin() + lo, a.begin() + lo + width);
 }
@@ -131,7 +131,7 @@ Word Builder::not_word(const Word& a) {
 }
 
 Word Builder::and_word(const Word& a, const Word& b) {
-  FAV_CHECK(a.size() == b.size());
+  FAV_ENSURE(a.size() == b.size());
   Word w;
   w.reserve(a.size());
   for (std::size_t i = 0; i < a.size(); ++i) w.push_back(band(a[i], b[i]));
@@ -139,7 +139,7 @@ Word Builder::and_word(const Word& a, const Word& b) {
 }
 
 Word Builder::or_word(const Word& a, const Word& b) {
-  FAV_CHECK(a.size() == b.size());
+  FAV_ENSURE(a.size() == b.size());
   Word w;
   w.reserve(a.size());
   for (std::size_t i = 0; i < a.size(); ++i) w.push_back(bor(a[i], b[i]));
@@ -147,7 +147,7 @@ Word Builder::or_word(const Word& a, const Word& b) {
 }
 
 Word Builder::xor_word(const Word& a, const Word& b) {
-  FAV_CHECK(a.size() == b.size());
+  FAV_ENSURE(a.size() == b.size());
   Word w;
   w.reserve(a.size());
   for (std::size_t i = 0; i < a.size(); ++i) w.push_back(bxor(a[i], b[i]));
@@ -155,7 +155,7 @@ Word Builder::xor_word(const Word& a, const Word& b) {
 }
 
 Word Builder::mux_word(NodeId sel, const Word& a, const Word& b) {
-  FAV_CHECK(a.size() == b.size());
+  FAV_ENSURE(a.size() == b.size());
   Word w;
   w.reserve(a.size());
   for (std::size_t i = 0; i < a.size(); ++i) w.push_back(bmux(sel, a[i], b[i]));
@@ -163,7 +163,7 @@ Word Builder::mux_word(NodeId sel, const Word& a, const Word& b) {
 }
 
 Word Builder::mux_tree(const Word& sel, std::span<const Word> choices) {
-  FAV_CHECK_MSG(choices.size() == (std::size_t{1} << sel.size()),
+  FAV_ENSURE_MSG(choices.size() == (std::size_t{1} << sel.size()),
                 "mux_tree needs 2^|sel| choices");
   std::vector<Word> level(choices.begin(), choices.end());
   for (NodeId s : sel) {
@@ -174,13 +174,13 @@ Word Builder::mux_tree(const Word& sel, std::span<const Word> choices) {
     }
     level = std::move(next);
   }
-  FAV_CHECK(level.size() == 1);
+  FAV_ENSURE(level.size() == 1);
   return level[0];
 }
 
 std::pair<Word, NodeId> Builder::adder(const Word& a, const Word& b,
                                        NodeId carry_in) {
-  FAV_CHECK(a.size() == b.size());
+  FAV_ENSURE(a.size() == b.size());
   Word sum;
   sum.reserve(a.size());
   NodeId carry = carry_in;
@@ -206,7 +206,7 @@ Word Builder::increment(const Word& a) {
 }
 
 NodeId Builder::eq_word(const Word& a, const Word& b) {
-  FAV_CHECK(a.size() == b.size());
+  FAV_ENSURE(a.size() == b.size());
   std::vector<NodeId> bits;
   bits.reserve(a.size());
   for (std::size_t i = 0; i < a.size(); ++i) bits.push_back(bxnor(a[i], b[i]));

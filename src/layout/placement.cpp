@@ -13,8 +13,8 @@ using netlist::NodeId;
 Placement::Placement(const netlist::Netlist& nl, double cell_pitch,
                      double dff_height)
     : pitch_(cell_pitch) {
-  FAV_CHECK(cell_pitch > 0);
-  FAV_CHECK(dff_height >= 1.0);
+  FAV_ENSURE(cell_pitch > 0);
+  FAV_ENSURE(dff_height >= 1.0);
   positions_.resize(nl.node_count());
   placed_mask_.assign(nl.node_count(), 0);
 
@@ -76,18 +76,18 @@ std::size_t Placement::bucket_y(double y) const {
 }
 
 bool Placement::is_placed(NodeId id) const {
-  FAV_CHECK(id < placed_mask_.size());
+  FAV_ENSURE(id < placed_mask_.size());
   return placed_mask_[id] != 0;
 }
 
 Point Placement::position(NodeId id) const {
-  FAV_CHECK_MSG(is_placed(id), "node " << id << " is not placed");
+  FAV_ENSURE_MSG(is_placed(id), "node " << id << " is not placed");
   return positions_[id];
 }
 
 void Placement::nodes_within(Point center, double radius,
                              std::vector<NodeId>& out) const {
-  FAV_CHECK(radius >= 0);
+  FAV_ENSURE(radius >= 0);
   out.clear();
   const double r2 = radius * radius;
   // Buckets overlapping the disc's bounding box; the box is clamped to the

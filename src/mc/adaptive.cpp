@@ -12,12 +12,12 @@ AdaptiveImportanceSampler::AdaptiveImportanceSampler(
     const AdaptiveConfig& config)
     : attack_(attack), config_(config) {
   attack.check_valid();
-  FAV_CHECK(config.smoothing > 0);
-  FAV_CHECK(config.defensive_mix > 0 && config.defensive_mix <= 1.0);
-  FAV_CHECK(config.t_stratum >= 1);
-  FAV_CHECK_MSG(!pilot.records.empty(),
+  FAV_ENSURE(config.smoothing > 0);
+  FAV_ENSURE(config.defensive_mix > 0 && config.defensive_mix <= 1.0);
+  FAV_ENSURE(config.t_stratum >= 1);
+  FAV_ENSURE_MSG(!pilot.records.empty(),
                 "adaptive sampling needs pilot records (keep_records)");
-  FAV_CHECK_MSG(pilot.successes > 0,
+  FAV_ENSURE_MSG(pilot.successes > 0,
                 "pilot found no successes — nothing to adapt to");
 
   strata_ = (attack.t_count() + config.t_stratum - 1) / config.t_stratum;

@@ -12,7 +12,7 @@ AnalyticalEvaluator::AnalyticalEvaluator(const soc::SecurityBenchmark& bench,
                                          const rtl::GoldenRun& golden)
     : bench_(&bench), golden_(&golden) {
   const auto tt = golden.first_violation_cycle();
-  FAV_CHECK_MSG(tt.has_value(),
+  FAV_ENSURE_MSG(tt.has_value(),
                 "benchmark '" << bench.name
                               << "' raises no violation in the golden run — "
                                  "cannot locate the target cycle");

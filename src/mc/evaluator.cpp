@@ -5,12 +5,40 @@
 #include <set>
 #include <unordered_set>
 
+#include "mc/journal.h"
 #include "util/parallel.h"
 
 namespace fav::mc {
 
 using rtl::Machine;
 using rtl::RegisterMap;
+
+EvalBudget::EvalBudget(std::uint64_t cycle_budget, std::uint64_t deadline_ms)
+    : cycles_left_(cycle_budget),
+      limit_cycles_(cycle_budget > 0),
+      limit_time_(deadline_ms > 0) {
+  if (limit_time_) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(deadline_ms);
+  }
+}
+
+void EvalBudget::charge_cycles(std::uint64_t cycles) {
+  if (limit_cycles_) {
+    if (cycles > cycles_left_) {
+      cycles_left_ = 0;
+      throw StatusError(ErrorCode::kCycleBudgetExceeded,
+                        "per-sample RTL cycle budget exhausted");
+    }
+    cycles_left_ -= cycles;
+  }
+  // The clock read is amortized: one probe every 64 charges.
+  if (limit_time_ && (++ticks_ & 63u) == 0 &&
+      std::chrono::steady_clock::now() > deadline_) {
+    throw StatusError(ErrorCode::kDeadlineExceeded,
+                      "per-sample wall-clock deadline exhausted");
+  }
+}
 
 EvalScratch::EvalScratch(const SsfEvaluator& evaluator)
     : machine_(evaluator.golden().program()),
@@ -31,13 +59,14 @@ SsfEvaluator::SsfEvaluator(
       config_(config),
       analytical_(bench, golden) {
   target_cycle_ = analytical_.target_cycle();
-  FAV_CHECK(config.trace_stride > 0);
+  FAV_ENSURE(config.trace_stride > 0);
 }
 
 bool SsfEvaluator::decide_outcome(rtl::Machine& machine,
                                   const std::vector<int>& flips,
                                   std::uint64_t first_faulty_cycle,
-                                  OutcomePath* path) const {
+                                  OutcomePath* path,
+                                  EvalBudget& budget) const {
   if (flips.empty()) {
     if (path != nullptr) *path = OutcomePath::kMasked;
     return false;
@@ -61,6 +90,7 @@ bool SsfEvaluator::decide_outcome(rtl::Machine& machine,
   }
   if (path != nullptr) *path = OutcomePath::kRtl;
   while (!machine.halted() && machine.cycle() < bench_->max_cycles) {
+    budget.charge_cycles(1);
     machine.step();
   }
   return bench_->attack_succeeded(machine.state(), machine.ram());
@@ -76,10 +106,13 @@ bool SsfEvaluator::outcome_for_flips(std::uint64_t te,
   }
   // Execute the injection cycle at RTL level, then overlay the latched
   // errors: they take effect from cycle te+1 (Fig. 5 step 5).
-  Machine machine = golden_->restore(te);
+  EvalBudget budget(config_.cycle_budget, config_.sample_deadline_ms);
+  std::uint64_t warmup = 0;
+  Machine machine = golden_->restore(te, &warmup);
+  budget.charge_cycles(warmup + 1);
   machine.step();
   for (const int bit : flips) map.flip_bit(machine.mutable_state(), bit);
-  return decide_outcome(machine, flips, te + 1, path);
+  return decide_outcome(machine, flips, te + 1, path, budget);
 }
 
 SampleRecord SsfEvaluator::evaluate_sample(
@@ -92,7 +125,7 @@ SampleRecord SsfEvaluator::evaluate_sample(const faultsim::FaultSample& sample,
                                            EvalScratch& scratch) const {
   SampleRecord rec;
   rec.sample = sample;
-  FAV_CHECK_MSG(sample.t >= 0, "negative timing distance not supported");
+  FAV_ENSURE_MSG(sample.t >= 0, "negative timing distance not supported");
   if (static_cast<std::uint64_t>(sample.t) > target_cycle_) {
     // Injection before the program starts: nothing to strike.
     rec.te = 0;
@@ -105,7 +138,8 @@ SampleRecord SsfEvaluator::evaluate_sample(const faultsim::FaultSample& sample,
   // > 1) strikes the same spot on consecutive cycles: each cycle is settled
   // on the *already-corrupted* state, its latched errors overlaid, and the
   // machine advanced — the paper's "multi-cycle impact" extension.
-  FAV_CHECK_MSG(sample.impact_cycles >= 1, "impact_cycles must be >= 1");
+  FAV_ENSURE_MSG(sample.impact_cycles >= 1, "impact_cycles must be >= 1");
+  EvalBudget budget(config_.cycle_budget, config_.sample_deadline_ms);
   placement_->nodes_within(sample.center, sample.radius, scratch.struck_);
   const double strike_time =
       sample.strike_frac * injector_->timing().clock_period();
@@ -116,10 +150,13 @@ SampleRecord SsfEvaluator::evaluate_sample(const faultsim::FaultSample& sample,
   // register, input, and combinational value of the gate-level simulator —
   // no state survives from the previous sample.
   Machine& machine = scratch.machine_;
-  golden_->restore_into(machine, rec.te);
+  std::uint64_t warmup = 0;
+  golden_->restore_into(machine, rec.te, &warmup);
+  budget.charge_cycles(warmup);
   soc::GateLevelMachine& gate = scratch.gate_;
   std::set<int> flipped;
   for (int j = 0; j < sample.impact_cycles && !machine.halted(); ++j) {
+    budget.charge_cycles(1);
     gate.load_state(machine.state());
     gate.mutable_ram() = machine.ram();
     gate.settle_inputs();
@@ -139,8 +176,52 @@ SampleRecord SsfEvaluator::evaluate_sample(const faultsim::FaultSample& sample,
   // state outcome_for_flips would reconstruct.
   rec.success = decide_outcome(
       machine, rec.flipped_bits,
-      rec.te + static_cast<std::uint64_t>(sample.impact_cycles), &rec.path);
+      rec.te + static_cast<std::uint64_t>(sample.impact_cycles), &rec.path,
+      budget);
   rec.contribution = rec.success ? sample.weight : 0.0;
+  return rec;
+}
+
+SampleRecord SsfEvaluator::evaluate_sample_isolated(
+    const faultsim::FaultSample& sample,
+    std::unique_ptr<EvalScratch>& scratch) const {
+  auto classify = [](const std::exception& e) {
+    if (const auto* se = dynamic_cast<const StatusError*>(&e)) {
+      return se->code();
+    }
+    return ErrorCode::kSampleEvalFailed;
+  };
+  ErrorCode code;
+  std::string reason;
+  try {
+    return evaluate_sample(sample, *scratch);
+  } catch (const std::exception& e) {
+    code = classify(e);
+    reason = e.what();
+  }
+  // A cycle-budget overrun is deterministic — the retry would burn the same
+  // cycles and fail identically, so only other failures are re-attempted,
+  // on a *fresh* scratch in case the failed attempt left the machines in an
+  // inconsistent state.
+  bool retried = false;
+  if (config_.retry_failed && code != ErrorCode::kCycleBudgetExceeded) {
+    retried = true;
+    scratch = std::make_unique<EvalScratch>(*this);
+    try {
+      SampleRecord rec = evaluate_sample(sample, *scratch);
+      rec.retried = true;
+      return rec;
+    } catch (const std::exception& e) {
+      code = classify(e);
+      reason = e.what();
+    }
+  }
+  SampleRecord rec;
+  rec.sample = sample;
+  rec.path = OutcomePath::kFailed;
+  rec.fail_code = code;
+  rec.fail_reason = reason;
+  rec.retried = retried;
   return rec;
 }
 
@@ -149,11 +230,22 @@ SsfResult SsfEvaluator::reduce(std::vector<SampleRecord>&& records) const {
   SsfResult result;
   for (std::size_t i = 0; i < records.size(); ++i) {
     SampleRecord& rec = records[i];
-    result.stats.add(rec.contribution);
-    switch (rec.path) {
-      case OutcomePath::kMasked: ++result.masked; break;
-      case OutcomePath::kAnalytical: ++result.analytical; break;
-      case OutcomePath::kRtl: ++result.rtl; break;
+    result.total_weight += rec.sample.weight;
+    if (rec.retried) ++result.retried;
+    if (rec.path == OutcomePath::kFailed) {
+      // Failed samples carry no estimate: the mean stays well-defined over
+      // completed samples, and the failed weight bounds what was lost.
+      ++result.failed;
+      result.failed_weight += rec.sample.weight;
+      ++result.failure_counts[rec.fail_code];
+    } else {
+      result.stats.add(rec.contribution);
+      switch (rec.path) {
+        case OutcomePath::kMasked: ++result.masked; break;
+        case OutcomePath::kAnalytical: ++result.analytical; break;
+        case OutcomePath::kRtl: ++result.rtl; break;
+        case OutcomePath::kFailed: break;  // unreachable
+      }
     }
     if (rec.success) {
       ++result.successes;
@@ -182,47 +274,144 @@ SsfResult SsfEvaluator::reduce(std::vector<SampleRecord>&& records) const {
   return result;
 }
 
-SsfResult SsfEvaluator::run(Sampler& sampler, Rng& rng, std::size_t n) const {
-  // (a) Pre-draw the whole batch sequentially. Sampler and Rng are stateful
-  // and not thread-safe; drawing on the calling thread keeps the random
-  // stream bitwise-identical to the sequential engine for every thread
-  // count (evaluation itself consumes no randomness).
+std::vector<faultsim::FaultSample> SsfEvaluator::draw_batch(
+    Sampler& sampler, Rng& rng, std::size_t n) const {
+  // Pre-draw the whole batch sequentially. Sampler and Rng are stateful and
+  // not thread-safe; drawing on the calling thread keeps the random stream
+  // bitwise-identical to the sequential engine for every thread count
+  // (evaluation itself consumes no randomness).
   std::vector<faultsim::FaultSample> samples;
   samples.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) samples.push_back(sampler.draw(rng));
+  for (std::size_t i = 0; i < n; ++i) {
+    try {
+      samples.push_back(sampler.draw(rng));
+    } catch (const std::exception& e) {
+      throw StatusError(ErrorCode::kSamplerFailed,
+                        "sampler '" + sampler.name() + "' failed at draw " +
+                            std::to_string(i) + ": " + e.what());
+    }
+  }
+  return samples;
+}
 
-  // (b) Evaluate each sample into its own slot; workers reuse per-thread
-  // scratch machines. Block scheduling is dynamic (sample cost varies by
-  // outcome path), which is safe because slot writes, not schedule order,
-  // carry the results.
+std::vector<std::unique_ptr<EvalScratch>> SsfEvaluator::make_scratch_pool(
+    std::size_t n) const {
   const std::size_t workers =
       std::max<std::size_t>(1, std::min(resolve_thread_count(config_.threads),
                                         std::max<std::size_t>(n, 1)));
-  std::vector<SampleRecord> records(n);
-  if (workers <= 1) {
-    EvalScratch scratch(*this);
-    for (std::size_t i = 0; i < n; ++i) {
-      records[i] = evaluate_sample(samples[i], scratch);
-    }
-  } else {
+  if (workers > 1) {
     // Materialize the netlist's lazily-derived data (topological order,
     // levels, fanouts) before the workers share it read-only.
     soc_->netlist().levels();
-    std::vector<std::unique_ptr<EvalScratch>> scratch;
-    scratch.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      scratch.push_back(std::make_unique<EvalScratch>(*this));
+  }
+  std::vector<std::unique_ptr<EvalScratch>> scratch;
+  scratch.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    scratch.push_back(std::make_unique<EvalScratch>(*this));
+  }
+  return scratch;
+}
+
+void SsfEvaluator::evaluate_range(
+    const std::vector<faultsim::FaultSample>& samples,
+    std::vector<SampleRecord>& records, std::size_t lo, std::size_t hi,
+    std::vector<std::unique_ptr<EvalScratch>>& scratch) const {
+  // Evaluate each sample into its own slot; workers reuse per-thread scratch
+  // machines. Block scheduling is dynamic (sample cost varies by outcome
+  // path), which is safe because slot writes, not schedule order, carry the
+  // results.
+  if (scratch.size() <= 1) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      records[i] = evaluate_sample_isolated(samples[i], scratch[0]);
     }
-    parallel_for(n, workers, /*grain=*/8,
-                 [&](std::size_t worker, std::size_t lo, std::size_t hi) {
-                   for (std::size_t i = lo; i < hi; ++i) {
-                     records[i] = evaluate_sample(samples[i], *scratch[worker]);
-                   }
-                 });
+    return;
+  }
+  parallel_for(hi - lo, scratch.size(), /*grain=*/8,
+               [&](std::size_t worker, std::size_t b, std::size_t e) {
+                 for (std::size_t i = lo + b; i < lo + e; ++i) {
+                   records[i] =
+                       evaluate_sample_isolated(samples[i], scratch[worker]);
+                 }
+               });
+}
+
+SsfResult SsfEvaluator::run(Sampler& sampler, Rng& rng, std::size_t n) const {
+  const std::vector<faultsim::FaultSample> samples =
+      draw_batch(sampler, rng, n);
+  std::vector<SampleRecord> records(n);
+  auto scratch = make_scratch_pool(n);
+  evaluate_range(samples, records, 0, n, scratch);
+  // Reduce in sample-index order — the exact accumulation a sequential loop
+  // would perform, so the estimate is independent of the schedule.
+  return reduce(std::move(records));
+}
+
+Result<SsfResult> SsfEvaluator::run_journaled(
+    Sampler& sampler, Rng& rng, std::size_t n,
+    const JournalOptions& options) const {
+  if (options.dir.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "journal directory is empty");
+  }
+  if (options.shard_size == 0) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "journal shard_size must be > 0");
+  }
+  std::vector<faultsim::FaultSample> samples;
+  try {
+    samples = draw_batch(sampler, rng, n);
+  } catch (const StatusError& e) {
+    return e.status();
   }
 
-  // (c) Reduce in sample-index order — the exact accumulation a sequential
-  // loop would perform, so the estimate is independent of the schedule.
+  JournalMeta meta;
+  meta.fingerprint = options.fingerprint;
+  meta.total_samples = n;
+  meta.context = options.context;
+
+  std::vector<SampleRecord> records(n);
+  std::size_t done = 0;  // records [0, done) restored from the journal
+  std::uint64_t valid_bytes = 0;
+  if (options.resume) {
+    Result<JournalContents> loaded = read_journal(options.dir);
+    if (!loaded.is_ok()) return loaded.status();
+    JournalContents& j = loaded.value();
+    valid_bytes = j.valid_bytes;
+    if (j.meta.fingerprint != meta.fingerprint ||
+        j.meta.total_samples != meta.total_samples) {
+      return Status(ErrorCode::kJournalCorrupt,
+                    "journal belongs to a different campaign (fingerprint or "
+                    "sample count mismatch)");
+    }
+    done = std::min(j.records.size(), n);
+    for (std::size_t i = 0; i < done; ++i) {
+      // Cross-check the journaled sample against the freshly re-drawn one:
+      // a mismatch means the sampler/seed/config changed under the journal.
+      const faultsim::FaultSample& a = j.records[i].sample;
+      const faultsim::FaultSample& b = samples[i];
+      if (a.t != b.t || a.center != b.center || a.radius != b.radius ||
+          a.strike_frac != b.strike_frac ||
+          a.impact_cycles != b.impact_cycles || a.weight != b.weight) {
+        return Status(ErrorCode::kJournalCorrupt,
+                      "journaled sample " + std::to_string(i) +
+                          " does not match the re-drawn sample stream");
+      }
+      records[i] = std::move(j.records[i]);
+    }
+  }
+
+  JournalWriter writer;
+  const Status open = options.resume && done > 0
+                          ? writer.open_append(options.dir, valid_bytes)
+                          : writer.open_fresh(options.dir, meta);
+  if (!open.is_ok()) return open;
+
+  auto scratch = make_scratch_pool(n);
+  for (std::size_t lo = done; lo < n; lo += options.shard_size) {
+    const std::size_t hi = std::min(lo + options.shard_size, n);
+    evaluate_range(samples, records, lo, hi, scratch);
+    const Status appended = writer.append_shard(lo, &records[lo], hi - lo);
+    if (!appended.is_ok()) return appended;
+  }
   return reduce(std::move(records));
 }
 

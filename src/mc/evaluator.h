@@ -11,9 +11,19 @@
 //                                       model, resume to completion, apply
 //                                       the benchmark's success oracle,
 //   4. accumulate e * (f/g) into the importance-weighted SSF estimate.
+//
+// Robustness: a campaign of 1e4–1e6 samples must survive individual
+// pathological samples. Each evaluation inside run()/run_journaled() is
+// isolated — it executes under a configurable RTL cycle budget and wall-clock
+// deadline, exceptions and overruns are captured, retried once on fresh
+// scratch, and otherwise recorded as OutcomePath::kFailed with the reason.
+// The estimate stays well-defined over completed samples; the failed-weight
+// fraction is reported in SsfResult.
 #pragma once
 
+#include <chrono>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "faultsim/injection.h"
@@ -24,6 +34,7 @@
 #include "rtl/golden.h"
 #include "soc/gate_machine.h"
 #include "util/stats.h"
+#include "util/status.h"
 
 namespace fav::mc {
 
@@ -31,6 +42,7 @@ enum class OutcomePath {
   kMasked,      // no latched error
   kAnalytical,  // memory-type-only error, decided without simulation
   kRtl,         // required RTL-level resumption
+  kFailed,      // evaluation failed (budget overrun or captured exception)
 };
 
 struct SampleRecord {
@@ -40,14 +52,29 @@ struct SampleRecord {
   OutcomePath path = OutcomePath::kMasked;
   bool success = false;
   double contribution = 0.0;  // e * importance weight
+  /// Isolation metadata: why the evaluation failed (kOk for completed
+  /// samples) and whether it was re-attempted on fresh scratch.
+  ErrorCode fail_code = ErrorCode::kOk;
+  std::string fail_reason;
+  bool retried = false;
 };
 
 struct SsfResult {
-  RunningStats stats;  // over per-sample contributions
+  RunningStats stats;  // over per-sample contributions of *completed* samples
   std::size_t masked = 0;
   std::size_t analytical = 0;
   std::size_t rtl = 0;
   std::size_t successes = 0;
+  /// Isolation counters: samples whose evaluation failed (excluded from
+  /// stats) and samples that needed a retry (whether it then succeeded).
+  std::size_t failed = 0;
+  std::size_t retried = 0;
+  /// Importance weight drawn by failed samples vs. the whole batch: bounds
+  /// the estimate mass the failures could have carried.
+  double failed_weight = 0.0;
+  double total_weight = 0.0;
+  /// Failure reasons, keyed by error code.
+  std::map<ErrorCode, std::size_t> failure_counts;
   /// Running estimate recorded every `trace_stride` samples (Fig. 9a).
   std::vector<double> trace;
   std::vector<SampleRecord> records;
@@ -61,6 +88,9 @@ struct SsfResult {
 
   double ssf() const { return stats.mean(); }
   double sample_variance() const { return stats.variance(); }
+  double failed_weight_fraction() const {
+    return total_weight > 0.0 ? failed_weight / total_weight : 0.0;
+  }
 };
 
 struct EvaluatorConfig {
@@ -74,6 +104,35 @@ struct EvaluatorConfig {
   /// Results are bitwise-identical for every value — samples are pre-drawn
   /// on the calling thread and reduced in sample-index order.
   std::size_t threads = 1;
+  /// Per-sample RTL cycle budget (warm-up + injection + resume cycles);
+  /// 0 = unlimited. Deterministic: a sample that overruns does so at the
+  /// same cycle on every run and thread count.
+  std::uint64_t cycle_budget = 0;
+  /// Per-sample wall-clock deadline in milliseconds; 0 = unlimited.
+  /// A fired deadline depends on machine load, so enabling it trades the
+  /// bitwise-determinism contract for hang protection — prefer cycle_budget
+  /// when journaled resume must be bit-exact.
+  std::uint64_t sample_deadline_ms = 0;
+  /// Retry a failed evaluation once on fresh scratch before recording
+  /// kFailed (cycle-budget overruns are deterministic and never retried).
+  bool retry_failed = true;
+};
+
+/// Per-evaluation resource budget. charge_cycles() throws StatusError with
+/// kCycleBudgetExceeded / kDeadlineExceeded when exhausted; the isolation
+/// layer converts that into a kFailed sample record.
+class EvalBudget {
+ public:
+  EvalBudget(std::uint64_t cycle_budget, std::uint64_t deadline_ms);
+
+  void charge_cycles(std::uint64_t cycles);
+
+ private:
+  std::uint64_t cycles_left_;
+  bool limit_cycles_;
+  bool limit_time_;
+  std::uint64_t ticks_ = 0;
+  std::chrono::steady_clock::time_point deadline_{};
 };
 
 class SsfEvaluator;
@@ -95,6 +154,25 @@ class EvalScratch {
   std::vector<netlist::NodeId> struck_;
 };
 
+/// Options for crash-safe journaled campaigns (see mc/journal.h for the
+/// on-disk format). The journal directory accumulates completed sample-index
+/// shards with checksums; a resumed run replays them and continues from the
+/// first missing index, bitwise-identical to an uninterrupted run.
+struct JournalOptions {
+  std::string dir;
+  /// Replay an existing journal and continue; false starts a fresh journal
+  /// (overwriting any previous one in `dir`).
+  bool resume = false;
+  /// Samples per journal shard: the flush/commit granularity. A crash loses
+  /// at most one shard of work.
+  std::size_t shard_size = 256;
+  /// Campaign identity (hash of benchmark/sampler/seed/config); a resume
+  /// against a journal with a different fingerprint is rejected.
+  std::uint64_t fingerprint = 0;
+  /// Human-readable campaign description stored in the journal header.
+  std::string context;
+};
+
 class SsfEvaluator {
  public:
   /// `characterization` may be null: the analytical path is then disabled
@@ -111,14 +189,26 @@ class SsfEvaluator {
   const rtl::GoldenRun& golden() const { return *golden_; }
   const soc::SecurityBenchmark& benchmark() const { return *bench_; }
   const soc::SocNetlist& soc() const { return *soc_; }
+  const EvaluatorConfig& config() const { return config_; }
 
   /// Full evaluation of one fault sample (convenience: builds a fresh
-  /// scratch; use the scratch overload inside sampling loops).
+  /// scratch; use the scratch overload inside sampling loops). Throws on
+  /// invalid samples and budget overruns — campaign loops use the isolated
+  /// variant below instead.
   SampleRecord evaluate_sample(const faultsim::FaultSample& sample) const;
   /// Same, reusing `scratch`'s machines and buffers. Thread-safe as long as
   /// each thread uses its own scratch: the evaluator itself is only read.
   SampleRecord evaluate_sample(const faultsim::FaultSample& sample,
                                EvalScratch& scratch) const;
+
+  /// Fault-isolated evaluation: never throws on a per-sample failure.
+  /// Exceptions and budget overruns are captured; non-deterministic failures
+  /// are retried once on a fresh scratch (replacing `scratch`), and a sample
+  /// that still fails returns a record with path == OutcomePath::kFailed
+  /// carrying the error code and reason.
+  SampleRecord evaluate_sample_isolated(
+      const faultsim::FaultSample& sample,
+      std::unique_ptr<EvalScratch>& scratch) const;
 
   /// Decides the outcome of a given flipped-bit set injected at the end of
   /// cycle `te` (used by evaluate_sample and by hardening re-evaluation,
@@ -135,17 +225,44 @@ class SsfEvaluator {
   /// and the result is reduced in sample-index order — so ssf(), variance,
   /// trace, records, and the contribution maps are bitwise-identical for
   /// every thread count, including the sequential engine.
+  ///
+  /// Per-sample failures are isolated (see evaluate_sample_isolated) and
+  /// surface as SsfResult counters, not exceptions. A sampler that throws
+  /// while drawing the batch aborts the run with StatusError(kSamplerFailed).
   SsfResult run(Sampler& sampler, Rng& rng, std::size_t n) const;
 
+  /// Crash-safe variant of run(): completed sample shards are appended to
+  /// the journal in `options.dir` as they finish. With options.resume, the
+  /// journal is replayed first and evaluation continues from the first
+  /// missing sample index — the returned SsfResult is bitwise-identical to
+  /// an uninterrupted run at every thread count (samples are re-drawn from
+  /// the same sampler/rng state and cross-checked against the journal).
+  /// Journal integrity/IO failures are reported as a non-ok Result.
+  Result<SsfResult> run_journaled(Sampler& sampler, Rng& rng, std::size_t n,
+                                  const JournalOptions& options) const;
+
  private:
+  /// Draws the whole batch sequentially (determinism contract); wraps
+  /// sampler exceptions into StatusError(kSamplerFailed).
+  std::vector<faultsim::FaultSample> draw_batch(Sampler& sampler, Rng& rng,
+                                                std::size_t n) const;
+  /// Evaluates samples[lo, hi) into records[lo, hi) on the worker pool,
+  /// reusing `scratch` (one slot per worker; isolated evaluation).
+  void evaluate_range(const std::vector<faultsim::FaultSample>& samples,
+                      std::vector<SampleRecord>& records, std::size_t lo,
+                      std::size_t hi,
+                      std::vector<std::unique_ptr<EvalScratch>>& scratch) const;
+  /// Builds one scratch per resolved worker (capped by `n` work items).
+  std::vector<std::unique_ptr<EvalScratch>> make_scratch_pool(
+      std::size_t n) const;
   /// Seed-order accumulation of evaluated records into an SsfResult; the
   /// single reduction path shared by the sequential and parallel engines.
   SsfResult reduce(std::vector<SampleRecord>&& records) const;
   /// Shared outcome decision on a machine already positioned just past the
   /// (last) injection cycle with the errors overlaid.
   bool decide_outcome(rtl::Machine& machine, const std::vector<int>& flips,
-                      std::uint64_t first_faulty_cycle,
-                      OutcomePath* path) const;
+                      std::uint64_t first_faulty_cycle, OutcomePath* path,
+                      EvalBudget& budget) const;
 
   const soc::SocNetlist* soc_;
   const layout::Placement* placement_;

@@ -10,8 +10,8 @@ ClockGlitchEvaluator::ClockGlitchEvaluator(
     : base_(&base), soc_(&soc), glitch_(&glitch) {}
 
 GlitchSampleRecord ClockGlitchEvaluator::evaluate(int t, double depth) const {
-  FAV_CHECK_MSG(t >= 0, "negative timing distance not supported");
-  FAV_CHECK_MSG(depth > 0.0 && depth < 1.0, "depth must be in (0, 1)");
+  FAV_ENSURE_MSG(t >= 0, "negative timing distance not supported");
+  FAV_ENSURE_MSG(depth > 0.0 && depth < 1.0, "depth must be in (0, 1)");
   GlitchSampleRecord rec;
   rec.t = t;
   rec.depth = depth;
@@ -30,7 +30,7 @@ GlitchSampleRecord ClockGlitchEvaluator::evaluate(int t, double depth) const {
   const double period = glitch_->timing().clock_period() * depth;
   for (const netlist::NodeId dff : glitch_->flipped_dffs(gate.sim(), period)) {
     const int bit = soc_->flat_bit_for_dff(dff);
-    FAV_CHECK(bit >= 0);
+    FAV_ENSURE(bit >= 0);
     rec.flipped_bits.push_back(bit);
   }
   rec.success = base_->outcome_for_flips(rec.te, rec.flipped_bits, &rec.path);

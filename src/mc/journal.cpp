@@ -1,0 +1,342 @@
+#include "mc/journal.h"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+
+namespace fav::mc {
+
+namespace {
+
+constexpr char kFileMagic[8] = {'F', 'A', 'V', 'J', 'R', 'N', 'L', '1'};
+constexpr std::uint32_t kFrameMagic = 0x4652414Du;  // "MARF" on disk
+// Garbage frames must not trigger huge allocations: no sane shard payload
+// approaches this (a record is ~100 bytes, shards are a few hundred records).
+constexpr std::uint32_t kMaxPayload = 1u << 28;
+
+std::uint64_t fnv1a(const void* data, std::size_t len,
+                    std::uint64_t seed = 0xCBF29CE484222325ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+// --- little-endian primitive (de)serialization over std::string buffers ---
+
+template <typename T>
+void put(std::string& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out.append(bytes, sizeof(T));
+}
+
+template <typename T>
+bool get(const std::string& data, std::size_t* offset, T* value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (data.size() - *offset < sizeof(T)) return false;
+  std::memcpy(value, data.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+bool get_string(const std::string& data, std::size_t* offset,
+                std::string* value, std::uint32_t max_len) {
+  std::uint32_t len = 0;
+  if (!get(data, offset, &len)) return false;
+  if (len > max_len || data.size() - *offset < len) return false;
+  value->assign(data.data() + *offset, len);
+  *offset += len;
+  return true;
+}
+
+std::string serialize_meta(const JournalMeta& meta) {
+  std::string out;
+  put(out, meta.fingerprint);
+  put(out, meta.total_samples);
+  put(out, static_cast<std::uint32_t>(meta.context.size()));
+  out += meta.context;
+  return out;
+}
+
+std::string journal_path(const std::string& dir) {
+  return (std::filesystem::path(dir) / "campaign.fj").string();
+}
+
+bool read_exact(std::FILE* f, void* buf, std::size_t len) {
+  return std::fread(buf, 1, len, f) == len;
+}
+
+}  // namespace
+
+void serialize_record(const SampleRecord& record, std::string& out) {
+  put(out, static_cast<std::int32_t>(record.sample.t));
+  put(out, static_cast<std::uint32_t>(record.sample.center));
+  put(out, record.sample.radius);
+  put(out, record.sample.strike_frac);
+  put(out, static_cast<std::int32_t>(record.sample.impact_cycles));
+  put(out, record.sample.weight);
+  put(out, record.te);
+  put(out, static_cast<std::uint8_t>(record.path));
+  put(out, static_cast<std::uint8_t>(record.success ? 1 : 0));
+  put(out, static_cast<std::uint8_t>(record.retried ? 1 : 0));
+  put(out, static_cast<std::uint16_t>(record.fail_code));
+  put(out, record.contribution);
+  put(out, static_cast<std::uint32_t>(record.flipped_bits.size()));
+  for (const int bit : record.flipped_bits) {
+    put(out, static_cast<std::int32_t>(bit));
+  }
+  put(out, static_cast<std::uint32_t>(record.fail_reason.size()));
+  out += record.fail_reason;
+}
+
+bool deserialize_record(const std::string& data, std::size_t* offset,
+                        SampleRecord* record) {
+  std::int32_t t = 0, impact = 0;
+  std::uint32_t center = 0;
+  std::uint8_t path = 0, success = 0, retried = 0;
+  std::uint16_t fail_code = 0;
+  if (!get(data, offset, &t)) return false;
+  if (!get(data, offset, &center)) return false;
+  if (!get(data, offset, &record->sample.radius)) return false;
+  if (!get(data, offset, &record->sample.strike_frac)) return false;
+  if (!get(data, offset, &impact)) return false;
+  if (!get(data, offset, &record->sample.weight)) return false;
+  if (!get(data, offset, &record->te)) return false;
+  if (!get(data, offset, &path)) return false;
+  if (!get(data, offset, &success)) return false;
+  if (!get(data, offset, &retried)) return false;
+  if (!get(data, offset, &fail_code)) return false;
+  if (!get(data, offset, &record->contribution)) return false;
+  record->sample.t = t;
+  record->sample.center = center;
+  record->sample.impact_cycles = impact;
+  if (path > static_cast<std::uint8_t>(OutcomePath::kFailed)) return false;
+  record->path = static_cast<OutcomePath>(path);
+  record->success = success != 0;
+  record->retried = retried != 0;
+  record->fail_code = static_cast<ErrorCode>(fail_code);
+  std::uint32_t nflips = 0;
+  if (!get(data, offset, &nflips)) return false;
+  if (nflips > kMaxPayload / sizeof(std::int32_t)) return false;
+  record->flipped_bits.clear();
+  record->flipped_bits.reserve(nflips);
+  for (std::uint32_t i = 0; i < nflips; ++i) {
+    std::int32_t bit = 0;
+    if (!get(data, offset, &bit)) return false;
+    record->flipped_bits.push_back(bit);
+  }
+  return get_string(data, offset, &record->fail_reason, kMaxPayload);
+}
+
+Result<JournalContents> read_journal(const std::string& dir) {
+  const std::string path = journal_path(dir);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status(ErrorCode::kJournalIoError,
+                  "cannot open journal " + path + " for reading");
+  }
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{f};
+
+  // Header: magic + meta + meta checksum.
+  char magic[sizeof(kFileMagic)];
+  std::uint32_t meta_len = 0;
+  if (!read_exact(f, magic, sizeof(magic)) ||
+      std::memcmp(magic, kFileMagic, sizeof(magic)) != 0 ||
+      !read_exact(f, &meta_len, sizeof(meta_len)) || meta_len > kMaxPayload) {
+    return Status(ErrorCode::kJournalCorrupt,
+                  "journal header corrupt in " + path);
+  }
+  std::string meta_bytes(meta_len, '\0');
+  std::uint64_t meta_sum = 0;
+  if (!read_exact(f, meta_bytes.data(), meta_len) ||
+      !read_exact(f, &meta_sum, sizeof(meta_sum)) ||
+      meta_sum != fnv1a(meta_bytes.data(), meta_bytes.size())) {
+    return Status(ErrorCode::kJournalCorrupt,
+                  "journal header corrupt in " + path);
+  }
+  JournalContents contents;
+  {
+    std::size_t off = 0;
+    if (!get(meta_bytes, &off, &contents.meta.fingerprint) ||
+        !get(meta_bytes, &off, &contents.meta.total_samples) ||
+        !get_string(meta_bytes, &off, &contents.meta.context, kMaxPayload)) {
+      return Status(ErrorCode::kJournalCorrupt,
+                    "journal meta corrupt in " + path);
+    }
+  }
+
+  contents.valid_bytes = static_cast<std::uint64_t>(std::ftell(f));
+
+  // Frames, in sample-index order. `bad_frame` defers the corrupt-vs-torn
+  // decision: a bad frame at the physical end of the file is the normal
+  // crash artifact (dropped); a bad frame followed by more data means the
+  // file was damaged in the middle.
+  bool bad_frame = false;
+  std::string payload;
+  for (;;) {
+    std::uint32_t frame_magic = 0;
+    std::uint64_t first_index = 0;
+    std::uint32_t count = 0, payload_len = 0;
+    if (!read_exact(f, &frame_magic, sizeof(frame_magic))) break;  // clean EOF
+    if (frame_magic != kFrameMagic ||
+        !read_exact(f, &first_index, sizeof(first_index)) ||
+        !read_exact(f, &count, sizeof(count)) ||
+        !read_exact(f, &payload_len, sizeof(payload_len)) ||
+        payload_len > kMaxPayload) {
+      bad_frame = true;
+      break;
+    }
+    payload.resize(payload_len);
+    std::uint64_t sum = 0;
+    if (!read_exact(f, payload.data(), payload_len) ||
+        !read_exact(f, &sum, sizeof(sum))) {
+      bad_frame = true;  // truncated mid-frame: torn tail candidate
+      break;
+    }
+    std::uint64_t expect = fnv1a(&first_index, sizeof(first_index));
+    expect = fnv1a(&count, sizeof(count), expect);
+    expect = fnv1a(payload.data(), payload.size(), expect);
+    if (sum != expect) {
+      bad_frame = true;
+      break;
+    }
+    if (first_index != contents.records.size()) {
+      return Status(ErrorCode::kJournalCorrupt,
+                    "journal frames out of order in " + path);
+    }
+    std::size_t off = 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      SampleRecord rec;
+      if (!deserialize_record(payload, &off, &rec)) {
+        return Status(ErrorCode::kJournalCorrupt,
+                      "journal frame payload corrupt in " + path);
+      }
+      contents.records.push_back(std::move(rec));
+    }
+    if (off != payload.size()) {
+      return Status(ErrorCode::kJournalCorrupt,
+                    "journal frame payload corrupt in " + path);
+    }
+    contents.valid_bytes = static_cast<std::uint64_t>(std::ftell(f));
+  }
+  if (bad_frame) {
+    // Anything readable after the bad frame proves mid-file damage; a bad
+    // frame that extends to EOF is a torn tail and simply dropped.
+    char probe;
+    if (std::fread(&probe, 1, 1, f) == 1) {
+      return Status(ErrorCode::kJournalCorrupt,
+                    "journal damaged mid-file in " + path +
+                        " (bad frame followed by more data)");
+    }
+  }
+  return contents;
+}
+
+JournalWriter::~JournalWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status JournalWriter::open_fresh(const std::string& dir,
+                                 const JournalMeta& meta) {
+  FAV_CHECK(file_ == nullptr);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status(ErrorCode::kJournalIoError,
+                  "cannot create journal directory " + dir + ": " +
+                      ec.message());
+  }
+  const std::string path = journal_path(dir);
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status(ErrorCode::kJournalIoError,
+                  "cannot open journal " + path + " for writing");
+  }
+  const std::string meta_bytes = serialize_meta(meta);
+  const auto meta_len = static_cast<std::uint32_t>(meta_bytes.size());
+  const std::uint64_t sum = fnv1a(meta_bytes.data(), meta_bytes.size());
+  if (std::fwrite(kFileMagic, 1, sizeof(kFileMagic), file_) !=
+          sizeof(kFileMagic) ||
+      std::fwrite(&meta_len, 1, sizeof(meta_len), file_) != sizeof(meta_len) ||
+      std::fwrite(meta_bytes.data(), 1, meta_bytes.size(), file_) !=
+          meta_bytes.size() ||
+      std::fwrite(&sum, 1, sizeof(sum), file_) != sizeof(sum)) {
+    return Status(ErrorCode::kJournalIoError,
+                  "short write on journal header " + path);
+  }
+  return commit();
+}
+
+Status JournalWriter::open_append(const std::string& dir,
+                                  std::uint64_t valid_bytes) {
+  FAV_CHECK(file_ == nullptr);
+  const std::string path = journal_path(dir);
+  // Cut off any torn tail first: appending after it would bury the partial
+  // frame mid-file, which the next read must treat as corruption.
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec || size < valid_bytes) {
+    return Status(ErrorCode::kJournalIoError,
+                  "cannot stat journal " + path + " for appending");
+  }
+  if (size > valid_bytes) {
+    std::filesystem::resize_file(path, valid_bytes, ec);
+    if (ec) {
+      return Status(ErrorCode::kJournalIoError,
+                    "cannot truncate torn tail of journal " + path + ": " +
+                        ec.message());
+    }
+  }
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status(ErrorCode::kJournalIoError,
+                  "cannot open journal " + path + " for appending");
+  }
+  return Status::ok();
+}
+
+Status JournalWriter::append_shard(std::size_t first_index,
+                                   const SampleRecord* records,
+                                   std::size_t count) {
+  FAV_CHECK(file_ != nullptr);
+  std::string payload;
+  for (std::size_t i = 0; i < count; ++i) {
+    serialize_record(records[i], payload);
+  }
+  const auto index64 = static_cast<std::uint64_t>(first_index);
+  const auto count32 = static_cast<std::uint32_t>(count);
+  const auto payload_len = static_cast<std::uint32_t>(payload.size());
+  std::uint64_t sum = fnv1a(&index64, sizeof(index64));
+  sum = fnv1a(&count32, sizeof(count32), sum);
+  sum = fnv1a(payload.data(), payload.size(), sum);
+  if (std::fwrite(&kFrameMagic, 1, sizeof(kFrameMagic), file_) !=
+          sizeof(kFrameMagic) ||
+      std::fwrite(&index64, 1, sizeof(index64), file_) != sizeof(index64) ||
+      std::fwrite(&count32, 1, sizeof(count32), file_) != sizeof(count32) ||
+      std::fwrite(&payload_len, 1, sizeof(payload_len), file_) !=
+          sizeof(payload_len) ||
+      std::fwrite(payload.data(), 1, payload.size(), file_) !=
+          payload.size() ||
+      std::fwrite(&sum, 1, sizeof(sum), file_) != sizeof(sum)) {
+    return Status(ErrorCode::kJournalIoError, "short write on journal frame");
+  }
+  return commit();
+}
+
+Status JournalWriter::commit() {
+  if (std::fflush(file_) != 0 || ::fsync(fileno(file_)) != 0) {
+    return Status(ErrorCode::kJournalIoError, "journal flush failed");
+  }
+  return Status::ok();
+}
+
+}  // namespace fav::mc

@@ -1,0 +1,94 @@
+// Crash-safe append-only run journal for Monte Carlo campaigns.
+//
+// A campaign of 1e4–1e6 samples can run for hours; the journal makes a
+// SIGKILL (or power loss) cost at most one shard of work. On-disk layout
+// (single file `<dir>/campaign.fj`, all integers little-endian):
+//
+//   header:  magic "FAVJRNL1" | u32 meta_len | meta | u64 fnv1a(meta)
+//   meta:    u64 fingerprint | u64 total_samples | u32 ctx_len | ctx bytes
+//   frame*:  u32 'MARF' | u64 first_index | u32 count | u32 payload_len
+//            | payload | u64 fnv1a(frame header fields + payload)
+//
+// Each frame holds the serialized SampleRecords of one completed shard of
+// consecutive sample indices and is flushed + fsynced before the next shard
+// starts, so the file always contains a checksummed prefix of the campaign.
+// The reader accepts a torn tail (a partially-written last frame is the
+// normal crash artifact and is simply dropped) but reports kJournalCorrupt
+// for mid-file damage — a bad frame followed by further valid data — and for
+// header/meta corruption. Resume re-draws the sample stream deterministically
+// and continues from the first missing index, so a killed-and-resumed run is
+// bitwise-identical to an uninterrupted one (see SsfEvaluator::run_journaled).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mc/evaluator.h"
+#include "util/status.h"
+
+namespace fav::mc {
+
+/// Campaign identity stored in the journal header. A resume whose
+/// fingerprint or sample count differs from the journal's is rejected.
+struct JournalMeta {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t total_samples = 0;
+  std::string context;
+};
+
+/// Everything recovered from a journal: the header meta plus the contiguous
+/// prefix of completed sample records [0, records.size()).
+struct JournalContents {
+  JournalMeta meta;
+  std::vector<SampleRecord> records;
+  /// File size of the validated prefix (header + intact frames). A torn
+  /// tail lives past this offset; pass to JournalWriter::open_append so it
+  /// is truncated away before new frames are appended after it.
+  std::uint64_t valid_bytes = 0;
+};
+
+/// Serialization used by the journal frames (exposed for tests).
+void serialize_record(const SampleRecord& record, std::string& out);
+/// Deserializes one record from `data` starting at `*offset`, advancing it.
+/// Returns false on malformed input (offset position is then unspecified).
+bool deserialize_record(const std::string& data, std::size_t* offset,
+                        SampleRecord* record);
+
+/// Reads and verifies `<dir>/campaign.fj`. Torn tails are tolerated (the
+/// partial frame is dropped); header corruption, mid-file damage, and
+/// out-of-order frames yield kJournalCorrupt; a missing/unreadable file
+/// yields kJournalIoError.
+Result<JournalContents> read_journal(const std::string& dir);
+
+/// Appends completed shards to `<dir>/campaign.fj`. Every append is flushed
+/// and fsynced before returning, so a completed shard survives SIGKILL.
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Starts a new journal (truncating any existing one) and commits the
+  /// header. Creates `dir` if needed.
+  Status open_fresh(const std::string& dir, const JournalMeta& meta);
+  /// Opens an existing journal for appending (after read_journal validated
+  /// it). The file is first truncated to `valid_bytes` — read_journal's
+  /// validated-prefix size — so a torn tail left by a crash is cut off
+  /// instead of ending up buried between frames (which the next read would
+  /// rightly flag as mid-file corruption).
+  Status open_append(const std::string& dir, std::uint64_t valid_bytes);
+
+  /// Appends one frame covering records[0, count) at sample indices
+  /// [first_index, first_index + count) and commits it to disk.
+  Status append_shard(std::size_t first_index, const SampleRecord* records,
+                      std::size_t count);
+
+ private:
+  Status commit();
+
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace fav::mc

@@ -42,7 +42,7 @@ ConeSampler::ConeSampler(const faultsim::AttackModel& attack,
     }
     if (!fr.centers.empty()) frames_.push_back(std::move(fr));
   }
-  FAV_CHECK_MSG(!frames_.empty(),
+  FAV_ENSURE_MSG(!frames_.empty(),
                 "no candidate spot touches the responding signal's cones");
 }
 

@@ -85,7 +85,7 @@ constexpr std::string_view cell_name(CellType t) {
 /// Evaluates a combinational cell on concrete input values.
 /// `ins` must have exactly cell_arity(t) entries; not valid for sources.
 inline bool eval_cell(CellType t, std::span<const bool> ins) {
-  FAV_CHECK_MSG(static_cast<int>(ins.size()) == cell_arity(t),
+  FAV_ENSURE_MSG(static_cast<int>(ins.size()) == cell_arity(t),
                 "arity mismatch for " << cell_name(t));
   switch (t) {
     case CellType::kBuf: return ins[0];
@@ -98,7 +98,7 @@ inline bool eval_cell(CellType t, std::span<const bool> ins) {
     case CellType::kXnor: return ins[0] == ins[1];
     case CellType::kMux: return ins[0] ? ins[2] : ins[1];
     default:
-      FAV_CHECK_MSG(false, "eval_cell on non-combinational " << cell_name(t));
+      FAV_ENSURE_MSG(false, "eval_cell on non-combinational " << cell_name(t));
   }
   return false;
 }

@@ -17,9 +17,9 @@ struct Visit {
 UnrolledCone::UnrolledCone(const Netlist& nl, NodeId responding_signal,
                            int fanin_depth, int fanout_depth)
     : rs_(responding_signal), fanout_depth_(fanout_depth) {
-  FAV_CHECK(fanin_depth >= 0);
-  FAV_CHECK(fanout_depth >= 0);
-  FAV_CHECK_MSG(responding_signal < nl.node_count(),
+  FAV_ENSURE(fanin_depth >= 0);
+  FAV_ENSURE(fanout_depth >= 0);
+  FAV_ENSURE_MSG(responding_signal < nl.node_count(),
                 "responding signal id out of range");
 
   fanin_.resize(static_cast<std::size_t>(fanin_depth) + 1);
@@ -42,7 +42,7 @@ UnrolledCone::UnrolledCone(const Netlist& nl, NodeId responding_signal,
 }
 
 const ConeFrame& UnrolledCone::frame(int frame_index) const {
-  FAV_CHECK_MSG(has_frame(frame_index), "frame " << frame_index << " not extracted");
+  FAV_ENSURE_MSG(has_frame(frame_index), "frame " << frame_index << " not extracted");
   if (frame_index >= 0) return fanin_[static_cast<std::size_t>(frame_index)];
   return fanout_[static_cast<std::size_t>(-frame_index - 1)];
 }

@@ -11,17 +11,17 @@ LogicSimulator::LogicSimulator(const Netlist& nl)
 }
 
 bool LogicSimulator::value(NodeId id) const {
-  FAV_CHECK(id < values_.size());
+  FAV_ENSURE(id < values_.size());
   return values_[id] != 0;
 }
 
 void LogicSimulator::set_register(NodeId dff, bool value) {
-  FAV_CHECK_MSG(nl_->is_dff(dff), "node is not a DFF");
+  FAV_ENSURE_MSG(nl_->is_dff(dff), "node is not a DFF");
   values_[dff] = value ? 1 : 0;
 }
 
 void LogicSimulator::set_input(NodeId input, bool value) {
-  FAV_CHECK_MSG(nl_->node(input).type == CellType::kInput,
+  FAV_ENSURE_MSG(nl_->node(input).type == CellType::kInput,
                 "node is not a primary input");
   values_[input] = value ? 1 : 0;
 }
@@ -47,7 +47,7 @@ void LogicSimulator::clock_edge() {
   std::size_t k = 0;
   for (NodeId dff : nl_->dffs()) {
     const Node& n = nl_->node(dff);
-    FAV_CHECK_MSG(!n.fanins.empty(), "DFF '" << n.name << "' has no D input");
+    FAV_ENSURE_MSG(!n.fanins.empty(), "DFF '" << n.name << "' has no D input");
     next[k++] = values_[n.fanins[0]];
   }
   k = 0;
@@ -71,7 +71,7 @@ std::vector<bool> LogicSimulator::register_state() const {
 }
 
 void LogicSimulator::load_register_state(const std::vector<bool>& state) {
-  FAV_CHECK_MSG(state.size() == nl_->dffs().size(),
+  FAV_ENSURE_MSG(state.size() == nl_->dffs().size(),
                 "register state size mismatch");
   std::size_t k = 0;
   for (NodeId dff : nl_->dffs()) values_[dff] = state[k++] ? 1 : 0;

@@ -6,7 +6,7 @@
 namespace fav::netlist {
 
 NodeId Netlist::add_input(std::string name) {
-  FAV_CHECK_MSG(!name.empty(), "primary inputs must be named");
+  FAV_ENSURE_MSG(!name.empty(), "primary inputs must be named");
   Node n;
   n.type = CellType::kInput;
   n.name = std::move(name);
@@ -23,14 +23,14 @@ NodeId Netlist::add_const(bool value) {
 
 NodeId Netlist::add_gate(CellType type, std::vector<NodeId> fanins,
                          std::string name) {
-  FAV_CHECK_MSG(is_combinational_gate(type),
+  FAV_ENSURE_MSG(is_combinational_gate(type),
                 "add_gate requires a combinational type, got "
                     << cell_name(type));
-  FAV_CHECK_MSG(static_cast<int>(fanins.size()) == cell_arity(type),
+  FAV_ENSURE_MSG(static_cast<int>(fanins.size()) == cell_arity(type),
                 cell_name(type) << " needs " << cell_arity(type)
                                 << " fanins, got " << fanins.size());
   for (NodeId f : fanins) {
-    FAV_CHECK_MSG(f < nodes_.size(), "fanin id " << f << " does not exist");
+    FAV_ENSURE_MSG(f < nodes_.size(), "fanin id " << f << " does not exist");
   }
   Node n;
   n.type = type;
@@ -41,7 +41,7 @@ NodeId Netlist::add_gate(CellType type, std::vector<NodeId> fanins,
 }
 
 NodeId Netlist::add_dff(std::string name) {
-  FAV_CHECK_MSG(!name.empty(), "DFFs must be named");
+  FAV_ENSURE_MSG(!name.empty(), "DFFs must be named");
   Node n;
   n.type = CellType::kDff;
   n.name = std::move(name);
@@ -51,23 +51,23 @@ NodeId Netlist::add_dff(std::string name) {
 }
 
 void Netlist::connect_dff(NodeId dff, NodeId d_input) {
-  FAV_CHECK_MSG(dff < nodes_.size() && nodes_[dff].type == CellType::kDff,
+  FAV_ENSURE_MSG(dff < nodes_.size() && nodes_[dff].type == CellType::kDff,
                 "connect_dff target is not a DFF");
-  FAV_CHECK_MSG(d_input < nodes_.size(), "D input does not exist");
-  FAV_CHECK_MSG(nodes_[dff].fanins.empty(),
+  FAV_ENSURE_MSG(d_input < nodes_.size(), "D input does not exist");
+  FAV_ENSURE_MSG(nodes_[dff].fanins.empty(),
                 "DFF '" << nodes_[dff].name << "' already connected");
   nodes_[dff].fanins.push_back(d_input);
   invalidate_caches();
 }
 
 void Netlist::set_output(std::string name, NodeId node) {
-  FAV_CHECK_MSG(node < nodes_.size(), "output net does not exist");
-  FAV_CHECK_MSG(!name.empty(), "outputs must be named");
+  FAV_ENSURE_MSG(node < nodes_.size(), "output net does not exist");
+  FAV_ENSURE_MSG(!name.empty(), "outputs must be named");
   outputs_.emplace_back(std::move(name), node);
 }
 
 const Node& Netlist::node(NodeId id) const {
-  FAV_CHECK_MSG(id < nodes_.size(), "node id " << id << " out of range");
+  FAV_ENSURE_MSG(id < nodes_.size(), "node id " << id << " out of range");
   return nodes_[id];
 }
 
@@ -83,7 +83,7 @@ std::optional<NodeId> Netlist::find(const std::string& name) const {
 
 NodeId Netlist::find_or_throw(const std::string& name) const {
   const auto id = find(name);
-  FAV_CHECK_MSG(id.has_value(), "no node named '" << name << "'");
+  FAV_ENSURE_MSG(id.has_value(), "no node named '" << name << "'");
   return *id;
 }
 
@@ -112,12 +112,12 @@ int Netlist::max_level() const {
 void Netlist::validate() const {
   for (NodeId id = 0; id < nodes_.size(); ++id) {
     const Node& n = nodes_[id];
-    FAV_CHECK_MSG(static_cast<int>(n.fanins.size()) == cell_arity(n.type),
+    FAV_ENSURE_MSG(static_cast<int>(n.fanins.size()) == cell_arity(n.type),
                   "node " << id << " (" << cell_name(n.type) << " '" << n.name
                           << "') has " << n.fanins.size() << " fanins, needs "
                           << cell_arity(n.type));
     for (NodeId f : n.fanins) {
-      FAV_CHECK_MSG(f < nodes_.size(),
+      FAV_ENSURE_MSG(f < nodes_.size(),
                     "node " << id << " references missing fanin " << f);
     }
   }
@@ -126,10 +126,10 @@ void Netlist::validate() const {
 
 NodeId Netlist::add_node(Node n) {
   const auto id = static_cast<NodeId>(nodes_.size());
-  FAV_CHECK_MSG(nodes_.size() < kInvalidNode, "netlist too large");
+  FAV_ENSURE_MSG(nodes_.size() < kInvalidNode, "netlist too large");
   if (!n.name.empty()) {
     const auto [it, inserted] = by_name_.emplace(n.name, id);
-    FAV_CHECK_MSG(inserted, "duplicate node name '" << n.name << "'");
+    FAV_ENSURE_MSG(inserted, "duplicate node name '" << n.name << "'");
     (void)it;
   }
   nodes_.push_back(std::move(n));
@@ -180,7 +180,7 @@ void Netlist::build_derived() const {
       if (--pending[e.consumer] == 0) ready.push_back(e.consumer);
     }
   }
-  FAV_CHECK_MSG(topo_.size() == gate_count_,
+  FAV_ENSURE_MSG(topo_.size() == gate_count_,
                 "combinational cycle detected: only " << topo_.size() << " of "
                                                       << gate_count_
                                                       << " gates ordered");

@@ -4,7 +4,7 @@ namespace fav::netlist {
 
 Unroller::Unroller(const Netlist& nl, int frames)
     : frames_(frames), orig_nodes_(nl.node_count()) {
-  FAV_CHECK_MSG(frames >= 1, "need at least one frame");
+  FAV_ENSURE_MSG(frames >= 1, "need at least one frame");
   map_.assign(static_cast<std::size_t>(frames) * orig_nodes_, kInvalidNode);
   auto slot = [&](NodeId orig, int frame) -> NodeId& {
     return map_[static_cast<std::size_t>(frame) * orig_nodes_ + orig];
@@ -28,7 +28,7 @@ Unroller::Unroller(const Netlist& nl, int frames)
             slot(id, f) = out_.add_input(n.name + "@init");
           } else {
             // Register output in frame f = D input value in frame f-1.
-            FAV_CHECK(!n.fanins.empty());
+            FAV_ENSURE(!n.fanins.empty());
             slot(id, f) = out_.add_gate(
                 CellType::kBuf, {slot(n.fanins[0], f - 1)}, n.name + suffix);
           }
@@ -42,7 +42,7 @@ Unroller::Unroller(const Netlist& nl, int frames)
       std::vector<NodeId> fanins;
       fanins.reserve(n.fanins.size());
       for (NodeId fin : n.fanins) {
-        FAV_CHECK_MSG(slot(fin, f) != kInvalidNode,
+        FAV_ENSURE_MSG(slot(fin, f) != kInvalidNode,
                       "fanin not yet elaborated in frame " << f);
         fanins.push_back(slot(fin, f));
       }
@@ -61,10 +61,10 @@ Unroller::Unroller(const Netlist& nl, int frames)
 }
 
 NodeId Unroller::at(NodeId orig, int frame) const {
-  FAV_CHECK_MSG(frame >= 0 && frame < frames_, "frame out of range");
-  FAV_CHECK_MSG(orig < orig_nodes_, "node out of range");
+  FAV_ENSURE_MSG(frame >= 0 && frame < frames_, "frame out of range");
+  FAV_ENSURE_MSG(orig < orig_nodes_, "node out of range");
   const NodeId id = map_[static_cast<std::size_t>(frame) * orig_nodes_ + orig];
-  FAV_CHECK(id != kInvalidNode);
+  FAV_ENSURE(id != kInvalidNode);
   return id;
 }
 

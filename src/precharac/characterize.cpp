@@ -14,8 +14,8 @@ RegisterCharacterization::RegisterCharacterization(
     const rtl::GoldenRun& golden, const CharacterizationConfig& config,
     std::vector<int> bits)
     : config_(config) {
-  FAV_CHECK(config.horizon > 0);
-  FAV_CHECK(config.stride > 0);
+  FAV_ENSURE(config.horizon > 0);
+  FAV_ENSURE(config.stride > 0);
   const RegisterMap& map = Machine::reg_map();
   bits_.resize(static_cast<std::size_t>(map.total_bits()));
   done_.assign(static_cast<std::size_t>(map.total_bits()), 0);
@@ -29,7 +29,7 @@ RegisterCharacterization::RegisterCharacterization(
 
   const std::uint64_t length = golden.length();
   for (const int flat : bits) {
-    FAV_CHECK_MSG(flat >= 0 && flat < map.total_bits(),
+    FAV_ENSURE_MSG(flat >= 0 && flat < map.total_bits(),
                   "flat bit " << flat << " out of range");
     auto& bc = bits_[static_cast<std::size_t>(flat)];
     const int origin_field = map.locate(flat).first;
@@ -71,13 +71,13 @@ RegisterCharacterization::RegisterCharacterization(
 }
 
 bool RegisterCharacterization::characterized(int flat_bit) const {
-  FAV_CHECK(flat_bit >= 0 &&
+  FAV_ENSURE(flat_bit >= 0 &&
             flat_bit < static_cast<int>(done_.size()));
   return done_[static_cast<std::size_t>(flat_bit)] != 0;
 }
 
 const BitCharacterization& RegisterCharacterization::bit(int flat_bit) const {
-  FAV_CHECK_MSG(characterized(flat_bit),
+  FAV_ENSURE_MSG(characterized(flat_bit),
                 "bit " << flat_bit << " was not characterized");
   return bits_[static_cast<std::size_t>(flat_bit)];
 }

@@ -18,11 +18,11 @@ SamplingModel::SamplingModel(const soc::SocNetlist& soc,
                              const SamplingParams& params)
     : soc_(&soc), attack_(&attack), params_(params) {
   attack.check_valid();
-  FAV_CHECK(params.alpha >= 0);
-  FAV_CHECK(params.beta >= 0);
-  FAV_CHECK(params.memory_boost >= 0);
-  FAV_CHECK(params.defensive_mix >= 0.0 && params.defensive_mix <= 1.0);
-  FAV_CHECK(params.transit_boost >= 0);
+  FAV_ENSURE(params.alpha >= 0);
+  FAV_ENSURE(params.beta >= 0);
+  FAV_ENSURE(params.memory_boost >= 0);
+  FAV_ENSURE(params.defensive_mix >= 0.0 && params.defensive_mix <= 1.0);
+  FAV_ENSURE(params.transit_boost >= 0);
   const netlist::Netlist& nl = soc.netlist();
   const NodeId rs = cone.responding_signal();
 
@@ -48,7 +48,7 @@ SamplingModel::SamplingModel(const soc::SocNetlist& soc,
   // attack-enabling.
   std::vector<double> mem_score_dff(nl.node_count(), 0.0);
   if (!params.memory_bit_potency.empty()) {
-    FAV_CHECK_MSG(params.memory_bit_potency.size() ==
+    FAV_ENSURE_MSG(params.memory_bit_potency.size() ==
                       static_cast<std::size_t>(
                           soc::SocNetlist::reg_map().total_bits()),
                   "memory_bit_potency size mismatch");
@@ -97,7 +97,7 @@ SamplingModel::SamplingModel(const soc::SocNetlist& soc,
   // spot[c] = cells covered by the largest radiated region centered at c.
   std::vector<std::vector<NodeId>> spots(nl.node_count());
   for (const NodeId c : attack.candidate_centers) {
-    FAV_CHECK_MSG(placement.is_placed(c),
+    FAV_ENSURE_MSG(placement.is_placed(c),
                   "candidate center " << c << " is not a placed cell");
     placement.nodes_within(c, max_radius, spots[c]);
     double score = 0.0;
@@ -161,29 +161,29 @@ SamplingModel::SamplingModel(const soc::SocNetlist& soc,
     omegas.push_back(fr.total_weight);
   }
   const double total = std::accumulate(omegas.begin(), omegas.end(), 0.0);
-  FAV_CHECK_MSG(total > 0.0,
+  FAV_ENSURE_MSG(total > 0.0,
                 "no candidate spot touches the responding signal's cones — "
                 "importance sampling has empty support");
   g_t_ = DiscreteDistribution(omegas);
 }
 
 double SamplingModel::lifetime_l(NodeId node) const {
-  FAV_CHECK(node < lifetime_l_.size());
+  FAV_ENSURE(node < lifetime_l_.size());
   return lifetime_l_[node];
 }
 
 double SamplingModel::memory_score(NodeId center) const {
-  FAV_CHECK(center < mem_score_.size());
+  FAV_ENSURE(center < mem_score_.size());
   return mem_score_[center];
 }
 
 int SamplingModel::transit_count(NodeId center) const {
-  FAV_CHECK(center < transit_count_.size());
+  FAV_ENSURE(center < transit_count_.size());
   return transit_count_[center];
 }
 
 int SamplingModel::frame_index(int t) const {
-  FAV_CHECK_MSG(t >= attack_->t_min && t <= attack_->t_max,
+  FAV_ENSURE_MSG(t >= attack_->t_min && t <= attack_->t_max,
                 "t out of attack range");
   return t - attack_->t_min;
 }
@@ -226,7 +226,7 @@ FaultSample SamplingModel::sample(Rng& rng) const {
     const std::size_t ti = g_t_.sample(rng);
     s.t = attack_->t_min + static_cast<int>(ti);
     const Frame& fr = frames_[ti];
-    FAV_CHECK_MSG(!fr.centers.empty(),
+    FAV_ENSURE_MSG(!fr.centers.empty(),
                   "sampled a frame with empty support (zero weight expected)");
     s.center = fr.centers[fr.conditional.sample(rng)];
   }

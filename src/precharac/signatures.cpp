@@ -31,7 +31,7 @@ SignatureTrace::SignatureTrace(const soc::SocNetlist& soc,
 }
 
 const BitVector& SignatureTrace::signature(NodeId node) const {
-  FAV_CHECK_MSG(node < signatures_.size(), "node out of range");
+  FAV_ENSURE_MSG(node < signatures_.size(), "node out of range");
   return signatures_[node];
 }
 

@@ -45,13 +45,13 @@ bool is_integer(const std::string& s) {
 }
 
 long parse_int(const std::string& s, int line_no) {
-  FAV_CHECK_MSG(is_integer(s), "line " << line_no << ": expected number, got '"
+  FAV_ENSURE_MSG(is_integer(s), "line " << line_no << ": expected number, got '"
                                        << s << "'");
   return std::stol(s, nullptr, 0);
 }
 
 int parse_reg(const std::string& s, int line_no) {
-  FAV_CHECK_MSG(s.size() == 2 && (s[0] == 'r' || s[0] == 'R') &&
+  FAV_ENSURE_MSG(s.size() == 2 && (s[0] == 'r' || s[0] == 'R') &&
                     s[1] >= '0' && s[1] <= '7',
                 "line " << line_no << ": expected register r0..r7, got '" << s
                         << "'");
@@ -99,8 +99,8 @@ Program assemble(const std::string& source) {
       std::string& t = tokens.front();
       if (t.back() == ':') {
         std::string name = t.substr(0, t.size() - 1);
-        FAV_CHECK_MSG(!name.empty(), "line " << line_no << ": empty label");
-        FAV_CHECK_MSG(!labels.count(name),
+        FAV_ENSURE_MSG(!name.empty(), "line " << line_no << ": empty label");
+        FAV_ENSURE_MSG(!labels.count(name),
                       "line " << line_no << ": duplicate label '" << name << "'");
         labels[name] = address;
         tokens.erase(tokens.begin());
@@ -110,17 +110,17 @@ Program assemble(const std::string& source) {
     }
     if (tokens.empty()) continue;
     if (tokens[0] == ".data") {
-      FAV_CHECK_MSG(tokens.size() == 3,
+      FAV_ENSURE_MSG(tokens.size() == 3,
                     "line " << line_no << ": .data needs <addr> <value>");
       const long addr = parse_int(tokens[1], line_no);
       const long value = parse_int(tokens[2], line_no);
-      FAV_CHECK_MSG(addr >= 0 && addr <= 0xFFFF,
+      FAV_ENSURE_MSG(addr >= 0 && addr <= 0xFFFF,
                     "line " << line_no << ": .data address out of range");
       prog.ram_init.emplace_back(static_cast<std::uint16_t>(addr),
                                  static_cast<std::uint16_t>(value & 0xFFFF));
       continue;
     }
-    FAV_CHECK_MSG(is_mnemonic(tokens[0]),
+    FAV_ENSURE_MSG(is_mnemonic(tokens[0]),
                   "line " << line_no << ": unknown mnemonic '" << tokens[0]
                           << "'");
     stmts.push_back({line_no, tokens, address});
@@ -131,12 +131,12 @@ Program assemble(const std::string& source) {
   auto resolve = [&](const std::string& s, int ln) -> long {
     if (is_integer(s)) return parse_int(s, ln);
     const auto it = labels.find(s);
-    FAV_CHECK_MSG(it != labels.end(),
+    FAV_ENSURE_MSG(it != labels.end(),
                   "line " << ln << ": undefined label '" << s << "'");
     return it->second;
   };
   auto check_range = [](long v, long lo, long hi, int ln, const char* what) {
-    FAV_CHECK_MSG(v >= lo && v <= hi, "line " << ln << ": " << what << " "
+    FAV_ENSURE_MSG(v >= lo && v <= hi, "line " << ln << ": " << what << " "
                                               << v << " out of range [" << lo
                                               << ", " << hi << "]");
   };
@@ -149,7 +149,7 @@ Program assemble(const std::string& source) {
     const std::string& m = st.tokens[0];
     const int ln = st.line_no;
     auto need = [&](std::size_t n) {
-      FAV_CHECK_MSG(st.tokens.size() == n + 1,
+      FAV_ENSURE_MSG(st.tokens.size() == n + 1,
                     "line " << ln << ": '" << m << "' needs " << n
                             << " operands");
     };

@@ -7,7 +7,7 @@ namespace fav::rtl {
 GoldenRun::GoldenRun(const Program& program, std::uint64_t max_cycles,
                      std::uint64_t checkpoint_interval)
     : program_(&program) {
-  FAV_CHECK(checkpoint_interval > 0);
+  FAV_ENSURE(checkpoint_interval > 0);
   Machine m(program);
   const RegisterMap& map = Machine::reg_map();
 
@@ -40,7 +40,7 @@ GoldenRun::GoldenRun(const Program& program, std::uint64_t max_cycles,
 }
 
 const BitVector& GoldenRun::state_bits_at(std::uint64_t cycle) const {
-  FAV_CHECK_MSG(cycle <= length_, "cycle " << cycle << " beyond golden run");
+  FAV_ENSURE_MSG(cycle <= length_, "cycle " << cycle << " beyond golden run");
   return states_[cycle];
 }
 
@@ -60,7 +60,7 @@ std::uint16_t GoldenRun::pc_at(std::uint64_t cycle) const {
 }
 
 bool GoldenRun::viol_at(std::uint64_t cycle) const {
-  FAV_CHECK_MSG(cycle < length_, "cycle " << cycle << " beyond golden run");
+  FAV_ENSURE_MSG(cycle < length_, "cycle " << cycle << " beyond golden run");
   return viol_trace_.get(cycle);
 }
 
@@ -89,8 +89,8 @@ Machine GoldenRun::restore(std::uint64_t cycle,
 
 void GoldenRun::restore_into(Machine& m, std::uint64_t cycle,
                              std::uint64_t* warmup_cycles) const {
-  FAV_CHECK_MSG(cycle <= length_, "cycle " << cycle << " beyond golden run");
-  FAV_CHECK_MSG(&m.program() == program_,
+  FAV_ENSURE_MSG(cycle <= length_, "cycle " << cycle << " beyond golden run");
+  FAV_ENSURE_MSG(&m.program() == program_,
                 "machine was built for a different program");
   const Checkpoint& cp = nearest_checkpoint(cycle);
   m.set_state(cp.state);

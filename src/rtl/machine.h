@@ -30,7 +30,7 @@ struct Program {
     for (const auto& [n, addr] : labels) {
       if (n == name) return addr;
     }
-    FAV_CHECK_MSG(false, "no label named '" << name << "'");
+    FAV_ENSURE_MSG(false, "no label named '" << name << "'");
     return 0;
   }
 

@@ -36,7 +36,7 @@ const RegisterMap& RegisterMap::mcu16() {
 }
 
 const RegisterField& RegisterMap::field(int index) const {
-  FAV_CHECK_MSG(index >= 0 && index < static_cast<int>(fields_.size()),
+  FAV_ENSURE_MSG(index >= 0 && index < static_cast<int>(fields_.size()),
                 "field index " << index << " out of range");
   return fields_[static_cast<std::size_t>(index)];
 }
@@ -45,12 +45,12 @@ int RegisterMap::field_index(const std::string& name) const {
   for (std::size_t i = 0; i < fields_.size(); ++i) {
     if (fields_[i].name == name) return static_cast<int>(i);
   }
-  FAV_CHECK_MSG(false, "no register field named '" << name << "'");
+  FAV_ENSURE_MSG(false, "no register field named '" << name << "'");
   return -1;
 }
 
 std::pair<int, int> RegisterMap::locate(int flat_bit) const {
-  FAV_CHECK_MSG(flat_bit >= 0 && flat_bit < total_bits_,
+  FAV_ENSURE_MSG(flat_bit >= 0 && flat_bit < total_bits_,
                 "flat bit " << flat_bit << " out of range " << total_bits_);
   const int fi = bit_to_field_[static_cast<std::size_t>(flat_bit)];
   return {fi, flat_bit - fields_[static_cast<std::size_t>(fi)].offset};
@@ -85,7 +85,7 @@ std::uint32_t RegisterMap::get_field(const ArchState& s, int field_index) const 
     case 7: return s.dma_len;
     case 8: return s.dma_active ? 1u : 0u;
   }
-  FAV_CHECK_MSG(false, "unhandled field '" << f.name << "'");
+  FAV_ENSURE_MSG(false, "unhandled field '" << f.name << "'");
   return 0;
 }
 
@@ -126,7 +126,7 @@ void RegisterMap::set_field(ArchState& s, int field_index,
     case 7: s.dma_len = static_cast<std::uint16_t>(value); return;
     case 8: s.dma_active = value != 0; return;
   }
-  FAV_CHECK_MSG(false, "unhandled field '" << f.name << "'");
+  FAV_ENSURE_MSG(false, "unhandled field '" << f.name << "'");
 }
 
 bool RegisterMap::get_bit(const ArchState& s, int flat_bit) const {
@@ -163,7 +163,7 @@ BitVector RegisterMap::pack(const ArchState& s) const {
 }
 
 ArchState RegisterMap::unpack(const BitVector& bits) const {
-  FAV_CHECK_MSG(bits.size() == static_cast<std::size_t>(total_bits_),
+  FAV_ENSURE_MSG(bits.size() == static_cast<std::size_t>(total_bits_),
                 "bit vector size mismatch");
   ArchState s;
   for (std::size_t fi = 0; fi < fields_.size(); ++fi) {

@@ -19,7 +19,7 @@ SocNetlist::SocNetlist() {
   // the flat bit order; the name check below enforces this invariant.
   const rtl::RegisterMap& map = reg_map();
   const auto& dffs = nl_.dffs();
-  FAV_CHECK_MSG(static_cast<int>(dffs.size()) == map.total_bits(),
+  FAV_ENSURE_MSG(static_cast<int>(dffs.size()) == map.total_bits(),
                 "DFF count " << dffs.size() << " != register map bits "
                              << map.total_bits());
   bit_to_dff_.assign(static_cast<std::size_t>(map.total_bits()),
@@ -30,7 +30,7 @@ SocNetlist::SocNetlist() {
     const std::string expected =
         map.field(fi).name + "[" + std::to_string(b) + "]";
     const NodeId dff = dffs[static_cast<std::size_t>(bit)];
-    FAV_CHECK_MSG(nl_.node(dff).name == expected,
+    FAV_ENSURE_MSG(nl_.node(dff).name == expected,
                   "DFF order mismatch: bit " << bit << " is '"
                                              << nl_.node(dff).name
                                              << "', expected '" << expected
@@ -41,7 +41,7 @@ SocNetlist::SocNetlist() {
 }
 
 NodeId SocNetlist::dff_for_bit(int flat_bit) const {
-  FAV_CHECK_MSG(
+  FAV_ENSURE_MSG(
       flat_bit >= 0 && flat_bit < static_cast<int>(bit_to_dff_.size()),
       "flat bit out of range");
   return bit_to_dff_[static_cast<std::size_t>(flat_bit)];

@@ -14,7 +14,7 @@ BitVector::BitVector(std::size_t size, bool value)
 BitVector BitVector::from_string(const std::string& bits) {
   BitVector v(bits.size());
   for (std::size_t i = 0; i < bits.size(); ++i) {
-    FAV_CHECK_MSG(bits[i] == '0' || bits[i] == '1',
+    FAV_ENSURE_MSG(bits[i] == '0' || bits[i] == '1',
                   "invalid bit char '" << bits[i] << "' at index " << i);
     v.set(i, bits[i] == '1');
   }
@@ -22,12 +22,12 @@ BitVector BitVector::from_string(const std::string& bits) {
 }
 
 bool BitVector::get(std::size_t i) const {
-  FAV_CHECK_MSG(i < size_, "bit index " << i << " out of range " << size_);
+  FAV_ENSURE_MSG(i < size_, "bit index " << i << " out of range " << size_);
   return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
 }
 
 void BitVector::set(std::size_t i, bool value) {
-  FAV_CHECK_MSG(i < size_, "bit index " << i << " out of range " << size_);
+  FAV_ENSURE_MSG(i < size_, "bit index " << i << " out of range " << size_);
   const std::uint64_t mask = std::uint64_t{1} << (i % kWordBits);
   if (value) {
     words_[i / kWordBits] |= mask;
@@ -58,19 +58,19 @@ std::size_t BitVector::count() const {
 }
 
 BitVector& BitVector::operator&=(const BitVector& rhs) {
-  FAV_CHECK_MSG(size_ == rhs.size_, "size mismatch " << size_ << " vs " << rhs.size_);
+  FAV_ENSURE_MSG(size_ == rhs.size_, "size mismatch " << size_ << " vs " << rhs.size_);
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= rhs.words_[i];
   return *this;
 }
 
 BitVector& BitVector::operator|=(const BitVector& rhs) {
-  FAV_CHECK_MSG(size_ == rhs.size_, "size mismatch " << size_ << " vs " << rhs.size_);
+  FAV_ENSURE_MSG(size_ == rhs.size_, "size mismatch " << size_ << " vs " << rhs.size_);
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= rhs.words_[i];
   return *this;
 }
 
 BitVector& BitVector::operator^=(const BitVector& rhs) {
-  FAV_CHECK_MSG(size_ == rhs.size_, "size mismatch " << size_ << " vs " << rhs.size_);
+  FAV_ENSURE_MSG(size_ == rhs.size_, "size mismatch " << size_ << " vs " << rhs.size_);
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= rhs.words_[i];
   return *this;
 }
@@ -108,7 +108,7 @@ BitVector BitVector::shifted_up(std::size_t n) const {
 }
 
 std::size_t BitVector::and_count(const BitVector& rhs) const {
-  FAV_CHECK_MSG(size_ == rhs.size_, "size mismatch " << size_ << " vs " << rhs.size_);
+  FAV_ENSURE_MSG(size_ == rhs.size_, "size mismatch " << size_ << " vs " << rhs.size_);
   std::size_t n = 0;
   for (std::size_t i = 0; i < words_.size(); ++i) {
     n += static_cast<std::size_t>(std::popcount(words_[i] & rhs.words_[i]));

@@ -1,50 +1,91 @@
 // Lightweight runtime-check utilities shared by all fav libraries.
 //
-// FAV_CHECK is used for precondition/invariant validation on public API
-// boundaries; it throws fav::CheckError (derived from std::logic_error) so
-// callers and tests can assert on violations without aborting the process.
+// Two macros with distinct contracts:
+//  * FAV_ENSURE / FAV_ENSURE_MSG — input/config validation on public API
+//    boundaries. Throws fav::EnsureError (derived from fav::CheckError, a
+//    std::logic_error) so callers, the sample-isolation layer, and tests can
+//    catch and classify user-facing errors without aborting the process.
+//  * FAV_CHECK / FAV_CHECK_MSG — internal invariants that can only fail on a
+//    framework bug. Fatal: prints the location and aborts, so corruption is
+//    never silently swallowed by a catch-all (e.g. the per-sample isolation
+//    layer, which must not mask engine bugs as sample failures).
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
 namespace fav {
 
-/// Thrown when a FAV_CHECK condition fails.
+/// Base class for validation failures (kept as the historical name so
+/// existing `catch (const CheckError&)` sites keep working).
 class CheckError : public std::logic_error {
  public:
   explicit CheckError(const std::string& what) : std::logic_error(what) {}
 };
 
+/// Thrown when a FAV_ENSURE condition fails: recoverable input/config error.
+class EnsureError : public CheckError {
+ public:
+  explicit EnsureError(const std::string& what) : CheckError(what) {}
+};
+
 namespace detail {
 
-[[noreturn]] inline void check_failed(const char* cond, const char* file,
-                                      int line, const std::string& msg) {
+[[noreturn]] inline void ensure_failed(const char* cond, const char* file,
+                                       int line, const std::string& msg) {
   std::ostringstream os;
   os << file << ":" << line << ": check failed: " << cond;
   if (!msg.empty()) os << " — " << msg;
-  throw CheckError(os.str());
+  throw EnsureError(os.str());
+}
+
+[[noreturn]] inline void check_fatal(const char* cond, const char* file,
+                                     int line, const std::string& msg) {
+  std::fprintf(stderr, "%s:%d: FATAL invariant violated: %s%s%s\n", file, line,
+               cond, msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
 }
 
 }  // namespace detail
 
 }  // namespace fav
 
-/// Validate a condition; throws fav::CheckError with location info on failure.
-#define FAV_CHECK(cond)                                              \
-  do {                                                               \
-    if (!(cond)) ::fav::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+/// Validate input/config; throws fav::EnsureError with location on failure.
+#define FAV_ENSURE(cond)                                               \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::fav::detail::ensure_failed(#cond, __FILE__, __LINE__, "");     \
   } while (0)
 
-/// Same as FAV_CHECK but appends a streamed message, e.g.
-///   FAV_CHECK_MSG(i < n, "index " << i << " out of range " << n);
-#define FAV_CHECK_MSG(cond, stream_expr)                                  \
-  do {                                                                    \
-    if (!(cond)) {                                                        \
-      std::ostringstream fav_check_os_;                                   \
-      fav_check_os_ << stream_expr;                                       \
-      ::fav::detail::check_failed(#cond, __FILE__, __LINE__,              \
-                                  fav_check_os_.str());                   \
-    }                                                                     \
+/// Same as FAV_ENSURE but appends a streamed message, e.g.
+///   FAV_ENSURE_MSG(i < n, "index " << i << " out of range " << n);
+#define FAV_ENSURE_MSG(cond, stream_expr)                              \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::ostringstream fav_check_os_;                                \
+      fav_check_os_ << stream_expr;                                    \
+      ::fav::detail::ensure_failed(#cond, __FILE__, __LINE__,          \
+                                   fav_check_os_.str());               \
+    }                                                                  \
+  } while (0)
+
+/// Assert an internal invariant; prints and aborts on failure (not catchable).
+#define FAV_CHECK(cond)                                                \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::fav::detail::check_fatal(#cond, __FILE__, __LINE__, "");       \
+  } while (0)
+
+/// Same as FAV_CHECK but appends a streamed message.
+#define FAV_CHECK_MSG(cond, stream_expr)                               \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::ostringstream fav_check_os_;                                \
+      fav_check_os_ << stream_expr;                                    \
+      ::fav::detail::check_fatal(#cond, __FILE__, __LINE__,            \
+                                 fav_check_os_.str());                 \
+    }                                                                  \
   } while (0)

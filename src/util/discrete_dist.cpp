@@ -9,13 +9,13 @@ namespace fav {
 
 DiscreteDistribution::DiscreteDistribution(std::vector<double> weights)
     : pmf_(std::move(weights)) {
-  FAV_CHECK_MSG(!pmf_.empty(), "discrete distribution needs >= 1 outcome");
+  FAV_ENSURE_MSG(!pmf_.empty(), "discrete distribution needs >= 1 outcome");
   double total = 0.0;
   for (double w : pmf_) {
-    FAV_CHECK_MSG(w >= 0.0, "negative weight " << w);
+    FAV_ENSURE_MSG(w >= 0.0, "negative weight " << w);
     total += w;
   }
-  FAV_CHECK_MSG(total > 0.0, "all weights are zero");
+  FAV_ENSURE_MSG(total > 0.0, "all weights are zero");
   cdf_.resize(pmf_.size());
   double acc = 0.0;
   for (std::size_t i = 0; i < pmf_.size(); ++i) {
@@ -27,12 +27,12 @@ DiscreteDistribution::DiscreteDistribution(std::vector<double> weights)
 }
 
 double DiscreteDistribution::pmf(std::size_t i) const {
-  FAV_CHECK_MSG(i < pmf_.size(), "index " << i << " out of range " << pmf_.size());
+  FAV_ENSURE_MSG(i < pmf_.size(), "index " << i << " out of range " << pmf_.size());
   return pmf_[i];
 }
 
 std::size_t DiscreteDistribution::sample(Rng& rng) const {
-  FAV_CHECK(!pmf_.empty());
+  FAV_ENSURE(!pmf_.empty());
   const double u = rng.uniform01();
   const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
   return static_cast<std::size_t>(std::distance(cdf_.begin(), it));

@@ -20,7 +20,7 @@ std::size_t resolve_thread_count(std::size_t requested) {
 void parallel_for(
     std::size_t n, std::size_t threads, std::size_t grain,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
-  FAV_CHECK(grain > 0);
+  FAV_ENSURE(grain > 0);
   if (n == 0) return;
   const std::size_t workers =
       std::min(resolve_thread_count(threads), (n + grain - 1) / grain);

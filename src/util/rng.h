@@ -55,7 +55,7 @@ class Rng {
   /// Uniform integer in [0, bound). bound must be > 0.
   /// Uses Lemire's multiply-shift rejection method (unbiased).
   std::uint64_t uniform_below(std::uint64_t bound) {
-    FAV_CHECK(bound > 0);
+    FAV_ENSURE(bound > 0);
     std::uint64_t x = next();
     __uint128_t m = static_cast<__uint128_t>(x) * bound;
     auto lo = static_cast<std::uint64_t>(m);
@@ -72,7 +72,7 @@ class Rng {
 
   /// Uniform integer in [lo, hi] inclusive.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
-    FAV_CHECK_MSG(lo <= hi, "empty range [" << lo << ", " << hi << "]");
+    FAV_ENSURE_MSG(lo <= hi, "empty range [" << lo << ", " << hi << "]");
     const std::uint64_t span =
         static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
     return lo + static_cast<std::int64_t>(uniform_below(span));
@@ -85,7 +85,7 @@ class Rng {
 
   /// Uniform double in [lo, hi).
   double uniform_real(double lo, double hi) {
-    FAV_CHECK(lo <= hi);
+    FAV_ENSURE(lo <= hi);
     return lo + (hi - lo) * uniform01();
   }
 

@@ -29,8 +29,8 @@ void RunningStats::merge(const RunningStats& other) {
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), counts_(bins, 0.0) {
-  FAV_CHECK_MSG(hi > lo, "empty histogram range");
-  FAV_CHECK(bins > 0);
+  FAV_ENSURE_MSG(hi > lo, "empty histogram range");
+  FAV_ENSURE(bins > 0);
 }
 
 void Histogram::add(double x, double weight) {
@@ -52,13 +52,13 @@ void Histogram::add(double x, double weight) {
 }
 
 double Histogram::bin_lo(std::size_t i) const {
-  FAV_CHECK(i < counts_.size());
+  FAV_ENSURE(i < counts_.size());
   return lo_ + (hi_ - lo_) * static_cast<double>(i) /
                    static_cast<double>(counts_.size());
 }
 
 double Histogram::bin_hi(std::size_t i) const {
-  FAV_CHECK(i < counts_.size());
+  FAV_ENSURE(i < counts_.size());
   return lo_ + (hi_ - lo_) * static_cast<double>(i + 1) /
                    static_cast<double>(counts_.size());
 }

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "util/check.h"
+#include "util/status.h"
 
 namespace fav::core {
 namespace {
@@ -138,6 +142,105 @@ TEST(Framework, ThreadsKnobPreservesFrameworkResults) {
   EXPECT_EQ(parallel.trace, sequential.trace);
   EXPECT_EQ(parallel.bit_contribution, sequential.bit_contribution);
   EXPECT_EQ(parallel.field_contribution, sequential.field_contribution);
+}
+
+TEST(FrameworkConfigValidation, RejectsStructurallyInvalidConfigs) {
+  {
+    FrameworkConfig cfg;
+    cfg.checkpoint_interval = 0;
+    EXPECT_EQ(cfg.validate().code(), ErrorCode::kInvalidArgument);
+  }
+  {
+    FrameworkConfig cfg;
+    cfg.cone_fanin_depth = 0;
+    EXPECT_EQ(cfg.validate().code(), ErrorCode::kInvalidArgument);
+  }
+  {
+    FrameworkConfig cfg;
+    cfg.cone_fanout_depth = -1;
+    EXPECT_EQ(cfg.validate().code(), ErrorCode::kInvalidArgument);
+  }
+  {
+    FrameworkConfig cfg;
+    cfg.precharac_cycles = 0;
+    EXPECT_EQ(cfg.validate().code(), ErrorCode::kInvalidArgument);
+  }
+  {
+    FrameworkConfig cfg;
+    cfg.evaluator.trace_stride = 0;
+    EXPECT_EQ(cfg.validate().code(), ErrorCode::kInvalidArgument);
+  }
+  EXPECT_TRUE(FrameworkConfig{}.validate().is_ok());
+}
+
+TEST(FrameworkConfigValidation, ConstructionRejectsInvalidConfigEarly) {
+  FrameworkConfig cfg;
+  cfg.checkpoint_interval = 0;
+  try {
+    FaultAttackEvaluator bad(soc::make_illegal_write_benchmark(), cfg);
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidArgument);
+    EXPECT_NE(std::string(e.what()).find("checkpoint_interval"),
+              std::string::npos);
+  }
+}
+
+TEST(FrameworkFallback, HealthyImportanceStrategyIsNotDowngraded) {
+  const auto attack = fw().subblock_attack_model(1.5, 50);
+  const SamplerSelection sel =
+      fw().make_sampler_with_fallback(attack, "importance");
+  ASSERT_NE(sel.sampler, nullptr);
+  EXPECT_EQ(sel.requested, "importance");
+  EXPECT_EQ(sel.actual, "importance");
+  EXPECT_FALSE(sel.downgraded());
+}
+
+TEST(FrameworkFallback, BrokenImportanceModelDowngradesToCone) {
+  // An invalid sampling parameter makes the importance-model construction
+  // throw; the facade must fall back to the cone sampler, log the downgrade,
+  // and record its provenance instead of propagating the exception.
+  FrameworkConfig cfg;
+  cfg.sampling.alpha = -1.0;  // rejected by SamplingModel's validation
+  std::vector<std::string> logged;
+  cfg.log = [&](const std::string& m) { logged.push_back(m); };
+  FaultAttackEvaluator broken(soc::make_illegal_write_benchmark(), cfg);
+  const auto attack = broken.subblock_attack_model(1.5, 50);
+  const SamplerSelection sel =
+      broken.make_sampler_with_fallback(attack, "importance");
+  ASSERT_NE(sel.sampler, nullptr);
+  EXPECT_EQ(sel.requested, "importance");
+  EXPECT_EQ(sel.actual, "cone");
+  EXPECT_TRUE(sel.downgraded());
+  EXPECT_NE(sel.downgrade_reason.find("importance"), std::string::npos);
+  ASSERT_FALSE(logged.empty());
+  EXPECT_NE(logged.front().find("downgrade"), std::string::npos);
+  // The fallback sampler is actually usable end to end.
+  Rng rng(11);
+  const auto res = broken.evaluator().run(*sel.sampler, rng, 100);
+  EXPECT_EQ(res.stats.count(), 100u);
+}
+
+TEST(FrameworkFallback, UnknownStrategyStillThrows) {
+  const auto attack = fw().subblock_attack_model(1.5, 50);
+  EXPECT_THROW(fw().make_sampler_with_fallback(attack, "quantum"),
+               fav::CheckError);
+}
+
+TEST(FrameworkFallback, AdaptiveRefitFailureDegradesToPilotSampler) {
+  // An invalid adaptive config makes the refit construction throw after a
+  // healthy pilot; run_adaptive must spend the refinement budget on the
+  // pilot sampler and surface the downgrade instead of aborting.
+  const auto attack = fw().subblock_attack_model(1.5, 50);
+  Rng rng(21);
+  auto pilot = fw().make_importance_sampler(attack);
+  mc::AdaptiveConfig bad;
+  bad.smoothing = -1.0;  // rejected by AdaptiveImportanceSampler
+  const auto out = fw().run_adaptive(attack, *pilot, rng, 400, 300, bad);
+  EXPECT_EQ(out.pilot.stats.count(), 400u);
+  EXPECT_EQ(out.refined.stats.count(), 300u);
+  EXPECT_FALSE(out.adapted);
+  EXPECT_NE(out.downgrade_reason.find("refit failed"), std::string::npos);
 }
 
 TEST(Framework, ReadBenchmarkAlsoWorks) {

@@ -201,6 +201,7 @@ SsfResult seed_sequential_run(const SsfEvaluator& ev, Sampler& sampler,
       case OutcomePath::kMasked: ++result.masked; break;
       case OutcomePath::kAnalytical: ++result.analytical; break;
       case OutcomePath::kRtl: ++result.rtl; break;
+      case OutcomePath::kFailed: ++result.failed; break;  // not reachable here
     }
     if (rec.success) {
       ++result.successes;
@@ -315,8 +316,10 @@ TEST(SsfEvaluator, ScratchReuseMatchesFreshMachines) {
   }
 }
 
-TEST(SsfEvaluatorParallel, WorkerExceptionPropagates) {
-  // An invalid sample evaluated on a worker must surface on the caller.
+TEST(SsfEvaluatorParallel, WorkerFailureIsIsolatedNotFatal) {
+  // An invalid sample evaluated on a worker must not abort the campaign: it
+  // is retried once and then recorded as kFailed with the reason, while the
+  // estimate stays defined over the completed (here: zero) samples.
   class BadSampler final : public Sampler {
    public:
     faultsim::FaultSample draw(Rng&) override {
@@ -337,7 +340,15 @@ TEST(SsfEvaluatorParallel, WorkerExceptionPropagates) {
                   ctx().golden, &ctx().charac, cfg);
   BadSampler sampler;
   Rng rng(1);
-  EXPECT_THROW(ev.run(sampler, rng, 64), fav::CheckError);
+  const SsfResult res = ev.run(sampler, rng, 64);
+  EXPECT_EQ(res.failed, 64u);
+  EXPECT_EQ(res.retried, 64u);  // each failure re-attempted on fresh scratch
+  EXPECT_EQ(res.stats.count(), 0u);
+  EXPECT_EQ(res.failure_counts.at(ErrorCode::kSampleEvalFailed), 64u);
+  EXPECT_EQ(res.failed_weight_fraction(), 1.0);
+  ASSERT_EQ(res.records.size(), 64u);
+  EXPECT_EQ(res.records[0].path, OutcomePath::kFailed);
+  EXPECT_FALSE(res.records[0].fail_reason.empty());
 }
 
 TEST(SsfEvaluator, MultiCycleImpactAccumulatesErrors) {

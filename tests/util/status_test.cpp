@@ -1,0 +1,120 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/check.h"
+
+namespace fav {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+  EXPECT_TRUE(Status::ok().is_ok());
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  const Status s(ErrorCode::kJournalCorrupt, "bad frame at offset 42");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kJournalCorrupt);
+  EXPECT_EQ(s.message(), "bad frame at offset 42");
+  EXPECT_EQ(s.to_string(), "JOURNAL_CORRUPT: bad frame at offset 42");
+}
+
+TEST(Status, EveryCodeHasAStableName) {
+  EXPECT_STREQ(error_code_name(ErrorCode::kOk), "OK");
+  EXPECT_STREQ(error_code_name(ErrorCode::kInvalidArgument),
+               "INVALID_ARGUMENT");
+  EXPECT_STREQ(error_code_name(ErrorCode::kFailedPrecondition),
+               "FAILED_PRECONDITION");
+  EXPECT_STREQ(error_code_name(ErrorCode::kCycleBudgetExceeded),
+               "CYCLE_BUDGET_EXCEEDED");
+  EXPECT_STREQ(error_code_name(ErrorCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(error_code_name(ErrorCode::kSampleEvalFailed),
+               "SAMPLE_EVAL_FAILED");
+  EXPECT_STREQ(error_code_name(ErrorCode::kSamplerFailed), "SAMPLER_FAILED");
+  EXPECT_STREQ(error_code_name(ErrorCode::kJournalCorrupt), "JOURNAL_CORRUPT");
+  EXPECT_STREQ(error_code_name(ErrorCode::kJournalIoError),
+               "JOURNAL_IO_ERROR");
+  EXPECT_STREQ(error_code_name(ErrorCode::kInternal), "INTERNAL");
+}
+
+TEST(StatusError, WrapsStatus) {
+  const StatusError e(ErrorCode::kCycleBudgetExceeded, "budget 100 exhausted");
+  EXPECT_EQ(e.code(), ErrorCode::kCycleBudgetExceeded);
+  EXPECT_EQ(std::string(e.what()),
+            "CYCLE_BUDGET_EXCEEDED: budget 100 exhausted");
+  EXPECT_FALSE(e.status().is_ok());
+}
+
+TEST(StatusError, CatchableAsRuntimeError) {
+  try {
+    throw StatusError(ErrorCode::kSamplerFailed, "boom");
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("SAMPLER_FAILED"), std::string::npos);
+    return;
+  }
+  FAIL() << "not caught";
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  EXPECT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(std::move(r).value_or_throw(), 42);
+}
+
+TEST(Result, HoldsStatus) {
+  Result<int> r(Status(ErrorCode::kJournalIoError, "cannot open"));
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kJournalIoError);
+  EXPECT_THROW(std::move(r).value_or_throw(), StatusError);
+}
+
+TEST(Result, ValueOrThrowPreservesCode) {
+  Result<std::string> r(Status(ErrorCode::kJournalCorrupt, "torn"));
+  try {
+    std::string v = std::move(r).value_or_throw();
+    (void)v;
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kJournalCorrupt);
+  }
+}
+
+TEST(Ensure, ThrowsEnsureError) {
+  EXPECT_THROW(FAV_ENSURE(1 == 2), EnsureError);
+  EXPECT_THROW(FAV_ENSURE_MSG(false, "detail " << 7), EnsureError);
+  EXPECT_NO_THROW(FAV_ENSURE(true));
+}
+
+TEST(Ensure, EnsureErrorIsACheckError) {
+  // ~100 existing sites catch CheckError; ENSURE failures must stay
+  // catchable through the historical base type.
+  try {
+    FAV_ENSURE_MSG(false, "validation message");
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("validation message"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("status_test.cpp"),
+              std::string::npos);  // location is embedded
+    return;
+  }
+  FAIL() << "EnsureError not catchable as CheckError";
+}
+
+TEST(CheckDeathTest, FatalCheckAborts) {
+  // FAV_CHECK guards internal invariants: a failure must abort, not throw,
+  // so the sample-isolation layer cannot swallow engine corruption.
+  EXPECT_DEATH(FAV_CHECK(1 == 2), "FATAL invariant violated");
+  EXPECT_DEATH(FAV_CHECK_MSG(false, "corrupt " << 3),
+               "FATAL invariant violated.*corrupt 3");
+}
+
+}  // namespace
+}  // namespace fav

@@ -18,7 +18,20 @@
 //   --threads N                   (default 1; 0 = all hardware threads.
 //                                  Estimates are bitwise-identical for every
 //                                  N — see DESIGN.md, parallel engine)
+//   --cycle-budget N              per-sample RTL cycle budget (0 = unlimited)
+//   --deadline-ms N               per-sample wall-clock deadline (0 = none;
+//                                  trades determinism for hang protection)
+//   --journal DIR                 evaluate only: crash-safe shard journal
+//   --resume                      replay the journal in --journal DIR and
+//                                  continue from the first missing sample
+//
+// All flag values are validated strictly: unknown flags, non-numeric or
+// out-of-range values exit with the usage message and status 2 instead of
+// silently defaulting.
+#include <charconv>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -39,16 +52,22 @@ struct Options {
   std::string benchmark = "write";
   std::string strategy = "importance";
   std::string out;
+  std::string journal;
+  bool resume = false;
   std::size_t samples = 3000;
   std::uint64_t seed = 2017;
   int t_range = 50;
   double radius = 1.5;
   double coverage = 0.95;
   std::size_t threads = 1;
+  std::uint64_t cycle_budget = 0;
+  std::uint64_t deadline_ms = 0;
 
   core::FrameworkConfig framework_config() const {
     core::FrameworkConfig cfg;
     cfg.evaluator.threads = threads;
+    cfg.evaluator.cycle_budget = cycle_budget;
+    cfg.evaluator.sample_deadline_ms = deadline_ms;
     return cfg;
   }
 };
@@ -61,8 +80,46 @@ struct Options {
                "options: --benchmark write|read|exec|dma  --samples N  --seed S\n"
                "         --strategy random|cone|importance  --t-range N\n"
                "         --radius R  --coverage C  --out FILE\n"
-               "         --threads N (0 = all hardware threads)\n");
+               "         --threads N (0 = all hardware threads)\n"
+               "         --cycle-budget N  --deadline-ms N (0 = unlimited)\n"
+               "         --journal DIR  --resume (evaluate only)\n");
   std::exit(2);
+}
+
+// Strict numeric parsing: the whole token must parse and land in range,
+// otherwise the CLI exits through usage() — no silent defaulting, no silent
+// prefix parses ("12abc"), no unsigned wrap-around ("-5" as a count).
+std::uint64_t parse_u64(const std::string& flag, const std::string& value,
+                        std::uint64_t min, std::uint64_t max) {
+  std::uint64_t parsed = 0;
+  const char* begin = value.c_str();
+  const char* end = begin + value.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+  if (value.empty() || ec != std::errc{} || ptr != end) {
+    usage((flag + " expects an unsigned integer, got '" + value + "'").c_str());
+  }
+  if (parsed < min || parsed > max) {
+    usage((flag + " value " + value + " out of range [" +
+           std::to_string(min) + ", " + std::to_string(max) + "]")
+              .c_str());
+  }
+  return parsed;
+}
+
+double parse_double(const std::string& flag, const std::string& value,
+                    double min, double max) {
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (value.empty() || end != value.c_str() + value.size() ||
+      !std::isfinite(parsed)) {
+    usage((flag + " expects a finite number, got '" + value + "'").c_str());
+  }
+  if (parsed < min || parsed > max) {
+    usage((flag + " value " + value + " out of range [" +
+           std::to_string(min) + ", " + std::to_string(max) + "]")
+              .c_str());
+  }
+  return parsed;
 }
 
 Options parse(int argc, char** argv) {
@@ -78,24 +135,40 @@ Options parse(int argc, char** argv) {
     if (arg == "--benchmark") {
       o.benchmark = value();
     } else if (arg == "--samples") {
-      o.samples = std::stoul(value());
+      o.samples = parse_u64(arg, value(), 1, 1'000'000'000);
     } else if (arg == "--seed") {
-      o.seed = std::stoull(value());
+      o.seed = parse_u64(arg, value(), 0, UINT64_MAX);
     } else if (arg == "--strategy") {
       o.strategy = value();
     } else if (arg == "--t-range") {
-      o.t_range = std::stoi(value());
+      o.t_range = static_cast<int>(parse_u64(arg, value(), 1, 1'000'000));
     } else if (arg == "--radius") {
-      o.radius = std::stod(value());
+      o.radius = parse_double(arg, value(), 0.0, 1e6);
     } else if (arg == "--coverage") {
-      o.coverage = std::stod(value());
+      o.coverage = parse_double(arg, value(), 1e-9, 1.0);
     } else if (arg == "--threads") {
-      o.threads = std::stoul(value());
+      o.threads = parse_u64(arg, value(), 0, 4096);
+    } else if (arg == "--cycle-budget") {
+      o.cycle_budget = parse_u64(arg, value(), 0, UINT64_MAX);
+    } else if (arg == "--deadline-ms") {
+      o.deadline_ms = parse_u64(arg, value(), 0, UINT64_MAX);
+    } else if (arg == "--journal") {
+      o.journal = value();
+    } else if (arg == "--resume") {
+      o.resume = true;
     } else if (arg == "--out") {
       o.out = value();
     } else {
       usage(("unknown option " + arg).c_str());
     }
+  }
+  if (o.strategy != "random" && o.strategy != "cone" &&
+      o.strategy != "importance") {
+    usage(("unknown strategy '" + o.strategy + "'").c_str());
+  }
+  if (o.resume && o.journal.empty()) usage("--resume requires --journal DIR");
+  if (!o.journal.empty() && o.command != "evaluate") {
+    usage("--journal only applies to the evaluate command");
   }
   return o;
 }
@@ -153,28 +226,71 @@ int cmd_characterize(const Options& o) {
   return 0;
 }
 
-mc::SsfResult run_eval(core::FaultAttackEvaluator& fw, const Options& o) {
-  const auto attack = fw.subblock_attack_model(o.radius, o.t_range);
-  std::unique_ptr<mc::Sampler> sampler;
-  if (o.strategy == "random") {
-    sampler = fw.make_random_sampler(attack);
-  } else if (o.strategy == "cone") {
-    sampler = fw.make_cone_sampler(attack);
-  } else if (o.strategy == "importance") {
-    sampler = fw.make_importance_sampler(attack);
-  } else {
-    usage(("unknown strategy '" + o.strategy + "'").c_str());
+/// Campaign identity for the journal: any option that changes the sample
+/// stream or its evaluation changes the fingerprint, so a stale journal from
+/// a different configuration is rejected on --resume.
+std::uint64_t campaign_fingerprint(const Options& o,
+                                   const std::string& actual_strategy) {
+  const std::string id = o.benchmark + "|" + actual_strategy + "|" +
+                         std::to_string(o.seed) + "|" +
+                         std::to_string(o.samples) + "|" +
+                         std::to_string(o.t_range) + "|" +
+                         std::to_string(o.radius) + "|" +
+                         std::to_string(o.cycle_budget);
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : id) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
   }
+  return h;
+}
+
+mc::SsfResult run_eval(core::FaultAttackEvaluator& fw, const Options& o,
+                       std::string* actual_strategy = nullptr) {
+  const auto attack = fw.subblock_attack_model(o.radius, o.t_range);
+  core::SamplerSelection sel =
+      fw.make_sampler_with_fallback(attack, o.strategy);
+  if (sel.downgraded()) {
+    std::fprintf(stderr, "fav: strategy downgraded %s -> %s (%s)\n",
+                 sel.requested.c_str(), sel.actual.c_str(),
+                 sel.downgrade_reason.c_str());
+  }
+  if (actual_strategy != nullptr) *actual_strategy = sel.actual;
   Rng rng(o.seed);
-  return fw.evaluator().run(*sampler, rng, o.samples);
+  if (o.journal.empty()) {
+    return fw.evaluator().run(*sel.sampler, rng, o.samples);
+  }
+  mc::JournalOptions jopt;
+  jopt.dir = o.journal;
+  jopt.resume = o.resume;
+  jopt.fingerprint = campaign_fingerprint(o, sel.actual);
+  jopt.context = o.benchmark + "/" + sel.actual;
+  Result<mc::SsfResult> result =
+      fw.evaluator().run_journaled(*sel.sampler, rng, o.samples, jopt);
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "fav: journaled run failed: %s\n",
+                 result.status().to_string().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+void print_failures(const mc::SsfResult& res) {
+  if (res.failed == 0 && res.retried == 0) return;
+  std::printf("failures   : %zu failed / %zu retried (%.4f%% of weight)\n",
+              res.failed, res.retried, 100.0 * res.failed_weight_fraction());
+  for (const auto& [code, count] : res.failure_counts) {
+    std::printf("             %s x%zu\n", error_code_name(code), count);
+  }
 }
 
 int cmd_evaluate(const Options& o) {
   core::FaultAttackEvaluator fw(pick_benchmark(o.benchmark),
                                 o.framework_config());
-  const auto res = run_eval(fw, o);
+  std::string actual_strategy = o.strategy;
+  const auto res = run_eval(fw, o, &actual_strategy);
   std::printf("benchmark  : %s\n", fw.benchmark().name.c_str());
-  std::printf("strategy   : %s (n=%zu, seed=%llu)\n", o.strategy.c_str(),
+  std::printf("strategy   : %s (n=%zu, seed=%llu)\n", actual_strategy.c_str(),
               o.samples, static_cast<unsigned long long>(o.seed));
   std::printf("SSF        : %.6f\n", res.ssf());
   std::printf("std error  : %.6f\n", res.stats.standard_error());
@@ -182,6 +298,7 @@ int cmd_evaluate(const Options& o) {
   std::printf("successes  : %zu\n", res.successes);
   std::printf("paths      : %zu masked / %zu analytical / %zu rtl\n",
               res.masked, res.analytical, res.rtl);
+  print_failures(res);
   const auto& map = rtl::Machine::reg_map();
   const auto fields = core::select_critical_fields(res, 0.95);
   std::printf("critical   :");
@@ -257,6 +374,10 @@ int main(int argc, char** argv) {
     if (o.command == "export-verilog") return cmd_export_verilog(o);
     if (o.command == "trace") return cmd_trace(o);
     usage(("unknown command '" + o.command + "'").c_str());
+  } catch (const StatusError& e) {
+    std::fprintf(stderr, "fav: [%s] %s\n", error_code_name(e.code()),
+                 e.what());
+    return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fav: %s\n", e.what());
     return 1;
