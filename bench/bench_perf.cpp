@@ -123,6 +123,54 @@ BENCHMARK(BM_MonteCarloRunThreads)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// Instrumented campaign: samples/s with the metrics sink attached plus the
+// observability layer's own answer to "where does the time go" — the
+// checkpoint-restore / gate-injection / RTL-resume split is exported as
+// per-sample counters so BENCH_pr3.json snapshots track phase drift, not
+// just aggregate throughput. Also measures the overhead of metrics
+// collection itself: compare against the same Arg row of
+// BM_MonteCarloRunThreads (identical engine config, sink detached).
+void BM_MonteCarloRunInstrumented(benchmark::State& state) {
+  static core::FaultAttackEvaluator fw(soc::make_illegal_write_benchmark());
+  static const faultsim::AttackModel attack = fw.subblock_attack_model(1.5, 50);
+  static auto sampler = fw.make_importance_sampler(attack);
+  MetricsSink metrics;
+  mc::EvaluatorConfig cfg;
+  cfg.threads = static_cast<std::size_t>(state.range(0));
+  cfg.keep_records = false;
+  cfg.metrics = &metrics;
+  const mc::SsfEvaluator engine(fw.soc(), fw.placement(), fw.injector(),
+                                fw.benchmark(), fw.golden(),
+                                &fw.characterization(), cfg);
+  constexpr std::size_t kSamples = 512;
+  for (auto _ : state) {
+    Rng rng(42);
+    benchmark::DoNotOptimize(engine.run(*sampler, rng, kSamples));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kSamples));
+  const auto per_sample_ns = [&](const char* name) {
+    const TimerStat* t = metrics.timer(name);
+    const double total = static_cast<double>(state.iterations()) * kSamples;
+    return t != nullptr ? static_cast<double>(t->total_ns) / total : 0.0;
+  };
+  state.counters["restore_ns_per_sample"] = per_sample_ns("eval.restore_ns");
+  state.counters["gate_inject_ns_per_sample"] =
+      per_sample_ns("eval.gate_inject_ns");
+  state.counters["rtl_resume_ns_per_sample"] =
+      per_sample_ns("eval.rtl_resume_ns");
+  state.counters["analytical_ns_per_sample"] =
+      per_sample_ns("eval.analytical_ns");
+  state.counters["rtl_path_fraction"] =
+      static_cast<double>(metrics.counter("eval.path.rtl")) /
+      static_cast<double>(metrics.counter("eval.samples"));
+}
+BENCHMARK(BM_MonteCarloRunInstrumented)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void BM_SignatureRecording(benchmark::State& state) {
   const rtl::Program workload = soc::make_synthetic_workload();
   for (auto _ : state) {

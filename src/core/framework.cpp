@@ -53,26 +53,43 @@ FaultAttackEvaluator::FaultAttackEvaluator(soc::SecurityBenchmark bench,
       placement_(soc_.netlist()),
       synthetic_workload_(soc::make_synthetic_workload()) {
   // Golden runs: the benchmark itself plus the synthetic pre-charac workload.
-  golden_ = std::make_unique<rtl::GoldenRun>(bench_.program, bench_.max_cycles,
-                                             config.checkpoint_interval);
-  synthetic_golden_ = std::make_unique<rtl::GoldenRun>(
-      synthetic_workload_, config.precharac_cycles,
-      config.checkpoint_interval);
+  // Each pre-characterization phase is timed into metrics_ — the phases run
+  // once per framework, so the report shows where construction cost goes.
+  {
+    ScopeTimer timer(&metrics_, "precharac.golden_runs_ns");
+    golden_ = std::make_unique<rtl::GoldenRun>(
+        bench_.program, bench_.max_cycles, config.checkpoint_interval);
+    synthetic_golden_ = std::make_unique<rtl::GoldenRun>(
+        synthetic_workload_, config.precharac_cycles,
+        config.checkpoint_interval);
+  }
 
   // Pre-characterization (Section 4): cones, signatures, register classes.
-  cone_ = std::make_unique<netlist::UnrolledCone>(
-      soc_.netlist(), soc_.netlist().find_or_throw("mpu_viol"),
-      config.cone_fanin_depth, config.cone_fanout_depth);
-  signatures_ = std::make_unique<precharac::SignatureTrace>(
-      soc_, synthetic_workload_, config.precharac_cycles);
-  charac_ = std::make_unique<precharac::RegisterCharacterization>(
-      *synthetic_golden_, config.characterization);
+  {
+    ScopeTimer timer(&metrics_, "precharac.cone_ns");
+    cone_ = std::make_unique<netlist::UnrolledCone>(
+        soc_.netlist(), soc_.netlist().find_or_throw("mpu_viol"),
+        config.cone_fanin_depth, config.cone_fanout_depth);
+  }
+  {
+    ScopeTimer timer(&metrics_, "precharac.signatures_ns");
+    signatures_ = std::make_unique<precharac::SignatureTrace>(
+        soc_, synthetic_workload_, config.precharac_cycles);
+  }
+  {
+    ScopeTimer timer(&metrics_, "precharac.characterization_ns");
+    charac_ = std::make_unique<precharac::RegisterCharacterization>(
+        *synthetic_golden_, config.characterization);
+  }
 
+  ScopeTimer injector_timer(&metrics_, "precharac.injector_ns");
   injector_ = std::make_unique<faultsim::InjectionSimulator>(
       soc_.netlist(), config.timing, config.transient);
   evaluator_ = std::make_unique<mc::SsfEvaluator>(
       soc_, placement_, *injector_, bench_, *golden_, charac_.get(),
       config.evaluator);
+  injector_timer.stop();
+  ScopeTimer potency_timer(&metrics_, "precharac.potency_ns");
 
   // Potency of memory-type registers, from the analytical evaluator; it
   // steers the mixed importance-sampling strategy.
@@ -117,6 +134,13 @@ FaultAttackEvaluator::FaultAttackEvaluator(soc::SecurityBenchmark bench,
       }
     }
   }
+  std::size_t potent_bits = 0, boosted_bits = 0;
+  for (const double p : potency) {
+    if (p >= 1.0) ++potent_bits;
+    else if (p > 0.0) ++boosted_bits;
+  }
+  metrics_.add_counter("precharac.potent_bits", potent_bits);
+  metrics_.add_counter("precharac.group_boosted_bits", boosted_bits);
 }
 
 AttackModel FaultAttackEvaluator::chip_attack_model(double radius,
@@ -235,6 +259,7 @@ AdaptiveRunResult FaultAttackEvaluator::run_adaptive(
     out.downgrade_reason = "pilot sampler '" + pilot_sampler.name() +
                            "' failed (" + e.what() + "); downgraded to '" +
                            sel.actual + "'";
+    metrics_.add_counter("adaptive.pilot_downgrades");
     log_event("run_adaptive: " + out.downgrade_reason);
     fallback_pilot = std::move(sel.sampler);
     pilot = fallback_pilot.get();
@@ -255,6 +280,7 @@ AdaptiveRunResult FaultAttackEvaluator::run_adaptive(
     // this fallback is deterministic).
     out.downgrade_reason = std::string("adaptive refit failed (") + e.what() +
                            "); refined stage uses the pilot sampler";
+    metrics_.add_counter("adaptive.refit_downgrades");
     log_event("run_adaptive: " + out.downgrade_reason);
     out.refined = evaluator_->run(*pilot, rng, refine_n);
   }
@@ -273,12 +299,14 @@ SamplerSelection FaultAttackEvaluator::make_sampler_with_fallback(
     if (!sel.downgrade_reason.empty()) sel.downgrade_reason += "; ";
     sel.downgrade_reason +=
         from + " sampler unavailable (" + e.what() + "), falling back to " + to;
+    metrics_.add_counter("sampler.downgrades");
     log_event("sampler downgrade: " + sel.downgrade_reason);
   };
   if (strategy == "importance") {
     try {
       sel.sampler = make_importance_sampler(attack);
       sel.actual = "importance";
+      metrics_.add_counter("sampler.built.importance");
       return sel;
     } catch (const std::exception& e) {
       downgrade("importance", "cone", e);
@@ -288,6 +316,7 @@ SamplerSelection FaultAttackEvaluator::make_sampler_with_fallback(
     try {
       sel.sampler = make_cone_sampler(attack);
       sel.actual = "cone";
+      metrics_.add_counter("sampler.built.cone");
       return sel;
     } catch (const std::exception& e) {
       downgrade("cone", "random", e);
@@ -295,6 +324,7 @@ SamplerSelection FaultAttackEvaluator::make_sampler_with_fallback(
   }
   sel.sampler = make_random_sampler(attack);
   sel.actual = "random";
+  metrics_.add_counter("sampler.built.random");
   return sel;
 }
 

@@ -104,6 +104,18 @@ class FaultAttackEvaluator {
   const mc::SsfEvaluator& evaluator() const { return *evaluator_; }
   std::uint64_t target_cycle() const { return evaluator_->target_cycle(); }
 
+  /// Pre-characterization observability (always collected — the phases run
+  /// once and the cost of a few clock reads is nil): per-phase construction
+  /// timers ("precharac.golden_runs_ns", "precharac.cone_ns",
+  /// "precharac.signatures_ns", "precharac.characterization_ns",
+  /// "precharac.injector_ns", "precharac.potency_ns"), potency counters,
+  /// and sampler-fallback provenance ("sampler.downgrades",
+  /// "sampler.built.<strategy>"). Merge into a campaign sink for run
+  /// reports. Counters mutate under make_sampler_with_fallback /
+  /// run_adaptive; access is not synchronized — same single-caller contract
+  /// as those methods.
+  const MetricsSink& metrics() const { return metrics_; }
+
   /// --- attack models -----------------------------------------------------
   /// Uniform f_{T,P} over the whole chip (every placed cell a candidate).
   faultsim::AttackModel chip_attack_model(double radius = 1.5,
@@ -162,6 +174,8 @@ class FaultAttackEvaluator {
   void log_event(const std::string& message) const;
 
   FrameworkConfig config_;
+  /// mutable: const sampler factories record fallback provenance.
+  mutable MetricsSink metrics_;
   soc::SecurityBenchmark bench_;
   soc::SocNetlist soc_;
   layout::Placement placement_;

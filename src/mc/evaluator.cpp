@@ -13,6 +13,25 @@ namespace fav::mc {
 using rtl::Machine;
 using rtl::RegisterMap;
 
+const char* outcome_path_name(OutcomePath path) {
+  switch (path) {
+    case OutcomePath::kMasked: return "masked";
+    case OutcomePath::kAnalytical: return "analytical";
+    case OutcomePath::kRtl: return "rtl";
+    case OutcomePath::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Per-outcome-path latency timer name ("eval.sample.<path>_ns").
+std::string path_timer_name(OutcomePath path) {
+  return std::string("eval.sample.") + outcome_path_name(path) + "_ns";
+}
+
+}  // namespace
+
 EvalBudget::EvalBudget(std::uint64_t cycle_budget, std::uint64_t deadline_ms)
     : cycles_left_(cycle_budget),
       limit_cycles_(cycle_budget > 0),
@@ -65,8 +84,8 @@ SsfEvaluator::SsfEvaluator(
 bool SsfEvaluator::decide_outcome(rtl::Machine& machine,
                                   const std::vector<int>& flips,
                                   std::uint64_t first_faulty_cycle,
-                                  OutcomePath* path,
-                                  EvalBudget& budget) const {
+                                  OutcomePath* path, EvalBudget& budget,
+                                  MetricsSink* sink) const {
   if (flips.empty()) {
     if (path != nullptr) *path = OutcomePath::kMasked;
     return false;
@@ -80,6 +99,7 @@ bool SsfEvaluator::decide_outcome(rtl::Machine& machine,
       }
     }
     if (all_memory_type) {
+      ScopeTimer timer(sink, "eval.analytical_ns");
       const auto verdict =
           analytical_.evaluate(machine.state(), first_faulty_cycle);
       if (verdict.has_value()) {
@@ -89,9 +109,14 @@ bool SsfEvaluator::decide_outcome(rtl::Machine& machine,
     }
   }
   if (path != nullptr) *path = OutcomePath::kRtl;
+  ScopeTimer timer(sink, "eval.rtl_resume_ns");
+  const std::uint64_t resume_from = machine.cycle();
   while (!machine.halted() && machine.cycle() < bench_->max_cycles) {
     budget.charge_cycles(1);
     machine.step();
+  }
+  if (sink != nullptr) {
+    sink->add_counter("rtl.resume_cycles", machine.cycle() - resume_from);
   }
   return bench_->attack_succeeded(machine.state(), machine.ram());
 }
@@ -122,7 +147,8 @@ SampleRecord SsfEvaluator::evaluate_sample(
 }
 
 SampleRecord SsfEvaluator::evaluate_sample(const faultsim::FaultSample& sample,
-                                           EvalScratch& scratch) const {
+                                           EvalScratch& scratch,
+                                           MetricsSink* sink) const {
   SampleRecord rec;
   rec.sample = sample;
   FAV_ENSURE_MSG(sample.t >= 0, "negative timing distance not supported");
@@ -151,22 +177,41 @@ SampleRecord SsfEvaluator::evaluate_sample(const faultsim::FaultSample& sample,
   // no state survives from the previous sample.
   Machine& machine = scratch.machine_;
   std::uint64_t warmup = 0;
-  golden_->restore_into(machine, rec.te, &warmup);
+  {
+    ScopeTimer timer(sink, "eval.restore_ns");
+    golden_->restore_into(machine, rec.te, &warmup);
+  }
+  if (sink != nullptr) {
+    sink->add_counter("rtl.warmup_cycles", warmup);
+    sink->add_counter("rtl.restore_bytes", golden_->restore_byte_size());
+  }
   budget.charge_cycles(warmup);
   soc::GateLevelMachine& gate = scratch.gate_;
   std::set<int> flipped;
-  for (int j = 0; j < sample.impact_cycles && !machine.halted(); ++j) {
-    budget.charge_cycles(1);
-    gate.load_state(machine.state());
-    gate.mutable_ram() = machine.ram();
-    gate.settle_inputs();
-    const auto inj = injector_->inject(gate.sim(), scratch.struck_, strike_time);
-    machine.step();
-    for (const netlist::NodeId dff : inj.flipped_dffs) {
-      const int bit = soc_->flat_bit_for_dff(dff);
-      FAV_CHECK(bit >= 0);
-      map.flip_bit(machine.mutable_state(), bit);
-      flipped.insert(bit);
+  {
+    ScopeTimer timer(sink, "eval.gate_inject_ns");
+    const std::uint64_t settles_before = gate.total_settles();
+    std::uint64_t injection_cycles = 0;
+    for (int j = 0; j < sample.impact_cycles && !machine.halted(); ++j) {
+      budget.charge_cycles(1);
+      ++injection_cycles;
+      gate.load_state(machine.state());
+      gate.mutable_ram() = machine.ram();
+      gate.settle_inputs();
+      const auto inj =
+          injector_->inject(gate.sim(), scratch.struck_, strike_time);
+      machine.step();
+      for (const netlist::NodeId dff : inj.flipped_dffs) {
+        const int bit = soc_->flat_bit_for_dff(dff);
+        FAV_CHECK(bit >= 0);
+        map.flip_bit(machine.mutable_state(), bit);
+        flipped.insert(bit);
+      }
+    }
+    if (sink != nullptr) {
+      sink->add_counter("gate.injection_cycles", injection_cycles);
+      sink->add_counter("gate.settle_passes",
+                        gate.total_settles() - settles_before);
     }
   }
   rec.flipped_bits.assign(flipped.begin(), flipped.end());
@@ -177,14 +222,14 @@ SampleRecord SsfEvaluator::evaluate_sample(const faultsim::FaultSample& sample,
   rec.success = decide_outcome(
       machine, rec.flipped_bits,
       rec.te + static_cast<std::uint64_t>(sample.impact_cycles), &rec.path,
-      budget);
+      budget, sink);
   rec.contribution = rec.success ? sample.weight : 0.0;
   return rec;
 }
 
 SampleRecord SsfEvaluator::evaluate_sample_isolated(
     const faultsim::FaultSample& sample,
-    std::unique_ptr<EvalScratch>& scratch) const {
+    std::unique_ptr<EvalScratch>& scratch, MetricsSink* sink) const {
   auto classify = [](const std::exception& e) {
     if (const auto* se = dynamic_cast<const StatusError*>(&e)) {
       return se->code();
@@ -194,7 +239,7 @@ SampleRecord SsfEvaluator::evaluate_sample_isolated(
   ErrorCode code;
   std::string reason;
   try {
-    return evaluate_sample(sample, *scratch);
+    return evaluate_sample(sample, *scratch, sink);
   } catch (const std::exception& e) {
     code = classify(e);
     reason = e.what();
@@ -206,9 +251,12 @@ SampleRecord SsfEvaluator::evaluate_sample_isolated(
   bool retried = false;
   if (config_.retry_failed && code != ErrorCode::kCycleBudgetExceeded) {
     retried = true;
-    scratch = std::make_unique<EvalScratch>(*this);
+    {
+      ScopeTimer timer(sink, "eval.scratch_rebuild_ns");
+      scratch = std::make_unique<EvalScratch>(*this);
+    }
     try {
-      SampleRecord rec = evaluate_sample(sample, *scratch);
+      SampleRecord rec = evaluate_sample(sample, *scratch, sink);
       rec.retried = true;
       return rec;
     } catch (const std::exception& e) {
@@ -239,6 +287,8 @@ SsfResult SsfEvaluator::reduce(std::vector<SampleRecord>&& records) const {
       result.failed_weight += rec.sample.weight;
       ++result.failure_counts[rec.fail_code];
     } else {
+      result.completed_weight += rec.sample.weight;
+      result.completed_weight_sq += rec.sample.weight * rec.sample.weight;
       result.stats.add(rec.contribution);
       switch (rec.path) {
         case OutcomePath::kMasked: ++result.masked; break;
@@ -270,6 +320,23 @@ SsfResult SsfEvaluator::reduce(std::vector<SampleRecord>&& records) const {
       result.trace.push_back(result.stats.mean());
     }
     if (config_.keep_records) result.records.push_back(std::move(rec));
+  }
+  // Sample-derived aggregates land in the caller's sink here, inside the
+  // sample-index-ordered reduction, so they are deterministic at every
+  // thread count (unlike the wall-clock timers merged from worker sinks).
+  if (config_.metrics != nullptr) {
+    MetricsSink& m = *config_.metrics;
+    m.add_counter("eval.samples", records.size());
+    m.add_counter("eval.path.masked", result.masked);
+    m.add_counter("eval.path.analytical", result.analytical);
+    m.add_counter("eval.path.rtl", result.rtl);
+    m.add_counter("eval.path.failed", result.failed);
+    m.add_counter("eval.retried", result.retried);
+    m.add_counter("eval.successes", result.successes);
+    m.set_gauge("eval.ess", result.effective_sample_size());
+    m.set_gauge("eval.ssf", result.ssf());
+    m.set_gauge("eval.failed_weight_fraction",
+                result.failed_weight_fraction());
   }
   return result;
 }
@@ -312,37 +379,97 @@ std::vector<std::unique_ptr<EvalScratch>> SsfEvaluator::make_scratch_pool(
   return scratch;
 }
 
+SsfEvaluator::WorkerObservers SsfEvaluator::make_observers(
+    std::size_t workers) const {
+  WorkerObservers obs;
+  if (config_.metrics != nullptr) obs.sinks.resize(workers);
+  if (config_.trace != nullptr) obs.traces.resize(workers);
+  return obs;
+}
+
+void SsfEvaluator::merge_observers(WorkerObservers&& observers) const {
+  // Worker-index order: the merged counter totals are schedule-independent
+  // anyway (each sample contributes the same increments wherever it ran),
+  // but a fixed fold order keeps the aggregation itself deterministic.
+  if (config_.metrics != nullptr) {
+    for (const MetricsSink& sink : observers.sinks) {
+      config_.metrics->merge(sink);
+    }
+  }
+  if (config_.trace != nullptr) {
+    for (TraceBuffer& buf : observers.traces) {
+      config_.trace->merge(std::move(buf));
+    }
+  }
+}
+
 void SsfEvaluator::evaluate_range(
     const std::vector<faultsim::FaultSample>& samples,
     std::vector<SampleRecord>& records, std::size_t lo, std::size_t hi,
-    std::vector<std::unique_ptr<EvalScratch>>& scratch) const {
+    std::vector<std::unique_ptr<EvalScratch>>& scratch,
+    WorkerObservers* observers) const {
   // Evaluate each sample into its own slot; workers reuse per-thread scratch
   // machines. Block scheduling is dynamic (sample cost varies by outcome
   // path), which is safe because slot writes, not schedule order, carry the
-  // results.
-  if (scratch.size() <= 1) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      records[i] = evaluate_sample_isolated(samples[i], scratch[0]);
+  // results. Instrumentation writes only into the worker's own sink/trace
+  // slot (merged later), so observing a run cannot perturb it.
+  const bool timing = observers != nullptr && (!observers->sinks.empty() ||
+                                               !observers->traces.empty());
+  auto eval_one = [&](std::size_t worker, std::size_t i) {
+    MetricsSink* sink =
+        observers != nullptr && !observers->sinks.empty()
+            ? &observers->sinks[worker]
+            : nullptr;
+    const std::uint64_t t0 = timing ? monotonic_ns() : 0;
+    records[i] = evaluate_sample_isolated(samples[i], scratch[worker], sink);
+    if (timing) {
+      const std::uint64_t dur = monotonic_ns() - t0;
+      if (sink != nullptr) {
+        sink->add_timer_ns(path_timer_name(records[i].path), dur);
+      }
+      if (!observers->traces.empty()) {
+        observers->traces[worker].record(
+            outcome_path_name(records[i].path), "sample", t0, dur,
+            static_cast<std::uint32_t>(worker), i);
+      }
     }
+    if (config_.progress != nullptr) {
+      const bool failed = records[i].path == OutcomePath::kFailed;
+      config_.progress->record(failed ? 0.0 : records[i].contribution,
+                               records[i].sample.weight, failed);
+    }
+  };
+  if (scratch.size() <= 1) {
+    for (std::size_t i = lo; i < hi; ++i) eval_one(0, i);
     return;
   }
   parallel_for(hi - lo, scratch.size(), /*grain=*/8,
                [&](std::size_t worker, std::size_t b, std::size_t e) {
                  for (std::size_t i = lo + b; i < lo + e; ++i) {
-                   records[i] =
-                       evaluate_sample_isolated(samples[i], scratch[worker]);
+                   eval_one(worker, i);
                  }
                });
 }
 
 SsfResult SsfEvaluator::run(Sampler& sampler, Rng& rng, std::size_t n) const {
-  const std::vector<faultsim::FaultSample> samples =
-      draw_batch(sampler, rng, n);
+  ScopeTimer run_timer(config_.metrics, "run.total_ns");
+  std::vector<faultsim::FaultSample> samples;
+  {
+    ScopeTimer timer(config_.metrics, "run.draw_batch_ns");
+    samples = draw_batch(sampler, rng, n);
+  }
   std::vector<SampleRecord> records(n);
-  auto scratch = make_scratch_pool(n);
-  evaluate_range(samples, records, 0, n, scratch);
+  std::vector<std::unique_ptr<EvalScratch>> scratch;
+  {
+    ScopeTimer timer(config_.metrics, "run.scratch_setup_ns");
+    scratch = make_scratch_pool(n);
+  }
+  WorkerObservers observers = make_observers(scratch.size());
+  evaluate_range(samples, records, 0, n, scratch, &observers);
+  merge_observers(std::move(observers));
   // Reduce in sample-index order — the exact accumulation a sequential loop
   // would perform, so the estimate is independent of the schedule.
+  ScopeTimer timer(config_.metrics, "run.reduce_ns");
   return reduce(std::move(records));
 }
 
@@ -400,18 +527,24 @@ Result<SsfResult> SsfEvaluator::run_journaled(
   }
 
   JournalWriter writer;
+  writer.set_metrics(config_.metrics);
   const Status open = options.resume && done > 0
                           ? writer.open_append(options.dir, valid_bytes)
                           : writer.open_fresh(options.dir, meta);
   if (!open.is_ok()) return open;
+  if (config_.metrics != nullptr) {
+    config_.metrics->add_counter("journal.resumed_records", done);
+  }
 
   auto scratch = make_scratch_pool(n);
+  WorkerObservers observers = make_observers(scratch.size());
   for (std::size_t lo = done; lo < n; lo += options.shard_size) {
     const std::size_t hi = std::min(lo + options.shard_size, n);
-    evaluate_range(samples, records, lo, hi, scratch);
+    evaluate_range(samples, records, lo, hi, scratch, &observers);
     const Status appended = writer.append_shard(lo, &records[lo], hi - lo);
     if (!appended.is_ok()) return appended;
   }
+  merge_observers(std::move(observers));
   return reduce(std::move(records));
 }
 

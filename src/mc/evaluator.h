@@ -33,6 +33,7 @@
 #include "precharac/characterize.h"
 #include "rtl/golden.h"
 #include "soc/gate_machine.h"
+#include "util/metrics.h"
 #include "util/stats.h"
 #include "util/status.h"
 
@@ -44,6 +45,10 @@ enum class OutcomePath {
   kRtl,         // required RTL-level resumption
   kFailed,      // evaluation failed (budget overrun or captured exception)
 };
+
+/// Stable lowercase name ("masked" / "analytical" / "rtl" / "failed") used
+/// for metric and trace-event names.
+const char* outcome_path_name(OutcomePath path);
 
 struct SampleRecord {
   faultsim::FaultSample sample;
@@ -75,6 +80,11 @@ struct SsfResult {
   double total_weight = 0.0;
   /// Failure reasons, keyed by error code.
   std::map<ErrorCode, std::size_t> failure_counts;
+  /// Σw and Σw² over *completed* samples, accumulated in sample-index order
+  /// by the reduction (so they are bitwise-identical at every thread count).
+  /// They define the importance-sampling effective sample size below.
+  double completed_weight = 0.0;
+  double completed_weight_sq = 0.0;
   /// Running estimate recorded every `trace_stride` samples (Fig. 9a).
   std::vector<double> trace;
   std::vector<SampleRecord> records;
@@ -88,6 +98,14 @@ struct SsfResult {
 
   double ssf() const { return stats.mean(); }
   double sample_variance() const { return stats.variance(); }
+  /// ESS = (Σw)²/Σw² (Kong 1992): how many unweighted samples the
+  /// importance-weighted run is worth. Equals the completed-sample count for
+  /// an unweighted (w == 1) campaign; a low ESS flags a proposal mismatch.
+  double effective_sample_size() const {
+    return completed_weight_sq > 0.0
+               ? completed_weight * completed_weight / completed_weight_sq
+               : 0.0;
+  }
   double failed_weight_fraction() const {
     return total_weight > 0.0 ? failed_weight / total_weight : 0.0;
   }
@@ -116,6 +134,24 @@ struct EvaluatorConfig {
   /// Retry a failed evaluation once on fresh scratch before recording
   /// kFailed (cycle-budget overruns are deterministic and never retried).
   bool retry_failed = true;
+
+  /// --- observability (util/metrics.h; all optional, null = disabled) ----
+  /// Aggregated campaign metrics. Per-worker sinks are created inside
+  /// run()/run_journaled() and merged into *metrics in worker-index order
+  /// when the run completes; sample-derived statistics (outcome-path
+  /// counters, ESS) are recorded during the sample-index-ordered reduction.
+  /// Enabling metrics never changes SSF results — counters are
+  /// schedule-independent, timers are wall-clock and only feed reports.
+  /// Successive runs through the same config accumulate into the same sink.
+  MetricsSink* metrics = nullptr;
+  /// Chrome-trace events: one complete event per evaluated sample (lane =
+  /// worker index, args.sample = sample index), merged per worker and
+  /// written in sample-index order by TraceBuffer::write_json.
+  TraceBuffer* trace = nullptr;
+  /// Throttled live progress; record() is invoked once per completed sample
+  /// in completion order (see ProgressMeter for the determinism caveat on
+  /// the *displayed* running mean).
+  ProgressMeter* progress = nullptr;
 };
 
 /// Per-evaluation resource budget. charge_cycles() throws StatusError with
@@ -198,8 +234,14 @@ class SsfEvaluator {
   SampleRecord evaluate_sample(const faultsim::FaultSample& sample) const;
   /// Same, reusing `scratch`'s machines and buffers. Thread-safe as long as
   /// each thread uses its own scratch: the evaluator itself is only read.
+  /// A non-null `sink` receives the per-phase time split of this sample
+  /// (eval.restore_ns / eval.gate_inject_ns / eval.rtl_resume_ns /
+  /// eval.analytical_ns) and simulation-cost counters (rtl.warmup_cycles,
+  /// rtl.restore_bytes, rtl.resume_cycles, gate.injection_cycles,
+  /// gate.settle_passes); the sink must be private to the calling thread.
   SampleRecord evaluate_sample(const faultsim::FaultSample& sample,
-                               EvalScratch& scratch) const;
+                               EvalScratch& scratch,
+                               MetricsSink* sink = nullptr) const;
 
   /// Fault-isolated evaluation: never throws on a per-sample failure.
   /// Exceptions and budget overruns are captured; non-deterministic failures
@@ -208,7 +250,8 @@ class SsfEvaluator {
   /// carrying the error code and reason.
   SampleRecord evaluate_sample_isolated(
       const faultsim::FaultSample& sample,
-      std::unique_ptr<EvalScratch>& scratch) const;
+      std::unique_ptr<EvalScratch>& scratch,
+      MetricsSink* sink = nullptr) const;
 
   /// Decides the outcome of a given flipped-bit set injected at the end of
   /// cycle `te` (used by evaluate_sample and by hardening re-evaluation,
@@ -242,16 +285,31 @@ class SsfEvaluator {
                                   const JournalOptions& options) const;
 
  private:
+  /// Per-worker observability buffers for one run. The vectors are empty
+  /// when the corresponding config pointer is null; otherwise they hold one
+  /// slot per scratch/worker, merged in worker-index order by
+  /// merge_observers() so the aggregate is schedule-independent.
+  struct WorkerObservers {
+    std::vector<MetricsSink> sinks;
+    std::vector<TraceBuffer> traces;
+  };
+
   /// Draws the whole batch sequentially (determinism contract); wraps
   /// sampler exceptions into StatusError(kSamplerFailed).
   std::vector<faultsim::FaultSample> draw_batch(Sampler& sampler, Rng& rng,
                                                 std::size_t n) const;
   /// Evaluates samples[lo, hi) into records[lo, hi) on the worker pool,
   /// reusing `scratch` (one slot per worker; isolated evaluation).
+  /// `observers` may be null (no instrumentation) or sized to the pool.
   void evaluate_range(const std::vector<faultsim::FaultSample>& samples,
                       std::vector<SampleRecord>& records, std::size_t lo,
                       std::size_t hi,
-                      std::vector<std::unique_ptr<EvalScratch>>& scratch) const;
+                      std::vector<std::unique_ptr<EvalScratch>>& scratch,
+                      WorkerObservers* observers) const;
+  WorkerObservers make_observers(std::size_t workers) const;
+  /// Folds the per-worker sinks/traces into config_.metrics/config_.trace
+  /// in worker-index order.
+  void merge_observers(WorkerObservers&& observers) const;
   /// Builds one scratch per resolved worker (capped by `n` work items).
   std::vector<std::unique_ptr<EvalScratch>> make_scratch_pool(
       std::size_t n) const;
@@ -262,7 +320,7 @@ class SsfEvaluator {
   /// (last) injection cycle with the errors overlaid.
   bool decide_outcome(rtl::Machine& machine, const std::vector<int>& flips,
                       std::uint64_t first_faulty_cycle, OutcomePath* path,
-                      EvalBudget& budget) const;
+                      EvalBudget& budget, MetricsSink* sink = nullptr) const;
 
   const soc::SocNetlist* soc_;
   const layout::Placement* placement_;

@@ -1,5 +1,6 @@
 #include "mc/journal.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <cstring>
@@ -273,7 +274,13 @@ Status JournalWriter::open_fresh(const std::string& dir,
     return Status(ErrorCode::kJournalIoError,
                   "short write on journal header " + path);
   }
-  return commit();
+  const Status committed = commit();
+  if (!committed.is_ok()) return committed;
+  // The header fsync above made the *contents* durable; the name->inode link
+  // of the freshly created (or truncated) file lives in the directory, which
+  // needs its own fsync — otherwise a crash here can lose campaign.fj
+  // entirely while the caller believes the journal exists.
+  return sync_dir(dir);
 }
 
 Status JournalWriter::open_append(const std::string& dir,
@@ -301,7 +308,15 @@ Status JournalWriter::open_append(const std::string& dir,
     return Status(ErrorCode::kJournalIoError,
                   "cannot open journal " + path + " for appending");
   }
-  return Status::ok();
+  if (size > valid_bytes) {
+    // Make the truncation itself durable before appending after it: the new
+    // length is inode metadata (file fsync) but a crash between truncate and
+    // the next append must not resurrect the torn tail mid-file, so the
+    // directory entry is synced as well, mirroring open_fresh.
+    const Status committed = commit();
+    if (!committed.is_ok()) return committed;
+  }
+  return sync_dir(dir);
 }
 
 Status JournalWriter::append_shard(std::size_t first_index,
@@ -329,12 +344,38 @@ Status JournalWriter::append_shard(std::size_t first_index,
       std::fwrite(&sum, 1, sizeof(sum), file_) != sizeof(sum)) {
     return Status(ErrorCode::kJournalIoError, "short write on journal frame");
   }
+  if (metrics_ != nullptr) {
+    metrics_->add_counter("journal.shards");
+    metrics_->add_counter("journal.bytes_written",
+                          sizeof(kFrameMagic) + sizeof(index64) +
+                              sizeof(count32) + sizeof(payload_len) +
+                              payload.size() + sizeof(sum));
+  }
   return commit();
 }
 
 Status JournalWriter::commit() {
+  ScopeTimer timer(metrics_, "journal.fsync_ns");
+  if (metrics_ != nullptr) metrics_->add_counter("journal.commits");
   if (std::fflush(file_) != 0 || ::fsync(fileno(file_)) != 0) {
     return Status(ErrorCode::kJournalIoError, "journal flush failed");
+  }
+  return Status::ok();
+}
+
+Status JournalWriter::sync_dir(const std::string& dir) {
+  ScopeTimer timer(metrics_, "journal.dir_fsync_ns");
+  if (metrics_ != nullptr) metrics_->add_counter("journal.dir_fsyncs");
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status(ErrorCode::kJournalIoError,
+                  "cannot open journal directory " + dir + " for fsync");
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status(ErrorCode::kJournalIoError,
+                  "fsync of journal directory " + dir + " failed");
   }
   return Status::ok();
 }

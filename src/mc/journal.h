@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "mc/evaluator.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace fav::mc {
@@ -63,12 +64,22 @@ Result<JournalContents> read_journal(const std::string& dir);
 
 /// Appends completed shards to `<dir>/campaign.fj`. Every append is flushed
 /// and fsynced before returning, so a completed shard survives SIGKILL.
+/// Durability requires fsyncing the *parent directory* too after the file is
+/// created or truncated — POSIX treats the name->inode link as directory
+/// data, so without it a crash right after open_fresh can lose the file
+/// itself even though its contents were fsynced.
 class JournalWriter {
  public:
   JournalWriter() = default;
   ~JournalWriter();
   JournalWriter(const JournalWriter&) = delete;
   JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Optional observability (see util/metrics.h): fsync latencies
+  /// ("journal.fsync_ns", "journal.dir_fsync_ns") and I/O counters
+  /// ("journal.commits", "journal.dir_fsyncs", "journal.bytes_written").
+  /// The sink must outlive the writer; the caller serializes access.
+  void set_metrics(MetricsSink* sink) { metrics_ = sink; }
 
   /// Starts a new journal (truncating any existing one) and commits the
   /// header. Creates `dir` if needed.
@@ -87,8 +98,11 @@ class JournalWriter {
 
  private:
   Status commit();
+  /// fsyncs the directory entry of `dir` (create/truncate durability).
+  Status sync_dir(const std::string& dir);
 
   std::FILE* file_ = nullptr;
+  MetricsSink* metrics_ = nullptr;
 };
 
 }  // namespace fav::mc

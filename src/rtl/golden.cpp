@@ -80,6 +80,13 @@ const Checkpoint& GoldenRun::nearest_checkpoint(std::uint64_t cycle) const {
   return it == checkpoints_.begin() ? checkpoints_.front() : *std::prev(it);
 }
 
+std::uint64_t GoldenRun::restore_byte_size() const {
+  const auto state_bytes = static_cast<std::uint64_t>(
+      (Machine::reg_map().total_bits() + 7) / 8);
+  const std::uint64_t ram_bytes = (1ull << 16) * sizeof(std::uint16_t);
+  return state_bytes + ram_bytes;
+}
+
 Machine GoldenRun::restore(std::uint64_t cycle,
                            std::uint64_t* warmup_cycles) const {
   Machine m(*program_);

@@ -86,6 +86,12 @@ class GoldenRun {
   void restore_into(Machine& machine, std::uint64_t cycle,
                     std::uint64_t* warmup_cycles = nullptr) const;
 
+  /// Bytes copy-assigned by one checkpoint restore (packed architectural
+  /// state + the 64K-word RAM image). Constant per design; the Monte Carlo
+  /// engine multiplies it by the restore count for the "rtl.restore_bytes"
+  /// byte-traffic metric.
+  std::uint64_t restore_byte_size() const;
+
  private:
   const Program* program_;
   std::uint64_t length_ = 0;

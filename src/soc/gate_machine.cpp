@@ -23,6 +23,7 @@ std::uint16_t GateLevelMachine::read_output_word(const gen::Word& w) const {
 }
 
 void GateLevelMachine::settle_inputs() {
+  ++total_settles_;
   const SocPorts& p = soc_->ports();
   // Pass 1: fetch. The PC is a register, readable before evaluation.
   const std::uint16_t pc = static_cast<std::uint16_t>(
@@ -42,6 +43,7 @@ void GateLevelMachine::settle_inputs() {
 }
 
 rtl::StepInfo GateLevelMachine::step() {
+  ++total_steps_;
   settle_inputs();
   const SocPorts& p = soc_->ports();
 

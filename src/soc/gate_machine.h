@@ -28,6 +28,13 @@ class GateLevelMachine {
   bool halted() const;
   std::uint64_t cycle() const { return cycle_; }
 
+  /// Lifetime totals, never reset — observability counters for the Monte
+  /// Carlo engine's gate-sim cost metrics. A settle is two combinational
+  /// evaluation passes over the whole netlist; step() performs one settle
+  /// plus the clock edge.
+  std::uint64_t total_settles() const { return total_settles_; }
+  std::uint64_t total_steps() const { return total_steps_; }
+
   /// Architectural state extracted from / loaded into the netlist DFFs.
   rtl::ArchState extract_state() const;
   void load_state(const rtl::ArchState& state);
@@ -53,6 +60,8 @@ class GateLevelMachine {
   netlist::LogicSimulator sim_;
   rtl::Memory ram_;
   std::uint64_t cycle_ = 0;
+  std::uint64_t total_settles_ = 0;
+  std::uint64_t total_steps_ = 0;
 };
 
 }  // namespace fav::soc

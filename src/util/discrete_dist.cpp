@@ -23,7 +23,12 @@ DiscreteDistribution::DiscreteDistribution(std::vector<double> weights)
     acc += pmf_[i];
     cdf_[i] = acc;
   }
-  cdf_.back() = 1.0;  // guard against rounding drift
+  // Rounding guard: pin the CDF to exactly 1.0 from the last positive-weight
+  // outcome onward. Pinning only cdf_.back() would hand the rounding residue
+  // to a trailing zero-weight outcome, making it reachable.
+  std::size_t last = pmf_.size();
+  while (last > 0 && pmf_[last - 1] == 0.0) --last;
+  for (std::size_t i = last - 1; i < pmf_.size(); ++i) cdf_[i] = 1.0;
 }
 
 double DiscreteDistribution::pmf(std::size_t i) const {
@@ -31,11 +36,23 @@ double DiscreteDistribution::pmf(std::size_t i) const {
   return pmf_[i];
 }
 
-std::size_t DiscreteDistribution::sample(Rng& rng) const {
+std::size_t DiscreteDistribution::sample_at(double u) const {
   FAV_ENSURE(!pmf_.empty());
-  const double u = rng.uniform01();
-  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
-  return static_cast<std::size_t>(std::distance(cdf_.begin(), it));
+  FAV_ENSURE_MSG(u >= 0.0 && u < 1.0, "u=" << u << " outside [0, 1)");
+  // upper_bound: first index with cdf > u, i.e. the half-open interval
+  // [cdf[i-1], cdf[i]) containing u. A zero-weight outcome duplicates its
+  // predecessor's CDF value, so its interval is empty and it can never be
+  // selected (lower_bound would return it when u hits the shared value
+  // exactly — e.g. pmf[0] == 0 and u == 0.0 picked index 0).
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  const auto idx = static_cast<std::size_t>(std::distance(cdf_.begin(), it));
+  FAV_CHECK_MSG(idx < pmf_.size() && pmf_[idx] > 0.0,
+                "sampled zero-probability outcome " << idx);
+  return idx;
+}
+
+std::size_t DiscreteDistribution::sample(Rng& rng) const {
+  return sample_at(rng.uniform01());
 }
 
 }  // namespace fav

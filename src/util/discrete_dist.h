@@ -24,8 +24,18 @@ class DiscreteDistribution {
   /// Probability of index i under the normalized distribution.
   double pmf(std::size_t i) const;
 
-  /// Draws an index distributed according to the weights.
+  /// Draws an index distributed according to the weights. Zero-weight
+  /// outcomes are never returned.
   std::size_t sample(Rng& rng) const;
+
+  /// Inverse-transform sampling at a given uniform variate u in [0, 1):
+  /// returns the index whose half-open CDF interval [cdf[i-1], cdf[i])
+  /// contains u. Zero-weight outcomes have empty intervals and are never
+  /// returned (upper-bound semantics — a lower-bound search would pick a
+  /// leading zero-weight outcome when u lands exactly on a duplicated CDF
+  /// value, e.g. u == 0.0 with pmf[0] == 0). Exposed so tests can probe
+  /// exact boundary values that a random draw cannot hit.
+  std::size_t sample_at(double u) const;
 
   const std::vector<double>& probabilities() const { return pmf_; }
 

@@ -1,0 +1,204 @@
+// Lightweight campaign observability: named counters, gauges, and scope
+// timers collected into per-worker MetricsSinks, plus a Chrome-trace-format
+// event buffer and a throttled live progress meter.
+//
+// Determinism contract (see DESIGN.md §6f): instrumentation must never
+// perturb the bitwise-reproducibility of the Monte Carlo engine. Sinks are
+// plain single-threaded accumulators — the parallel engine gives each worker
+// its own sink and merges them in worker-index order after the run, and all
+// sample-derived statistics (outcome-path counters, ESS) are recorded during
+// the sample-index-ordered reduction. Counter totals are therefore
+// schedule-independent; timer values are wall-clock measurements and
+// inherently noisy, but they only ever feed reports, never the estimate.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fav {
+
+/// Monotonic timestamp in nanoseconds (steady clock; comparable within one
+/// process only). All metric timers and trace events use this clock.
+inline std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Aggregate of one named timer: number of measured intervals, their total
+/// duration, and the longest single interval.
+struct TimerStat {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+
+  void add(std::uint64_t ns) {
+    ++count;
+    total_ns += ns;
+    if (ns > max_ns) max_ns = ns;
+  }
+  void merge(const TimerStat& other) {
+    count += other.count;
+    total_ns += other.total_ns;
+    if (other.max_ns > max_ns) max_ns = other.max_ns;
+  }
+  double mean_ns() const {
+    return count > 0 ? static_cast<double>(total_ns) / static_cast<double>(count)
+                     : 0.0;
+  }
+};
+
+/// Named counters / gauges / timers. Not thread-safe by design: each worker
+/// owns one sink and the owners merge. Iteration order of every accessor is
+/// lexicographic (std::map), so serialized output is deterministic.
+class MetricsSink {
+ public:
+  void add_counter(std::string_view name, std::uint64_t delta = 1);
+  void set_gauge(std::string_view name, double value);
+  void add_timer_ns(std::string_view name, std::uint64_t ns);
+
+  /// 0 / null when the name was never recorded.
+  std::uint64_t counter(std::string_view name) const;
+  const double* gauge(std::string_view name) const;
+  const TimerStat* timer(std::string_view name) const;
+
+  /// Accumulates every entry of `other` into this sink (gauges: last write
+  /// wins, i.e. `other`'s value replaces ours).
+  void merge(const MetricsSink& other);
+  void clear();
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && timers_.empty();
+  }
+
+  const std::map<std::string, std::uint64_t, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, double, std::less<>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, TimerStat, std::less<>>& timers() const {
+    return timers_;
+  }
+
+  /// {"counters":{...},"gauges":{...},"timers":{name:{count,total_ns,
+  /// max_ns}}} with lexicographically sorted keys.
+  void write_json(std::ostream& os) const;
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, TimerStat, std::less<>> timers_;
+};
+
+/// RAII interval timer: records the elapsed time into `sink` under `name` on
+/// destruction (or on stop()). A null sink makes it a no-op, so hot paths
+/// can pass through an optional sink without branching at every call site.
+class ScopeTimer {
+ public:
+  ScopeTimer(MetricsSink* sink, std::string_view name)
+      : sink_(sink), name_(name), start_ns_(sink ? monotonic_ns() : 0) {}
+  ~ScopeTimer() { stop(); }
+  ScopeTimer(const ScopeTimer&) = delete;
+  ScopeTimer& operator=(const ScopeTimer&) = delete;
+
+  /// Records now instead of at scope exit; idempotent. Returns the measured
+  /// duration (0 for a null sink).
+  std::uint64_t stop() {
+    if (sink_ == nullptr) return 0;
+    const std::uint64_t dur = monotonic_ns() - start_ns_;
+    sink_->add_timer_ns(name_, dur);
+    sink_ = nullptr;
+    return dur;
+  }
+
+ private:
+  MetricsSink* sink_;
+  std::string_view name_;
+  std::uint64_t start_ns_;
+};
+
+/// One complete ("ph":"X") Chrome-trace event.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;           // trace lane (worker index)
+  std::uint64_t order_key = 0;     // sample index; write order within a lane
+};
+
+/// Buffer of trace events writable as Chrome trace-event JSON (load the file
+/// in chrome://tracing or Perfetto). Not thread-safe: one buffer per worker,
+/// merged by the owner; write_json emits events sorted by order_key so the
+/// file contents are independent of the evaluation schedule.
+class TraceBuffer {
+ public:
+  void record(std::string_view name, std::string_view category,
+              std::uint64_t start_ns, std::uint64_t dur_ns, std::uint32_t tid,
+              std::uint64_t order_key);
+  void merge(TraceBuffer&& other);
+  void clear() { events_.clear(); }
+  std::size_t size() const { return events_.size(); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// {"displayTimeUnit":"ms","traceEvents":[...]} — timestamps are rebased
+  /// to the earliest event and expressed in microseconds.
+  void write_json(std::ostream& os) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Throttled live campaign progress on stderr: completed samples, samples/s,
+/// the running SSF estimate with its 95% CI half-width, and the importance-
+/// sampling effective sample size ESS = (Σw)²/Σw². Thread-safe — workers
+/// call record() once per completed sample. The meter only *observes*
+/// outcomes, so enabling it cannot perturb the estimate; the displayed
+/// running mean is accumulated in completion order and may differ in the
+/// last digits across thread counts (the final SsfResult never does).
+class ProgressMeter {
+ public:
+  /// `out` null routes to stderr. `min_interval_ms` throttles the output
+  /// (0 prints on every record — only sane in tests).
+  explicit ProgressMeter(std::size_t total, std::uint64_t min_interval_ms = 500,
+                         std::FILE* out = nullptr);
+
+  /// One evaluated sample: its estimate contribution and importance weight.
+  /// Failed samples (isolation layer) carry no contribution; pass
+  /// failed=true so they are excluded from the running estimate.
+  void record(double contribution, double weight, bool failed = false);
+
+  /// Prints the final line unconditionally. Safe to call once at the end of
+  /// a campaign; record() may not be called afterwards.
+  void finish();
+
+  std::size_t completed() const;
+  std::size_t failed() const;
+  double effective_sample_size() const;
+
+ private:
+  void print_line();  // caller holds mu_
+
+  mutable std::mutex mu_;
+  const std::size_t total_;
+  const std::uint64_t min_interval_ns_;
+  std::FILE* out_;
+  const std::uint64_t start_ns_;
+  std::uint64_t last_print_ns_ = 0;
+  std::size_t done_ = 0;
+  std::size_t failed_ = 0;
+  double sum_ = 0.0;      // Σ contribution over completed samples
+  double sum_sq_ = 0.0;   // Σ contribution²
+  double sum_w_ = 0.0;    // Σ weight over completed samples
+  double sum_w_sq_ = 0.0; // Σ weight²
+};
+
+}  // namespace fav

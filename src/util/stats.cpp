@@ -37,10 +37,16 @@ void Histogram::add(double x, double weight) {
   // A NaN sample carries no bin information; dropping it keeps the histogram
   // well-defined (casting a NaN-derived index would be undefined behavior).
   if (std::isnan(x)) return;
-  std::size_t bin = 0;
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
   if (x >= hi_) {
-    bin = counts_.size() - 1;
-  } else if (x > lo_) {
+    overflow_ += weight;
+    return;
+  }
+  std::size_t bin = 0;
+  if (x > lo_) {
     // x is finite and strictly inside (lo, hi): the index math is safe.
     const double rel = (x - lo_) / (hi_ - lo_);
     bin = std::min(

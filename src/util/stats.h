@@ -50,8 +50,11 @@ class RunningStats {
   double max_ = 0.0;
 };
 
-/// Fixed-bin histogram over [lo, hi); values outside are clamped into the
-/// first/last bin. Used to reproduce the Fig. 4 characterization plots.
+/// Fixed-bin histogram over [lo, hi). Out-of-range samples (x < lo, x >= hi,
+/// including +-inf) are tracked as separate underflow/overflow mass instead
+/// of being folded into the edge bins — folding silently inflated bin 0 of
+/// the Fig. 7/10 distributions. NaN samples are dropped. Used to reproduce
+/// the Fig. 4 characterization plots.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -62,8 +65,15 @@ class Histogram {
   double bin_lo(std::size_t i) const;
   double bin_hi(std::size_t i) const;
   double bin_weight(std::size_t i) const { return counts_.at(i); }
+  /// In-range mass: the sum over the bins, excluding under-/overflow.
   double total_weight() const { return total_; }
-  /// Fraction of total weight in bin i (0 if the histogram is empty).
+  /// Weight of samples below lo / at or above hi.
+  double underflow_weight() const { return underflow_; }
+  double overflow_weight() const { return overflow_; }
+  /// Everything ever added (except dropped NaNs).
+  double added_weight() const { return total_ + underflow_ + overflow_; }
+  /// Fraction of *in-range* weight in bin i (0 if no in-range mass), so the
+  /// bin fractions always sum to 1 over the histogram's own support.
   double bin_fraction(std::size_t i) const;
 
  private:
@@ -71,6 +81,8 @@ class Histogram {
   double hi_;
   std::vector<double> counts_;
   double total_ = 0.0;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
 };
 
 }  // namespace fav

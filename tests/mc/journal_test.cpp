@@ -187,6 +187,47 @@ TEST(JournalWriter, AppendAfterReopen) {
   for (int i = 0; i < 4; ++i) expect_record_eq(read.value().records[i], recs[i]);
 }
 
+TEST(JournalWriter, DirectoryIsFsyncedOnCreateAndTruncate) {
+  // Regression: the writer fsynced the shard file's contents but never the
+  // parent directory, so after a power loss the fully-synced file could
+  // simply not exist in the directory (POSIX requires an explicit fsync of
+  // the directory fd to persist the new directory entry). The instrumented
+  // writer counts its directory fsyncs; both open paths must issue one.
+  const std::string dir = fresh_dir("dirsync");
+  JournalMeta meta;
+  meta.fingerprint = 7;
+  meta.total_samples = 4;
+  std::vector<SampleRecord> recs;
+  for (int i = 0; i < 4; ++i) recs.push_back(make_record(i));
+  {
+    MetricsSink m;
+    JournalWriter w;
+    w.set_metrics(&m);
+    ASSERT_TRUE(w.open_fresh(dir, meta).is_ok());
+    EXPECT_GE(m.counter("journal.dir_fsyncs"), 1u)
+        << "open_fresh creates campaign.fj but never persisted its directory "
+           "entry";
+    ASSERT_TRUE(w.append_shard(0, recs.data(), 2).is_ok());
+  }
+  {
+    Result<JournalContents> sofar = read_journal(dir);
+    ASSERT_TRUE(sofar.is_ok());
+    MetricsSink m;
+    JournalWriter w;
+    w.set_metrics(&m);
+    ASSERT_TRUE(w.open_append(dir, sofar.value().valid_bytes).is_ok());
+    EXPECT_GE(m.counter("journal.dir_fsyncs"), 1u)
+        << "open_append may truncate a torn tail; the resulting size change "
+           "must be made durable the same way";
+    ASSERT_TRUE(w.append_shard(2, recs.data() + 2, 2).is_ok());
+    EXPECT_GE(m.counter("journal.commits"), 1u);
+    EXPECT_GT(m.counter("journal.bytes_written"), 0u);
+  }
+  Result<JournalContents> read = read_journal(dir);
+  ASSERT_TRUE(read.is_ok()) << read.status().to_string();
+  ASSERT_EQ(read.value().records.size(), 4u);
+}
+
 TEST(JournalReader, MissingFileIsIoError) {
   const std::string dir = fresh_dir("missing");
   const Result<JournalContents> read = read_journal(dir);

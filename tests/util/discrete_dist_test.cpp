@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 namespace fav {
@@ -28,6 +29,43 @@ TEST(DiscreteDistribution, ZeroWeightNeverSampled) {
   DiscreteDistribution d({0.0, 1.0, 0.0});
   Rng rng(21);
   for (int i = 0; i < 1000; ++i) EXPECT_EQ(d.sample(rng), 1u);
+}
+
+TEST(DiscreteDistribution, ZeroWeightBinAtFrontNotPickedAtBoundary) {
+  // Regression: the old lower_bound inversion mapped u == 0.0 onto the
+  // duplicated CDF value of a leading zero-weight bin and returned index 0 —
+  // an outcome with pmf 0, which breaks every f/g importance weight built on
+  // top. upper_bound semantics must land on the first positive-weight bin.
+  DiscreteDistribution d({0.0, 1.0, 0.0});
+  EXPECT_EQ(d.sample_at(0.0), 1u);
+  EXPECT_EQ(d.sample_at(0.5), 1u);
+  EXPECT_EQ(d.sample_at(std::nextafter(1.0, 0.0)), 1u);
+}
+
+TEST(DiscreteDistribution, ZeroWeightBinInMiddleNotPickedAtBoundary) {
+  // cdf = [0.5, 0.5, 1.0]: u == 0.5 sits exactly on the duplicated value and
+  // must skip the empty half-open interval of the zero-weight middle bin.
+  DiscreteDistribution d({1.0, 0.0, 1.0});
+  EXPECT_EQ(d.sample_at(0.0), 0u);
+  EXPECT_EQ(d.sample_at(std::nextafter(0.5, 0.0)), 0u);
+  EXPECT_EQ(d.sample_at(0.5), 2u);
+  EXPECT_EQ(d.sample_at(0.9), 2u);
+}
+
+TEST(DiscreteDistribution, ZeroWeightBinAtEndNeverReachable) {
+  // Trailing zero-weight bins: the CDF is pinned to exactly 1.0 from the last
+  // positive-weight bin onward, so no u in [0, 1) can reach past it even when
+  // the floating-point prefix sum would have left cdf slightly below 1.
+  DiscreteDistribution d({1.0, 2.0, 0.0});
+  EXPECT_EQ(d.sample_at(std::nextafter(1.0, 0.0)), 1u);
+  Rng rng(25);
+  for (int i = 0; i < 1000; ++i) EXPECT_NE(d.sample(rng), 2u);
+}
+
+TEST(DiscreteDistribution, SampleAtRejectsOutOfRangeU) {
+  DiscreteDistribution d({1.0, 1.0});
+  EXPECT_THROW(d.sample_at(1.0), EnsureError);
+  EXPECT_THROW(d.sample_at(-0.1), EnsureError);
 }
 
 TEST(DiscreteDistribution, EmpiricalFrequenciesMatchPmf) {

@@ -1,0 +1,199 @@
+// Unit tests for the observability layer: sink accounting, deterministic
+// merge, ScopeTimer RAII, Chrome-trace serialization and the progress meter.
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace fav {
+namespace {
+
+TEST(MetricsSink, CountersAccumulate) {
+  MetricsSink m;
+  EXPECT_EQ(m.counter("x"), 0u);
+  EXPECT_TRUE(m.empty());
+  m.add_counter("x");
+  m.add_counter("x", 4);
+  m.add_counter("y", 2);
+  EXPECT_EQ(m.counter("x"), 5u);
+  EXPECT_EQ(m.counter("y"), 2u);
+  EXPECT_FALSE(m.empty());
+}
+
+TEST(MetricsSink, GaugesLastWriteWins) {
+  MetricsSink m;
+  EXPECT_EQ(m.gauge("g"), nullptr);
+  m.set_gauge("g", 1.5);
+  m.set_gauge("g", -2.5);
+  ASSERT_NE(m.gauge("g"), nullptr);
+  EXPECT_DOUBLE_EQ(*m.gauge("g"), -2.5);
+}
+
+TEST(MetricsSink, TimerStatTracksCountTotalMax) {
+  MetricsSink m;
+  EXPECT_EQ(m.timer("t"), nullptr);
+  m.add_timer_ns("t", 10);
+  m.add_timer_ns("t", 30);
+  m.add_timer_ns("t", 20);
+  const TimerStat* t = m.timer("t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->count, 3u);
+  EXPECT_EQ(t->total_ns, 60u);
+  EXPECT_EQ(t->max_ns, 30u);
+  EXPECT_DOUBLE_EQ(t->mean_ns(), 20.0);
+}
+
+TEST(MetricsSink, MergeAccumulatesEverything) {
+  MetricsSink a, b;
+  a.add_counter("c", 1);
+  b.add_counter("c", 2);
+  b.add_counter("only_b");
+  a.set_gauge("g", 1.0);
+  b.set_gauge("g", 9.0);
+  a.add_timer_ns("t", 5);
+  b.add_timer_ns("t", 50);
+  a.merge(b);
+  EXPECT_EQ(a.counter("c"), 3u);
+  EXPECT_EQ(a.counter("only_b"), 1u);
+  EXPECT_DOUBLE_EQ(*a.gauge("g"), 9.0);  // merged gauge replaces
+  EXPECT_EQ(a.timer("t")->count, 2u);
+  EXPECT_EQ(a.timer("t")->total_ns, 55u);
+  EXPECT_EQ(a.timer("t")->max_ns, 50u);
+}
+
+TEST(MetricsSink, MergeOrderGivesIdenticalTotals) {
+  // The engine merges per-worker sinks in worker-index order; counter and
+  // timer totals must nonetheless be independent of any merge order.
+  MetricsSink w0, w1, w2;
+  w0.add_counter("c", 3);
+  w1.add_counter("c", 5);
+  w2.add_timer_ns("t", 7);
+  w0.add_timer_ns("t", 11);
+  MetricsSink fwd, rev;
+  for (const MetricsSink* s : {&w0, &w1, &w2}) fwd.merge(*s);
+  for (const MetricsSink* s : {&w2, &w1, &w0}) rev.merge(*s);
+  EXPECT_EQ(fwd.counter("c"), rev.counter("c"));
+  EXPECT_EQ(fwd.timer("t")->total_ns, rev.timer("t")->total_ns);
+  EXPECT_EQ(fwd.timer("t")->count, rev.timer("t")->count);
+}
+
+TEST(MetricsSink, JsonHasSortedSectionsAndEscapes) {
+  MetricsSink m;
+  m.add_counter("b.count", 2);
+  m.add_counter("a\"quote");
+  m.set_gauge("g", 0.5);
+  m.add_timer_ns("t", 100);
+  std::ostringstream os;
+  m.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"timers\""), std::string::npos);
+  EXPECT_NE(json.find("\"a\\\"quote\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"total_ns\":100"), std::string::npos);
+  // Lexicographic key order inside a section.
+  EXPECT_LT(json.find("a\\\"quote"), json.find("b.count"));
+}
+
+TEST(MetricsSink, ClearEmpties) {
+  MetricsSink m;
+  m.add_counter("c");
+  m.set_gauge("g", 1.0);
+  m.add_timer_ns("t", 1);
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.counter("c"), 0u);
+}
+
+TEST(ScopeTimer, RecordsOnceAndNullSinkIsNoop) {
+  MetricsSink m;
+  {
+    ScopeTimer t(&m, "scoped");
+  }
+  ASSERT_NE(m.timer("scoped"), nullptr);
+  EXPECT_EQ(m.timer("scoped")->count, 1u);
+  {
+    ScopeTimer t(&m, "stopped");
+    t.stop();
+    t.stop();  // idempotent: second stop records nothing
+  }
+  EXPECT_EQ(m.timer("stopped")->count, 1u);
+  ScopeTimer null_timer(nullptr, "nothing");
+  EXPECT_EQ(null_timer.stop(), 0u);
+}
+
+TEST(TraceBuffer, EventsSortedByOrderKeyAndRebased) {
+  TraceBuffer t;
+  // Recorded out of order (as parallel workers would), with a 1000ns epoch.
+  t.record("late", "sample", 3000, 500, 1, 7);
+  t.record("early", "sample", 1000, 250, 0, 2);
+  EXPECT_EQ(t.size(), 2u);
+  std::ostringstream os;
+  t.write_json(os);
+  const std::string json = os.str();
+  // Sorted by order_key: sample 2 before sample 7, regardless of call order.
+  EXPECT_LT(json.find("\"early\""), json.find("\"late\""));
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Timestamps rebased to the earliest event and converted to microseconds:
+  // early at ts 0, late at (3000-1000)/1000 = 2 us.
+  EXPECT_NE(json.find("\"ts\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"sample\":7}"), std::string::npos);
+}
+
+TEST(TraceBuffer, MergeConcatenates) {
+  TraceBuffer a, b;
+  a.record("x", "sample", 0, 1, 0, 0);
+  b.record("y", "sample", 5, 1, 1, 1);
+  a.merge(std::move(b));
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(TraceBuffer, EmptyBufferWritesValidSkeleton) {
+  TraceBuffer t;
+  std::ostringstream os;
+  t.write_json(os);
+  EXPECT_NE(os.str().find("\"traceEvents\":["), std::string::npos);
+}
+
+TEST(ProgressMeter, CountsAndEssMatchClosedForm) {
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  ProgressMeter p(4, /*min_interval_ms=*/0, sink);
+  p.record(1.0, 2.0);
+  p.record(0.0, 1.0);
+  p.record(0.0, 1.0);
+  p.record(0.0, 0.0, /*failed=*/true);
+  p.finish();
+  EXPECT_EQ(p.completed(), 4u);
+  EXPECT_EQ(p.failed(), 1u);
+  // ESS over the three completed samples: (2+1+1)^2 / (4+1+1) = 16/6.
+  EXPECT_DOUBLE_EQ(p.effective_sample_size(), 16.0 / 6.0);
+  // The throttle is off, so every record printed a line ending in \r or \n.
+  std::fflush(sink);
+  EXPECT_GT(std::ftell(sink), 0);
+  std::fclose(sink);
+}
+
+TEST(ProgressMeter, ThrottleSuppressesIntermediateLines) {
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  {
+    // A day-long throttle: only the first record and finish() may print.
+    ProgressMeter p(1000, /*min_interval_ms=*/86'400'000, sink);
+    for (int i = 0; i < 100; ++i) p.record(0.0, 1.0);
+    std::fflush(sink);
+    const long after_records = std::ftell(sink);
+    p.finish();
+    std::fflush(sink);
+    EXPECT_GT(std::ftell(sink), after_records);  // finish always prints
+  }
+  std::fclose(sink);
+}
+
+}  // namespace
+}  // namespace fav

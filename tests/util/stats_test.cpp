@@ -154,12 +154,42 @@ TEST(Histogram, BinsAndFractions) {
   EXPECT_DOUBLE_EQ(h.bin_fraction(0), 0.5);
 }
 
-TEST(Histogram, OutOfRangeClamped) {
+TEST(Histogram, OutOfRangeTrackedSeparately) {
+  // Regression: out-of-range samples used to be folded into the edge bins,
+  // silently inflating them (any x <= lo_ landed in bin 0). They now
+  // accumulate in dedicated under/overflow tallies and leave every bin and
+  // the in-range mass untouched.
   Histogram h(0.0, 1.0, 2);
   h.add(-5.0);
-  h.add(42.0);
+  h.add(42.0, 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(1), 0.0);
+  EXPECT_DOUBLE_EQ(h.underflow_weight(), 1.0);
+  EXPECT_DOUBLE_EQ(h.overflow_weight(), 2.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 0.0);
+  EXPECT_DOUBLE_EQ(h.added_weight(), 3.0);
+}
+
+TEST(Histogram, UpperEdgeIsOverflowLowerEdgeIsBinZero) {
+  // Half-open [lo, hi) semantics: x == lo is in-range (bin 0), x == hi is
+  // overflow. x just below lo is underflow, not bin 0.
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.0);
+  h.add(1.0);
+  h.add(-1e-12);
   EXPECT_DOUBLE_EQ(h.bin_weight(0), 1.0);
-  EXPECT_DOUBLE_EQ(h.bin_weight(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.overflow_weight(), 1.0);
+  EXPECT_DOUBLE_EQ(h.underflow_weight(), 1.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 1.0);
+}
+
+TEST(Histogram, BinFractionNormalizesOverInRangeMass) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25);       // bin 0
+  h.add(0.75, 3.0);  // bin 1
+  h.add(-7.0, 10.0);  // underflow: must not dilute the fractions
+  EXPECT_DOUBLE_EQ(h.bin_fraction(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.bin_fraction(1), 0.75);
 }
 
 TEST(Histogram, NanSamplesAreDropped) {
@@ -178,15 +208,19 @@ TEST(Histogram, NanSamplesAreDropped) {
   EXPECT_DOUBLE_EQ(h.bin_fraction(1), 1.0);
 }
 
-TEST(Histogram, InfinitySamplesClampToEdgeBins) {
-  // Infinities are extreme out-of-range values: clamp like any other
-  // out-of-range sample instead of feeding the index math.
+TEST(Histogram, InfinitySamplesCountAsOverAndUnderflow) {
+  // Infinities are extreme out-of-range values: they join the under/overflow
+  // tallies like any other out-of-range sample instead of feeding the index
+  // math (or polluting the edge bins).
   Histogram h(0.0, 1.0, 3);
   h.add(std::numeric_limits<double>::infinity());
   h.add(-std::numeric_limits<double>::infinity());
-  EXPECT_DOUBLE_EQ(h.bin_weight(0), 1.0);
-  EXPECT_DOUBLE_EQ(h.bin_weight(2), 1.0);
-  EXPECT_DOUBLE_EQ(h.total_weight(), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(2), 0.0);
+  EXPECT_DOUBLE_EQ(h.overflow_weight(), 1.0);
+  EXPECT_DOUBLE_EQ(h.underflow_weight(), 1.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 0.0);
+  EXPECT_DOUBLE_EQ(h.added_weight(), 2.0);
 }
 
 TEST(Histogram, WeightedAdds) {

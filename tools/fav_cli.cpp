@@ -24,6 +24,12 @@
 //   --journal DIR                 evaluate only: crash-safe shard journal
 //   --resume                      replay the journal in --journal DIR and
 //                                  continue from the first missing sample
+//   --metrics-out FILE            evaluate only: JSON run report (phase
+//                                  timings, outcome-path counters, ESS)
+//   --trace-out FILE              evaluate only: Chrome-trace events
+//                                  (load in chrome://tracing or Perfetto)
+//   --progress                    evaluate only: throttled stderr progress
+//                                  (samples/s, running SSF +- CI, ESS)
 //
 // All flag values are validated strictly: unknown flags, non-numeric or
 // out-of-range values exit with the usage message and status 2 instead of
@@ -36,6 +42,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "core/framework.h"
@@ -53,6 +60,9 @@ struct Options {
   std::string strategy = "importance";
   std::string out;
   std::string journal;
+  std::string metrics_out;
+  std::string trace_out;
+  bool progress = false;
   bool resume = false;
   std::size_t samples = 3000;
   std::uint64_t seed = 2017;
@@ -82,7 +92,9 @@ struct Options {
                "         --radius R  --coverage C  --out FILE\n"
                "         --threads N (0 = all hardware threads)\n"
                "         --cycle-budget N  --deadline-ms N (0 = unlimited)\n"
-               "         --journal DIR  --resume (evaluate only)\n");
+               "         --journal DIR  --resume (evaluate only)\n"
+               "         --metrics-out FILE  --trace-out FILE  --progress\n"
+               "                              (evaluate only)\n");
   std::exit(2);
 }
 
@@ -156,6 +168,12 @@ Options parse(int argc, char** argv) {
       o.journal = value();
     } else if (arg == "--resume") {
       o.resume = true;
+    } else if (arg == "--metrics-out") {
+      o.metrics_out = value();
+    } else if (arg == "--trace-out") {
+      o.trace_out = value();
+    } else if (arg == "--progress") {
+      o.progress = true;
     } else if (arg == "--out") {
       o.out = value();
     } else {
@@ -169,6 +187,11 @@ Options parse(int argc, char** argv) {
   if (o.resume && o.journal.empty()) usage("--resume requires --journal DIR");
   if (!o.journal.empty() && o.command != "evaluate") {
     usage("--journal only applies to the evaluate command");
+  }
+  if ((!o.metrics_out.empty() || !o.trace_out.empty() || o.progress) &&
+      o.command != "evaluate") {
+    usage("--metrics-out/--trace-out/--progress only apply to the evaluate "
+          "command");
   }
   return o;
 }
@@ -284,21 +307,101 @@ void print_failures(const mc::SsfResult& res) {
   }
 }
 
+/// JSON run report (schema fav.run_report.v1): campaign identity, estimate
+/// quality (SSF, CI, ESS), outcome-path split and the merged metrics sink
+/// (per-phase timers, counters, gauges). Machine-readable companion to the
+/// human-readable stdout block of cmd_evaluate.
+void write_run_report(std::ostream& out, const Options& o,
+                      const std::string& strategy, const mc::SsfResult& res,
+                      double elapsed_s, const MetricsSink& metrics) {
+  auto num = [&out](double v) {
+    if (std::isfinite(v)) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      out << buf;
+    } else {
+      out << "null";
+    }
+  };
+  const double se = res.stats.standard_error();
+  out << "{\n"
+      << "  \"schema\": \"fav.run_report.v1\",\n"
+      << "  \"benchmark\": \"" << o.benchmark << "\",\n"
+      << "  \"strategy\": \"" << strategy << "\",\n"
+      << "  \"samples\": " << o.samples << ",\n"
+      << "  \"seed\": " << o.seed << ",\n"
+      << "  \"threads\": " << o.threads << ",\n"
+      << "  \"elapsed_s\": ";
+  num(elapsed_s);
+  out << ",\n  \"samples_per_s\": ";
+  num(elapsed_s > 0.0 ? static_cast<double>(o.samples) / elapsed_s : 0.0);
+  out << ",\n  \"ssf\": ";
+  num(res.ssf());
+  out << ",\n  \"std_error\": ";
+  num(se);
+  out << ",\n  \"ci95_half_width\": ";
+  num(1.96 * se);
+  out << ",\n  \"variance\": ";
+  num(res.sample_variance());
+  out << ",\n  \"ess\": ";
+  num(res.effective_sample_size());
+  out << ",\n  \"successes\": " << res.successes << ",\n"
+      << "  \"paths\": {\"masked\": " << res.masked
+      << ", \"analytical\": " << res.analytical << ", \"rtl\": " << res.rtl
+      << ", \"failed\": " << res.failed << "},\n"
+      << "  \"retried\": " << res.retried << ",\n"
+      << "  \"failed_weight_fraction\": ";
+  num(res.failed_weight_fraction());
+  out << ",\n  \"metrics\": ";
+  metrics.write_json(out);
+  out << "\n}\n";
+}
+
 int cmd_evaluate(const Options& o) {
-  core::FaultAttackEvaluator fw(pick_benchmark(o.benchmark),
-                                o.framework_config());
+  // Observability sinks live here (campaign scope); the evaluator only sees
+  // non-null pointers for what was requested, so unused channels stay
+  // zero-cost.
+  MetricsSink metrics;
+  TraceBuffer trace;
+  std::optional<ProgressMeter> progress;
+  if (o.progress) progress.emplace(o.samples);
+  core::FrameworkConfig cfg = o.framework_config();
+  if (!o.metrics_out.empty()) cfg.evaluator.metrics = &metrics;
+  if (!o.trace_out.empty()) cfg.evaluator.trace = &trace;
+  if (progress.has_value()) cfg.evaluator.progress = &*progress;
+  core::FaultAttackEvaluator fw(pick_benchmark(o.benchmark), cfg);
   std::string actual_strategy = o.strategy;
+  const std::uint64_t t0 = monotonic_ns();
   const auto res = run_eval(fw, o, &actual_strategy);
+  const double elapsed_s =
+      static_cast<double>(monotonic_ns() - t0) * 1e-9;
+  if (progress.has_value()) progress->finish();
   std::printf("benchmark  : %s\n", fw.benchmark().name.c_str());
   std::printf("strategy   : %s (n=%zu, seed=%llu)\n", actual_strategy.c_str(),
               o.samples, static_cast<unsigned long long>(o.seed));
   std::printf("SSF        : %.6f\n", res.ssf());
   std::printf("std error  : %.6f\n", res.stats.standard_error());
   std::printf("variance   : %.3e\n", res.sample_variance());
+  std::printf("ESS        : %.1f of %zu\n", res.effective_sample_size(),
+              o.samples);
   std::printf("successes  : %zu\n", res.successes);
   std::printf("paths      : %zu masked / %zu analytical / %zu rtl\n",
               res.masked, res.analytical, res.rtl);
   print_failures(res);
+  if (!o.metrics_out.empty()) {
+    metrics.merge(fw.metrics());  // pre-characterization + sampler provenance
+    std::ofstream f(o.metrics_out);
+    if (!f) usage(("cannot open " + o.metrics_out).c_str());
+    write_run_report(f, o, actual_strategy, res, elapsed_s, metrics);
+    std::printf("run report : %s\n", o.metrics_out.c_str());
+  }
+  if (!o.trace_out.empty()) {
+    std::ofstream f(o.trace_out);
+    if (!f) usage(("cannot open " + o.trace_out).c_str());
+    trace.write_json(f);
+    std::printf("trace      : %s (%zu events)\n", o.trace_out.c_str(),
+                trace.size());
+  }
   const auto& map = rtl::Machine::reg_map();
   const auto fields = core::select_critical_fields(res, 0.95);
   std::printf("critical   :");
