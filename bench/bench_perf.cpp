@@ -171,6 +171,80 @@ BENCHMARK(BM_MonteCarloRunInstrumented)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// One clock-glitch sample through the unified engine with scratch reuse.
+// Before the technique-generic pipeline, every glitch attack built a fresh
+// RTL + gate-level machine pair; the delta against BM_ClockGlitchSampleFresh
+// is what routing glitch evaluation through the shared scratch path buys.
+void BM_ClockGlitchSample(benchmark::State& state) {
+  static core::FaultAttackEvaluator fw(soc::make_illegal_write_benchmark(), [] {
+    core::FrameworkConfig cfg;
+    cfg.technique = "clock-glitch";
+    return cfg;
+  }());
+  static const faultsim::ClockGlitchAttackModel model =
+      fw.glitch_attack_model(50);
+  static auto sampler = fw.make_glitch_sampler(model);
+  Rng rng(42);
+  mc::EvalScratch scratch(fw.evaluator());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fw.evaluator().evaluate_sample(sampler->draw(rng), scratch));
+  }
+}
+BENCHMARK(BM_ClockGlitchSample);
+
+// The same sample stream on fresh machines per attack — the pre-unification
+// cost model of the standalone glitch evaluator.
+void BM_ClockGlitchSampleFresh(benchmark::State& state) {
+  static core::FaultAttackEvaluator fw(soc::make_illegal_write_benchmark(), [] {
+    core::FrameworkConfig cfg;
+    cfg.technique = "clock-glitch";
+    return cfg;
+  }());
+  static const faultsim::ClockGlitchAttackModel model =
+      fw.glitch_attack_model(50);
+  static auto sampler = fw.make_glitch_sampler(model);
+  Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fw.evaluator().evaluate_sample(sampler->draw(rng)));
+  }
+}
+BENCHMARK(BM_ClockGlitchSampleFresh);
+
+// Glitch campaign throughput on the shared parallel engine (Arg = threads):
+// the capability the standalone glitch evaluator never had. Compare
+// items_per_second across Arg rows for the glitch path's scaling.
+void BM_ClockGlitchRun(benchmark::State& state) {
+  static core::FaultAttackEvaluator fw(soc::make_illegal_write_benchmark(), [] {
+    core::FrameworkConfig cfg;
+    cfg.technique = "clock-glitch";
+    return cfg;
+  }());
+  static const faultsim::ClockGlitchAttackModel model =
+      fw.glitch_attack_model(50);
+  static auto sampler = fw.make_glitch_sampler(model);
+  mc::EvaluatorConfig cfg;
+  cfg.threads = static_cast<std::size_t>(state.range(0));
+  cfg.keep_records = false;
+  faultsim::ClockGlitchTechnique technique(fw.glitch_simulator());
+  const mc::SsfEvaluator engine(fw.soc(), technique, fw.benchmark(),
+                                fw.golden(), &fw.characterization(), cfg);
+  constexpr std::size_t kSamples = 512;
+  for (auto _ : state) {
+    Rng rng(42);  // same pre-drawn batch every iteration and thread count
+    benchmark::DoNotOptimize(engine.run(*sampler, rng, kSamples));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kSamples));
+}
+BENCHMARK(BM_ClockGlitchRun)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void BM_SignatureRecording(benchmark::State& state) {
   const rtl::Program workload = soc::make_synthetic_workload();
   for (auto _ : state) {

@@ -46,8 +46,26 @@ int main() {
                 res.stats.standard_error(), res.successes);
   }
 
+  // A different *technique*, not just a different capability: the same
+  // engine evaluates a clock-glitch attacker when the framework is
+  // configured for it — the estimator, threads, and reporting are shared.
+  core::FrameworkConfig glitch_cfg;
+  glitch_cfg.technique = "clock-glitch";
+  core::FaultAttackEvaluator glitch_framework(
+      soc::make_illegal_write_benchmark(), glitch_cfg);
+  const faultsim::ClockGlitchAttackModel model =
+      glitch_framework.glitch_attack_model(50);
+  Rng glitch_rng(11);
+  auto glitch_sampler = glitch_framework.make_glitch_sampler(model);
+  const mc::SsfResult glitch_res =
+      glitch_framework.evaluator().run(*glitch_sampler, glitch_rng, 2000);
+  std::printf("%-34s %10.5f %10.5f %7zu\n", "clock glitch (same window)",
+              glitch_res.ssf(), glitch_res.stats.standard_error(),
+              glitch_res.successes);
+
   std::printf(
       "\nA sharper technique concentrates f_{T,P} on the vulnerable\n"
-      "subspace: SSF rises accordingly (paper Fig. 11).\n");
+      "subspace: SSF rises accordingly (paper Fig. 11), and switching the\n"
+      "technique entirely changes which parts of the design are exposed.\n");
   return 0;
 }

@@ -24,6 +24,11 @@ Status FrameworkConfig::validate() const {
   auto invalid = [](const std::string& what) {
     return Status(ErrorCode::kInvalidArgument, "FrameworkConfig: " + what);
   };
+  if (technique != "radiation" && technique != "clock-glitch") {
+    return invalid("technique must be \"radiation\" or \"clock-glitch\", got "
+                   "\"" +
+                   technique + "\"");
+  }
   if (checkpoint_interval == 0) {
     return invalid("checkpoint_interval must be > 0");
   }
@@ -85,9 +90,16 @@ FaultAttackEvaluator::FaultAttackEvaluator(soc::SecurityBenchmark bench,
   ScopeTimer injector_timer(&metrics_, "precharac.injector_ns");
   injector_ = std::make_unique<faultsim::InjectionSimulator>(
       soc_.netlist(), config.timing, config.transient);
+  if (config.technique == "clock-glitch") {
+    glitch_ = std::make_unique<faultsim::ClockGlitchSimulator>(soc_.netlist(),
+                                                               config.timing);
+    technique_ = std::make_unique<faultsim::ClockGlitchTechnique>(*glitch_);
+  } else {
+    technique_ =
+        std::make_unique<faultsim::RadiationTechnique>(placement_, *injector_);
+  }
   evaluator_ = std::make_unique<mc::SsfEvaluator>(
-      soc_, placement_, *injector_, bench_, *golden_, charac_.get(),
-      config.evaluator);
+      soc_, *technique_, bench_, *golden_, charac_.get(), config.evaluator);
   injector_timer.stop();
   ScopeTimer potency_timer(&metrics_, "precharac.potency_ns");
 
@@ -177,6 +189,31 @@ AttackModel FaultAttackEvaluator::subblock_attack_model(double radius,
   return a;
 }
 
+const faultsim::ClockGlitchSimulator& FaultAttackEvaluator::glitch_simulator()
+    const {
+  FAV_ENSURE_MSG(glitch_ != nullptr,
+                 "glitch_simulator() requires technique \"clock-glitch\" "
+                 "(configured: \""
+                     << config_.technique << "\")");
+  return *glitch_;
+}
+
+faultsim::ClockGlitchAttackModel FaultAttackEvaluator::glitch_attack_model(
+    int t_range) const {
+  FAV_ENSURE(t_range >= 1);
+  faultsim::ClockGlitchAttackModel m;
+  m.t_min = 0;
+  const std::uint64_t tt = target_cycle();
+  m.t_max = static_cast<int>(std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(t_range - 1), tt));
+  return m;
+}
+
+std::unique_ptr<mc::Sampler> FaultAttackEvaluator::make_glitch_sampler(
+    const faultsim::ClockGlitchAttackModel& model) const {
+  return std::make_unique<mc::GlitchSampler>(model, target_cycle());
+}
+
 std::unique_ptr<mc::Sampler> FaultAttackEvaluator::make_random_sampler(
     const AttackModel& attack) const {
   attacks_.push_back(std::make_unique<AttackModel>(attack));
@@ -247,6 +284,9 @@ AdaptiveRunResult FaultAttackEvaluator::run_adaptive(
     const mc::AdaptiveConfig& adaptive) const {
   FAV_ENSURE_MSG(config_.evaluator.keep_records,
                 "adaptive refit needs pilot records (keep_records)");
+  FAV_ENSURE_MSG(technique_->kind() == faultsim::TechniqueKind::kRadiation,
+                 "run_adaptive samples the radiation parameter space; use "
+                 "run_adaptive_glitch for the clock-glitch technique");
   AdaptiveRunResult out;
   mc::Sampler* pilot = &pilot_sampler;
   std::unique_ptr<mc::Sampler> fallback_pilot;
@@ -285,6 +325,56 @@ AdaptiveRunResult FaultAttackEvaluator::run_adaptive(
     out.refined = evaluator_->run(*pilot, rng, refine_n);
   }
   return out;
+}
+
+AdaptiveRunResult FaultAttackEvaluator::run_adaptive_glitch(
+    const faultsim::ClockGlitchAttackModel& model, Rng& rng,
+    std::size_t pilot_n, std::size_t refine_n,
+    const mc::AdaptiveConfig& adaptive) const {
+  FAV_ENSURE_MSG(config_.evaluator.keep_records,
+                "adaptive refit needs pilot records (keep_records)");
+  FAV_ENSURE_MSG(technique_->kind() == faultsim::TechniqueKind::kClockGlitch,
+                 "run_adaptive_glitch requires technique \"clock-glitch\"");
+  AdaptiveRunResult out;
+  mc::GlitchSampler pilot(model, target_cycle());
+  out.pilot = evaluator_->run(pilot, rng, pilot_n);
+  if (out.pilot.successes == 0) {
+    // Nothing to adapt to; spend the refinement budget on the uniform model.
+    out.refined = evaluator_->run(pilot, rng, refine_n);
+    return out;
+  }
+  try {
+    mc::AdaptiveGlitchSampler refit(model, target_cycle(), out.pilot,
+                                    adaptive);
+    out.refined = evaluator_->run(refit, rng, refine_n);
+    out.adapted = true;
+  } catch (const std::exception& e) {
+    out.downgrade_reason = std::string("adaptive glitch refit failed (") +
+                           e.what() +
+                           "); refined stage uses the uniform sampler";
+    metrics_.add_counter("adaptive.refit_downgrades");
+    log_event("run_adaptive_glitch: " + out.downgrade_reason);
+    out.refined = evaluator_->run(pilot, rng, refine_n);
+  }
+  return out;
+}
+
+SamplerSelection FaultAttackEvaluator::make_sampler_with_fallback(
+    const faultsim::ClockGlitchAttackModel& model,
+    const std::string& strategy) const {
+  SamplerSelection sel;
+  sel.requested = strategy;
+  sel.sampler = make_glitch_sampler(model);
+  sel.actual = "glitch-uniform";
+  metrics_.add_counter("sampler.built.glitch-uniform");
+  if (strategy != "random" && strategy != "glitch-uniform") {
+    sel.downgrade_reason = "strategy '" + strategy +
+                           "' has no clock-glitch equivalent (no spatial "
+                           "structure to exploit), using glitch-uniform";
+    metrics_.add_counter("sampler.downgrades");
+    log_event("sampler downgrade: " + sel.downgrade_reason);
+  }
+  return sel;
 }
 
 SamplerSelection FaultAttackEvaluator::make_sampler_with_fallback(

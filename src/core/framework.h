@@ -21,7 +21,9 @@
 #include <memory>
 
 #include "faultsim/attack_model.h"
+#include "faultsim/clock_glitch.h"
 #include "faultsim/injection.h"
+#include "faultsim/technique.h"
 #include "layout/placement.h"
 #include "mc/adaptive.h"
 #include "mc/evaluator.h"
@@ -37,6 +39,12 @@
 namespace fav::core {
 
 struct FrameworkConfig {
+  /// Fault-injection technique evaluated by this framework: "radiation"
+  /// (the paper's radiated-spot model) or "clock-glitch". Selects the
+  /// AttackTechnique the shared engine is built with; pre-characterization
+  /// and the radiation sampler factories are technique-independent and
+  /// always available.
+  std::string technique = "radiation";
   /// Golden run horizon and checkpoint spacing (Section 5.1).
   std::uint64_t checkpoint_interval = 32;
   /// Cone extraction depths; the fanin depth must cover the attack t-range.
@@ -101,6 +109,10 @@ class FaultAttackEvaluator {
     return *charac_;
   }
   const faultsim::InjectionSimulator& injector() const { return *injector_; }
+  /// The technique the shared engine evaluates (config().technique).
+  const faultsim::AttackTechnique& technique() const { return *technique_; }
+  /// Valid only when config().technique == "clock-glitch".
+  const faultsim::ClockGlitchSimulator& glitch_simulator() const;
   const mc::SsfEvaluator& evaluator() const { return *evaluator_; }
   std::uint64_t target_cycle() const { return evaluator_->target_cycle(); }
 
@@ -124,6 +136,11 @@ class FaultAttackEvaluator {
   /// in the responding signal's cones (the "1/8 of MPU" setup of Section 6).
   faultsim::AttackModel subblock_attack_model(double radius = 1.5,
                                               int t_range = 50) const;
+  /// Holistic model for the clock-glitch technique: t uniform over
+  /// [0, min(t_range, Tt + 1)), default depth grid. The clamp keeps every
+  /// timing distance inside the program (t <= Tt), which GlitchSampler
+  /// construction enforces.
+  faultsim::ClockGlitchAttackModel glitch_attack_model(int t_range = 50) const;
 
   /// --- samplers ----------------------------------------------------------
   std::unique_ptr<mc::Sampler> make_random_sampler(
@@ -145,6 +162,17 @@ class FaultAttackEvaluator {
   /// failure of the final random fallback propagates.
   SamplerSelection make_sampler_with_fallback(
       const faultsim::AttackModel& attack, const std::string& strategy) const;
+
+  /// Uniform sampler over the glitch holistic model (weight 1).
+  std::unique_ptr<mc::Sampler> make_glitch_sampler(
+      const faultsim::ClockGlitchAttackModel& model) const;
+  /// Glitch counterpart of make_sampler_with_fallback. The glitch parameter
+  /// space has no spatial structure, so "cone" and "importance" have no
+  /// glitch equivalent: any requested strategy other than "random" is
+  /// downgraded (logged + counted) to the uniform glitch sampler.
+  SamplerSelection make_sampler_with_fallback(
+      const faultsim::ClockGlitchAttackModel& model,
+      const std::string& strategy) const;
 
   /// Sampling parameters for `attack`, including the analytically-enumerated
   /// per-spot direct-hit boosts (see framework.cpp).
@@ -169,6 +197,16 @@ class FaultAttackEvaluator {
                                  std::size_t pilot_n, std::size_t refine_n,
                                  const mc::AdaptiveConfig& adaptive = {}) const;
 
+  /// Two-stage adaptive estimation for the clock-glitch technique: a uniform
+  /// pilot over `model`, then an AdaptiveGlitchSampler refit to the pilot's
+  /// success mass. Degrades like run_adaptive (no successes or a failed
+  /// refit spend the refinement budget on the uniform sampler). Requires
+  /// config().technique == "clock-glitch".
+  AdaptiveRunResult run_adaptive_glitch(
+      const faultsim::ClockGlitchAttackModel& model, Rng& rng,
+      std::size_t pilot_n, std::size_t refine_n,
+      const mc::AdaptiveConfig& adaptive = {}) const;
+
  private:
   /// Routes a robustness diagnostic to config().log (stderr when unset).
   void log_event(const std::string& message) const;
@@ -186,6 +224,8 @@ class FaultAttackEvaluator {
   std::unique_ptr<precharac::SignatureTrace> signatures_;
   std::unique_ptr<precharac::RegisterCharacterization> charac_;
   std::unique_ptr<faultsim::InjectionSimulator> injector_;
+  std::unique_ptr<faultsim::ClockGlitchSimulator> glitch_;  // glitch only
+  std::unique_ptr<faultsim::AttackTechnique> technique_;
   std::unique_ptr<mc::SsfEvaluator> evaluator_;
   // Importance samplers own their model; kept alive here.
   mutable std::vector<std::unique_ptr<precharac::SamplingModel>> models_;

@@ -1,12 +1,23 @@
 // Holistic probabilistic fault model f_{T,P} (paper Section 3.2).
 //
-// An attack outcome is a joint sample of:
-//   t           — timing distance Tt - Te in cycles (temporal accuracy),
+// The paper's model is technique-parameterized: an attack outcome is a joint
+// sample of the timing distance t and a technique parameter vector p — for
+// radiation p = [g, r] (spot center, radius), for a clock glitch p = [d]
+// (glitch depth). FaultSample is the generalized carrier: it holds t, the
+// importance weight, and the union of per-technique parameter fields, tagged
+// by TechniqueKind so samples, journal frames, and SampleRecords flow through
+// the evaluation pipeline unchanged regardless of technique (see
+// faultsim/technique.h for the AttackTechnique interface that interprets
+// them).
+//
+// Radiation parameters:
 //   center      — radiation spot center cell g,
 //   radius      — radiated-region radius r,
 //   strike_frac — intra-cycle hit instant as a fraction of the clock period
 //                 (sub-cycle technique variation; uniform under every
 //                 strategy, so it cancels from importance weights).
+// Clock-glitch parameters:
+//   depth       — shortened period as a fraction of the nominal period.
 // Following the paper, T and P are uniform over ranges centered at the
 // attacker's intended target; the ranges encode the temporal accuracy and
 // parameter variation of the concrete technique (Fig. 11 sweeps them).
@@ -21,14 +32,38 @@
 
 namespace fav::faultsim {
 
+/// Technique family a FaultSample's parameters belong to. Values are stable
+/// (journaled on disk); append new techniques, never renumber.
+enum class TechniqueKind : std::uint8_t {
+  kRadiation = 0,
+  kClockGlitch = 1,
+};
+
+/// Stable lowercase name ("radiation" / "clock-glitch") for configs, the CLI
+/// and run reports.
+const char* technique_kind_name(TechniqueKind kind);
+
 struct FaultSample {
+  TechniqueKind technique = TechniqueKind::kRadiation;
   int t = 0;                      // timing distance (cycles before Tt)
+  // --- radiation parameters p = [g, r] ---------------------------------
   netlist::NodeId center = 0;     // radiation spot center
   double radius = 0;              // radiated-region radius
   double strike_frac = 0;         // in [0, 1)
+  // --- clock-glitch parameters p = [d] ---------------------------------
+  double depth = 0;               // glitch depth fraction, in (0, 1)
+  // ---------------------------------------------------------------------
   int impact_cycles = 1;          // consecutive cycles hit by this injection
   double weight = 1.0;            // importance weight f/g for the estimator
 };
+
+inline const char* technique_kind_name(TechniqueKind kind) {
+  switch (kind) {
+    case TechniqueKind::kRadiation: return "radiation";
+    case TechniqueKind::kClockGlitch: return "clock-glitch";
+  }
+  return "unknown";
+}
 
 struct AttackModel {
   int t_min = 0;

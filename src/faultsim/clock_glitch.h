@@ -11,6 +11,7 @@
 // (see mc::ClockGlitchEvaluator).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "faultsim/timing.h"
@@ -59,6 +60,25 @@ struct ClockGlitchAttackModel {
     for (const double d : depths) {
       FAV_ENSURE_MSG(d > 0.0 && d < 1.0, "glitch depth must be in (0, 1)");
     }
+  }
+
+  /// Validation against a concrete benchmark: a timing distance beyond the
+  /// target cycle Tt lands before the program starts, so there is no cycle
+  /// to glitch. Such samples used to be silently recorded as masked with
+  /// te = 0, quietly diluting the estimate; samplers and the enumeration
+  /// driver reject the model up front instead.
+  void check_valid(std::uint64_t target_cycle) const {
+    check_valid();
+    FAV_ENSURE_MSG(static_cast<std::uint64_t>(t_max) <= target_cycle,
+                   "glitch timing range [" << t_min << ", " << t_max
+                                           << "] exceeds the target cycle "
+                                           << target_cycle);
+  }
+
+  /// Joint pmf of (t, depth) under the uniform holistic model.
+  double f_pmf() const {
+    return 1.0 / (static_cast<double>(t_count()) *
+                  static_cast<double>(depths.size()));
   }
 };
 

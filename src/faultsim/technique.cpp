@@ -1,0 +1,61 @@
+#include "faultsim/technique.h"
+
+namespace fav::faultsim {
+
+void AttackTechnique::check_common(const FaultSample& sample) const {
+  FAV_ENSURE_MSG(sample.technique == kind(),
+                 "sample carries '" << technique_kind_name(sample.technique)
+                                    << "' parameters but the engine evaluates "
+                                    << "the '" << name() << "' technique");
+  FAV_ENSURE_MSG(sample.t >= 0, "negative timing distance not supported");
+  FAV_ENSURE_MSG(sample.impact_cycles >= 1, "impact_cycles must be >= 1");
+}
+
+RadiationTechnique::RadiationTechnique(const layout::Placement& placement,
+                                       const InjectionSimulator& injector)
+    : placement_(&placement), injector_(&injector) {}
+
+std::string RadiationTechnique::parameter_space() const {
+  return "p = [center, radius, strike_frac] (radiated spot)";
+}
+
+void RadiationTechnique::check_sample(const FaultSample& sample) const {
+  check_common(sample);
+  FAV_ENSURE_MSG(sample.radius >= 0.0, "negative spot radius");
+  FAV_ENSURE_MSG(sample.strike_frac >= 0.0 && sample.strike_frac < 1.0,
+                 "strike_frac must be in [0, 1)");
+}
+
+void RadiationTechnique::flip_set(const netlist::LogicSimulator& sim,
+                                  TechniqueScratch& scratch,
+                                  const FaultSample& sample,
+                                  std::vector<netlist::NodeId>& flipped) const {
+  placement_->nodes_within(sample.center, sample.radius, scratch.struck);
+  const double strike_time =
+      sample.strike_frac * injector_->timing().clock_period();
+  InjectionResult inj = injector_->inject(sim, scratch.struck, strike_time);
+  flipped = std::move(inj.flipped_dffs);
+}
+
+ClockGlitchTechnique::ClockGlitchTechnique(const ClockGlitchSimulator& glitch)
+    : glitch_(&glitch) {}
+
+std::string ClockGlitchTechnique::parameter_space() const {
+  return "p = [depth] (glitched-period fraction)";
+}
+
+void ClockGlitchTechnique::check_sample(const FaultSample& sample) const {
+  check_common(sample);
+  FAV_ENSURE_MSG(sample.depth > 0.0 && sample.depth < 1.0,
+                 "depth must be in (0, 1)");
+}
+
+void ClockGlitchTechnique::flip_set(
+    const netlist::LogicSimulator& sim, TechniqueScratch& scratch,
+    const FaultSample& sample, std::vector<netlist::NodeId>& flipped) const {
+  (void)scratch;  // no spatial query; the flip set is (state, depth)-only
+  const double period = glitch_->timing().clock_period() * sample.depth;
+  flipped = glitch_->flipped_dffs(sim, period);
+}
+
+}  // namespace fav::faultsim

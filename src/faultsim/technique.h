@@ -1,0 +1,117 @@
+// Technique-generic attack abstraction (paper Section 3.2).
+//
+// The holistic fault model is parameterized by the concrete fault-injection
+// technique: the cross-level evaluation flow (restore -> settle the injection
+// cycle at gate level -> latch the errors -> classify at RTL level) is
+// identical for every technique, and only the step that turns a sample's
+// technique parameters into latched register flips differs. AttackTechnique
+// is that step: given the settled gate-level values of the injection cycle
+// and one FaultSample, it produces the set of DFFs whose latched value
+// flipped. Everything around it — worker pool, scratch reuse, budgets,
+// isolation, journaled resume, metrics — lives once in mc::SsfEvaluator and
+// is inherited by every technique (the SYNFI-style "one analysis core, many
+// fault models" layering).
+//
+// Implementations are immutable after construction and shared read-only
+// across worker threads; all per-sample mutable state lives in the
+// TechniqueScratch the caller passes in (one per thread).
+//
+// The flip set is expressed in netlist DFF node ids: like InjectionSimulator,
+// techniques are generic over any netlist, and the SoC binding (DFF -> flat
+// register-map bit) stays in the Monte Carlo layer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "faultsim/attack_model.h"
+#include "faultsim/clock_glitch.h"
+#include "faultsim/injection.h"
+#include "layout/placement.h"
+#include "netlist/logicsim.h"
+
+namespace fav::faultsim {
+
+/// Reusable per-thread buffers for flip-set computation (spatial query
+/// results and the like). Not thread-safe: one scratch per worker thread.
+struct TechniqueScratch {
+  std::vector<netlist::NodeId> struck;
+};
+
+class AttackTechnique {
+ public:
+  virtual ~AttackTechnique() = default;
+
+  virtual TechniqueKind kind() const = 0;
+  const char* name() const { return technique_kind_name(kind()); }
+
+  /// Human-readable description of the technique parameter vector p — which
+  /// FaultSample fields carry it — for logs and run reports.
+  virtual std::string parameter_space() const = 0;
+
+  /// Validates the sample against this technique's parameter space. Throws
+  /// EnsureError on a foreign technique tag or out-of-range parameters; the
+  /// campaign isolation layer turns that into a kFailed record.
+  virtual void check_sample(const FaultSample& sample) const = 0;
+
+  /// DFFs whose latched value flips during the injection cycle. `sim` must
+  /// hold the cycle's settled values (soc::GateLevelMachine::settle_inputs);
+  /// `flipped` is overwritten (sorted, unique node ids). Deterministic: the
+  /// same (sim state, sample) yields the same flip set on every call.
+  virtual void flip_set(const netlist::LogicSimulator& sim,
+                        TechniqueScratch& scratch, const FaultSample& sample,
+                        std::vector<netlist::NodeId>& flipped) const = 0;
+
+ protected:
+  /// Technique-independent sample checks shared by every implementation.
+  void check_common(const FaultSample& sample) const;
+};
+
+/// The paper's radiation instance p = [g, r]: a radiated spot upsets struck
+/// DFFs directly and seeds transients in struck combinational gates, which
+/// propagate to the registers under logical/electrical/latching-window
+/// masking (see faultsim/injection.h).
+class RadiationTechnique final : public AttackTechnique {
+ public:
+  /// References must outlive the technique.
+  RadiationTechnique(const layout::Placement& placement,
+                     const InjectionSimulator& injector);
+
+  TechniqueKind kind() const override { return TechniqueKind::kRadiation; }
+  std::string parameter_space() const override;
+  void check_sample(const FaultSample& sample) const override;
+  void flip_set(const netlist::LogicSimulator& sim, TechniqueScratch& scratch,
+                const FaultSample& sample,
+                std::vector<netlist::NodeId>& flipped) const override;
+
+  const InjectionSimulator& injector() const { return *injector_; }
+
+ private:
+  const layout::Placement* placement_;
+  const InjectionSimulator* injector_;
+};
+
+/// The clock-glitch instance p = [d]: one shortened cycle makes registers
+/// whose D input has not settled hold their previous value (see
+/// faultsim/clock_glitch.h). No spatial parameters; the flip set is a
+/// deterministic function of (cycle, depth), which makes exact SSF
+/// enumeration feasible (mc::ClockGlitchEvaluator::evaluate_exact).
+class ClockGlitchTechnique final : public AttackTechnique {
+ public:
+  /// The simulator must outlive the technique.
+  explicit ClockGlitchTechnique(const ClockGlitchSimulator& glitch);
+
+  TechniqueKind kind() const override { return TechniqueKind::kClockGlitch; }
+  std::string parameter_space() const override;
+  void check_sample(const FaultSample& sample) const override;
+  void flip_set(const netlist::LogicSimulator& sim, TechniqueScratch& scratch,
+                const FaultSample& sample,
+                std::vector<netlist::NodeId>& flipped) const override;
+
+  const ClockGlitchSimulator& simulator() const { return *glitch_; }
+
+ private:
+  const ClockGlitchSimulator* glitch_;
+};
+
+}  // namespace fav::faultsim

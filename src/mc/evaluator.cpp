@@ -64,14 +64,31 @@ EvalScratch::EvalScratch(const SsfEvaluator& evaluator)
       gate_(evaluator.soc(), evaluator.golden().program()) {}
 
 SsfEvaluator::SsfEvaluator(
+    const soc::SocNetlist& soc, const faultsim::AttackTechnique& technique,
+    const soc::SecurityBenchmark& bench, const rtl::GoldenRun& golden,
+    const precharac::RegisterCharacterization* characterization,
+    const EvaluatorConfig& config)
+    : soc_(&soc),
+      technique_(&technique),
+      bench_(&bench),
+      golden_(&golden),
+      charac_(characterization),
+      config_(config),
+      analytical_(bench, golden) {
+  target_cycle_ = analytical_.target_cycle();
+  FAV_ENSURE(config.trace_stride > 0);
+}
+
+SsfEvaluator::SsfEvaluator(
     const soc::SocNetlist& soc, const layout::Placement& placement,
     const faultsim::InjectionSimulator& injector,
     const soc::SecurityBenchmark& bench, const rtl::GoldenRun& golden,
     const precharac::RegisterCharacterization* characterization,
     const EvaluatorConfig& config)
     : soc_(&soc),
-      placement_(&placement),
-      injector_(&injector),
+      owned_technique_(
+          std::make_unique<faultsim::RadiationTechnique>(placement, injector)),
+      technique_(owned_technique_.get()),
       bench_(&bench),
       golden_(&golden),
       charac_(characterization),
@@ -151,7 +168,7 @@ SampleRecord SsfEvaluator::evaluate_sample(const faultsim::FaultSample& sample,
                                            MetricsSink* sink) const {
   SampleRecord rec;
   rec.sample = sample;
-  FAV_ENSURE_MSG(sample.t >= 0, "negative timing distance not supported");
+  technique_->check_sample(sample);
   if (static_cast<std::uint64_t>(sample.t) > target_cycle_) {
     // Injection before the program starts: nothing to strike.
     rec.te = 0;
@@ -161,14 +178,11 @@ SampleRecord SsfEvaluator::evaluate_sample(const faultsim::FaultSample& sample,
   rec.te = target_cycle_ - static_cast<std::uint64_t>(sample.t);
 
   // Gate-level injection cycle(s). Multi-cycle impact (sample.impact_cycles
-  // > 1) strikes the same spot on consecutive cycles: each cycle is settled
-  // on the *already-corrupted* state, its latched errors overlaid, and the
-  // machine advanced — the paper's "multi-cycle impact" extension.
-  FAV_ENSURE_MSG(sample.impact_cycles >= 1, "impact_cycles must be >= 1");
+  // > 1) applies the same technique parameters on consecutive cycles: each
+  // cycle is settled on the *already-corrupted* state, its latched errors
+  // overlaid, and the machine advanced — the paper's "multi-cycle impact"
+  // extension.
   EvalBudget budget(config_.cycle_budget, config_.sample_deadline_ms);
-  placement_->nodes_within(sample.center, sample.radius, scratch.struck_);
-  const double strike_time =
-      sample.strike_frac * injector_->timing().clock_period();
   const RegisterMap& map = Machine::reg_map();
 
   // The scratch machines are fully re-loaded here: restore_into rewrites the
@@ -198,10 +212,10 @@ SampleRecord SsfEvaluator::evaluate_sample(const faultsim::FaultSample& sample,
       gate.load_state(machine.state());
       gate.mutable_ram() = machine.ram();
       gate.settle_inputs();
-      const auto inj =
-          injector_->inject(gate.sim(), scratch.struck_, strike_time);
+      technique_->flip_set(gate.sim(), scratch.technique_, sample,
+                           scratch.flipped_dffs_);
       machine.step();
-      for (const netlist::NodeId dff : inj.flipped_dffs) {
+      for (const netlist::NodeId dff : scratch.flipped_dffs_) {
         const int bit = soc_->flat_bit_for_dff(dff);
         FAV_CHECK(bit >= 0);
         map.flip_bit(machine.mutable_state(), bit);
@@ -276,6 +290,7 @@ SampleRecord SsfEvaluator::evaluate_sample_isolated(
 SsfResult SsfEvaluator::reduce(std::vector<SampleRecord>&& records) const {
   const RegisterMap& map = Machine::reg_map();
   SsfResult result;
+  std::uint64_t records_dropped = 0;
   for (std::size_t i = 0; i < records.size(); ++i) {
     SampleRecord& rec = records[i];
     result.total_weight += rec.sample.weight;
@@ -319,7 +334,16 @@ SsfResult SsfEvaluator::reduce(std::vector<SampleRecord>&& records) const {
     if ((i + 1) % config_.trace_stride == 0) {
       result.trace.push_back(result.stats.mean());
     }
-    if (config_.keep_records) result.records.push_back(std::move(rec));
+    if (config_.keep_records) {
+      // The capacity cap keeps the first N records in sample-index order:
+      // a deterministic prefix, not a sampling of the run.
+      if (config_.record_capacity == 0 ||
+          result.records.size() < config_.record_capacity) {
+        result.records.push_back(std::move(rec));
+      } else {
+        ++records_dropped;
+      }
+    }
   }
   // Sample-derived aggregates land in the caller's sink here, inside the
   // sample-index-ordered reduction, so they are deterministic at every
@@ -333,6 +357,7 @@ SsfResult SsfEvaluator::reduce(std::vector<SampleRecord>&& records) const {
     m.add_counter("eval.path.failed", result.failed);
     m.add_counter("eval.retried", result.retried);
     m.add_counter("eval.successes", result.successes);
+    m.add_counter("eval.records_dropped", records_dropped);
     m.set_gauge("eval.ess", result.effective_sample_size());
     m.set_gauge("eval.ssf", result.ssf());
     m.set_gauge("eval.failed_weight_fraction",
@@ -451,13 +476,13 @@ void SsfEvaluator::evaluate_range(
                });
 }
 
-SsfResult SsfEvaluator::run(Sampler& sampler, Rng& rng, std::size_t n) const {
-  ScopeTimer run_timer(config_.metrics, "run.total_ns");
-  std::vector<faultsim::FaultSample> samples;
-  {
-    ScopeTimer timer(config_.metrics, "run.draw_batch_ns");
-    samples = draw_batch(sampler, rng, n);
-  }
+SsfResult SsfEvaluator::run_batch(
+    std::vector<faultsim::FaultSample> samples) const {
+  // The sample list is the whole contract: any caller that can enumerate or
+  // draw FaultSamples (MC samplers, exact enumeration drivers, replay tools)
+  // inherits the full pipeline — worker pool, isolation, observability and
+  // the deterministic sample-index-ordered reduction.
+  const std::size_t n = samples.size();
   std::vector<SampleRecord> records(n);
   std::vector<std::unique_ptr<EvalScratch>> scratch;
   {
@@ -471,6 +496,16 @@ SsfResult SsfEvaluator::run(Sampler& sampler, Rng& rng, std::size_t n) const {
   // would perform, so the estimate is independent of the schedule.
   ScopeTimer timer(config_.metrics, "run.reduce_ns");
   return reduce(std::move(records));
+}
+
+SsfResult SsfEvaluator::run(Sampler& sampler, Rng& rng, std::size_t n) const {
+  ScopeTimer run_timer(config_.metrics, "run.total_ns");
+  std::vector<faultsim::FaultSample> samples;
+  {
+    ScopeTimer timer(config_.metrics, "run.draw_batch_ns");
+    samples = draw_batch(sampler, rng, n);
+  }
+  return run_batch(std::move(samples));
 }
 
 Result<SsfResult> SsfEvaluator::run_journaled(
@@ -515,9 +550,10 @@ Result<SsfResult> SsfEvaluator::run_journaled(
       // a mismatch means the sampler/seed/config changed under the journal.
       const faultsim::FaultSample& a = j.records[i].sample;
       const faultsim::FaultSample& b = samples[i];
-      if (a.t != b.t || a.center != b.center || a.radius != b.radius ||
-          a.strike_frac != b.strike_frac ||
-          a.impact_cycles != b.impact_cycles || a.weight != b.weight) {
+      if (a.technique != b.technique || a.t != b.t || a.center != b.center ||
+          a.radius != b.radius || a.strike_frac != b.strike_frac ||
+          a.depth != b.depth || a.impact_cycles != b.impact_cycles ||
+          a.weight != b.weight) {
         return Status(ErrorCode::kJournalCorrupt,
                       "journaled sample " + std::to_string(i) +
                           " does not match the re-drawn sample stream");

@@ -3,14 +3,20 @@
 // For each fault sample (t, p):
 //   1. Te = Tt - t; restore the RTL machine from the nearest golden
 //      checkpoint and warm up to Te,
-//   2. hand the state to the gate level, settle the injection cycle, and run
-//      the transient simulation to obtain the latched bit errors,
+//   2. hand the state to the gate level, settle the injection cycle, and ask
+//      the AttackTechnique for the latched bit errors its parameters p cause
+//      (radiation: transient simulation; clock glitch: setup-miss analysis),
 //   3. if no bits flipped            -> masked, e = 0,
 //      if only memory-type bits flip -> analytical evaluation,
 //      otherwise                     -> inject the errors back into the RTL
 //                                       model, resume to completion, apply
 //                                       the benchmark's success oracle,
 //   4. accumulate e * (f/g) into the importance-weighted SSF estimate.
+//
+// The engine is technique-generic: only step 2's flip-set computation is
+// delegated (see faultsim/technique.h), so every technique inherits the
+// worker pool, scratch reuse, isolation/budgets, journaled resume and
+// observability below.
 //
 // Robustness: a campaign of 1e4–1e6 samples must survive individual
 // pathological samples. Each evaluation inside run()/run_journaled() is
@@ -27,6 +33,7 @@
 #include <vector>
 
 #include "faultsim/injection.h"
+#include "faultsim/technique.h"
 #include "layout/placement.h"
 #include "mc/analytical.h"
 #include "mc/samplers.h"
@@ -118,6 +125,13 @@ struct EvaluatorConfig {
   std::size_t trace_stride = 50;
   /// Keep full per-sample records (needed for hardening re-evaluation).
   bool keep_records = true;
+  /// Cap on SsfResult::records (0 = unlimited). With keep_records on, a
+  /// 1e6-sample campaign otherwise accumulates every record in memory; the
+  /// reduction keeps the first `record_capacity` records (sample-index
+  /// order, so the kept prefix is thread-count independent) and counts the
+  /// rest in the "eval.records_dropped" metric. Estimates, counters and
+  /// contribution maps always cover every sample regardless of the cap.
+  std::size_t record_capacity = 0;
   /// Worker threads for run(): 1 = sequential, 0 = hardware concurrency.
   /// Results are bitwise-identical for every value — samples are pre-drawn
   /// on the calling thread and reduced in sample-index order.
@@ -174,11 +188,12 @@ class EvalBudget {
 class SsfEvaluator;
 
 /// Reusable per-worker evaluation state: one RTL machine, one gate-level
-/// machine, and the struck-cell query buffer, constructed once and re-loaded
-/// for every sample. Constructing a GateLevelMachine allocates the full
-/// logic-simulator state (~every net of the SoC) and a 64K-word RAM; doing
-/// that per sample dominates the masked-sample path, so the engine keeps one
-/// scratch per worker thread. Not thread-safe: one scratch per thread.
+/// machine, and the technique/flip-set query buffers, constructed once and
+/// re-loaded for every sample. Constructing a GateLevelMachine allocates the
+/// full logic-simulator state (~every net of the SoC) and a 64K-word RAM;
+/// doing that per sample dominates the masked-sample path, so the engine
+/// keeps one scratch per worker thread. Not thread-safe: one scratch per
+/// thread.
 class EvalScratch {
  public:
   explicit EvalScratch(const SsfEvaluator& evaluator);
@@ -187,7 +202,8 @@ class EvalScratch {
   friend class SsfEvaluator;
   rtl::Machine machine_;
   soc::GateLevelMachine gate_;
-  std::vector<netlist::NodeId> struck_;
+  faultsim::TechniqueScratch technique_;
+  std::vector<netlist::NodeId> flipped_dffs_;
 };
 
 /// Options for crash-safe journaled campaigns (see mc/journal.h for the
@@ -211,9 +227,20 @@ struct JournalOptions {
 
 class SsfEvaluator {
  public:
+  /// Technique-generic engine: evaluates samples of `technique`'s family.
   /// `characterization` may be null: the analytical path is then disabled
   /// (every unmasked sample resumes at RTL level). All references must
   /// outlive the evaluator.
+  SsfEvaluator(const soc::SocNetlist& soc,
+               const faultsim::AttackTechnique& technique,
+               const soc::SecurityBenchmark& bench,
+               const rtl::GoldenRun& golden,
+               const precharac::RegisterCharacterization* characterization,
+               const EvaluatorConfig& config = {});
+
+  /// Radiation convenience: builds and owns a RadiationTechnique over
+  /// `placement` + `injector` (the common case and the historical
+  /// constructor signature).
   SsfEvaluator(const soc::SocNetlist& soc, const layout::Placement& placement,
                const faultsim::InjectionSimulator& injector,
                const soc::SecurityBenchmark& bench,
@@ -225,6 +252,10 @@ class SsfEvaluator {
   const rtl::GoldenRun& golden() const { return *golden_; }
   const soc::SecurityBenchmark& benchmark() const { return *bench_; }
   const soc::SocNetlist& soc() const { return *soc_; }
+  const faultsim::AttackTechnique& technique() const { return *technique_; }
+  const precharac::RegisterCharacterization* characterization() const {
+    return charac_;
+  }
   const EvaluatorConfig& config() const { return config_; }
 
   /// Full evaluation of one fault sample (convenience: builds a fresh
@@ -273,6 +304,14 @@ class SsfEvaluator {
   /// surface as SsfResult counters, not exceptions. A sampler that throws
   /// while drawing the batch aborts the run with StatusError(kSamplerFailed).
   SsfResult run(Sampler& sampler, Rng& rng, std::size_t n) const;
+
+  /// Evaluates an explicit, pre-drawn batch through the full pipeline
+  /// (worker pool, isolation, observability, sample-index-ordered
+  /// reduction). This is the enumeration driver for deterministic
+  /// techniques — ClockGlitchEvaluator::evaluate_exact feeds the whole
+  /// (t, depth) attack space through it — and the seam run() itself uses
+  /// after drawing its batch.
+  SsfResult run_batch(std::vector<faultsim::FaultSample> samples) const;
 
   /// Crash-safe variant of run(): completed sample shards are appended to
   /// the journal in `options.dir` as they finish. With options.resume, the
@@ -323,8 +362,10 @@ class SsfEvaluator {
                       EvalBudget& budget, MetricsSink* sink = nullptr) const;
 
   const soc::SocNetlist* soc_;
-  const layout::Placement* placement_;
-  const faultsim::InjectionSimulator* injector_;
+  /// Owns the technique only for the radiation convenience constructor;
+  /// technique_ always points at the active one.
+  std::unique_ptr<faultsim::AttackTechnique> owned_technique_;
+  const faultsim::AttackTechnique* technique_;
   const soc::SecurityBenchmark* bench_;
   const rtl::GoldenRun* golden_;
   const precharac::RegisterCharacterization* charac_;

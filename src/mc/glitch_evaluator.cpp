@@ -1,71 +1,45 @@
 #include "mc/glitch_evaluator.h"
 
-#include "soc/gate_machine.h"
-
 namespace fav::mc {
 
 ClockGlitchEvaluator::ClockGlitchEvaluator(
     const SsfEvaluator& base, const soc::SocNetlist& soc,
     const faultsim::ClockGlitchSimulator& glitch)
-    : base_(&base), soc_(&soc), glitch_(&glitch) {}
+    : technique_(glitch),
+      engine_(soc, technique_, base.benchmark(), base.golden(),
+              base.characterization(), base.config()) {}
 
-GlitchSampleRecord ClockGlitchEvaluator::evaluate(int t, double depth) const {
-  FAV_ENSURE_MSG(t >= 0, "negative timing distance not supported");
-  FAV_ENSURE_MSG(depth > 0.0 && depth < 1.0, "depth must be in (0, 1)");
-  GlitchSampleRecord rec;
-  rec.t = t;
-  rec.depth = depth;
-  const std::uint64_t tt = base_->target_cycle();
-  if (static_cast<std::uint64_t>(t) > tt) {
-    return rec;  // before program start: masked
-  }
-  rec.te = tt - static_cast<std::uint64_t>(t);
-
-  rtl::Machine machine = base_->golden().restore(rec.te);
-  soc::GateLevelMachine gate(*soc_, base_->golden().program());
-  gate.load_state(machine.state());
-  gate.mutable_ram() = machine.ram();
-  gate.settle_inputs();
-
-  const double period = glitch_->timing().clock_period() * depth;
-  for (const netlist::NodeId dff : glitch_->flipped_dffs(gate.sim(), period)) {
-    const int bit = soc_->flat_bit_for_dff(dff);
-    FAV_ENSURE(bit >= 0);
-    rec.flipped_bits.push_back(bit);
-  }
-  rec.success = base_->outcome_for_flips(rec.te, rec.flipped_bits, &rec.path);
-  return rec;
+SampleRecord ClockGlitchEvaluator::evaluate(int t, double depth) const {
+  faultsim::FaultSample sample;
+  sample.technique = faultsim::TechniqueKind::kClockGlitch;
+  sample.t = t;
+  sample.depth = depth;
+  return engine_.evaluate_sample(sample);
 }
 
-GlitchSsfResult ClockGlitchEvaluator::run(
+SsfResult ClockGlitchEvaluator::run(
     const faultsim::ClockGlitchAttackModel& model, Rng& rng,
     std::size_t n) const {
-  model.check_valid();
-  GlitchSsfResult result;
-  for (std::size_t i = 0; i < n; ++i) {
-    const int t = static_cast<int>(rng.uniform_int(model.t_min, model.t_max));
-    const double depth = model.depths[rng.uniform_below(model.depths.size())];
-    GlitchSampleRecord rec = evaluate(t, depth);
-    result.stats.add(rec.success ? 1.0 : 0.0);
-    if (rec.success) ++result.successes;
-    result.records.push_back(std::move(rec));
-  }
-  return result;
+  GlitchSampler sampler(model, engine_.target_cycle());
+  return engine_.run(sampler, rng, n);
 }
 
-GlitchSsfResult ClockGlitchEvaluator::evaluate_exact(
+SsfResult ClockGlitchEvaluator::evaluate_exact(
     const faultsim::ClockGlitchAttackModel& model) const {
-  model.check_valid();
-  GlitchSsfResult result;
+  model.check_valid(engine_.target_cycle());
+  std::vector<faultsim::FaultSample> samples;
+  samples.reserve(static_cast<std::size_t>(model.t_count()) *
+                  model.depths.size());
   for (int t = model.t_min; t <= model.t_max; ++t) {
     for (const double depth : model.depths) {
-      GlitchSampleRecord rec = evaluate(t, depth);
-      result.stats.add(rec.success ? 1.0 : 0.0);
-      if (rec.success) ++result.successes;
-      result.records.push_back(std::move(rec));
+      faultsim::FaultSample s;
+      s.technique = faultsim::TechniqueKind::kClockGlitch;
+      s.t = t;
+      s.depth = depth;
+      samples.push_back(s);
     }
   }
-  return result;
+  return engine_.run_batch(std::move(samples));
 }
 
 }  // namespace fav::mc

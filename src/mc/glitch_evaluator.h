@@ -1,59 +1,59 @@
 // SSF evaluation for the clock-glitch technique.
 //
+// A thin driver over the shared technique-generic engine: it owns a
+// ClockGlitchTechnique plus an SsfEvaluator configured with it, so glitch
+// campaigns inherit everything the radiation path has — worker threads,
+// per-sample budget isolation, journaled resume, metrics/trace/progress —
+// and return the same SsfResult/SampleRecord types.
+//
 // A glitch's flip set is a deterministic function of (cycle, depth): no
-// spatial or intra-cycle randomness. The evaluator therefore supports both
-// Monte Carlo estimation over the holistic model (uniform t and depth) and
+// spatial or intra-cycle randomness. Besides Monte Carlo estimation over the
+// holistic model (see GlitchSampler), the evaluator therefore also supports
 // exact SSF computation by exhaustive enumeration of the attack space —
 // a useful cross-check of the sampling machinery and a capability the paper
 // notes deterministic techniques admit.
 #pragma once
 
 #include "faultsim/clock_glitch.h"
+#include "faultsim/technique.h"
 #include "mc/evaluator.h"
 
 namespace fav::mc {
 
-struct GlitchSampleRecord {
-  int t = 0;
-  double depth = 0;
-  std::uint64_t te = 0;
-  std::vector<int> flipped_bits;
-  OutcomePath path = OutcomePath::kMasked;
-  bool success = false;
-};
-
-struct GlitchSsfResult {
-  RunningStats stats;
-  std::size_t successes = 0;
-  std::vector<GlitchSampleRecord> records;
-
-  double ssf() const { return stats.mean(); }
-};
-
 class ClockGlitchEvaluator {
  public:
-  /// `base` supplies the benchmark, golden run, analytical path, and the
-  /// DFF binding; all references must outlive this object.
+  /// `base` supplies the benchmark, golden run, characterization and
+  /// engine configuration (threads, budgets, observability sinks); all
+  /// references must outlive this object.
   ClockGlitchEvaluator(const SsfEvaluator& base, const soc::SocNetlist& soc,
                        const faultsim::ClockGlitchSimulator& glitch);
+  // engine_ holds a pointer into technique_, so relocation would dangle.
+  ClockGlitchEvaluator(const ClockGlitchEvaluator&) = delete;
+  ClockGlitchEvaluator& operator=(const ClockGlitchEvaluator&) = delete;
 
   /// Outcome of one glitch attack at timing distance t with the given depth
   /// (fraction of the nominal clock period).
-  GlitchSampleRecord evaluate(int t, double depth) const;
+  SampleRecord evaluate(int t, double depth) const;
 
-  /// Plain Monte Carlo over the holistic glitch model.
-  GlitchSsfResult run(const faultsim::ClockGlitchAttackModel& model, Rng& rng,
-                      std::size_t n) const;
+  /// Plain Monte Carlo over the holistic glitch model, through the full
+  /// pipeline (threads, isolation, observability; bitwise-deterministic at
+  /// every thread count).
+  SsfResult run(const faultsim::ClockGlitchAttackModel& model, Rng& rng,
+                std::size_t n) const;
 
   /// Exact SSF: enumerates every (t, depth) of the (finite, deterministic)
-  /// attack space and averages the outcomes under the uniform model.
-  GlitchSsfResult evaluate_exact(
-      const faultsim::ClockGlitchAttackModel& model) const;
+  /// attack space — t outer, depth inner, weight 1 — and feeds the batch
+  /// through the same pipeline, so the exact pass parallelizes too.
+  SsfResult evaluate_exact(const faultsim::ClockGlitchAttackModel& model) const;
+
+  /// The underlying technique-generic engine: use it directly for journaled
+  /// campaigns (engine().run_journaled with a GlitchSampler) or single-sample
+  /// evaluation with explicit scratch.
+  const SsfEvaluator& engine() const { return engine_; }
 
  private:
-  const SsfEvaluator* base_;
-  const soc::SocNetlist* soc_;
-  const faultsim::ClockGlitchSimulator* glitch_;
+  faultsim::ClockGlitchTechnique technique_;
+  SsfEvaluator engine_;
 };
 
 }  // namespace fav::mc

@@ -10,7 +10,10 @@ namespace fav::mc {
 
 namespace {
 
-constexpr char kFileMagic[8] = {'F', 'A', 'V', 'J', 'R', 'N', 'L', '1'};
+// "FAVJRNL2": version 2 added the technique tag + depth to the record
+// format; version-1 journals are rejected as header-corrupt rather than
+// silently misparsed.
+constexpr char kFileMagic[8] = {'F', 'A', 'V', 'J', 'R', 'N', 'L', '2'};
 constexpr std::uint32_t kFrameMagic = 0x4652414Du;  // "MARF" on disk
 // Garbage frames must not trigger huge allocations: no sane shard payload
 // approaches this (a record is ~100 bytes, shards are a few hundred records).
@@ -76,10 +79,12 @@ bool read_exact(std::FILE* f, void* buf, std::size_t len) {
 }  // namespace
 
 void serialize_record(const SampleRecord& record, std::string& out) {
+  put(out, static_cast<std::uint8_t>(record.sample.technique));
   put(out, static_cast<std::int32_t>(record.sample.t));
   put(out, static_cast<std::uint32_t>(record.sample.center));
   put(out, record.sample.radius);
   put(out, record.sample.strike_frac);
+  put(out, record.sample.depth);
   put(out, static_cast<std::int32_t>(record.sample.impact_cycles));
   put(out, record.sample.weight);
   put(out, record.te);
@@ -100,12 +105,18 @@ bool deserialize_record(const std::string& data, std::size_t* offset,
                         SampleRecord* record) {
   std::int32_t t = 0, impact = 0;
   std::uint32_t center = 0;
-  std::uint8_t path = 0, success = 0, retried = 0;
+  std::uint8_t technique = 0, path = 0, success = 0, retried = 0;
   std::uint16_t fail_code = 0;
+  if (!get(data, offset, &technique)) return false;
+  if (technique >
+      static_cast<std::uint8_t>(faultsim::TechniqueKind::kClockGlitch)) {
+    return false;
+  }
   if (!get(data, offset, &t)) return false;
   if (!get(data, offset, &center)) return false;
   if (!get(data, offset, &record->sample.radius)) return false;
   if (!get(data, offset, &record->sample.strike_frac)) return false;
+  if (!get(data, offset, &record->sample.depth)) return false;
   if (!get(data, offset, &impact)) return false;
   if (!get(data, offset, &record->sample.weight)) return false;
   if (!get(data, offset, &record->te)) return false;
@@ -114,6 +125,7 @@ bool deserialize_record(const std::string& data, std::size_t* offset,
   if (!get(data, offset, &retried)) return false;
   if (!get(data, offset, &fail_code)) return false;
   if (!get(data, offset, &record->contribution)) return false;
+  record->sample.technique = static_cast<faultsim::TechniqueKind>(technique);
   record->sample.t = t;
   record->sample.center = center;
   record->sample.impact_cycles = impact;

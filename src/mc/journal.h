@@ -4,7 +4,7 @@
 // SIGKILL (or power loss) cost at most one shard of work. On-disk layout
 // (single file `<dir>/campaign.fj`, all integers little-endian):
 //
-//   header:  magic "FAVJRNL1" | u32 meta_len | meta | u64 fnv1a(meta)
+//   header:  magic "FAVJRNL2" | u32 meta_len | meta | u64 fnv1a(meta)
 //   meta:    u64 fingerprint | u64 total_samples | u32 ctx_len | ctx bytes
 //   frame*:  u32 'MARF' | u64 first_index | u32 count | u32 payload_len
 //            | payload | u64 fnv1a(frame header fields + payload)

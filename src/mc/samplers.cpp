@@ -64,6 +64,21 @@ FaultSample ConeSampler::draw(Rng& rng) {
   return s;
 }
 
+GlitchSampler::GlitchSampler(const faultsim::ClockGlitchAttackModel& model,
+                             std::uint64_t target_cycle)
+    : model_(model) {
+  model_.check_valid(target_cycle);
+}
+
+FaultSample GlitchSampler::draw(Rng& rng) {
+  FaultSample s;
+  s.technique = faultsim::TechniqueKind::kClockGlitch;
+  s.t = rng.uniform_int(model_.t_min, model_.t_max);
+  s.depth = model_.depths[rng.uniform_below(model_.depths.size())];
+  s.weight = 1.0;  // g == f: the draw is the holistic model itself
+  return s;
+}
+
 ImportanceSampler::ImportanceSampler(const precharac::SamplingModel& model)
     : model_(&model) {}
 

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "faultsim/attack_model.h"
+#include "faultsim/clock_glitch.h"
 #include "layout/placement.h"
 #include "netlist/cones.h"
 #include "precharac/sampling_model.h"
@@ -57,6 +58,23 @@ class ConeSampler final : public Sampler {
     std::vector<netlist::NodeId> centers;
   };
   std::vector<Frame> frames_;  // frames with non-empty support only
+};
+
+///// Plain Monte Carlo over the clock-glitch holistic model f_{T,P}: t and
+/// depth uniform over the model's grid, weight 1. Construction validates the
+/// model against the benchmark's target cycle — a timing range past Tt has
+/// no cycle to glitch and is rejected up front rather than diluted into the
+/// estimate as always-masked samples.
+class GlitchSampler final : public Sampler {
+ public:
+  GlitchSampler(const faultsim::ClockGlitchAttackModel& model,
+                std::uint64_t target_cycle);
+  faultsim::FaultSample draw(Rng& rng) override;
+  const std::string& name() const override { return name_; }
+
+ private:
+  faultsim::ClockGlitchAttackModel model_;  // by value: cheap, caller-decoupled
+  std::string name_ = "glitch-uniform";
 };
 
 /// The full importance-sampling strategy of Section 4.

@@ -243,6 +243,89 @@ TEST(FrameworkFallback, AdaptiveRefitFailureDegradesToPilotSampler) {
   EXPECT_NE(out.downgrade_reason.find("refit failed"), std::string::npos);
 }
 
+// One shared glitch-configured framework (construction is expensive).
+FaultAttackEvaluator& glitch_fw() {
+  static FaultAttackEvaluator instance(soc::make_illegal_write_benchmark(),
+                                       [] {
+                                         FrameworkConfig cfg;
+                                         cfg.technique = "clock-glitch";
+                                         return cfg;
+                                       }());
+  return instance;
+}
+
+TEST(FrameworkTechnique, RadiationIsTheDefault) {
+  EXPECT_EQ(fw().config().technique, "radiation");
+  EXPECT_EQ(fw().technique().kind(), faultsim::TechniqueKind::kRadiation);
+  EXPECT_THROW(fw().glitch_simulator(), fav::CheckError);
+}
+
+TEST(FrameworkTechnique, UnknownTechniqueIsRejected) {
+  FrameworkConfig cfg;
+  cfg.technique = "rowhammer";
+  EXPECT_EQ(cfg.validate().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(FrameworkTechnique, GlitchFrameworkEvaluatesEndToEnd) {
+  EXPECT_EQ(glitch_fw().technique().kind(),
+            faultsim::TechniqueKind::kClockGlitch);
+  EXPECT_GT(glitch_fw().glitch_simulator().timing().clock_period(), 0.0);
+  const auto model = glitch_fw().glitch_attack_model(50);
+  // The model is clamped to the program: every t has a cycle to glitch.
+  EXPECT_LE(static_cast<std::uint64_t>(model.t_max),
+            glitch_fw().target_cycle());
+  Rng rng(42);
+  auto sampler = glitch_fw().make_glitch_sampler(model);
+  const auto res = glitch_fw().evaluator().run(*sampler, rng, 300);
+  EXPECT_EQ(res.stats.count(), 300u);
+  EXPECT_EQ(res.masked + res.analytical + res.rtl, 300u);
+}
+
+TEST(FrameworkTechnique, GlitchFallbackDowngradesSpatialStrategies) {
+  const auto model = glitch_fw().glitch_attack_model(50);
+  // "random" maps onto the uniform glitch sampler without a downgrade…
+  const SamplerSelection random_sel =
+      glitch_fw().make_sampler_with_fallback(model, "random");
+  ASSERT_NE(random_sel.sampler, nullptr);
+  EXPECT_EQ(random_sel.actual, "glitch-uniform");
+  EXPECT_FALSE(random_sel.downgraded());
+  // …while spatial strategies have no glitch equivalent and are downgraded
+  // with recorded provenance.
+  const SamplerSelection imp_sel =
+      glitch_fw().make_sampler_with_fallback(model, "importance");
+  ASSERT_NE(imp_sel.sampler, nullptr);
+  EXPECT_EQ(imp_sel.requested, "importance");
+  EXPECT_EQ(imp_sel.actual, "glitch-uniform");
+  EXPECT_TRUE(imp_sel.downgraded());
+  Rng rng(7);
+  const auto res = glitch_fw().evaluator().run(*imp_sel.sampler, rng, 100);
+  EXPECT_EQ(res.stats.count(), 100u);
+}
+
+TEST(FrameworkTechnique, RunAdaptiveGlitchRunsOrDegradesGracefully) {
+  const auto model = glitch_fw().glitch_attack_model(50);
+  Rng rng(21);
+  const auto out = glitch_fw().run_adaptive_glitch(model, rng, 200, 150);
+  EXPECT_EQ(out.pilot.stats.count(), 200u);
+  EXPECT_EQ(out.refined.stats.count(), 150u);
+  // Glitch successes are rare on this benchmark; either the refit adapted to
+  // real pilot successes or it fell back to the uniform sampler — both must
+  // produce a full, well-defined refinement stage.
+  if (out.pilot.successes == 0) EXPECT_FALSE(out.adapted);
+}
+
+TEST(FrameworkTechnique, AdaptiveEntryPointsAreTechniqueChecked) {
+  // Radiation-style adaptive estimation on a glitch framework (and vice
+  // versa) is a caller bug, not a degradable condition.
+  const auto model = glitch_fw().glitch_attack_model(50);
+  Rng rng(1);
+  EXPECT_THROW(fw().run_adaptive_glitch(model, rng, 10, 10), fav::CheckError);
+  const auto attack = fw().subblock_attack_model(1.5, 50);
+  auto pilot = fw().make_random_sampler(attack);
+  EXPECT_THROW(glitch_fw().run_adaptive(attack, *pilot, rng, 10, 10),
+               fav::CheckError);
+}
+
 TEST(Framework, ReadBenchmarkAlsoWorks) {
   FaultAttackEvaluator read_fw(soc::make_illegal_read_benchmark());
   EXPECT_GT(read_fw.target_cycle(), 50u);

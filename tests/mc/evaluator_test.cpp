@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
 #include <string>
 
@@ -401,6 +402,85 @@ TEST(SsfEvaluator, NegativeTRejected) {
   FaultSample s;
   s.t = -1;
   EXPECT_THROW(ctx().evaluator.evaluate_sample(s), fav::CheckError);
+}
+
+TEST(SsfEvaluator, ForeignTechniqueSampleIsIsolatedNotFatal) {
+  // A radiation engine handed a glitch-tagged sample: check_sample throws,
+  // and the campaign isolation layer must turn that into a kFailed record
+  // instead of crashing the run.
+  FaultSample s;
+  s.technique = faultsim::TechniqueKind::kClockGlitch;
+  s.t = 5;
+  s.depth = 0.5;
+  EXPECT_THROW(ctx().evaluator.evaluate_sample(s), fav::CheckError);
+  auto scratch = std::make_unique<EvalScratch>(ctx().evaluator);
+  const SampleRecord rec =
+      ctx().evaluator.evaluate_sample_isolated(s, scratch);
+  EXPECT_EQ(rec.path, OutcomePath::kFailed);
+  EXPECT_NE(rec.fail_code, ErrorCode::kOk);
+  EXPECT_FALSE(rec.fail_reason.empty());
+}
+
+TEST(SsfEvaluator, RecordCapacityCapsRecordsNotTheEstimate) {
+  faultsim::AttackModel attack;
+  attack.t_min = 0;
+  attack.t_max = 19;
+  attack.candidate_centers = ctx().placement.placed_nodes();
+
+  RandomSampler ref_sampler(attack);
+  Rng ref_rng(29);
+  const SsfResult uncapped = ctx().evaluator.run(ref_sampler, ref_rng, 100);
+
+  MetricsSink metrics;
+  EvaluatorConfig cfg;
+  cfg.record_capacity = 20;
+  cfg.metrics = &metrics;
+  SsfEvaluator ev(ctx().soc, ctx().placement, ctx().injector, ctx().bench,
+                  ctx().golden, &ctx().charac, cfg);
+  RandomSampler sampler(attack);
+  Rng rng(29);
+  const SsfResult capped = ev.run(sampler, rng, 100);
+
+  // Records stop at the cap — keeping the sample-index-ordered prefix, so
+  // the kept records are thread-count independent — while every estimate
+  // and counter still covers all 100 samples.
+  ASSERT_EQ(capped.records.size(), 20u);
+  EXPECT_EQ(metrics.counter("eval.records_dropped"), 80u);
+  EXPECT_EQ(capped.ssf(), uncapped.ssf());
+  EXPECT_EQ(capped.stats.count(), 100u);
+  EXPECT_EQ(capped.trace, uncapped.trace);
+  EXPECT_EQ(capped.bit_contribution, uncapped.bit_contribution);
+  for (std::size_t i = 0; i < capped.records.size(); ++i) {
+    EXPECT_EQ(capped.records[i].contribution, uncapped.records[i].contribution)
+        << i;
+    EXPECT_EQ(capped.records[i].flipped_bits, uncapped.records[i].flipped_bits)
+        << i;
+  }
+}
+
+TEST(SsfEvaluator, RecordCapacityIsThreadCountIndependent) {
+  faultsim::AttackModel attack;
+  attack.t_min = 0;
+  attack.t_max = 19;
+  attack.candidate_centers = ctx().placement.placed_nodes();
+  SsfResult reference;
+  for (const std::size_t threads : {1u, 4u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EvaluatorConfig cfg;
+    cfg.record_capacity = 15;
+    cfg.threads = threads;
+    SsfEvaluator ev(ctx().soc, ctx().placement, ctx().injector, ctx().bench,
+                    ctx().golden, &ctx().charac, cfg);
+    RandomSampler sampler(attack);
+    Rng rng(31);
+    SsfResult res = ev.run(sampler, rng, 80);
+    ASSERT_EQ(res.records.size(), 15u);
+    if (threads == 1) {
+      reference = std::move(res);
+    } else {
+      expect_bitwise_equal(res, reference);
+    }
+  }
 }
 
 }  // namespace

@@ -1,11 +1,21 @@
+// Clock-glitch evaluation through the technique-generic pipeline: single
+// attacks, exact enumeration vs Monte Carlo, thread-count determinism,
+// kill-and-resume journaling, and campaign observability — the glitch path
+// must offer everything the radiation path does (see mc/glitch_evaluator.h).
 #include "mc/glitch_evaluator.h"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
 
 #include "soc/benchmark.h"
 
 namespace fav::mc {
 namespace {
+
+namespace fs = std::filesystem;
 
 struct Context {
   soc::SocNetlist soc;
@@ -36,12 +46,52 @@ Context& ctx() {
   return c;
 }
 
+faultsim::ClockGlitchAttackModel test_model() {
+  faultsim::ClockGlitchAttackModel model;
+  model.t_min = 1;
+  model.t_max = 10;
+  model.depths = {0.35, 0.55};
+  return model;
+}
+
+/// Fresh per-test journal directory under the gtest temp root.
+std::string fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("fav_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+void expect_bitwise_equal(const SsfResult& a, const SsfResult& b) {
+  EXPECT_EQ(a.ssf(), b.ssf());
+  EXPECT_EQ(a.sample_variance(), b.sample_variance());
+  EXPECT_EQ(a.stats.count(), b.stats.count());
+  EXPECT_EQ(a.masked, b.masked);
+  EXPECT_EQ(a.analytical, b.analytical);
+  EXPECT_EQ(a.rtl, b.rtl);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.total_weight, b.total_weight);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.bit_contribution, b.bit_contribution);
+  EXPECT_EQ(a.field_contribution, b.field_contribution);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].sample.t, b.records[i].sample.t) << i;
+    EXPECT_EQ(a.records[i].sample.depth, b.records[i].sample.depth) << i;
+    EXPECT_EQ(a.records[i].flipped_bits, b.records[i].flipped_bits) << i;
+    EXPECT_EQ(a.records[i].path, b.records[i].path) << i;
+    EXPECT_EQ(a.records[i].contribution, b.records[i].contribution) << i;
+  }
+}
+
 TEST(ClockGlitchEvaluator, ShallowGlitchIsMasked) {
   // A barely-shortened period misses no path.
-  const auto rec = ctx().evaluator.evaluate(5, 0.999);
+  const SampleRecord rec = ctx().evaluator.evaluate(5, 0.999);
   EXPECT_TRUE(rec.flipped_bits.empty());
   EXPECT_FALSE(rec.success);
   EXPECT_EQ(rec.path, OutcomePath::kMasked);
+  EXPECT_EQ(rec.sample.technique, faultsim::TechniqueKind::kClockGlitch);
 }
 
 TEST(ClockGlitchEvaluator, DeepGlitchFlipsSomething) {
@@ -53,8 +103,8 @@ TEST(ClockGlitchEvaluator, DeepGlitchFlipsSomething) {
 }
 
 TEST(ClockGlitchEvaluator, DeterministicPerAttack) {
-  const auto a = ctx().evaluator.evaluate(7, 0.5);
-  const auto b = ctx().evaluator.evaluate(7, 0.5);
+  const SampleRecord a = ctx().evaluator.evaluate(7, 0.5);
+  const SampleRecord b = ctx().evaluator.evaluate(7, 0.5);
   EXPECT_EQ(a.flipped_bits, b.flipped_bits);
   EXPECT_EQ(a.success, b.success);
   EXPECT_EQ(a.te, ctx().base.target_cycle() - 7);
@@ -66,31 +116,168 @@ TEST(ClockGlitchEvaluator, InvalidArgumentsThrow) {
   EXPECT_THROW(ctx().evaluator.evaluate(1, 1.0), fav::CheckError);
 }
 
+TEST(ClockGlitchEvaluator, ForeignTechniqueSampleIsRejected) {
+  // The engine is built for the glitch technique; a radiation-tagged sample
+  // must be refused instead of silently misinterpreted.
+  faultsim::FaultSample radiation;  // defaults to kRadiation
+  radiation.t = 3;
+  radiation.radius = 1.5;
+  EXPECT_THROW(ctx().evaluator.engine().evaluate_sample(radiation),
+               fav::CheckError);
+}
+
 TEST(ClockGlitchEvaluator, ExactEnumerationCoversWholeSpace) {
   faultsim::ClockGlitchAttackModel model;
   model.t_min = 1;
   model.t_max = 20;
   model.depths = {0.4, 0.7};
-  const auto exact = ctx().evaluator.evaluate_exact(model);
+  const SsfResult exact = ctx().evaluator.evaluate_exact(model);
   EXPECT_EQ(exact.stats.count(), 40u);
   EXPECT_EQ(exact.records.size(), 40u);
   EXPECT_GE(exact.ssf(), 0.0);
   EXPECT_LE(exact.ssf(), 1.0);
 }
 
-TEST(ClockGlitchEvaluator, MonteCarloConvergesToExact) {
-  faultsim::ClockGlitchAttackModel model;
-  model.t_min = 1;
-  model.t_max = 10;
-  model.depths = {0.35, 0.55};
-  const auto exact = ctx().evaluator.evaluate_exact(model);
-  Rng rng(42);
-  const auto mc = ctx().evaluator.run(model, rng, 2000);
-  EXPECT_NEAR(mc.ssf(), exact.ssf(), 0.06);
+TEST(ClockGlitchEvaluator, ModelBeyondTargetCycleIsRejected) {
+  // A timing range past Tt has no cycle to glitch. Such samples used to be
+  // silently recorded as masked (te = 0), diluting the estimate; the model
+  // is now rejected up front by enumeration and sampler construction alike.
+  faultsim::ClockGlitchAttackModel model = test_model();
+  model.t_max = static_cast<int>(ctx().base.target_cycle()) + 5;
+  EXPECT_THROW(ctx().evaluator.evaluate_exact(model), fav::CheckError);
+  EXPECT_THROW(GlitchSampler(model, ctx().base.target_cycle()),
+               fav::CheckError);
+  Rng rng(1);
+  EXPECT_THROW(ctx().evaluator.run(model, rng, 10), fav::CheckError);
+}
+
+TEST(ClockGlitchEvaluator, MonteCarloConvergesToExactWithin3Sigma) {
+  // The unified MC estimate must agree with the exact enumeration within its
+  // own 3-sigma confidence interval — at one thread and at four (the sample
+  // stream is drawn sequentially, so the estimate is thread-independent).
+  const faultsim::ClockGlitchAttackModel model = test_model();
+  const SsfResult exact = ctx().evaluator.evaluate_exact(model);
+  for (const std::size_t threads : {1u, 4u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EvaluatorConfig cfg;
+    cfg.threads = threads;
+    SsfEvaluator base(ctx().soc, ctx().placement, ctx().injector, ctx().bench,
+                      ctx().golden, &ctx().charac, cfg);
+    ClockGlitchEvaluator evaluator(base, ctx().soc, ctx().glitch);
+    Rng rng(42);
+    const SsfResult mc = evaluator.run(model, rng, 2000);
+    const double tolerance =
+        std::max(3.0 * mc.stats.standard_error(), 1e-12);
+    EXPECT_NEAR(mc.ssf(), exact.ssf(), tolerance);
+  }
+}
+
+TEST(ClockGlitchEvaluator, ThreadCountsAreBitwiseIdentical) {
+  const faultsim::ClockGlitchAttackModel model = test_model();
+  SsfResult reference;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EvaluatorConfig cfg;
+    cfg.threads = threads;
+    SsfEvaluator base(ctx().soc, ctx().placement, ctx().injector, ctx().bench,
+                      ctx().golden, &ctx().charac, cfg);
+    ClockGlitchEvaluator evaluator(base, ctx().soc, ctx().glitch);
+    Rng rng(7);
+    SsfResult result = evaluator.run(model, rng, 300);
+    if (threads == 1) {
+      reference = std::move(result);
+    } else {
+      expect_bitwise_equal(result, reference);
+    }
+  }
+}
+
+TEST(ClockGlitchEvaluator, ExactEnumerationIsThreadIndependent) {
+  const faultsim::ClockGlitchAttackModel model = test_model();
+  const SsfResult sequential = ctx().evaluator.evaluate_exact(model);
+  EvaluatorConfig cfg;
+  cfg.threads = 4;
+  SsfEvaluator base(ctx().soc, ctx().placement, ctx().injector, ctx().bench,
+                    ctx().golden, &ctx().charac, cfg);
+  ClockGlitchEvaluator evaluator(base, ctx().soc, ctx().glitch);
+  expect_bitwise_equal(evaluator.evaluate_exact(model), sequential);
+}
+
+TEST(ClockGlitchEvaluator, KillAndResumeIsBitwiseIdentical) {
+  // The radiation journal acceptance scenario, for glitch campaigns: a run
+  // killed mid-campaign (simulated by tearing the journal back to a prefix,
+  // exactly what SIGKILL leaves behind) and resumed must reproduce the
+  // uninterrupted run bit for bit.
+  const faultsim::ClockGlitchAttackModel model = test_model();
+  JournalOptions jopt;
+  jopt.shard_size = 32;
+  jopt.fingerprint = 0x617C0FFEE;
+  jopt.context = "glitch_journal_test";
+
+  Rng ref_rng(43);
+  GlitchSampler ref_sampler(model, ctx().base.target_cycle());
+  const SsfResult reference =
+      ctx().evaluator.engine().run(ref_sampler, ref_rng, 200);
+
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const std::string dir = fresh_dir("glitch_resume_t" +
+                                      std::to_string(threads));
+    jopt.dir = dir;
+    EvaluatorConfig cfg;
+    cfg.threads = threads;
+    SsfEvaluator base(ctx().soc, ctx().placement, ctx().injector, ctx().bench,
+                      ctx().golden, &ctx().charac, cfg);
+    ClockGlitchEvaluator evaluator(base, ctx().soc, ctx().glitch);
+    {
+      GlitchSampler sampler(model, ctx().base.target_cycle());
+      Rng rng(43);
+      jopt.resume = false;
+      Result<SsfResult> full =
+          evaluator.engine().run_journaled(sampler, rng, 200, jopt);
+      ASSERT_TRUE(full.is_ok()) << full.status().to_string();
+      expect_bitwise_equal(full.value(), reference);
+    }
+    const fs::path file = fs::path(dir) / "campaign.fj";
+    fs::resize_file(file, fs::file_size(file) * 2 / 5);
+
+    GlitchSampler sampler(model, ctx().base.target_cycle());
+    Rng rng(43);
+    jopt.resume = true;
+    Result<SsfResult> resumed =
+        evaluator.engine().run_journaled(sampler, rng, 200, jopt);
+    ASSERT_TRUE(resumed.is_ok()) << resumed.status().to_string();
+    expect_bitwise_equal(resumed.value(), reference);
+  }
+}
+
+TEST(ClockGlitchEvaluator, ReportsMetricsAndEssLikeRadiationRuns) {
+  const faultsim::ClockGlitchAttackModel model = test_model();
+  MetricsSink metrics;
+  EvaluatorConfig cfg;
+  cfg.metrics = &metrics;
+  SsfEvaluator base(ctx().soc, ctx().placement, ctx().injector, ctx().bench,
+                    ctx().golden, &ctx().charac, cfg);
+  ClockGlitchEvaluator evaluator(base, ctx().soc, ctx().glitch);
+  Rng rng(9);
+  const SsfResult result = evaluator.run(model, rng, 150);
+  EXPECT_EQ(metrics.counter("eval.samples"), 150u);
+  EXPECT_EQ(metrics.counter("eval.path.masked") +
+                metrics.counter("eval.path.analytical") +
+                metrics.counter("eval.path.rtl") +
+                metrics.counter("eval.path.failed"),
+            150u);
+  // Uniform sampler => unit weights => ESS equals the completed count.
+  EXPECT_DOUBLE_EQ(result.effective_sample_size(),
+                   static_cast<double>(150 - result.failed));
+  ASSERT_NE(metrics.gauge("eval.ess"), nullptr);
+  EXPECT_DOUBLE_EQ(*metrics.gauge("eval.ess"),
+                   result.effective_sample_size());
+  ASSERT_NE(metrics.timer("run.total_ns"), nullptr);
 }
 
 TEST(ClockGlitchEvaluator, TimingDistanceBeforeStartIsMasked) {
-  const auto rec = ctx().evaluator.evaluate(
+  const SampleRecord rec = ctx().evaluator.evaluate(
       static_cast<int>(ctx().base.target_cycle()) + 3, 0.3);
   EXPECT_FALSE(rec.success);
   EXPECT_EQ(rec.path, OutcomePath::kMasked);

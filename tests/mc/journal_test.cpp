@@ -68,10 +68,13 @@ fs::path journal_file(const std::string& dir) {
 
 SampleRecord make_record(int i) {
   SampleRecord rec;
+  rec.sample.technique = i % 2 == 0 ? faultsim::TechniqueKind::kRadiation
+                                    : faultsim::TechniqueKind::kClockGlitch;
   rec.sample.t = 3 + i;
   rec.sample.center = static_cast<netlist::NodeId>(17 * i + 1);
   rec.sample.radius = 1.25 + 0.5 * i;
   rec.sample.strike_frac = 0.75;
+  rec.sample.depth = 0.35 + 0.05 * i;
   rec.sample.impact_cycles = 1 + (i % 3);
   rec.sample.weight = 0.5 + i;
   rec.te = 100 + static_cast<std::uint64_t>(i);
@@ -86,10 +89,12 @@ SampleRecord make_record(int i) {
 }
 
 void expect_record_eq(const SampleRecord& a, const SampleRecord& b) {
+  EXPECT_EQ(a.sample.technique, b.sample.technique);
   EXPECT_EQ(a.sample.t, b.sample.t);
   EXPECT_EQ(a.sample.center, b.sample.center);
   EXPECT_EQ(a.sample.radius, b.sample.radius);
   EXPECT_EQ(a.sample.strike_frac, b.sample.strike_frac);
+  EXPECT_EQ(a.sample.depth, b.sample.depth);
   EXPECT_EQ(a.sample.impact_cycles, b.sample.impact_cycles);
   EXPECT_EQ(a.sample.weight, b.sample.weight);
   EXPECT_EQ(a.te, b.te);

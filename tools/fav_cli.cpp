@@ -9,12 +9,17 @@
 //
 // Common options:
 //   --benchmark write|read|exec|dma   (default write)
+//   --technique radiation|clock-glitch  (default radiation)
 //   --samples N                   (default 3000)
 //   --seed S                      (default 2017)
-//   --strategy random|cone|importance   (default importance)
+//   --strategy random|cone|importance   (default importance; for
+//                                  clock-glitch all strategies map to the
+//                                  uniform glitch sampler)
 //   --t-range N                   (default 50)
-//   --radius R                    (default 1.5)
+//   --radius R                    (default 1.5, radiation only)
 //   --coverage C                  (default 0.95, harden only)
+//   --record-capacity N           cap on kept per-sample records
+//                                  (default 200000; 0 = unlimited)
 //   --threads N                   (default 1; 0 = all hardware threads.
 //                                  Estimates are bitwise-identical for every
 //                                  N — see DESIGN.md, parallel engine)
@@ -57,6 +62,7 @@ namespace {
 struct Options {
   std::string command;
   std::string benchmark = "write";
+  std::string technique = "radiation";
   std::string strategy = "importance";
   std::string out;
   std::string journal;
@@ -72,12 +78,18 @@ struct Options {
   std::size_t threads = 1;
   std::uint64_t cycle_budget = 0;
   std::uint64_t deadline_ms = 0;
+  // Capped by default: a capacity-less 1e6+-sample campaign keeps every
+  // record in memory (estimates and contribution maps are unaffected by the
+  // cap — see EvaluatorConfig::record_capacity).
+  std::size_t record_capacity = 200'000;
 
   core::FrameworkConfig framework_config() const {
     core::FrameworkConfig cfg;
+    cfg.technique = technique;
     cfg.evaluator.threads = threads;
     cfg.evaluator.cycle_budget = cycle_budget;
     cfg.evaluator.sample_deadline_ms = deadline_ms;
+    cfg.evaluator.record_capacity = record_capacity;
     return cfg;
   }
 };
@@ -88,8 +100,10 @@ struct Options {
                "usage: fav <info|characterize|evaluate|harden|export-verilog|"
                "trace> [options]\n"
                "options: --benchmark write|read|exec|dma  --samples N  --seed S\n"
+               "         --technique radiation|clock-glitch\n"
                "         --strategy random|cone|importance  --t-range N\n"
                "         --radius R  --coverage C  --out FILE\n"
+               "         --record-capacity N (0 = unlimited)\n"
                "         --threads N (0 = all hardware threads)\n"
                "         --cycle-budget N  --deadline-ms N (0 = unlimited)\n"
                "         --journal DIR  --resume (evaluate only)\n"
@@ -146,6 +160,10 @@ Options parse(int argc, char** argv) {
     };
     if (arg == "--benchmark") {
       o.benchmark = value();
+    } else if (arg == "--technique") {
+      o.technique = value();
+    } else if (arg == "--record-capacity") {
+      o.record_capacity = parse_u64(arg, value(), 0, 1'000'000'000);
     } else if (arg == "--samples") {
       o.samples = parse_u64(arg, value(), 1, 1'000'000'000);
     } else if (arg == "--seed") {
@@ -183,6 +201,9 @@ Options parse(int argc, char** argv) {
   if (o.strategy != "random" && o.strategy != "cone" &&
       o.strategy != "importance") {
     usage(("unknown strategy '" + o.strategy + "'").c_str());
+  }
+  if (o.technique != "radiation" && o.technique != "clock-glitch") {
+    usage(("unknown technique '" + o.technique + "'").c_str());
   }
   if (o.resume && o.journal.empty()) usage("--resume requires --journal DIR");
   if (!o.journal.empty() && o.command != "evaluate") {
@@ -254,8 +275,8 @@ int cmd_characterize(const Options& o) {
 /// a different configuration is rejected on --resume.
 std::uint64_t campaign_fingerprint(const Options& o,
                                    const std::string& actual_strategy) {
-  const std::string id = o.benchmark + "|" + actual_strategy + "|" +
-                         std::to_string(o.seed) + "|" +
+  const std::string id = o.benchmark + "|" + o.technique + "|" +
+                         actual_strategy + "|" + std::to_string(o.seed) + "|" +
                          std::to_string(o.samples) + "|" +
                          std::to_string(o.t_range) + "|" +
                          std::to_string(o.radius) + "|" +
@@ -270,9 +291,14 @@ std::uint64_t campaign_fingerprint(const Options& o,
 
 mc::SsfResult run_eval(core::FaultAttackEvaluator& fw, const Options& o,
                        std::string* actual_strategy = nullptr) {
-  const auto attack = fw.subblock_attack_model(o.radius, o.t_range);
-  core::SamplerSelection sel =
-      fw.make_sampler_with_fallback(attack, o.strategy);
+  core::SamplerSelection sel;
+  if (o.technique == "clock-glitch") {
+    sel = fw.make_sampler_with_fallback(fw.glitch_attack_model(o.t_range),
+                                        o.strategy);
+  } else {
+    sel = fw.make_sampler_with_fallback(
+        fw.subblock_attack_model(o.radius, o.t_range), o.strategy);
+  }
   if (sel.downgraded()) {
     std::fprintf(stderr, "fav: strategy downgraded %s -> %s (%s)\n",
                  sel.requested.c_str(), sel.actual.c_str(),
@@ -287,7 +313,7 @@ mc::SsfResult run_eval(core::FaultAttackEvaluator& fw, const Options& o,
   jopt.dir = o.journal;
   jopt.resume = o.resume;
   jopt.fingerprint = campaign_fingerprint(o, sel.actual);
-  jopt.context = o.benchmark + "/" + sel.actual;
+  jopt.context = o.benchmark + "/" + o.technique + "/" + sel.actual;
   Result<mc::SsfResult> result =
       fw.evaluator().run_journaled(*sel.sampler, rng, o.samples, jopt);
   if (!result.is_ok()) {
@@ -327,6 +353,7 @@ void write_run_report(std::ostream& out, const Options& o,
   out << "{\n"
       << "  \"schema\": \"fav.run_report.v1\",\n"
       << "  \"benchmark\": \"" << o.benchmark << "\",\n"
+      << "  \"technique\": \"" << o.technique << "\",\n"
       << "  \"strategy\": \"" << strategy << "\",\n"
       << "  \"samples\": " << o.samples << ",\n"
       << "  \"seed\": " << o.seed << ",\n"
@@ -377,6 +404,7 @@ int cmd_evaluate(const Options& o) {
       static_cast<double>(monotonic_ns() - t0) * 1e-9;
   if (progress.has_value()) progress->finish();
   std::printf("benchmark  : %s\n", fw.benchmark().name.c_str());
+  std::printf("technique  : %s\n", fw.technique().name());
   std::printf("strategy   : %s (n=%zu, seed=%llu)\n", actual_strategy.c_str(),
               o.samples, static_cast<unsigned long long>(o.seed));
   std::printf("SSF        : %.6f\n", res.ssf());
