@@ -20,6 +20,20 @@ FrameworkConfig validated(const FrameworkConfig& config) {
 
 }  // namespace
 
+std::uint64_t campaign_fingerprint(const CampaignKey& key) {
+  const std::string id =
+      key.benchmark + "|" + key.technique + "|" + key.strategy + "|" +
+      std::to_string(key.seed) + "|" + std::to_string(key.samples) + "|" +
+      std::to_string(key.t_range) + "|" + std::to_string(key.radius) + "|" +
+      std::to_string(key.cycle_budget);
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : id) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
 Status FrameworkConfig::validate() const {
   auto invalid = [](const std::string& what) {
     return Status(ErrorCode::kInvalidArgument, "FrameworkConfig: " + what);

@@ -69,6 +69,29 @@ struct FrameworkConfig {
   Status validate() const;
 };
 
+/// Campaign identity: every knob that changes the sample stream or its
+/// evaluation. The fingerprint over it keys the crash-safe journal (and the
+/// supervised-campaign protocol), so a stale journal from a different
+/// configuration is rejected on resume. Worker count, heartbeat, and shard
+/// size are deliberately *not* part of the key — a campaign may be resumed
+/// with different parallelism and must produce the identical result.
+struct CampaignKey {
+  std::string benchmark;
+  std::string technique;
+  std::string strategy;  // sampler actually built (after fallback)
+  std::uint64_t seed = 0;
+  std::uint64_t samples = 0;
+  int t_range = 0;
+  double radius = 0.0;
+  std::uint64_t cycle_budget = 0;
+};
+
+/// FNV-1a over the canonical "benchmark|technique|strategy|seed|samples|
+/// t_range|radius|cycle_budget" string. Stable across processes: the
+/// supervisor and each of its workers derive the same fingerprint from the
+/// same CLI flags.
+std::uint64_t campaign_fingerprint(const CampaignKey& key);
+
 /// Outcome of the two-stage adaptive estimation (see run_adaptive).
 struct AdaptiveRunResult {
   mc::SsfResult pilot;

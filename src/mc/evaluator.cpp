@@ -290,6 +290,7 @@ SampleRecord SsfEvaluator::evaluate_sample_isolated(
 SsfResult SsfEvaluator::reduce(std::vector<SampleRecord>&& records) const {
   const RegisterMap& map = Machine::reg_map();
   SsfResult result;
+  result.evaluated = records.size();
   std::uint64_t records_dropped = 0;
   for (std::size_t i = 0; i < records.size(); ++i) {
     SampleRecord& rec = records[i];
@@ -348,7 +349,9 @@ SsfResult SsfEvaluator::reduce(std::vector<SampleRecord>&& records) const {
   // Sample-derived aggregates land in the caller's sink here, inside the
   // sample-index-ordered reduction, so they are deterministic at every
   // thread count (unlike the wall-clock timers merged from worker sinks).
-  if (config_.metrics != nullptr) {
+  // reduce_metrics is off inside supervised workers, whose records are
+  // re-reduced (and re-counted) by the supervisor.
+  if (config_.metrics != nullptr && config_.reduce_metrics) {
     MetricsSink& m = *config_.metrics;
     m.add_counter("eval.samples", records.size());
     m.add_counter("eval.path.masked", result.masked);
@@ -463,6 +466,7 @@ void SsfEvaluator::evaluate_range(
       config_.progress->record(failed ? 0.0 : records[i].contribution,
                                records[i].sample.weight, failed);
     }
+    if (config_.on_sample) config_.on_sample(records[i], i);
   };
   if (scratch.size() <= 1) {
     for (std::size_t i = lo; i < hi; ++i) eval_one(0, i);
@@ -490,12 +494,29 @@ SsfResult SsfEvaluator::run_batch(
     scratch = make_scratch_pool(n);
   }
   WorkerObservers observers = make_observers(scratch.size());
-  evaluate_range(samples, records, 0, n, scratch, &observers);
+  // With a stop flag the batch is evaluated in chunks so a SIGINT lands
+  // within one chunk of work; without one, a single range call avoids the
+  // (small) per-chunk scheduling barrier.
+  std::size_t done = n;
+  if (config_.stop == nullptr) {
+    evaluate_range(samples, records, 0, n, scratch, &observers);
+  } else {
+    constexpr std::size_t kStopChunk = 256;
+    done = 0;
+    while (done < n && !config_.stop->load(std::memory_order_relaxed)) {
+      const std::size_t hi = std::min(done + kStopChunk, n);
+      evaluate_range(samples, records, done, hi, scratch, &observers);
+      done = hi;
+    }
+  }
   merge_observers(std::move(observers));
   // Reduce in sample-index order — the exact accumulation a sequential loop
   // would perform, so the estimate is independent of the schedule.
   ScopeTimer timer(config_.metrics, "run.reduce_ns");
-  return reduce(std::move(records));
+  records.resize(done);
+  SsfResult result = reduce(std::move(records));
+  result.interrupted = done < n;
+  return result;
 }
 
 SsfResult SsfEvaluator::run(Sampler& sampler, Rng& rng, std::size_t n) const {
@@ -548,12 +569,7 @@ Result<SsfResult> SsfEvaluator::run_journaled(
     for (std::size_t i = 0; i < done; ++i) {
       // Cross-check the journaled sample against the freshly re-drawn one:
       // a mismatch means the sampler/seed/config changed under the journal.
-      const faultsim::FaultSample& a = j.records[i].sample;
-      const faultsim::FaultSample& b = samples[i];
-      if (a.technique != b.technique || a.t != b.t || a.center != b.center ||
-          a.radius != b.radius || a.strike_frac != b.strike_frac ||
-          a.depth != b.depth || a.impact_cycles != b.impact_cycles ||
-          a.weight != b.weight) {
+      if (!sample_matches(j.records[i].sample, samples[i])) {
         return Status(ErrorCode::kJournalCorrupt,
                       "journaled sample " + std::to_string(i) +
                           " does not match the re-drawn sample stream");
@@ -574,13 +590,30 @@ Result<SsfResult> SsfEvaluator::run_journaled(
 
   auto scratch = make_scratch_pool(n);
   WorkerObservers observers = make_observers(scratch.size());
+  // The stop flag is polled at shard granularity: a shard either completes
+  // and is committed to the journal, or was never started — so an
+  // interrupted run leaves exactly the journal a crash would, and resume
+  // continues from the first missing index either way.
   for (std::size_t lo = done; lo < n; lo += options.shard_size) {
+    if (config_.stop != nullptr &&
+        config_.stop->load(std::memory_order_relaxed)) {
+      break;
+    }
     const std::size_t hi = std::min(lo + options.shard_size, n);
     evaluate_range(samples, records, lo, hi, scratch, &observers);
     const Status appended = writer.append_shard(lo, &records[lo], hi - lo);
     if (!appended.is_ok()) return appended;
+    done = hi;
   }
   merge_observers(std::move(observers));
+  records.resize(done);
+  SsfResult result = reduce(std::move(records));
+  result.interrupted = done < n;
+  return result;
+}
+
+SsfResult SsfEvaluator::reduce_records(
+    std::vector<SampleRecord> records) const {
   return reduce(std::move(records));
 }
 

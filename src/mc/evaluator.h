@@ -27,7 +27,9 @@
 // fraction is reported in SsfResult.
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -95,6 +97,14 @@ struct SsfResult {
   /// Running estimate recorded every `trace_stride` samples (Fig. 9a).
   std::vector<double> trace;
   std::vector<SampleRecord> records;
+  /// Samples this result actually covers. Equals the requested batch size
+  /// unless a cooperative stop (EvaluatorConfig::stop) cut the run short, in
+  /// which case every field above covers only the prefix [0, evaluated).
+  std::size_t evaluated = 0;
+  /// True when EvaluatorConfig::stop ended the run before all samples were
+  /// evaluated (graceful SIGINT/SIGTERM). A journaled interrupted run can be
+  /// continued later with JournalOptions::resume.
+  bool interrupted = false;
   /// SSF attribution: each success's contribution is split equally among
   /// the flipped bits (= DFF cells) and, in parallel, among the flipped
   /// register fields. Bit granularity drives hardening (each bit is a
@@ -166,6 +176,24 @@ struct EvaluatorConfig {
   /// in completion order (see ProgressMeter for the determinism caveat on
   /// the *displayed* running mean).
   ProgressMeter* progress = nullptr;
+
+  /// --- cooperative control (all optional) -------------------------------
+  /// Graceful-stop flag, polled between evaluation chunks in run()/
+  /// run_batch() and between shards in run_journaled(). When it flips true
+  /// the run finishes its in-flight chunk, reduces the evaluated prefix, and
+  /// returns with SsfResult::interrupted set — already-journaled work stays
+  /// valid for a later resume. Null disables polling entirely.
+  const std::atomic<bool>* stop = nullptr;
+  /// Invoked once per evaluated sample, from the worker thread that finished
+  /// it, right after its record slot is written (completion order, not
+  /// sample order). Supervised workers use it for heartbeat frames. Must be
+  /// thread-safe and must not throw; null disables.
+  std::function<void(const SampleRecord&, std::size_t)> on_sample;
+  /// Emit the reduce-derived eval.* counters/gauges into `metrics`. A
+  /// supervised worker sets this false: its shards are re-reduced by the
+  /// supervisor, which would double-count every sample-derived aggregate
+  /// after merging the worker's shipped sink.
+  bool reduce_metrics = true;
 };
 
 /// Per-evaluation resource budget. charge_cycles() throws StatusError with
@@ -323,6 +351,20 @@ class SsfEvaluator {
   Result<SsfResult> run_journaled(Sampler& sampler, Rng& rng, std::size_t n,
                                   const JournalOptions& options) const;
 
+  /// Draws the whole batch sequentially (determinism contract: the stateful
+  /// Rng stream is consumed on the calling thread only); wraps sampler
+  /// exceptions into StatusError(kSamplerFailed). Public seam for the
+  /// supervisor, whose processes each re-derive the identical sample stream
+  /// from the same seed.
+  std::vector<faultsim::FaultSample> draw_batch(Sampler& sampler, Rng& rng,
+                                                std::size_t n) const;
+
+  /// Folds externally-evaluated records (e.g. merged supervised-worker
+  /// journal shards) through the same sample-index-ordered reduction as
+  /// run_batch, so the resulting SsfResult is bitwise-identical to the
+  /// single-process engine evaluating the same samples.
+  SsfResult reduce_records(std::vector<SampleRecord> records) const;
+
  private:
   /// Per-worker observability buffers for one run. The vectors are empty
   /// when the corresponding config pointer is null; otherwise they hold one
@@ -333,10 +375,6 @@ class SsfEvaluator {
     std::vector<TraceBuffer> traces;
   };
 
-  /// Draws the whole batch sequentially (determinism contract); wraps
-  /// sampler exceptions into StatusError(kSamplerFailed).
-  std::vector<faultsim::FaultSample> draw_batch(Sampler& sampler, Rng& rng,
-                                                std::size_t n) const;
   /// Evaluates samples[lo, hi) into records[lo, hi) on the worker pool,
   /// reusing `scratch` (one slot per worker; isolated evaluation).
   /// `observers` may be null (no instrumentation) or sized to the pool.

@@ -3,8 +3,10 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
+#include <iterator>
 
 namespace fav::mc {
 
@@ -68,12 +70,169 @@ std::string serialize_meta(const JournalMeta& meta) {
   return out;
 }
 
-std::string journal_path(const std::string& dir) {
-  return (std::filesystem::path(dir) / "campaign.fj").string();
+std::string journal_path(const std::string& dir, const std::string& file) {
+  return (std::filesystem::path(dir) / file).string();
 }
 
 bool read_exact(std::FILE* f, void* buf, std::size_t len) {
   return std::fread(buf, 1, len, f) == len;
+}
+
+/// Core reader shared by read_journal and JournalReader::read_shards: header
+/// + frames with torn-tail tolerance and mid-file damage detection. Frames
+/// may start at any index but must be strictly increasing and
+/// non-overlapping; adjacent frames coalesce into one span.
+Result<JournalShards> read_shards_impl(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status(ErrorCode::kJournalIoError,
+                  "cannot open journal " + path + " for reading");
+  }
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{f};
+
+  // Header: magic + meta + meta checksum.
+  char magic[sizeof(kFileMagic)];
+  std::uint32_t meta_len = 0;
+  if (!read_exact(f, magic, sizeof(magic)) ||
+      std::memcmp(magic, kFileMagic, sizeof(magic)) != 0 ||
+      !read_exact(f, &meta_len, sizeof(meta_len)) || meta_len > kMaxPayload) {
+    return Status(ErrorCode::kJournalCorrupt,
+                  "journal header corrupt in " + path);
+  }
+  std::string meta_bytes(meta_len, '\0');
+  std::uint64_t meta_sum = 0;
+  if (!read_exact(f, meta_bytes.data(), meta_len) ||
+      !read_exact(f, &meta_sum, sizeof(meta_sum)) ||
+      meta_sum != fnv1a(meta_bytes.data(), meta_bytes.size())) {
+    return Status(ErrorCode::kJournalCorrupt,
+                  "journal header corrupt in " + path);
+  }
+  JournalShards shards;
+  {
+    std::size_t off = 0;
+    if (!get(meta_bytes, &off, &shards.meta.fingerprint) ||
+        !get(meta_bytes, &off, &shards.meta.total_samples) ||
+        !get_string(meta_bytes, &off, &shards.meta.context, kMaxPayload)) {
+      return Status(ErrorCode::kJournalCorrupt,
+                    "journal meta corrupt in " + path);
+    }
+  }
+
+  shards.valid_bytes = static_cast<std::uint64_t>(std::ftell(f));
+
+  // Frames. `bad_frame` defers the corrupt-vs-torn decision: a bad frame at
+  // the physical end of the file is the normal crash artifact (dropped); a
+  // bad frame followed by more data means the file was damaged in the
+  // middle.
+  bool bad_frame = false;
+  std::string payload;
+  for (;;) {
+    std::uint32_t frame_magic = 0;
+    std::uint64_t first_index = 0;
+    std::uint32_t count = 0, payload_len = 0;
+    if (!read_exact(f, &frame_magic, sizeof(frame_magic))) break;  // clean EOF
+    if (frame_magic != kFrameMagic ||
+        !read_exact(f, &first_index, sizeof(first_index)) ||
+        !read_exact(f, &count, sizeof(count)) ||
+        !read_exact(f, &payload_len, sizeof(payload_len)) ||
+        payload_len > kMaxPayload) {
+      bad_frame = true;
+      break;
+    }
+    payload.resize(payload_len);
+    std::uint64_t sum = 0;
+    if (!read_exact(f, payload.data(), payload_len) ||
+        !read_exact(f, &sum, sizeof(sum))) {
+      bad_frame = true;  // truncated mid-frame: torn tail candidate
+      break;
+    }
+    std::uint64_t expect = fnv1a(&first_index, sizeof(first_index));
+    expect = fnv1a(&count, sizeof(count), expect);
+    expect = fnv1a(payload.data(), payload.size(), expect);
+    if (sum != expect) {
+      bad_frame = true;
+      break;
+    }
+    // Frames need not be in index order: a supervised worker journals shards
+    // in *assignment* order, and a shard rescued from a crashed peer lands
+    // after higher-indexed shards in the survivor's file. Spans are sorted
+    // and overlap-checked after the scan.
+    JournalSpan* span;
+    if (!shards.spans.empty() &&
+        first_index == shards.spans.back().end_index()) {
+      span = &shards.spans.back();
+    } else {
+      shards.spans.emplace_back();
+      span = &shards.spans.back();
+      span->first_index = first_index;
+    }
+    std::size_t off = 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      SampleRecord rec;
+      if (!deserialize_record(payload, &off, &rec)) {
+        return Status(ErrorCode::kJournalCorrupt,
+                      "journal frame payload corrupt in " + path);
+      }
+      span->records.push_back(std::move(rec));
+    }
+    if (off != payload.size()) {
+      return Status(ErrorCode::kJournalCorrupt,
+                    "journal frame payload corrupt in " + path);
+    }
+    shards.valid_bytes = static_cast<std::uint64_t>(std::ftell(f));
+  }
+  if (bad_frame) {
+    // Anything readable after the bad frame proves mid-file damage; a bad
+    // frame that extends to EOF is a torn tail and simply dropped.
+    char probe;
+    if (std::fread(&probe, 1, 1, f) == 1) {
+      return Status(ErrorCode::kJournalCorrupt,
+                    "journal damaged mid-file in " + path +
+                        " (bad frame followed by more data)");
+    }
+  }
+  // Restore the JournalShards contract (strictly increasing, non-overlapping,
+  // coalesced spans) independently of the on-disk frame order.
+  std::sort(shards.spans.begin(), shards.spans.end(),
+            [](const JournalSpan& a, const JournalSpan& b) {
+              return a.first_index < b.first_index;
+            });
+  std::vector<JournalSpan> coalesced;
+  for (JournalSpan& span : shards.spans) {
+    const std::uint64_t back_end =
+        coalesced.empty() ? 0 : coalesced.back().end_index();
+    if (!coalesced.empty() && span.first_index < back_end) {
+      return Status(ErrorCode::kJournalCorrupt,
+                    "journal shards overlap in " + path +
+                        " (both cover sample " +
+                        std::to_string(span.first_index) + ")");
+    }
+    if (!coalesced.empty() && span.first_index == back_end) {
+      std::vector<SampleRecord>& dst = coalesced.back().records;
+      dst.insert(dst.end(), std::make_move_iterator(span.records.begin()),
+                 std::make_move_iterator(span.records.end()));
+    } else {
+      coalesced.push_back(std::move(span));
+    }
+  }
+  shards.spans = std::move(coalesced);
+  return shards;
+}
+
+/// Single-`*` glob match (e.g. "worker-*.fj"): literal prefix + literal
+/// suffix, anything (including nothing) in between. No `*` means an exact
+/// match.
+bool glob_matches(const std::string& pattern, const std::string& name) {
+  const std::size_t star = pattern.find('*');
+  if (star == std::string::npos) return pattern == name;
+  const std::string prefix = pattern.substr(0, star);
+  const std::string suffix = pattern.substr(star + 1);
+  return name.size() >= prefix.size() + suffix.size() &&
+         name.compare(0, prefix.size(), prefix) == 0 &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
 }  // namespace
@@ -147,110 +306,144 @@ bool deserialize_record(const std::string& data, std::size_t* offset,
   return get_string(data, offset, &record->fail_reason, kMaxPayload);
 }
 
-Result<JournalContents> read_journal(const std::string& dir) {
-  const std::string path = journal_path(dir);
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return Status(ErrorCode::kJournalIoError,
-                  "cannot open journal " + path + " for reading");
-  }
-  struct Closer {
-    std::FILE* f;
-    ~Closer() { std::fclose(f); }
-  } closer{f};
+bool sample_matches(const faultsim::FaultSample& a,
+                    const faultsim::FaultSample& b) {
+  return a.technique == b.technique && a.t == b.t && a.center == b.center &&
+         a.radius == b.radius && a.strike_frac == b.strike_frac &&
+         a.depth == b.depth && a.impact_cycles == b.impact_cycles &&
+         a.weight == b.weight;
+}
 
-  // Header: magic + meta + meta checksum.
-  char magic[sizeof(kFileMagic)];
-  std::uint32_t meta_len = 0;
-  if (!read_exact(f, magic, sizeof(magic)) ||
-      std::memcmp(magic, kFileMagic, sizeof(magic)) != 0 ||
-      !read_exact(f, &meta_len, sizeof(meta_len)) || meta_len > kMaxPayload) {
-    return Status(ErrorCode::kJournalCorrupt,
-                  "journal header corrupt in " + path);
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+MergedJournal::missing_ranges() const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
+  std::size_t i = 0;
+  while (i < present.size()) {
+    if (present[i] != 0) {
+      ++i;
+      continue;
+    }
+    const std::size_t first = i;
+    while (i < present.size() && present[i] == 0) ++i;
+    ranges.emplace_back(first, i);
   }
-  std::string meta_bytes(meta_len, '\0');
-  std::uint64_t meta_sum = 0;
-  if (!read_exact(f, meta_bytes.data(), meta_len) ||
-      !read_exact(f, &meta_sum, sizeof(meta_sum)) ||
-      meta_sum != fnv1a(meta_bytes.data(), meta_bytes.size())) {
+  return ranges;
+}
+
+Result<JournalContents> read_journal(const std::string& dir) {
+  const std::string path = journal_path(dir, "campaign.fj");
+  Result<JournalShards> shards = read_shards_impl(path);
+  if (!shards.is_ok()) return shards.status();
+  JournalShards& s = shards.value();
+  // The single-process journal must be a contiguous prefix of the campaign;
+  // a gap or a nonzero start means the file was not written by this engine.
+  if (!s.spans.empty() &&
+      (s.spans.size() != 1 || s.spans.front().first_index != 0)) {
     return Status(ErrorCode::kJournalCorrupt,
-                  "journal header corrupt in " + path);
+                  "journal frames out of order in " + path);
   }
   JournalContents contents;
+  contents.meta = std::move(s.meta);
+  contents.valid_bytes = s.valid_bytes;
+  if (!s.spans.empty()) contents.records = std::move(s.spans.front().records);
+  return contents;
+}
+
+Result<JournalShards> JournalReader::read_shards(const std::string& dir,
+                                                 const std::string& file) {
+  return read_shards_impl(journal_path(dir, file));
+}
+
+Result<MergedJournal> JournalReader::merge_partial(const std::string& dir,
+                                                   const std::string& pattern) {
+  std::vector<std::string> names;
   {
-    std::size_t off = 0;
-    if (!get(meta_bytes, &off, &contents.meta.fingerprint) ||
-        !get(meta_bytes, &off, &contents.meta.total_samples) ||
-        !get_string(meta_bytes, &off, &contents.meta.context, kMaxPayload)) {
-      return Status(ErrorCode::kJournalCorrupt,
-                    "journal meta corrupt in " + path);
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec) {
+      return Status(ErrorCode::kJournalIoError,
+                    "cannot list journal directory " + dir + ": " +
+                        ec.message());
+    }
+    for (const auto& entry : it) {
+      const std::string name = entry.path().filename().string();
+      if (glob_matches(pattern, name)) names.push_back(name);
     }
   }
+  if (names.empty()) {
+    return Status(ErrorCode::kJournalIoError,
+                  "no journal shards matching " + pattern + " in " + dir);
+  }
+  // Deterministic merge order (directory iteration order is not specified).
+  std::sort(names.begin(), names.end());
 
-  contents.valid_bytes = static_cast<std::uint64_t>(std::ftell(f));
-
-  // Frames, in sample-index order. `bad_frame` defers the corrupt-vs-torn
-  // decision: a bad frame at the physical end of the file is the normal
-  // crash artifact (dropped); a bad frame followed by more data means the
-  // file was damaged in the middle.
-  bool bad_frame = false;
-  std::string payload;
-  for (;;) {
-    std::uint32_t frame_magic = 0;
-    std::uint64_t first_index = 0;
-    std::uint32_t count = 0, payload_len = 0;
-    if (!read_exact(f, &frame_magic, sizeof(frame_magic))) break;  // clean EOF
-    if (frame_magic != kFrameMagic ||
-        !read_exact(f, &first_index, sizeof(first_index)) ||
-        !read_exact(f, &count, sizeof(count)) ||
-        !read_exact(f, &payload_len, sizeof(payload_len)) ||
-        payload_len > kMaxPayload) {
-      bad_frame = true;
-      break;
-    }
-    payload.resize(payload_len);
-    std::uint64_t sum = 0;
-    if (!read_exact(f, payload.data(), payload_len) ||
-        !read_exact(f, &sum, sizeof(sum))) {
-      bad_frame = true;  // truncated mid-frame: torn tail candidate
-      break;
-    }
-    std::uint64_t expect = fnv1a(&first_index, sizeof(first_index));
-    expect = fnv1a(&count, sizeof(count), expect);
-    expect = fnv1a(payload.data(), payload.size(), expect);
-    if (sum != expect) {
-      bad_frame = true;
-      break;
-    }
-    if (first_index != contents.records.size()) {
+  MergedJournal merged;
+  // Tracks which file contributed each sample, for the overlap diagnostic.
+  std::vector<std::uint32_t> owner;
+  for (std::size_t fi = 0; fi < names.size(); ++fi) {
+    const std::string& name = names[fi];
+    Result<JournalShards> shards = read_shards(dir, name);
+    if (!shards.is_ok()) return shards.status();
+    JournalShards& s = shards.value();
+    if (fi == 0) {
+      merged.meta = s.meta;
+      merged.records.resize(merged.meta.total_samples);
+      merged.present.assign(merged.meta.total_samples, 0);
+      owner.assign(merged.meta.total_samples, 0);
+    } else if (s.meta.fingerprint != merged.meta.fingerprint ||
+               s.meta.total_samples != merged.meta.total_samples) {
       return Status(ErrorCode::kJournalCorrupt,
-                    "journal frames out of order in " + path);
+                    "journal shard " + name +
+                        " belongs to a different campaign than " + names[0] +
+                        " (fingerprint or sample count mismatch)");
     }
-    std::size_t off = 0;
-    for (std::uint32_t i = 0; i < count; ++i) {
-      SampleRecord rec;
-      if (!deserialize_record(payload, &off, &rec)) {
+    merged.valid_bytes[name] = s.valid_bytes;
+    for (JournalSpan& span : s.spans) {
+      if (span.end_index() > merged.meta.total_samples) {
         return Status(ErrorCode::kJournalCorrupt,
-                      "journal frame payload corrupt in " + path);
+                      "journal shard " + name + " covers samples [" +
+                          std::to_string(span.first_index) + ", " +
+                          std::to_string(span.end_index()) +
+                          ") past the campaign end " +
+                          std::to_string(merged.meta.total_samples));
       }
-      contents.records.push_back(std::move(rec));
-    }
-    if (off != payload.size()) {
-      return Status(ErrorCode::kJournalCorrupt,
-                    "journal frame payload corrupt in " + path);
-    }
-    contents.valid_bytes = static_cast<std::uint64_t>(std::ftell(f));
-  }
-  if (bad_frame) {
-    // Anything readable after the bad frame proves mid-file damage; a bad
-    // frame that extends to EOF is a torn tail and simply dropped.
-    char probe;
-    if (std::fread(&probe, 1, 1, f) == 1) {
-      return Status(ErrorCode::kJournalCorrupt,
-                    "journal damaged mid-file in " + path +
-                        " (bad frame followed by more data)");
+      for (std::size_t i = 0; i < span.records.size(); ++i) {
+        const std::uint64_t index = span.first_index + i;
+        if (merged.present[index] != 0) {
+          return Status(ErrorCode::kJournalCorrupt,
+                        "journal shards " + names[owner[index]] + " and " +
+                            name + " both cover sample " +
+                            std::to_string(index));
+        }
+        merged.records[index] = std::move(span.records[i]);
+        merged.present[index] = 1;
+        owner[index] = static_cast<std::uint32_t>(fi);
+        ++merged.present_count;
+      }
     }
   }
+  return merged;
+}
+
+Result<JournalContents> JournalReader::merge(const std::string& dir,
+                                             const std::string& pattern) {
+  Result<MergedJournal> merged = merge_partial(dir, pattern);
+  if (!merged.is_ok()) return merged.status();
+  MergedJournal& m = merged.value();
+  if (!m.complete()) {
+    const auto ranges = m.missing_ranges();
+    std::string msg = "journal shards matching " + pattern + " in " + dir +
+                      " are incomplete: missing samples [" +
+                      std::to_string(ranges.front().first) + ", " +
+                      std::to_string(ranges.front().second) + ")";
+    if (ranges.size() > 1) {
+      msg += " and " + std::to_string(ranges.size() - 1) + " more range(s)";
+    }
+    return Status(ErrorCode::kFailedPrecondition, msg);
+  }
+  JournalContents contents;
+  contents.meta = std::move(m.meta);
+  contents.records = std::move(m.records);
   return contents;
 }
 
@@ -259,7 +452,8 @@ JournalWriter::~JournalWriter() {
 }
 
 Status JournalWriter::open_fresh(const std::string& dir,
-                                 const JournalMeta& meta) {
+                                 const JournalMeta& meta,
+                                 const std::string& file) {
   FAV_CHECK(file_ == nullptr);
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
@@ -268,7 +462,7 @@ Status JournalWriter::open_fresh(const std::string& dir,
                   "cannot create journal directory " + dir + ": " +
                       ec.message());
   }
-  const std::string path = journal_path(dir);
+  const std::string path = journal_path(dir, file);
   file_ = std::fopen(path.c_str(), "wb");
   if (file_ == nullptr) {
     return Status(ErrorCode::kJournalIoError,
@@ -290,15 +484,16 @@ Status JournalWriter::open_fresh(const std::string& dir,
   if (!committed.is_ok()) return committed;
   // The header fsync above made the *contents* durable; the name->inode link
   // of the freshly created (or truncated) file lives in the directory, which
-  // needs its own fsync — otherwise a crash here can lose campaign.fj
-  // entirely while the caller believes the journal exists.
+  // needs its own fsync — otherwise a crash here can lose the journal file
+  // entirely while the caller believes it exists.
   return sync_dir(dir);
 }
 
 Status JournalWriter::open_append(const std::string& dir,
-                                  std::uint64_t valid_bytes) {
+                                  std::uint64_t valid_bytes,
+                                  const std::string& file) {
   FAV_CHECK(file_ == nullptr);
-  const std::string path = journal_path(dir);
+  const std::string path = journal_path(dir, file);
   // Cut off any torn tail first: appending after it would bury the partial
   // frame mid-file, which the next read must treat as corruption.
   std::error_code ec;

@@ -20,8 +20,11 @@
 // bitwise-identical to an uninterrupted one (see SsfEvaluator::run_journaled).
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mc/evaluator.h"
@@ -49,6 +52,47 @@ struct JournalContents {
   std::uint64_t valid_bytes = 0;
 };
 
+/// One run of consecutive sample records starting at `first_index`. Worker
+/// shard files hold several spans: a worker journals every shard it is
+/// assigned, and assignments interleave across workers, so one file covers a
+/// non-contiguous subset of the campaign.
+struct JournalSpan {
+  std::uint64_t first_index = 0;
+  std::vector<SampleRecord> records;
+
+  std::uint64_t end_index() const { return first_index + records.size(); }
+};
+
+/// Everything recovered from one shard file: the header meta plus its spans
+/// in strictly increasing, non-overlapping index order (adjacent frames are
+/// coalesced, so `campaign.fj` written by a single-process run reads back as
+/// one span at index 0). On-disk frame order is free — a supervised worker
+/// journals shards in *assignment* order, which drops below earlier indices
+/// when it picks up a shard rescued from a crashed peer — so the reader
+/// sorts; overlapping frames within one file are corruption.
+struct JournalShards {
+  JournalMeta meta;
+  std::vector<JournalSpan> spans;
+  std::uint64_t valid_bytes = 0;
+};
+
+/// Sparse union of several shard files (see JournalReader::merge_partial):
+/// `records[i]` is valid iff `present[i]`. Also carries what a resuming
+/// writer needs: the validated prefix size of every source file.
+struct MergedJournal {
+  JournalMeta meta;
+  std::vector<SampleRecord> records;   // size == meta.total_samples
+  std::vector<std::uint8_t> present;   // parallel to records
+  std::size_t present_count = 0;
+  /// Validated prefix size per shard file name (for JournalWriter::
+  /// open_append when a worker resumes its own file).
+  std::map<std::string, std::uint64_t> valid_bytes;
+
+  bool complete() const { return present_count == records.size(); }
+  /// Maximal runs [first, last) of missing sample indices, in order.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> missing_ranges() const;
+};
+
 /// Serialization used by the journal frames (exposed for tests).
 void serialize_record(const SampleRecord& record, std::string& out);
 /// Deserializes one record from `data` starting at `*offset`, advancing it.
@@ -56,11 +100,46 @@ void serialize_record(const SampleRecord& record, std::string& out);
 bool deserialize_record(const std::string& data, std::size_t* offset,
                         SampleRecord* record);
 
+/// Field-wise identity of two fault samples, used by the resume cross-checks:
+/// a journaled sample that differs from the deterministically re-drawn one
+/// means the sampler/seed/config changed under the journal.
+bool sample_matches(const faultsim::FaultSample& a,
+                    const faultsim::FaultSample& b);
+
 /// Reads and verifies `<dir>/campaign.fj`. Torn tails are tolerated (the
 /// partial frame is dropped); header corruption, mid-file damage, and
 /// out-of-order frames yield kJournalCorrupt; a missing/unreadable file
 /// yields kJournalIoError.
 Result<JournalContents> read_journal(const std::string& dir);
+
+/// Multi-file journal access for supervised campaigns, where every worker
+/// process appends the shards it completes to its own `worker-<k>.fj` and
+/// the supervisor stitches the campaign back together.
+class JournalReader {
+ public:
+  /// Reads and verifies one shard file. Frames may start at any sample index
+  /// but must be strictly increasing and non-overlapping within the file;
+  /// torn tails are tolerated exactly like read_journal.
+  static Result<JournalShards> read_shards(const std::string& dir,
+                                           const std::string& file);
+
+  /// Merges every file in `dir` whose name matches `pattern` (a single-`*`
+  /// glob, e.g. "worker-*.fj"). Validates that all files carry the same
+  /// fingerprint and total-sample count, that every span lies inside the
+  /// campaign, and that no two spans overlap; gaps are allowed — this is the
+  /// resume path, which continues from whatever survived. Matching zero
+  /// files yields an empty merge only when a meta cannot be established —
+  /// kJournalIoError, since there is nothing to resume from.
+  static Result<MergedJournal> merge_partial(const std::string& dir,
+                                             const std::string& pattern);
+
+  /// Strict merge for completed campaigns: additionally requires full
+  /// coverage of [0, total_samples). A gap fails with kFailedPrecondition
+  /// naming the exact missing index range, e.g. "missing samples
+  /// [512, 768)".
+  static Result<JournalContents> merge(const std::string& dir,
+                                       const std::string& pattern);
+};
 
 /// Appends completed shards to `<dir>/campaign.fj`. Every append is flushed
 /// and fsynced before returning, so a completed shard survives SIGKILL.
@@ -82,14 +161,18 @@ class JournalWriter {
   void set_metrics(MetricsSink* sink) { metrics_ = sink; }
 
   /// Starts a new journal (truncating any existing one) and commits the
-  /// header. Creates `dir` if needed.
-  Status open_fresh(const std::string& dir, const JournalMeta& meta);
-  /// Opens an existing journal for appending (after read_journal validated
-  /// it). The file is first truncated to `valid_bytes` — read_journal's
-  /// validated-prefix size — so a torn tail left by a crash is cut off
-  /// instead of ending up buried between frames (which the next read would
-  /// rightly flag as mid-file corruption).
-  Status open_append(const std::string& dir, std::uint64_t valid_bytes);
+  /// header. Creates `dir` if needed. `file` selects the file name inside
+  /// `dir`; the default is the single-process campaign journal, supervised
+  /// workers pass their own "worker-<k>.fj".
+  Status open_fresh(const std::string& dir, const JournalMeta& meta,
+                    const std::string& file = "campaign.fj");
+  /// Opens an existing journal for appending (after read_journal /
+  /// JournalReader validated it). The file is first truncated to
+  /// `valid_bytes` — the validated-prefix size — so a torn tail left by a
+  /// crash is cut off instead of ending up buried between frames (which the
+  /// next read would rightly flag as mid-file corruption).
+  Status open_append(const std::string& dir, std::uint64_t valid_bytes,
+                     const std::string& file = "campaign.fj");
 
   /// Appends one frame covering records[0, count) at sample indices
   /// [first_index, first_index + count) and commits it to disk.

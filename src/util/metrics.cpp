@@ -2,10 +2,45 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace fav {
 
 namespace {
+
+// --- little-endian binary primitives for MetricsSink::serialize ----------
+
+template <typename T>
+void put(std::string& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out.append(bytes, sizeof(T));
+}
+
+template <typename T>
+bool get(std::string_view data, std::size_t* offset, T* value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (data.size() - *offset < sizeof(T)) return false;
+  std::memcpy(value, data.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+void put_string(std::string& out, std::string_view s) {
+  put(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s.data(), s.size());
+}
+
+bool get_string(std::string_view data, std::size_t* offset,
+                std::string* value) {
+  std::uint32_t len = 0;
+  if (!get(data, offset, &len)) return false;
+  if (data.size() - *offset < len) return false;
+  value->assign(data.data() + *offset, len);
+  *offset += len;
+  return true;
+}
 
 /// Minimal JSON string escaping (quotes, backslashes, control characters);
 /// metric names are ASCII identifiers, so this is rarely exercised.
@@ -134,6 +169,59 @@ void MetricsSink::write_json(std::ostream& os) const {
        << ",\"max_ns\":" << stat.max_ns << '}';
   }
   os << "}}";
+}
+
+void MetricsSink::serialize(std::string& out) const {
+  put(out, static_cast<std::uint32_t>(counters_.size()));
+  for (const auto& [name, value] : counters_) {
+    put_string(out, name);
+    put(out, value);
+  }
+  put(out, static_cast<std::uint32_t>(gauges_.size()));
+  for (const auto& [name, value] : gauges_) {
+    put_string(out, name);
+    put(out, value);
+  }
+  put(out, static_cast<std::uint32_t>(timers_.size()));
+  for (const auto& [name, stat] : timers_) {
+    put_string(out, name);
+    put(out, stat.count);
+    put(out, stat.total_ns);
+    put(out, stat.max_ns);
+  }
+}
+
+bool MetricsSink::deserialize(std::string_view data) {
+  clear();
+  std::size_t off = 0;
+  std::uint32_t n = 0;
+  std::string name;
+  if (!get(data, &off, &n)) return false;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint64_t value = 0;
+    if (!get_string(data, &off, &name) || !get(data, &off, &value)) {
+      return false;
+    }
+    counters_.emplace(name, value);
+  }
+  if (!get(data, &off, &n)) return false;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    double value = 0;
+    if (!get_string(data, &off, &name) || !get(data, &off, &value)) {
+      return false;
+    }
+    gauges_.emplace(name, value);
+  }
+  if (!get(data, &off, &n)) return false;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    TimerStat stat;
+    if (!get_string(data, &off, &name) || !get(data, &off, &stat.count) ||
+        !get(data, &off, &stat.total_ns) || !get(data, &off, &stat.max_ns)) {
+      return false;
+    }
+    timers_.emplace(name, stat);
+  }
+  return off == data.size();
 }
 
 void TraceBuffer::record(std::string_view name, std::string_view category,

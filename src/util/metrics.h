@@ -92,6 +92,13 @@ class MetricsSink {
   /// max_ns}}} with lexicographically sorted keys.
   void write_json(std::ostream& os) const;
 
+  /// Compact binary round-trip, used by the supervisor protocol to ship a
+  /// worker process's sink to the parent for merging. Deterministic
+  /// (lexicographic entry order); deserialize() replaces this sink's
+  /// contents and returns false on malformed input.
+  void serialize(std::string& out) const;
+  bool deserialize(std::string_view data);
+
  private:
   std::map<std::string, std::uint64_t, std::less<>> counters_;
   std::map<std::string, double, std::less<>> gauges_;

@@ -30,6 +30,8 @@ enum class ErrorCode : int {
   kJournalCorrupt = 7,     // journal integrity violation (checksum/meta)
   kJournalIoError = 8,     // journal file could not be opened/written
   kInternal = 9,           // invariant violation escaping as an error value
+  kWorkerCrashed = 10,     // supervised worker process died evaluating a shard
+  kSubprocessFailed = 11,  // worker spawn / pipe protocol failure
 };
 
 inline const char* error_code_name(ErrorCode code) {
@@ -44,6 +46,8 @@ inline const char* error_code_name(ErrorCode code) {
     case ErrorCode::kJournalCorrupt: return "JOURNAL_CORRUPT";
     case ErrorCode::kJournalIoError: return "JOURNAL_IO_ERROR";
     case ErrorCode::kInternal: return "INTERNAL";
+    case ErrorCode::kWorkerCrashed: return "WORKER_CRASHED";
+    case ErrorCode::kSubprocessFailed: return "SUBPROCESS_FAILED";
   }
   return "UNKNOWN";
 }

@@ -1,0 +1,237 @@
+#include "util/subprocess.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+namespace fav {
+
+namespace {
+
+/// Restartable write of the remaining tail after an EINTR/short write.
+bool write_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Status write_frame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status(ErrorCode::kInvalidArgument, "frame exceeds kMaxFrameBytes");
+  }
+  // One contiguous buffer, one write(2): frames below PIPE_BUF are atomic on
+  // a pipe, so concurrent heartbeats from worker threads never interleave.
+  std::string buf;
+  buf.reserve(sizeof(std::uint32_t) + payload.size());
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  buf.append(reinterpret_cast<const char*>(&len), sizeof(len));
+  buf.append(payload.data(), payload.size());
+  if (!write_all(fd, buf.data(), buf.size())) {
+    return Status(ErrorCode::kSubprocessFailed,
+                  std::string("pipe write failed: ") + std::strerror(errno));
+  }
+  return Status::ok();
+}
+
+bool FrameBuffer::next(std::string* payload) {
+  if (corrupt_) return false;
+  // Compact the consumed prefix once it dominates the buffer.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  if (buf_.size() - pos_ < sizeof(std::uint32_t)) return false;
+  std::uint32_t len = 0;
+  std::memcpy(&len, buf_.data() + pos_, sizeof(len));
+  if (len > kMaxFrameBytes) {
+    corrupt_ = true;
+    return false;
+  }
+  if (buf_.size() - pos_ < sizeof(len) + len) return false;
+  payload->assign(buf_.data() + pos_ + sizeof(len), len);
+  pos_ += sizeof(len) + len;
+  return true;
+}
+
+bool drain_into(int fd, FrameBuffer& buf) {
+  char chunk[4096];
+  const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+  if (n < 0) return errno == EINTR || errno == EAGAIN;
+  if (n == 0) return false;  // EOF: peer is gone
+  buf.feed(chunk, static_cast<std::size_t>(n));
+  return true;
+}
+
+Result<std::string> read_frame(int fd, FrameBuffer& buf, int timeout_ms) {
+  std::string payload;
+  for (;;) {
+    if (buf.next(&payload)) return payload;
+    if (buf.corrupt()) {
+      return Status(ErrorCode::kSubprocessFailed,
+                    "corrupt frame stream (length prefix out of range)");
+    }
+    struct pollfd pfd {};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        // A signal (e.g. the graceful-stop handler) interrupted the wait;
+        // surface it as a timeout so the caller re-checks its stop flag.
+        return Status(ErrorCode::kDeadlineExceeded,
+                      "frame read interrupted by signal");
+      }
+      return Status(ErrorCode::kSubprocessFailed,
+                    std::string("poll failed: ") + std::strerror(errno));
+    }
+    if (rc == 0) {
+      return Status(ErrorCode::kDeadlineExceeded, "frame read timed out");
+    }
+    if (!drain_into(fd, buf)) {
+      return Status(ErrorCode::kSubprocessFailed,
+                    "pipe closed before a complete frame arrived");
+    }
+  }
+}
+
+Result<Subprocess> Subprocess::spawn(const std::vector<std::string>& argv) {
+  if (argv.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "spawn requires an argv");
+  }
+  int to_child[2];    // parent writes -> child stdin
+  int from_child[2];  // child stdout -> parent reads
+  if (::pipe(to_child) != 0) {
+    return Status(ErrorCode::kSubprocessFailed,
+                  std::string("pipe failed: ") + std::strerror(errno));
+  }
+  if (::pipe(from_child) != 0) {
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    return Status(ErrorCode::kSubprocessFailed,
+                  std::string("pipe failed: ") + std::strerror(errno));
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    for (const int fd : {to_child[0], to_child[1], from_child[0],
+                         from_child[1]}) {
+      ::close(fd);
+    }
+    return Status(ErrorCode::kSubprocessFailed,
+                  std::string("fork failed: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: wire the pipes onto stdin/stdout, close every parent end, and
+    // exec. Only async-signal-safe calls between fork and exec.
+#ifdef __linux__
+    ::prctl(PR_SET_PDEATHSIG, SIGTERM);
+#endif
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    for (const int fd : {to_child[0], to_child[1], from_child[0],
+                         from_child[1]}) {
+      ::close(fd);
+    }
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string& a : argv) {
+      cargv.push_back(const_cast<char*>(a.c_str()));
+    }
+    cargv.push_back(nullptr);
+    ::execvp(cargv[0], cargv.data());
+    _exit(127);  // exec failed; 127 mirrors the shell convention
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  Subprocess child;
+  child.pid_ = pid;
+  child.stdin_fd_ = to_child[1];
+  child.stdout_fd_ = from_child[0];
+  return child;
+}
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  if (this != &other) {
+    close_pipes();
+    pid_ = other.pid_;
+    stdin_fd_ = other.stdin_fd_;
+    stdout_fd_ = other.stdout_fd_;
+    reaped_ = other.reaped_;
+    exit_ = other.exit_;
+    other.pid_ = -1;
+    other.stdin_fd_ = -1;
+    other.stdout_fd_ = -1;
+    other.reaped_ = false;
+  }
+  return *this;
+}
+
+void Subprocess::kill(int sig) {
+  if (pid_ > 0 && !reaped_) ::kill(pid_, sig);
+}
+
+bool Subprocess::try_wait(ExitStatus* status) {
+  if (reaped_) {
+    *status = exit_;
+    return true;
+  }
+  if (pid_ <= 0) return false;
+  int wstatus = 0;
+  const pid_t rc = ::waitpid(pid_, &wstatus, WNOHANG);
+  if (rc != pid_) return false;
+  reaped_ = true;
+  exit_.signaled = WIFSIGNALED(wstatus);
+  exit_.exit_code = WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : 0;
+  exit_.term_signal = exit_.signaled ? WTERMSIG(wstatus) : 0;
+  *status = exit_;
+  return true;
+}
+
+Subprocess::ExitStatus Subprocess::wait() {
+  if (reaped_ || pid_ <= 0) return exit_;
+  int wstatus = 0;
+  pid_t rc;
+  do {
+    rc = ::waitpid(pid_, &wstatus, 0);
+  } while (rc < 0 && errno == EINTR);
+  reaped_ = true;
+  if (rc == pid_) {
+    exit_.signaled = WIFSIGNALED(wstatus);
+    exit_.exit_code = WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : 0;
+    exit_.term_signal = exit_.signaled ? WTERMSIG(wstatus) : 0;
+  }
+  return exit_;
+}
+
+void Subprocess::close_stdin() {
+  if (stdin_fd_ >= 0) {
+    ::close(stdin_fd_);
+    stdin_fd_ = -1;
+  }
+}
+
+void Subprocess::close_pipes() {
+  close_stdin();
+  if (stdout_fd_ >= 0) {
+    ::close(stdout_fd_);
+    stdout_fd_ = -1;
+  }
+}
+
+}  // namespace fav

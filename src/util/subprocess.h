@@ -1,0 +1,127 @@
+// Child-process management and pipe framing for the campaign supervisor.
+//
+// The supervisor's isolation boundary is the OS process: a worker that
+// segfaults, is OOM-killed, or spins in native code can always be SIGKILLed
+// without taking the campaign down. This header provides the two primitives
+// that boundary needs:
+//   * Subprocess — fork/exec with the child's stdin/stdout connected to the
+//     parent through pipes (stderr is inherited, so worker diagnostics land
+//     on the campaign's stderr), plus non-blocking status probes and kill().
+//   * Length-prefixed frames — every protocol message is `u32 length |
+//     payload` (little-endian). A frame is written with a single write(2),
+//     so frames up to PIPE_BUF bytes never interleave even when several
+//     worker threads heartbeat concurrently over the same pipe.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fav {
+
+/// Upper bound on a single frame. Protocol messages are tiny (a few dozen
+/// bytes; the largest is a serialized MetricsSink, well under a megabyte) —
+/// a length prefix beyond this means the stream is desynchronized or the
+/// peer is corrupt, not that a huge message is in flight.
+constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Writes one `u32 length | payload` frame with a single write(2) call.
+/// Returns kSubprocessFailed on a closed/broken pipe (the caller decides
+/// whether a dead peer is fatal); short writes on a pipe only happen past
+/// PIPE_BUF and are completed with follow-up writes.
+Status write_frame(int fd, std::string_view payload);
+
+/// Reassembles length-prefixed frames from a raw pipe byte stream. The
+/// supervisor polls many workers at once: each readable fd is drained into
+/// its worker's FrameBuffer and complete frames are popped as they close.
+class FrameBuffer {
+ public:
+  void feed(const char* data, std::size_t len) { buf_.append(data, len); }
+  /// Pops the next complete frame into *payload; false when no complete
+  /// frame is buffered (or the stream is corrupt — check corrupt()).
+  bool next(std::string* payload);
+  /// True once a length prefix exceeded kMaxFrameBytes: the stream can never
+  /// resynchronize and the peer should be treated as failed.
+  bool corrupt() const { return corrupt_; }
+  /// Bytes buffered but not yet consumed by next() (excludes the lazily
+  /// compacted prefix).
+  std::size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;  // consumed prefix, compacted lazily
+  bool corrupt_ = false;
+};
+
+/// Blocking read of one frame with a deadline. `timeout_ms` < 0 blocks
+/// indefinitely (the worker side, which has nothing else to do between
+/// assignments). Returns kDeadlineExceeded on timeout and kSubprocessFailed
+/// on EOF / read error / corrupt framing. Bytes beyond the returned frame
+/// stay queued in `buf` for the next call.
+Result<std::string> read_frame(int fd, FrameBuffer& buf, int timeout_ms);
+
+/// Reads whatever is currently available on `fd` into `buf` without
+/// blocking (the caller has already polled the fd readable). Returns false
+/// on EOF or read error — the peer is gone.
+bool drain_into(int fd, FrameBuffer& buf);
+
+/// A forked+exec'd child with piped stdin/stdout. Move-only; destruction
+/// closes the parent's pipe ends but neither kills nor reaps the child —
+/// process lifetime is the supervisor's explicit policy (kill / wait), not
+/// a destructor side effect.
+class Subprocess {
+ public:
+  /// Final state of a child as reported by waitpid.
+  struct ExitStatus {
+    bool signaled = false;
+    int exit_code = 0;  // valid when !signaled
+    int term_signal = 0;  // valid when signaled
+  };
+
+  /// Spawns `argv` (argv[0] is the executable path, resolved via execvp)
+  /// with stdin/stdout piped to the parent and stderr inherited. On Linux
+  /// the child requests SIGTERM on parent death (PR_SET_PDEATHSIG), so a
+  /// SIGKILLed supervisor cannot leak orphan workers. An exec failure
+  /// surfaces as the child exiting with code 127.
+  static Result<Subprocess> spawn(const std::vector<std::string>& argv);
+
+  Subprocess() = default;
+  ~Subprocess() { close_pipes(); }
+  Subprocess(Subprocess&& other) noexcept { *this = std::move(other); }
+  Subprocess& operator=(Subprocess&& other) noexcept;
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+
+  pid_t pid() const { return pid_; }
+  bool valid() const { return pid_ > 0; }
+  /// Parent's write end of the child's stdin (-1 after close_stdin()).
+  int stdin_fd() const { return stdin_fd_; }
+  /// Parent's read end of the child's stdout.
+  int stdout_fd() const { return stdout_fd_; }
+
+  /// Sends `sig` to the child; a no-op once the child was reaped.
+  void kill(int sig);
+  /// Non-blocking reap (waitpid WNOHANG): true and fills *status once the
+  /// child has exited; false while it is still running. Idempotent — after
+  /// the first successful reap the cached status is returned.
+  bool try_wait(ExitStatus* status);
+  /// Blocking reap.
+  ExitStatus wait();
+
+  void close_stdin();
+  void close_pipes();
+
+ private:
+  pid_t pid_ = -1;
+  int stdin_fd_ = -1;
+  int stdout_fd_ = -1;
+  bool reaped_ = false;
+  ExitStatus exit_{};
+};
+
+}  // namespace fav

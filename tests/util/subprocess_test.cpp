@@ -1,0 +1,176 @@
+// Tests for the subprocess plumbing under the campaign supervisor: frame
+// framing/deframing over real pipes, corruption detection, read deadlines,
+// and child-process lifecycle (spawn / kill / wait status decoding).
+#include "util/subprocess.h"
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace fav {
+namespace {
+
+struct Pipe {
+  int fds[2] = {-1, -1};
+  Pipe() { EXPECT_EQ(::pipe(fds), 0); }
+  ~Pipe() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+  int read_fd() const { return fds[0]; }
+  int write_fd() const { return fds[1]; }
+  void close_write() {
+    ::close(fds[1]);
+    fds[1] = -1;
+  }
+};
+
+TEST(FrameIo, RoundTripOverPipe) {
+  Pipe p;
+  const std::string payloads[] = {"", "x", "hello frame"};
+  for (const std::string& payload : payloads) {
+    ASSERT_TRUE(write_frame(p.write_fd(), payload).is_ok());
+  }
+  FrameBuffer buf;
+  for (const std::string& payload : payloads) {
+    Result<std::string> got = read_frame(p.read_fd(), buf, 5000);
+    ASSERT_TRUE(got.is_ok()) << got.status().to_string();
+    EXPECT_EQ(got.value(), payload);
+  }
+}
+
+TEST(FrameIo, LargeFrameSpansPipeCapacity) {
+  // 1 MiB frame: far beyond the 64 KiB pipe buffer, so write_frame must
+  // complete across multiple write(2) calls while the reader drains.
+  Pipe p;
+  const std::string payload(1u << 20, 'z');
+  std::thread writer([&] {
+    EXPECT_TRUE(write_frame(p.write_fd(), payload).is_ok());
+  });
+  FrameBuffer buf;
+  Result<std::string> got = read_frame(p.read_fd(), buf, 10000);
+  writer.join();
+  ASSERT_TRUE(got.is_ok()) << got.status().to_string();
+  EXPECT_EQ(got.value(), payload);
+}
+
+TEST(FrameIo, ByteWiseFeedReassembles) {
+  std::string wire;
+  {
+    // Build the wire image through a pipe, then replay it one byte at a time.
+    Pipe p;
+    ASSERT_TRUE(write_frame(p.write_fd(), "alpha").is_ok());
+    ASSERT_TRUE(write_frame(p.write_fd(), "beta").is_ok());
+    p.close_write();
+    char c = 0;
+    while (::read(p.read_fd(), &c, 1) == 1) wire.push_back(c);
+  }
+  FrameBuffer buf;
+  std::vector<std::string> frames;
+  std::string frame;
+  for (const char& c : wire) {
+    buf.feed(&c, 1);
+    while (buf.next(&frame)) frames.push_back(frame);
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0], "alpha");
+  EXPECT_EQ(frames[1], "beta");
+  EXPECT_FALSE(buf.corrupt());
+  EXPECT_EQ(buf.buffered_bytes(), 0u);
+}
+
+TEST(FrameIo, OversizedLengthMarksCorrupt) {
+  FrameBuffer buf;
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  buf.feed(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  std::string frame;
+  EXPECT_FALSE(buf.next(&frame));
+  EXPECT_TRUE(buf.corrupt());
+}
+
+TEST(FrameIo, ReadFrameTimesOut) {
+  Pipe p;
+  FrameBuffer buf;
+  Result<std::string> got = read_frame(p.read_fd(), buf, 50);
+  ASSERT_FALSE(got.is_ok());
+  EXPECT_EQ(got.status().code(), ErrorCode::kDeadlineExceeded);
+}
+
+TEST(FrameIo, ReadFrameReportsEof) {
+  Pipe p;
+  ASSERT_TRUE(write_frame(p.write_fd(), "last").is_ok());
+  p.close_write();
+  FrameBuffer buf;
+  Result<std::string> got = read_frame(p.read_fd(), buf, 1000);
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value(), "last");
+  got = read_frame(p.read_fd(), buf, 1000);
+  ASSERT_FALSE(got.is_ok());
+  EXPECT_EQ(got.status().code(), ErrorCode::kSubprocessFailed);
+}
+
+TEST(FrameIo, RejectsFramesOverTheCap) {
+  Pipe p;
+  const std::string too_big(kMaxFrameBytes + 1, 'q');
+  EXPECT_FALSE(write_frame(p.write_fd(), too_big).is_ok());
+}
+
+TEST(SubprocessLifecycle, EchoChildRoundTrips) {
+  // `cat` copies stdin to stdout verbatim, so frames come back intact.
+  Result<Subprocess> spawned = Subprocess::spawn({"cat"});
+  ASSERT_TRUE(spawned.is_ok()) << spawned.status().to_string();
+  Subprocess proc = std::move(spawned).value();
+  ASSERT_TRUE(write_frame(proc.stdin_fd(), "ping").is_ok());
+  FrameBuffer buf;
+  Result<std::string> got = read_frame(proc.stdout_fd(), buf, 5000);
+  ASSERT_TRUE(got.is_ok()) << got.status().to_string();
+  EXPECT_EQ(got.value(), "ping");
+  proc.close_stdin();  // EOF: cat exits
+  const Subprocess::ExitStatus st = proc.wait();
+  EXPECT_FALSE(st.signaled);
+  EXPECT_EQ(st.exit_code, 0);
+}
+
+TEST(SubprocessLifecycle, KillReportsSignal) {
+  Result<Subprocess> spawned = Subprocess::spawn({"cat"});
+  ASSERT_TRUE(spawned.is_ok());
+  Subprocess proc = std::move(spawned).value();
+  proc.kill(SIGKILL);
+  const Subprocess::ExitStatus st = proc.wait();
+  EXPECT_TRUE(st.signaled);
+  EXPECT_EQ(st.term_signal, SIGKILL);
+}
+
+TEST(SubprocessLifecycle, ExecFailureExitsWith127) {
+  Result<Subprocess> spawned =
+      Subprocess::spawn({"/nonexistent/fav-no-such-binary"});
+  ASSERT_TRUE(spawned.is_ok());  // fork succeeds; exec fails in the child
+  Subprocess proc = std::move(spawned).value();
+  const Subprocess::ExitStatus st = proc.wait();
+  EXPECT_FALSE(st.signaled);
+  EXPECT_EQ(st.exit_code, 127);
+}
+
+TEST(SubprocessLifecycle, TryWaitSeesExit) {
+  Result<Subprocess> spawned = Subprocess::spawn({"true"});
+  ASSERT_TRUE(spawned.is_ok());
+  Subprocess proc = std::move(spawned).value();
+  // Poll until the child exits; try_wait must never block.
+  Subprocess::ExitStatus st;
+  bool reaped = false;
+  for (int i = 0; i < 5000 && !reaped; ++i) {
+    reaped = proc.try_wait(&st);
+    if (!reaped) ::usleep(1000);
+  }
+  ASSERT_TRUE(reaped);
+  EXPECT_FALSE(st.signaled);
+  EXPECT_EQ(st.exit_code, 0);
+}
+
+}  // namespace
+}  // namespace fav

@@ -29,6 +29,18 @@
 //   --journal DIR                 evaluate only: crash-safe shard journal
 //   --resume                      replay the journal in --journal DIR and
 //                                  continue from the first missing sample
+//   --supervise N                 evaluate only: run the campaign across N
+//                                  worker *processes* (requires --journal).
+//                                  Workers that crash or wedge are SIGKILLed
+//                                  and restarted; samples that keep killing
+//                                  workers are quarantined as failed records.
+//                                  Estimates are bitwise-identical to the
+//                                  single-process engine at every N.
+//   --heartbeat-ms N              supervise only: per-sample liveness
+//                                  deadline before a worker is presumed
+//                                  wedged (default 30000)
+//   --shard-size N                supervise only: samples per worker
+//                                  assignment (default 256)
 //   --metrics-out FILE            evaluate only: JSON run report (phase
 //                                  timings, outcome-path counters, ESS)
 //   --trace-out FILE              evaluate only: Chrome-trace events
@@ -39,6 +51,18 @@
 // All flag values are validated strictly: unknown flags, non-numeric or
 // out-of-range values exit with the usage message and status 2 instead of
 // silently defaulting.
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error, 3 campaign
+// interrupted by SIGINT/SIGTERM (partial results journaled; rerun with
+// --resume to continue).
+//
+// `fav worker` is a hidden command spawned by `--supervise`; it speaks the
+// supervisor pipe protocol on stdin/stdout (see mc/supervisor.h) and is not
+// meant to be invoked by hand.
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
@@ -49,8 +73,10 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/framework.h"
+#include "mc/supervisor.h"
 #include "core/hardening.h"
 #include "netlist/verilog.h"
 #include "rtl/vcd.h"
@@ -58,6 +84,25 @@
 using namespace fav;
 
 namespace {
+
+/// Graceful-stop flag set by SIGINT/SIGTERM: the engine (or supervisor)
+/// finishes the in-flight chunk, flushes a partial run report marked
+/// interrupted, and exits with code 3. The handler is installed with
+/// SA_RESETHAND, so a second signal terminates immediately.
+std::atomic<bool> g_stop{false};
+
+void handle_stop_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+void install_stop_handlers() {
+  struct sigaction sa {};
+  sa.sa_handler = handle_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESETHAND;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+const char* g_argv0 = "fav";
 
 struct Options {
   std::string command;
@@ -82,6 +127,15 @@ struct Options {
   // record in memory (estimates and contribution maps are unaffected by the
   // cap — see EvaluatorConfig::record_capacity).
   std::size_t record_capacity = 200'000;
+  // Multi-process supervisor (0 = in-process engine).
+  std::size_t supervise = 0;
+  std::uint64_t heartbeat_ms = 30000;
+  std::size_t shard_size = 256;
+  // Hidden `fav worker` mode (spawned by the supervisor).
+  std::size_t worker_id = 0;
+  // Test-only chaos injection, forwarded to workers (see WorkerHeartbeat).
+  std::uint64_t crash_after = 0;
+  std::uint64_t crash_on = mc::kNoCrashIndex;
 
   core::FrameworkConfig framework_config() const {
     core::FrameworkConfig cfg;
@@ -99,7 +153,8 @@ struct Options {
   std::fprintf(stderr,
                "usage: fav <info|characterize|evaluate|harden|export-verilog|"
                "trace> [options]\n"
-               "options: --benchmark write|read|exec|dma  --samples N  --seed S\n"
+               "options: --benchmark write|read|exec|dma  --samples N\n"
+               "         --seed S\n"
                "         --technique radiation|clock-glitch\n"
                "         --strategy random|cone|importance  --t-range N\n"
                "         --radius R  --coverage C  --out FILE\n"
@@ -107,6 +162,8 @@ struct Options {
                "         --threads N (0 = all hardware threads)\n"
                "         --cycle-budget N  --deadline-ms N (0 = unlimited)\n"
                "         --journal DIR  --resume (evaluate only)\n"
+               "         --supervise N  --heartbeat-ms N\n"
+               "         --shard-size N (evaluate only, needs --journal)\n"
                "         --metrics-out FILE  --trace-out FILE  --progress\n"
                "                              (evaluate only)\n");
   std::exit(2);
@@ -184,6 +241,18 @@ Options parse(int argc, char** argv) {
       o.deadline_ms = parse_u64(arg, value(), 0, UINT64_MAX);
     } else if (arg == "--journal") {
       o.journal = value();
+    } else if (arg == "--supervise") {
+      o.supervise = parse_u64(arg, value(), 1, 1024);
+    } else if (arg == "--heartbeat-ms") {
+      o.heartbeat_ms = parse_u64(arg, value(), 1, 86'400'000);
+    } else if (arg == "--shard-size") {
+      o.shard_size = parse_u64(arg, value(), 1, 1'000'000'000);
+    } else if (arg == "--worker-id") {
+      o.worker_id = parse_u64(arg, value(), 0, 1024);
+    } else if (arg == "--crash-after-samples") {
+      o.crash_after = parse_u64(arg, value(), 1, UINT64_MAX);
+    } else if (arg == "--crash-on-sample-index") {
+      o.crash_on = parse_u64(arg, value(), 0, UINT64_MAX);
     } else if (arg == "--resume") {
       o.resume = true;
     } else if (arg == "--metrics-out") {
@@ -206,13 +275,32 @@ Options parse(int argc, char** argv) {
     usage(("unknown technique '" + o.technique + "'").c_str());
   }
   if (o.resume && o.journal.empty()) usage("--resume requires --journal DIR");
-  if (!o.journal.empty() && o.command != "evaluate") {
+  if (!o.journal.empty() && o.command != "evaluate" &&
+      o.command != "worker") {
     usage("--journal only applies to the evaluate command");
   }
   if ((!o.metrics_out.empty() || !o.trace_out.empty() || o.progress) &&
       o.command != "evaluate") {
     usage("--metrics-out/--trace-out/--progress only apply to the evaluate "
           "command");
+  }
+  if (o.supervise > 0) {
+    if (o.command != "evaluate") {
+      usage("--supervise only applies to the evaluate command");
+    }
+    if (o.journal.empty()) usage("--supervise requires --journal DIR");
+    if (!o.trace_out.empty()) {
+      usage("--trace-out is not supported with --supervise (worker processes "
+            "do not ship trace events)");
+    }
+  }
+  if (o.command == "worker" && o.journal.empty()) {
+    usage("worker requires --journal DIR");
+  }
+  if ((o.crash_after != 0 || o.crash_on != mc::kNoCrashIndex) &&
+      o.command != "worker" && o.supervise == 0) {
+    usage("--crash-after-samples/--crash-on-sample-index only apply to "
+          "supervised campaigns and worker mode");
   }
   return o;
 }
@@ -275,22 +363,74 @@ int cmd_characterize(const Options& o) {
 /// a different configuration is rejected on --resume.
 std::uint64_t campaign_fingerprint(const Options& o,
                                    const std::string& actual_strategy) {
-  const std::string id = o.benchmark + "|" + o.technique + "|" +
-                         actual_strategy + "|" + std::to_string(o.seed) + "|" +
-                         std::to_string(o.samples) + "|" +
-                         std::to_string(o.t_range) + "|" +
-                         std::to_string(o.radius) + "|" +
-                         std::to_string(o.cycle_budget);
-  std::uint64_t h = 0xCBF29CE484222325ull;
-  for (const char c : id) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001B3ull;
-  }
-  return h;
+  core::CampaignKey key;
+  key.benchmark = o.benchmark;
+  key.technique = o.technique;
+  key.strategy = actual_strategy;
+  key.seed = o.seed;
+  key.samples = o.samples;
+  key.t_range = o.t_range;
+  key.radius = o.radius;
+  key.cycle_budget = o.cycle_budget;
+  return core::campaign_fingerprint(key);
 }
 
-mc::SsfResult run_eval(core::FaultAttackEvaluator& fw, const Options& o,
-                       std::string* actual_strategy = nullptr) {
+/// Full-precision double formatting for worker argv: std::to_string would
+/// truncate to 6 decimals and hand the workers a *different* sample stream.
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string self_exe_path() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return g_argv0;
+}
+
+/// argv of a `fav worker` process: everything that identifies the campaign,
+/// so the worker re-derives the bitwise-identical sample batch. Workers
+/// always keep full records (--record-capacity 0) — the journal needs every
+/// record of an assigned shard.
+std::vector<std::string> worker_command(const Options& o) {
+  std::vector<std::string> argv = {
+      self_exe_path(), "worker",
+      "--benchmark", o.benchmark,
+      "--technique", o.technique,
+      "--strategy", o.strategy,
+      "--samples", std::to_string(o.samples),
+      "--seed", std::to_string(o.seed),
+      "--t-range", std::to_string(o.t_range),
+      "--radius", format_double(o.radius),
+      "--cycle-budget", std::to_string(o.cycle_budget),
+      "--deadline-ms", std::to_string(o.deadline_ms),
+      "--threads", std::to_string(o.threads),
+      "--record-capacity", "0",
+      "--journal", o.journal};
+  if (o.crash_on != mc::kNoCrashIndex) {
+    // Deterministic chaos: rides every incarnation so the shard containing
+    // this index keeps killing workers and exercises the quarantine path.
+    argv.push_back("--crash-on-sample-index");
+    argv.push_back(std::to_string(o.crash_on));
+  }
+  return argv;
+}
+
+struct EvalOutcome {
+  mc::SsfResult res;
+  bool supervised = false;
+  std::size_t restarts = 0;
+  std::size_t quarantined_shards = 0;
+  std::size_t quarantined_samples = 0;
+};
+
+EvalOutcome run_eval(core::FaultAttackEvaluator& fw, const Options& o,
+                     std::string* actual_strategy = nullptr) {
   core::SamplerSelection sel;
   if (o.technique == "clock-glitch") {
     sel = fw.make_sampler_with_fallback(fw.glitch_attack_model(o.t_range),
@@ -306,8 +446,44 @@ mc::SsfResult run_eval(core::FaultAttackEvaluator& fw, const Options& o,
   }
   if (actual_strategy != nullptr) *actual_strategy = sel.actual;
   Rng rng(o.seed);
+  EvalOutcome out;
+  if (o.supervise > 0) {
+    mc::SupervisorConfig sc;
+    sc.workers = o.supervise;
+    sc.shard_size = o.shard_size;
+    sc.heartbeat_ms = o.heartbeat_ms;
+    sc.worker_command = worker_command(o);
+    if (o.crash_after != 0) {
+      // One-shot chaos: worker 0's first incarnation only, so restarts make
+      // progress and no shard can be killed twice by the injection alone.
+      sc.first_spawn_args = {"--crash-after-samples",
+                             std::to_string(o.crash_after)};
+    }
+    sc.dir = o.journal;
+    sc.resume = o.resume;
+    sc.fingerprint = campaign_fingerprint(o, sel.actual);
+    sc.context = o.benchmark + "/" + o.technique + "/" + sel.actual;
+    sc.metrics = fw.evaluator().config().metrics;
+    sc.progress = fw.evaluator().config().progress;
+    sc.stop = &g_stop;
+    mc::CampaignSupervisor supervisor(fw.evaluator(), sc);
+    Result<mc::SupervisedResult> result =
+        supervisor.run(*sel.sampler, rng, o.samples);
+    if (!result.is_ok()) {
+      std::fprintf(stderr, "fav: supervised run failed: %s\n",
+                   result.status().to_string().c_str());
+      std::exit(1);
+    }
+    out.res = std::move(result.value().result);
+    out.supervised = true;
+    out.restarts = result.value().restarts;
+    out.quarantined_shards = result.value().quarantined_shards;
+    out.quarantined_samples = result.value().quarantined_samples;
+    return out;
+  }
   if (o.journal.empty()) {
-    return fw.evaluator().run(*sel.sampler, rng, o.samples);
+    out.res = fw.evaluator().run(*sel.sampler, rng, o.samples);
+    return out;
   }
   mc::JournalOptions jopt;
   jopt.dir = o.journal;
@@ -321,7 +497,8 @@ mc::SsfResult run_eval(core::FaultAttackEvaluator& fw, const Options& o,
                  result.status().to_string().c_str());
     std::exit(1);
   }
-  return std::move(result).value();
+  out.res = std::move(result).value();
+  return out;
 }
 
 void print_failures(const mc::SsfResult& res) {
@@ -338,8 +515,9 @@ void print_failures(const mc::SsfResult& res) {
 /// (per-phase timers, counters, gauges). Machine-readable companion to the
 /// human-readable stdout block of cmd_evaluate.
 void write_run_report(std::ostream& out, const Options& o,
-                      const std::string& strategy, const mc::SsfResult& res,
+                      const std::string& strategy, const EvalOutcome& eval,
                       double elapsed_s, const MetricsSink& metrics) {
+  const mc::SsfResult& res = eval.res;
   auto num = [&out](double v) {
     if (std::isfinite(v)) {
       char buf[64];
@@ -356,12 +534,21 @@ void write_run_report(std::ostream& out, const Options& o,
       << "  \"technique\": \"" << o.technique << "\",\n"
       << "  \"strategy\": \"" << strategy << "\",\n"
       << "  \"samples\": " << o.samples << ",\n"
+      << "  \"evaluated\": " << res.evaluated << ",\n"
+      << "  \"interrupted\": " << (res.interrupted ? "true" : "false") << ",\n"
       << "  \"seed\": " << o.seed << ",\n"
       << "  \"threads\": " << o.threads << ",\n"
-      << "  \"elapsed_s\": ";
+      << "  \"supervise\": " << o.supervise << ",\n";
+  if (eval.supervised) {
+    out << "  \"supervisor\": {\"restarts\": " << eval.restarts
+        << ", \"quarantined_shards\": " << eval.quarantined_shards
+        << ", \"quarantined_samples\": " << eval.quarantined_samples
+        << "},\n";
+  }
+  out << "  \"elapsed_s\": ";
   num(elapsed_s);
   out << ",\n  \"samples_per_s\": ";
-  num(elapsed_s > 0.0 ? static_cast<double>(o.samples) / elapsed_s : 0.0);
+  num(elapsed_s > 0.0 ? static_cast<double>(res.evaluated) / elapsed_s : 0.0);
   out << ",\n  \"ssf\": ";
   num(res.ssf());
   out << ",\n  \"std_error\": ";
@@ -379,7 +566,14 @@ void write_run_report(std::ostream& out, const Options& o,
       << "  \"retried\": " << res.retried << ",\n"
       << "  \"failed_weight_fraction\": ";
   num(res.failed_weight_fraction());
-  out << ",\n  \"metrics\": ";
+  out << ",\n  \"failure_counts\": {";
+  bool first_fail = true;
+  for (const auto& [code, count] : res.failure_counts) {
+    if (!first_fail) out << ", ";
+    first_fail = false;
+    out << "\"" << error_code_name(code) << "\": " << count;
+  }
+  out << "},\n  \"metrics\": ";
   metrics.write_json(out);
   out << "\n}\n";
 }
@@ -396,10 +590,13 @@ int cmd_evaluate(const Options& o) {
   if (!o.metrics_out.empty()) cfg.evaluator.metrics = &metrics;
   if (!o.trace_out.empty()) cfg.evaluator.trace = &trace;
   if (progress.has_value()) cfg.evaluator.progress = &*progress;
+  cfg.evaluator.stop = &g_stop;
+  install_stop_handlers();
   core::FaultAttackEvaluator fw(pick_benchmark(o.benchmark), cfg);
   std::string actual_strategy = o.strategy;
   const std::uint64_t t0 = monotonic_ns();
-  const auto res = run_eval(fw, o, &actual_strategy);
+  const EvalOutcome eval = run_eval(fw, o, &actual_strategy);
+  const mc::SsfResult& res = eval.res;
   const double elapsed_s =
       static_cast<double>(monotonic_ns() - t0) * 1e-9;
   if (progress.has_value()) progress->finish();
@@ -407,6 +604,17 @@ int cmd_evaluate(const Options& o) {
   std::printf("technique  : %s\n", fw.technique().name());
   std::printf("strategy   : %s (n=%zu, seed=%llu)\n", actual_strategy.c_str(),
               o.samples, static_cast<unsigned long long>(o.seed));
+  if (res.interrupted) {
+    std::printf("interrupted: yes — %zu of %zu samples evaluated "
+                "(rerun with --resume to continue)\n",
+                res.evaluated, o.samples);
+  }
+  if (eval.supervised) {
+    std::printf("supervisor : %zu worker(s), %zu restart(s), %zu shard(s) / "
+                "%zu sample(s) quarantined\n",
+                o.supervise, eval.restarts, eval.quarantined_shards,
+                eval.quarantined_samples);
+  }
   std::printf("SSF        : %.6f\n", res.ssf());
   std::printf("std error  : %.6f\n", res.stats.standard_error());
   std::printf("variance   : %.3e\n", res.sample_variance());
@@ -420,7 +628,7 @@ int cmd_evaluate(const Options& o) {
     metrics.merge(fw.metrics());  // pre-characterization + sampler provenance
     std::ofstream f(o.metrics_out);
     if (!f) usage(("cannot open " + o.metrics_out).c_str());
-    write_run_report(f, o, actual_strategy, res, elapsed_s, metrics);
+    write_run_report(f, o, actual_strategy, eval, elapsed_s, metrics);
     std::printf("run report : %s\n", o.metrics_out.c_str());
   }
   if (!o.trace_out.empty()) {
@@ -435,13 +643,67 @@ int cmd_evaluate(const Options& o) {
   std::printf("critical   :");
   for (const int f : fields) std::printf(" %s", map.field(f).name.c_str());
   std::printf("\n");
+  return res.interrupted ? 3 : 0;
+}
+
+/// Hidden worker mode (spawned by --supervise): stdin/stdout are the
+/// supervisor's protocol pipes, so nothing in this path may print to stdout.
+/// Elaborates the identical framework from the forwarded campaign flags,
+/// re-draws the full batch, and serves shard assignments until SHUTDOWN/EOF.
+int cmd_worker(const Options& o) {
+  // The supervisor coordinates shutdown over the pipe; a terminal SIGINT
+  // (Ctrl-C hits the whole foreground process group) must not kill workers
+  // mid-shard. SIGTERM stays default: it is the PDEATHSIG delivered when the
+  // supervisor dies, and workers must not outlive it.
+  ::signal(SIGPIPE, SIG_IGN);
+  ::signal(SIGINT, SIG_IGN);
+  static mc::WorkerHeartbeat heartbeat(STDOUT_FILENO);
+  heartbeat.set_crash_after(o.crash_after);
+  heartbeat.set_crash_on(o.crash_on);
+  MetricsSink metrics;
+  core::FrameworkConfig cfg = o.framework_config();
+  cfg.evaluator.record_capacity = 0;  // the journal needs every record
+  cfg.evaluator.metrics = &metrics;
+  // The supervisor runs the one global reduction over the merged journals;
+  // workers shipping reduce-derived counters would double-count them.
+  cfg.evaluator.reduce_metrics = false;
+  cfg.evaluator.on_sample = [](const mc::SampleRecord& record,
+                               std::size_t slice_index) {
+    heartbeat.on_sample(record, slice_index);
+  };
+  core::FaultAttackEvaluator fw(pick_benchmark(o.benchmark), cfg);
+  core::SamplerSelection sel;
+  if (o.technique == "clock-glitch") {
+    sel = fw.make_sampler_with_fallback(fw.glitch_attack_model(o.t_range),
+                                        o.strategy);
+  } else {
+    sel = fw.make_sampler_with_fallback(
+        fw.subblock_attack_model(o.radius, o.t_range), o.strategy);
+  }
+  Rng rng(o.seed);
+  const std::vector<faultsim::FaultSample> samples =
+      fw.evaluator().draw_batch(*sel.sampler, rng, o.samples);
+  mc::WorkerLoopOptions wopt;
+  wopt.dir = o.journal;
+  wopt.worker_id = o.worker_id;
+  wopt.fingerprint = campaign_fingerprint(o, sel.actual);
+  wopt.context = o.benchmark + "/" + o.technique + "/" + sel.actual;
+  wopt.in_fd = STDIN_FILENO;
+  wopt.out_fd = STDOUT_FILENO;
+  const Status status =
+      mc::run_worker_loop(fw.evaluator(), samples, heartbeat, wopt, &metrics);
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "fav worker %zu: %s\n", o.worker_id,
+                 status.to_string().c_str());
+    return 1;
+  }
   return 0;
 }
 
 int cmd_harden(const Options& o) {
   core::FaultAttackEvaluator fw(pick_benchmark(o.benchmark),
                                 o.framework_config());
-  const auto res = run_eval(fw, o);
+  const auto res = run_eval(fw, o).res;
   const auto cells = core::select_critical_bits(res, o.coverage);
   Rng rng(o.seed + 1);
   const auto report = core::evaluate_hardening(fw.evaluator(), fw.soc(), res,
@@ -496,11 +758,13 @@ int cmd_trace(const Options& o) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 0 && argv[0] != nullptr) g_argv0 = argv[0];
   try {
     const Options o = parse(argc, argv);
     if (o.command == "info") return cmd_info(o);
     if (o.command == "characterize") return cmd_characterize(o);
     if (o.command == "evaluate") return cmd_evaluate(o);
+    if (o.command == "worker") return cmd_worker(o);
     if (o.command == "harden") return cmd_harden(o);
     if (o.command == "export-verilog") return cmd_export_verilog(o);
     if (o.command == "trace") return cmd_trace(o);
