@@ -66,6 +66,41 @@ void BM_TransientInjection(benchmark::State& state) {
 }
 BENCHMARK(BM_TransientInjection)->Arg(100)->Arg(2000);
 
+// Bit-parallel injection: one inject_batch sweep computes Arg lane flip sets
+// at once. items_per_second counts lanes, so comparing this row's rate with
+// BM_TransientInjection's inverse time isolates the word-parallel win on the
+// injection sweep alone (shared restore/settle amortization comes on top —
+// see BM_MonteCarloRunBatchLanes for the end-to-end split).
+void BM_InjectBatch(benchmark::State& state) {
+  rtl::Machine m = fx().golden.restore(80);
+  soc::GateLevelMachine gate(fx().soc, fx().bench.program);
+  gate.load_state(m.state());
+  gate.mutable_ram() = m.ram();
+  gate.settle_inputs();
+  netlist::WordSimulator words(fx().soc.netlist());
+  gate.broadcast_settled(words);
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  const auto& centers = fx().placement.placed_nodes();
+  std::vector<std::vector<netlist::NodeId>> struck(lanes);
+  std::vector<double> strike(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    struck[l] = fx().placement.nodes_within(
+        centers[(137 * l) % centers.size()], 1.5);
+    strike[l] = (0.1 + 0.8 * static_cast<double>(l) /
+                           static_cast<double>(lanes)) *
+                fx().injector.timing().clock_period();
+  }
+  faultsim::BatchInjectionScratch scratch;
+  std::vector<std::vector<netlist::NodeId>> flipped;
+  for (auto _ : state) {
+    fx().injector.inject_batch(words, struck, strike, scratch, flipped);
+    benchmark::DoNotOptimize(flipped);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(lanes));
+}
+BENCHMARK(BM_InjectBatch)->Arg(8)->Arg(64);
+
 void BM_FullMonteCarloSample(benchmark::State& state) {
   static core::FaultAttackEvaluator fw(soc::make_illegal_write_benchmark());
   static const faultsim::AttackModel attack = fw.subblock_attack_model(1.5, 50);
@@ -120,6 +155,38 @@ BENCHMARK(BM_MonteCarloRunThreads)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Scalar vs word-parallel campaign split (Arg = EvaluatorConfig::batch_lanes,
+// threads fixed at 1). Arg(1) is the pre-batching scalar engine, Arg(64) the
+// full PPSFP path sharing one restore + settle + bit-parallel sweep per
+// injection-cycle group; the items_per_second ratio between the two rows is
+// the tentpole speedup tracked in BENCH_pr6.json. Results are bitwise
+// identical across rows — only the schedule changes.
+void BM_MonteCarloRunBatchLanes(benchmark::State& state) {
+  static core::FaultAttackEvaluator fw(soc::make_illegal_write_benchmark());
+  static const faultsim::AttackModel attack = fw.subblock_attack_model(1.5, 50);
+  static auto sampler = fw.make_importance_sampler(attack);
+  mc::EvaluatorConfig cfg;
+  cfg.threads = 1;
+  cfg.batch_lanes = static_cast<std::size_t>(state.range(0));
+  cfg.keep_records = false;
+  const mc::SsfEvaluator engine(fw.soc(), fw.placement(), fw.injector(),
+                                fw.benchmark(), fw.golden(),
+                                &fw.characterization(), cfg);
+  constexpr std::size_t kSamples = 512;
+  for (auto _ : state) {
+    Rng rng(42);  // same pre-drawn batch every iteration and lane count
+    benchmark::DoNotOptimize(engine.run(*sampler, rng, kSamples));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kSamples));
+}
+BENCHMARK(BM_MonteCarloRunBatchLanes)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

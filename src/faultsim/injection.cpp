@@ -1,13 +1,27 @@
 #include "faultsim/injection.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 namespace fav::faultsim {
 
 using netlist::CellType;
 using netlist::Netlist;
 using netlist::NodeId;
+
+void InjectionScratch::prepare(std::size_t node_count) {
+  // Clear before resizing: a shrink would otherwise leave touched_ entries
+  // pointing past the new end when a scratch is reused across netlists.
+  for (NodeId id : touched_) pulses_[id].clear();
+  touched_.clear();
+  flips_.clear();
+  pulses_.resize(node_count);
+}
+
+void BatchInjectionScratch::prepare(std::size_t node_count) {
+  for (NodeId id : touched_) pulses_[id].clear();
+  touched_.clear();
+  pulses_.resize(node_count);
+}
 
 InjectionSimulator::InjectionSimulator(const Netlist& nl,
                                        const TimingModel& timing_model,
@@ -38,17 +52,46 @@ bool InjectionSimulator::sensitized(const netlist::LogicSimulator& sim,
   return true;
 }
 
+std::uint64_t InjectionSimulator::sensitized_mask(
+    const netlist::WordSimulator& sim, NodeId node, int pin) const {
+  const auto& n = nl_->node(node);
+  if (n.type == CellType::kMux) {
+    const std::uint64_t sel = sim.word(n.fanins[0]);
+    if (pin == 0) {
+      // A glitching select only matters where the two data inputs differ.
+      return sim.word(n.fanins[1]) ^ sim.word(n.fanins[2]);
+    }
+    return pin == 2 ? sel : ~sel;  // the unselected data pin is masked
+  }
+  std::uint64_t mask = ~std::uint64_t{0};
+  for (int j = 0; j < static_cast<int>(n.fanins.size()); ++j) {
+    if (j == pin) continue;
+    const std::uint64_t w = sim.word(n.fanins[j]);
+    // A controlling side input absorbs the glitch in that lane.
+    if (netlist::is_controlling_value(n.type, j, false)) mask &= w;
+    if (netlist::is_controlling_value(n.type, j, true)) mask &= ~w;
+  }
+  return mask;
+}
+
 void InjectionSimulator::add_pulse(std::vector<Pulse>& list, Pulse p) const {
-  // Merge with any overlapping pulse (union of intervals).
-  for (Pulse& q : list) {
-    const double q_end = q.start + q.width;
-    const double p_end = p.start + p.width;
-    if (p.start <= q_end && q.start <= p_end) {
-      const double lo = std::min(q.start, p.start);
-      const double hi = std::max(q_end, p_end);
-      q.start = lo;
-      q.width = hi - lo;
-      return;
+  // Union-merge transitively: absorbing one neighbour can widen p into the
+  // next, so rescan from the top until no entry overlaps.
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    for (auto it = list.begin(); it != list.end(); ++it) {
+      const double q_end = it->start + it->width;
+      const double p_end = p.start + p.width;
+      if (p.start <= q_end && it->start <= p_end) {
+        const double lo = std::min(it->start, p.start);
+        const double hi = std::max(q_end, p_end);
+        p.start = lo;
+        p.width = hi - lo;
+        list.erase(it);
+        merged = true;
+        break;
+      }
     }
   }
   if (static_cast<int>(list.size()) < params_.max_pulses_per_node) {
@@ -62,24 +105,83 @@ void InjectionSimulator::add_pulse(std::vector<Pulse>& list, Pulse p) const {
   if (narrowest->width < p.width) *narrowest = p;
 }
 
+void InjectionSimulator::add_pulse_lane(
+    std::vector<BatchInjectionScratch::LanePulse>& list, Pulse p,
+    int lane) const {
+  // Same transitive merge as add_pulse, restricted to this lane's entries.
+  // Same-lane entries keep the relative order a private per-lane list would
+  // have (append + erase preserve it), so merge order, the cap check, and
+  // which entry min_element picks all match the scalar path exactly.
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    for (auto it = list.begin(); it != list.end(); ++it) {
+      if (it->lane != lane) continue;
+      const double q_end = it->pulse.start + it->pulse.width;
+      const double p_end = p.start + p.width;
+      if (p.start <= q_end && it->pulse.start <= p_end) {
+        const double lo = std::min(it->pulse.start, p.start);
+        const double hi = std::max(q_end, p_end);
+        p.start = lo;
+        p.width = hi - lo;
+        list.erase(it);
+        merged = true;
+        break;
+      }
+    }
+  }
+  int lane_count = 0;
+  for (const auto& e : list) {
+    if (e.lane == lane) ++lane_count;
+  }
+  if (lane_count < params_.max_pulses_per_node) {
+    list.push_back({p, lane});
+    return;
+  }
+  auto narrowest = list.end();
+  for (auto it = list.begin(); it != list.end(); ++it) {
+    if (it->lane != lane) continue;
+    if (narrowest == list.end() || it->pulse.width < narrowest->pulse.width) {
+      narrowest = it;
+    }
+  }
+  if (narrowest->pulse.width < p.width) narrowest->pulse = p;
+}
+
 InjectionResult InjectionSimulator::inject(const netlist::LogicSimulator& sim,
                                            std::span<const NodeId> struck,
                                            double strike_time) const {
+  InjectionScratch scratch;
+  return inject(sim, struck, strike_time, scratch);
+}
+
+InjectionResult InjectionSimulator::inject(const netlist::LogicSimulator& sim,
+                                           std::span<const NodeId> struck,
+                                           double strike_time,
+                                           InjectionScratch& scratch) const {
   FAV_ENSURE_MSG(strike_time >= 0.0, "strike time must be non-negative");
   InjectionResult result;
 
-  std::vector<std::vector<Pulse>> pulses(nl_->node_count());
-  std::unordered_set<NodeId> flips;
+  scratch.prepare(nl_->node_count());
+  auto& pulses = scratch.pulses_;
+  auto& flips = scratch.flips_;
+  const auto add = [&](NodeId id, Pulse p) {
+    if (pulses[id].empty()) scratch.touched_.push_back(id);
+    add_pulse(pulses[id], p);
+  };
 
   for (NodeId g : struck) {
     const auto& n = nl_->node(g);
     if (n.type == CellType::kDff) {
       ++result.struck_dffs;
-      if (flips.insert(g).second) ++result.direct_flips;
+      if (std::find(flips.begin(), flips.end(), g) == flips.end()) {
+        flips.push_back(g);
+        ++result.direct_flips;
+      }
     } else if (netlist::is_combinational_gate(n.type)) {
       ++result.struck_gates;
-      add_pulse(pulses[g], {std::max(strike_time, timing_.arrival(g)),
-                            params_.initial_width});
+      add(g, {std::max(strike_time, timing_.arrival(g)),
+              params_.initial_width});
     }
   }
 
@@ -95,7 +197,7 @@ InjectionResult InjectionSimulator::inject(const netlist::LogicSimulator& sim,
       for (const Pulse& p : in_pulses) {
         const double width = p.width - tm.attenuation;
         if (width < tm.min_pulse_width) continue;  // electrically masked
-        add_pulse(pulses[id], {p.start + tm.delay(n.type), width});
+        add(id, {p.start + tm.delay(n.type), width});
       }
     }
   }
@@ -107,7 +209,10 @@ InjectionResult InjectionSimulator::inject(const netlist::LogicSimulator& sim,
     const NodeId d = nl_->node(dff).fanins[0];
     for (const Pulse& p : pulses[d]) {
       if (p.start <= window_hi && window_lo <= p.start + p.width) {
-        if (flips.insert(dff).second) ++result.latched_flips;
+        if (std::find(flips.begin(), flips.end(), dff) == flips.end()) {
+          flips.push_back(dff);
+          ++result.latched_flips;
+        }
         break;
       }
     }
@@ -116,6 +221,86 @@ InjectionResult InjectionSimulator::inject(const netlist::LogicSimulator& sim,
   result.flipped_dffs.assign(flips.begin(), flips.end());
   std::sort(result.flipped_dffs.begin(), result.flipped_dffs.end());
   return result;
+}
+
+void InjectionSimulator::inject_batch(
+    const netlist::WordSimulator& sim,
+    std::span<const std::vector<NodeId>> struck,
+    std::span<const double> strike_times, BatchInjectionScratch& scratch,
+    std::vector<std::vector<NodeId>>& flipped) const {
+  const int lanes = static_cast<int>(struck.size());
+  FAV_ENSURE_MSG(lanes >= 1 && lanes <= 64, "lane count must be in [1, 64]");
+  FAV_ENSURE_MSG(strike_times.size() == struck.size(),
+                 "one strike time per lane required");
+
+  scratch.prepare(nl_->node_count());
+  auto& pulses = scratch.pulses_;
+  const auto add = [&](NodeId id, Pulse p, int lane) {
+    if (pulses[id].empty()) scratch.touched_.push_back(id);
+    add_pulse_lane(pulses[id], p, lane);
+  };
+
+  flipped.resize(struck.size());
+  for (auto& f : flipped) f.clear();
+
+  for (int lane = 0; lane < lanes; ++lane) {
+    FAV_ENSURE_MSG(strike_times[lane] >= 0.0,
+                   "strike time must be non-negative");
+    for (NodeId g : struck[lane]) {
+      const auto& n = nl_->node(g);
+      if (n.type == CellType::kDff) {
+        flipped[lane].push_back(g);  // duplicates collapse in the final sort
+      } else if (netlist::is_combinational_gate(n.type)) {
+        add(g, {std::max(strike_times[lane], timing_.arrival(g)),
+                params_.initial_width},
+            lane);
+      }
+    }
+  }
+
+  // One topological sweep serves every lane: sensitization becomes a word
+  // mask, and each lane-tagged pulse propagates only where its lane's side
+  // inputs let it through.
+  const TimingModel& tm = timing_.model();
+  for (NodeId id : nl_->topo_order()) {
+    const auto& n = nl_->node(id);
+    for (int pin = 0; pin < static_cast<int>(n.fanins.size()); ++pin) {
+      const auto& in_pulses = pulses[n.fanins[pin]];
+      if (in_pulses.empty()) continue;
+      const std::uint64_t sens = sensitized_mask(sim, id, pin);
+      if (sens == 0) continue;
+      for (const auto& e : in_pulses) {
+        if (((sens >> e.lane) & 1u) == 0) continue;  // logically masked
+        const double width = e.pulse.width - tm.attenuation;
+        if (width < tm.min_pulse_width) continue;  // electrically masked
+        add(id, {e.pulse.start + tm.delay(n.type), width}, e.lane);
+      }
+    }
+  }
+
+  // Latching-window check at every DFF D input; the per-DFF mask mirrors the
+  // scalar "first latching pulse wins, insert once" set semantics.
+  const double window_lo = timing_.clock_period() - tm.setup_time;
+  const double window_hi = timing_.clock_period() + tm.hold_time;
+  for (NodeId dff : nl_->dffs()) {
+    const NodeId d = nl_->node(dff).fanins[0];
+    std::uint64_t latched = 0;
+    for (const auto& e : pulses[d]) {
+      if (e.pulse.start <= window_hi &&
+          window_lo <= e.pulse.start + e.pulse.width) {
+        latched |= std::uint64_t{1} << e.lane;
+      }
+    }
+    if (latched == 0) continue;
+    for (int lane = 0; lane < lanes; ++lane) {
+      if ((latched >> lane) & 1u) flipped[lane].push_back(dff);
+    }
+  }
+
+  for (auto& f : flipped) {
+    std::sort(f.begin(), f.end());
+    f.erase(std::unique(f.begin(), f.end()), f.end());
+  }
 }
 
 }  // namespace fav::faultsim

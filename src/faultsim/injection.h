@@ -16,6 +16,7 @@
 // register-map bit) happens in the Monte Carlo layer.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -31,6 +32,49 @@ struct TransientParams {
   /// and the widest survivors are kept (protects against pathological fanout
   /// reconvergence blow-up).
   int max_pulses_per_node = 4;
+};
+
+/// A voltage transient on a net: [start, start + width) within the cycle.
+struct Pulse {
+  double start = 0;
+  double width = 0;
+};
+
+/// Reusable per-thread buffers for the scalar inject() path. The per-node
+/// pulse lists keep their capacity across calls; only the lists touched by
+/// the previous call are cleared, so a mostly-masked campaign allocates
+/// nothing in steady state. Not thread-safe: one scratch per worker.
+class InjectionScratch {
+ public:
+  InjectionScratch() = default;
+
+ private:
+  friend class InjectionSimulator;
+  void prepare(std::size_t node_count);
+
+  std::vector<std::vector<Pulse>> pulses_;
+  std::vector<netlist::NodeId> touched_;  // nodes with non-empty pulse lists
+  std::vector<netlist::NodeId> flips_;
+};
+
+/// Reusable per-thread buffers for inject_batch(). Pulse lists are shared
+/// across lanes: each entry is tagged with its lane, and same-lane entries
+/// keep the relative order a dedicated per-lane list would have, which is
+/// what makes the batch merge/cap policy bit-identical to the scalar one.
+class BatchInjectionScratch {
+ public:
+  BatchInjectionScratch() = default;
+
+ private:
+  friend class InjectionSimulator;
+  struct LanePulse {
+    Pulse pulse;
+    int lane = 0;
+  };
+  void prepare(std::size_t node_count);
+
+  std::vector<std::vector<LanePulse>> pulses_;
+  std::vector<netlist::NodeId> touched_;  // nodes with non-empty pulse lists
 };
 
 struct InjectionResult {
@@ -62,21 +106,49 @@ class InjectionSimulator {
                          std::span<const netlist::NodeId> struck,
                          double strike_time = 0.0) const;
 
+  /// Allocation-free variant: reuses `scratch`'s per-node pulse lists and
+  /// flip buffer. Produces exactly the same result as the overload above.
+  InjectionResult inject(const netlist::LogicSimulator& sim,
+                         std::span<const netlist::NodeId> struck,
+                         double strike_time, InjectionScratch& scratch) const;
+
+  /// Bit-parallel injection: one topological sweep computes the flip sets of
+  /// up to 64 independent samples. Lane `l` uses struck set `struck[l]` and
+  /// strike time `strike_times[l]` against `sim`'s lane-`l` values (all
+  /// lanes typically broadcast from one settled scalar state). On return
+  /// `flipped[l]` holds lane l's flipped DFFs (sorted, unique) — bitwise
+  /// identical to what the scalar inject() produces for that lane's inputs.
+  void inject_batch(const netlist::WordSimulator& sim,
+                    std::span<const std::vector<netlist::NodeId>> struck,
+                    std::span<const double> strike_times,
+                    BatchInjectionScratch& scratch,
+                    std::vector<std::vector<netlist::NodeId>>& flipped) const;
+
   const TimingAnalysis& timing() const { return timing_; }
   const TransientParams& params() const { return params_; }
 
- private:
-  struct Pulse {
-    double start = 0;
-    double width = 0;
-  };
+  /// Canonical pulse-list insertion shared by the scalar and batch paths:
+  /// transitively merges `p` with every overlapping entry (a union can grow
+  /// into a neighbour, so merging rescans until stable), then appends the
+  /// result, evicting the narrowest entry when the list is at
+  /// max_pulses_per_node and the new pulse is wider. Exposed for tests.
+  void add_pulse(std::vector<Pulse>& list, Pulse p) const;
 
+ private:
   /// True if a wrong value on `pin` of `node` reaches the output, given the
   /// golden values of the other pins.
   bool sensitized(const netlist::LogicSimulator& sim, netlist::NodeId node,
                   int pin) const;
 
-  void add_pulse(std::vector<Pulse>& list, Pulse p) const;
+  /// Word-wise sensitization: bit l of the result says whether lane l's
+  /// side-input values let a glitch on `pin` of `node` through.
+  std::uint64_t sensitized_mask(const netlist::WordSimulator& sim,
+                                netlist::NodeId node, int pin) const;
+
+  /// Per-lane add_pulse over the shared lane-tagged list; same merge, cap,
+  /// and eviction policy as add_pulse restricted to entries of `lane`.
+  void add_pulse_lane(std::vector<BatchInjectionScratch::LanePulse>& list,
+                      Pulse p, int lane) const;
 
   const netlist::Netlist* nl_;
   TimingAnalysis timing_;

@@ -2,6 +2,19 @@
 
 namespace fav::faultsim {
 
+void AttackTechnique::flip_set_batch(
+    const netlist::WordSimulator& sim, TechniqueScratch& scratch,
+    std::span<const FaultSample> samples,
+    std::vector<std::vector<netlist::NodeId>>& flipped) const {
+  (void)sim;
+  (void)scratch;
+  (void)samples;
+  (void)flipped;
+  FAV_ENSURE_MSG(false, "technique '" << name()
+                                      << "' does not implement batch "
+                                      << "flip-set evaluation");
+}
+
 void AttackTechnique::check_common(const FaultSample& sample) const {
   FAV_ENSURE_MSG(sample.technique == kind(),
                  "sample carries '" << technique_kind_name(sample.technique)
@@ -33,8 +46,28 @@ void RadiationTechnique::flip_set(const netlist::LogicSimulator& sim,
   placement_->nodes_within(sample.center, sample.radius, scratch.struck);
   const double strike_time =
       sample.strike_frac * injector_->timing().clock_period();
-  InjectionResult inj = injector_->inject(sim, scratch.struck, strike_time);
+  InjectionResult inj =
+      injector_->inject(sim, scratch.struck, strike_time, scratch.injection);
   flipped = std::move(inj.flipped_dffs);
+}
+
+void RadiationTechnique::flip_set_batch(
+    const netlist::WordSimulator& sim, TechniqueScratch& scratch,
+    std::span<const FaultSample> samples,
+    std::vector<std::vector<netlist::NodeId>>& flipped) const {
+  const std::size_t lanes = samples.size();
+  if (scratch.struck_lanes.size() < lanes) scratch.struck_lanes.resize(lanes);
+  scratch.strike_times.resize(lanes);
+  const double period = injector_->timing().clock_period();
+  for (std::size_t l = 0; l < lanes; ++l) {
+    placement_->nodes_within(samples[l].center, samples[l].radius,
+                             scratch.struck_lanes[l]);
+    scratch.strike_times[l] = samples[l].strike_frac * period;
+  }
+  injector_->inject_batch(
+      sim, std::span<const std::vector<netlist::NodeId>>(
+               scratch.struck_lanes.data(), lanes),
+      scratch.strike_times, scratch.batch, flipped);
 }
 
 ClockGlitchTechnique::ClockGlitchTechnique(const ClockGlitchSimulator& glitch)
@@ -56,6 +89,38 @@ void ClockGlitchTechnique::flip_set(
   (void)scratch;  // no spatial query; the flip set is (state, depth)-only
   const double period = glitch_->timing().clock_period() * sample.depth;
   flipped = glitch_->flipped_dffs(sim, period);
+}
+
+void ClockGlitchTechnique::flip_set_batch(
+    const netlist::WordSimulator& sim, TechniqueScratch& scratch,
+    std::span<const FaultSample> samples,
+    std::vector<std::vector<netlist::NodeId>>& flipped) const {
+  (void)scratch;
+  const std::size_t lanes = samples.size();
+  FAV_ENSURE_MSG(lanes >= 1 && lanes <= 64, "lane count must be in [1, 64]");
+  flipped.resize(lanes);
+  for (auto& f : flipped) f.clear();
+  const auto& timing = glitch_->timing();
+  const double nominal = timing.clock_period();
+  const double setup = timing.model().setup_time;
+  for (std::size_t l = 0; l < lanes; ++l) {
+    FAV_ENSURE_MSG(nominal * samples[l].depth > 0.0,
+                   "glitch period must be positive");
+  }
+  const auto& nl = sim.netlist();
+  for (const netlist::NodeId dff : nl.dffs()) {
+    const netlist::NodeId d = nl.node(dff).fanins[0];
+    // A register flips only where its new D differs from the held Q; skip
+    // the per-lane timing test entirely when no lane sees a difference.
+    const std::uint64_t diff = sim.word(d) ^ sim.word(dff);
+    if (diff == 0) continue;
+    const double needed = timing.arrival(d) + setup;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      if (((diff >> l) & 1u) == 0) continue;
+      if (needed > nominal * samples[l].depth) flipped[l].push_back(dff);
+    }
+  }
+  // dffs() is ascending, so each lane's list is already sorted and unique.
 }
 
 }  // namespace fav::faultsim

@@ -21,6 +21,7 @@
 // register-map bit) stays in the Monte Carlo layer.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,12 @@ namespace fav::faultsim {
 /// results and the like). Not thread-safe: one scratch per worker thread.
 struct TechniqueScratch {
   std::vector<netlist::NodeId> struck;
+  /// Pulse-list reuse for the scalar inject() path.
+  InjectionScratch injection;
+  /// Buffers for the bit-parallel flip_set_batch() path.
+  BatchInjectionScratch batch;
+  std::vector<std::vector<netlist::NodeId>> struck_lanes;
+  std::vector<double> strike_times;
 };
 
 class AttackTechnique {
@@ -62,6 +69,21 @@ class AttackTechnique {
                         TechniqueScratch& scratch, const FaultSample& sample,
                         std::vector<netlist::NodeId>& flipped) const = 0;
 
+  /// True if flip_set_batch() is implemented; the evaluator only groups
+  /// samples into word-parallel batches for techniques that opt in.
+  virtual bool supports_batch() const { return false; }
+
+  /// Bit-parallel flip sets for up to 64 samples that share one injection
+  /// cycle: `sim` holds the settled cycle values broadcast to every lane,
+  /// and lane l evaluates `samples[l]`. On return `flipped[l]` equals what
+  /// flip_set() would produce for samples[l] — bit for bit. The default
+  /// implementation throws; only call when supports_batch() is true.
+  virtual void flip_set_batch(const netlist::WordSimulator& sim,
+                              TechniqueScratch& scratch,
+                              std::span<const FaultSample> samples,
+                              std::vector<std::vector<netlist::NodeId>>&
+                                  flipped) const;
+
  protected:
   /// Technique-independent sample checks shared by every implementation.
   void check_common(const FaultSample& sample) const;
@@ -83,6 +105,12 @@ class RadiationTechnique final : public AttackTechnique {
   void flip_set(const netlist::LogicSimulator& sim, TechniqueScratch& scratch,
                 const FaultSample& sample,
                 std::vector<netlist::NodeId>& flipped) const override;
+  bool supports_batch() const override { return true; }
+  void flip_set_batch(const netlist::WordSimulator& sim,
+                      TechniqueScratch& scratch,
+                      std::span<const FaultSample> samples,
+                      std::vector<std::vector<netlist::NodeId>>& flipped)
+      const override;
 
   const InjectionSimulator& injector() const { return *injector_; }
 
@@ -107,6 +135,12 @@ class ClockGlitchTechnique final : public AttackTechnique {
   void flip_set(const netlist::LogicSimulator& sim, TechniqueScratch& scratch,
                 const FaultSample& sample,
                 std::vector<netlist::NodeId>& flipped) const override;
+  bool supports_batch() const override { return true; }
+  void flip_set_batch(const netlist::WordSimulator& sim,
+                      TechniqueScratch& scratch,
+                      std::span<const FaultSample> samples,
+                      std::vector<std::vector<netlist::NodeId>>& flipped)
+      const override;
 
   const ClockGlitchSimulator& simulator() const { return *glitch_; }
 

@@ -61,7 +61,9 @@ void EvalBudget::charge_cycles(std::uint64_t cycles) {
 
 EvalScratch::EvalScratch(const SsfEvaluator& evaluator)
     : machine_(evaluator.golden().program()),
-      gate_(evaluator.soc(), evaluator.golden().program()) {}
+      gate_(evaluator.soc(), evaluator.golden().program()),
+      words_(evaluator.soc().netlist()),
+      resume_(evaluator.golden().program()) {}
 
 SsfEvaluator::SsfEvaluator(
     const soc::SocNetlist& soc, const faultsim::AttackTechnique& technique,
@@ -468,6 +470,73 @@ void SsfEvaluator::evaluate_range(
     }
     if (config_.on_sample) config_.on_sample(records[i], i);
   };
+
+  // Word-parallel batching: group samples that share an injection cycle te
+  // so one restore + settle + bit-parallel sweep serves the whole group.
+  // Eligibility mirrors the scalar flow exactly — a sample whose parameters
+  // fail check_sample, that lands before the program starts, or that needs
+  // multi-cycle impact keeps its scalar evaluation (a singleton unit).
+  // Grouping is computed sequentially from the sample order, so the unit
+  // list — and with it every record — is identical at every thread count.
+  const std::size_t lane_cap = std::min<std::size_t>(config_.batch_lanes, 64);
+  if (lane_cap >= 2 && technique_->supports_batch() && hi - lo >= 2) {
+    std::vector<std::vector<std::size_t>> units;
+    std::unordered_map<std::uint64_t, std::size_t> open;  // te -> open unit
+    for (std::size_t i = lo; i < hi; ++i) {
+      const faultsim::FaultSample& s = samples[i];
+      bool eligible = s.impact_cycles == 1;
+      if (eligible) {
+        try {
+          technique_->check_sample(s);
+        } catch (const std::exception&) {
+          eligible = false;  // the scalar path records the failure
+        }
+      }
+      if (eligible && static_cast<std::uint64_t>(s.t) > target_cycle_) {
+        eligible = false;  // early-masked: nothing to strike, stays scalar
+      }
+      if (!eligible) {
+        units.push_back({i});
+        continue;
+      }
+      const std::uint64_t te =
+          target_cycle_ - static_cast<std::uint64_t>(s.t);
+      const auto it = open.find(te);
+      if (it != open.end() && units[it->second].size() < lane_cap) {
+        units[it->second].push_back(i);
+      } else {
+        open[te] = units.size();  // full units are sealed and replaced
+        units.push_back({i});
+      }
+    }
+    auto eval_unit = [&](std::size_t worker, std::size_t u) {
+      const std::vector<std::size_t>& unit = units[u];
+      if (unit.size() == 1) {
+        eval_one(worker, unit[0]);
+        return;
+      }
+      MetricsSink* sink =
+          observers != nullptr && !observers->sinks.empty()
+              ? &observers->sinks[worker]
+              : nullptr;
+      TraceBuffer* trace_buf =
+          observers != nullptr && !observers->traces.empty()
+              ? &observers->traces[worker]
+              : nullptr;
+      evaluate_group(samples, records, unit, scratch[worker], sink, trace_buf,
+                     static_cast<std::uint32_t>(worker), eval_one);
+    };
+    if (scratch.size() <= 1) {
+      for (std::size_t u = 0; u < units.size(); ++u) eval_unit(0, u);
+      return;
+    }
+    parallel_for(units.size(), scratch.size(), /*grain=*/1,
+                 [&](std::size_t worker, std::size_t b, std::size_t e) {
+                   for (std::size_t u = b; u < e; ++u) eval_unit(worker, u);
+                 });
+    return;
+  }
+
   if (scratch.size() <= 1) {
     for (std::size_t i = lo; i < hi; ++i) eval_one(0, i);
     return;
@@ -478,6 +547,149 @@ void SsfEvaluator::evaluate_range(
                    eval_one(worker, i);
                  }
                });
+}
+
+void SsfEvaluator::evaluate_group(
+    const std::vector<faultsim::FaultSample>& samples,
+    std::vector<SampleRecord>& records, const std::vector<std::size_t>& unit,
+    std::unique_ptr<EvalScratch>& scratch, MetricsSink* sink,
+    TraceBuffer* trace_buf, std::uint32_t worker,
+    const std::function<void(std::size_t, std::size_t)>& scalar_eval) const {
+  const bool timing = sink != nullptr || trace_buf != nullptr;
+  const std::uint64_t t0 = timing ? monotonic_ns() : 0;
+  const std::uint64_t te =
+      target_cycle_ - static_cast<std::uint64_t>(samples[unit[0]].t);
+
+  // Shared phase: one restore, one gate-level settle, one bit-parallel
+  // flip-set sweep for the whole group. No budget is charged here — the
+  // per-lane finalization below replays the scalar charge sequence exactly,
+  // so budget overruns fail lane-by-lane with scalar-identical records.
+  EvalScratch& sc = *scratch;
+  std::uint64_t warmup = 0;
+  bool halted_at_te = false;
+  bool shared_ok = true;
+  try {
+    {
+      ScopeTimer timer(sink, "eval.restore_ns");
+      golden_->restore_into(sc.machine_, te, &warmup);
+    }
+    if (sink != nullptr) {
+      sink->add_counter("rtl.warmup_cycles", warmup);
+      sink->add_counter("rtl.restore_bytes", golden_->restore_byte_size());
+    }
+    halted_at_te = sc.machine_.halted();
+    if (!halted_at_te) {
+      ScopeTimer timer(sink, "eval.gate_inject_ns");
+      const std::uint64_t settles_before = sc.gate_.total_settles();
+      sc.gate_.load_state(sc.machine_.state());
+      sc.gate_.mutable_ram() = sc.machine_.ram();
+      sc.gate_.settle_inputs();
+      sc.gate_.broadcast_settled(sc.words_);
+      sc.lane_samples_.clear();
+      for (const std::size_t i : unit) sc.lane_samples_.push_back(samples[i]);
+      technique_->flip_set_batch(sc.words_, sc.technique_, sc.lane_samples_,
+                                 sc.lane_flips_);
+      sc.machine_.step();
+      if (sink != nullptr) {
+        sink->add_counter("gate.injection_cycles", 1);
+        sink->add_counter("gate.settle_passes",
+                          sc.gate_.total_settles() - settles_before);
+      }
+    } else {
+      // The loop body never runs in the scalar flow either: every lane is
+      // masked with an empty flip set.
+      sc.lane_flips_.assign(unit.size(), std::vector<netlist::NodeId>{});
+    }
+  } catch (const std::exception&) {
+    shared_ok = false;
+  }
+  if (!shared_ok) {
+    // The shared work failed deterministically (restore/settle/flip-set);
+    // the scalar replay reproduces the identical failure — and its retry /
+    // kFailed record — per sample.
+    for (const std::size_t i : unit) scalar_eval(worker, i);
+    return;
+  }
+  if (sink != nullptr) {
+    sink->add_counter("eval.batch_groups", 1);
+    sink->add_counter("eval.batch_lanes", unit.size());
+    sink->add_counter("eval.batch_restore_saved", unit.size() - 1);
+  }
+
+  const RegisterMap& map = Machine::reg_map();
+  for (std::size_t l = 0; l < unit.size(); ++l) {
+    const std::size_t i = unit[l];
+    const faultsim::FaultSample& s = samples[i];
+    SampleRecord rec;
+    bool done = false;
+    try {
+      rec.sample = s;
+      rec.te = te;
+      // Replay the scalar budget charges: warm-up after restore, then one
+      // cycle for the injection cycle (skipped when the machine was already
+      // halted, exactly as the scalar loop guard skips it).
+      EvalBudget budget(config_.cycle_budget, config_.sample_deadline_ms);
+      budget.charge_cycles(warmup);
+      if (!halted_at_te) budget.charge_cycles(1);
+      std::set<int> flipped;
+      for (const netlist::NodeId dff : sc.lane_flips_[l]) {
+        const int bit = soc_->flat_bit_for_dff(dff);
+        FAV_CHECK(bit >= 0);
+        flipped.insert(bit);
+      }
+      rec.flipped_bits.assign(flipped.begin(), flipped.end());
+      if (rec.flipped_bits.empty()) {
+        rec.path = OutcomePath::kMasked;
+        rec.success = false;
+      } else {
+        // Only diverging lanes pay for an RTL resume: copy the shared
+        // post-injection state, overlay this lane's errors, and decide.
+        sc.resume_ = sc.machine_;
+        for (const int bit : rec.flipped_bits) {
+          map.flip_bit(sc.resume_.mutable_state(), bit);
+        }
+        rec.success = decide_outcome(sc.resume_, rec.flipped_bits, te + 1,
+                                     &rec.path, budget, sink);
+      }
+      rec.contribution = rec.success ? s.weight : 0.0;
+      done = true;
+    } catch (const StatusError& e) {
+      if (e.code() == ErrorCode::kCycleBudgetExceeded) {
+        // Deterministic overrun: the scalar path records it without retry.
+        rec = SampleRecord{};
+        rec.sample = s;
+        rec.path = OutcomePath::kFailed;
+        rec.fail_code = e.code();
+        rec.fail_reason = e.what();
+        done = true;
+      }
+    } catch (const std::exception&) {
+      // Fall through to the scalar replay below.
+    }
+    if (!done) {
+      // Retryable failure (deadline, check failure, ...): the scalar replay
+      // owns the full isolation protocol, including the fresh-scratch retry.
+      scalar_eval(worker, i);
+      continue;
+    }
+    records[i] = std::move(rec);
+    if (timing) {
+      const std::uint64_t dur = monotonic_ns() - t0;
+      if (sink != nullptr) {
+        sink->add_timer_ns(path_timer_name(records[i].path), dur);
+      }
+      if (trace_buf != nullptr) {
+        trace_buf->record(outcome_path_name(records[i].path), "sample", t0,
+                          dur, worker, i);
+      }
+    }
+    if (config_.progress != nullptr) {
+      const bool failed = records[i].path == OutcomePath::kFailed;
+      config_.progress->record(failed ? 0.0 : records[i].contribution,
+                               records[i].sample.weight, failed);
+    }
+    if (config_.on_sample) config_.on_sample(records[i], i);
+  }
 }
 
 SsfResult SsfEvaluator::run_batch(

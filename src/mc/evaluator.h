@@ -158,6 +158,15 @@ struct EvaluatorConfig {
   /// Retry a failed evaluation once on fresh scratch before recording
   /// kFailed (cycle-budget overruns are deterministic and never retried).
   bool retry_failed = true;
+  /// Word-parallel batching width: samples sharing one injection cycle te
+  /// (and impact_cycles == 1) are evaluated up to `batch_lanes` at a time,
+  /// sharing a single checkpoint restore + gate-level settle and computing
+  /// their flip sets in one bit-parallel topological sweep (lane = sample =
+  /// one bit of a 64-bit word). 0 or 1 disables batching; values above 64
+  /// are clamped. Batching never changes results: every record is bitwise
+  /// identical to the scalar path at every lane count and thread count —
+  /// grouping only changes how the work is scheduled.
+  std::size_t batch_lanes = 64;
 
   /// --- observability (util/metrics.h; all optional, null = disabled) ----
   /// Aggregated campaign metrics. Per-worker sinks are created inside
@@ -232,6 +241,14 @@ class EvalScratch {
   soc::GateLevelMachine gate_;
   faultsim::TechniqueScratch technique_;
   std::vector<netlist::NodeId> flipped_dffs_;
+  /// Word-parallel batch state: the 64-lane simulator the settled injection
+  /// cycle is broadcast into, the per-lane sample/flip buffers, and the
+  /// machine a diverging lane's RTL resume runs on (copied from the shared
+  /// post-injection state so machine_ stays valid for the other lanes).
+  netlist::WordSimulator words_;
+  rtl::Machine resume_;
+  std::vector<faultsim::FaultSample> lane_samples_;
+  std::vector<std::vector<netlist::NodeId>> lane_flips_;
 };
 
 /// Options for crash-safe journaled campaigns (see mc/journal.h for the
@@ -383,6 +400,21 @@ class SsfEvaluator {
                       std::size_t hi,
                       std::vector<std::unique_ptr<EvalScratch>>& scratch,
                       WorkerObservers* observers) const;
+  /// Evaluates one te-group of batch-eligible samples (unit = their indices,
+  /// all sharing the same injection cycle) through the word-parallel path:
+  /// one restore + settle, one bit-parallel flip-set sweep, then per-lane
+  /// finalization with scalar-identical budget accounting. Lanes the batch
+  /// path cannot finish identically (non-budget exceptions) are replayed
+  /// through `scalar_eval`, the same per-sample evaluation the scalar
+  /// engine runs, so every record stays bitwise-identical to the scalar
+  /// baseline.
+  void evaluate_group(
+      const std::vector<faultsim::FaultSample>& samples,
+      std::vector<SampleRecord>& records,
+      const std::vector<std::size_t>& unit,
+      std::unique_ptr<EvalScratch>& scratch, MetricsSink* sink,
+      TraceBuffer* trace_buf, std::uint32_t worker,
+      const std::function<void(std::size_t, std::size_t)>& scalar_eval) const;
   WorkerObservers make_observers(std::size_t workers) const;
   /// Folds the per-worker sinks/traces into config_.metrics/config_.trace
   /// in worker-index order.

@@ -103,6 +103,31 @@ inline bool eval_cell(CellType t, std::span<const bool> ins) {
   return false;
 }
 
+/// Evaluates a combinational cell on 64 independent input lanes at once:
+/// bit i of every operand word is lane i's value, and bit i of the result is
+/// lane i's output (the PPSFP word trick — one gate evaluation per word
+/// instead of per lane). `ins` must have exactly cell_arity(t) entries.
+inline std::uint64_t eval_cell_words(CellType t,
+                                     std::span<const std::uint64_t> ins) {
+  FAV_ENSURE_MSG(static_cast<int>(ins.size()) == cell_arity(t),
+                "arity mismatch for " << cell_name(t));
+  switch (t) {
+    case CellType::kBuf: return ins[0];
+    case CellType::kNot: return ~ins[0];
+    case CellType::kAnd: return ins[0] & ins[1];
+    case CellType::kOr: return ins[0] | ins[1];
+    case CellType::kNand: return ~(ins[0] & ins[1]);
+    case CellType::kNor: return ~(ins[0] | ins[1]);
+    case CellType::kXor: return ins[0] ^ ins[1];
+    case CellType::kXnor: return ~(ins[0] ^ ins[1]);
+    case CellType::kMux: return (ins[0] & ins[2]) | (~ins[0] & ins[1]);
+    default:
+      FAV_ENSURE_MSG(false,
+                     "eval_cell_words on non-combinational " << cell_name(t));
+  }
+  return 0;
+}
+
 /// True if input position `pin` holding value `v` forces the output of the
 /// cell regardless of the other inputs (used for logical-masking analysis in
 /// the gate-level transient propagation).

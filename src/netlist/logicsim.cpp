@@ -77,4 +77,92 @@ void LogicSimulator::load_register_state(const std::vector<bool>& state) {
   for (NodeId dff : nl_->dffs()) values_[dff] = state[k++] ? 1 : 0;
 }
 
+WordSimulator::WordSimulator(const Netlist& nl)
+    : nl_(&nl), values_(nl.node_count(), 0) {
+  for (NodeId id = 0; id < nl.node_count(); ++id) {
+    if (nl.node(id).type == CellType::kConst1) values_[id] = ~std::uint64_t{0};
+  }
+  nl.topo_order();  // force cycle check up-front
+}
+
+std::uint64_t WordSimulator::word(NodeId id) const {
+  FAV_ENSURE(id < values_.size());
+  return values_[id];
+}
+
+bool WordSimulator::value(NodeId id, int lane) const {
+  FAV_ENSURE(id < values_.size());
+  FAV_ENSURE(lane >= 0 && lane < 64);
+  return (values_[id] >> lane) & 1u;
+}
+
+void WordSimulator::set_register_word(NodeId dff, std::uint64_t word) {
+  FAV_ENSURE_MSG(nl_->is_dff(dff), "node is not a DFF");
+  values_[dff] = word;
+}
+
+void WordSimulator::set_input_word(NodeId input, std::uint64_t word) {
+  FAV_ENSURE_MSG(nl_->node(input).type == CellType::kInput,
+                "node is not a primary input");
+  values_[input] = word;
+}
+
+void WordSimulator::set_register_lane(NodeId dff, int lane, bool value) {
+  FAV_ENSURE_MSG(nl_->is_dff(dff), "node is not a DFF");
+  FAV_ENSURE(lane >= 0 && lane < 64);
+  const std::uint64_t mask = std::uint64_t{1} << lane;
+  if (value) {
+    values_[dff] |= mask;
+  } else {
+    values_[dff] &= ~mask;
+  }
+}
+
+void WordSimulator::set_input_lane(NodeId input, int lane, bool value) {
+  FAV_ENSURE_MSG(nl_->node(input).type == CellType::kInput,
+                "node is not a primary input");
+  FAV_ENSURE(lane >= 0 && lane < 64);
+  const std::uint64_t mask = std::uint64_t{1} << lane;
+  if (value) {
+    values_[input] |= mask;
+  } else {
+    values_[input] &= ~mask;
+  }
+}
+
+void WordSimulator::broadcast_from(const LogicSimulator& scalar) {
+  FAV_ENSURE_MSG(nl_ == &scalar.netlist(), "netlist mismatch in broadcast");
+  for (NodeId id = 0; id < nl_->node_count(); ++id) {
+    values_[id] = scalar.value(id) ? ~std::uint64_t{0} : 0;
+  }
+}
+
+void WordSimulator::evaluate_comb() {
+  for (NodeId id : nl_->topo_order()) {
+    const Node& n = nl_->node(id);
+    std::uint64_t ins[3];
+    for (std::size_t i = 0; i < n.fanins.size(); ++i) {
+      ins[i] = values_[n.fanins[i]];
+    }
+    values_[id] = eval_cell_words(n.type, {ins, n.fanins.size()});
+  }
+}
+
+void WordSimulator::clock_edge() {
+  // Two passes so that DFF-to-DFF chains latch the pre-edge values.
+  latch_scratch_.clear();
+  for (NodeId dff : nl_->dffs()) {
+    const Node& n = nl_->node(dff);
+    FAV_ENSURE_MSG(!n.fanins.empty(), "DFF '" << n.name << "' has no D input");
+    latch_scratch_.push_back(values_[n.fanins[0]]);
+  }
+  std::size_t k = 0;
+  for (NodeId dff : nl_->dffs()) values_[dff] = latch_scratch_[k++];
+}
+
+void WordSimulator::step() {
+  evaluate_comb();
+  clock_edge();
+}
+
 }  // namespace fav::netlist

@@ -7,6 +7,7 @@
 //  * lock-step equivalence checks against the behavioural RTL model.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -48,6 +49,48 @@ class LogicSimulator {
  private:
   const Netlist* nl_;
   std::vector<char> values_;  // char (not vector<bool>) for fast access
+};
+
+/// 64-lane bit-parallel logic simulator (the PPSFP word trick): every node
+/// holds a uint64_t whose bit `l` is that node's value in lane `l`, so one
+/// topological sweep evaluates 64 independent samples at once. Lanes start
+/// identical (broadcast_from a settled scalar simulator) and diverge only
+/// where per-lane inputs or register upsets are forced.
+class WordSimulator {
+ public:
+  explicit WordSimulator(const Netlist& nl);
+
+  const Netlist& netlist() const { return *nl_; }
+
+  /// Whole-word access: bit l of the word is lane l's value.
+  std::uint64_t word(NodeId id) const;
+  /// Single-lane read (lane in [0, 64)).
+  bool value(NodeId id, int lane) const;
+
+  void set_register_word(NodeId dff, std::uint64_t word);
+  void set_input_word(NodeId input, std::uint64_t word);
+  void set_register_lane(NodeId dff, int lane, bool value);
+  void set_input_lane(NodeId input, int lane, bool value);
+
+  /// Copies a settled scalar simulator's state into every lane: each node's
+  /// word becomes all-ones or all-zeros according to the scalar value.
+  void broadcast_from(const LogicSimulator& scalar);
+
+  /// Recomputes all combinational nodes from current inputs + registers,
+  /// word-wise (all 64 lanes per gate evaluation).
+  void evaluate_comb();
+
+  /// Clock edge: latches every DFF's D word into its state. Callers must
+  /// have run evaluate_comb() since the last input/state change.
+  void clock_edge();
+
+  /// Convenience: evaluate_comb() then clock_edge().
+  void step();
+
+ private:
+  const Netlist* nl_;
+  std::vector<std::uint64_t> values_;
+  std::vector<std::uint64_t> latch_scratch_;  // reused by clock_edge()
 };
 
 }  // namespace fav::netlist

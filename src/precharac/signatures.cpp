@@ -12,6 +12,9 @@ SignatureTrace::SignatureTrace(const soc::SocNetlist& soc,
 
   std::vector<char> prev(nl.node_count(), 0);
   std::vector<BitVector> sigs(nl.node_count());
+  // One bit lands per node per cycle; reserving up-front removes every
+  // intermediate word reallocation from the recording loop.
+  for (BitVector& sig : sigs) sig.reserve(max_cycles);
 
   std::uint64_t c = 0;
   for (; c < max_cycles && !gate.halted(); ++c) {

@@ -82,7 +82,10 @@ class GoldenRun {
   /// Same as restore(), but repositions an existing machine built for this
   /// golden run's program. Reusing one machine across many restores avoids a
   /// 64K-word RAM allocation per call — the Monte Carlo engine keeps one
-  /// machine per worker and restores it for every sample.
+  /// machine per worker and restores it for every sample; the word-parallel
+  /// batch path (DESIGN.md §6i) goes further and shares one restore across
+  /// up to 64 samples that strike the same injection cycle, copying the
+  /// restored machine only for the lanes whose flip set is non-empty.
   void restore_into(Machine& machine, std::uint64_t cycle,
                     std::uint64_t* warmup_cycles = nullptr) const;
 

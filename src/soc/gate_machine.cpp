@@ -42,6 +42,10 @@ void GateLevelMachine::settle_inputs() {
   sim_.evaluate_comb();
 }
 
+void GateLevelMachine::broadcast_settled(netlist::WordSimulator& words) const {
+  words.broadcast_from(sim_);
+}
+
 rtl::StepInfo GateLevelMachine::step() {
   ++total_steps_;
   settle_inputs();

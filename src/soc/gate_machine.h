@@ -52,6 +52,12 @@ class GateLevelMachine {
   /// simulator can prepare the injection cycle's side-input values.
   void settle_inputs();
 
+  /// Copies the settled scalar state into every lane of `words` (all-ones /
+  /// all-zeros words). Callers must have run settle_inputs() first; this is
+  /// the hand-off from the shared injection-cycle settle to the 64-lane
+  /// batch flip-set evaluation.
+  void broadcast_settled(netlist::WordSimulator& words) const;
+
  private:
   std::uint16_t read_output_word(const gen::Word& w) const;
 

@@ -47,6 +47,8 @@ void BitVector::resize(std::size_t size) {
   trim();
 }
 
+void BitVector::reserve(std::size_t size) { words_.reserve(word_count(size)); }
+
 void BitVector::clear_all() {
   for (auto& w : words_) w = 0;
 }

@@ -29,6 +29,10 @@ class BitVector {
   void push_back(bool value);
   /// Grows or shrinks to `size` bits; new bits are zero.
   void resize(std::size_t size);
+  /// Pre-allocates capacity for `size` bits without changing the size, so a
+  /// push_back loop of known length (e.g. one signature bit per simulated
+  /// cycle) performs no intermediate word reallocations.
+  void reserve(std::size_t size);
   /// Sets all bits to zero without changing the size.
   void clear_all();
 

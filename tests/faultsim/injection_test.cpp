@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "netlist/logicsim.h"
@@ -238,6 +241,137 @@ TEST(InjectionSimulator, NegativeStrikeTimeThrows) {
   const LogicSimulator sim = settled(c.nl);
   EXPECT_THROW(inj.inject(sim, std::vector<NodeId>{c.gates[0]}, -1.0),
                fav::CheckError);
+}
+
+TEST(InjectionSimulator, AddPulseMergesTransitively) {
+  Chain c(3);
+  InjectionSimulator inj(c.nl);
+  std::vector<Pulse> list;
+  inj.add_pulse(list, {0.0, 1.0});
+  inj.add_pulse(list, {2.0, 1.0});
+  ASSERT_EQ(list.size(), 2u);  // disjoint so far
+  // [0.8, 2.2] bridges both: its union with [0, 1] is [0, 2.2], which in
+  // turn overlaps [2, 3]. A single merge pass stopped there and left two
+  // overlapping entries on the list; the merge must rescan until stable.
+  inj.add_pulse(list, {0.8, 1.4});
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_DOUBLE_EQ(list[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(list[0].width, 3.0);
+}
+
+TEST(InjectionSimulator, AddPulseKeepsListDisjointAndCapped) {
+  Chain c(3);
+  InjectionSimulator inj(c.nl);
+  std::mt19937 gen(7);
+  std::uniform_real_distribution<double> start(0.0, 20.0);
+  std::uniform_real_distribution<double> width(0.1, 4.0);
+  std::vector<Pulse> list;
+  const auto cap = static_cast<std::size_t>(inj.params().max_pulses_per_node);
+  for (int i = 0; i < 200; ++i) {
+    inj.add_pulse(list, {start(gen), width(gen)});
+    ASSERT_LE(list.size(), cap);
+    for (std::size_t a = 0; a < list.size(); ++a) {
+      for (std::size_t b = a + 1; b < list.size(); ++b) {
+        const bool overlap =
+            list[a].start <= list[b].start + list[b].width &&
+            list[b].start <= list[a].start + list[a].width;
+        ASSERT_FALSE(overlap) << "entries " << a << " and " << b
+                              << " overlap after insertion " << i;
+      }
+    }
+  }
+}
+
+// Random mixed-gate netlists with per-lane divergent inputs, registers,
+// struck sets and strike times: inject_batch must reproduce the scalar
+// inject() flip set lane by lane. The scratch is reused across trials with
+// different node counts to exercise its shrink/grow path too.
+TEST(InjectionSimulator, InjectBatchMatchesScalarLaneByLane) {
+  std::mt19937 gen(1234);
+  BatchInjectionScratch scratch;
+  for (int trial = 0; trial < 5; ++trial) {
+    Netlist nl;
+    std::vector<NodeId> pool;
+    std::vector<NodeId> dffs;
+    for (int i = 0; i < 3; ++i)
+      pool.push_back(nl.add_input("in" + std::to_string(i)));
+    for (int i = 0; i < 3; ++i) {
+      dffs.push_back(nl.add_dff("r" + std::to_string(i)));
+      pool.push_back(dffs.back());
+    }
+    static constexpr CellType kTypes[] = {
+        CellType::kBuf, CellType::kNot,  CellType::kAnd,
+        CellType::kOr,  CellType::kNand, CellType::kNor,
+        CellType::kXor, CellType::kXnor, CellType::kMux};
+    std::vector<NodeId> gates;
+    const int n_gates = 24 + 8 * trial;
+    for (int i = 0; i < n_gates; ++i) {
+      const CellType t = kTypes[gen() % std::size(kTypes)];
+      std::vector<NodeId> fanins;
+      for (int a = 0; a < netlist::cell_arity(t); ++a)
+        fanins.push_back(pool[gen() % pool.size()]);
+      gates.push_back(
+          nl.add_gate(t, std::move(fanins), "g" + std::to_string(i)));
+      pool.push_back(gates.back());
+    }
+    for (NodeId r : dffs) nl.connect_dff(r, gates[gen() % gates.size()]);
+
+    InjectionSimulator inj(nl);
+    const double period = inj.timing().clock_period();
+    std::vector<NodeId> candidates = gates;
+    candidates.insert(candidates.end(), dffs.begin(), dffs.end());
+
+    const int lanes = trial == 0 ? 1 : (trial == 1 ? 7 : 64);
+    netlist::WordSimulator words(nl);
+    std::vector<LogicSimulator> scalar;
+    scalar.reserve(lanes);
+    std::vector<std::vector<NodeId>> struck(lanes);
+    std::vector<double> strike(lanes);
+    for (int l = 0; l < lanes; ++l) {
+      scalar.emplace_back(nl);
+      for (NodeId in : nl.inputs()) {
+        const bool v = gen() & 1;
+        scalar[l].set_input(in, v);
+        words.set_input_lane(in, l, v);
+      }
+      for (NodeId r : nl.dffs()) {
+        const bool v = gen() & 1;
+        scalar[l].set_register(r, v);
+        words.set_register_lane(r, l, v);
+      }
+      scalar[l].evaluate_comb();
+      const std::size_t n_struck = gen() % 5;
+      for (std::size_t k = 0; k < n_struck; ++k)
+        struck[l].push_back(candidates[gen() % candidates.size()]);
+      strike[l] = static_cast<double>(gen() % 1000) / 1000.0 * period;
+    }
+    words.evaluate_comb();
+
+    std::vector<std::vector<NodeId>> flipped;
+    inj.inject_batch(words, struck, strike, scratch, flipped);
+    ASSERT_EQ(flipped.size(), static_cast<std::size_t>(lanes));
+    for (int l = 0; l < lanes; ++l) {
+      const auto ref = inj.inject(scalar[l], struck[l], strike[l]);
+      EXPECT_EQ(flipped[l], ref.flipped_dffs)
+          << "trial " << trial << " lane " << l;
+    }
+  }
+}
+
+TEST(InjectionSimulator, InjectBatchRejectsBadLaneCounts) {
+  Chain c(3);
+  InjectionSimulator inj(c.nl);
+  netlist::WordSimulator words(c.nl);
+  words.broadcast_from(settled(c.nl));
+  BatchInjectionScratch scratch;
+  std::vector<std::vector<NodeId>> flipped;
+  const std::vector<std::vector<NodeId>> none;
+  const std::vector<double> no_times;
+  EXPECT_THROW(inj.inject_batch(words, none, no_times, scratch, flipped),
+               fav::CheckError);
+  const std::vector<std::vector<NodeId>> one(1);
+  EXPECT_THROW(inj.inject_batch(words, one, no_times, scratch, flipped),
+               fav::CheckError);  // strike_times size mismatch
 }
 
 TEST(InjectionSimulator, BadParamsThrow) {

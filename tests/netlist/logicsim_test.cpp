@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "util/check.h"
 
 namespace fav::netlist {
@@ -127,6 +130,58 @@ TEST(LogicSimulator, SetRegisterOnGateThrows) {
   LogicSimulator sim(nl);
   EXPECT_THROW(sim.set_register(g, true), CheckError);
   EXPECT_THROW(sim.set_input(g, true), CheckError);
+}
+
+TEST(WordSimulator, BroadcastMatchesScalarEverywhere) {
+  Counter c;
+  LogicSimulator sim(c.nl);
+  sim.step();
+  sim.step();  // counter = 2
+  sim.evaluate_comb();
+  WordSimulator words(c.nl);
+  words.broadcast_from(sim);
+  for (NodeId id = 0; id < c.nl.node_count(); ++id) {
+    const std::uint64_t expect = sim.value(id) ? ~std::uint64_t{0} : 0;
+    EXPECT_EQ(words.word(id), expect) << "node " << id;
+  }
+}
+
+TEST(WordSimulator, LanesStepIndependentlyLikeScalar) {
+  Counter c;
+  WordSimulator words(c.nl);
+  std::vector<LogicSimulator> scalar;
+  for (int l = 0; l < 64; ++l) {
+    scalar.emplace_back(c.nl);
+    // Lane l starts at counter state l % 4.
+    scalar[l].set_register(c.b0, (l & 1) != 0);
+    scalar[l].set_register(c.b1, (l & 2) != 0);
+    words.set_register_lane(c.b0, l, (l & 1) != 0);
+    words.set_register_lane(c.b1, l, (l & 2) != 0);
+  }
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    words.evaluate_comb();
+    for (int l = 0; l < 64; ++l) {
+      scalar[l].evaluate_comb();
+      for (NodeId id = 0; id < c.nl.node_count(); ++id)
+        ASSERT_EQ(words.value(id, l), scalar[l].value(id))
+            << "cycle " << cycle << " lane " << l << " node " << id;
+      scalar[l].clock_edge();
+    }
+    words.clock_edge();
+  }
+}
+
+TEST(WordSimulator, ConstantsBroadcastToAllLanes) {
+  Netlist nl;
+  const NodeId c1 = nl.add_const(true);
+  const NodeId c0 = nl.add_const(false);
+  const NodeId y = nl.add_gate(CellType::kOr, {c0, c1});
+  nl.set_output("y", y);
+  WordSimulator words(nl);
+  words.evaluate_comb();
+  EXPECT_EQ(words.word(c1), ~std::uint64_t{0});
+  EXPECT_EQ(words.word(c0), std::uint64_t{0});
+  EXPECT_EQ(words.word(y), ~std::uint64_t{0});
 }
 
 }  // namespace

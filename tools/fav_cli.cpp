@@ -23,6 +23,10 @@
 //   --threads N                   (default 1; 0 = all hardware threads.
 //                                  Estimates are bitwise-identical for every
 //                                  N — see DESIGN.md, parallel engine)
+//   --batch-lanes N               (default 64; 0/1 = scalar) word-parallel
+//                                  lanes for same-injection-cycle samples.
+//                                  Results are bitwise-identical for every
+//                                  N — batching only changes throughput
 //   --cycle-budget N              per-sample RTL cycle budget (0 = unlimited)
 //   --deadline-ms N               per-sample wall-clock deadline (0 = none;
 //                                  trades determinism for hang protection)
@@ -121,6 +125,7 @@ struct Options {
   double radius = 1.5;
   double coverage = 0.95;
   std::size_t threads = 1;
+  std::size_t batch_lanes = 64;
   std::uint64_t cycle_budget = 0;
   std::uint64_t deadline_ms = 0;
   // Capped by default: a capacity-less 1e6+-sample campaign keeps every
@@ -141,6 +146,7 @@ struct Options {
     core::FrameworkConfig cfg;
     cfg.technique = technique;
     cfg.evaluator.threads = threads;
+    cfg.evaluator.batch_lanes = batch_lanes;
     cfg.evaluator.cycle_budget = cycle_budget;
     cfg.evaluator.sample_deadline_ms = deadline_ms;
     cfg.evaluator.record_capacity = record_capacity;
@@ -160,6 +166,7 @@ struct Options {
                "         --radius R  --coverage C  --out FILE\n"
                "         --record-capacity N (0 = unlimited)\n"
                "         --threads N (0 = all hardware threads)\n"
+               "         --batch-lanes N (0/1 = scalar, default 64)\n"
                "         --cycle-budget N  --deadline-ms N (0 = unlimited)\n"
                "         --journal DIR  --resume (evaluate only)\n"
                "         --supervise N  --heartbeat-ms N\n"
@@ -235,6 +242,8 @@ Options parse(int argc, char** argv) {
       o.coverage = parse_double(arg, value(), 1e-9, 1.0);
     } else if (arg == "--threads") {
       o.threads = parse_u64(arg, value(), 0, 4096);
+    } else if (arg == "--batch-lanes") {
+      o.batch_lanes = parse_u64(arg, value(), 0, 64);
     } else if (arg == "--cycle-budget") {
       o.cycle_budget = parse_u64(arg, value(), 0, UINT64_MAX);
     } else if (arg == "--deadline-ms") {
@@ -410,6 +419,7 @@ std::vector<std::string> worker_command(const Options& o) {
       "--cycle-budget", std::to_string(o.cycle_budget),
       "--deadline-ms", std::to_string(o.deadline_ms),
       "--threads", std::to_string(o.threads),
+      "--batch-lanes", std::to_string(o.batch_lanes),
       "--record-capacity", "0",
       "--journal", o.journal};
   if (o.crash_on != mc::kNoCrashIndex) {
@@ -538,6 +548,7 @@ void write_run_report(std::ostream& out, const Options& o,
       << "  \"interrupted\": " << (res.interrupted ? "true" : "false") << ",\n"
       << "  \"seed\": " << o.seed << ",\n"
       << "  \"threads\": " << o.threads << ",\n"
+      << "  \"batch_lanes\": " << o.batch_lanes << ",\n"
       << "  \"supervise\": " << o.supervise << ",\n";
   if (eval.supervised) {
     out << "  \"supervisor\": {\"restarts\": " << eval.restarts
