@@ -4,6 +4,10 @@
 // cross-level split (cheap RTL everywhere, gate level only for the injection
 // cycle) pays off.
 #include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
 
 #include "core/framework.h"
 #include "soc/benchmark.h"
@@ -320,6 +324,42 @@ void BM_SignatureRecording(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SignatureRecording);
+
+// Full framework elaboration, cold vs warm, through the persistent
+// pre-characterization artifact cache (precharac/artifact.h). Arg(0) removes
+// the artifact before every construction so each iteration recomputes and
+// rewrites it; Arg(1) seeds the artifact once and measures the warm load.
+// The warm/cold ratio is the cache's whole value proposition.
+void BM_PrecharacColdVsWarm(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() /
+                       ("fav_bench_precharac_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  core::FrameworkConfig cfg;
+  cfg.precharac_cache_path = (dir / "bundle.fpa").string();
+  cfg.log = [](const std::string&) {};
+  const bool warm = state.range(0) == 1;
+  if (warm) {
+    // Seed the artifact so every timed construction hits.
+    core::FaultAttackEvaluator seed(soc::make_illegal_write_benchmark(), cfg);
+  }
+  for (auto _ : state) {
+    if (!warm) {
+      state.PauseTiming();
+      fs::remove(cfg.precharac_cache_path);
+      state.ResumeTiming();
+    }
+    core::FaultAttackEvaluator f(soc::make_illegal_write_benchmark(), cfg);
+    benchmark::DoNotOptimize(f.precharac_cache().outcome.data());
+  }
+  state.SetLabel(warm ? "warm" : "cold");
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+BENCHMARK(BM_PrecharacColdVsWarm)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -29,6 +29,7 @@
 #include "mc/evaluator.h"
 #include "mc/samplers.h"
 #include "netlist/cones.h"
+#include "precharac/artifact.h"
 #include "precharac/characterize.h"
 #include "precharac/sampling_model.h"
 #include "precharac/signatures.h"
@@ -52,6 +53,18 @@ struct FrameworkConfig {
   int cone_fanout_depth = 4;
   /// Pre-characterization workload horizon.
   std::uint64_t precharac_cycles = 400;
+  /// Persistent pre-characterization artifact (precharac/artifact.h). Empty
+  /// disables caching. When set, construction tries to load the bundle from
+  /// this path and falls back to recompute-and-rewrite on any miss, stale
+  /// fingerprint, or corruption — results are bitwise-identical either way.
+  /// The path is deliberately NOT part of the campaign fingerprint: a
+  /// campaign may be resumed with a different (or no) cache.
+  std::string precharac_cache_path;
+  /// Bounded wait on the artifact's advisory elaboration lock (concurrent
+  /// cold starts: one process elaborates, the rest load). On timeout the
+  /// process proceeds unlocked — worst case is a redundant elaboration and
+  /// an atomic last-writer-wins rewrite, never a deadlock.
+  std::uint64_t precharac_cache_lock_timeout_ms = 120000;
   precharac::CharacterizationConfig characterization;
   precharac::SamplingParams sampling;
   faultsim::TimingModel timing;
@@ -91,6 +104,21 @@ struct CampaignKey {
 /// supervisor and each of its workers derive the same fingerprint from the
 /// same CLI flags.
 std::uint64_t campaign_fingerprint(const CampaignKey& key);
+
+/// How the pre-characterization cache resolved for one framework
+/// construction, for run reports and logs.
+struct PrecharacCacheReport {
+  bool enabled = false;
+  std::string path;
+  /// "off" (cache disabled), or the decisive load outcome:
+  /// "hit" | "miss" | "stale" | "corrupt".
+  std::string outcome = "off";
+  /// Provenance of a non-hit (why the artifact was rejected), or how a hit
+  /// was obtained (e.g. after waiting on the elaboration lock).
+  std::string detail;
+  /// True when this process elaborated and wrote the artifact.
+  bool stored = false;
+};
 
 /// Outcome of the two-stage adaptive estimation (see run_adaptive).
 struct AdaptiveRunResult {
@@ -150,6 +178,15 @@ class FaultAttackEvaluator {
   /// run_adaptive; access is not synchronized — same single-caller contract
   /// as those methods.
   const MetricsSink& metrics() const { return metrics_; }
+
+  /// How the pre-characterization cache resolved (outcome "off" when
+  /// config().precharac_cache_path is empty). Cache counters
+  /// ("precharac.cache_{hit,miss,stale,corrupt}", "precharac.cache_saved")
+  /// land in metrics().
+  const PrecharacCacheReport& precharac_cache() const { return cache_report_; }
+
+  /// The artifact content address for this framework's configuration.
+  precharac::PrecharacKey precharac_key() const;
 
   /// --- attack models -----------------------------------------------------
   /// Uniform f_{T,P} over the whole chip (every placed cell a candidate).
@@ -234,6 +271,21 @@ class FaultAttackEvaluator {
   /// Routes a robustness diagnostic to config().log (stderr when unset).
   void log_event(const std::string& message) const;
 
+  /// Artifact-cache load attempt: validates, installs the bundle and updates
+  /// counters/report. `after_wait` marks the double-checked retry after
+  /// acquiring the elaboration lock (only a hit is counted then, so the four
+  /// outcome counters stay mutually exclusive per process).
+  bool try_load_precharac(std::uint64_t fingerprint, bool after_wait);
+  /// The expensive elaboration: synthetic golden run, cone extraction,
+  /// switching signatures, register characterization.
+  void compute_precharac();
+  /// Memory-bit potency for the sampling model (analytical enumeration).
+  void compute_potency();
+  /// Tallies precharac.potent_bits / group_boosted_bits from the installed
+  /// potency vector (computed or loaded — reports stay identical).
+  void count_potency();
+  void save_precharac(std::uint64_t fingerprint);
+
   FrameworkConfig config_;
   /// mutable: const sampler factories record fallback provenance.
   mutable MetricsSink metrics_;
@@ -250,6 +302,7 @@ class FaultAttackEvaluator {
   std::unique_ptr<faultsim::ClockGlitchSimulator> glitch_;  // glitch only
   std::unique_ptr<faultsim::AttackTechnique> technique_;
   std::unique_ptr<mc::SsfEvaluator> evaluator_;
+  PrecharacCacheReport cache_report_;
   // Importance samplers own their model; kept alive here.
   mutable std::vector<std::unique_ptr<precharac::SamplingModel>> models_;
   mutable std::vector<std::unique_ptr<faultsim::AttackModel>> attacks_;

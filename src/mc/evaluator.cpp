@@ -814,7 +814,19 @@ Result<SsfResult> SsfEvaluator::run_journaled(
     const std::size_t hi = std::min(lo + options.shard_size, n);
     evaluate_range(samples, records, lo, hi, scratch, &observers);
     const Status appended = writer.append_shard(lo, &records[lo], hi - lo);
-    if (!appended.is_ok()) return appended;
+    if (!appended.is_ok()) {
+      if (appended.code() == ErrorCode::kStorageFull) {
+        // The disk filled (or failed) mid-campaign. Everything journaled so
+        // far is durable, so stop gracefully with a partial, resumable
+        // result instead of erroring out — exactly like a stop-flag
+        // interruption. `done` excludes the shard whose append failed.
+        if (config_.metrics != nullptr) {
+          config_.metrics->add_counter("journal.storage_full_stops");
+        }
+        break;
+      }
+      return appended;
+    }
     done = hi;
   }
   merge_observers(std::move(observers));

@@ -1,12 +1,11 @@
 #include "mc/journal.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <cstring>
 #include <filesystem>
 #include <iterator>
+
+#include "util/io.h"
 
 namespace fav::mc {
 
@@ -21,51 +20,28 @@ constexpr std::uint32_t kFrameMagic = 0x4652414Du;  // "MARF" on disk
 // approaches this (a record is ~100 bytes, shards are a few hundred records).
 constexpr std::uint32_t kMaxPayload = 1u << 28;
 
-std::uint64_t fnv1a(const void* data, std::size_t len,
-                    std::uint64_t seed = 0xCBF29CE484222325ull) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  std::uint64_t h = seed;
-  for (std::size_t i = 0; i < len; ++i) {
-    h ^= p[i];
-    h *= 0x100000001B3ull;
+// Checksums and serialization come from the shared util/io layer; the
+// journal keeps only its format knowledge (magic, frame layout) here.
+using io::fnv1a64;
+using io::get_le;
+using io::get_string;
+using io::put_le;
+
+/// Journal writes report two failure classes: storage-full errnos keep
+/// kStorageFull (the caller stops gracefully and the campaign stays
+/// resumable); anything else is a journal I/O error.
+Status classify_write(Status status) {
+  if (status.is_ok() || status.code() == ErrorCode::kStorageFull) {
+    return status;
   }
-  return h;
-}
-
-// --- little-endian primitive (de)serialization over std::string buffers ---
-
-template <typename T>
-void put(std::string& out, T value) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  char bytes[sizeof(T)];
-  std::memcpy(bytes, &value, sizeof(T));
-  out.append(bytes, sizeof(T));
-}
-
-template <typename T>
-bool get(const std::string& data, std::size_t* offset, T* value) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  if (data.size() - *offset < sizeof(T)) return false;
-  std::memcpy(value, data.data() + *offset, sizeof(T));
-  *offset += sizeof(T);
-  return true;
-}
-
-bool get_string(const std::string& data, std::size_t* offset,
-                std::string* value, std::uint32_t max_len) {
-  std::uint32_t len = 0;
-  if (!get(data, offset, &len)) return false;
-  if (len > max_len || data.size() - *offset < len) return false;
-  value->assign(data.data() + *offset, len);
-  *offset += len;
-  return true;
+  return Status(ErrorCode::kJournalIoError, status.message());
 }
 
 std::string serialize_meta(const JournalMeta& meta) {
   std::string out;
-  put(out, meta.fingerprint);
-  put(out, meta.total_samples);
-  put(out, static_cast<std::uint32_t>(meta.context.size()));
+  put_le(out, meta.fingerprint);
+  put_le(out, meta.total_samples);
+  put_le(out, static_cast<std::uint32_t>(meta.context.size()));
   out += meta.context;
   return out;
 }
@@ -106,15 +82,15 @@ Result<JournalShards> read_shards_impl(const std::string& path) {
   std::uint64_t meta_sum = 0;
   if (!read_exact(f, meta_bytes.data(), meta_len) ||
       !read_exact(f, &meta_sum, sizeof(meta_sum)) ||
-      meta_sum != fnv1a(meta_bytes.data(), meta_bytes.size())) {
+      meta_sum != fnv1a64(meta_bytes.data(), meta_bytes.size())) {
     return Status(ErrorCode::kJournalCorrupt,
                   "journal header corrupt in " + path);
   }
   JournalShards shards;
   {
     std::size_t off = 0;
-    if (!get(meta_bytes, &off, &shards.meta.fingerprint) ||
-        !get(meta_bytes, &off, &shards.meta.total_samples) ||
+    if (!get_le(meta_bytes, &off, &shards.meta.fingerprint) ||
+        !get_le(meta_bytes, &off, &shards.meta.total_samples) ||
         !get_string(meta_bytes, &off, &shards.meta.context, kMaxPayload)) {
       return Status(ErrorCode::kJournalCorrupt,
                     "journal meta corrupt in " + path);
@@ -149,9 +125,9 @@ Result<JournalShards> read_shards_impl(const std::string& path) {
       bad_frame = true;  // truncated mid-frame: torn tail candidate
       break;
     }
-    std::uint64_t expect = fnv1a(&first_index, sizeof(first_index));
-    expect = fnv1a(&count, sizeof(count), expect);
-    expect = fnv1a(payload.data(), payload.size(), expect);
+    std::uint64_t expect = fnv1a64(&first_index, sizeof(first_index));
+    expect = fnv1a64(&count, sizeof(count), expect);
+    expect = fnv1a64(payload.data(), payload.size(), expect);
     if (sum != expect) {
       bad_frame = true;
       break;
@@ -238,25 +214,25 @@ bool glob_matches(const std::string& pattern, const std::string& name) {
 }  // namespace
 
 void serialize_record(const SampleRecord& record, std::string& out) {
-  put(out, static_cast<std::uint8_t>(record.sample.technique));
-  put(out, static_cast<std::int32_t>(record.sample.t));
-  put(out, static_cast<std::uint32_t>(record.sample.center));
-  put(out, record.sample.radius);
-  put(out, record.sample.strike_frac);
-  put(out, record.sample.depth);
-  put(out, static_cast<std::int32_t>(record.sample.impact_cycles));
-  put(out, record.sample.weight);
-  put(out, record.te);
-  put(out, static_cast<std::uint8_t>(record.path));
-  put(out, static_cast<std::uint8_t>(record.success ? 1 : 0));
-  put(out, static_cast<std::uint8_t>(record.retried ? 1 : 0));
-  put(out, static_cast<std::uint16_t>(record.fail_code));
-  put(out, record.contribution);
-  put(out, static_cast<std::uint32_t>(record.flipped_bits.size()));
+  put_le(out, static_cast<std::uint8_t>(record.sample.technique));
+  put_le(out, static_cast<std::int32_t>(record.sample.t));
+  put_le(out, static_cast<std::uint32_t>(record.sample.center));
+  put_le(out, record.sample.radius);
+  put_le(out, record.sample.strike_frac);
+  put_le(out, record.sample.depth);
+  put_le(out, static_cast<std::int32_t>(record.sample.impact_cycles));
+  put_le(out, record.sample.weight);
+  put_le(out, record.te);
+  put_le(out, static_cast<std::uint8_t>(record.path));
+  put_le(out, static_cast<std::uint8_t>(record.success ? 1 : 0));
+  put_le(out, static_cast<std::uint8_t>(record.retried ? 1 : 0));
+  put_le(out, static_cast<std::uint16_t>(record.fail_code));
+  put_le(out, record.contribution);
+  put_le(out, static_cast<std::uint32_t>(record.flipped_bits.size()));
   for (const int bit : record.flipped_bits) {
-    put(out, static_cast<std::int32_t>(bit));
+    put_le(out, static_cast<std::int32_t>(bit));
   }
-  put(out, static_cast<std::uint32_t>(record.fail_reason.size()));
+  put_le(out, static_cast<std::uint32_t>(record.fail_reason.size()));
   out += record.fail_reason;
 }
 
@@ -266,24 +242,24 @@ bool deserialize_record(const std::string& data, std::size_t* offset,
   std::uint32_t center = 0;
   std::uint8_t technique = 0, path = 0, success = 0, retried = 0;
   std::uint16_t fail_code = 0;
-  if (!get(data, offset, &technique)) return false;
+  if (!get_le(data, offset, &technique)) return false;
   if (technique >
       static_cast<std::uint8_t>(faultsim::TechniqueKind::kClockGlitch)) {
     return false;
   }
-  if (!get(data, offset, &t)) return false;
-  if (!get(data, offset, &center)) return false;
-  if (!get(data, offset, &record->sample.radius)) return false;
-  if (!get(data, offset, &record->sample.strike_frac)) return false;
-  if (!get(data, offset, &record->sample.depth)) return false;
-  if (!get(data, offset, &impact)) return false;
-  if (!get(data, offset, &record->sample.weight)) return false;
-  if (!get(data, offset, &record->te)) return false;
-  if (!get(data, offset, &path)) return false;
-  if (!get(data, offset, &success)) return false;
-  if (!get(data, offset, &retried)) return false;
-  if (!get(data, offset, &fail_code)) return false;
-  if (!get(data, offset, &record->contribution)) return false;
+  if (!get_le(data, offset, &t)) return false;
+  if (!get_le(data, offset, &center)) return false;
+  if (!get_le(data, offset, &record->sample.radius)) return false;
+  if (!get_le(data, offset, &record->sample.strike_frac)) return false;
+  if (!get_le(data, offset, &record->sample.depth)) return false;
+  if (!get_le(data, offset, &impact)) return false;
+  if (!get_le(data, offset, &record->sample.weight)) return false;
+  if (!get_le(data, offset, &record->te)) return false;
+  if (!get_le(data, offset, &path)) return false;
+  if (!get_le(data, offset, &success)) return false;
+  if (!get_le(data, offset, &retried)) return false;
+  if (!get_le(data, offset, &fail_code)) return false;
+  if (!get_le(data, offset, &record->contribution)) return false;
   record->sample.technique = static_cast<faultsim::TechniqueKind>(technique);
   record->sample.t = t;
   record->sample.center = center;
@@ -294,13 +270,13 @@ bool deserialize_record(const std::string& data, std::size_t* offset,
   record->retried = retried != 0;
   record->fail_code = static_cast<ErrorCode>(fail_code);
   std::uint32_t nflips = 0;
-  if (!get(data, offset, &nflips)) return false;
+  if (!get_le(data, offset, &nflips)) return false;
   if (nflips > kMaxPayload / sizeof(std::int32_t)) return false;
   record->flipped_bits.clear();
   record->flipped_bits.reserve(nflips);
   for (std::uint32_t i = 0; i < nflips; ++i) {
     std::int32_t bit = 0;
-    if (!get(data, offset, &bit)) return false;
+    if (!get_le(data, offset, &bit)) return false;
     record->flipped_bits.push_back(bit);
   }
   return get_string(data, offset, &record->fail_reason, kMaxPayload);
@@ -469,17 +445,18 @@ Status JournalWriter::open_fresh(const std::string& dir,
                   "cannot open journal " + path + " for writing");
   }
   const std::string meta_bytes = serialize_meta(meta);
-  const auto meta_len = static_cast<std::uint32_t>(meta_bytes.size());
-  const std::uint64_t sum = fnv1a(meta_bytes.data(), meta_bytes.size());
-  if (std::fwrite(kFileMagic, 1, sizeof(kFileMagic), file_) !=
-          sizeof(kFileMagic) ||
-      std::fwrite(&meta_len, 1, sizeof(meta_len), file_) != sizeof(meta_len) ||
-      std::fwrite(meta_bytes.data(), 1, meta_bytes.size(), file_) !=
-          meta_bytes.size() ||
-      std::fwrite(&sum, 1, sizeof(sum), file_) != sizeof(sum)) {
-    return Status(ErrorCode::kJournalIoError,
-                  "short write on journal header " + path);
-  }
+  // The whole header goes out as one hardened write: one retry scope, and
+  // exactly one chaos-countable physical write per header.
+  std::string header(kFileMagic, sizeof(kFileMagic));
+  put_le(header, static_cast<std::uint32_t>(meta_bytes.size()));
+  header += meta_bytes;
+  put_le(header, fnv1a64(meta_bytes.data(), meta_bytes.size()));
+  const Status written = classify_write(
+      io::write_all(file_, header.data(), header.size(), "journal " + path));
+  if (!written.is_ok()) return written;
+  // The header is fsynced immediately (commit), exactly like every shard
+  // frame after it: a crash between open and the first append must leave a
+  // valid, durable empty journal behind.
   const Status committed = commit();
   if (!committed.is_ok()) return committed;
   // The header fsync above made the *contents* durable; the name->inode link
@@ -536,27 +513,25 @@ Status JournalWriter::append_shard(std::size_t first_index,
   }
   const auto index64 = static_cast<std::uint64_t>(first_index);
   const auto count32 = static_cast<std::uint32_t>(count);
-  const auto payload_len = static_cast<std::uint32_t>(payload.size());
-  std::uint64_t sum = fnv1a(&index64, sizeof(index64));
-  sum = fnv1a(&count32, sizeof(count32), sum);
-  sum = fnv1a(payload.data(), payload.size(), sum);
-  if (std::fwrite(&kFrameMagic, 1, sizeof(kFrameMagic), file_) !=
-          sizeof(kFrameMagic) ||
-      std::fwrite(&index64, 1, sizeof(index64), file_) != sizeof(index64) ||
-      std::fwrite(&count32, 1, sizeof(count32), file_) != sizeof(count32) ||
-      std::fwrite(&payload_len, 1, sizeof(payload_len), file_) !=
-          sizeof(payload_len) ||
-      std::fwrite(payload.data(), 1, payload.size(), file_) !=
-          payload.size() ||
-      std::fwrite(&sum, 1, sizeof(sum), file_) != sizeof(sum)) {
-    return Status(ErrorCode::kJournalIoError, "short write on journal frame");
-  }
+  std::uint64_t sum = fnv1a64(&index64, sizeof(index64));
+  sum = fnv1a64(&count32, sizeof(count32), sum);
+  sum = fnv1a64(payload.data(), payload.size(), sum);
+  // One frame, one hardened write (retry/backoff and errno classification
+  // live in util/io): a storage-full failure surfaces as kStorageFull so the
+  // campaign can stop gracefully and resume later.
+  std::string frame;
+  put_le(frame, kFrameMagic);
+  put_le(frame, index64);
+  put_le(frame, count32);
+  put_le(frame, static_cast<std::uint32_t>(payload.size()));
+  frame += payload;
+  put_le(frame, sum);
+  const Status written = classify_write(
+      io::write_all(file_, frame.data(), frame.size(), "journal frame"));
+  if (!written.is_ok()) return written;
   if (metrics_ != nullptr) {
     metrics_->add_counter("journal.shards");
-    metrics_->add_counter("journal.bytes_written",
-                          sizeof(kFrameMagic) + sizeof(index64) +
-                              sizeof(count32) + sizeof(payload_len) +
-                              payload.size() + sizeof(sum));
+    metrics_->add_counter("journal.bytes_written", frame.size());
   }
   return commit();
 }
@@ -564,27 +539,13 @@ Status JournalWriter::append_shard(std::size_t first_index,
 Status JournalWriter::commit() {
   ScopeTimer timer(metrics_, "journal.fsync_ns");
   if (metrics_ != nullptr) metrics_->add_counter("journal.commits");
-  if (std::fflush(file_) != 0 || ::fsync(fileno(file_)) != 0) {
-    return Status(ErrorCode::kJournalIoError, "journal flush failed");
-  }
-  return Status::ok();
+  return classify_write(io::flush_and_fsync(file_, "journal"));
 }
 
 Status JournalWriter::sync_dir(const std::string& dir) {
   ScopeTimer timer(metrics_, "journal.dir_fsync_ns");
   if (metrics_ != nullptr) metrics_->add_counter("journal.dir_fsyncs");
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) {
-    return Status(ErrorCode::kJournalIoError,
-                  "cannot open journal directory " + dir + " for fsync");
-  }
-  const int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) {
-    return Status(ErrorCode::kJournalIoError,
-                  "fsync of journal directory " + dir + " failed");
-  }
-  return Status::ok();
+  return classify_write(io::fsync_dir(dir));
 }
 
 }  // namespace fav::mc

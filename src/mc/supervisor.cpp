@@ -569,6 +569,8 @@ class Fleet {
     s.proc.close_pipes();
     const Subprocess::ExitStatus st = s.proc.wait();
     const bool clean = !st.signaled && st.exit_code == 0 && s.shutdown_sent;
+    const bool storage_full =
+        !st.signaled && st.exit_code == kExitResumableStop;
     s.alive = false;
     s.proc = Subprocess();
 
@@ -581,6 +583,17 @@ class Fleet {
       return;
     }
 
+    if (s.shard >= 0 && storage_full) {
+      // The worker stopped itself because the journal device is full or
+      // failing — not the shard's fault. Leave it pending with no attempts
+      // charge so a post-resume run (with space freed) retries it instead
+      // of quarantining it.
+      ShardState& sh = (*shards_)[s.shard];
+      if (sh.state == ShardState::S::kAssigned) {
+        sh.state = ShardState::S::kPending;
+      }
+      s.shard = -1;
+    }
     if (s.shard >= 0) {
       ShardState& sh = (*shards_)[s.shard];
       if (sh.state == ShardState::S::kAssigned) {
@@ -601,6 +614,21 @@ class Fleet {
     }
 
     if (clean) return;
+    if (storage_full) {
+      // Fleet-wide graceful stop: other workers finish (or likewise abort)
+      // their in-flight shard and are shut down; nothing respawns. The run
+      // ends as an interrupted, resumable campaign.
+      s.ready = false;
+      s.shutdown_sent = false;
+      ++sup_->storage_full_stops;
+      if (!stopping_) {
+        stopping_ = true;
+        log_line("worker " + std::to_string(k) +
+                 " stopped: storage full/failing while journaling; "
+                 "finishing in-flight shards and stopping for resume");
+      }
+      return;
+    }
     log_line("worker " + std::to_string(k) + " died unexpectedly (" +
              (st.signaled ? "signal " + std::to_string(st.term_signal)
                           : "exit code " + std::to_string(st.exit_code)) +
@@ -853,6 +881,8 @@ Result<SupervisedResult> CampaignSupervisor::run(Sampler& sampler, Rng& rng,
                                  sup.quarantined_shards);
     config_.metrics->add_counter("supervisor.quarantined_samples",
                                  sup.quarantined_samples);
+    config_.metrics->add_counter("supervisor.storage_full_stops",
+                                 sup.storage_full_stops);
     config_.metrics->set_gauge("supervisor.workers",
                                static_cast<double>(config_.workers));
   }

@@ -148,6 +148,9 @@ struct SupervisedResult {
   /// Shards (and the samples they cover) written off as kWorkerCrashed.
   std::size_t quarantined_shards = 0;
   std::size_t quarantined_samples = 0;
+  /// Workers that exited with kExitResumableStop (storage full/failing);
+  /// > 0 implies the campaign stopped gracefully and is resumable.
+  std::size_t storage_full_stops = 0;
 };
 
 /// Runs a campaign across OS-process workers (see file header). The
@@ -171,6 +174,14 @@ class CampaignSupervisor {
 };
 
 /// --- worker side ---------------------------------------------------------
+
+/// Process exit code of a worker (and of `fav evaluate`) that stopped
+/// gracefully because the storage device filled or failed mid-campaign
+/// (ErrorCode::kStorageFull). Every journaled shard is intact and the
+/// campaign is resumable; the supervisor treats this exit as a fleet-wide
+/// graceful stop — the in-flight shard goes back to pending with no
+/// attempts charge (no quarantine) and the slot is not respawned.
+constexpr int kExitResumableStop = 3;
 
 /// Sentinel for "no crash injection" (see WorkerHeartbeat::set_crash_on).
 constexpr std::uint64_t kNoCrashIndex = ~0ull;

@@ -41,6 +41,34 @@ UnrolledCone::UnrolledCone(const Netlist& nl, NodeId responding_signal,
   for (auto& f : fanout_) sort_frame(f);
 }
 
+UnrolledCone::UnrolledCone(NodeId responding_signal,
+                           std::vector<ConeFrame> fanin_frames,
+                           std::vector<ConeFrame> fanout_frames)
+    : rs_(responding_signal),
+      fanin_(std::move(fanin_frames)),
+      fanout_(std::move(fanout_frames)) {
+  fanout_depth_ = static_cast<int>(fanout_.size());
+  FAV_ENSURE_MSG(!fanin_.empty(), "cone needs at least frame 0");
+  for (std::size_t i = 0; i < fanin_.size(); ++i) {
+    FAV_ENSURE_MSG(fanin_[i].frame == static_cast<int>(i),
+                  "fanin frame order violated at index " << i);
+  }
+  for (std::size_t i = 0; i < fanout_.size(); ++i) {
+    FAV_ENSURE_MSG(fanout_[i].frame == -static_cast<int>(i) - 1,
+                  "fanout frame order violated at index " << i);
+  }
+  members_.resize(fanin_.size() + fanout_.size());
+  auto index = [&](const ConeFrame& f) {
+    return static_cast<std::size_t>(f.frame + fanout_depth_);
+  };
+  for (const auto& frames : {&fanin_, &fanout_}) {
+    for (const ConeFrame& f : *frames) {
+      members_[index(f)].insert(f.gates.begin(), f.gates.end());
+      members_[index(f)].insert(f.registers.begin(), f.registers.end());
+    }
+  }
+}
+
 const ConeFrame& UnrolledCone::frame(int frame_index) const {
   FAV_ENSURE_MSG(has_frame(frame_index), "frame " << frame_index << " not extracted");
   if (frame_index >= 0) return fanin_[static_cast<std::size_t>(frame_index)];

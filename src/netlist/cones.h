@@ -31,6 +31,12 @@ class UnrolledCone {
   UnrolledCone(const Netlist& nl, NodeId responding_signal, int fanin_depth,
                int fanout_depth);
 
+  /// Rebuilds a cone from previously extracted frames (the artifact-cache
+  /// load path). Frames must follow the extraction convention: fanin frames
+  /// 0..N ascending, fanout frames -1..-M descending, members sorted.
+  UnrolledCone(NodeId responding_signal, std::vector<ConeFrame> fanin_frames,
+               std::vector<ConeFrame> fanout_frames);
+
   NodeId responding_signal() const { return rs_; }
 
   /// Frames 0, 1, ..., fanin_depth (ascending frame index).

@@ -1,0 +1,355 @@
+#include "precharac/artifact.h"
+
+#include <filesystem>
+
+#include "util/io.h"
+
+namespace fav::precharac {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'A', 'V', 'P', 'C', 'A', '1', '\0'};
+// Section tags ("CTX\0", "CONE", "SIGS", "CHAR", "POTN" little-endian).
+constexpr std::uint32_t kSecContext = 0x00585443u;
+constexpr std::uint32_t kSecCone = 0x454E4F43u;
+constexpr std::uint32_t kSecSignatures = 0x53474953u;
+constexpr std::uint32_t kSecCharacterization = 0x52414843u;
+constexpr std::uint32_t kSecPotency = 0x4E544F50u;
+// Garbage artifacts must not trigger huge allocations (journal discipline).
+constexpr std::uint64_t kMaxSection = 1ull << 30;
+
+using io::get_le;
+using io::put_le;
+
+std::string canonical_key(const PrecharacKey& key) {
+  return key.benchmark + "|" + std::to_string(key.benchmark_cycles) + "|" +
+         std::to_string(key.cone_fanin_depth) + "|" +
+         std::to_string(key.cone_fanout_depth) + "|" +
+         std::to_string(key.precharac_cycles) + "|" +
+         std::to_string(key.characterization.horizon) + "|" +
+         std::to_string(key.characterization.first_cycle) + "|" +
+         std::to_string(key.characterization.stride) + "|" +
+         std::to_string(key.characterization.lifetime_threshold) + "|" +
+         std::to_string(key.characterization.contamination_threshold) + "|" +
+         std::to_string(key.node_count) + "|" + std::to_string(key.total_bits);
+}
+
+// --- section payload serialization ----------------------------------------
+
+void put_frames(std::string& out, const std::vector<netlist::ConeFrame>& fs) {
+  put_le(out, static_cast<std::uint32_t>(fs.size()));
+  for (const netlist::ConeFrame& f : fs) {
+    put_le(out, static_cast<std::int32_t>(f.frame));
+    put_le(out, static_cast<std::uint32_t>(f.gates.size()));
+    for (const netlist::NodeId g : f.gates) put_le(out, g);
+    put_le(out, static_cast<std::uint32_t>(f.registers.size()));
+    for (const netlist::NodeId r : f.registers) put_le(out, r);
+  }
+}
+
+bool get_frames(const std::string& data, std::size_t* off,
+                std::vector<netlist::ConeFrame>* fs) {
+  std::uint32_t count = 0;
+  if (!get_le(data, off, &count) || count > data.size()) return false;
+  fs->resize(count);
+  for (netlist::ConeFrame& f : *fs) {
+    std::int32_t frame = 0;
+    std::uint32_t n = 0;
+    if (!get_le(data, off, &frame)) return false;
+    f.frame = frame;
+    if (!get_le(data, off, &n) || n > data.size()) return false;
+    f.gates.resize(n);
+    for (netlist::NodeId& g : f.gates) {
+      if (!get_le(data, off, &g)) return false;
+    }
+    if (!get_le(data, off, &n) || n > data.size()) return false;
+    f.registers.resize(n);
+    for (netlist::NodeId& r : f.registers) {
+      if (!get_le(data, off, &r)) return false;
+    }
+  }
+  return true;
+}
+
+std::string serialize_cone(const PrecharacBundle& b) {
+  std::string out;
+  put_le(out, b.responding_signal);
+  put_frames(out, b.fanin_frames);
+  put_frames(out, b.fanout_frames);
+  return out;
+}
+
+bool parse_cone(const std::string& data, PrecharacBundle* b) {
+  std::size_t off = 0;
+  if (!get_le(data, &off, &b->responding_signal)) return false;
+  if (!get_frames(data, &off, &b->fanin_frames)) return false;
+  if (!get_frames(data, &off, &b->fanout_frames)) return false;
+  return off == data.size();
+}
+
+std::string serialize_signatures(const PrecharacBundle& b) {
+  std::string out;
+  put_le(out, b.signature_cycles);
+  put_le(out, static_cast<std::uint32_t>(b.signatures.size()));
+  for (const BitVector& sig : b.signatures) {
+    put_le(out, static_cast<std::uint64_t>(sig.size()));
+    put_le(out, static_cast<std::uint32_t>(sig.words().size()));
+    for (const std::uint64_t w : sig.words()) put_le(out, w);
+  }
+  return out;
+}
+
+bool parse_signatures(const std::string& data, PrecharacBundle* b) {
+  std::size_t off = 0;
+  std::uint32_t count = 0;
+  if (!get_le(data, &off, &b->signature_cycles)) return false;
+  if (!get_le(data, &off, &count) || count > data.size()) return false;
+  b->signatures.resize(count);
+  for (BitVector& sig : b->signatures) {
+    std::uint64_t bits = 0;
+    std::uint32_t words = 0;
+    if (!get_le(data, &off, &bits) || !get_le(data, &off, &words)) {
+      return false;
+    }
+    if (words != (bits + 63) / 64 || words > data.size()) return false;
+    std::vector<std::uint64_t> storage(words);
+    for (std::uint64_t& w : storage) {
+      if (!get_le(data, &off, &w)) return false;
+    }
+    sig = BitVector::from_words(std::move(storage),
+                                static_cast<std::size_t>(bits));
+  }
+  return off == data.size();
+}
+
+std::string serialize_characterization(const PrecharacBundle& b) {
+  std::string out;
+  put_le(out, b.charac_config.horizon);
+  put_le(out, b.charac_config.first_cycle);
+  put_le(out, b.charac_config.stride);
+  put_le(out, b.charac_config.lifetime_threshold);
+  put_le(out, b.charac_config.contamination_threshold);
+  put_le(out, static_cast<std::uint32_t>(b.bits.size()));
+  for (std::size_t i = 0; i < b.bits.size(); ++i) {
+    put_le(out, b.bits[i].avg_lifetime);
+    put_le(out, b.bits[i].max_lifetime);
+    put_le(out, b.bits[i].avg_contamination);
+    put_le(out, static_cast<std::int32_t>(b.bits[i].samples));
+    put_le(out, static_cast<std::uint8_t>(b.characterized[i]));
+  }
+  return out;
+}
+
+bool parse_characterization(const std::string& data, PrecharacBundle* b) {
+  std::size_t off = 0;
+  std::uint32_t count = 0;
+  if (!get_le(data, &off, &b->charac_config.horizon)) return false;
+  if (!get_le(data, &off, &b->charac_config.first_cycle)) return false;
+  if (!get_le(data, &off, &b->charac_config.stride)) return false;
+  if (!get_le(data, &off, &b->charac_config.lifetime_threshold)) return false;
+  if (!get_le(data, &off, &b->charac_config.contamination_threshold)) {
+    return false;
+  }
+  if (!get_le(data, &off, &count) || count > data.size()) return false;
+  b->bits.resize(count);
+  b->characterized.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::int32_t samples = 0;
+    std::uint8_t done = 0;
+    if (!get_le(data, &off, &b->bits[i].avg_lifetime) ||
+        !get_le(data, &off, &b->bits[i].max_lifetime) ||
+        !get_le(data, &off, &b->bits[i].avg_contamination) ||
+        !get_le(data, &off, &samples) || !get_le(data, &off, &done)) {
+      return false;
+    }
+    b->bits[i].samples = samples;
+    b->characterized[i] = static_cast<char>(done);
+  }
+  return off == data.size();
+}
+
+std::string serialize_potency(const PrecharacBundle& b) {
+  std::string out;
+  put_le(out, static_cast<std::uint32_t>(b.memory_bit_potency.size()));
+  for (const double p : b.memory_bit_potency) put_le(out, p);
+  return out;
+}
+
+bool parse_potency(const std::string& data, PrecharacBundle* b) {
+  std::size_t off = 0;
+  std::uint32_t count = 0;
+  if (!get_le(data, &off, &count) || count > data.size()) return false;
+  b->memory_bit_potency.resize(count);
+  for (double& p : b->memory_bit_potency) {
+    if (!get_le(data, &off, &p)) return false;
+  }
+  return off == data.size();
+}
+
+void append_section(std::string& out, std::uint32_t tag,
+                    const std::string& payload) {
+  put_le(out, tag);
+  put_le(out, static_cast<std::uint64_t>(payload.size()));
+  out += payload;
+  put_le(out, io::crc32c(payload.data(), payload.size()));
+}
+
+ArtifactLoad fail(ArtifactOutcome outcome, std::string detail) {
+  ArtifactLoad load;
+  load.outcome = outcome;
+  load.detail = std::move(detail);
+  return load;
+}
+
+}  // namespace
+
+const char* artifact_outcome_name(ArtifactOutcome outcome) {
+  switch (outcome) {
+    case ArtifactOutcome::kHit: return "hit";
+    case ArtifactOutcome::kMiss: return "miss";
+    case ArtifactOutcome::kStale: return "stale";
+    case ArtifactOutcome::kCorrupt: return "corrupt";
+  }
+  return "unknown";
+}
+
+std::uint64_t precharac_fingerprint(const PrecharacKey& key) {
+  const std::string id = canonical_key(key);
+  return io::fnv1a64(id.data(), id.size());
+}
+
+ArtifactLoad load_artifact(const std::string& path,
+                           std::uint64_t fingerprint) {
+  {
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) {
+      return fail(ArtifactOutcome::kMiss, "no artifact at " + path);
+    }
+  }
+  Result<std::string> contents = io::read_file(path);
+  if (!contents.is_ok()) {
+    return fail(ArtifactOutcome::kMiss,
+                "artifact unreadable: " + contents.status().message());
+  }
+  const std::string& data = contents.value();
+
+  // Header. The version gate runs before the header checksum so a future
+  // format reads as stale (recompute), not as corruption.
+  std::size_t off = 0;
+  if (data.size() < sizeof(kMagic) ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return fail(ArtifactOutcome::kCorrupt, "bad artifact magic in " + path);
+  }
+  off = sizeof(kMagic);
+  std::uint32_t version = 0, section_count = 0, header_crc = 0;
+  std::uint64_t file_fingerprint = 0;
+  const std::size_t header_start = off;
+  if (!get_le(data, &off, &version)) {
+    return fail(ArtifactOutcome::kCorrupt, "truncated artifact header");
+  }
+  if (version != kArtifactVersion) {
+    return fail(ArtifactOutcome::kStale,
+                "artifact format version " + std::to_string(version) +
+                    " (this build reads " +
+                    std::to_string(kArtifactVersion) + ")");
+  }
+  if (!get_le(data, &off, &file_fingerprint) ||
+      !get_le(data, &off, &section_count)) {
+    return fail(ArtifactOutcome::kCorrupt, "truncated artifact header");
+  }
+  const std::size_t header_len = off - header_start;
+  if (!get_le(data, &off, &header_crc) ||
+      header_crc != io::crc32c(data.data() + header_start, header_len)) {
+    return fail(ArtifactOutcome::kCorrupt,
+                "artifact header checksum failure in " + path);
+  }
+  if (file_fingerprint != fingerprint) {
+    return fail(ArtifactOutcome::kStale,
+                "fingerprint mismatch (artifact was elaborated for a "
+                "different configuration)");
+  }
+
+  // Sections: every payload is checksummed; anything short is corruption
+  // (artifact writes are atomic, so a torn file is disk damage, not a crash
+  // artifact like a torn journal tail).
+  ArtifactLoad load;
+  load.outcome = ArtifactOutcome::kHit;
+  bool have_cone = false, have_sigs = false, have_charac = false,
+       have_potency = false;
+  for (std::uint32_t s = 0; s < section_count; ++s) {
+    std::uint32_t tag = 0, crc = 0;
+    std::uint64_t len = 0;
+    if (!get_le(data, &off, &tag) || !get_le(data, &off, &len) ||
+        len > kMaxSection || data.size() - off < len) {
+      return fail(ArtifactOutcome::kCorrupt,
+                  "truncated artifact section " + std::to_string(s));
+    }
+    const std::string payload = data.substr(off, len);
+    off += len;
+    if (!get_le(data, &off, &crc) ||
+        crc != io::crc32c(payload.data(), payload.size())) {
+      return fail(ArtifactOutcome::kCorrupt,
+                  "artifact section " + std::to_string(s) +
+                      " checksum failure");
+    }
+    bool parsed = true;
+    switch (tag) {
+      case kSecContext:
+        break;  // provenance only; checksummed but not interpreted
+      case kSecCone:
+        parsed = parse_cone(payload, &load.bundle);
+        have_cone = parsed;
+        break;
+      case kSecSignatures:
+        parsed = parse_signatures(payload, &load.bundle);
+        have_sigs = parsed;
+        break;
+      case kSecCharacterization:
+        parsed = parse_characterization(payload, &load.bundle);
+        have_charac = parsed;
+        break;
+      case kSecPotency:
+        parsed = parse_potency(payload, &load.bundle);
+        have_potency = parsed;
+        break;
+      default:
+        return fail(ArtifactOutcome::kCorrupt,
+                    "unknown artifact section tag " + std::to_string(tag));
+    }
+    if (!parsed) {
+      return fail(ArtifactOutcome::kCorrupt,
+                  "artifact section " + std::to_string(s) +
+                      " payload malformed");
+    }
+  }
+  if (off != data.size()) {
+    return fail(ArtifactOutcome::kCorrupt,
+                "trailing bytes after the last artifact section");
+  }
+  if (!have_cone || !have_sigs || !have_charac || !have_potency) {
+    return fail(ArtifactOutcome::kCorrupt,
+                "artifact is missing a required section");
+  }
+  return load;
+}
+
+Status save_artifact(const std::string& path, std::uint64_t fingerprint,
+                     const std::string& context,
+                     const PrecharacBundle& bundle) {
+  std::string out(kMagic, sizeof(kMagic));
+  std::string header;
+  put_le(header, kArtifactVersion);
+  put_le(header, fingerprint);
+  put_le(header, static_cast<std::uint32_t>(5));  // section count
+  out += header;
+  put_le(out, io::crc32c(header.data(), header.size()));
+  append_section(out, kSecContext, context);
+  append_section(out, kSecCone, serialize_cone(bundle));
+  append_section(out, kSecSignatures, serialize_signatures(bundle));
+  append_section(out, kSecCharacterization,
+                 serialize_characterization(bundle));
+  append_section(out, kSecPotency, serialize_potency(bundle));
+  return io::atomic_write_file(path, out);
+}
+
+}  // namespace fav::precharac

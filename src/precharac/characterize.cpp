@@ -11,6 +11,16 @@ using rtl::Machine;
 using rtl::RegisterMap;
 
 RegisterCharacterization::RegisterCharacterization(
+    const CharacterizationConfig& config,
+    std::vector<BitCharacterization> bits, std::vector<char> done)
+    : config_(config), bits_(std::move(bits)), done_(std::move(done)) {
+  const auto total =
+      static_cast<std::size_t>(Machine::reg_map().total_bits());
+  FAV_ENSURE_MSG(bits_.size() == total && done_.size() == total,
+                "characterization size does not match the register map");
+}
+
+RegisterCharacterization::RegisterCharacterization(
     const rtl::GoldenRun& golden, const CharacterizationConfig& config,
     std::vector<int> bits)
     : config_(config) {

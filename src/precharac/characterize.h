@@ -48,6 +48,13 @@ class RegisterCharacterization {
                            const CharacterizationConfig& config = {},
                            std::vector<int> bits = {});
 
+  /// Rebuilds a characterization from previously measured per-bit results
+  /// (the artifact-cache load path); both vectors are indexed by flat bit
+  /// and must cover the full register map.
+  RegisterCharacterization(const CharacterizationConfig& config,
+                           std::vector<BitCharacterization> bits,
+                           std::vector<char> done);
+
   const CharacterizationConfig& config() const { return config_; }
 
   bool characterized(int flat_bit) const;
@@ -61,6 +68,10 @@ class RegisterCharacterization {
   /// Lifetime assigned to a bit for the sampling weights' L(g): average
   /// lifetime, or 0 for uncharacterized bits.
   double lifetime(int flat_bit) const;
+
+  /// Raw per-bit storage, indexed by flat bit (artifact serialization).
+  const std::vector<BitCharacterization>& raw_bits() const { return bits_; }
+  const std::vector<char>& raw_done() const { return done_; }
 
  private:
   CharacterizationConfig config_;

@@ -25,6 +25,11 @@ class SignatureTrace {
   SignatureTrace(const soc::SocNetlist& soc, const rtl::Program& workload,
                  std::uint64_t max_cycles);
 
+  /// Rebuilds a trace from previously recorded signatures (the artifact-cache
+  /// load path); `signatures` is indexed by NodeId, one bit per cycle.
+  SignatureTrace(std::uint64_t cycles, std::vector<BitVector> signatures)
+      : cycles_(cycles), signatures_(std::move(signatures)) {}
+
   std::uint64_t cycles() const { return cycles_; }
 
   /// Switching signature of `node`; one bit per simulated cycle.

@@ -21,6 +21,18 @@ BitVector BitVector::from_string(const std::string& bits) {
   return v;
 }
 
+BitVector BitVector::from_words(std::vector<std::uint64_t> words,
+                                std::size_t size) {
+  FAV_ENSURE_MSG(words.size() == word_count(size),
+                "word count " << words.size() << " does not match size "
+                              << size);
+  BitVector v;
+  v.words_ = std::move(words);
+  v.size_ = size;
+  v.trim();
+  return v;
+}
+
 bool BitVector::get(std::size_t i) const {
   FAV_ENSURE_MSG(i < size_, "bit index " << i << " out of range " << size_);
   return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;

@@ -19,6 +19,10 @@ class BitVector {
   explicit BitVector(std::size_t size, bool value = false);
   /// Parses a string of '0'/'1' characters; index 0 is the leftmost char.
   static BitVector from_string(const std::string& bits);
+  /// Rebuilds a vector from its raw word storage (see words()); bits beyond
+  /// `size` in the last word are cleared. The word count must match `size`.
+  static BitVector from_words(std::vector<std::uint64_t> words,
+                              std::size_t size);
 
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
@@ -68,6 +72,10 @@ class BitVector {
 
   /// Indices of set bits, ascending.
   std::vector<std::size_t> set_bits() const;
+
+  /// Raw 64-bit word storage (little-endian bit order within each word),
+  /// for serialization; pair with size() and rebuild via from_words().
+  const std::vector<std::uint64_t>& words() const { return words_; }
 
  private:
   static constexpr std::size_t kWordBits = 64;

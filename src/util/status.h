@@ -32,6 +32,10 @@ enum class ErrorCode : int {
   kInternal = 9,           // invariant violation escaping as an error value
   kWorkerCrashed = 10,     // supervised worker process died evaluating a shard
   kSubprocessFailed = 11,  // worker spawn / pipe protocol failure
+  kArtifactCorrupt = 12,   // pre-characterization artifact failed validation
+  kArtifactStale = 13,     // artifact fingerprint/version does not match
+  kStorageFull = 14,       // ENOSPC/EDQUOT/EIO: stop gracefully, resumable
+  kIoError = 15,           // generic non-journal file I/O failure
 };
 
 inline const char* error_code_name(ErrorCode code) {
@@ -48,6 +52,10 @@ inline const char* error_code_name(ErrorCode code) {
     case ErrorCode::kInternal: return "INTERNAL";
     case ErrorCode::kWorkerCrashed: return "WORKER_CRASHED";
     case ErrorCode::kSubprocessFailed: return "SUBPROCESS_FAILED";
+    case ErrorCode::kArtifactCorrupt: return "ARTIFACT_CORRUPT";
+    case ErrorCode::kArtifactStale: return "ARTIFACT_STALE";
+    case ErrorCode::kStorageFull: return "STORAGE_FULL";
+    case ErrorCode::kIoError: return "IO_ERROR";
   }
   return "UNKNOWN";
 }

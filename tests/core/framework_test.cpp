@@ -1,11 +1,14 @@
 #include "core/framework.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "util/check.h"
+#include "util/io.h"
 #include "util/status.h"
 
 namespace fav::core {
@@ -324,6 +327,128 @@ TEST(FrameworkTechnique, AdaptiveEntryPointsAreTechniqueChecked) {
   auto pilot = fw().make_random_sampler(attack);
   EXPECT_THROW(glitch_fw().run_adaptive(attack, *pilot, rng, 10, 10),
                fav::CheckError);
+}
+
+// --- persistent pre-characterization cache (precharac/artifact.h) ---------
+
+class PrecharacCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("fav_precharac_cache_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    path_ = (dir_ / "bundle.fpa").string();
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  FrameworkConfig cache_config() const {
+    FrameworkConfig cfg;
+    cfg.precharac_cache_path = path_;
+    cfg.log = [](const std::string&) {};  // keep test output quiet
+    return cfg;
+  }
+
+  /// A fixed campaign over `f`; any divergence in the loaded bundle would
+  /// change the sample stream or per-sample outcomes.
+  static mc::SsfResult campaign(FaultAttackEvaluator& f) {
+    const auto attack = f.subblock_attack_model(1.5, 50);
+    Rng rng(42);
+    auto sampler = f.make_importance_sampler(attack);
+    return f.evaluator().run(*sampler, rng, 400);
+  }
+
+  static void expect_identical(const mc::SsfResult& a, const mc::SsfResult& b) {
+    EXPECT_EQ(a.ssf(), b.ssf());
+    EXPECT_EQ(a.sample_variance(), b.sample_variance());
+    EXPECT_EQ(a.successes, b.successes);
+    EXPECT_EQ(a.masked, b.masked);
+    EXPECT_EQ(a.analytical, b.analytical);
+    EXPECT_EQ(a.rtl, b.rtl);
+    EXPECT_EQ(a.bit_contribution, b.bit_contribution);
+    EXPECT_EQ(a.field_contribution, b.field_contribution);
+  }
+
+  std::filesystem::path dir_;
+  std::string path_;
+};
+
+TEST_F(PrecharacCacheTest, ColdWritesWarmLoadsBitwiseIdentical) {
+  FaultAttackEvaluator cold(soc::make_illegal_write_benchmark(),
+                            cache_config());
+  EXPECT_EQ(cold.precharac_cache().outcome, "miss");
+  EXPECT_TRUE(cold.precharac_cache().stored);
+  EXPECT_EQ(cold.metrics().counter("precharac.cache_miss"), 1u);
+  EXPECT_EQ(cold.metrics().counter("precharac.cache_saved"), 1u);
+  ASSERT_TRUE(std::filesystem::exists(path_));
+
+  FaultAttackEvaluator warm(soc::make_illegal_write_benchmark(),
+                            cache_config());
+  EXPECT_EQ(warm.precharac_cache().outcome, "hit");
+  EXPECT_FALSE(warm.precharac_cache().stored);
+  EXPECT_EQ(warm.metrics().counter("precharac.cache_hit"), 1u);
+
+  // Cache-off (the shared fixture), cold-write and warm-load must produce
+  // bitwise-identical campaigns — the cache may never change an answer.
+  const auto off_res = campaign(fw());
+  auto cold_res = campaign(cold);
+  auto warm_res = campaign(warm);
+  expect_identical(off_res, cold_res);
+  expect_identical(off_res, warm_res);
+}
+
+TEST_F(PrecharacCacheTest, CorruptArtifactRecomputesAndRewrites) {
+  FaultAttackEvaluator cold(soc::make_illegal_write_benchmark(),
+                            cache_config());
+  ASSERT_TRUE(cold.precharac_cache().stored);
+  // Flip one byte deep in the body (past the 28-byte header).
+  Result<std::string> bytes = io::read_file(path_);
+  ASSERT_TRUE(bytes.is_ok());
+  std::string mutated = bytes.value();
+  mutated[mutated.size() / 2] =
+      static_cast<char>(mutated[mutated.size() / 2] ^ 0x10);
+  ASSERT_TRUE(io::atomic_write_file(path_, mutated).is_ok());
+
+  FaultAttackEvaluator recovered(soc::make_illegal_write_benchmark(),
+                                 cache_config());
+  EXPECT_EQ(recovered.precharac_cache().outcome, "corrupt");
+  EXPECT_TRUE(recovered.precharac_cache().stored);  // rewrote a good artifact
+  EXPECT_EQ(recovered.metrics().counter("precharac.cache_corrupt"), 1u);
+  expect_identical(campaign(fw()), campaign(recovered));
+
+  // The rewrite restored a loadable artifact.
+  FaultAttackEvaluator warm(soc::make_illegal_write_benchmark(),
+                            cache_config());
+  EXPECT_EQ(warm.precharac_cache().outcome, "hit");
+}
+
+TEST_F(PrecharacCacheTest, DifferentConfigIsStaleNotCorrupt) {
+  FaultAttackEvaluator cold(soc::make_illegal_write_benchmark(),
+                            cache_config());
+  ASSERT_TRUE(cold.precharac_cache().stored);
+  FrameworkConfig changed = cache_config();
+  changed.characterization.horizon += 1;  // changes the fingerprint
+  FaultAttackEvaluator stale(soc::make_illegal_write_benchmark(), changed);
+  EXPECT_EQ(stale.precharac_cache().outcome, "stale");
+  EXPECT_TRUE(stale.precharac_cache().stored);  // last writer wins
+  EXPECT_EQ(stale.metrics().counter("precharac.cache_stale"), 1u);
+}
+
+TEST_F(PrecharacCacheTest, HeldLockDegradesToUnlockedElaboration) {
+  // A peer that wedges while holding the elaboration lock must cost this
+  // process only the bounded wait, never correctness or a deadlock.
+  io::FileLock peer;
+  ASSERT_TRUE(peer.acquire(path_ + ".lock", 1000).is_ok());
+  FrameworkConfig cfg = cache_config();
+  cfg.precharac_cache_lock_timeout_ms = 50;
+  FaultAttackEvaluator unlocked(soc::make_illegal_write_benchmark(), cfg);
+  EXPECT_EQ(unlocked.precharac_cache().outcome, "miss");
+  EXPECT_TRUE(unlocked.precharac_cache().stored);
+  EXPECT_EQ(unlocked.metrics().counter("precharac.cache_lock_timeouts"), 1u);
+  expect_identical(campaign(fw()), campaign(unlocked));
 }
 
 TEST(Framework, ReadBenchmarkAlsoWorks) {

@@ -1,0 +1,272 @@
+#include "precharac/artifact.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/io.h"
+#include "util/rng.h"
+
+namespace fav::precharac {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A small but fully populated bundle exercising every section, including
+/// negative cone frames, empty frames, NaN-free doubles and multi-word
+/// signatures.
+PrecharacBundle make_bundle() {
+  PrecharacBundle b;
+  b.responding_signal = 7;
+  b.fanin_frames.resize(3);
+  for (int i = 0; i < 3; ++i) {
+    b.fanin_frames[i].frame = i;
+    b.fanin_frames[i].gates = {static_cast<netlist::NodeId>(10 + i),
+                               static_cast<netlist::NodeId>(20 + i)};
+    b.fanin_frames[i].registers = {static_cast<netlist::NodeId>(30 + i)};
+  }
+  b.fanout_frames.resize(2);
+  for (int i = 0; i < 2; ++i) {
+    b.fanout_frames[i].frame = -(i + 1);
+    b.fanout_frames[i].gates = {static_cast<netlist::NodeId>(40 + i)};
+  }
+  b.signature_cycles = 70;  // > 64 so signatures span two words
+  for (int n = 0; n < 5; ++n) {
+    BitVector sig(70);
+    for (int c = n; c < 70; c += n + 2) sig.set(c, true);
+    b.signatures.push_back(sig);
+  }
+  b.charac_config.horizon = 123;
+  b.charac_config.first_cycle = 4;
+  b.charac_config.stride = 9;
+  b.charac_config.lifetime_threshold = 55.5;
+  b.charac_config.contamination_threshold = 0.25;
+  b.bits.resize(6);
+  b.characterized.assign(6, 0);
+  for (int i = 0; i < 6; ++i) {
+    b.bits[i].avg_lifetime = 1.5 * i;
+    b.bits[i].max_lifetime = 3.0 * i;
+    b.bits[i].avg_contamination = 0.125 * i;
+    b.bits[i].samples = i;
+    b.characterized[i] = (i % 2 == 0) ? 1 : 0;
+  }
+  b.memory_bit_potency = {0.0, 0.5, 1.0, 0.0, 0.75, 1.0};
+  return b;
+}
+
+void expect_bundles_equal(const PrecharacBundle& a, const PrecharacBundle& z) {
+  EXPECT_EQ(a.responding_signal, z.responding_signal);
+  ASSERT_EQ(a.fanin_frames.size(), z.fanin_frames.size());
+  for (std::size_t i = 0; i < a.fanin_frames.size(); ++i) {
+    EXPECT_EQ(a.fanin_frames[i].frame, z.fanin_frames[i].frame);
+    EXPECT_EQ(a.fanin_frames[i].gates, z.fanin_frames[i].gates);
+    EXPECT_EQ(a.fanin_frames[i].registers, z.fanin_frames[i].registers);
+  }
+  ASSERT_EQ(a.fanout_frames.size(), z.fanout_frames.size());
+  for (std::size_t i = 0; i < a.fanout_frames.size(); ++i) {
+    EXPECT_EQ(a.fanout_frames[i].frame, z.fanout_frames[i].frame);
+    EXPECT_EQ(a.fanout_frames[i].gates, z.fanout_frames[i].gates);
+    EXPECT_EQ(a.fanout_frames[i].registers, z.fanout_frames[i].registers);
+  }
+  EXPECT_EQ(a.signature_cycles, z.signature_cycles);
+  ASSERT_EQ(a.signatures.size(), z.signatures.size());
+  for (std::size_t i = 0; i < a.signatures.size(); ++i) {
+    EXPECT_EQ(a.signatures[i].words(), z.signatures[i].words());
+  }
+  EXPECT_EQ(a.charac_config.horizon, z.charac_config.horizon);
+  EXPECT_EQ(a.charac_config.lifetime_threshold,
+            z.charac_config.lifetime_threshold);
+  ASSERT_EQ(a.bits.size(), z.bits.size());
+  for (std::size_t i = 0; i < a.bits.size(); ++i) {
+    EXPECT_EQ(a.bits[i].avg_lifetime, z.bits[i].avg_lifetime);
+    EXPECT_EQ(a.bits[i].max_lifetime, z.bits[i].max_lifetime);
+    EXPECT_EQ(a.bits[i].avg_contamination, z.bits[i].avg_contamination);
+    EXPECT_EQ(a.bits[i].samples, z.bits[i].samples);
+  }
+  EXPECT_EQ(a.characterized, z.characterized);
+  EXPECT_EQ(a.memory_bit_potency, z.memory_bit_potency);
+}
+
+class ArtifactTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("fav_artifact_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+    path_ = (dir_ / "bundle.fpa").string();
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string read_bytes() const {
+    const Result<std::string> r = io::read_file(path_);
+    FAV_CHECK(r.is_ok());
+    return r.value();
+  }
+  void write_bytes(const std::string& bytes) const {
+    std::ofstream f(path_, std::ios::binary | std::ios::trunc);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  fs::path dir_;
+  std::string path_;
+};
+
+constexpr std::uint64_t kFp = 0x1122334455667788ull;
+
+TEST_F(ArtifactTest, RoundTripIsAHit) {
+  const PrecharacBundle bundle = make_bundle();
+  ASSERT_TRUE(save_artifact(path_, kFp, "test context", bundle).is_ok());
+  ArtifactLoad load = load_artifact(path_, kFp);
+  ASSERT_EQ(load.outcome, ArtifactOutcome::kHit) << load.detail;
+  expect_bundles_equal(bundle, load.bundle);
+}
+
+TEST_F(ArtifactTest, MissingFileIsAMiss) {
+  const ArtifactLoad load = load_artifact(path_, kFp);
+  EXPECT_EQ(load.outcome, ArtifactOutcome::kMiss);
+}
+
+TEST_F(ArtifactTest, WrongFingerprintIsStale) {
+  ASSERT_TRUE(save_artifact(path_, kFp, "ctx", make_bundle()).is_ok());
+  const ArtifactLoad load = load_artifact(path_, kFp + 1);
+  EXPECT_EQ(load.outcome, ArtifactOutcome::kStale);
+  EXPECT_FALSE(load.detail.empty());
+}
+
+TEST_F(ArtifactTest, FutureFormatVersionIsStaleNotCorrupt) {
+  ASSERT_TRUE(save_artifact(path_, kFp, "ctx", make_bundle()).is_ok());
+  std::string bytes = read_bytes();
+  // Version is the u32 immediately after the 8-byte magic. Bumping it also
+  // invalidates the header CRC — the version check must win (a future
+  // format is a config mismatch, not disk damage).
+  bytes[8] = static_cast<char>(kArtifactVersion + 1);
+  write_bytes(bytes);
+  const ArtifactLoad load = load_artifact(path_, kFp);
+  EXPECT_EQ(load.outcome, ArtifactOutcome::kStale);
+}
+
+TEST_F(ArtifactTest, BadMagicIsCorrupt) {
+  ASSERT_TRUE(save_artifact(path_, kFp, "ctx", make_bundle()).is_ok());
+  std::string bytes = read_bytes();
+  bytes[0] ^= 0x01;
+  write_bytes(bytes);
+  EXPECT_EQ(load_artifact(path_, kFp).outcome, ArtifactOutcome::kCorrupt);
+}
+
+// Truncating at *every* prefix length of the header region, and at a sweep
+// of points through the body, must never parse — let alone hit.
+TEST_F(ArtifactTest, TruncationAtEveryHeaderBoundaryIsDetected) {
+  ASSERT_TRUE(save_artifact(path_, kFp, "ctx", make_bundle()).is_ok());
+  const std::string bytes = read_bytes();
+  for (std::size_t len = 0; len < 28 && len < bytes.size(); ++len) {
+    write_bytes(bytes.substr(0, len));
+    const ArtifactLoad load = load_artifact(path_, kFp);
+    EXPECT_NE(load.outcome, ArtifactOutcome::kHit) << "header length " << len;
+  }
+}
+
+TEST_F(ArtifactTest, TruncationThroughBodyIsDetected) {
+  ASSERT_TRUE(save_artifact(path_, kFp, "ctx", make_bundle()).is_ok());
+  const std::string bytes = read_bytes();
+  // Every 7th length plus the exact end-1 gives dense coverage of section
+  // boundaries without a quadratic test.
+  for (std::size_t len = 28; len < bytes.size(); len += 7) {
+    write_bytes(bytes.substr(0, len));
+    EXPECT_NE(load_artifact(path_, kFp).outcome, ArtifactOutcome::kHit)
+        << "truncated to " << len << " of " << bytes.size();
+  }
+  write_bytes(bytes.substr(0, bytes.size() - 1));
+  EXPECT_NE(load_artifact(path_, kFp).outcome, ArtifactOutcome::kHit);
+}
+
+TEST_F(ArtifactTest, TrailingGarbageIsCorrupt) {
+  ASSERT_TRUE(save_artifact(path_, kFp, "ctx", make_bundle()).is_ok());
+  write_bytes(read_bytes() + std::string(3, '\0'));
+  EXPECT_EQ(load_artifact(path_, kFp).outcome, ArtifactOutcome::kCorrupt);
+}
+
+// Single-bit flips at random offsets across the whole file: every one must
+// be detected (CRC32C catches all 1-bit errors), none may surface as a hit
+// or a crash.
+TEST_F(ArtifactTest, RandomBitFlipsNeverHit) {
+  ASSERT_TRUE(save_artifact(path_, kFp, "ctx", make_bundle()).is_ok());
+  const std::string bytes = read_bytes();
+  Rng rng(2017);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = bytes;
+    const std::size_t pos =
+        static_cast<std::size_t>(rng.next() % mutated.size());
+    const int bit = static_cast<int>(rng.next() % 8);
+    mutated[pos] = static_cast<char>(mutated[pos] ^ (1u << bit));
+    write_bytes(mutated);
+    const ArtifactLoad load = load_artifact(path_, kFp);
+    EXPECT_NE(load.outcome, ArtifactOutcome::kHit)
+        << "flip at byte " << pos << " bit " << bit;
+    EXPECT_NE(load.outcome, ArtifactOutcome::kMiss);
+  }
+}
+
+TEST_F(ArtifactTest, FingerprintCoversEveryKeyKnob) {
+  PrecharacKey key;
+  key.benchmark = "write";
+  key.benchmark_cycles = 100;
+  key.cone_fanin_depth = 3;
+  key.cone_fanout_depth = 2;
+  key.precharac_cycles = 64;
+  key.node_count = 1234;
+  key.total_bits = 99;
+  const std::uint64_t base = precharac_fingerprint(key);
+  PrecharacKey k2 = key;
+  k2.benchmark = "read";
+  EXPECT_NE(precharac_fingerprint(k2), base);
+  k2 = key;
+  k2.benchmark_cycles = 101;
+  EXPECT_NE(precharac_fingerprint(k2), base);
+  k2 = key;
+  k2.cone_fanin_depth = 4;
+  EXPECT_NE(precharac_fingerprint(k2), base);
+  k2 = key;
+  k2.cone_fanout_depth = 1;
+  EXPECT_NE(precharac_fingerprint(k2), base);
+  k2 = key;
+  k2.precharac_cycles = 65;
+  EXPECT_NE(precharac_fingerprint(k2), base);
+  k2 = key;
+  k2.characterization.horizon += 1;
+  EXPECT_NE(precharac_fingerprint(k2), base);
+  k2 = key;
+  k2.characterization.lifetime_threshold += 0.5;
+  EXPECT_NE(precharac_fingerprint(k2), base);
+  k2 = key;
+  k2.node_count += 1;
+  EXPECT_NE(precharac_fingerprint(k2), base);
+  k2 = key;
+  k2.total_bits += 1;
+  EXPECT_NE(precharac_fingerprint(k2), base);
+  // And it is deterministic.
+  EXPECT_EQ(precharac_fingerprint(key), base);
+}
+
+TEST_F(ArtifactTest, SaveFailureUnderEnospcReportsStorageFull) {
+  io::ChaosFile chaos;
+  chaos.fail_write_at = 1;
+  chaos.error = ENOSPC;
+  io::chaos_install(chaos);
+  const Status failed = save_artifact(path_, kFp, "ctx", make_bundle());
+  io::chaos_reset();
+  ASSERT_FALSE(failed.is_ok());
+  EXPECT_EQ(failed.code(), ErrorCode::kStorageFull);
+  EXPECT_EQ(load_artifact(path_, kFp).outcome, ArtifactOutcome::kMiss);
+}
+
+}  // namespace
+}  // namespace fav::precharac

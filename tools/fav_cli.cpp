@@ -33,6 +33,16 @@
 //   --journal DIR                 evaluate only: crash-safe shard journal
 //   --resume                      replay the journal in --journal DIR and
 //                                  continue from the first missing sample
+//   --precharac-cache PATH        persist the pre-characterization bundle
+//                                  (cones, signatures, lifetimes, potency) to
+//                                  PATH and load it on later runs instead of
+//                                  re-elaborating. The artifact is integrity
+//                                  checked end to end; any mismatch falls
+//                                  back to recompute-and-rewrite. Results are
+//                                  bitwise-identical with and without the
+//                                  cache. Forwarded to supervised workers,
+//                                  which coordinate through PATH.lock
+//   --no-precharac-cache          clear an earlier --precharac-cache
 //   --supervise N                 evaluate only: run the campaign across N
 //                                  worker *processes* (requires --journal).
 //                                  Workers that crash or wedge are SIGKILLed
@@ -43,8 +53,10 @@
 //   --heartbeat-ms N              supervise only: per-sample liveness
 //                                  deadline before a worker is presumed
 //                                  wedged (default 30000)
-//   --shard-size N                supervise only: samples per worker
-//                                  assignment (default 256)
+//   --shard-size N                samples per journal shard: the flush /
+//                                  commit granularity, and the per-worker
+//                                  assignment size under --supervise
+//                                  (default 256)
 //   --metrics-out FILE            evaluate only: JSON run report (phase
 //                                  timings, outcome-path counters, ESS)
 //   --trace-out FILE              evaluate only: Chrome-trace events
@@ -57,8 +69,14 @@
 // silently defaulting.
 //
 // Exit codes: 0 success, 1 runtime failure, 2 usage error, 3 campaign
-// interrupted by SIGINT/SIGTERM (partial results journaled; rerun with
-// --resume to continue).
+// interrupted but resumable — SIGINT/SIGTERM, or the journal device filling
+// up / failing mid-campaign (partial results journaled; rerun with --resume
+// to continue).
+//
+// `--chaos-write-nth N` / `--chaos-fsync-nth N` are hidden test-only flags:
+// they make the Nth low-level campaign file write (or fsync) in this process
+// — and, when supervising, in every worker — fail with ENOSPC, driving the
+// degraded-I/O paths deterministically (see util/io.h ChaosFile).
 //
 // `fav worker` is a hidden command spawned by `--supervise`; it speaks the
 // supervisor pipe protocol on stdin/stdout (see mc/supervisor.h) and is not
@@ -76,6 +94,7 @@
 #include <iostream>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -84,6 +103,7 @@
 #include "core/hardening.h"
 #include "netlist/verilog.h"
 #include "rtl/vcd.h"
+#include "util/io.h"
 
 using namespace fav;
 
@@ -115,6 +135,7 @@ struct Options {
   std::string strategy = "importance";
   std::string out;
   std::string journal;
+  std::string precharac_cache;
   std::string metrics_out;
   std::string trace_out;
   bool progress = false;
@@ -141,10 +162,15 @@ struct Options {
   // Test-only chaos injection, forwarded to workers (see WorkerHeartbeat).
   std::uint64_t crash_after = 0;
   std::uint64_t crash_on = mc::kNoCrashIndex;
+  // Test-only degraded-I/O injection: make the Nth physical file write /
+  // fsync fail with ENOSPC (0 = off; see util/io.h ChaosFile).
+  std::uint64_t chaos_write_nth = 0;
+  std::uint64_t chaos_fsync_nth = 0;
 
   core::FrameworkConfig framework_config() const {
     core::FrameworkConfig cfg;
     cfg.technique = technique;
+    cfg.precharac_cache_path = precharac_cache;
     cfg.evaluator.threads = threads;
     cfg.evaluator.batch_lanes = batch_lanes;
     cfg.evaluator.cycle_budget = cycle_budget;
@@ -169,6 +195,10 @@ struct Options {
                "         --batch-lanes N (0/1 = scalar, default 64)\n"
                "         --cycle-budget N  --deadline-ms N (0 = unlimited)\n"
                "         --journal DIR  --resume (evaluate only)\n"
+               "         --precharac-cache PATH  --no-precharac-cache\n"
+               "                              (evaluate/harden: persist and\n"
+               "                               reuse the pre-characterization\n"
+               "                               bundle; integrity-checked)\n"
                "         --supervise N  --heartbeat-ms N\n"
                "         --shard-size N (evaluate only, needs --journal)\n"
                "         --metrics-out FILE  --trace-out FILE  --progress\n"
@@ -250,6 +280,14 @@ Options parse(int argc, char** argv) {
       o.deadline_ms = parse_u64(arg, value(), 0, UINT64_MAX);
     } else if (arg == "--journal") {
       o.journal = value();
+    } else if (arg == "--precharac-cache") {
+      o.precharac_cache = value();
+    } else if (arg == "--no-precharac-cache") {
+      o.precharac_cache.clear();
+    } else if (arg == "--chaos-write-nth") {
+      o.chaos_write_nth = parse_u64(arg, value(), 1, UINT64_MAX);
+    } else if (arg == "--chaos-fsync-nth") {
+      o.chaos_fsync_nth = parse_u64(arg, value(), 1, UINT64_MAX);
     } else if (arg == "--supervise") {
       o.supervise = parse_u64(arg, value(), 1, 1024);
     } else if (arg == "--heartbeat-ms") {
@@ -310,6 +348,16 @@ Options parse(int argc, char** argv) {
       o.command != "worker" && o.supervise == 0) {
     usage("--crash-after-samples/--crash-on-sample-index only apply to "
           "supervised campaigns and worker mode");
+  }
+  if (!o.precharac_cache.empty() && o.command != "evaluate" &&
+      o.command != "worker" && o.command != "harden") {
+    usage("--precharac-cache only applies to the evaluate and harden "
+          "commands");
+  }
+  if ((o.chaos_write_nth != 0 || o.chaos_fsync_nth != 0) &&
+      o.command != "evaluate" && o.command != "worker") {
+    usage("--chaos-write-nth/--chaos-fsync-nth only apply to the evaluate "
+          "command and worker mode");
   }
   return o;
 }
@@ -384,6 +432,26 @@ std::uint64_t campaign_fingerprint(const Options& o,
   return core::campaign_fingerprint(key);
 }
 
+/// Minimal JSON string escaping for free-form report fields (cache paths
+/// and fallback detail strings can carry quotes or backslashes).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
 /// Full-precision double formatting for worker argv: std::to_string would
 /// truncate to 6 decimals and hand the workers a *different* sample stream.
 std::string format_double(double v) {
@@ -422,6 +490,20 @@ std::vector<std::string> worker_command(const Options& o) {
       "--batch-lanes", std::to_string(o.batch_lanes),
       "--record-capacity", "0",
       "--journal", o.journal};
+  if (!o.precharac_cache.empty()) {
+    // Workers share the supervisor's artifact: whoever elaborates first
+    // writes it under PATH.lock, the rest load (core/framework.h).
+    argv.push_back("--precharac-cache");
+    argv.push_back(o.precharac_cache);
+  }
+  if (o.chaos_write_nth != 0) {
+    argv.push_back("--chaos-write-nth");
+    argv.push_back(std::to_string(o.chaos_write_nth));
+  }
+  if (o.chaos_fsync_nth != 0) {
+    argv.push_back("--chaos-fsync-nth");
+    argv.push_back(std::to_string(o.chaos_fsync_nth));
+  }
   if (o.crash_on != mc::kNoCrashIndex) {
     // Deterministic chaos: rides every incarnation so the shard containing
     // this index keeps killing workers and exercises the quarantine path.
@@ -437,6 +519,7 @@ struct EvalOutcome {
   std::size_t restarts = 0;
   std::size_t quarantined_shards = 0;
   std::size_t quarantined_samples = 0;
+  std::size_t storage_full_stops = 0;
 };
 
 EvalOutcome run_eval(core::FaultAttackEvaluator& fw, const Options& o,
@@ -489,6 +572,7 @@ EvalOutcome run_eval(core::FaultAttackEvaluator& fw, const Options& o,
     out.restarts = result.value().restarts;
     out.quarantined_shards = result.value().quarantined_shards;
     out.quarantined_samples = result.value().quarantined_samples;
+    out.storage_full_stops = result.value().storage_full_stops;
     return out;
   }
   if (o.journal.empty()) {
@@ -498,6 +582,7 @@ EvalOutcome run_eval(core::FaultAttackEvaluator& fw, const Options& o,
   mc::JournalOptions jopt;
   jopt.dir = o.journal;
   jopt.resume = o.resume;
+  jopt.shard_size = o.shard_size;
   jopt.fingerprint = campaign_fingerprint(o, sel.actual);
   jopt.context = o.benchmark + "/" + o.technique + "/" + sel.actual;
   Result<mc::SsfResult> result =
@@ -526,6 +611,7 @@ void print_failures(const mc::SsfResult& res) {
 /// human-readable stdout block of cmd_evaluate.
 void write_run_report(std::ostream& out, const Options& o,
                       const std::string& strategy, const EvalOutcome& eval,
+                      const core::PrecharacCacheReport& cache,
                       double elapsed_s, const MetricsSink& metrics) {
   const mc::SsfResult& res = eval.res;
   auto num = [&out](double v) {
@@ -554,8 +640,14 @@ void write_run_report(std::ostream& out, const Options& o,
     out << "  \"supervisor\": {\"restarts\": " << eval.restarts
         << ", \"quarantined_shards\": " << eval.quarantined_shards
         << ", \"quarantined_samples\": " << eval.quarantined_samples
+        << ", \"storage_full_stops\": " << eval.storage_full_stops
         << "},\n";
   }
+  out << "  \"precharac_cache\": {\"enabled\": "
+      << (cache.enabled ? "true" : "false") << ", \"path\": \""
+      << json_escape(cache.path) << "\", \"outcome\": \"" << cache.outcome
+      << "\", \"detail\": \"" << json_escape(cache.detail)
+      << "\", \"stored\": " << (cache.stored ? "true" : "false") << "},\n";
   out << "  \"elapsed_s\": ";
   num(elapsed_s);
   out << ",\n  \"samples_per_s\": ";
@@ -603,10 +695,20 @@ int cmd_evaluate(const Options& o) {
   if (progress.has_value()) cfg.evaluator.progress = &*progress;
   cfg.evaluator.stop = &g_stop;
   install_stop_handlers();
+  if (o.chaos_write_nth != 0 || o.chaos_fsync_nth != 0) {
+    io::ChaosFile chaos;
+    chaos.fail_write_at = o.chaos_write_nth;
+    chaos.fail_fsync_at = o.chaos_fsync_nth;
+    io::chaos_install(chaos);
+  }
   core::FaultAttackEvaluator fw(pick_benchmark(o.benchmark), cfg);
   std::string actual_strategy = o.strategy;
   const std::uint64_t t0 = monotonic_ns();
   const EvalOutcome eval = run_eval(fw, o, &actual_strategy);
+  // The injected fault targets the campaign write path; clear it so the
+  // interrupted run report below can still land (the real-world analogue is
+  // a report on a different device than the full journal disk).
+  io::chaos_reset();
   const mc::SsfResult& res = eval.res;
   const double elapsed_s =
       static_cast<double>(monotonic_ns() - t0) * 1e-9;
@@ -625,6 +727,16 @@ int cmd_evaluate(const Options& o) {
                 "%zu sample(s) quarantined\n",
                 o.supervise, eval.restarts, eval.quarantined_shards,
                 eval.quarantined_samples);
+    if (eval.storage_full_stops > 0) {
+      std::printf("storage    : %zu worker(s) stopped on a full/failing "
+                  "journal device\n",
+                  eval.storage_full_stops);
+    }
+  }
+  const core::PrecharacCacheReport& cache = fw.precharac_cache();
+  if (cache.enabled) {
+    std::printf("precharac  : cache %s (%s)%s\n", cache.outcome.c_str(),
+                cache.path.c_str(), cache.stored ? ", stored" : "");
   }
   std::printf("SSF        : %.6f\n", res.ssf());
   std::printf("std error  : %.6f\n", res.stats.standard_error());
@@ -637,15 +749,26 @@ int cmd_evaluate(const Options& o) {
   print_failures(res);
   if (!o.metrics_out.empty()) {
     metrics.merge(fw.metrics());  // pre-characterization + sampler provenance
-    std::ofstream f(o.metrics_out);
-    if (!f) usage(("cannot open " + o.metrics_out).c_str());
-    write_run_report(f, o, actual_strategy, eval, elapsed_s, metrics);
+    std::ostringstream report;
+    write_run_report(report, o, actual_strategy, eval, cache, elapsed_s,
+                     metrics);
+    const Status written = io::atomic_write_file(o.metrics_out, report.str());
+    if (!written.is_ok()) {
+      std::fprintf(stderr, "fav: cannot write run report: %s\n",
+                   written.to_string().c_str());
+      return 1;
+    }
     std::printf("run report : %s\n", o.metrics_out.c_str());
   }
   if (!o.trace_out.empty()) {
-    std::ofstream f(o.trace_out);
-    if (!f) usage(("cannot open " + o.trace_out).c_str());
-    trace.write_json(f);
+    std::ostringstream events;
+    trace.write_json(events);
+    const Status written = io::atomic_write_file(o.trace_out, events.str());
+    if (!written.is_ok()) {
+      std::fprintf(stderr, "fav: cannot write trace: %s\n",
+                   written.to_string().c_str());
+      return 1;
+    }
     std::printf("trace      : %s (%zu events)\n", o.trace_out.c_str(),
                 trace.size());
   }
@@ -668,6 +791,12 @@ int cmd_worker(const Options& o) {
   // supervisor dies, and workers must not outlive it.
   ::signal(SIGPIPE, SIG_IGN);
   ::signal(SIGINT, SIG_IGN);
+  if (o.chaos_write_nth != 0 || o.chaos_fsync_nth != 0) {
+    io::ChaosFile chaos;
+    chaos.fail_write_at = o.chaos_write_nth;
+    chaos.fail_fsync_at = o.chaos_fsync_nth;
+    io::chaos_install(chaos);
+  }
   static mc::WorkerHeartbeat heartbeat(STDOUT_FILENO);
   heartbeat.set_crash_after(o.crash_after);
   heartbeat.set_crash_on(o.crash_on);
@@ -706,6 +835,12 @@ int cmd_worker(const Options& o) {
   if (!status.is_ok()) {
     std::fprintf(stderr, "fav worker %zu: %s\n", o.worker_id,
                  status.to_string().c_str());
+    // Storage full/failing: every journaled shard is intact, so signal the
+    // supervisor to stop the fleet gracefully instead of treating this
+    // worker as crashed (no attempts charge, no quarantine, no respawn).
+    if (status.code() == ErrorCode::kStorageFull) {
+      return mc::kExitResumableStop;
+    }
     return 1;
   }
   return 0;
