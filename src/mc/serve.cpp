@@ -1,0 +1,513 @@
+#include "mc/serve.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "util/io.h"
+#include "util/metrics.h"
+#include "util/subprocess.h"
+
+namespace fav::mc {
+
+namespace {
+
+// --- wire codec (same shape as the supervisor's) --------------------------
+
+template <typename T>
+void put(std::string& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out.append(bytes, sizeof(T));
+}
+
+template <typename T>
+bool get(std::string_view data, std::size_t* offset, T* value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (data.size() - *offset < sizeof(T)) return false;
+  std::memcpy(value, data.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+void put_string(std::string& out, std::string_view s) {
+  put(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s.data(), s.size());
+}
+
+bool get_string(std::string_view data, std::size_t* offset, std::string* s) {
+  std::uint32_t len = 0;
+  if (!get(data, offset, &len)) return false;
+  if (data.size() - *offset < len) return false;
+  s->assign(data.data() + *offset, len);
+  *offset += len;
+  return true;
+}
+
+// --- socket plumbing ------------------------------------------------------
+
+Status fill_sockaddr(const std::string& path, sockaddr_un* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr->sun_path)) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "socket path must be 1.." +
+                      std::to_string(sizeof(addr->sun_path) - 1) +
+                      " bytes, got " + std::to_string(path.size()));
+  }
+  std::memcpy(addr->sun_path, path.data(), path.size());
+  return Status::ok();
+}
+
+/// RAII fd so every early return in the protocol paths closes the socket.
+class UniqueFd {
+ public:
+  explicit UniqueFd(int fd = -1) : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  int get() const { return fd_; }
+  int release() { return std::exchange(fd_, -1); }
+  void reset() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+Result<UniqueFd> connect_unix(const std::string& path) {
+  sockaddr_un addr;
+  const Status named = fill_sockaddr(path, &addr);
+  if (!named.is_ok()) return named;
+  UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (fd.get() < 0) {
+    return Status(ErrorCode::kSubprocessFailed,
+                  "socket failed: " + io::errno_message(errno));
+  }
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return Status(ErrorCode::kSubprocessFailed,
+                  "cannot connect to " + path + ": " +
+                      io::errno_message(errno));
+  }
+  return fd;
+}
+
+Result<UniqueFd> bind_and_listen(const std::string& path) {
+  sockaddr_un addr;
+  const Status named = fill_sockaddr(path, &addr);
+  if (!named.is_ok()) return named;
+  UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (fd.get() < 0) {
+    return Status(ErrorCode::kSubprocessFailed,
+                  "socket failed: " + io::errno_message(errno));
+  }
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    if (errno != EADDRINUSE) {
+      return Status(ErrorCode::kIoError,
+                    "bind " + path + " failed: " + io::errno_message(errno));
+    }
+    // The path exists. If a daemon is accepting on it, refuse to hijack;
+    // if nothing answers, it is a stale file from a crashed daemon —
+    // replace it.
+    Result<UniqueFd> probe = connect_unix(path);
+    if (probe.is_ok()) {
+      return Status(ErrorCode::kFailedPrecondition,
+                    "another daemon is already serving on " + path);
+    }
+    if (::unlink(path.c_str()) != 0) {
+      return Status(ErrorCode::kIoError, "cannot replace stale socket " +
+                                             path + ": " +
+                                             io::errno_message(errno));
+    }
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return Status(ErrorCode::kIoError,
+                    "bind " + path + " failed: " + io::errno_message(errno));
+    }
+  }
+  if (::listen(fd.get(), 64) != 0) {
+    return Status(ErrorCode::kIoError,
+                  "listen on " + path + " failed: " + io::errno_message(errno));
+  }
+  return fd;
+}
+
+/// Serialized, throttled progress frames for one client. Campaign progress
+/// arrives from arbitrary evaluator threads; the mutex keeps frames whole
+/// relative to the end-of-campaign messages, and the throttle keeps a fast
+/// campaign from turning the socket into a firehose.
+class ProgressStream {
+ public:
+  ProgressStream(int fd, std::uint64_t interval_ms)
+      : fd_(fd), interval_ns_(interval_ms * 1'000'000ull) {}
+
+  void send(std::uint64_t done, std::uint64_t total) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dead_) return;
+    const std::uint64_t now = monotonic_ns();
+    if (done < total && now - last_sent_ns_ < interval_ns_ &&
+        last_sent_ns_ != 0) {
+      return;
+    }
+    last_sent_ns_ = now;
+    // A failed write means the client went away; the campaign keeps
+    // running (its journal and report are still produced server-side),
+    // we just stop streaming.
+    if (!write_frame(fd_, encode_serve_progress(done, total)).is_ok()) {
+      dead_ = true;
+    }
+  }
+
+  /// Final messages, serialized against in-flight progress frames.
+  void finish(const std::vector<std::string>& frames) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::string& frame : frames) {
+      if (dead_) return;
+      if (!write_frame(fd_, frame).is_ok()) dead_ = true;
+    }
+  }
+
+ private:
+  const int fd_;
+  const std::uint64_t interval_ns_;
+  std::mutex mu_;
+  std::uint64_t last_sent_ns_ = 0;
+  bool dead_ = false;
+};
+
+}  // namespace
+
+// --- codec ----------------------------------------------------------------
+
+std::string encode_serve_request(const std::vector<std::string>& args) {
+  std::string out;
+  put(out, static_cast<std::uint8_t>(ServeWire::kRequest));
+  put(out, static_cast<std::uint32_t>(args.size()));
+  for (const std::string& a : args) put_string(out, a);
+  return out;
+}
+
+std::string encode_serve_accepted(std::uint64_t campaign_id) {
+  std::string out;
+  put(out, static_cast<std::uint8_t>(ServeWire::kAccepted));
+  put(out, campaign_id);
+  return out;
+}
+
+std::string encode_serve_progress(std::uint64_t done, std::uint64_t total) {
+  std::string out;
+  put(out, static_cast<std::uint8_t>(ServeWire::kProgress));
+  put(out, done);
+  put(out, total);
+  return out;
+}
+
+std::string encode_serve_stdout(std::string_view text) {
+  std::string out;
+  put(out, static_cast<std::uint8_t>(ServeWire::kStdout));
+  put_string(out, text);
+  return out;
+}
+
+std::string encode_serve_report(std::string_view json) {
+  std::string out;
+  put(out, static_cast<std::uint8_t>(ServeWire::kReport));
+  put_string(out, json);
+  return out;
+}
+
+std::string encode_serve_finished(std::int32_t exit_code) {
+  std::string out;
+  put(out, static_cast<std::uint8_t>(ServeWire::kFinished));
+  put(out, exit_code);
+  return out;
+}
+
+std::string encode_serve_error(std::string_view message,
+                               std::int32_t exit_code) {
+  std::string out;
+  put(out, static_cast<std::uint8_t>(ServeWire::kError));
+  put_string(out, message);
+  put(out, exit_code);
+  return out;
+}
+
+bool decode_serve_message(std::string_view payload, ServeMessage* out) {
+  *out = ServeMessage{};
+  std::size_t off = 0;
+  std::uint8_t type = 0;
+  if (!get(payload, &off, &type)) return false;
+  if (type < static_cast<std::uint8_t>(ServeWire::kRequest) ||
+      type > static_cast<std::uint8_t>(ServeWire::kError)) {
+    return false;
+  }
+  out->type = static_cast<ServeWire>(type);
+  switch (out->type) {
+    case ServeWire::kRequest: {
+      std::uint32_t argc = 0;
+      if (!get(payload, &off, &argc)) return false;
+      if (argc == 0 || argc > kMaxRequestArgs) return false;
+      out->args.reserve(argc);
+      for (std::uint32_t i = 0; i < argc; ++i) {
+        std::string arg;
+        if (!get_string(payload, &off, &arg)) return false;
+        if (arg.size() > kMaxRequestArgBytes) return false;
+        out->args.push_back(std::move(arg));
+      }
+      return off == payload.size();
+    }
+    case ServeWire::kAccepted:
+      return get(payload, &off, &out->campaign_id) && off == payload.size();
+    case ServeWire::kProgress:
+      return get(payload, &off, &out->done) &&
+             get(payload, &off, &out->total) && off == payload.size();
+    case ServeWire::kStdout:
+    case ServeWire::kReport:
+      return get_string(payload, &off, &out->text) && off == payload.size();
+    case ServeWire::kFinished:
+      return get(payload, &off, &out->exit_code) && off == payload.size();
+    case ServeWire::kError:
+      return get_string(payload, &off, &out->text) &&
+             get(payload, &off, &out->exit_code) && off == payload.size();
+  }
+  return false;
+}
+
+// --- server ---------------------------------------------------------------
+
+CampaignServer::CampaignServer(ServeConfig config, CampaignRunner runner)
+    : config_(std::move(config)), runner_(std::move(runner)) {}
+
+void CampaignServer::log_line(const std::string& line) const {
+  if (config_.log) {
+    config_.log(line);
+  } else {
+    std::fprintf(stderr, "fav serve: %s\n", line.c_str());
+  }
+}
+
+bool CampaignServer::acquire_slot() {
+  std::unique_lock<std::mutex> lock(mu_);
+  slot_cv_.wait(lock, [this] {
+    return draining_ || active_ < config_.max_concurrent;
+  });
+  if (draining_) return false;
+  ++active_;
+  return true;
+}
+
+void CampaignServer::release_slot() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --active_;
+  }
+  slot_cv_.notify_all();
+}
+
+Status CampaignServer::serve() {
+  if (config_.stop == nullptr) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "serve requires a stop flag (how else would it ever exit)");
+  }
+  if (config_.max_concurrent == 0 || !runner_) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "serve requires max_concurrent >= 1 and a runner");
+  }
+  // A client that hangs up mid-stream must surface as a write error on that
+  // one socket, never SIGPIPE the daemon (process-wide and idempotent, like
+  // the supervisor's).
+  ::signal(SIGPIPE, SIG_IGN);
+  Result<UniqueFd> bound = bind_and_listen(config_.socket_path);
+  if (!bound.is_ok()) return bound.status();
+  UniqueFd listen_fd = std::move(bound).value();
+  log_line("listening on " + config_.socket_path + " (max " +
+           std::to_string(config_.max_concurrent) +
+           " concurrent campaigns)");
+
+  std::vector<std::thread> handlers;
+  std::uint64_t next_id = 1;
+  while (!config_.stop->load(std::memory_order_relaxed)) {
+    struct pollfd pfd {};
+    pfd.fd = listen_fd.get();
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, 200);
+    if (rc < 0 && errno != EINTR) {
+      log_line("accept poll failed: " + io::errno_message(errno));
+      break;
+    }
+    if (rc <= 0) continue;
+    const int client =
+        ::accept4(listen_fd.get(), nullptr, nullptr, SOCK_CLOEXEC);
+    if (client < 0) {
+      if (errno != EINTR && errno != ECONNABORTED) {
+        log_line("accept failed: " + io::errno_message(errno));
+      }
+      continue;
+    }
+    handlers.emplace_back(&CampaignServer::handle_client, this, client,
+                          next_id++);
+  }
+
+  // Drain: wake queued requests so they fail fast, then wait for in-flight
+  // campaigns (they share the stop flag and wind down on their own).
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  slot_cv_.notify_all();
+  listen_fd.reset();
+  for (std::thread& t : handlers) t.join();
+  ::unlink(config_.socket_path.c_str());
+  log_line("drained; " + std::to_string(stats_.completed) + " campaign(s) " +
+           "served, " + std::to_string(stats_.rejected) + " rejected");
+  return Status::ok();
+}
+
+void CampaignServer::handle_client(int fd, std::uint64_t campaign_id) {
+  UniqueFd client(fd);
+  FrameBuffer buf;
+  Result<std::string> frame =
+      read_frame(client.get(), buf, config_.request_timeout_ms);
+  ServeMessage msg;
+  if (!frame.is_ok() || !decode_serve_message(frame.value(), &msg) ||
+      msg.type != ServeWire::kRequest) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rejected;
+    (void)write_frame(client.get(),
+                      encode_serve_error("malformed campaign request", 2));
+    return;
+  }
+  (void)write_frame(client.get(), encode_serve_accepted(campaign_id));
+
+  if (!acquire_slot()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rejected;
+    (void)write_frame(client.get(),
+                      encode_serve_error("server is shutting down", 1));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.accepted;
+  }
+  std::string argv_line;
+  for (const std::string& a : msg.args) {
+    if (!argv_line.empty()) argv_line += ' ';
+    argv_line += a;
+  }
+  log_line("campaign " + std::to_string(campaign_id) + ": " + argv_line);
+
+  ProgressStream progress(client.get(), config_.progress_interval_ms);
+  CampaignOutcome outcome = runner_(
+      msg.args, [&progress](std::uint64_t done, std::uint64_t total) {
+        progress.send(done, total);
+      });
+  release_slot();
+
+  std::vector<std::string> tail;
+  if (!outcome.error.empty()) {
+    tail.push_back(encode_serve_error(
+        outcome.error, static_cast<std::int32_t>(outcome.exit_code)));
+  } else {
+    tail.push_back(encode_serve_stdout(outcome.stdout_block));
+    if (!outcome.report_json.empty()) {
+      tail.push_back(encode_serve_report(outcome.report_json));
+    }
+    tail.push_back(
+        encode_serve_finished(static_cast<std::int32_t>(outcome.exit_code)));
+  }
+  progress.finish(tail);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.completed;
+  }
+  log_line("campaign " + std::to_string(campaign_id) + ": exit " +
+           std::to_string(outcome.exit_code) +
+           (outcome.error.empty() ? "" : " (" + outcome.error + ")"));
+}
+
+// --- client ---------------------------------------------------------------
+
+Result<SubmitResult> submit_campaign(const std::string& socket_path,
+                                     const std::vector<std::string>& args,
+                                     const ProgressFn& on_progress) {
+  if (args.empty() || args.size() > kMaxRequestArgs) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "a campaign request needs 1.." +
+                      std::to_string(kMaxRequestArgs) + " arguments");
+  }
+  for (const std::string& a : args) {
+    if (a.size() > kMaxRequestArgBytes) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "campaign argument exceeds " +
+                        std::to_string(kMaxRequestArgBytes) + " bytes");
+    }
+  }
+  Result<UniqueFd> connected = connect_unix(socket_path);
+  if (!connected.is_ok()) return connected.status();
+  UniqueFd fd = std::move(connected).value();
+  const Status sent = write_frame(fd.get(), encode_serve_request(args));
+  if (!sent.is_ok()) return sent;
+
+  SubmitResult result;
+  FrameBuffer buf;
+  for (;;) {
+    // No client-side deadline: a queued campaign may legitimately wait on a
+    // slot for a long time, and a dead server surfaces as EOF here.
+    Result<std::string> frame = read_frame(fd.get(), buf, -1);
+    if (!frame.is_ok()) {
+      return Status(frame.status().code(),
+                    "serve stream ended early: " + frame.status().to_string());
+    }
+    ServeMessage msg;
+    if (!decode_serve_message(frame.value(), &msg)) {
+      return Status(ErrorCode::kSubprocessFailed,
+                    "malformed frame from serve daemon");
+    }
+    switch (msg.type) {
+      case ServeWire::kAccepted:
+        break;  // informational
+      case ServeWire::kProgress:
+        if (on_progress) on_progress(msg.done, msg.total);
+        break;
+      case ServeWire::kStdout:
+        result.stdout_block = std::move(msg.text);
+        break;
+      case ServeWire::kReport:
+        result.report_json = std::move(msg.text);
+        break;
+      case ServeWire::kFinished:
+        result.exit_code = static_cast<int>(msg.exit_code);
+        return result;
+      case ServeWire::kError:
+        result.error = std::move(msg.text);
+        result.exit_code = static_cast<int>(msg.exit_code);
+        return result;
+      case ServeWire::kRequest:
+        return Status(ErrorCode::kSubprocessFailed,
+                      "unexpected request frame from serve daemon");
+    }
+  }
+}
+
+}  // namespace fav::mc

@@ -1,0 +1,180 @@
+// The campaign serving tier: a Unix-domain-socket daemon that accepts
+// campaign requests, schedules them across per-campaign supervisor fleets,
+// and streams progress plus the final run report back to clients.
+//
+// Design (DESIGN.md §6k):
+//   * Transport reuses the supervisor's length-prefixed frame codec
+//     (util/subprocess.h): every message is `u32 length | payload` and the
+//     payload starts with a ServeWire type byte. One codec for pipes and
+//     sockets means one set of framing tests and one corruption story.
+//   * The server is generic over a CampaignRunner callback. The CLI supplies
+//     a runner that parses the request argv with the *same* parser and runs
+//     the *same* evaluation path as local `fav evaluate` — which is what
+//     makes a served campaign byte-identical to a local one. mc/ stays
+//     independent of core/ (layering: core depends on mc, not vice versa).
+//   * One handler thread per connection; a counting slot gate bounds how
+//     many campaigns run concurrently (excess requests queue FIFO-ish on
+//     the gate). Each campaign forks its own worker fleet; O_CLOEXEC pipes
+//     and SOCK_CLOEXEC sockets keep concurrent fleets and clients from
+//     inheriting each other's fds.
+//   * Shutdown: the stop flag stops the accept loop; in-flight campaigns
+//     see the same flag through the runner and wind down gracefully
+//     (journaled prefix + interrupted report), then serve() joins every
+//     handler and unlinks the socket.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fav::mc {
+
+/// --- serve wire protocol (exposed for tests) ------------------------------
+/// Values are part of the protocol; append new types at the end only.
+enum class ServeWire : std::uint8_t {
+  kRequest = 1,   // client -> server: campaign argv (evaluate flags)
+  kAccepted = 2,  // server -> client: request decoded, campaign id assigned
+  kProgress = 3,  // server -> client: throttled samples-done / total
+  kStdout = 4,    // server -> client: the full `fav evaluate` stdout block
+  kReport = 5,    // server -> client: fav.run_report.v1 JSON bytes
+  kFinished = 6,  // server -> client: campaign exit code; closes the stream
+  kError = 7,     // server -> client: rejected / failed; closes the stream
+};
+
+/// Request sanity bounds: a campaign argv is a few dozen short flags, so
+/// anything beyond these is a confused or hostile client, not a real
+/// campaign.
+constexpr std::size_t kMaxRequestArgs = 256;
+constexpr std::size_t kMaxRequestArgBytes = 4096;
+
+/// Decoded form of any serve message; only the fields of the given type are
+/// meaningful.
+struct ServeMessage {
+  ServeWire type = ServeWire::kRequest;
+  std::vector<std::string> args;  // kRequest
+  std::uint64_t campaign_id = 0;  // kAccepted
+  std::uint64_t done = 0;         // kProgress
+  std::uint64_t total = 0;        // kProgress
+  std::string text;               // kStdout / kReport / kError
+  std::int32_t exit_code = 0;     // kFinished / kError
+};
+
+std::string encode_serve_request(const std::vector<std::string>& args);
+std::string encode_serve_accepted(std::uint64_t campaign_id);
+std::string encode_serve_progress(std::uint64_t done, std::uint64_t total);
+std::string encode_serve_stdout(std::string_view text);
+std::string encode_serve_report(std::string_view json);
+std::string encode_serve_finished(std::int32_t exit_code);
+std::string encode_serve_error(std::string_view message,
+                               std::int32_t exit_code);
+/// Strict: trailing bytes, truncated fields, unknown types and out-of-bound
+/// request shapes all fail.
+bool decode_serve_message(std::string_view payload, ServeMessage* out);
+
+/// --- campaign runner ------------------------------------------------------
+
+/// What one served campaign produced. `error` non-empty means the request
+/// was rejected or failed before producing a result; otherwise stdout_block
+/// (and report_json, when the request asked for a report) are streamed back
+/// verbatim.
+struct CampaignOutcome {
+  int exit_code = 1;
+  std::string stdout_block;
+  std::string report_json;
+  std::string error;
+};
+
+/// Streams progress to the client. Called from whatever thread evaluates
+/// samples (engine workers or a supervisor event loop); the server
+/// serializes and throttles the socket writes internally.
+using ProgressFn =
+    std::function<void(std::uint64_t done, std::uint64_t total)>;
+
+/// Runs one campaign from its request argv (e.g. {"evaluate", "--samples",
+/// "400", ...}). Must be thread-safe: the server invokes it concurrently,
+/// once per in-flight campaign.
+using CampaignRunner = std::function<CampaignOutcome(
+    const std::vector<std::string>& args, const ProgressFn& progress)>;
+
+/// --- server ---------------------------------------------------------------
+
+struct ServeConfig {
+  /// Unix-domain socket path (sun_path-limited, ~100 bytes). A stale socket
+  /// file left by a crashed daemon is detected (nothing accepts on it) and
+  /// replaced; a live one fails the bind instead of hijacking the server.
+  std::string socket_path;
+  /// Campaigns evaluated at once; further accepted requests wait for a slot.
+  std::size_t max_concurrent = 2;
+  /// Minimum spacing of kProgress frames per client (the final frame always
+  /// ships). 0 streams every sample — test use only.
+  std::uint64_t progress_interval_ms = 200;
+  /// How long a connected client may take to send its request frame.
+  int request_timeout_ms = 10'000;
+  /// Graceful stop (required): checked by the accept loop and by queued
+  /// requests; the CLI shares the same flag with in-flight campaigns.
+  const std::atomic<bool>* stop = nullptr;
+  /// Diagnostics sink; null routes to stderr.
+  std::function<void(const std::string&)> log;
+};
+
+struct ServeStats {
+  std::uint64_t accepted = 0;   // requests that decoded and got a slot path
+  std::uint64_t completed = 0;  // campaigns that ran to an outcome
+  std::uint64_t rejected = 0;   // malformed / refused requests
+};
+
+class CampaignServer {
+ public:
+  CampaignServer(ServeConfig config, CampaignRunner runner);
+
+  /// Binds the socket and serves until the stop flag is set, then joins all
+  /// in-flight handlers and unlinks the socket. Returns a config / bind
+  /// failure, Status::ok() otherwise.
+  Status serve();
+
+  /// Totals for the finished serve() run (not thread-safe while serving).
+  const ServeStats& stats() const { return stats_; }
+
+ private:
+  void handle_client(int fd, std::uint64_t campaign_id);
+  bool acquire_slot();
+  void release_slot();
+  void log_line(const std::string& line) const;
+
+  ServeConfig config_;
+  CampaignRunner runner_;
+  ServeStats stats_;
+  std::mutex mu_;
+  std::condition_variable slot_cv_;
+  std::size_t active_ = 0;
+  bool draining_ = false;
+};
+
+/// --- client ---------------------------------------------------------------
+
+struct SubmitResult {
+  int exit_code = 1;
+  std::string stdout_block;
+  std::string report_json;
+  /// Server-side rejection/failure message (kError); empty on success.
+  std::string error;
+};
+
+/// Submits one campaign to a serving daemon and blocks until it finishes,
+/// invoking `on_progress` (when non-null) per progress frame. Returns a
+/// Status error only for transport problems (cannot connect, server died
+/// mid-campaign, protocol corruption) — a server-side campaign failure comes
+/// back as SubmitResult::error with the server's exit code.
+Result<SubmitResult> submit_campaign(const std::string& socket_path,
+                                     const std::vector<std::string>& args,
+                                     const ProgressFn& on_progress = {});
+
+}  // namespace fav::mc

@@ -516,6 +516,7 @@ class Fleet {
             config_.progress->record(msg.contribution, msg.weight,
                                      msg.failed);
           }
+          if (config_.on_sample) config_.on_sample();
           break;
         case WireType::kDone:
           handle_done(k, msg);

@@ -133,6 +133,11 @@ struct SupervisorConfig {
   /// spawns) are added; progress receives one record per PROGRESS frame.
   MetricsSink* metrics = nullptr;
   ProgressMeter* progress = nullptr;
+  /// Invoked once per worker PROGRESS frame (one evaluated sample), from the
+  /// supervisor's event-loop thread. The serving tier uses this to stream
+  /// throttled progress to remote clients; counts are approximate under
+  /// restarts (a respawned shard re-evaluates its samples).
+  std::function<void()> on_sample;
   /// Graceful stop: no new shards are assigned, workers finish their
   /// in-flight shard, ship metrics and exit; the result covers the journaled
   /// prefix and is marked interrupted.
@@ -157,6 +162,13 @@ struct SupervisedResult {
 /// evaluator is only used on the supervisor side for draw_batch (sample
 /// cross-checks, quarantine records) and the final reduction — all
 /// simulation happens inside the worker processes.
+///
+/// run() is re-entrant across threads: the serve daemon runs one supervisor
+/// per in-flight campaign, each on its own thread. The only requirements are
+/// distinct journal directories (`config.dir`) per concurrent campaign and
+/// an ignored SIGPIPE disposition (run() sets it; the setting is process-
+/// wide and idempotent). Worker pipes are O_CLOEXEC, so concurrent fleets
+/// never leak fds into each other's workers.
 class CampaignSupervisor {
  public:
   CampaignSupervisor(const SsfEvaluator& evaluator, SupervisorConfig config);

@@ -124,10 +124,35 @@ bool errno_is_storage_full(int err) {
   return err == ENOSPC || err == EDQUOT || err == EIO;
 }
 
+namespace {
+
+// Overload dispatch over the two strerror_r flavors: XSI returns int (0 on
+// success), GNU returns a char* that may point at either `buf` or a static
+// (but immutable) string. Which one <string.h> declares depends on feature
+// macros, so resolve it at compile time instead of guessing.
+[[maybe_unused]] std::string strerror_pick(int rc, const char* buf, int err) {
+  if (rc == 0) return buf;
+  return "unknown error " + std::to_string(err);
+}
+
+[[maybe_unused]] std::string strerror_pick(const char* msg,
+                                           const char* /*buf*/, int err) {
+  if (msg != nullptr) return msg;
+  return "unknown error " + std::to_string(err);
+}
+
+}  // namespace
+
+std::string errno_message(int err) {
+  char buf[256];
+  buf[0] = '\0';
+  return strerror_pick(::strerror_r(err, buf, sizeof(buf)), buf, err);
+}
+
 Status status_from_errno(int err, const std::string& what) {
   const ErrorCode code = errno_is_storage_full(err) ? ErrorCode::kStorageFull
                                                     : ErrorCode::kIoError;
-  return Status(code, what + ": " + std::strerror(err) + " (errno " +
+  return Status(code, what + ": " + errno_message(err) + " (errno " +
                           std::to_string(err) + ")");
 }
 

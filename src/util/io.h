@@ -95,6 +95,11 @@ void chaos_reset();
 bool errno_is_transient(int err);
 /// ENOSPC/EDQUOT/EIO: the medium is full or failing; stop gracefully.
 bool errno_is_storage_full(int err);
+/// Thread-safe replacement for std::strerror: formats `err` via strerror_r
+/// into a local buffer. std::strerror returns a pointer into static storage,
+/// which races when worker heartbeats and the supervisor format errors
+/// concurrently. Handles both the XSI and GNU strerror_r variants.
+std::string errno_message(int err);
 /// kStorageFull for storage-full errnos, kIoError otherwise.
 Status status_from_errno(int err, const std::string& what);
 

@@ -1,12 +1,16 @@
 #include "util/subprocess.h"
 
 #include <errno.h>
+#include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cstdio>
 #include <cstring>
+
+#include "util/io.h"
 
 #ifdef __linux__
 #include <sys/prctl.h>
@@ -17,17 +21,21 @@ namespace fav {
 namespace {
 
 /// Restartable write of the remaining tail after an EINTR/short write.
-bool write_all(int fd, const char* data, std::size_t len) {
+/// Returns 0 on success, else the errno of the failing write(2) — captured
+/// at the call site, because by the time the caller formats an error the
+/// global errno may have been clobbered by an intervening retry or by
+/// another thread's syscall.
+int write_all(int fd, const char* data, std::size_t len) {
   while (len > 0) {
     const ssize_t n = ::write(fd, data, len);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return false;
+      return errno != 0 ? errno : EIO;
     }
     data += n;
     len -= static_cast<std::size_t>(n);
   }
-  return true;
+  return 0;
 }
 
 }  // namespace
@@ -43,9 +51,9 @@ Status write_frame(int fd, std::string_view payload) {
   const auto len = static_cast<std::uint32_t>(payload.size());
   buf.append(reinterpret_cast<const char*>(&len), sizeof(len));
   buf.append(payload.data(), payload.size());
-  if (!write_all(fd, buf.data(), buf.size())) {
+  if (const int err = write_all(fd, buf.data(), buf.size())) {
     return Status(ErrorCode::kSubprocessFailed,
-                  std::string("pipe write failed: ") + std::strerror(errno));
+                  "pipe write failed: " + io::errno_message(err));
   }
   return Status::ok();
 }
@@ -99,7 +107,7 @@ Result<std::string> read_frame(int fd, FrameBuffer& buf, int timeout_ms) {
                       "frame read interrupted by signal");
       }
       return Status(ErrorCode::kSubprocessFailed,
-                    std::string("poll failed: ") + std::strerror(errno));
+                    "poll failed: " + io::errno_message(errno));
     }
     if (rc == 0) {
       return Status(ErrorCode::kDeadlineExceeded, "frame read timed out");
@@ -117,15 +125,19 @@ Result<Subprocess> Subprocess::spawn(const std::vector<std::string>& argv) {
   }
   int to_child[2];    // parent writes -> child stdin
   int from_child[2];  // child stdout -> parent reads
-  if (::pipe(to_child) != 0) {
+  // O_CLOEXEC on both pipes: a later fork/exec (sibling worker, serve
+  // client) must not inherit these fds. The child's own copies survive the
+  // exec because dup2 onto stdin/stdout clears the flag on the duplicates.
+  if (::pipe2(to_child, O_CLOEXEC) != 0) {
     return Status(ErrorCode::kSubprocessFailed,
-                  std::string("pipe failed: ") + std::strerror(errno));
+                  "pipe2 failed: " + io::errno_message(errno));
   }
-  if (::pipe(from_child) != 0) {
+  if (::pipe2(from_child, O_CLOEXEC) != 0) {
+    const int err = errno;
     ::close(to_child[0]);
     ::close(to_child[1]);
     return Status(ErrorCode::kSubprocessFailed,
-                  std::string("pipe failed: ") + std::strerror(errno));
+                  "pipe2 failed: " + io::errno_message(err));
   }
   const pid_t pid = ::fork();
   if (pid < 0) {
@@ -134,7 +146,7 @@ Result<Subprocess> Subprocess::spawn(const std::vector<std::string>& argv) {
       ::close(fd);
     }
     return Status(ErrorCode::kSubprocessFailed,
-                  std::string("fork failed: ") + std::strerror(errno));
+                  "fork failed: " + io::errno_message(errno));
   }
   if (pid == 0) {
     // Child: wire the pipes onto stdin/stdout, close every parent end, and
@@ -194,7 +206,17 @@ bool Subprocess::try_wait(ExitStatus* status) {
   if (pid_ <= 0) return false;
   int wstatus = 0;
   const pid_t rc = ::waitpid(pid_, &wstatus, WNOHANG);
-  if (rc != pid_) return false;
+  if (rc == 0) return false;  // still running
+  if (rc < 0) {
+    if (errno == EINTR) return false;  // retry on the next poll tick
+    // Terminal waitpid failure (ECHILD: SIGCHLD is SIG_IGN, or something
+    // else already reaped the pid). The real status is gone; returning
+    // false forever would wedge the caller on an unreapable slot, so
+    // synthesize a terminal status and record where it came from.
+    mark_unreapable(errno);
+    *status = exit_;
+    return true;
+  }
   reaped_ = true;
   exit_.signaled = WIFSIGNALED(wstatus);
   exit_.exit_code = WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : 0;
@@ -210,13 +232,28 @@ Subprocess::ExitStatus Subprocess::wait() {
   do {
     rc = ::waitpid(pid_, &wstatus, 0);
   } while (rc < 0 && errno == EINTR);
-  reaped_ = true;
   if (rc == pid_) {
+    reaped_ = true;
     exit_.signaled = WIFSIGNALED(wstatus);
     exit_.exit_code = WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : 0;
     exit_.term_signal = exit_.signaled ? WTERMSIG(wstatus) : 0;
+  } else {
+    mark_unreapable(rc < 0 ? errno : 0);
   }
   return exit_;
+}
+
+void Subprocess::mark_unreapable(int err) {
+  std::fprintf(stderr,
+               "fav: waitpid(%d) failed: %s (errno %d); synthesizing exit "
+               "status %d\n",
+               static_cast<int>(pid_), io::errno_message(err).c_str(), err,
+               kUnreapableExitCode);
+  reaped_ = true;
+  exit_.signaled = false;
+  exit_.exit_code = kUnreapableExitCode;
+  exit_.term_signal = 0;
+  exit_.reap_errno = err != 0 ? err : ECHILD;
 }
 
 void Subprocess::close_stdin() {

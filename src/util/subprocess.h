@@ -81,13 +81,28 @@ class Subprocess {
     bool signaled = false;
     int exit_code = 0;  // valid when !signaled
     int term_signal = 0;  // valid when signaled
+    /// 0 when waitpid reported the status; the failing errno (e.g. ECHILD
+    /// when SIGCHLD is SIG_IGN or another component reaped the child) when
+    /// the status had to be synthesized because the child can never be
+    /// reaped. Synthesized statuses report exit_code kUnreapableExitCode.
+    int reap_errno = 0;
   };
 
+  /// exit_code reported when waitpid fails terminally and the real status is
+  /// unknowable. 255 is outside every meaningful worker exit code (0, the
+  /// resumable-stop code 3, and the exec-failure 127), so the supervisor
+  /// takes its generic restart path instead of misreading a clean exit.
+  static constexpr int kUnreapableExitCode = 255;
+
   /// Spawns `argv` (argv[0] is the executable path, resolved via execvp)
-  /// with stdin/stdout piped to the parent and stderr inherited. On Linux
-  /// the child requests SIGTERM on parent death (PR_SET_PDEATHSIG), so a
-  /// SIGKILLed supervisor cannot leak orphan workers. An exec failure
-  /// surfaces as the child exiting with code 127.
+  /// with stdin/stdout piped to the parent and stderr inherited. Both pipes
+  /// are created with O_CLOEXEC so no other child ever inherits them — the
+  /// exec'd child sees them only as its stdin/stdout (dup2 clears the flag
+  /// on the duplicates). Without this, a sibling worker spawned later would
+  /// hold this child's pipe write end open, masking its EOF-on-death until
+  /// every sibling exits. On Linux the child requests SIGTERM on parent
+  /// death (PR_SET_PDEATHSIG), so a SIGKILLed supervisor cannot leak orphan
+  /// workers. An exec failure surfaces as the child exiting with code 127.
   static Result<Subprocess> spawn(const std::vector<std::string>& argv);
 
   Subprocess() = default;
@@ -108,15 +123,24 @@ class Subprocess {
   void kill(int sig);
   /// Non-blocking reap (waitpid WNOHANG): true and fills *status once the
   /// child has exited; false while it is still running. Idempotent — after
-  /// the first successful reap the cached status is returned.
+  /// the first successful reap the cached status is returned. A terminal
+  /// waitpid error (anything but EINTR, e.g. ECHILD) also returns true with
+  /// a synthesized status (exit_code kUnreapableExitCode, reap_errno set) —
+  /// returning false forever would wedge the caller's restart loop on a
+  /// slot that can never be reaped.
   bool try_wait(ExitStatus* status);
-  /// Blocking reap.
+  /// Blocking reap. Terminal waitpid errors synthesize a status the same
+  /// way try_wait does (never silently reported as a clean exit 0).
   ExitStatus wait();
 
   void close_stdin();
   void close_pipes();
 
  private:
+  /// Caches a synthesized terminal status after an unrecoverable waitpid
+  /// error and logs the provenance (pid + errno) to stderr.
+  void mark_unreapable(int err);
+
   pid_t pid_ = -1;
   int stdin_fd_ = -1;
   int stdout_fd_ = -1;

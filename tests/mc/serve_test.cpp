@@ -1,0 +1,370 @@
+// Tests for the campaign serving tier (mc/serve.h): wire codec round-trips
+// and strict rejection, plus a real Unix-socket server driven through
+// submit_campaign with a fake CampaignRunner — result streaming, progress,
+// error paths, the concurrency slot gate and graceful drain.
+#include "mc/serve.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/subprocess.h"
+
+namespace fav::mc {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(ServeCodec, RequestRoundTrip) {
+  const std::vector<std::string> args = {"evaluate", "--samples", "400",
+                                         "--seed", "2017"};
+  ServeMessage msg;
+  ASSERT_TRUE(decode_serve_message(encode_serve_request(args), &msg));
+  EXPECT_EQ(msg.type, ServeWire::kRequest);
+  EXPECT_EQ(msg.args, args);
+}
+
+TEST(ServeCodec, AllServerFramesRoundTrip) {
+  ServeMessage msg;
+  ASSERT_TRUE(decode_serve_message(encode_serve_accepted(42), &msg));
+  EXPECT_EQ(msg.type, ServeWire::kAccepted);
+  EXPECT_EQ(msg.campaign_id, 42u);
+
+  ASSERT_TRUE(decode_serve_message(encode_serve_progress(7, 400), &msg));
+  EXPECT_EQ(msg.type, ServeWire::kProgress);
+  EXPECT_EQ(msg.done, 7u);
+  EXPECT_EQ(msg.total, 400u);
+
+  ASSERT_TRUE(decode_serve_message(encode_serve_stdout("SSF : 0.5\n"), &msg));
+  EXPECT_EQ(msg.type, ServeWire::kStdout);
+  EXPECT_EQ(msg.text, "SSF : 0.5\n");
+
+  ASSERT_TRUE(decode_serve_message(encode_serve_report("{}\n"), &msg));
+  EXPECT_EQ(msg.type, ServeWire::kReport);
+  EXPECT_EQ(msg.text, "{}\n");
+
+  ASSERT_TRUE(decode_serve_message(encode_serve_finished(3), &msg));
+  EXPECT_EQ(msg.type, ServeWire::kFinished);
+  EXPECT_EQ(msg.exit_code, 3);
+
+  ASSERT_TRUE(decode_serve_message(encode_serve_error("bad request", 2), &msg));
+  EXPECT_EQ(msg.type, ServeWire::kError);
+  EXPECT_EQ(msg.text, "bad request");
+  EXPECT_EQ(msg.exit_code, 2);
+}
+
+TEST(ServeCodec, RejectsMalformedPayloads) {
+  ServeMessage msg;
+  EXPECT_FALSE(decode_serve_message("", &msg));
+  EXPECT_FALSE(decode_serve_message(std::string(1, '\x00'), &msg));
+  EXPECT_FALSE(decode_serve_message(std::string(1, '\x63'), &msg));
+  // Truncated fields.
+  const std::string acc = encode_serve_accepted(7);
+  EXPECT_FALSE(decode_serve_message(
+      std::string_view(acc).substr(0, acc.size() - 1), &msg));
+  const std::string prog = encode_serve_progress(1, 2);
+  EXPECT_FALSE(decode_serve_message(
+      std::string_view(prog).substr(0, prog.size() - 3), &msg));
+  // Trailing bytes after a complete message.
+  EXPECT_FALSE(decode_serve_message(encode_serve_finished(0) + "x", &msg));
+  // Request bounds: zero args, too many args, an oversized arg.
+  std::string zero;
+  zero.push_back(static_cast<char>(ServeWire::kRequest));
+  zero.append("\x00\x00\x00\x00", 4);
+  EXPECT_FALSE(decode_serve_message(zero, &msg));
+  EXPECT_FALSE(decode_serve_message(
+      encode_serve_request(std::vector<std::string>(kMaxRequestArgs + 1, "x")),
+      &msg));
+  EXPECT_FALSE(decode_serve_message(
+      encode_serve_request({std::string(kMaxRequestArgBytes + 1, 'a')}),
+      &msg));
+  // The same shapes at the bound are fine.
+  EXPECT_TRUE(decode_serve_message(
+      encode_serve_request(std::vector<std::string>(kMaxRequestArgs, "x")),
+      &msg));
+  EXPECT_TRUE(decode_serve_message(
+      encode_serve_request({std::string(kMaxRequestArgBytes, 'a')}), &msg));
+}
+
+/// One live CampaignServer on a fresh socket path, torn down via the stop
+/// flag on destruction. The runner is supplied per test.
+class ServerFixture {
+ public:
+  explicit ServerFixture(CampaignRunner runner, std::size_t max_concurrent = 1,
+                         std::uint64_t progress_interval_ms = 0) {
+    socket_path_ = (fs::path(::testing::TempDir()) /
+                    ("fav_serve_" + std::to_string(::getpid()) + "_" +
+                     std::to_string(counter_++) + ".sock"))
+                       .string();
+    fs::remove(socket_path_);
+    ServeConfig config;
+    config.socket_path = socket_path_;
+    config.max_concurrent = max_concurrent;
+    config.progress_interval_ms = progress_interval_ms;
+    config.stop = &stop_;
+    config.log = [](const std::string&) {};  // keep test output quiet
+    server_ = std::make_unique<CampaignServer>(config, std::move(runner));
+    thread_ = std::thread([this] { status_ = server_->serve(); });
+    // serve() owns the bind; wait until the socket exists (or fails fast).
+    for (int i = 0; i < 500 && !fs::exists(socket_path_); ++i) {
+      ::usleep(10'000);
+    }
+  }
+
+  ~ServerFixture() { shutdown(); }
+
+  void shutdown() {
+    if (thread_.joinable()) {
+      stop_.store(true);
+      thread_.join();
+    }
+  }
+
+  const std::string& socket_path() const { return socket_path_; }
+  const Status& status() const { return status_; }
+  const ServeStats& stats() const { return server_->stats(); }
+
+ private:
+  static inline std::atomic<int> counter_{0};
+  std::string socket_path_;
+  std::atomic<bool> stop_{false};
+  std::unique_ptr<CampaignServer> server_;
+  std::thread thread_;
+  Status status_ = Status::ok();
+};
+
+CampaignRunner ok_runner() {
+  return [](const std::vector<std::string>&, const ProgressFn&) {
+    CampaignOutcome out;
+    out.exit_code = 0;
+    out.stdout_block = "ok\n";
+    return out;
+  };
+}
+
+TEST(CampaignServer, StreamsOutcomeProgressAndReport) {
+  ServerFixture server(
+      [](const std::vector<std::string>& args, const ProgressFn& progress) {
+        CampaignOutcome out;
+        out.exit_code = 0;
+        out.stdout_block = "SSF : 0.25\n";
+        out.report_json = "{\"args\": " + std::to_string(args.size()) + "}\n";
+        for (std::uint64_t i = 1; i <= 5; ++i) progress(i, 5);
+        return out;
+      },
+      /*max_concurrent=*/2);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> seen;
+  Result<SubmitResult> sent = submit_campaign(
+      server.socket_path(), {"evaluate", "--samples", "5"},
+      [&seen](std::uint64_t done, std::uint64_t total) {
+        seen.emplace_back(done, total);
+      });
+  ASSERT_TRUE(sent.is_ok()) << sent.status().to_string();
+  EXPECT_EQ(sent.value().exit_code, 0);
+  EXPECT_EQ(sent.value().stdout_block, "SSF : 0.25\n");
+  EXPECT_EQ(sent.value().report_json, "{\"args\": 3}\n");
+  EXPECT_TRUE(sent.value().error.empty());
+  // interval 0: every tick streams, and the final 5/5 frame always ships.
+  ASSERT_FALSE(seen.empty());
+  EXPECT_EQ(seen.back(), (std::pair<std::uint64_t, std::uint64_t>(5, 5)));
+  server.shutdown();
+  EXPECT_TRUE(server.status().is_ok()) << server.status().to_string();
+  EXPECT_EQ(server.stats().accepted, 1u);
+  EXPECT_EQ(server.stats().completed, 1u);
+  EXPECT_EQ(server.stats().rejected, 0u);
+}
+
+TEST(CampaignServer, RunnerErrorReachesClientWithExitCode) {
+  ServerFixture server([](const std::vector<std::string>&, const ProgressFn&) {
+    CampaignOutcome out;
+    out.exit_code = 2;
+    out.error = "unknown flag --bogus";
+    return out;
+  });
+  Result<SubmitResult> sent =
+      submit_campaign(server.socket_path(), {"evaluate", "--bogus"});
+  ASSERT_TRUE(sent.is_ok()) << sent.status().to_string();
+  EXPECT_EQ(sent.value().exit_code, 2);
+  EXPECT_EQ(sent.value().error, "unknown flag --bogus");
+  EXPECT_TRUE(sent.value().stdout_block.empty());
+}
+
+TEST(CampaignServer, SubmitFailsCleanlyWithoutDaemon) {
+  const std::string path =
+      (fs::path(::testing::TempDir()) / "fav_serve_nobody.sock").string();
+  fs::remove(path);
+  Result<SubmitResult> sent = submit_campaign(path, {"evaluate"});
+  ASSERT_FALSE(sent.is_ok());
+  EXPECT_EQ(sent.status().code(), ErrorCode::kSubprocessFailed);
+}
+
+TEST(CampaignServer, SubmitValidatesRequestBounds) {
+  EXPECT_EQ(submit_campaign("/tmp/x.sock", {}).status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(submit_campaign("/tmp/x.sock",
+                            std::vector<std::string>(kMaxRequestArgs + 1, "x"))
+                .status()
+                .code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(submit_campaign("/tmp/x.sock",
+                            {std::string(kMaxRequestArgBytes + 1, 'a')})
+                .status()
+                .code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(CampaignServer, SlotGateBoundsConcurrentCampaigns) {
+  std::atomic<int> running{0};
+  std::atomic<int> high_water{0};
+  ServerFixture server(
+      [&](const std::vector<std::string>&, const ProgressFn&) {
+        const int now = running.fetch_add(1) + 1;
+        int seen = high_water.load();
+        while (seen < now && !high_water.compare_exchange_weak(seen, now)) {
+        }
+        ::usleep(100'000);  // hold the slot long enough to overlap
+        running.fetch_sub(1);
+        CampaignOutcome out;
+        out.exit_code = 0;
+        out.stdout_block = "ok\n";
+        return out;
+      },
+      /*max_concurrent=*/1);
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int i = 0; i < 3; ++i) {
+    clients.emplace_back([&server, &failures] {
+      Result<SubmitResult> sent =
+          submit_campaign(server.socket_path(), {"evaluate"});
+      if (!sent.is_ok() || sent.value().exit_code != 0) failures.fetch_add(1);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(high_water.load(), 1)
+      << "max_concurrent=1 must serialize campaigns";
+  server.shutdown();
+  EXPECT_EQ(server.stats().completed, 3u);
+}
+
+TEST(CampaignServer, MalformedOpenerIsRejectedNotFatal) {
+  ServerFixture server(ok_runner());
+  {
+    // A client whose first frame is not a request (a progress frame) must be
+    // turned away with a kError frame, and the daemon must keep serving.
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, server.socket_path().c_str(),
+                server.socket_path().size());
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    ASSERT_TRUE(write_frame(fd, encode_serve_progress(1, 2)).is_ok());
+    FrameBuffer buf;
+    Result<std::string> reply = read_frame(fd, buf, 5000);
+    ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
+    ServeMessage msg;
+    ASSERT_TRUE(decode_serve_message(reply.value(), &msg));
+    EXPECT_EQ(msg.type, ServeWire::kError);
+    EXPECT_EQ(msg.exit_code, 2);
+    ::close(fd);
+  }
+  Result<SubmitResult> good =
+      submit_campaign(server.socket_path(), {"evaluate"});
+  ASSERT_TRUE(good.is_ok()) << good.status().to_string();
+  EXPECT_EQ(good.value().exit_code, 0);
+  server.shutdown();
+  EXPECT_TRUE(server.status().is_ok());
+  EXPECT_EQ(server.stats().rejected, 1u);
+  EXPECT_EQ(server.stats().completed, 1u);
+}
+
+TEST(CampaignServer, StaleSocketFileIsReplaced) {
+  const std::string path =
+      (fs::path(::testing::TempDir()) / "fav_serve_stale.sock").string();
+  fs::remove(path);
+  // A crashed daemon leaves a socket path nothing accepts on. A plain file
+  // reproduces the same bind EADDRINUSE + dead probe-connect sequence.
+  { std::ofstream(path) << ""; }
+  ASSERT_TRUE(fs::exists(path));
+  std::atomic<bool> stop{false};
+  ServeConfig config;
+  config.socket_path = path;
+  config.max_concurrent = 1;
+  config.stop = &stop;
+  config.log = [](const std::string&) {};
+  CampaignServer server(config, ok_runner());
+  Status status = Status::ok();
+  std::thread t([&] { status = server.serve(); });
+  bool served = false;
+  for (int i = 0; i < 500 && !served; ++i) {
+    Result<SubmitResult> sent = submit_campaign(path, {"evaluate"});
+    if (sent.is_ok()) {
+      EXPECT_EQ(sent.value().exit_code, 0);
+      served = true;
+    } else {
+      ::usleep(10'000);
+    }
+  }
+  stop.store(true);
+  t.join();
+  EXPECT_TRUE(served) << status.to_string();
+  EXPECT_TRUE(status.is_ok()) << status.to_string();
+  EXPECT_FALSE(fs::exists(path)) << "clean shutdown unlinks the socket";
+}
+
+TEST(CampaignServer, RefusesToHijackALiveDaemon) {
+  ServerFixture server(ok_runner());
+  ASSERT_TRUE(fs::exists(server.socket_path()));
+  std::atomic<bool> stop{false};
+  ServeConfig config;
+  config.socket_path = server.socket_path();
+  config.stop = &stop;
+  config.log = [](const std::string&) {};
+  CampaignServer second(config, ok_runner());
+  const Status status = second.serve();
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST(CampaignServer, ConfigValidation) {
+  std::atomic<bool> stop{false};
+  {
+    ServeConfig config;  // no stop flag
+    config.socket_path = "/tmp/x.sock";
+    CampaignServer server(config, ok_runner());
+    EXPECT_EQ(server.serve().code(), ErrorCode::kInvalidArgument);
+  }
+  {
+    ServeConfig config;
+    config.socket_path = "/tmp/x.sock";
+    config.stop = &stop;
+    config.max_concurrent = 0;
+    CampaignServer server(config, ok_runner());
+    EXPECT_EQ(server.serve().code(), ErrorCode::kInvalidArgument);
+  }
+  {
+    ServeConfig config;
+    config.socket_path = std::string(200, 'a');  // exceeds sun_path
+    config.stop = &stop;
+    CampaignServer server(config, ok_runner());
+    EXPECT_EQ(server.serve().code(), ErrorCode::kInvalidArgument);
+  }
+}
+
+}  // namespace
+}  // namespace fav::mc

@@ -184,6 +184,31 @@ TEST(SuperviseCli, DeterministicCrashIsQuarantined) {
                              "WORKER_CRASHED failure counts";
 }
 
+TEST(SuperviseCli, DeadWorkerIsDetectedByEofNotHeartbeat) {
+  const std::string base = fresh_dir("eof_base");
+  const std::string dir = fresh_dir("eof_sup");
+  const std::string flags = campaign_flags(20000);
+  ASSERT_EQ(run_cli(flags + " --journal " + base + " --metrics-out " + base +
+                    "/report.json"),
+            0);
+  // Worker 0 SIGKILLs itself mid-shard with the heartbeat deadline pushed
+  // far beyond this test's own ctest timeout (600 s > 300 s). The campaign
+  // can only finish in time if the supervisor notices the death through
+  // pipe EOF — with O_CLOEXEC pipes no sibling worker holds a duplicate of
+  // the dead worker's pipe ends, so the EOF is immediate.
+  ASSERT_EQ(run_cli(flags + " --journal " + dir +
+                    " --supervise 2 --crash-after-samples 7" +
+                    " --heartbeat-ms 600000" + " --metrics-out " + dir +
+                    "/report.json"),
+            0);
+  EXPECT_EQ(json_field(dir + "/report.json", "ssf"),
+            json_field(base + "/report.json", "ssf"));
+  EXPECT_NE(json_field(dir + "/report.json", "restarts"), "0")
+      << "the dead worker must have been detected and respawned";
+  expect_bitwise_equal_journals(base, "campaign.fj", dir,
+                                worker_journal_pattern());
+}
+
 TEST(SuperviseCli, SupervisorSigkillIsResumable) {
   const std::string base = fresh_dir("supkill_base");
   const std::string dir = fresh_dir("supkill");

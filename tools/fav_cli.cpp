@@ -6,6 +6,14 @@
 //   fav harden     [options]             critical cells + hardening report
 //   fav export-verilog [--out FILE]      structural Verilog of the SoC
 //   fav trace      [options] --out FILE  VCD of the golden run
+//   fav serve  --socket PATH [--max-campaigns N]
+//                                        long-running campaign daemon on a
+//                                        Unix socket (see DESIGN.md §6k)
+//   fav submit --socket PATH [evaluate options]
+//                                        run a campaign on a serving daemon;
+//                                        prints the same stdout block and
+//                                        writes the same run report as a
+//                                        local `fav evaluate`
 //
 // Common options:
 //   --benchmark write|read|exec|dma   (default write)
@@ -87,20 +95,27 @@
 #include <atomic>
 #include <charconv>
 #include <cmath>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <functional>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/framework.h"
+#include "mc/serve.h"
 #include "mc/supervisor.h"
 #include "core/hardening.h"
+#include "core/run_report.h"
 #include "netlist/verilog.h"
 #include "rtl/vcd.h"
 #include "util/io.h"
@@ -157,6 +172,9 @@ struct Options {
   std::size_t supervise = 0;
   std::uint64_t heartbeat_ms = 30000;
   std::size_t shard_size = 256;
+  // Serving tier (`fav serve` / `fav submit`).
+  std::string socket;
+  std::size_t max_campaigns = 2;
   // Hidden `fav worker` mode (spawned by the supervisor).
   std::size_t worker_id = 0;
   // Test-only chaos injection, forwarded to workers (see WorkerHeartbeat).
@@ -180,11 +198,26 @@ struct Options {
   }
 };
 
+/// Usage errors are exceptions, not exits: the serve daemon parses untrusted
+/// request argv with the same parser as main(), and a bad request must fail
+/// that one campaign (kError frame, exit code 2), never the daemon. main()
+/// catches this, prints the usage text and exits 2 — the historical CLI
+/// behavior.
+struct UsageError {
+  std::string message;
+};
+
 [[noreturn]] void usage(const char* msg = nullptr) {
-  if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
+  throw UsageError{msg != nullptr ? msg : ""};
+}
+
+void print_usage(const std::string& message) {
+  if (!message.empty()) {
+    std::fprintf(stderr, "error: %s\n\n", message.c_str());
+  }
   std::fprintf(stderr,
                "usage: fav <info|characterize|evaluate|harden|export-verilog|"
-               "trace> [options]\n"
+               "trace|serve|submit> [options]\n"
                "options: --benchmark write|read|exec|dma  --samples N\n"
                "         --seed S\n"
                "         --technique radiation|clock-glitch\n"
@@ -202,8 +235,10 @@ struct Options {
                "         --supervise N  --heartbeat-ms N\n"
                "         --shard-size N (evaluate only, needs --journal)\n"
                "         --metrics-out FILE  --trace-out FILE  --progress\n"
-               "                              (evaluate only)\n");
-  std::exit(2);
+               "                              (evaluate only)\n"
+               "         --socket PATH        (serve/submit: Unix socket)\n"
+               "         --max-campaigns N    (serve: concurrent campaigns,\n"
+               "                              default 2)\n");
 }
 
 // Strict numeric parsing: the whole token must parse and land in range,
@@ -242,15 +277,18 @@ double parse_double(const std::string& flag, const std::string& value,
   return parsed;
 }
 
-Options parse(int argc, char** argv) {
-  if (argc < 2) usage();
+/// Parses `args` = {command, flag...}. Called with main()'s argv and with
+/// request argv arriving over the serve socket — both go through identical
+/// validation, which is half of the served == local identity guarantee.
+Options parse(const std::vector<std::string>& args) {
+  if (args.empty()) usage();
   Options o;
-  o.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
+  o.command = args[0];
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string arg = args[i];
     auto value = [&]() -> std::string {
-      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
-      return argv[++i];
+      if (i + 1 >= args.size()) usage(("missing value for " + arg).c_str());
+      return args[++i];
     };
     if (arg == "--benchmark") {
       o.benchmark = value();
@@ -294,6 +332,10 @@ Options parse(int argc, char** argv) {
       o.heartbeat_ms = parse_u64(arg, value(), 1, 86'400'000);
     } else if (arg == "--shard-size") {
       o.shard_size = parse_u64(arg, value(), 1, 1'000'000'000);
+    } else if (arg == "--socket") {
+      o.socket = value();
+    } else if (arg == "--max-campaigns") {
+      o.max_campaigns = parse_u64(arg, value(), 1, 256);
     } else if (arg == "--worker-id") {
       o.worker_id = parse_u64(arg, value(), 0, 1024);
     } else if (arg == "--crash-after-samples") {
@@ -358,6 +400,15 @@ Options parse(int argc, char** argv) {
       o.command != "evaluate" && o.command != "worker") {
     usage("--chaos-write-nth/--chaos-fsync-nth only apply to the evaluate "
           "command and worker mode");
+  }
+  // `submit` never reaches parse() with --socket (cmd_submit strips it and
+  // validates the remainder as an evaluate command), so here the flag is
+  // serve-only.
+  if (o.command == "serve" && o.socket.empty()) {
+    usage("serve requires --socket PATH");
+  }
+  if (!o.socket.empty() && o.command != "serve") {
+    usage("--socket only applies to the serve and submit commands");
   }
   return o;
 }
@@ -432,26 +483,6 @@ std::uint64_t campaign_fingerprint(const Options& o,
   return core::campaign_fingerprint(key);
 }
 
-/// Minimal JSON string escaping for free-form report fields (cache paths
-/// and fallback detail strings can carry quotes or backslashes).
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-      out += buf;
-    } else {
-      out.push_back(c);
-    }
-  }
-  return out;
-}
-
 /// Full-precision double formatting for worker argv: std::to_string would
 /// truncate to 6 decimals and hand the workers a *different* sample stream.
 std::string format_double(double v) {
@@ -514,6 +545,7 @@ std::vector<std::string> worker_command(const Options& o) {
 }
 
 struct EvalOutcome {
+  Status status = Status::ok();  // non-ok: res is meaningless
   mc::SsfResult res;
   bool supervised = false;
   std::size_t restarts = 0;
@@ -522,8 +554,13 @@ struct EvalOutcome {
   std::size_t storage_full_stops = 0;
 };
 
+/// Runs the campaign (in-process, journaled, or supervised per `o`).
+/// `on_sample`, when set, ticks once per evaluated sample on the supervised
+/// path — the serving tier's progress stream (the in-process engine routes
+/// progress through EvaluatorConfig::on_sample instead).
 EvalOutcome run_eval(core::FaultAttackEvaluator& fw, const Options& o,
-                     std::string* actual_strategy = nullptr) {
+                     std::string* actual_strategy = nullptr,
+                     const std::function<void()>& on_sample = {}) {
   core::SamplerSelection sel;
   if (o.technique == "clock-glitch") {
     sel = fw.make_sampler_with_fallback(fw.glitch_attack_model(o.t_range),
@@ -558,14 +595,16 @@ EvalOutcome run_eval(core::FaultAttackEvaluator& fw, const Options& o,
     sc.context = o.benchmark + "/" + o.technique + "/" + sel.actual;
     sc.metrics = fw.evaluator().config().metrics;
     sc.progress = fw.evaluator().config().progress;
+    sc.on_sample = on_sample;
     sc.stop = &g_stop;
     mc::CampaignSupervisor supervisor(fw.evaluator(), sc);
     Result<mc::SupervisedResult> result =
         supervisor.run(*sel.sampler, rng, o.samples);
     if (!result.is_ok()) {
-      std::fprintf(stderr, "fav: supervised run failed: %s\n",
-                   result.status().to_string().c_str());
-      std::exit(1);
+      out.status = Status(result.status().code(),
+                          "supervised run failed: " +
+                              result.status().to_string());
+      return out;
     }
     out.res = std::move(result.value().result);
     out.supervised = true;
@@ -588,113 +627,95 @@ EvalOutcome run_eval(core::FaultAttackEvaluator& fw, const Options& o,
   Result<mc::SsfResult> result =
       fw.evaluator().run_journaled(*sel.sampler, rng, o.samples, jopt);
   if (!result.is_ok()) {
-    std::fprintf(stderr, "fav: journaled run failed: %s\n",
-                 result.status().to_string().c_str());
-    std::exit(1);
+    out.status = Status(result.status().code(),
+                        "journaled run failed: " +
+                            result.status().to_string());
+    return out;
   }
   out.res = std::move(result).value();
   return out;
 }
 
-void print_failures(const mc::SsfResult& res) {
+/// printf-append onto a campaign's stdout block. The block is built into a
+/// string (not printed directly) so a served campaign ships the exact bytes
+/// a local run would print.
+__attribute__((format(printf, 2, 3))) void append_f(std::string& out,
+                                                    const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  char buf[1024];
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n < 0) {
+    va_end(ap2);
+    return;
+  }
+  if (static_cast<std::size_t>(n) < sizeof(buf)) {
+    out.append(buf, static_cast<std::size_t>(n));
+  } else {
+    std::string big(static_cast<std::size_t>(n) + 1, '\0');
+    std::vsnprintf(big.data(), big.size(), fmt, ap2);
+    big.resize(static_cast<std::size_t>(n));
+    out += big;
+  }
+  va_end(ap2);
+}
+
+void append_failures(std::string& out, const mc::SsfResult& res) {
   if (res.failed == 0 && res.retried == 0) return;
-  std::printf("failures   : %zu failed / %zu retried (%.4f%% of weight)\n",
-              res.failed, res.retried, 100.0 * res.failed_weight_fraction());
+  append_f(out,
+           "failures   : %zu failed / %zu retried (%.4f%% of weight)\n",
+           res.failed, res.retried, 100.0 * res.failed_weight_fraction());
   for (const auto& [code, count] : res.failure_counts) {
-    std::printf("             %s x%zu\n", error_code_name(code), count);
+    append_f(out, "             %s x%zu\n", error_code_name(code), count);
   }
 }
 
-/// JSON run report (schema fav.run_report.v1): campaign identity, estimate
-/// quality (SSF, CI, ESS), outcome-path split and the merged metrics sink
-/// (per-phase timers, counters, gauges). Machine-readable companion to the
-/// human-readable stdout block of cmd_evaluate.
-void write_run_report(std::ostream& out, const Options& o,
-                      const std::string& strategy, const EvalOutcome& eval,
-                      const core::PrecharacCacheReport& cache,
-                      double elapsed_s, const MetricsSink& metrics) {
-  const mc::SsfResult& res = eval.res;
-  auto num = [&out](double v) {
-    if (std::isfinite(v)) {
-      char buf[64];
-      std::snprintf(buf, sizeof(buf), "%.17g", v);
-      out << buf;
-    } else {
-      out << "null";
-    }
-  };
-  const double se = res.stats.standard_error();
-  out << "{\n"
-      << "  \"schema\": \"fav.run_report.v1\",\n"
-      << "  \"benchmark\": \"" << o.benchmark << "\",\n"
-      << "  \"technique\": \"" << o.technique << "\",\n"
-      << "  \"strategy\": \"" << strategy << "\",\n"
-      << "  \"samples\": " << o.samples << ",\n"
-      << "  \"evaluated\": " << res.evaluated << ",\n"
-      << "  \"interrupted\": " << (res.interrupted ? "true" : "false") << ",\n"
-      << "  \"seed\": " << o.seed << ",\n"
-      << "  \"threads\": " << o.threads << ",\n"
-      << "  \"batch_lanes\": " << o.batch_lanes << ",\n"
-      << "  \"supervise\": " << o.supervise << ",\n";
-  if (eval.supervised) {
-    out << "  \"supervisor\": {\"restarts\": " << eval.restarts
-        << ", \"quarantined_shards\": " << eval.quarantined_shards
-        << ", \"quarantined_samples\": " << eval.quarantined_samples
-        << ", \"storage_full_stops\": " << eval.storage_full_stops
-        << "},\n";
-  }
-  out << "  \"precharac_cache\": {\"enabled\": "
-      << (cache.enabled ? "true" : "false") << ", \"path\": \""
-      << json_escape(cache.path) << "\", \"outcome\": \"" << cache.outcome
-      << "\", \"detail\": \"" << json_escape(cache.detail)
-      << "\", \"stored\": " << (cache.stored ? "true" : "false") << "},\n";
-  out << "  \"elapsed_s\": ";
-  num(elapsed_s);
-  out << ",\n  \"samples_per_s\": ";
-  num(elapsed_s > 0.0 ? static_cast<double>(res.evaluated) / elapsed_s : 0.0);
-  out << ",\n  \"ssf\": ";
-  num(res.ssf());
-  out << ",\n  \"std_error\": ";
-  num(se);
-  out << ",\n  \"ci95_half_width\": ";
-  num(1.96 * se);
-  out << ",\n  \"variance\": ";
-  num(res.sample_variance());
-  out << ",\n  \"ess\": ";
-  num(res.effective_sample_size());
-  out << ",\n  \"successes\": " << res.successes << ",\n"
-      << "  \"paths\": {\"masked\": " << res.masked
-      << ", \"analytical\": " << res.analytical << ", \"rtl\": " << res.rtl
-      << ", \"failed\": " << res.failed << "},\n"
-      << "  \"retried\": " << res.retried << ",\n"
-      << "  \"failed_weight_fraction\": ";
-  num(res.failed_weight_fraction());
-  out << ",\n  \"failure_counts\": {";
-  bool first_fail = true;
-  for (const auto& [code, count] : res.failure_counts) {
-    if (!first_fail) out << ", ";
-    first_fail = false;
-    out << "\"" << error_code_name(code) << "\": " << count;
-  }
-  out << "},\n  \"metrics\": ";
-  metrics.write_json(out);
-  out << "\n}\n";
-}
+/// Everything one evaluate campaign produced: the exit code, the exact
+/// stdout block a local `fav evaluate` prints, and the run-report JSON when
+/// the campaign asked for one. Built by run_evaluate_campaign for local and
+/// served campaigns alike — the single code path is the identity guarantee.
+struct CampaignOutput {
+  int exit_code = 1;
+  std::string stdout_block;
+  std::string report_json;
+  std::string error;  // non-empty: the campaign failed before a result
+};
 
-int cmd_evaluate(const Options& o) {
+/// The whole evaluate pipeline: sinks, framework elaboration, the campaign
+/// run (in-process / journaled / supervised), the stdout block, and the run
+/// report. `local_files` writes --metrics-out / --trace-out to disk here
+/// (local `fav evaluate`); the serve daemon passes false and ships
+/// report_json back to the client, which writes its own file.
+CampaignOutput run_evaluate_campaign(const Options& o, bool local_files,
+                                     const mc::ProgressFn& progress) {
+  CampaignOutput out;
   // Observability sinks live here (campaign scope); the evaluator only sees
   // non-null pointers for what was requested, so unused channels stay
   // zero-cost.
   MetricsSink metrics;
   TraceBuffer trace;
-  std::optional<ProgressMeter> progress;
-  if (o.progress) progress.emplace(o.samples);
+  std::optional<ProgressMeter> meter;
+  if (o.progress) meter.emplace(o.samples);
   core::FrameworkConfig cfg = o.framework_config();
   if (!o.metrics_out.empty()) cfg.evaluator.metrics = &metrics;
   if (!o.trace_out.empty()) cfg.evaluator.trace = &trace;
-  if (progress.has_value()) cfg.evaluator.progress = &*progress;
+  if (meter.has_value()) cfg.evaluator.progress = &*meter;
   cfg.evaluator.stop = &g_stop;
-  install_stop_handlers();
+  // Served progress: the in-process engine ticks through the evaluator's
+  // on_sample (any worker thread); supervised campaigns tick through the
+  // supervisor's on_sample hook below. Both count evaluated samples.
+  std::atomic<std::uint64_t> completed{0};
+  auto tick = [&completed, &progress, &o] {
+    progress(completed.fetch_add(1, std::memory_order_relaxed) + 1,
+             o.samples);
+  };
+  if (progress && o.supervise == 0) {
+    cfg.evaluator.on_sample = [&tick](const mc::SampleRecord&,
+                                      std::size_t) { tick(); };
+  }
   if (o.chaos_write_nth != 0 || o.chaos_fsync_nth != 0) {
     io::ChaosFile chaos;
     chaos.fail_write_at = o.chaos_write_nth;
@@ -704,80 +725,290 @@ int cmd_evaluate(const Options& o) {
   core::FaultAttackEvaluator fw(pick_benchmark(o.benchmark), cfg);
   std::string actual_strategy = o.strategy;
   const std::uint64_t t0 = monotonic_ns();
-  const EvalOutcome eval = run_eval(fw, o, &actual_strategy);
+  const EvalOutcome eval =
+      run_eval(fw, o, &actual_strategy,
+               (progress && o.supervise > 0) ? std::function<void()>(tick)
+                                             : std::function<void()>{});
   // The injected fault targets the campaign write path; clear it so the
   // interrupted run report below can still land (the real-world analogue is
   // a report on a different device than the full journal disk).
   io::chaos_reset();
+  if (!eval.status.is_ok()) {
+    out.error = eval.status.to_string();
+    out.exit_code = 1;
+    return out;
+  }
   const mc::SsfResult& res = eval.res;
-  const double elapsed_s =
-      static_cast<double>(monotonic_ns() - t0) * 1e-9;
-  if (progress.has_value()) progress->finish();
-  std::printf("benchmark  : %s\n", fw.benchmark().name.c_str());
-  std::printf("technique  : %s\n", fw.technique().name());
-  std::printf("strategy   : %s (n=%zu, seed=%llu)\n", actual_strategy.c_str(),
-              o.samples, static_cast<unsigned long long>(o.seed));
+  const double elapsed_s = static_cast<double>(monotonic_ns() - t0) * 1e-9;
+  if (meter.has_value()) meter->finish();
+  append_f(out.stdout_block, "benchmark  : %s\n", fw.benchmark().name.c_str());
+  append_f(out.stdout_block, "technique  : %s\n", fw.technique().name());
+  append_f(out.stdout_block, "strategy   : %s (n=%zu, seed=%llu)\n",
+           actual_strategy.c_str(), o.samples,
+           static_cast<unsigned long long>(o.seed));
   if (res.interrupted) {
-    std::printf("interrupted: yes — %zu of %zu samples evaluated "
-                "(rerun with --resume to continue)\n",
-                res.evaluated, o.samples);
+    append_f(out.stdout_block,
+             "interrupted: yes — %zu of %zu samples evaluated "
+             "(rerun with --resume to continue)\n",
+             res.evaluated, o.samples);
   }
   if (eval.supervised) {
-    std::printf("supervisor : %zu worker(s), %zu restart(s), %zu shard(s) / "
-                "%zu sample(s) quarantined\n",
-                o.supervise, eval.restarts, eval.quarantined_shards,
-                eval.quarantined_samples);
+    append_f(out.stdout_block,
+             "supervisor : %zu worker(s), %zu restart(s), %zu shard(s) / "
+             "%zu sample(s) quarantined\n",
+             o.supervise, eval.restarts, eval.quarantined_shards,
+             eval.quarantined_samples);
     if (eval.storage_full_stops > 0) {
-      std::printf("storage    : %zu worker(s) stopped on a full/failing "
-                  "journal device\n",
-                  eval.storage_full_stops);
+      append_f(out.stdout_block,
+               "storage    : %zu worker(s) stopped on a full/failing "
+               "journal device\n",
+               eval.storage_full_stops);
     }
   }
   const core::PrecharacCacheReport& cache = fw.precharac_cache();
   if (cache.enabled) {
-    std::printf("precharac  : cache %s (%s)%s\n", cache.outcome.c_str(),
-                cache.path.c_str(), cache.stored ? ", stored" : "");
+    append_f(out.stdout_block, "precharac  : cache %s (%s)%s\n",
+             cache.outcome.c_str(), cache.path.c_str(),
+             cache.stored ? ", stored" : "");
   }
-  std::printf("SSF        : %.6f\n", res.ssf());
-  std::printf("std error  : %.6f\n", res.stats.standard_error());
-  std::printf("variance   : %.3e\n", res.sample_variance());
-  std::printf("ESS        : %.1f of %zu\n", res.effective_sample_size(),
-              o.samples);
-  std::printf("successes  : %zu\n", res.successes);
-  std::printf("paths      : %zu masked / %zu analytical / %zu rtl\n",
-              res.masked, res.analytical, res.rtl);
-  print_failures(res);
+  append_f(out.stdout_block, "SSF        : %.6f\n", res.ssf());
+  append_f(out.stdout_block, "std error  : %.6f\n",
+           res.stats.standard_error());
+  append_f(out.stdout_block, "variance   : %.3e\n", res.sample_variance());
+  append_f(out.stdout_block, "ESS        : %.1f of %zu\n",
+           res.effective_sample_size(), o.samples);
+  append_f(out.stdout_block, "successes  : %zu\n", res.successes);
+  append_f(out.stdout_block,
+           "paths      : %zu masked / %zu analytical / %zu rtl\n", res.masked,
+           res.analytical, res.rtl);
+  append_failures(out.stdout_block, res);
   if (!o.metrics_out.empty()) {
     metrics.merge(fw.metrics());  // pre-characterization + sampler provenance
     std::ostringstream report;
-    write_run_report(report, o, actual_strategy, eval, cache, elapsed_s,
-                     metrics);
-    const Status written = io::atomic_write_file(o.metrics_out, report.str());
+    core::RunReportInputs in;
+    in.benchmark = o.benchmark;
+    in.technique = o.technique;
+    in.strategy = actual_strategy;
+    in.samples = o.samples;
+    in.seed = o.seed;
+    in.threads = o.threads;
+    in.batch_lanes = o.batch_lanes;
+    in.supervise = o.supervise;
+    in.supervised = eval.supervised;
+    in.restarts = eval.restarts;
+    in.quarantined_shards = eval.quarantined_shards;
+    in.quarantined_samples = eval.quarantined_samples;
+    in.storage_full_stops = eval.storage_full_stops;
+    in.cache = cache;
+    in.elapsed_s = elapsed_s;
+    in.result = &res;
+    in.metrics = &metrics;
+    core::write_run_report(report, in);
+    out.report_json = report.str();
+    if (local_files) {
+      const Status written =
+          io::atomic_write_file(o.metrics_out, out.report_json);
+      if (!written.is_ok()) {
+        out.error = "cannot write run report: " + written.to_string();
+        out.exit_code = 1;
+        return out;
+      }
+    }
+    append_f(out.stdout_block, "run report : %s\n", o.metrics_out.c_str());
+  }
+  if (!o.trace_out.empty()) {
+    std::ostringstream events;
+    trace.write_json(events);
+    if (local_files) {
+      const Status written = io::atomic_write_file(o.trace_out, events.str());
+      if (!written.is_ok()) {
+        out.error = "cannot write trace: " + written.to_string();
+        out.exit_code = 1;
+        return out;
+      }
+    }
+    append_f(out.stdout_block, "trace      : %s (%zu events)\n",
+             o.trace_out.c_str(), trace.size());
+  }
+  const auto& map = rtl::Machine::reg_map();
+  const auto fields = core::select_critical_fields(res, 0.95);
+  append_f(out.stdout_block, "critical   :");
+  for (const int f : fields) {
+    append_f(out.stdout_block, " %s", map.field(f).name.c_str());
+  }
+  append_f(out.stdout_block, "\n");
+  out.exit_code = res.interrupted ? 3 : 0;
+  return out;
+}
+
+int cmd_evaluate(const Options& o) {
+  install_stop_handlers();
+  const CampaignOutput out = run_evaluate_campaign(o, true, {});
+  if (!out.error.empty()) {
+    std::fprintf(stderr, "fav: %s\n", out.error.c_str());
+    return out.exit_code != 0 ? out.exit_code : 1;
+  }
+  std::fputs(out.stdout_block.c_str(), stdout);
+  return out.exit_code;
+}
+
+/// Journal directories in use by in-flight served campaigns. Two concurrent
+/// campaigns sharing a journal would interleave shard files and corrupt both
+/// results, so the daemon reserves the (canonicalized) directory for the
+/// campaign's lifetime and refuses the second request.
+std::mutex g_journal_registry_mu;
+std::set<std::string> g_journal_registry;
+
+bool reserve_journal(const std::string& dir, std::string* key) {
+  std::error_code ec;
+  const std::filesystem::path canon =
+      std::filesystem::weakly_canonical(dir, ec);
+  *key = ec ? dir : canon.string();
+  std::lock_guard<std::mutex> lock(g_journal_registry_mu);
+  return g_journal_registry.insert(*key).second;
+}
+
+void release_journal(const std::string& key) {
+  std::lock_guard<std::mutex> lock(g_journal_registry_mu);
+  g_journal_registry.erase(key);
+}
+
+/// The serve daemon's CampaignRunner: parses the request argv with the same
+/// parser as main() and runs the same campaign path as a local
+/// `fav evaluate` — which is the served == local identity guarantee. A bad
+/// request fails this one campaign (never the daemon), and flags with
+/// process-global or client-side-file side effects are refused per-request.
+mc::CampaignOutcome run_served_campaign(const std::vector<std::string>& args,
+                                        const mc::ProgressFn& progress) {
+  mc::CampaignOutcome out;
+  Options o;
+  try {
+    o = parse(args);
+  } catch (const UsageError& e) {
+    out.error = e.message.empty() ? "invalid campaign request" : e.message;
+    out.exit_code = 2;
+    return out;
+  }
+  if (o.command != "evaluate") {
+    out.error =
+        "served campaigns must be 'evaluate' requests, got '" + o.command +
+        "'";
+    out.exit_code = 2;
+    return out;
+  }
+  if (o.chaos_write_nth != 0 || o.chaos_fsync_nth != 0) {
+    out.error = "--chaos-write-nth / --chaos-fsync-nth are process-global "
+                "and cannot run on a shared daemon";
+    out.exit_code = 2;
+    return out;
+  }
+  if (o.crash_after != 0 || o.crash_on != mc::kNoCrashIndex) {
+    out.error = "crash-injection flags cannot run on a shared daemon";
+    out.exit_code = 2;
+    return out;
+  }
+  if (!o.trace_out.empty()) {
+    out.error = "--trace-out is not supported for served campaigns "
+                "(run locally)";
+    out.exit_code = 2;
+    return out;
+  }
+  std::string journal_key;
+  const bool has_journal = !o.journal.empty();
+  if (has_journal && !reserve_journal(o.journal, &journal_key)) {
+    out.error = "journal directory '" + o.journal +
+                "' is in use by another in-flight campaign";
+    out.exit_code = 1;
+    return out;
+  }
+  try {
+    const CampaignOutput run = run_evaluate_campaign(o, false, progress);
+    out.exit_code = run.exit_code;
+    out.stdout_block = run.stdout_block;
+    out.report_json = run.report_json;
+    out.error = run.error;
+  } catch (const StatusError& e) {
+    out.error = std::string("[") + error_code_name(e.code()) + "] " + e.what();
+    out.exit_code = 1;
+  } catch (const std::exception& e) {
+    out.error = e.what();
+    out.exit_code = 1;
+  }
+  if (has_journal) release_journal(journal_key);
+  return out;
+}
+
+int cmd_serve(const Options& o) {
+  install_stop_handlers();
+  // Streaming to a client that vanished must surface as a write error on
+  // that one socket, never kill the daemon.
+  ::signal(SIGPIPE, SIG_IGN);
+  mc::ServeConfig sc;
+  sc.socket_path = o.socket;
+  sc.max_concurrent = o.max_campaigns;
+  sc.stop = &g_stop;
+  mc::CampaignServer server(sc, run_served_campaign);
+  const Status status = server.serve();
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "fav serve: %s\n", status.to_string().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+/// `fav submit --socket PATH <evaluate flags>`: runs the campaign on a
+/// serving daemon and reproduces a local `fav evaluate` byte for byte — the
+/// same stdout block on stdout, the same run report written to the *client's*
+/// --metrics-out path, the same exit code.
+int cmd_submit(const std::vector<std::string>& raw) {
+  std::string socket;
+  std::vector<std::string> fwd;
+  fwd.push_back("evaluate");
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] == "--socket") {
+      if (i + 1 >= raw.size()) usage("missing value for --socket");
+      socket = raw[++i];
+      continue;
+    }
+    fwd.push_back(raw[i]);
+  }
+  if (socket.empty()) usage("submit requires --socket PATH");
+  // Validate client-side with the same parser the server will run, so a
+  // typo fails here with the usage text instead of after a round-trip.
+  const Options o = parse(fwd);
+  mc::ProgressFn on_progress;
+  if (o.progress) {
+    on_progress = [](std::uint64_t done, std::uint64_t total) {
+      std::fprintf(stderr, "fav submit: %llu / %llu samples\n",
+                   static_cast<unsigned long long>(done),
+                   static_cast<unsigned long long>(total));
+    };
+  }
+  const Result<mc::SubmitResult> sent =
+      mc::submit_campaign(socket, fwd, on_progress);
+  if (!sent.is_ok()) {
+    std::fprintf(stderr, "fav submit: %s\n",
+                 sent.status().to_string().c_str());
+    return 1;
+  }
+  const mc::SubmitResult& res = sent.value();
+  if (!res.error.empty()) {
+    std::fprintf(stderr, "fav: %s\n", res.error.c_str());
+    return res.exit_code != 0 ? res.exit_code : 1;
+  }
+  // The daemon ships the report bytes; the file lands wherever the *client*
+  // asked, exactly like a local run.
+  if (!o.metrics_out.empty() && !res.report_json.empty()) {
+    const Status written =
+        io::atomic_write_file(o.metrics_out, res.report_json);
     if (!written.is_ok()) {
       std::fprintf(stderr, "fav: cannot write run report: %s\n",
                    written.to_string().c_str());
       return 1;
     }
-    std::printf("run report : %s\n", o.metrics_out.c_str());
   }
-  if (!o.trace_out.empty()) {
-    std::ostringstream events;
-    trace.write_json(events);
-    const Status written = io::atomic_write_file(o.trace_out, events.str());
-    if (!written.is_ok()) {
-      std::fprintf(stderr, "fav: cannot write trace: %s\n",
-                   written.to_string().c_str());
-      return 1;
-    }
-    std::printf("trace      : %s (%zu events)\n", o.trace_out.c_str(),
-                trace.size());
-  }
-  const auto& map = rtl::Machine::reg_map();
-  const auto fields = core::select_critical_fields(res, 0.95);
-  std::printf("critical   :");
-  for (const int f : fields) std::printf(" %s", map.field(f).name.c_str());
-  std::printf("\n");
-  return res.interrupted ? 3 : 0;
+  std::fputs(res.stdout_block.c_str(), stdout);
+  return res.exit_code;
 }
 
 /// Hidden worker mode (spawned by --supervise): stdin/stdout are the
@@ -849,7 +1080,12 @@ int cmd_worker(const Options& o) {
 int cmd_harden(const Options& o) {
   core::FaultAttackEvaluator fw(pick_benchmark(o.benchmark),
                                 o.framework_config());
-  const auto res = run_eval(fw, o).res;
+  const EvalOutcome eval = run_eval(fw, o);
+  if (!eval.status.is_ok()) {
+    std::fprintf(stderr, "fav: %s\n", eval.status.to_string().c_str());
+    return 1;
+  }
+  const auto& res = eval.res;
   const auto cells = core::select_critical_bits(res, o.coverage);
   Rng rng(o.seed + 1);
   const auto report = core::evaluate_hardening(fw.evaluator(), fw.soc(), res,
@@ -905,16 +1141,27 @@ int cmd_trace(const Options& o) {
 
 int main(int argc, char** argv) {
   if (argc > 0 && argv[0] != nullptr) g_argv0 = argv[0];
+  const std::vector<std::string> args(argv + (argc > 0 ? 1 : 0),
+                                      argv + argc);
   try {
-    const Options o = parse(argc, argv);
+    // `submit` owns its argv (it strips --socket before reusing the evaluate
+    // parser), so it is dispatched before the common parse.
+    if (!args.empty() && args[0] == "submit") {
+      return cmd_submit({args.begin() + 1, args.end()});
+    }
+    const Options o = parse(args);
     if (o.command == "info") return cmd_info(o);
     if (o.command == "characterize") return cmd_characterize(o);
     if (o.command == "evaluate") return cmd_evaluate(o);
+    if (o.command == "serve") return cmd_serve(o);
     if (o.command == "worker") return cmd_worker(o);
     if (o.command == "harden") return cmd_harden(o);
     if (o.command == "export-verilog") return cmd_export_verilog(o);
     if (o.command == "trace") return cmd_trace(o);
     usage(("unknown command '" + o.command + "'").c_str());
+  } catch (const UsageError& e) {
+    print_usage(e.message);
+    return 2;
   } catch (const StatusError& e) {
     std::fprintf(stderr, "fav: [%s] %s\n", error_code_name(e.code()),
                  e.what());
