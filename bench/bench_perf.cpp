@@ -316,6 +316,40 @@ BENCHMARK(BM_ClockGlitchRun)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// Exhaustive sweep of the bound clock-glitch fault space (Arg = threads):
+// the full (t, depth) grid streamed through run_exhaustive in enumeration
+// order, no sampler and no RNG. items_per_second here against the same Arg
+// row of BM_MonteCarloRunThreads is the cost ratio of an exact answer vs a
+// Monte Carlo estimate on this benchmark — the trade BENCH_pr9.json tracks.
+void BM_ExhaustiveSweep(benchmark::State& state) {
+  static core::FaultAttackEvaluator fw(soc::make_illegal_write_benchmark(), [] {
+    core::FrameworkConfig cfg;
+    cfg.technique = "clock-glitch";
+    return cfg;
+  }());
+  static const faultsim::ClockGlitchAttackModel model =
+      fw.glitch_attack_model(50);
+  mc::EvaluatorConfig cfg;
+  cfg.threads = static_cast<std::size_t>(state.range(0));
+  cfg.keep_records = false;
+  faultsim::ClockGlitchTechnique technique(fw.glitch_simulator());
+  technique.bind_space(model);
+  const std::uint64_t space = technique.space_size();
+  const mc::SsfEvaluator engine(fw.soc(), technique, fw.benchmark(),
+                                fw.golden(), &fw.characterization(), cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run_exhaustive());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(space));
+  state.counters["fault_space_size"] = static_cast<double>(space);
+}
+BENCHMARK(BM_ExhaustiveSweep)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void BM_SignatureRecording(benchmark::State& state) {
   const rtl::Program workload = soc::make_synthetic_workload();
   for (auto _ : state) {

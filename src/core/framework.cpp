@@ -76,10 +76,16 @@ Status FrameworkConfig::validate() const {
   auto invalid = [](const std::string& what) {
     return Status(ErrorCode::kInvalidArgument, "FrameworkConfig: " + what);
   };
-  if (technique != "radiation" && technique != "clock-glitch") {
-    return invalid("technique must be \"radiation\" or \"clock-glitch\", got "
-                   "\"" +
-                   technique + "\"");
+  if (technique != "radiation" && technique != "clock-glitch" &&
+      technique != "voltage-glitch") {
+    return invalid(
+        "technique must be \"radiation\", \"clock-glitch\" or "
+        "\"voltage-glitch\", got \"" +
+        technique + "\"");
+  }
+  if (mode != "sampled" && mode != "exhaustive") {
+    return invalid("mode must be \"sampled\" or \"exhaustive\", got \"" +
+                   mode + "\"");
   }
   if (checkpoint_interval == 0) {
     return invalid("checkpoint_interval must be > 0");
@@ -164,6 +170,10 @@ FaultAttackEvaluator::FaultAttackEvaluator(soc::SecurityBenchmark bench,
     glitch_ = std::make_unique<faultsim::ClockGlitchSimulator>(soc_.netlist(),
                                                                config.timing);
     technique_ = std::make_unique<faultsim::ClockGlitchTechnique>(*glitch_);
+  } else if (config.technique == "voltage-glitch") {
+    voltage_ = std::make_unique<faultsim::VoltageGlitchSimulator>(
+        soc_.netlist(), config.timing);
+    technique_ = std::make_unique<faultsim::VoltageGlitchTechnique>(*voltage_);
   } else {
     technique_ =
         std::make_unique<faultsim::RadiationTechnique>(placement_, *injector_);
@@ -415,6 +425,51 @@ std::unique_ptr<mc::Sampler> FaultAttackEvaluator::make_glitch_sampler(
   return std::make_unique<mc::GlitchSampler>(model, target_cycle());
 }
 
+const faultsim::VoltageGlitchSimulator& FaultAttackEvaluator::voltage_simulator()
+    const {
+  FAV_ENSURE_MSG(voltage_ != nullptr,
+                 "voltage_simulator() requires technique \"voltage-glitch\" "
+                 "(configured: \""
+                     << config_.technique << "\")");
+  return *voltage_;
+}
+
+faultsim::VoltageGlitchAttackModel FaultAttackEvaluator::voltage_attack_model(
+    int t_range) const {
+  FAV_ENSURE(t_range >= 1);
+  faultsim::VoltageGlitchAttackModel m;
+  m.t_min = 0;
+  const std::uint64_t tt = target_cycle();
+  m.t_max = static_cast<int>(std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(t_range - 1), tt));
+  return m;
+}
+
+std::unique_ptr<mc::Sampler> FaultAttackEvaluator::make_voltage_sampler(
+    const faultsim::VoltageGlitchAttackModel& model) const {
+  return std::make_unique<mc::VoltageGlitchSampler>(model, target_cycle());
+}
+
+std::uint64_t FaultAttackEvaluator::bind_exhaustive_space(int t_range,
+                                                          double radius) const {
+  // const_cast-free: technique_ is a (const) unique_ptr to a non-const
+  // technique, and binding happens before any evaluation is in flight.
+  if (config_.technique == "clock-glitch") {
+    auto* t = dynamic_cast<faultsim::ClockGlitchTechnique*>(technique_.get());
+    FAV_CHECK(t != nullptr);
+    t->bind_space(glitch_attack_model(t_range));
+  } else if (config_.technique == "voltage-glitch") {
+    auto* t = dynamic_cast<faultsim::VoltageGlitchTechnique*>(technique_.get());
+    FAV_CHECK(t != nullptr);
+    t->bind_space(voltage_attack_model(t_range));
+  } else {
+    auto* t = dynamic_cast<faultsim::RadiationTechnique*>(technique_.get());
+    FAV_CHECK(t != nullptr);
+    t->bind_space(subblock_attack_model(radius, t_range));
+  }
+  return technique_->space_size();
+}
+
 std::unique_ptr<mc::Sampler> FaultAttackEvaluator::make_random_sampler(
     const AttackModel& attack) const {
   attacks_.push_back(std::make_unique<AttackModel>(attack));
@@ -572,6 +627,24 @@ SamplerSelection FaultAttackEvaluator::make_sampler_with_fallback(
     sel.downgrade_reason = "strategy '" + strategy +
                            "' has no clock-glitch equivalent (no spatial "
                            "structure to exploit), using glitch-uniform";
+    metrics_.add_counter("sampler.downgrades");
+    log_event("sampler downgrade: " + sel.downgrade_reason);
+  }
+  return sel;
+}
+
+SamplerSelection FaultAttackEvaluator::make_sampler_with_fallback(
+    const faultsim::VoltageGlitchAttackModel& model,
+    const std::string& strategy) const {
+  SamplerSelection sel;
+  sel.requested = strategy;
+  sel.sampler = make_voltage_sampler(model);
+  sel.actual = "voltage-uniform";
+  metrics_.add_counter("sampler.built.voltage-uniform");
+  if (strategy != "random" && strategy != "voltage-uniform") {
+    sel.downgrade_reason = "strategy '" + strategy +
+                           "' has no voltage-glitch equivalent (no spatial "
+                           "structure to exploit), using voltage-uniform";
     metrics_.add_counter("sampler.downgrades");
     log_event("sampler downgrade: " + sel.downgrade_reason);
   }

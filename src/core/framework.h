@@ -24,6 +24,7 @@
 #include "faultsim/clock_glitch.h"
 #include "faultsim/injection.h"
 #include "faultsim/technique.h"
+#include "faultsim/voltage_glitch.h"
 #include "layout/placement.h"
 #include "mc/adaptive.h"
 #include "mc/evaluator.h"
@@ -41,11 +42,17 @@ namespace fav::core {
 
 struct FrameworkConfig {
   /// Fault-injection technique evaluated by this framework: "radiation"
-  /// (the paper's radiated-spot model) or "clock-glitch". Selects the
-  /// AttackTechnique the shared engine is built with; pre-characterization
-  /// and the radiation sampler factories are technique-independent and
-  /// always available.
+  /// (the paper's radiated-spot model), "clock-glitch" or "voltage-glitch".
+  /// Selects the AttackTechnique the shared engine is built with;
+  /// pre-characterization and the radiation sampler factories are
+  /// technique-independent and always available.
   std::string technique = "radiation";
+  /// Campaign mode: "sampled" (Monte Carlo over the holistic model, the
+  /// paper's estimator) or "exhaustive" (sweep the technique's enumerable
+  /// fault space, bind_exhaustive_space + SsfEvaluator::run_exhaustive).
+  /// The framework itself only validates the value; the campaign drivers
+  /// (CLI, serve tier) pick the run path from it.
+  std::string mode = "sampled";
   /// Golden run horizon and checkpoint spacing (Section 5.1).
   std::uint64_t checkpoint_interval = 32;
   /// Cone extraction depths; the fanin depth must cover the attack t-range.
@@ -164,6 +171,8 @@ class FaultAttackEvaluator {
   const faultsim::AttackTechnique& technique() const { return *technique_; }
   /// Valid only when config().technique == "clock-glitch".
   const faultsim::ClockGlitchSimulator& glitch_simulator() const;
+  /// Valid only when config().technique == "voltage-glitch".
+  const faultsim::VoltageGlitchSimulator& voltage_simulator() const;
   const mc::SsfEvaluator& evaluator() const { return *evaluator_; }
   std::uint64_t target_cycle() const { return evaluator_->target_cycle(); }
 
@@ -201,6 +210,21 @@ class FaultAttackEvaluator {
   /// timing distance inside the program (t <= Tt), which GlitchSampler
   /// construction enforces.
   faultsim::ClockGlitchAttackModel glitch_attack_model(int t_range = 50) const;
+  /// Holistic model for the voltage-glitch technique: t uniform over
+  /// [0, min(t_range, Tt + 1)), default droop grid. Clamped like
+  /// glitch_attack_model.
+  faultsim::VoltageGlitchAttackModel voltage_attack_model(
+      int t_range = 50) const;
+
+  /// --- exhaustive sweeps -------------------------------------------------
+  /// Binds the active technique's enumerable fault space from the standard
+  /// per-technique model (radiation: subblock_attack_model(radius, t_range);
+  /// clock/voltage glitch: the clamped (t, depth/droop) grid) and returns
+  /// its size. Call once, before evaluation starts — binding mutates the
+  /// shared technique and is not thread-safe against in-flight runs. The
+  /// index -> sample mapping is then fixed for run_exhaustive and for every
+  /// supervised worker that re-derives the same binding from the same flags.
+  std::uint64_t bind_exhaustive_space(int t_range, double radius) const;
 
   /// --- samplers ----------------------------------------------------------
   std::unique_ptr<mc::Sampler> make_random_sampler(
@@ -232,6 +256,17 @@ class FaultAttackEvaluator {
   /// downgraded (logged + counted) to the uniform glitch sampler.
   SamplerSelection make_sampler_with_fallback(
       const faultsim::ClockGlitchAttackModel& model,
+      const std::string& strategy) const;
+
+  /// Uniform sampler over the voltage-glitch holistic model (weight 1).
+  std::unique_ptr<mc::Sampler> make_voltage_sampler(
+      const faultsim::VoltageGlitchAttackModel& model) const;
+  /// Voltage-glitch counterpart of make_sampler_with_fallback: like the
+  /// clock glitch, the parameter space has no spatial structure, so any
+  /// strategy other than "random" downgrades (logged + counted) to the
+  /// uniform voltage sampler.
+  SamplerSelection make_sampler_with_fallback(
+      const faultsim::VoltageGlitchAttackModel& model,
       const std::string& strategy) const;
 
   /// Sampling parameters for `attack`, including the analytically-enumerated
@@ -300,6 +335,7 @@ class FaultAttackEvaluator {
   std::unique_ptr<precharac::RegisterCharacterization> charac_;
   std::unique_ptr<faultsim::InjectionSimulator> injector_;
   std::unique_ptr<faultsim::ClockGlitchSimulator> glitch_;  // glitch only
+  std::unique_ptr<faultsim::VoltageGlitchSimulator> voltage_;  // voltage only
   std::unique_ptr<faultsim::AttackTechnique> technique_;
   std::unique_ptr<mc::SsfEvaluator> evaluator_;
   PrecharacCacheReport cache_report_;

@@ -51,9 +51,15 @@ void write_run_report(std::ostream& out, const RunReportInputs& in) {
   str(in.technique);
   out << ",\n  \"strategy\": ";
   str(in.strategy);
+  out << ",\n  \"mode\": ";
+  str(in.mode);
   out << ",\n  \"samples\": " << in.samples << ",\n"
       << "  \"evaluated\": " << res.evaluated << ",\n"
       << "  \"interrupted\": " << (res.interrupted ? "true" : "false") << ",\n"
+      << "  \"fault_space\": {\"size\": " << res.fault_space_size
+      << ", \"evaluated\": " << res.evaluated << ", \"coverage\": ";
+  num(res.coverage());
+  out << "},\n"
       << "  \"seed\": " << in.seed << ",\n"
       << "  \"threads\": " << in.threads << ",\n"
       << "  \"batch_lanes\": " << in.batch_lanes << ",\n"

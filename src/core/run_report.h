@@ -34,6 +34,8 @@ struct RunReportInputs {
   std::string benchmark;
   std::string technique;
   std::string strategy;
+  /// Campaign mode, "sampled" or "exhaustive" (FrameworkConfig::mode).
+  std::string mode = "sampled";
   std::size_t samples = 0;
   std::uint64_t seed = 0;
   std::size_t threads = 1;

@@ -37,10 +37,11 @@ namespace fav::faultsim {
 enum class TechniqueKind : std::uint8_t {
   kRadiation = 0,
   kClockGlitch = 1,
+  kVoltageGlitch = 2,
 };
 
-/// Stable lowercase name ("radiation" / "clock-glitch") for configs, the CLI
-/// and run reports.
+/// Stable lowercase name ("radiation" / "clock-glitch" / "voltage-glitch")
+/// for configs, the CLI and run reports.
 const char* technique_kind_name(TechniqueKind kind);
 
 struct FaultSample {
@@ -50,8 +51,11 @@ struct FaultSample {
   netlist::NodeId center = 0;     // radiation spot center
   double radius = 0;              // radiated-region radius
   double strike_frac = 0;         // in [0, 1)
-  // --- clock-glitch parameters p = [d] ---------------------------------
-  double depth = 0;               // glitch depth fraction, in (0, 1)
+  // --- clock-glitch / voltage-glitch parameters p = [d] -----------------
+  // Clock glitch: shortened period as a fraction of the nominal period.
+  // Voltage glitch: supply droop severity (gate delays scale by 1/(1-d)).
+  // Sharing the field keeps journal frames and the wire protocol stable.
+  double depth = 0;               // in (0, 1)
   // ---------------------------------------------------------------------
   int impact_cycles = 1;          // consecutive cycles hit by this injection
   double weight = 1.0;            // importance weight f/g for the estimator
@@ -61,6 +65,7 @@ inline const char* technique_kind_name(TechniqueKind kind) {
   switch (kind) {
     case TechniqueKind::kRadiation: return "radiation";
     case TechniqueKind::kClockGlitch: return "clock-glitch";
+    case TechniqueKind::kVoltageGlitch: return "voltage-glitch";
   }
   return "unknown";
 }
@@ -72,6 +77,12 @@ struct AttackModel {
   std::vector<netlist::NodeId> candidate_centers;
   /// Discrete radius choices, uniform (Unif(r) in the paper's g_{P|T}).
   std::vector<double> radii = {1.5};
+  /// Optional discretization of the intra-cycle strike instant. Empty keeps
+  /// the paper's continuous Unif[0, 1) draw; non-empty restricts every
+  /// sampler to this grid, which makes the radiation fault space finite and
+  /// exhaustively enumerable (technique.h). Uniform either way, so the
+  /// strike_frac factor still cancels from importance weights.
+  std::vector<double> strike_fracs;
   /// Consecutive cycles impacted by one injection (paper Section 3.2: the
   /// default assumption is a single cycle, but the framework "can easily
   /// incorporate multi-cycle impact" — this is that hook; the same spot
@@ -84,7 +95,16 @@ struct AttackModel {
     FAV_ENSURE_MSG(t_min >= 0 && t_max >= t_min, "bad timing range");
     FAV_ENSURE_MSG(!candidate_centers.empty(), "no candidate centers");
     FAV_ENSURE_MSG(!radii.empty(), "no radii");
+    for (const double f : strike_fracs) {
+      FAV_ENSURE_MSG(f >= 0.0 && f < 1.0, "strike_frac must be in [0, 1)");
+    }
     FAV_ENSURE_MSG(impact_cycles >= 1, "impact_cycles must be >= 1");
+  }
+
+  /// One draw of the strike instant: the configured grid, or Unif[0, 1).
+  double draw_strike_frac(Rng& rng) const {
+    if (strike_fracs.empty()) return rng.uniform01();
+    return strike_fracs[rng.uniform_below(strike_fracs.size())];
   }
 
   /// Joint pmf of (t, center, radius) under the uniform holistic model.
@@ -101,7 +121,7 @@ struct AttackModel {
     s.t = static_cast<int>(rng.uniform_int(t_min, t_max));
     s.center = candidate_centers[rng.uniform_below(candidate_centers.size())];
     s.radius = radii[rng.uniform_below(radii.size())];
-    s.strike_frac = rng.uniform01();
+    s.strike_frac = draw_strike_frac(rng);
     s.impact_cycles = impact_cycles;
     s.weight = 1.0;
     return s;

@@ -28,6 +28,7 @@
 #include "faultsim/attack_model.h"
 #include "faultsim/clock_glitch.h"
 #include "faultsim/injection.h"
+#include "faultsim/voltage_glitch.h"
 #include "layout/placement.h"
 #include "netlist/logicsim.h"
 
@@ -84,6 +85,27 @@ class AttackTechnique {
                               std::vector<std::vector<netlist::NodeId>>&
                                   flipped) const;
 
+  /// --- enumerable fault space -------------------------------------------
+  /// Number of points in the technique's bound fault space; 0 means no
+  /// space is bound and the exhaustive driver must reject. Each concrete
+  /// technique exposes a bind_space(model) setter that defines the grid;
+  /// binding is NOT thread-safe — bind before the technique is shared with
+  /// worker threads, never during a run.
+  virtual std::uint64_t space_size() const { return 0; }
+
+  /// Writes the samples at enumeration indices [begin, end) into `out`
+  /// (overwritten). The mapping index -> FaultSample is deterministic and
+  /// index-stable: independent of chunking, thread count and process
+  /// boundaries, which is the contract journaled resume and supervised
+  /// sharding key on (DESIGN.md §6l). Enumeration is t-major so equal-t
+  /// (equal injection cycle) samples are consecutive and the engine's
+  /// word-parallel batcher packs full lanes. Every emitted sample carries
+  /// weight 1.0 — an exhaustive sweep averages the uniform holistic model
+  /// exactly. The default implementation throws; only call when
+  /// space_size() > 0.
+  virtual void enumerate(std::uint64_t begin, std::uint64_t end,
+                         std::vector<FaultSample>& out) const;
+
  protected:
   /// Technique-independent sample checks shared by every implementation.
   void check_common(const FaultSample& sample) const;
@@ -114,16 +136,28 @@ class RadiationTechnique final : public AttackTechnique {
 
   const InjectionSimulator& injector() const { return *injector_; }
 
+  /// Binds the enumerable space: every (t, center, radius, strike) tuple of
+  /// the model. An empty model.strike_fracs grid is normalized to the single
+  /// instant {0.0} — the continuous Unif[0, 1) strike draw has no finite
+  /// enumeration, so exhaustive sweeps pin the hit to the cycle start unless
+  /// the model configures a grid.
+  void bind_space(const AttackModel& model);
+  std::uint64_t space_size() const override;
+  void enumerate(std::uint64_t begin, std::uint64_t end,
+                 std::vector<FaultSample>& out) const override;
+
  private:
   const layout::Placement* placement_;
   const InjectionSimulator* injector_;
+  AttackModel space_;
+  bool has_space_ = false;
 };
 
 /// The clock-glitch instance p = [d]: one shortened cycle makes registers
 /// whose D input has not settled hold their previous value (see
 /// faultsim/clock_glitch.h). No spatial parameters; the flip set is a
 /// deterministic function of (cycle, depth), which makes exact SSF
-/// enumeration feasible (mc::ClockGlitchEvaluator::evaluate_exact).
+/// enumeration feasible (bind_space + mc::SsfEvaluator::run_exhaustive).
 class ClockGlitchTechnique final : public AttackTechnique {
  public:
   /// The simulator must outlive the technique.
@@ -144,8 +178,53 @@ class ClockGlitchTechnique final : public AttackTechnique {
 
   const ClockGlitchSimulator& simulator() const { return *glitch_; }
 
+  /// Binds the enumerable space: the model's full (t, depth) grid.
+  void bind_space(const ClockGlitchAttackModel& model);
+  std::uint64_t space_size() const override;
+  void enumerate(std::uint64_t begin, std::uint64_t end,
+                 std::vector<FaultSample>& out) const override;
+
  private:
   const ClockGlitchSimulator* glitch_;
+  ClockGlitchAttackModel space_;
+  bool has_space_ = false;
+};
+
+/// The voltage-glitch instance p = [droop]: one cycle of supply droop scales
+/// every gate delay by 1/(1-droop), so registers whose scaled D arrival
+/// misses setup against the nominal period hold their previous value (see
+/// faultsim/voltage_glitch.h). The droop severity rides in FaultSample::depth
+/// so journal frames and the supervisor wire protocol carry it unchanged.
+class VoltageGlitchTechnique final : public AttackTechnique {
+ public:
+  /// The simulator must outlive the technique.
+  explicit VoltageGlitchTechnique(const VoltageGlitchSimulator& droop);
+
+  TechniqueKind kind() const override { return TechniqueKind::kVoltageGlitch; }
+  std::string parameter_space() const override;
+  void check_sample(const FaultSample& sample) const override;
+  void flip_set(const netlist::LogicSimulator& sim, TechniqueScratch& scratch,
+                const FaultSample& sample,
+                std::vector<netlist::NodeId>& flipped) const override;
+  bool supports_batch() const override { return true; }
+  void flip_set_batch(const netlist::WordSimulator& sim,
+                      TechniqueScratch& scratch,
+                      std::span<const FaultSample> samples,
+                      std::vector<std::vector<netlist::NodeId>>& flipped)
+      const override;
+
+  const VoltageGlitchSimulator& simulator() const { return *droop_; }
+
+  /// Binds the enumerable space: the model's full (t, droop) grid.
+  void bind_space(const VoltageGlitchAttackModel& model);
+  std::uint64_t space_size() const override;
+  void enumerate(std::uint64_t begin, std::uint64_t end,
+                 std::vector<FaultSample>& out) const override;
+
+ private:
+  const VoltageGlitchSimulator* droop_;
+  VoltageGlitchAttackModel space_;
+  bool has_space_ = false;
 };
 
 }  // namespace fav::faultsim

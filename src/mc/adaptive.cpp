@@ -100,7 +100,7 @@ FaultSample AdaptiveImportanceSampler::draw(Rng& rng) {
     s.t = static_cast<int>(rng.uniform_int(t_lo, t_hi));
   }
   s.radius = attack_.radii[rng.uniform_below(attack_.radii.size())];
-  s.strike_frac = rng.uniform01();
+  s.strike_frac = attack_.draw_strike_frac(rng);
   s.impact_cycles = attack_.impact_cycles;
   const double f_tc =
       1.0 / (static_cast<double>(attack_.t_count()) *

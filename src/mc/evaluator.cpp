@@ -289,65 +289,66 @@ SampleRecord SsfEvaluator::evaluate_sample_isolated(
   return rec;
 }
 
-SsfResult SsfEvaluator::reduce(std::vector<SampleRecord>&& records) const {
+void SsfEvaluator::fold_record(ReduceState& state, SampleRecord&& rec) const {
   const RegisterMap& map = Machine::reg_map();
-  SsfResult result;
-  result.evaluated = records.size();
-  std::uint64_t records_dropped = 0;
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    SampleRecord& rec = records[i];
-    result.total_weight += rec.sample.weight;
-    if (rec.retried) ++result.retried;
-    if (rec.path == OutcomePath::kFailed) {
-      // Failed samples carry no estimate: the mean stays well-defined over
-      // completed samples, and the failed weight bounds what was lost.
-      ++result.failed;
-      result.failed_weight += rec.sample.weight;
-      ++result.failure_counts[rec.fail_code];
-    } else {
-      result.completed_weight += rec.sample.weight;
-      result.completed_weight_sq += rec.sample.weight * rec.sample.weight;
-      result.stats.add(rec.contribution);
-      switch (rec.path) {
-        case OutcomePath::kMasked: ++result.masked; break;
-        case OutcomePath::kAnalytical: ++result.analytical; break;
-        case OutcomePath::kRtl: ++result.rtl; break;
-        case OutcomePath::kFailed: break;  // unreachable
-      }
+  SsfResult& result = state.result;
+  result.total_weight += rec.sample.weight;
+  if (rec.retried) ++result.retried;
+  if (rec.path == OutcomePath::kFailed) {
+    // Failed samples carry no estimate: the mean stays well-defined over
+    // completed samples, and the failed weight bounds what was lost.
+    ++result.failed;
+    result.failed_weight += rec.sample.weight;
+    ++result.failure_counts[rec.fail_code];
+  } else {
+    result.completed_weight += rec.sample.weight;
+    result.completed_weight_sq += rec.sample.weight * rec.sample.weight;
+    result.stats.add(rec.contribution);
+    switch (rec.path) {
+      case OutcomePath::kMasked: ++result.masked; break;
+      case OutcomePath::kAnalytical: ++result.analytical; break;
+      case OutcomePath::kRtl: ++result.rtl; break;
+      case OutcomePath::kFailed: break;  // unreachable
     }
-    if (rec.success) {
-      ++result.successes;
-      std::unordered_set<int> fields;
+  }
+  if (rec.success) {
+    ++result.successes;
+    std::unordered_set<int> fields;
+    for (const int bit : rec.flipped_bits) {
+      fields.insert(map.locate(bit).first);
+    }
+    if (!fields.empty()) {
+      const double share =
+          rec.contribution / static_cast<double>(fields.size());
+      for (const int f : fields) result.field_contribution[f] += share;
+    }
+    if (!rec.flipped_bits.empty()) {
+      const double share =
+          rec.contribution / static_cast<double>(rec.flipped_bits.size());
       for (const int bit : rec.flipped_bits) {
-        fields.insert(map.locate(bit).first);
-      }
-      if (!fields.empty()) {
-        const double share =
-            rec.contribution / static_cast<double>(fields.size());
-        for (const int f : fields) result.field_contribution[f] += share;
-      }
-      if (!rec.flipped_bits.empty()) {
-        const double share =
-            rec.contribution / static_cast<double>(rec.flipped_bits.size());
-        for (const int bit : rec.flipped_bits) {
-          result.bit_contribution[bit] += share;
-        }
-      }
-    }
-    if ((i + 1) % config_.trace_stride == 0) {
-      result.trace.push_back(result.stats.mean());
-    }
-    if (config_.keep_records) {
-      // The capacity cap keeps the first N records in sample-index order:
-      // a deterministic prefix, not a sampling of the run.
-      if (config_.record_capacity == 0 ||
-          result.records.size() < config_.record_capacity) {
-        result.records.push_back(std::move(rec));
-      } else {
-        ++records_dropped;
+        result.bit_contribution[bit] += share;
       }
     }
   }
+  if ((state.index + 1) % config_.trace_stride == 0) {
+    result.trace.push_back(result.stats.mean());
+  }
+  if (config_.keep_records) {
+    // The capacity cap keeps the first N records in sample-index order:
+    // a deterministic prefix, not a sampling of the run.
+    if (config_.record_capacity == 0 ||
+        result.records.size() < config_.record_capacity) {
+      result.records.push_back(std::move(rec));
+    } else {
+      ++state.records_dropped;
+    }
+  }
+  ++state.index;
+}
+
+SsfResult SsfEvaluator::finish_reduce(ReduceState&& state) const {
+  SsfResult result = std::move(state.result);
+  result.evaluated = state.index;
   // Sample-derived aggregates land in the caller's sink here, inside the
   // sample-index-ordered reduction, so they are deterministic at every
   // thread count (unlike the wall-clock timers merged from worker sinks).
@@ -355,20 +356,26 @@ SsfResult SsfEvaluator::reduce(std::vector<SampleRecord>&& records) const {
   // re-reduced (and re-counted) by the supervisor.
   if (config_.metrics != nullptr && config_.reduce_metrics) {
     MetricsSink& m = *config_.metrics;
-    m.add_counter("eval.samples", records.size());
+    m.add_counter("eval.samples", state.index);
     m.add_counter("eval.path.masked", result.masked);
     m.add_counter("eval.path.analytical", result.analytical);
     m.add_counter("eval.path.rtl", result.rtl);
     m.add_counter("eval.path.failed", result.failed);
     m.add_counter("eval.retried", result.retried);
     m.add_counter("eval.successes", result.successes);
-    m.add_counter("eval.records_dropped", records_dropped);
+    m.add_counter("eval.records_dropped", state.records_dropped);
     m.set_gauge("eval.ess", result.effective_sample_size());
     m.set_gauge("eval.ssf", result.ssf());
     m.set_gauge("eval.failed_weight_fraction",
                 result.failed_weight_fraction());
   }
   return result;
+}
+
+SsfResult SsfEvaluator::reduce(std::vector<SampleRecord>&& records) const {
+  ReduceState state;
+  for (SampleRecord& rec : records) fold_record(state, std::move(rec));
+  return finish_reduce(std::move(state));
 }
 
 std::vector<faultsim::FaultSample> SsfEvaluator::draw_batch(
@@ -839,6 +846,168 @@ Result<SsfResult> SsfEvaluator::run_journaled(
 SsfResult SsfEvaluator::reduce_records(
     std::vector<SampleRecord> records) const {
   return reduce(std::move(records));
+}
+
+namespace {
+
+// Effective sweep length: the bound space clipped by --space-limit.
+std::size_t exhaustive_total(std::uint64_t space, std::uint64_t space_limit) {
+  const std::uint64_t n = space_limit == 0 ? space
+                                           : std::min(space, space_limit);
+  return static_cast<std::size_t>(n);
+}
+
+}  // namespace
+
+SsfResult SsfEvaluator::run_exhaustive(std::uint64_t space_limit) const {
+  ScopeTimer run_timer(config_.metrics, "run.total_ns");
+  const std::uint64_t space = technique_->space_size();
+  if (space == 0) {
+    throw StatusError(ErrorCode::kInvalidArgument,
+                      std::string("technique '") + technique_->name() +
+                          "' has no bound fault space (call bind_space "
+                          "before run_exhaustive)");
+  }
+  const std::size_t n = exhaustive_total(space, space_limit);
+  std::vector<std::unique_ptr<EvalScratch>> scratch;
+  {
+    ScopeTimer timer(config_.metrics, "run.scratch_setup_ns");
+    scratch = make_scratch_pool(n);
+  }
+  WorkerObservers observers = make_observers(scratch.size());
+  // Stream the enumeration in bounded chunks: memory stays O(kChunk) no
+  // matter how large the grid is, and the chunk-local records are folded
+  // into the running reduction in enumeration-index order — the exact
+  // accumulation one reduce() over the materialized space would perform.
+  // (Chunk boundaries can split a te-group across word-parallel batches,
+  // which is harmless: batching is bitwise-identical to the scalar path.)
+  constexpr std::size_t kChunk = 256;
+  ReduceState state;
+  std::vector<faultsim::FaultSample> chunk;
+  std::vector<SampleRecord> records;
+  std::size_t done = 0;
+  while (done < n) {
+    if (config_.stop != nullptr &&
+        config_.stop->load(std::memory_order_relaxed)) {
+      break;
+    }
+    const std::size_t hi = std::min(done + kChunk, n);
+    technique_->enumerate(done, hi, chunk);
+    records.clear();
+    records.resize(hi - done);
+    evaluate_range(chunk, records, 0, hi - done, scratch, &observers);
+    for (SampleRecord& rec : records) fold_record(state, std::move(rec));
+    done = hi;
+  }
+  merge_observers(std::move(observers));
+  SsfResult result = finish_reduce(std::move(state));
+  result.fault_space_size = space;
+  result.interrupted = done < n;
+  return result;
+}
+
+Result<SsfResult> SsfEvaluator::run_exhaustive_journaled(
+    const JournalOptions& options, std::uint64_t space_limit) const {
+  if (options.dir.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "journal directory is empty");
+  }
+  if (options.shard_size == 0) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "journal shard_size must be > 0");
+  }
+  const std::uint64_t space = technique_->space_size();
+  if (space == 0) {
+    return Status(ErrorCode::kInvalidArgument,
+                  std::string("technique '") + technique_->name() +
+                      "' has no bound fault space (call bind_space before "
+                      "run_exhaustive_journaled)");
+  }
+  const std::size_t n = exhaustive_total(space, space_limit);
+
+  JournalMeta meta;
+  meta.fingerprint = options.fingerprint;
+  meta.total_samples = n;
+  meta.context = options.context;
+
+  ReduceState state;
+  std::vector<faultsim::FaultSample> chunk;
+  std::size_t done = 0;  // records [0, done) restored from the journal
+  std::uint64_t valid_bytes = 0;
+  if (options.resume) {
+    Result<JournalContents> loaded = read_journal(options.dir);
+    if (!loaded.is_ok()) return loaded.status();
+    JournalContents& j = loaded.value();
+    valid_bytes = j.valid_bytes;
+    if (j.meta.fingerprint != meta.fingerprint ||
+        j.meta.total_samples != meta.total_samples) {
+      return Status(ErrorCode::kJournalCorrupt,
+                    "journal belongs to a different campaign (fingerprint or "
+                    "sample count mismatch)");
+    }
+    done = std::min(j.records.size(), n);
+    // Cross-check the journaled prefix against the re-enumerated stream —
+    // the enumeration-index analogue of run_journaled's re-drawn-sample
+    // check: a mismatch means the bound space (model grid, benchmark)
+    // changed under the journal.
+    for (std::size_t lo = 0; lo < done; lo += options.shard_size) {
+      const std::size_t hi = std::min(lo + options.shard_size, done);
+      technique_->enumerate(lo, hi, chunk);
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (!sample_matches(j.records[i].sample, chunk[i - lo])) {
+          return Status(ErrorCode::kJournalCorrupt,
+                        "journaled sample " + std::to_string(i) +
+                            " does not match the enumerated fault space");
+        }
+        fold_record(state, std::move(j.records[i]));
+      }
+    }
+  }
+
+  JournalWriter writer;
+  writer.set_metrics(config_.metrics);
+  const Status open = options.resume && done > 0
+                          ? writer.open_append(options.dir, valid_bytes)
+                          : writer.open_fresh(options.dir, meta);
+  if (!open.is_ok()) return open;
+  if (config_.metrics != nullptr) {
+    config_.metrics->add_counter("journal.resumed_records", done);
+  }
+
+  auto scratch = make_scratch_pool(n);
+  WorkerObservers observers = make_observers(scratch.size());
+  std::vector<SampleRecord> records;
+  // Shards are enumerated, evaluated, committed, then folded — so an
+  // interrupted sweep leaves exactly the journal a crash would, and the
+  // running reduction only ever covers committed shards.
+  for (std::size_t lo = done; lo < n; lo += options.shard_size) {
+    if (config_.stop != nullptr &&
+        config_.stop->load(std::memory_order_relaxed)) {
+      break;
+    }
+    const std::size_t hi = std::min(lo + options.shard_size, n);
+    technique_->enumerate(lo, hi, chunk);
+    records.clear();
+    records.resize(hi - lo);
+    evaluate_range(chunk, records, 0, hi - lo, scratch, &observers);
+    const Status appended = writer.append_shard(lo, records.data(), hi - lo);
+    if (!appended.is_ok()) {
+      if (appended.code() == ErrorCode::kStorageFull) {
+        // See run_journaled: durable prefix, graceful resumable stop.
+        if (config_.metrics != nullptr) {
+          config_.metrics->add_counter("journal.storage_full_stops");
+        }
+        break;
+      }
+      return appended;
+    }
+    for (SampleRecord& rec : records) fold_record(state, std::move(rec));
+    done = hi;
+  }
+  merge_observers(std::move(observers));
+  SsfResult result = finish_reduce(std::move(state));
+  result.fault_space_size = space;
+  result.interrupted = done < n;
+  return result;
 }
 
 }  // namespace fav::mc

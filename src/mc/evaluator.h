@@ -105,6 +105,10 @@ struct SsfResult {
   /// evaluated (graceful SIGINT/SIGTERM). A journaled interrupted run can be
   /// continued later with JournalOptions::resume.
   bool interrupted = false;
+  /// Exhaustive sweeps (run_exhaustive): the total size of the enumerable
+  /// fault space this result was swept against. 0 for sampled campaigns,
+  /// where no finite space is bound and coverage() is meaningless.
+  std::uint64_t fault_space_size = 0;
   /// SSF attribution: each success's contribution is split equally among
   /// the flipped bits (= DFF cells) and, in parallel, among the flipped
   /// register fields. Bit granularity drives hardening (each bit is a
@@ -125,6 +129,15 @@ struct SsfResult {
   }
   double failed_weight_fraction() const {
     return total_weight > 0.0 ? failed_weight / total_weight : 0.0;
+  }
+  /// Fraction of the bound fault space this result covers: 1.0 for a
+  /// completed exhaustive sweep, less under --space-limit or interruption,
+  /// 0.0 for sampled campaigns (fault_space_size == 0).
+  double coverage() const {
+    return fault_space_size > 0
+               ? static_cast<double>(evaluated) /
+                     static_cast<double>(fault_space_size)
+               : 0.0;
   }
 };
 
@@ -352,11 +365,31 @@ class SsfEvaluator {
 
   /// Evaluates an explicit, pre-drawn batch through the full pipeline
   /// (worker pool, isolation, observability, sample-index-ordered
-  /// reduction). This is the enumeration driver for deterministic
-  /// techniques — ClockGlitchEvaluator::evaluate_exact feeds the whole
-  /// (t, depth) attack space through it — and the seam run() itself uses
-  /// after drawing its batch.
+  /// reduction). The seam run() uses after drawing its batch, and the
+  /// supervisor's workers use for their assigned shards.
   SsfResult run_batch(std::vector<faultsim::FaultSample> samples) const;
+
+  /// Exhaustively sweeps the technique's bound fault space (see
+  /// AttackTechnique::bind_space / enumerate): every enumeration index in
+  /// [0, min(space_size, space_limit)) is evaluated exactly once, streamed
+  /// through the batch pipeline in bounded chunks — the full space is never
+  /// materialized, so memory stays O(chunk) regardless of grid size. The
+  /// result carries fault_space_size so coverage() reports the swept
+  /// fraction, and is bitwise-identical to run_batch over the materialized
+  /// enumeration at every thread and lane count. space_limit == 0 sweeps
+  /// everything. Throws StatusError(kInvalidArgument) when no space is
+  /// bound.
+  SsfResult run_exhaustive(std::uint64_t space_limit = 0) const;
+
+  /// Crash-safe variant of run_exhaustive(): completed enumeration-index
+  /// shards are appended to the journal as they finish. Resume re-enumerates
+  /// the journaled prefix from the bound space (the index -> sample mapping
+  /// is the determinism contract) and cross-checks it before continuing from
+  /// the first missing index — the final result is bitwise-identical to an
+  /// uninterrupted sweep.
+  Result<SsfResult> run_exhaustive_journaled(const JournalOptions& options,
+                                             std::uint64_t space_limit =
+                                                 0) const;
 
   /// Crash-safe variant of run(): completed sample shards are appended to
   /// the journal in `options.dir` as they finish. With options.resume, the
@@ -422,6 +455,18 @@ class SsfEvaluator {
   /// Builds one scratch per resolved worker (capped by `n` work items).
   std::vector<std::unique_ptr<EvalScratch>> make_scratch_pool(
       std::size_t n) const;
+  /// Incremental reduction state: fold_record() accumulates one record at a
+  /// time in sample-index order, finish_reduce() seals the result and emits
+  /// the reduce-derived metrics. Folding records chunk by chunk performs the
+  /// exact accumulation one reduce() over the concatenation would — the seam
+  /// run_exhaustive streams through without materializing every record.
+  struct ReduceState {
+    SsfResult result;
+    std::uint64_t records_dropped = 0;
+    std::size_t index = 0;  // records folded so far
+  };
+  void fold_record(ReduceState& state, SampleRecord&& rec) const;
+  SsfResult finish_reduce(ReduceState&& state) const;
   /// Seed-order accumulation of evaluated records into an SsfResult; the
   /// single reduction path shared by the sequential and parallel engines.
   SsfResult reduce(std::vector<SampleRecord>&& records) const;

@@ -27,19 +27,13 @@ SsfResult ClockGlitchEvaluator::run(
 SsfResult ClockGlitchEvaluator::evaluate_exact(
     const faultsim::ClockGlitchAttackModel& model) const {
   model.check_valid(engine_.target_cycle());
-  std::vector<faultsim::FaultSample> samples;
-  samples.reserve(static_cast<std::size_t>(model.t_count()) *
-                  model.depths.size());
-  for (int t = model.t_min; t <= model.t_max; ++t) {
-    for (const double depth : model.depths) {
-      faultsim::FaultSample s;
-      s.technique = faultsim::TechniqueKind::kClockGlitch;
-      s.t = t;
-      s.depth = depth;
-      samples.push_back(s);
-    }
-  }
-  return engine_.run_batch(std::move(samples));
+  // Bind the model as the technique's enumerable space and stream it through
+  // the generic exhaustive driver: the grid is enumerated in bounded chunks
+  // (t outer, depth inner — the technique's stable enumeration order)
+  // instead of being materialized whole, so memory stays O(chunk) for
+  // arbitrarily fine grids while the result is bitwise-identical.
+  technique_.bind_space(model);
+  return engine_.run_exhaustive();
 }
 
 }  // namespace fav::mc

@@ -41,9 +41,11 @@ class ClockGlitchEvaluator {
   SsfResult run(const faultsim::ClockGlitchAttackModel& model, Rng& rng,
                 std::size_t n) const;
 
-  /// Exact SSF: enumerates every (t, depth) of the (finite, deterministic)
-  /// attack space — t outer, depth inner, weight 1 — and feeds the batch
-  /// through the same pipeline, so the exact pass parallelizes too.
+  /// Exact SSF: binds the model as the technique's enumerable fault space
+  /// and streams every (t, depth) point — t outer, depth inner, weight 1 —
+  /// through SsfEvaluator::run_exhaustive, so the exact pass parallelizes
+  /// and stays O(chunk) in memory. Not thread-safe against concurrent runs
+  /// on the same evaluator (it rebinds the shared technique's space).
   SsfResult evaluate_exact(const faultsim::ClockGlitchAttackModel& model) const;
 
   /// The underlying technique-generic engine: use it directly for journaled
@@ -52,7 +54,9 @@ class ClockGlitchEvaluator {
   const SsfEvaluator& engine() const { return engine_; }
 
  private:
-  faultsim::ClockGlitchTechnique technique_;
+  // mutable: evaluate_exact() const rebinds the enumerable space before the
+  // sweep starts — never concurrently with an evaluation (see its contract).
+  mutable faultsim::ClockGlitchTechnique technique_;
   SsfEvaluator engine_;
 };
 

@@ -244,7 +244,7 @@ bool deserialize_record(const std::string& data, std::size_t* offset,
   std::uint16_t fail_code = 0;
   if (!get_le(data, offset, &technique)) return false;
   if (technique >
-      static_cast<std::uint8_t>(faultsim::TechniqueKind::kClockGlitch)) {
+      static_cast<std::uint8_t>(faultsim::TechniqueKind::kVoltageGlitch)) {
     return false;
   }
   if (!get_le(data, offset, &t)) return false;

@@ -54,7 +54,7 @@ FaultSample ConeSampler::draw(Rng& rng) {
   s.t = fr.t;
   s.center = fr.centers[rng.uniform_below(fr.centers.size())];
   s.radius = attack_->radii[rng.uniform_below(attack_->radii.size())];
-  s.strike_frac = rng.uniform01();
+  s.strike_frac = attack_->draw_strike_frac(rng);
   s.impact_cycles = attack_->impact_cycles;
   const double f_tc = 1.0 / (static_cast<double>(attack_->t_count()) *
                              static_cast<double>(attack_->candidate_centers.size()));
@@ -75,6 +75,22 @@ FaultSample GlitchSampler::draw(Rng& rng) {
   s.technique = faultsim::TechniqueKind::kClockGlitch;
   s.t = rng.uniform_int(model_.t_min, model_.t_max);
   s.depth = model_.depths[rng.uniform_below(model_.depths.size())];
+  s.weight = 1.0;  // g == f: the draw is the holistic model itself
+  return s;
+}
+
+VoltageGlitchSampler::VoltageGlitchSampler(
+    const faultsim::VoltageGlitchAttackModel& model,
+    std::uint64_t target_cycle)
+    : model_(model) {
+  model_.check_valid(target_cycle);
+}
+
+FaultSample VoltageGlitchSampler::draw(Rng& rng) {
+  FaultSample s;
+  s.technique = faultsim::TechniqueKind::kVoltageGlitch;
+  s.t = rng.uniform_int(model_.t_min, model_.t_max);
+  s.depth = model_.droops[rng.uniform_below(model_.droops.size())];
   s.weight = 1.0;  // g == f: the draw is the holistic model itself
   return s;
 }

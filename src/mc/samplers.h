@@ -13,6 +13,7 @@
 
 #include "faultsim/attack_model.h"
 #include "faultsim/clock_glitch.h"
+#include "faultsim/voltage_glitch.h"
 #include "layout/placement.h"
 #include "netlist/cones.h"
 #include "precharac/sampling_model.h"
@@ -75,6 +76,22 @@ class GlitchSampler final : public Sampler {
  private:
   faultsim::ClockGlitchAttackModel model_;  // by value: cheap, caller-decoupled
   std::string name_ = "glitch-uniform";
+};
+
+/// Plain Monte Carlo over the voltage-glitch holistic model: t and droop
+/// uniform over the model's grid, weight 1 (the droop rides in
+/// FaultSample::depth). Same up-front target-cycle validation as
+/// GlitchSampler.
+class VoltageGlitchSampler final : public Sampler {
+ public:
+  VoltageGlitchSampler(const faultsim::VoltageGlitchAttackModel& model,
+                       std::uint64_t target_cycle);
+  faultsim::FaultSample draw(Rng& rng) override;
+  const std::string& name() const override { return name_; }
+
+ private:
+  faultsim::VoltageGlitchAttackModel model_;  // by value, caller-decoupled
+  std::string name_ = "voltage-uniform";
 };
 
 /// The full importance-sampling strategy of Section 4.

@@ -715,6 +715,18 @@ CampaignSupervisor::CampaignSupervisor(const SsfEvaluator& evaluator,
 
 Result<SupervisedResult> CampaignSupervisor::run(Sampler& sampler, Rng& rng,
                                                  std::size_t n) const {
+  std::vector<faultsim::FaultSample> samples;
+  try {
+    samples = evaluator_->draw_batch(sampler, rng, n);
+  } catch (const StatusError& e) {
+    return e.status();
+  }
+  return run_batch(std::move(samples));
+}
+
+Result<SupervisedResult> CampaignSupervisor::run_batch(
+    std::vector<faultsim::FaultSample> samples) const {
+  const std::size_t n = samples.size();
   if (config_.workers == 0) {
     return Status(ErrorCode::kInvalidArgument,
                   "supervisor requires at least one worker");
@@ -733,13 +745,6 @@ Result<SupervisedResult> CampaignSupervisor::run(Sampler& sampler, Rng& rng,
   }
   // A worker dying mid-write must never SIGPIPE the supervisor.
   ::signal(SIGPIPE, SIG_IGN);
-
-  std::vector<faultsim::FaultSample> samples;
-  try {
-    samples = evaluator_->draw_batch(sampler, rng, n);
-  } catch (const StatusError& e) {
-    return e.status();
-  }
 
   std::error_code ec;
   std::filesystem::create_directories(config_.dir, ec);

@@ -180,6 +180,14 @@ class CampaignSupervisor {
   Result<SupervisedResult> run(Sampler& sampler, Rng& rng,
                                std::size_t n) const;
 
+  /// Runs the supervised campaign over an explicit, pre-materialized batch.
+  /// This is the exhaustive-sweep seam: the CLI enumerates the technique's
+  /// bound fault space into the batch, and each worker re-derives the
+  /// identical enumeration from the forwarded --exhaustive flags, so shards
+  /// over enumeration-index ranges merge exactly like sampled shards.
+  Result<SupervisedResult> run_batch(
+      std::vector<faultsim::FaultSample> samples) const;
+
  private:
   const SsfEvaluator* evaluator_;
   SupervisorConfig config_;

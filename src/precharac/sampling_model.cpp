@@ -231,7 +231,7 @@ FaultSample SamplingModel::sample(Rng& rng) const {
     s.center = fr.centers[fr.conditional.sample(rng)];
   }
   s.radius = attack_->radii[rng.uniform_below(attack_->radii.size())];
-  s.strike_frac = rng.uniform01();
+  s.strike_frac = attack_->draw_strike_frac(rng);
   s.impact_cycles = attack_->impact_cycles;
   // Importance weight f/g over the mixture; the uniform radius and
   // strike_frac factors cancel. Bounded by 1/defensive_mix.

@@ -106,6 +106,43 @@ TEST(RunReport, FailureCountsKeysAreEscapedStrings) {
   EXPECT_NE(report.find("\"WORKER_CRASHED\": 2"), std::string::npos);
 }
 
+TEST(RunReport, FaultSpaceBlockRoundTrips) {
+  // Exhaustive sweeps report fault_space{size, evaluated, coverage}; the
+  // block must appear verbatim and keep the report valid JSON even with
+  // hostile identity strings alongside it.
+  mc::SsfResult res;
+  res.evaluated = 3;
+  res.fault_space_size = 12;
+  MetricsSink metrics;
+  RunReportInputs in = minimal_inputs(res, metrics);
+  in.mode = "exhaustive";
+  in.strategy = "exhaustive\"v2\"";
+  std::ostringstream out;
+  write_run_report(out, in);
+  const std::string report = out.str();
+  EXPECT_TRUE(json_parses(report)) << report;
+  EXPECT_NE(report.find("\"mode\": \"exhaustive\""), std::string::npos);
+  EXPECT_NE(report.find("\"fault_space\": {\"size\": 12, \"evaluated\": 3, "
+                        "\"coverage\": 0.25}"),
+            std::string::npos);
+  EXPECT_NE(report.find("exhaustive\\\"v2\\\""), std::string::npos);
+}
+
+TEST(RunReport, SampledRunsReportZeroFaultSpace) {
+  mc::SsfResult res;
+  res.evaluated = 4;
+  MetricsSink metrics;
+  const RunReportInputs in = minimal_inputs(res, metrics);
+  std::ostringstream out;
+  write_run_report(out, in);
+  const std::string report = out.str();
+  EXPECT_TRUE(json_parses(report)) << report;
+  EXPECT_NE(report.find("\"mode\": \"sampled\""), std::string::npos);
+  EXPECT_NE(report.find("\"fault_space\": {\"size\": 0, \"evaluated\": 4, "
+                        "\"coverage\": 0}"),
+            std::string::npos);
+}
+
 TEST(RunReport, PlainReportIsStructurallyValid) {
   mc::SsfResult res;
   res.evaluated = 4;

@@ -1,0 +1,198 @@
+// Voltage-glitch simulator and technique tests: droop-scaled setup analysis
+// on a netlist with known path depths, attack-model validation, and the
+// enumerable-fault-space contract (index-stable, chunk-invariant, t-major)
+// the exhaustive sweep driver keys on.
+#include "faultsim/voltage_glitch.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "faultsim/technique.h"
+#include "gen/builder.h"
+#include "util/check.h"
+
+namespace fav::faultsim {
+namespace {
+
+using netlist::CellType;
+using netlist::LogicSimulator;
+using netlist::Netlist;
+using netlist::NodeId;
+
+// Two registers with very different path depths:
+//   fast: in -> r_fast (arrival 0)
+//   slow: in -> NOT^8 -> r_slow (arrival 8 * delay_inv)
+// Nominal period = critical path * margin = 8 * 1.15 = 9.2; with setup 0.6
+// the slow path misses setup once 8 / (1 - droop) + 0.6 > 9.2, i.e. for
+// droop > ~0.0698. The fast path (arrival 0) can never miss.
+struct TwoPaths {
+  Netlist nl;
+  NodeId in, r_fast, r_slow;
+  TwoPaths() {
+    in = nl.add_input("in");
+    r_fast = nl.add_dff("r_fast");
+    nl.connect_dff(r_fast, in);
+    NodeId cur = in;
+    for (int i = 0; i < 8; ++i) cur = nl.add_gate(CellType::kNot, {cur});
+    r_slow = nl.add_dff("r_slow");
+    nl.connect_dff(r_slow, cur);
+  }
+};
+
+TEST(VoltageGlitchSimulator, TinyDroopNeverFlips) {
+  TwoPaths c;
+  VoltageGlitchSimulator droop(c.nl);
+  LogicSimulator sim(c.nl);
+  sim.set_input("in", true);
+  sim.evaluate_comb();
+  // 8 / 0.95 + 0.6 = 9.02 < 9.2: even the slow path still meets setup.
+  EXPECT_TRUE(droop.flipped_dffs(sim, 0.05).empty());
+}
+
+TEST(VoltageGlitchSimulator, ModerateDroopFlipsSlowPathOnly) {
+  TwoPaths c;
+  VoltageGlitchSimulator droop(c.nl);
+  LogicSimulator sim(c.nl);
+  sim.set_input("in", true);  // r_fast D = 1, r_slow D = NOT^8(1) = 1
+  sim.evaluate_comb();
+  // 8 / 0.8 + 0.6 = 10.6 > 9.2: the slow register holds its old Q (0),
+  // which differs from the new D (1) — a captured error. The fast register
+  // (arrival 0) always meets setup, whatever the droop.
+  const auto flips = droop.flipped_dffs(sim, 0.2);
+  ASSERT_EQ(flips.size(), 1u);
+  EXPECT_EQ(flips[0], c.r_slow);
+}
+
+TEST(VoltageGlitchSimulator, HoldOfSameValueIsNoError) {
+  TwoPaths c;
+  VoltageGlitchSimulator droop(c.nl);
+  LogicSimulator sim(c.nl);
+  // Preload r_slow with the value it would capture anyway: holding it
+  // through the droop is not an error.
+  sim.set_input("in", true);
+  sim.set_register(c.r_slow, true);
+  sim.evaluate_comb();
+  EXPECT_TRUE(droop.flipped_dffs(sim, 0.2).empty());
+}
+
+TEST(VoltageGlitchSimulator, SevereDroopFlipsEveryChangingSlowRegister) {
+  TwoPaths c;
+  VoltageGlitchSimulator droop(c.nl);
+  LogicSimulator sim(c.nl);
+  sim.set_input("in", true);
+  sim.evaluate_comb();
+  // Even at 99% droop only the slow register can miss: the fast register's
+  // D arrives at 0, and 0 / (1 - d) is still 0.
+  const auto flips = droop.flipped_dffs(sim, 0.99);
+  ASSERT_EQ(flips.size(), 1u);
+  EXPECT_EQ(flips[0], c.r_slow);
+}
+
+TEST(VoltageGlitchSimulator, CriticalDArrival) {
+  TwoPaths c;
+  const TimingModel tm;
+  VoltageGlitchSimulator droop(c.nl, tm);
+  EXPECT_DOUBLE_EQ(droop.critical_d_arrival(), 8 * tm.delay_inv);
+}
+
+TEST(VoltageGlitchSimulator, InvalidDroopThrows) {
+  TwoPaths c;
+  VoltageGlitchSimulator droop(c.nl);
+  LogicSimulator sim(c.nl);
+  sim.evaluate_comb();
+  EXPECT_THROW(droop.flipped_dffs(sim, 0.0), fav::CheckError);
+  EXPECT_THROW(droop.flipped_dffs(sim, 1.0), fav::CheckError);
+  EXPECT_THROW(droop.flipped_dffs(sim, -0.3), fav::CheckError);
+}
+
+TEST(VoltageGlitchAttackModel, Validation) {
+  VoltageGlitchAttackModel m;
+  EXPECT_NO_THROW(m.check_valid());
+  EXPECT_EQ(m.t_count(), 50);
+  m.droops = {1.5};
+  EXPECT_THROW(m.check_valid(), fav::CheckError);
+  m.droops = {};
+  EXPECT_THROW(m.check_valid(), fav::CheckError);
+  m.droops = {0.5};
+  m.t_max = -1;
+  EXPECT_THROW(m.check_valid(), fav::CheckError);
+  m.t_max = 49;
+  EXPECT_THROW(m.check_valid(30), fav::CheckError);  // range past Tt
+  EXPECT_NO_THROW(m.check_valid(60));
+}
+
+TEST(VoltageGlitchTechnique, RejectsForeignAndOutOfRangeSamples) {
+  TwoPaths c;
+  VoltageGlitchSimulator droop(c.nl);
+  VoltageGlitchTechnique technique(droop);
+  EXPECT_EQ(technique.kind(), TechniqueKind::kVoltageGlitch);
+  FaultSample s;
+  s.technique = TechniqueKind::kVoltageGlitch;
+  s.t = 3;
+  s.depth = 0.4;
+  EXPECT_NO_THROW(technique.check_sample(s));
+  s.depth = 1.0;
+  EXPECT_THROW(technique.check_sample(s), fav::CheckError);
+  s.depth = 0.4;
+  s.technique = TechniqueKind::kRadiation;
+  EXPECT_THROW(technique.check_sample(s), fav::CheckError);
+}
+
+TEST(VoltageGlitchTechnique, EnumerateWithoutBoundSpaceThrows) {
+  TwoPaths c;
+  VoltageGlitchSimulator droop(c.nl);
+  VoltageGlitchTechnique technique(droop);
+  EXPECT_EQ(technique.space_size(), 0u);
+  std::vector<FaultSample> out;
+  EXPECT_THROW(technique.enumerate(0, 1, out), fav::CheckError);
+}
+
+TEST(VoltageGlitchTechnique, EnumerationIsTMajorIndexStableAndChunkInvariant) {
+  TwoPaths c;
+  VoltageGlitchSimulator droop(c.nl);
+  VoltageGlitchTechnique technique(droop);
+  VoltageGlitchAttackModel model;
+  model.t_min = 2;
+  model.t_max = 6;
+  model.droops = {0.2, 0.4, 0.6};
+  technique.bind_space(model);
+  ASSERT_EQ(technique.space_size(), 15u);
+
+  std::vector<FaultSample> whole;
+  technique.enumerate(0, 15, whole);
+  ASSERT_EQ(whole.size(), 15u);
+  for (std::size_t i = 0; i < whole.size(); ++i) {
+    // t-major with the droop grid innermost, weight exactly 1.
+    EXPECT_EQ(whole[i].t, 2 + static_cast<int>(i / 3)) << i;
+    EXPECT_EQ(whole[i].depth, model.droops[i % 3]) << i;
+    EXPECT_EQ(whole[i].weight, 1.0) << i;
+    EXPECT_EQ(whole[i].technique, TechniqueKind::kVoltageGlitch) << i;
+  }
+
+  // Chunked enumeration (any chunking) must reproduce the same index ->
+  // sample mapping — the contract journaled resume and sharding key on.
+  for (const std::uint64_t chunk : {1ull, 4ull, 7ull}) {
+    std::vector<FaultSample> piece;
+    std::uint64_t index = 0;
+    for (std::uint64_t lo = 0; lo < 15; lo += chunk) {
+      const std::uint64_t hi = std::min<std::uint64_t>(lo + chunk, 15);
+      technique.enumerate(lo, hi, piece);
+      ASSERT_EQ(piece.size(), hi - lo);
+      for (const FaultSample& s : piece) {
+        EXPECT_EQ(s.t, whole[index].t) << "chunk=" << chunk << " i=" << index;
+        EXPECT_EQ(s.depth, whole[index].depth)
+            << "chunk=" << chunk << " i=" << index;
+        ++index;
+      }
+    }
+  }
+
+  std::vector<FaultSample> out;
+  EXPECT_THROW(technique.enumerate(10, 16, out), fav::CheckError);
+  EXPECT_THROW(technique.enumerate(5, 4, out), fav::CheckError);
+}
+
+}  // namespace
+}  // namespace fav::faultsim

@@ -17,12 +17,24 @@
 //
 // Common options:
 //   --benchmark write|read|exec|dma   (default write)
-//   --technique radiation|clock-glitch  (default radiation)
+//   --technique radiation|clock-glitch|voltage-glitch  (default radiation)
 //   --samples N                   (default 3000)
 //   --seed S                      (default 2017)
 //   --strategy random|cone|importance   (default importance; for
-//                                  clock-glitch all strategies map to the
-//                                  uniform glitch sampler)
+//                                  clock-glitch and voltage-glitch all
+//                                  strategies map to the technique's uniform
+//                                  sampler)
+//   --exhaustive                  evaluate only: sweep the technique's
+//                                  entire enumerable fault space exactly
+//                                  once instead of Monte Carlo sampling.
+//                                  --samples/--strategy are ignored; the
+//                                  result is the exact SSF with
+//                                  coverage 1.0, bitwise-identical at every
+//                                  --threads/--batch-lanes/--supervise
+//                                  setting and across kill + --resume
+//   --space-limit N               cap an --exhaustive sweep at the first N
+//                                  enumeration indices (coverage < 1.0;
+//                                  mainly for smoke tests)
 //   --t-range N                   (default 50)
 //   --radius R                    (default 1.5, radiation only)
 //   --coverage C                  (default 0.95, harden only)
@@ -155,6 +167,10 @@ struct Options {
   std::string trace_out;
   bool progress = false;
   bool resume = false;
+  // Exhaustive sweep: enumerate the technique's bound fault space instead of
+  // sampling (--samples/--strategy ignored; space_limit 0 = whole space).
+  bool exhaustive = false;
+  std::uint64_t space_limit = 0;
   std::size_t samples = 3000;
   std::uint64_t seed = 2017;
   int t_range = 50;
@@ -188,6 +204,7 @@ struct Options {
   core::FrameworkConfig framework_config() const {
     core::FrameworkConfig cfg;
     cfg.technique = technique;
+    cfg.mode = exhaustive ? "exhaustive" : "sampled";
     cfg.precharac_cache_path = precharac_cache;
     cfg.evaluator.threads = threads;
     cfg.evaluator.batch_lanes = batch_lanes;
@@ -220,8 +237,11 @@ void print_usage(const std::string& message) {
                "trace|serve|submit> [options]\n"
                "options: --benchmark write|read|exec|dma  --samples N\n"
                "         --seed S\n"
-               "         --technique radiation|clock-glitch\n"
+               "         --technique radiation|clock-glitch|voltage-glitch\n"
                "         --strategy random|cone|importance  --t-range N\n"
+               "         --exhaustive  --space-limit N\n"
+               "                              (evaluate only: sweep the whole\n"
+               "                               fault space exactly once)\n"
                "         --radius R  --coverage C  --out FILE\n"
                "         --record-capacity N (0 = unlimited)\n"
                "         --threads N (0 = all hardware threads)\n"
@@ -344,6 +364,10 @@ Options parse(const std::vector<std::string>& args) {
       o.crash_on = parse_u64(arg, value(), 0, UINT64_MAX);
     } else if (arg == "--resume") {
       o.resume = true;
+    } else if (arg == "--exhaustive") {
+      o.exhaustive = true;
+    } else if (arg == "--space-limit") {
+      o.space_limit = parse_u64(arg, value(), 1, UINT64_MAX);
     } else if (arg == "--metrics-out") {
       o.metrics_out = value();
     } else if (arg == "--trace-out") {
@@ -360,8 +384,15 @@ Options parse(const std::vector<std::string>& args) {
       o.strategy != "importance") {
     usage(("unknown strategy '" + o.strategy + "'").c_str());
   }
-  if (o.technique != "radiation" && o.technique != "clock-glitch") {
+  if (o.technique != "radiation" && o.technique != "clock-glitch" &&
+      o.technique != "voltage-glitch") {
     usage(("unknown technique '" + o.technique + "'").c_str());
+  }
+  if (o.exhaustive && o.command != "evaluate" && o.command != "worker") {
+    usage("--exhaustive only applies to the evaluate command");
+  }
+  if (o.space_limit != 0 && !o.exhaustive) {
+    usage("--space-limit requires --exhaustive");
   }
   if (o.resume && o.journal.empty()) usage("--resume requires --journal DIR");
   if (!o.journal.empty() && o.command != "evaluate" &&
@@ -468,15 +499,19 @@ int cmd_characterize(const Options& o) {
 
 /// Campaign identity for the journal: any option that changes the sample
 /// stream or its evaluation changes the fingerprint, so a stale journal from
-/// a different configuration is rejected on --resume.
+/// a different configuration is rejected on --resume. Exhaustive sweeps pass
+/// strategy "exhaustive" (disjoint from every sampler name, so a sampled
+/// journal can never cross-resume an exhaustive one) and `samples` = the
+/// effective enumeration count min(space, --space-limit).
 std::uint64_t campaign_fingerprint(const Options& o,
-                                   const std::string& actual_strategy) {
+                                   const std::string& actual_strategy,
+                                   std::size_t samples) {
   core::CampaignKey key;
   key.benchmark = o.benchmark;
   key.technique = o.technique;
   key.strategy = actual_strategy;
   key.seed = o.seed;
-  key.samples = o.samples;
+  key.samples = samples;
   key.t_range = o.t_range;
   key.radius = o.radius;
   key.cycle_budget = o.cycle_budget;
@@ -521,6 +556,15 @@ std::vector<std::string> worker_command(const Options& o) {
       "--batch-lanes", std::to_string(o.batch_lanes),
       "--record-capacity", "0",
       "--journal", o.journal};
+  if (o.exhaustive) {
+    // Workers re-derive the identical enumeration from the bound space, so
+    // the batch never crosses the pipe.
+    argv.push_back("--exhaustive");
+    if (o.space_limit != 0) {
+      argv.push_back("--space-limit");
+      argv.push_back(std::to_string(o.space_limit));
+    }
+  }
   if (!o.precharac_cache.empty()) {
     // Workers share the supervisor's artifact: whoever elaborates first
     // writes it under PATH.lock, the rest load (core/framework.h).
@@ -547,6 +591,9 @@ std::vector<std::string> worker_command(const Options& o) {
 struct EvalOutcome {
   Status status = Status::ok();  // non-ok: res is meaningless
   mc::SsfResult res;
+  /// Samples the campaign set out to evaluate: --samples when sampling, the
+  /// effective enumeration count min(space, --space-limit) when exhaustive.
+  std::size_t total = 0;
   bool supervised = false;
   std::size_t restarts = 0;
   std::size_t quarantined_shards = 0;
@@ -558,17 +605,122 @@ struct EvalOutcome {
 /// `on_sample`, when set, ticks once per evaluated sample on the supervised
 /// path — the serving tier's progress stream (the in-process engine routes
 /// progress through EvaluatorConfig::on_sample instead).
+/// Builds the supervisor config shared by the sampled and exhaustive paths.
+mc::SupervisorConfig make_supervisor_config(
+    core::FaultAttackEvaluator& fw, const Options& o,
+    const std::string& strategy, std::size_t samples,
+    const std::function<void()>& on_sample) {
+  mc::SupervisorConfig sc;
+  sc.workers = o.supervise;
+  sc.shard_size = o.shard_size;
+  sc.heartbeat_ms = o.heartbeat_ms;
+  sc.worker_command = worker_command(o);
+  if (o.crash_after != 0) {
+    // One-shot chaos: worker 0's first incarnation only, so restarts make
+    // progress and no shard can be killed twice by the injection alone.
+    sc.first_spawn_args = {"--crash-after-samples",
+                           std::to_string(o.crash_after)};
+  }
+  sc.dir = o.journal;
+  sc.resume = o.resume;
+  sc.fingerprint = campaign_fingerprint(o, strategy, samples);
+  sc.context = o.benchmark + "/" + o.technique + "/" + strategy;
+  sc.metrics = fw.evaluator().config().metrics;
+  sc.progress = fw.evaluator().config().progress;
+  sc.on_sample = on_sample;
+  sc.stop = &g_stop;
+  return sc;
+}
+
+EvalOutcome take_supervised(Result<mc::SupervisedResult>&& result) {
+  EvalOutcome out;
+  if (!result.is_ok()) {
+    out.status = Status(result.status().code(),
+                        "supervised run failed: " +
+                            result.status().to_string());
+    return out;
+  }
+  out.res = std::move(result.value().result);
+  out.supervised = true;
+  out.restarts = result.value().restarts;
+  out.quarantined_shards = result.value().quarantined_shards;
+  out.quarantined_samples = result.value().quarantined_samples;
+  out.storage_full_stops = result.value().storage_full_stops;
+  return out;
+}
+
+/// Exhaustive sweep: bind the technique's fault space, then stream the
+/// enumeration through the same in-process / journaled / supervised paths a
+/// sampled campaign uses. No sampler is built — the "strategy" is the
+/// literal "exhaustive".
+EvalOutcome run_eval_exhaustive(core::FaultAttackEvaluator& fw,
+                                const Options& o,
+                                const std::function<void()>& on_sample) {
+  const std::uint64_t space = fw.bind_exhaustive_space(o.t_range, o.radius);
+  const std::uint64_t n =
+      (o.space_limit != 0 && o.space_limit < space) ? o.space_limit : space;
+  if (o.supervise > 0) {
+    const mc::SupervisorConfig sc = make_supervisor_config(
+        fw, o, "exhaustive", static_cast<std::size_t>(n), on_sample);
+    mc::CampaignSupervisor supervisor(fw.evaluator(), sc);
+    // The supervisor cross-checks journaled samples against this batch; the
+    // workers re-derive the identical enumeration from --exhaustive.
+    std::vector<faultsim::FaultSample> batch;
+    fw.technique().enumerate(0, n, batch);
+    EvalOutcome out = take_supervised(supervisor.run_batch(std::move(batch)));
+    out.total = static_cast<std::size_t>(n);
+    // The merged worker result doesn't know the space it was carved from —
+    // stamp it so coverage reporting matches the in-process sweep.
+    if (out.status.is_ok()) out.res.fault_space_size = space;
+    return out;
+  }
+  EvalOutcome out;
+  out.total = static_cast<std::size_t>(n);
+  if (o.journal.empty()) {
+    out.res = fw.evaluator().run_exhaustive(o.space_limit);
+    return out;
+  }
+  mc::JournalOptions jopt;
+  jopt.dir = o.journal;
+  jopt.resume = o.resume;
+  jopt.shard_size = o.shard_size;
+  jopt.fingerprint =
+      campaign_fingerprint(o, "exhaustive", static_cast<std::size_t>(n));
+  jopt.context = o.benchmark + "/" + o.technique + "/exhaustive";
+  Result<mc::SsfResult> result =
+      fw.evaluator().run_exhaustive_journaled(jopt, o.space_limit);
+  if (!result.is_ok()) {
+    out.status = Status(result.status().code(),
+                        "journaled run failed: " +
+                            result.status().to_string());
+    return out;
+  }
+  out.res = std::move(result).value();
+  return out;
+}
+
+core::SamplerSelection select_sampler(core::FaultAttackEvaluator& fw,
+                                      const Options& o) {
+  if (o.technique == "clock-glitch") {
+    return fw.make_sampler_with_fallback(fw.glitch_attack_model(o.t_range),
+                                         o.strategy);
+  }
+  if (o.technique == "voltage-glitch") {
+    return fw.make_sampler_with_fallback(fw.voltage_attack_model(o.t_range),
+                                         o.strategy);
+  }
+  return fw.make_sampler_with_fallback(
+      fw.subblock_attack_model(o.radius, o.t_range), o.strategy);
+}
+
 EvalOutcome run_eval(core::FaultAttackEvaluator& fw, const Options& o,
                      std::string* actual_strategy = nullptr,
                      const std::function<void()>& on_sample = {}) {
-  core::SamplerSelection sel;
-  if (o.technique == "clock-glitch") {
-    sel = fw.make_sampler_with_fallback(fw.glitch_attack_model(o.t_range),
-                                        o.strategy);
-  } else {
-    sel = fw.make_sampler_with_fallback(
-        fw.subblock_attack_model(o.radius, o.t_range), o.strategy);
+  if (o.exhaustive) {
+    if (actual_strategy != nullptr) *actual_strategy = "exhaustive";
+    return run_eval_exhaustive(fw, o, on_sample);
   }
+  core::SamplerSelection sel = select_sampler(fw, o);
   if (sel.downgraded()) {
     std::fprintf(stderr, "fav: strategy downgraded %s -> %s (%s)\n",
                  sel.requested.c_str(), sel.actual.c_str(),
@@ -577,42 +729,15 @@ EvalOutcome run_eval(core::FaultAttackEvaluator& fw, const Options& o,
   if (actual_strategy != nullptr) *actual_strategy = sel.actual;
   Rng rng(o.seed);
   EvalOutcome out;
+  out.total = o.samples;
   if (o.supervise > 0) {
-    mc::SupervisorConfig sc;
-    sc.workers = o.supervise;
-    sc.shard_size = o.shard_size;
-    sc.heartbeat_ms = o.heartbeat_ms;
-    sc.worker_command = worker_command(o);
-    if (o.crash_after != 0) {
-      // One-shot chaos: worker 0's first incarnation only, so restarts make
-      // progress and no shard can be killed twice by the injection alone.
-      sc.first_spawn_args = {"--crash-after-samples",
-                             std::to_string(o.crash_after)};
-    }
-    sc.dir = o.journal;
-    sc.resume = o.resume;
-    sc.fingerprint = campaign_fingerprint(o, sel.actual);
-    sc.context = o.benchmark + "/" + o.technique + "/" + sel.actual;
-    sc.metrics = fw.evaluator().config().metrics;
-    sc.progress = fw.evaluator().config().progress;
-    sc.on_sample = on_sample;
-    sc.stop = &g_stop;
+    const mc::SupervisorConfig sc =
+        make_supervisor_config(fw, o, sel.actual, o.samples, on_sample);
     mc::CampaignSupervisor supervisor(fw.evaluator(), sc);
-    Result<mc::SupervisedResult> result =
-        supervisor.run(*sel.sampler, rng, o.samples);
-    if (!result.is_ok()) {
-      out.status = Status(result.status().code(),
-                          "supervised run failed: " +
-                              result.status().to_string());
-      return out;
-    }
-    out.res = std::move(result.value().result);
-    out.supervised = true;
-    out.restarts = result.value().restarts;
-    out.quarantined_shards = result.value().quarantined_shards;
-    out.quarantined_samples = result.value().quarantined_samples;
-    out.storage_full_stops = result.value().storage_full_stops;
-    return out;
+    EvalOutcome sup =
+        take_supervised(supervisor.run(*sel.sampler, rng, o.samples));
+    sup.total = o.samples;
+    return sup;
   }
   if (o.journal.empty()) {
     out.res = fw.evaluator().run(*sel.sampler, rng, o.samples);
@@ -622,7 +747,7 @@ EvalOutcome run_eval(core::FaultAttackEvaluator& fw, const Options& o,
   jopt.dir = o.journal;
   jopt.resume = o.resume;
   jopt.shard_size = o.shard_size;
-  jopt.fingerprint = campaign_fingerprint(o, sel.actual);
+  jopt.fingerprint = campaign_fingerprint(o, sel.actual, o.samples);
   jopt.context = o.benchmark + "/" + o.technique + "/" + sel.actual;
   Result<mc::SsfResult> result =
       fw.evaluator().run_journaled(*sel.sampler, rng, o.samples, jopt);
@@ -744,13 +869,19 @@ CampaignOutput run_evaluate_campaign(const Options& o, bool local_files,
   append_f(out.stdout_block, "benchmark  : %s\n", fw.benchmark().name.c_str());
   append_f(out.stdout_block, "technique  : %s\n", fw.technique().name());
   append_f(out.stdout_block, "strategy   : %s (n=%zu, seed=%llu)\n",
-           actual_strategy.c_str(), o.samples,
+           actual_strategy.c_str(), eval.total,
            static_cast<unsigned long long>(o.seed));
+  if (res.fault_space_size > 0) {
+    append_f(out.stdout_block,
+             "fault space: size %llu, evaluated %zu, coverage %.6f\n",
+             static_cast<unsigned long long>(res.fault_space_size),
+             res.evaluated, res.coverage());
+  }
   if (res.interrupted) {
     append_f(out.stdout_block,
              "interrupted: yes — %zu of %zu samples evaluated "
              "(rerun with --resume to continue)\n",
-             res.evaluated, o.samples);
+             res.evaluated, eval.total);
   }
   if (eval.supervised) {
     append_f(out.stdout_block,
@@ -776,7 +907,7 @@ CampaignOutput run_evaluate_campaign(const Options& o, bool local_files,
            res.stats.standard_error());
   append_f(out.stdout_block, "variance   : %.3e\n", res.sample_variance());
   append_f(out.stdout_block, "ESS        : %.1f of %zu\n",
-           res.effective_sample_size(), o.samples);
+           res.effective_sample_size(), eval.total);
   append_f(out.stdout_block, "successes  : %zu\n", res.successes);
   append_f(out.stdout_block,
            "paths      : %zu masked / %zu analytical / %zu rtl\n", res.masked,
@@ -789,7 +920,8 @@ CampaignOutput run_evaluate_campaign(const Options& o, bool local_files,
     in.benchmark = o.benchmark;
     in.technique = o.technique;
     in.strategy = actual_strategy;
-    in.samples = o.samples;
+    in.mode = o.exhaustive ? "exhaustive" : "sampled";
+    in.samples = eval.total;
     in.seed = o.seed;
     in.threads = o.threads;
     in.batch_lanes = o.batch_lanes;
@@ -1043,22 +1175,30 @@ int cmd_worker(const Options& o) {
     heartbeat.on_sample(record, slice_index);
   };
   core::FaultAttackEvaluator fw(pick_benchmark(o.benchmark), cfg);
-  core::SamplerSelection sel;
-  if (o.technique == "clock-glitch") {
-    sel = fw.make_sampler_with_fallback(fw.glitch_attack_model(o.t_range),
-                                        o.strategy);
+  std::string actual = o.strategy;
+  std::size_t total = o.samples;
+  std::vector<faultsim::FaultSample> samples;
+  if (o.exhaustive) {
+    // Re-derive the identical enumeration the supervisor (and every sibling
+    // worker) computes from the same flags — the batch never crosses the
+    // pipe, exactly like the sampled path re-draws from the seed.
+    const std::uint64_t space = fw.bind_exhaustive_space(o.t_range, o.radius);
+    const std::uint64_t n =
+        (o.space_limit != 0 && o.space_limit < space) ? o.space_limit : space;
+    total = static_cast<std::size_t>(n);
+    actual = "exhaustive";
+    fw.technique().enumerate(0, n, samples);
   } else {
-    sel = fw.make_sampler_with_fallback(
-        fw.subblock_attack_model(o.radius, o.t_range), o.strategy);
+    const core::SamplerSelection sel = select_sampler(fw, o);
+    actual = sel.actual;
+    Rng rng(o.seed);
+    samples = fw.evaluator().draw_batch(*sel.sampler, rng, o.samples);
   }
-  Rng rng(o.seed);
-  const std::vector<faultsim::FaultSample> samples =
-      fw.evaluator().draw_batch(*sel.sampler, rng, o.samples);
   mc::WorkerLoopOptions wopt;
   wopt.dir = o.journal;
   wopt.worker_id = o.worker_id;
-  wopt.fingerprint = campaign_fingerprint(o, sel.actual);
-  wopt.context = o.benchmark + "/" + o.technique + "/" + sel.actual;
+  wopt.fingerprint = campaign_fingerprint(o, actual, total);
+  wopt.context = o.benchmark + "/" + o.technique + "/" + actual;
   wopt.in_fd = STDIN_FILENO;
   wopt.out_fd = STDOUT_FILENO;
   const Status status =
