@@ -5,26 +5,11 @@
 #include <ostream>
 
 #include "util/check.h"
+#include "util/io.h"
 
 namespace fav::core {
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-      out += buf;
-    } else {
-      out.push_back(c);
-    }
-  }
-  return out;
-}
+std::string json_escape(const std::string& s) { return io::json_escape(s); }
 
 void write_run_report(std::ostream& out, const RunReportInputs& in) {
   FAV_CHECK(in.result != nullptr);

@@ -25,7 +25,10 @@ namespace fav::core {
 /// Minimal JSON string escaping: quotes, backslashes, and control bytes.
 /// Every string emitted into a run report goes through this — field values
 /// like the benchmark name are caller-controlled free-form input once
-/// campaigns arrive over a socket.
+/// campaigns arrive over a socket. The implementation lives in util/io
+/// (io::json_escape) so JSON emitters below core/ (the serve daemon's stats
+/// snapshot) share the one escaper; this alias keeps existing callers and
+/// the unit tests in place.
 std::string json_escape(const std::string& s);
 
 /// Everything a run report records, decoupled from the CLI's option

@@ -1,14 +1,18 @@
 #include "mc/serve.h"
 
 #include <errno.h>
+#include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <system_error>
 #include <utility>
 
 #include "util/io.h"
@@ -152,48 +156,232 @@ Result<UniqueFd> bind_and_listen(const std::string& path) {
   return fd;
 }
 
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
 /// Serialized, throttled progress frames for one client. Campaign progress
 /// arrives from arbitrary evaluator threads; the mutex keeps frames whole
-/// relative to the end-of-campaign messages, and the throttle keeps a fast
-/// campaign from turning the socket into a firehose.
+/// relative to heartbeats and the end-of-campaign messages, and the throttle
+/// keeps a fast campaign from turning the socket into a firehose. Every
+/// write carries the configured deadline: a client that stopped draining its
+/// socket marks the stream dead instead of wedging an evaluator thread.
 class ProgressStream {
  public:
-  ProgressStream(int fd, std::uint64_t interval_ms)
-      : fd_(fd), interval_ns_(interval_ms * 1'000'000ull) {}
+  ProgressStream(int fd, std::uint64_t interval_ms, int write_timeout_ms)
+      : fd_(fd),
+        interval_ns_(interval_ms * 1'000'000ull),
+        write_timeout_ms_(write_timeout_ms) {}
 
   void send(std::uint64_t done, std::uint64_t total) {
     std::lock_guard<std::mutex> lock(mu_);
-    if (dead_) return;
+    if (dead_.load(std::memory_order_relaxed)) return;
     const std::uint64_t now = monotonic_ns();
     if (done < total && now - last_sent_ns_ < interval_ns_ &&
         last_sent_ns_ != 0) {
       return;
     }
     last_sent_ns_ = now;
-    // A failed write means the client went away; the campaign keeps
-    // running (its journal and report are still produced server-side),
-    // we just stop streaming.
-    if (!write_frame(fd_, encode_serve_progress(done, total)).is_ok()) {
-      dead_ = true;
-    }
+    // A failed write means the client went away (or wedged); the monitor
+    // notices the dead stream and cancels the campaign to a resumable stop.
+    write_locked(encode_serve_progress(done, total));
+  }
+
+  void heartbeat(bool running) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dead_.load(std::memory_order_relaxed)) return;
+    write_locked(encode_serve_heartbeat(running));
   }
 
   /// Final messages, serialized against in-flight progress frames.
   void finish(const std::vector<std::string>& frames) {
     std::lock_guard<std::mutex> lock(mu_);
     for (const std::string& frame : frames) {
-      if (dead_) return;
-      if (!write_frame(fd_, frame).is_ok()) dead_ = true;
+      if (dead_.load(std::memory_order_relaxed)) return;
+      write_locked(frame);
     }
   }
 
+  bool dead() const { return dead_.load(std::memory_order_relaxed); }
+
  private:
+  void write_locked(std::string_view frame) {
+    if (!write_frame_deadline(fd_, frame, write_timeout_ms_).is_ok()) {
+      dead_.store(true, std::memory_order_relaxed);
+    }
+  }
+
   const int fd_;
   const std::uint64_t interval_ns_;
+  const int write_timeout_ms_;
   std::mutex mu_;
   std::uint64_t last_sent_ns_ = 0;
-  bool dead_ = false;
+  std::atomic<bool> dead_{false};
 };
+
+// --- campaign monitor -----------------------------------------------------
+
+/// Why a campaign's cancel token was tripped.
+enum class CancelCause { kNone, kClientGone, kClientCancel, kDeadline };
+
+/// Per-campaign watchdog thread: watches the client socket for hangup /
+/// kCancel frames, enforces the wall-clock deadline, forwards the daemon's
+/// stop flag, and emits heartbeats so the client can tell a slow campaign
+/// from a wedged daemon. Works with fd < 0 (ledger-recovered campaigns have
+/// no client): only the deadline and stop-flag duties remain.
+class CampaignMonitor {
+ public:
+  CampaignMonitor(int client_fd, FrameBuffer* buf, ProgressStream* stream,
+                  const ServeConfig& config, std::atomic<bool>* cancel)
+      : fd_(client_fd),
+        buf_(buf),
+        stream_(stream),
+        config_(config),
+        cancel_(cancel),
+        thread_([this] { loop(); }) {}
+
+  ~CampaignMonitor() { stop(); }
+
+  /// Flips the heartbeat payload from "queued" to "running".
+  void set_running() { running_.store(true, std::memory_order_relaxed); }
+
+  void stop() {
+    done_.store(true, std::memory_order_relaxed);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  CancelCause cause() const { return cause_.load(std::memory_order_relaxed); }
+
+ private:
+  static constexpr int kPollMs = 20;
+
+  void trip(CancelCause cause) {
+    cause_.store(cause, std::memory_order_relaxed);
+    cancel_->store(true, std::memory_order_relaxed);
+  }
+
+  void loop() {
+    const std::uint64_t start_ns = monotonic_ns();
+    const std::uint64_t heartbeat_ns =
+        config_.heartbeat_interval_ms * 1'000'000ull;
+    std::uint64_t next_heartbeat_ns = start_ns + heartbeat_ns;
+    while (!done_.load(std::memory_order_relaxed)) {
+      if (config_.stop->load(std::memory_order_relaxed)) {
+        // Daemon drain: stop the campaign but leave the cause unset — a
+        // drained campaign completed (interrupted), it was not cancelled.
+        cancel_->store(true, std::memory_order_relaxed);
+        return;
+      }
+      if (config_.campaign_deadline_ms != 0 &&
+          monotonic_ns() - start_ns >=
+              config_.campaign_deadline_ms * 1'000'000ull) {
+        trip(CancelCause::kDeadline);
+        return;
+      }
+      if (stream_ != nullptr && stream_->dead()) {
+        trip(CancelCause::kClientGone);
+        return;
+      }
+      if (fd_ >= 0) {
+        struct pollfd pfd {};
+        pfd.fd = fd_;
+        pfd.events = POLLIN;
+        const int rc = ::poll(&pfd, 1, kPollMs);
+        if (rc < 0 && errno != EINTR) {
+          trip(CancelCause::kClientGone);
+          return;
+        }
+        // POLLIN covers both data and EOF; the drain decides which.
+        if (rc > 0 && !drain_client()) return;
+      } else {
+        ::poll(nullptr, 0, kPollMs);
+      }
+      if (stream_ != nullptr && heartbeat_ns != 0 &&
+          monotonic_ns() >= next_heartbeat_ns) {
+        stream_->heartbeat(running_.load(std::memory_order_relaxed));
+        next_heartbeat_ns += heartbeat_ns;
+      }
+    }
+  }
+
+  /// Reads whatever the client sent mid-campaign. Returns false once the
+  /// cancel token was tripped (EOF, kCancel, or protocol garbage).
+  bool drain_client() {
+    if (!drain_into(fd_, *buf_)) {
+      trip(CancelCause::kClientGone);
+      return false;
+    }
+    std::string payload;
+    while (buf_->next(&payload)) {
+      ServeMessage msg;
+      if (!decode_serve_message(payload, &msg)) {
+        trip(CancelCause::kClientGone);  // protocol violation = broken peer
+        return false;
+      }
+      if (msg.type == ServeWire::kCancel) {
+        trip(CancelCause::kClientCancel);
+        return false;
+      }
+      // Anything else mid-campaign is unexpected but harmless chatter.
+    }
+    if (buf_->corrupt()) {
+      trip(CancelCause::kClientGone);
+      return false;
+    }
+    return true;
+  }
+
+  const int fd_;
+  FrameBuffer* const buf_;
+  ProgressStream* const stream_;
+  const ServeConfig& config_;
+  std::atomic<bool>* const cancel_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> done_{false};
+  std::atomic<CancelCause> cause_{CancelCause::kNone};
+  std::thread thread_;
+};
+
+// --- ledger wire ----------------------------------------------------------
+
+constexpr char kLedgerMagic[8] = {'F', 'A', 'V', 'L', 'D', 'G', 'R', '1'};
+/// A ledger payload is a state byte, an id, and at most a request argv.
+constexpr std::uint32_t kMaxLedgerPayload =
+    1u + 8u + 4u +
+    static_cast<std::uint32_t>(kMaxRequestArgs * (4u + kMaxRequestArgBytes));
+
+std::string encode_ledger_payload(CampaignState state, std::uint64_t id) {
+  std::string out;
+  io::put_le(out, static_cast<std::uint8_t>(state));
+  io::put_le(out, id);
+  return out;
+}
+
+/// Appends `--resume` to a recovered argv when its journal directory already
+/// holds shard files; a campaign that died before its first shard restarts
+/// fresh (resume of an empty journal would be refused).
+bool maybe_append_resume(std::vector<std::string>* args) {
+  std::string journal_dir;
+  bool has_resume = false;
+  for (std::size_t i = 0; i < args->size(); ++i) {
+    if ((*args)[i] == "--journal" && i + 1 < args->size()) {
+      journal_dir = (*args)[i + 1];
+    }
+    if ((*args)[i] == "--resume") has_resume = true;
+  }
+  if (journal_dir.empty() || has_resume) return false;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(journal_dir, ec);
+  const std::filesystem::directory_iterator end;
+  for (; !ec && it != end; it.increment(ec)) {
+    if (it->path().extension() == ".fj") {
+      args->push_back("--resume");
+      return true;
+    }
+  }
+  return false;
+}
 
 }  // namespace
 
@@ -252,13 +440,33 @@ std::string encode_serve_error(std::string_view message,
   return out;
 }
 
+std::string encode_serve_busy(std::uint64_t retry_after_ms) {
+  std::string out;
+  put(out, static_cast<std::uint8_t>(ServeWire::kBusy));
+  put(out, retry_after_ms);
+  return out;
+}
+
+std::string encode_serve_heartbeat(bool running) {
+  std::string out;
+  put(out, static_cast<std::uint8_t>(ServeWire::kHeartbeat));
+  put(out, static_cast<std::uint8_t>(running ? 1 : 0));
+  return out;
+}
+
+std::string encode_serve_cancel() {
+  std::string out;
+  put(out, static_cast<std::uint8_t>(ServeWire::kCancel));
+  return out;
+}
+
 bool decode_serve_message(std::string_view payload, ServeMessage* out) {
   *out = ServeMessage{};
   std::size_t off = 0;
   std::uint8_t type = 0;
   if (!get(payload, &off, &type)) return false;
   if (type < static_cast<std::uint8_t>(ServeWire::kRequest) ||
-      type > static_cast<std::uint8_t>(ServeWire::kError)) {
+      type > static_cast<std::uint8_t>(ServeWire::kCancel)) {
     return false;
   }
   out->type = static_cast<ServeWire>(type);
@@ -289,8 +497,208 @@ bool decode_serve_message(std::string_view payload, ServeMessage* out) {
     case ServeWire::kError:
       return get_string(payload, &off, &out->text) &&
              get(payload, &off, &out->exit_code) && off == payload.size();
+    case ServeWire::kBusy:
+      return get(payload, &off, &out->retry_after_ms) &&
+             off == payload.size();
+    case ServeWire::kHeartbeat: {
+      std::uint8_t running = 0;
+      if (!get(payload, &off, &running)) return false;
+      if (running > 1) return false;
+      out->running = running == 1;
+      return off == payload.size();
+    }
+    case ServeWire::kCancel:
+      return off == payload.size();
   }
   return false;
+}
+
+// --- ledger ---------------------------------------------------------------
+
+CampaignLedger::~CampaignLedger() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+CampaignLedger::CampaignLedger(CampaignLedger&& other) noexcept {
+  *this = std::move(other);
+}
+
+CampaignLedger& CampaignLedger::operator=(CampaignLedger&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    path_ = std::move(other.path_);
+    file_ = std::exchange(other.file_, nullptr);
+    entries_ = std::move(other.entries_);
+    next_id_ = other.next_id_;
+    discarded_bytes_ = other.discarded_bytes_;
+  }
+  return *this;
+}
+
+Result<CampaignLedger> CampaignLedger::open(const std::string& path) {
+  CampaignLedger ledger;
+  ledger.path_ = path;
+  std::string content;
+  if (Result<std::string> read = io::read_file(path); read.is_ok()) {
+    content = std::move(read).value();
+  }
+  std::size_t valid_len = 0;
+  if (!content.empty()) {
+    if (content.size() < sizeof(kLedgerMagic) ||
+        std::memcmp(content.data(), kLedgerMagic, sizeof(kLedgerMagic)) != 0) {
+      return Status(ErrorCode::kJournalCorrupt,
+                    "not a campaign ledger (bad magic): " + path);
+    }
+    std::size_t off = sizeof(kLedgerMagic);
+    valid_len = off;
+    // Replay whole records; stop at the first torn or corrupt one and
+    // truncate it away — a SIGKILL mid-append must never brick the daemon.
+    for (;;) {
+      std::size_t record_off = off;
+      std::uint32_t len = 0;
+      if (!io::get_le(content, &record_off, &len)) break;
+      if (len == 0 || len > kMaxLedgerPayload) break;
+      if (content.size() - record_off < len + sizeof(std::uint32_t)) break;
+      const std::string_view payload(content.data() + record_off, len);
+      record_off += len;
+      std::uint32_t crc = 0;
+      (void)io::get_le(content, &record_off, &crc);
+      if (crc != io::crc32c(payload.data(), payload.size())) break;
+
+      // Decode into locals first: a malformed (but CRC-valid) record must
+      // truncate the tail without leaving a half-parsed entry behind.
+      std::size_t p = 0;
+      std::uint8_t state = 0;
+      std::uint64_t id = 0;
+      if (!get(payload, &p, &state) || !get(payload, &p, &id)) break;
+      bool ok = false;
+      std::vector<std::string> args;
+      std::int32_t exit_code = 0;
+      switch (static_cast<CampaignState>(state)) {
+        case CampaignState::kAccepted: {
+          std::uint32_t argc = 0;
+          if (!get(payload, &p, &argc) || argc > kMaxRequestArgs) break;
+          ok = true;
+          for (std::uint32_t i = 0; i < argc; ++i) {
+            std::string arg;
+            if (!get_string(payload, &p, &arg) ||
+                arg.size() > kMaxRequestArgBytes) {
+              ok = false;
+              break;
+            }
+            args.push_back(std::move(arg));
+          }
+          ok = ok && p == payload.size();
+          break;
+        }
+        case CampaignState::kRunning:
+          ok = p == payload.size();
+          break;
+        case CampaignState::kFinished:
+          ok = get(payload, &p, &exit_code) && p == payload.size();
+          break;
+        default:
+          break;
+      }
+      if (!ok) break;
+      Entry& entry = ledger.entries_[id];
+      entry.id = id;
+      entry.state = static_cast<CampaignState>(state);
+      if (static_cast<CampaignState>(state) == CampaignState::kAccepted) {
+        entry.args = std::move(args);
+      } else if (static_cast<CampaignState>(state) ==
+                 CampaignState::kFinished) {
+        entry.exit_code = exit_code;
+      }
+      ledger.next_id_ = std::max(ledger.next_id_, id + 1);
+      off = record_off;
+      valid_len = off;
+    }
+    ledger.discarded_bytes_ = content.size() - valid_len;
+    if (ledger.discarded_bytes_ > 0 &&
+        ::truncate(path.c_str(), static_cast<off_t>(valid_len)) != 0) {
+      return io::status_from_errno(errno,
+                                   "truncate torn ledger tail of " + path);
+    }
+  }
+  ledger.file_ = std::fopen(path.c_str(), "ab");
+  if (ledger.file_ == nullptr) {
+    return io::status_from_errno(errno, "open campaign ledger " + path);
+  }
+  if (content.empty()) {
+    if (Status s = io::write_all(ledger.file_, kLedgerMagic,
+                                 sizeof(kLedgerMagic), "ledger magic");
+        !s.is_ok()) {
+      return s;
+    }
+    if (Status s = io::flush_and_fsync(ledger.file_, "ledger magic");
+        !s.is_ok()) {
+      return s;
+    }
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    (void)io::fsync_dir(parent.empty() ? "." : parent.string());
+  }
+  return ledger;
+}
+
+Status CampaignLedger::append(std::string_view payload) {
+  if (file_ == nullptr) {
+    return Status(ErrorCode::kFailedPrecondition, "ledger is not open");
+  }
+  std::string record;
+  io::put_le(record, static_cast<std::uint32_t>(payload.size()));
+  record.append(payload.data(), payload.size());
+  io::put_le(record, io::crc32c(payload.data(), payload.size()));
+  if (Status s = io::write_all(file_, record.data(), record.size(),
+                               "campaign ledger " + path_);
+      !s.is_ok()) {
+    return s;
+  }
+  return io::flush_and_fsync(file_, "campaign ledger " + path_);
+}
+
+Status CampaignLedger::accepted(std::uint64_t id,
+                                const std::vector<std::string>& args) {
+  std::string payload = encode_ledger_payload(CampaignState::kAccepted, id);
+  io::put_le(payload, static_cast<std::uint32_t>(args.size()));
+  for (const std::string& a : args) {
+    io::put_le(payload, static_cast<std::uint32_t>(a.size()));
+    payload.append(a);
+  }
+  Entry& entry = entries_[id];
+  entry.id = id;
+  entry.state = CampaignState::kAccepted;
+  entry.args = args;
+  next_id_ = std::max(next_id_, id + 1);
+  return append(payload);
+}
+
+Status CampaignLedger::running(std::uint64_t id) {
+  Entry& entry = entries_[id];
+  entry.id = id;
+  entry.state = CampaignState::kRunning;
+  next_id_ = std::max(next_id_, id + 1);
+  return append(encode_ledger_payload(CampaignState::kRunning, id));
+}
+
+Status CampaignLedger::finished(std::uint64_t id, std::int32_t exit_code) {
+  Entry& entry = entries_[id];
+  entry.id = id;
+  entry.state = CampaignState::kFinished;
+  entry.exit_code = exit_code;
+  next_id_ = std::max(next_id_, id + 1);
+  std::string payload = encode_ledger_payload(CampaignState::kFinished, id);
+  io::put_le(payload, exit_code);
+  return append(payload);
+}
+
+std::vector<CampaignLedger::Entry> CampaignLedger::interrupted() const {
+  std::vector<Entry> out;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.state != CampaignState::kFinished) out.push_back(entry);
+  }
+  return out;
 }
 
 // --- server ---------------------------------------------------------------
@@ -306,14 +714,126 @@ void CampaignServer::log_line(const std::string& line) const {
   }
 }
 
-bool CampaignServer::acquire_slot() {
-  std::unique_lock<std::mutex> lock(mu_);
-  slot_cv_.wait(lock, [this] {
-    return draining_ || active_ < config_.max_concurrent;
+ServeStats CampaignServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t CampaignServer::live_handlers() const {
+  std::lock_guard<std::mutex> lock(handlers_mu_);
+  return handlers_.size();
+}
+
+std::string CampaignServer::stats_json() const {
+  const ServeStats s = stats();
+  std::string json = "{\n  \"schema\": \"fav.serve_stats.v1\",\n";
+  json += "  \"socket\": \"" + io::json_escape(config_.socket_path) + "\",\n";
+  auto field = [&json](const char* name, std::uint64_t value, bool last) {
+    json += "  \"";
+    json += name;
+    json += "\": " + std::to_string(value) + (last ? "\n" : ",\n");
+  };
+  field("accepted", s.accepted, false);
+  field("completed", s.completed, false);
+  field("failed", s.failed, false);
+  field("cancelled", s.cancelled, false);
+  field("deadline_stopped", s.deadline_stopped, false);
+  field("recovered", s.recovered, false);
+  field("rejected", s.rejected, false);
+  field("busy", s.busy, true);
+  json += "}\n";
+  return json;
+}
+
+void CampaignServer::write_stats_snapshot() const {
+  if (config_.stats_path.empty()) return;
+  const Status s = io::atomic_write_file(config_.stats_path, stats_json());
+  if (!s.is_ok()) {
+    log_line("stats snapshot failed: " + s.to_string());
+  }
+}
+
+Status CampaignServer::ledger_append(
+    const std::function<Status(CampaignLedger&)>& op) {
+  std::lock_guard<std::mutex> lock(ledger_mu_);
+  if (ledger_ == nullptr) return Status::ok();
+  const Status s = op(*ledger_);
+  if (!s.is_ok()) {
+    // A failing ledger medium degrades recovery, it must not take down the
+    // campaign that is still producing its journal and report.
+    log_line("ledger append failed: " + s.to_string());
+  }
+  return s;
+}
+
+void CampaignServer::start_handler(std::function<void()> body) {
+  auto handler = std::make_unique<Handler>();
+  Handler* raw = handler.get();
+  std::thread thread([raw, body = std::move(body)] {
+    body();
+    raw->done.store(true, std::memory_order_release);
   });
-  if (draining_) return false;
-  ++active_;
-  return true;
+  // The thread member is assigned before the handler becomes visible to the
+  // reaper (same mutex), so a join can never observe a half-formed Handler
+  // even when the body finishes before push_back.
+  std::lock_guard<std::mutex> lock(handlers_mu_);
+  handler->thread = std::move(thread);
+  handlers_.push_back(std::move(handler));
+}
+
+void CampaignServer::reap_handlers() {
+  std::lock_guard<std::mutex> lock(handlers_mu_);
+  for (auto it = handlers_.begin(); it != handlers_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      (*it)->thread.join();
+      it = handlers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void CampaignServer::join_all_handlers() {
+  for (;;) {
+    std::unique_ptr<Handler> handler;
+    {
+      std::lock_guard<std::mutex> lock(handlers_mu_);
+      if (handlers_.empty()) return;
+      handler = std::move(handlers_.front());
+      handlers_.pop_front();
+    }
+    handler->thread.join();
+  }
+}
+
+CampaignServer::Admission CampaignServer::acquire_slot(
+    const std::atomic<bool>& cancel) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (draining_) return Admission::kStopped;
+  if (active_ < config_.max_concurrent) {
+    ++active_;
+    return Admission::kRun;
+  }
+  if (queued_ >= config_.max_queued) return Admission::kBusy;
+  ++queued_;
+  for (;;) {
+    if (draining_) {
+      --queued_;
+      return Admission::kStopped;
+    }
+    if (cancel.load(std::memory_order_relaxed)) {
+      --queued_;
+      return Admission::kCancelled;
+    }
+    if (active_ < config_.max_concurrent) {
+      --queued_;
+      ++active_;
+      return Admission::kRun;
+    }
+    // Bounded wait: the cancel token is tripped by the campaign monitor
+    // without a condition-variable signal, so the queue polls it.
+    slot_cv_.wait_for(lock, std::chrono::milliseconds(50));
+  }
 }
 
 void CampaignServer::release_slot() {
@@ -337,20 +857,46 @@ Status CampaignServer::serve() {
   // one socket, never SIGPIPE the daemon (process-wide and idempotent, like
   // the supervisor's).
   ::signal(SIGPIPE, SIG_IGN);
+
+  std::vector<CampaignLedger::Entry> to_recover;
+  std::uint64_t next_id = 1;
+  if (!config_.ledger_path.empty()) {
+    Result<CampaignLedger> opened = CampaignLedger::open(config_.ledger_path);
+    if (!opened.is_ok()) return opened.status();
+    auto ledger = std::make_unique<CampaignLedger>(std::move(opened).value());
+    if (ledger->discarded_bytes() > 0) {
+      log_line("ledger: discarded " +
+               std::to_string(ledger->discarded_bytes()) +
+               " byte(s) of torn tail");
+    }
+    to_recover = ledger->interrupted();
+    next_id = ledger->next_campaign_id();
+    std::lock_guard<std::mutex> lock(ledger_mu_);
+    ledger_ = std::move(ledger);
+  }
+
   Result<UniqueFd> bound = bind_and_listen(config_.socket_path);
   if (!bound.is_ok()) return bound.status();
   UniqueFd listen_fd = std::move(bound).value();
   log_line("listening on " + config_.socket_path + " (max " +
            std::to_string(config_.max_concurrent) +
-           " concurrent campaigns)");
+           " concurrent campaigns, queue " +
+           std::to_string(config_.max_queued) + ")");
 
-  std::vector<std::thread> handlers;
-  std::uint64_t next_id = 1;
+  for (CampaignLedger::Entry& entry : to_recover) {
+    log_line("campaign " + std::to_string(entry.id) +
+             ": interrupted by a previous crash, recovering");
+    start_handler([this, entry = std::move(entry)]() mutable {
+      run_recovered(std::move(entry));
+    });
+  }
+
   while (!config_.stop->load(std::memory_order_relaxed)) {
     struct pollfd pfd {};
     pfd.fd = listen_fd.get();
     pfd.events = POLLIN;
     const int rc = ::poll(&pfd, 1, 200);
+    reap_handlers();
     if (rc < 0 && errno != EINTR) {
       log_line("accept poll failed: " + io::errno_message(errno));
       break;
@@ -364,52 +910,134 @@ Status CampaignServer::serve() {
       }
       continue;
     }
-    handlers.emplace_back(&CampaignServer::handle_client, this, client,
-                          next_id++);
+    start_handler([this, client, id = next_id++] {
+      handle_client(client, id);
+    });
   }
 
   // Drain: wake queued requests so they fail fast, then wait for in-flight
-  // campaigns (they share the stop flag and wind down on their own).
+  // campaigns (their monitors forward the stop flag through the cancel
+  // tokens and they wind down on their own).
   {
     std::lock_guard<std::mutex> lock(mu_);
     draining_ = true;
   }
   slot_cv_.notify_all();
   listen_fd.reset();
-  for (std::thread& t : handlers) t.join();
+  join_all_handlers();
   ::unlink(config_.socket_path.c_str());
-  log_line("drained; " + std::to_string(stats_.completed) + " campaign(s) " +
-           "served, " + std::to_string(stats_.rejected) + " rejected");
+  write_stats_snapshot();
+  const ServeStats s = stats();
+  log_line("drained; " + std::to_string(s.completed) + " completed, " +
+           std::to_string(s.failed) + " failed, " +
+           std::to_string(s.cancelled) + " cancelled, " +
+           std::to_string(s.deadline_stopped) + " deadline-stopped, " +
+           std::to_string(s.recovered) + " recovered, " +
+           std::to_string(s.rejected) + " rejected, " +
+           std::to_string(s.busy) + " busy");
   return Status::ok();
 }
 
 void CampaignServer::handle_client(int fd, std::uint64_t campaign_id) {
   UniqueFd client(fd);
+  // Non-blocking from the start: every write goes through
+  // write_frame_deadline, so a peer that stops draining can only cost one
+  // write timeout, never a wedged handler or evaluator thread.
+  set_nonblocking(client.get());
   FrameBuffer buf;
   Result<std::string> frame =
       read_frame(client.get(), buf, config_.request_timeout_ms);
   ServeMessage msg;
   if (!frame.is_ok() || !decode_serve_message(frame.value(), &msg) ||
       msg.type != ServeWire::kRequest) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.rejected;
-    (void)write_frame(client.get(),
-                      encode_serve_error("malformed campaign request", 2));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.rejected;
+    }
+    (void)write_frame_deadline(
+        client.get(), encode_serve_error("malformed campaign request", 2),
+        config_.write_timeout_ms);
+    write_stats_snapshot();
     return;
   }
-  (void)write_frame(client.get(), encode_serve_accepted(campaign_id));
-
-  if (!acquire_slot()) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.rejected;
-    (void)write_frame(client.get(),
-                      encode_serve_error("server is shutting down", 1));
+  // The accepted frame is what tells the client to start reading; a client
+  // that cannot take it is already gone and must not consume a slot.
+  if (!write_frame_deadline(client.get(),
+                            encode_serve_accepted(campaign_id),
+                            config_.write_timeout_ms)
+           .is_ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.cancelled;
+    }
+    log_line("campaign " + std::to_string(campaign_id) +
+             ": client gone before accept");
+    write_stats_snapshot();
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.accepted;
   }
+  (void)ledger_append([&](CampaignLedger& ledger) {
+    return ledger.accepted(campaign_id, msg.args);
+  });
+
+  std::atomic<bool> cancel{false};
+  ProgressStream progress(client.get(), config_.progress_interval_ms,
+                          config_.write_timeout_ms);
+  CampaignMonitor monitor(client.get(), &buf, &progress, config_, &cancel);
+
+  const Admission admission = acquire_slot(cancel);
+  if (admission != Admission::kRun) {
+    monitor.stop();
+    std::string note;
+    switch (admission) {
+      case Admission::kBusy:
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.busy;
+        }
+        (void)write_frame_deadline(
+            client.get(), encode_serve_busy(config_.busy_retry_after_ms),
+            config_.write_timeout_ms);
+        note = "queue full, sent busy (retry after " +
+               std::to_string(config_.busy_retry_after_ms) + " ms)";
+        break;
+      case Admission::kStopped:
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.rejected;
+        }
+        (void)write_frame_deadline(
+            client.get(), encode_serve_error("server is shutting down", 1),
+            config_.write_timeout_ms);
+        note = "refused, shutting down";
+        break;
+      case Admission::kCancelled:
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.cancelled;
+        }
+        note = "client gone while queued";
+        break;
+      case Admission::kRun:
+        break;
+    }
+    // The campaign never ran; close its ledger entry so a restart does not
+    // replay work the client already knows was turned away.
+    (void)ledger_append([&](CampaignLedger& ledger) {
+      return ledger.finished(campaign_id, 1);
+    });
+    log_line("campaign " + std::to_string(campaign_id) + ": " + note);
+    write_stats_snapshot();
+    return;
+  }
+
+  (void)ledger_append([&](CampaignLedger& ledger) {
+    return ledger.running(campaign_id);
+  });
+  monitor.set_running();
   std::string argv_line;
   for (const std::string& a : msg.args) {
     if (!argv_line.empty()) argv_line += ' ';
@@ -417,12 +1045,15 @@ void CampaignServer::handle_client(int fd, std::uint64_t campaign_id) {
   }
   log_line("campaign " + std::to_string(campaign_id) + ": " + argv_line);
 
-  ProgressStream progress(client.get(), config_.progress_interval_ms);
   CampaignOutcome outcome = runner_(
-      msg.args, [&progress](std::uint64_t done, std::uint64_t total) {
+      msg.args,
+      [&progress](std::uint64_t done, std::uint64_t total) {
         progress.send(done, total);
-      });
+      },
+      cancel);
   release_slot();
+  monitor.stop();
+  const CancelCause cause = monitor.cause();
 
   std::vector<std::string> tail;
   if (!outcome.error.empty()) {
@@ -437,32 +1068,100 @@ void CampaignServer::handle_client(int fd, std::uint64_t campaign_id) {
         encode_serve_finished(static_cast<std::int32_t>(outcome.exit_code)));
   }
   progress.finish(tail);
+  (void)ledger_append([&](CampaignLedger& ledger) {
+    return ledger.finished(campaign_id,
+                           static_cast<std::int32_t>(outcome.exit_code));
+  });
+  std::string note;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.completed;
+    if (!outcome.error.empty()) {
+      ++stats_.failed;
+    } else if (cause == CancelCause::kClientGone) {
+      ++stats_.cancelled;
+      note = " (client gone, journal resumable)";
+    } else if (cause == CancelCause::kClientCancel) {
+      ++stats_.cancelled;
+      note = " (cancelled by client, journal resumable)";
+    } else if (cause == CancelCause::kDeadline) {
+      ++stats_.deadline_stopped;
+      note = " (deadline exceeded, journal resumable)";
+    } else {
+      ++stats_.completed;
+    }
   }
+  write_stats_snapshot();
   log_line("campaign " + std::to_string(campaign_id) + ": exit " +
+           std::to_string(outcome.exit_code) + note +
+           (outcome.error.empty() ? "" : " (" + outcome.error + ")"));
+}
+
+void CampaignServer::run_recovered(CampaignLedger::Entry entry) {
+  std::atomic<bool> cancel{false};
+  CampaignMonitor monitor(-1, nullptr, nullptr, config_, &cancel);
+  const Admission admission = acquire_slot(cancel);
+  if (admission != Admission::kRun) {
+    // Drained before it got a slot: leave the ledger entry open so the next
+    // start picks the campaign up again.
+    monitor.stop();
+    return;
+  }
+  (void)ledger_append([&](CampaignLedger& ledger) {
+    return ledger.running(entry.id);
+  });
+  monitor.set_running();
+  std::vector<std::string> args = entry.args;
+  const bool resumed = maybe_append_resume(&args);
+  log_line("campaign " + std::to_string(entry.id) + ": recovering" +
+           (resumed ? " (resuming journal)" : " (restarting fresh)"));
+  const CampaignRunner& runner =
+      config_.recovery_runner ? config_.recovery_runner : runner_;
+  CampaignOutcome outcome = runner(args, ProgressFn{}, cancel);
+  release_slot();
+  monitor.stop();
+  const CancelCause cause = monitor.cause();
+  // Interrupted again by a drain (not by its deadline): still resumable,
+  // leave the entry open for the next start. Exit 3 is the CLI's
+  // resumable-stop code.
+  if (cause == CancelCause::kNone && outcome.error.empty() &&
+      outcome.exit_code == 3 &&
+      config_.stop->load(std::memory_order_relaxed)) {
+    log_line("campaign " + std::to_string(entry.id) +
+             ": recovery interrupted by drain, will resume on next start");
+    return;
+  }
+  (void)ledger_append([&](CampaignLedger& ledger) {
+    return ledger.finished(entry.id,
+                           static_cast<std::int32_t>(outcome.exit_code));
+  });
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!outcome.error.empty()) {
+      ++stats_.failed;
+    } else if (cause == CancelCause::kDeadline) {
+      ++stats_.deadline_stopped;
+    } else {
+      ++stats_.recovered;
+    }
+  }
+  write_stats_snapshot();
+  log_line("campaign " + std::to_string(entry.id) + ": recovered, exit " +
            std::to_string(outcome.exit_code) +
            (outcome.error.empty() ? "" : " (" + outcome.error + ")"));
 }
 
 // --- client ---------------------------------------------------------------
 
-Result<SubmitResult> submit_campaign(const std::string& socket_path,
-                                     const std::vector<std::string>& args,
-                                     const ProgressFn& on_progress) {
-  if (args.empty() || args.size() > kMaxRequestArgs) {
-    return Status(ErrorCode::kInvalidArgument,
-                  "a campaign request needs 1.." +
-                      std::to_string(kMaxRequestArgs) + " arguments");
-  }
-  for (const std::string& a : args) {
-    if (a.size() > kMaxRequestArgBytes) {
-      return Status(ErrorCode::kInvalidArgument,
-                    "campaign argument exceeds " +
-                        std::to_string(kMaxRequestArgBytes) + " bytes");
-    }
-  }
+namespace {
+
+/// One connect + request + stream-until-terminal attempt. Sets *busy (with
+/// the server's retry hint) instead of failing when the daemon turned the
+/// request away with kBusy.
+Result<SubmitResult> submit_once(const std::string& socket_path,
+                                 const std::vector<std::string>& args,
+                                 const SubmitOptions& options, bool* busy,
+                                 std::uint64_t* retry_after_ms) {
+  *busy = false;
   Result<UniqueFd> connected = connect_unix(socket_path);
   if (!connected.is_ok()) return connected.status();
   UniqueFd fd = std::move(connected).value();
@@ -471,14 +1170,41 @@ Result<SubmitResult> submit_campaign(const std::string& socket_path,
 
   SubmitResult result;
   FrameBuffer buf;
+  bool cancel_sent = false;
+  std::uint64_t last_frame_ns = monotonic_ns();
+  // Slice the wait so cancellation and the idle timeout stay responsive
+  // even while the daemon is silent; with neither configured a single
+  // blocking read suffices (a dead server still surfaces as EOF).
+  const bool sliced = options.idle_timeout_ms >= 0 || options.cancel != nullptr;
   for (;;) {
-    // No client-side deadline: a queued campaign may legitimately wait on a
-    // slot for a long time, and a dead server surfaces as EOF here.
-    Result<std::string> frame = read_frame(fd.get(), buf, -1);
+    Result<std::string> frame = read_frame(fd.get(), buf, sliced ? 100 : -1);
     if (!frame.is_ok()) {
+      if (sliced && frame.status().code() == ErrorCode::kDeadlineExceeded) {
+        if (options.cancel != nullptr && !cancel_sent &&
+            options.cancel->load(std::memory_order_relaxed)) {
+          cancel_sent = true;
+          const Status cancel_status =
+              write_frame(fd.get(), encode_serve_cancel());
+          if (!cancel_status.is_ok()) {
+            return Status(cancel_status.code(),
+                          "cannot send cancel: " + cancel_status.to_string());
+          }
+        }
+        if (options.idle_timeout_ms >= 0 &&
+            monotonic_ns() - last_frame_ns >=
+                static_cast<std::uint64_t>(options.idle_timeout_ms) *
+                    1'000'000ull) {
+          return Status(ErrorCode::kDeadlineExceeded,
+                        "no frame from the serve daemon in " +
+                            std::to_string(options.idle_timeout_ms) +
+                            " ms (wedged daemon?)");
+        }
+        continue;
+      }
       return Status(frame.status().code(),
                     "serve stream ended early: " + frame.status().to_string());
     }
+    last_frame_ns = monotonic_ns();
     ServeMessage msg;
     if (!decode_serve_message(frame.value(), &msg)) {
       return Status(ErrorCode::kSubprocessFailed,
@@ -487,8 +1213,11 @@ Result<SubmitResult> submit_campaign(const std::string& socket_path,
     switch (msg.type) {
       case ServeWire::kAccepted:
         break;  // informational
+      case ServeWire::kHeartbeat:
+        if (options.on_heartbeat) options.on_heartbeat();
+        break;
       case ServeWire::kProgress:
-        if (on_progress) on_progress(msg.done, msg.total);
+        if (options.on_progress) options.on_progress(msg.done, msg.total);
         break;
       case ServeWire::kStdout:
         result.stdout_block = std::move(msg.text);
@@ -503,11 +1232,72 @@ Result<SubmitResult> submit_campaign(const std::string& socket_path,
         result.error = std::move(msg.text);
         result.exit_code = static_cast<int>(msg.exit_code);
         return result;
+      case ServeWire::kBusy:
+        *busy = true;
+        *retry_after_ms = msg.retry_after_ms;
+        return result;
       case ServeWire::kRequest:
+      case ServeWire::kCancel:
         return Status(ErrorCode::kSubprocessFailed,
-                      "unexpected request frame from serve daemon");
+                      "unexpected frame from serve daemon");
     }
   }
+}
+
+}  // namespace
+
+Result<SubmitResult> submit_campaign(const std::string& socket_path,
+                                     const std::vector<std::string>& args,
+                                     const SubmitOptions& options) {
+  if (args.empty() || args.size() > kMaxRequestArgs) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "a campaign request needs 1.." +
+                      std::to_string(kMaxRequestArgs) + " arguments");
+  }
+  for (const std::string& a : args) {
+    if (a.size() > kMaxRequestArgBytes) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "campaign argument exceeds " +
+                        std::to_string(kMaxRequestArgBytes) + " bytes");
+    }
+  }
+  for (std::size_t attempt = 0;; ++attempt) {
+    bool busy = false;
+    std::uint64_t retry_after_ms = 0;
+    Result<SubmitResult> outcome =
+        submit_once(socket_path, args, options, &busy, &retry_after_ms);
+    if (!outcome.is_ok() || !busy) return outcome;
+    if (attempt >= options.busy_retries) {
+      return Status(ErrorCode::kUnavailable,
+                    "server is at capacity (busy after " +
+                        std::to_string(attempt + 1) + " attempt(s))");
+    }
+    // Bounded exponential backoff from the server's hint (or the caller's
+    // override), capped so a long outage cannot push retries out by hours.
+    const std::uint64_t base = options.retry_backoff_ms != 0
+                                   ? options.retry_backoff_ms
+                                   : std::max<std::uint64_t>(retry_after_ms, 1);
+    const std::uint64_t delay_ms = std::min<std::uint64_t>(
+        base << std::min<std::size_t>(attempt, 10), 30'000);
+    if (options.on_busy) options.on_busy(delay_ms);
+    const std::uint64_t resume_ns = monotonic_ns() + delay_ms * 1'000'000ull;
+    while (monotonic_ns() < resume_ns) {
+      if (options.cancel != nullptr &&
+          options.cancel->load(std::memory_order_relaxed)) {
+        return Status(ErrorCode::kUnavailable,
+                      "cancelled while backing off from a busy server");
+      }
+      ::poll(nullptr, 0, 10);
+    }
+  }
+}
+
+Result<SubmitResult> submit_campaign(const std::string& socket_path,
+                                     const std::vector<std::string>& args,
+                                     const ProgressFn& on_progress) {
+  SubmitOptions options;
+  options.on_progress = on_progress;
+  return submit_campaign(socket_path, args, options);
 }
 
 }  // namespace fav::mc

@@ -102,6 +102,24 @@ bool get_string(const std::string& data, std::size_t* offset,
   return true;
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
 void chaos_install(const ChaosFile& chaos) {
   std::lock_guard<std::mutex> lock(g_chaos_mutex);
   g_chaos = chaos;

@@ -69,6 +69,16 @@ bool get_string(const std::string& data, std::size_t* offset,
                 std::string* value, std::uint32_t max_len);
 
 // ---------------------------------------------------------------------------
+// JSON string escaping.
+
+/// Minimal JSON string escaping: quotes, backslashes, and control bytes.
+/// Every string any layer emits into a JSON document (run reports, the serve
+/// daemon's stats snapshot) goes through this — field values like the
+/// benchmark name or a socket path are caller-controlled free-form input
+/// once campaigns arrive over a socket.
+std::string json_escape(const std::string& s);
+
+// ---------------------------------------------------------------------------
 // Deterministic fault injection (test hook).
 
 /// Fails the Nth physical write (fwrite attempt inside write_all) and/or the

@@ -36,6 +36,7 @@ enum class ErrorCode : int {
   kArtifactStale = 13,     // artifact fingerprint/version does not match
   kStorageFull = 14,       // ENOSPC/EDQUOT/EIO: stop gracefully, resumable
   kIoError = 15,           // generic non-journal file I/O failure
+  kUnavailable = 16,       // server at capacity and retries exhausted
 };
 
 inline const char* error_code_name(ErrorCode code) {
@@ -56,6 +57,7 @@ inline const char* error_code_name(ErrorCode code) {
     case ErrorCode::kArtifactStale: return "ARTIFACT_STALE";
     case ErrorCode::kStorageFull: return "STORAGE_FULL";
     case ErrorCode::kIoError: return "IO_ERROR";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

@@ -11,6 +11,7 @@
 #include <cstring>
 
 #include "util/io.h"
+#include "util/metrics.h"
 
 #ifdef __linux__
 #include <sys/prctl.h>
@@ -54,6 +55,58 @@ Status write_frame(int fd, std::string_view payload) {
   if (const int err = write_all(fd, buf.data(), buf.size())) {
     return Status(ErrorCode::kSubprocessFailed,
                   "pipe write failed: " + io::errno_message(err));
+  }
+  return Status::ok();
+}
+
+Status write_frame_deadline(int fd, std::string_view payload, int timeout_ms) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status(ErrorCode::kInvalidArgument, "frame exceeds kMaxFrameBytes");
+  }
+  std::string buf;
+  buf.reserve(sizeof(std::uint32_t) + payload.size());
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  buf.append(reinterpret_cast<const char*>(&len), sizeof(len));
+  buf.append(payload.data(), payload.size());
+  const char* data = buf.data();
+  std::size_t left = buf.size();
+  const std::uint64_t deadline_ns =
+      timeout_ms < 0
+          ? 0
+          : monotonic_ns() + static_cast<std::uint64_t>(timeout_ms) * 1'000'000ull;
+  while (left > 0) {
+    const ssize_t n = ::write(fd, data, left);
+    if (n >= 0) {
+      data += n;
+      left -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno != EAGAIN && errno != EWOULDBLOCK) {
+      return Status(ErrorCode::kSubprocessFailed,
+                    "socket write failed: " + io::errno_message(errno));
+    }
+    int wait_ms = -1;
+    if (timeout_ms >= 0) {
+      const std::uint64_t now = monotonic_ns();
+      if (now >= deadline_ns) {
+        return Status(ErrorCode::kDeadlineExceeded,
+                      "frame write timed out (peer not draining)");
+      }
+      wait_ms = static_cast<int>((deadline_ns - now) / 1'000'000ull) + 1;
+    }
+    struct pollfd pfd {};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    const int rc = ::poll(&pfd, 1, wait_ms);
+    if (rc < 0 && errno != EINTR) {
+      return Status(ErrorCode::kSubprocessFailed,
+                    "poll failed: " + io::errno_message(errno));
+    }
+    if (rc == 0) {
+      return Status(ErrorCode::kDeadlineExceeded,
+                    "frame write timed out (peer not draining)");
+    }
   }
   return Status::ok();
 }

@@ -36,6 +36,15 @@ constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
 /// PIPE_BUF and are completed with follow-up writes.
 Status write_frame(int fd, std::string_view payload);
 
+/// write_frame with a wall-clock budget, for peers that may stop draining
+/// their end (a serve client that wedged or went away). The fd should be
+/// O_NONBLOCK: EAGAIN waits for POLLOUT up to the remaining budget and a
+/// budget exhausted mid-frame returns kDeadlineExceeded — the caller treats
+/// the peer as gone instead of blocking an evaluator thread forever.
+/// `timeout_ms` < 0 behaves like write_frame on a non-blocking fd (waits for
+/// POLLOUT indefinitely).
+Status write_frame_deadline(int fd, std::string_view payload, int timeout_ms);
+
 /// Reassembles length-prefixed frames from a raw pipe byte stream. The
 /// supervisor polls many workers at once: each readable fd is drained into
 /// its worker's FrameBuffer and complete frames are popped as they close.

@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -106,17 +107,21 @@ std::string replace_all(std::string text, const std::string& from,
 }
 
 /// A live `fav serve` daemon on a fresh socket, SIGTERMed (graceful drain)
-/// on destruction.
+/// on destruction. `extra` appends serve flags (--state-dir, --max-queued,
+/// --campaign-deadline-ms, --stats-out, ...).
 class Daemon {
  public:
-  explicit Daemon(const std::string& tag, std::size_t max_campaigns = 2) {
+  explicit Daemon(const std::string& tag, std::size_t max_campaigns = 2,
+                  const std::vector<std::string>& extra = {}) {
     socket_path_ = (fs::path(::testing::TempDir()) /
                     ("fav_cli_" + tag + ".sock"))
                        .string();
     fs::remove(socket_path_);
-    Result<Subprocess> spawned = Subprocess::spawn(
-        {FAV_CLI_PATH, "serve", "--socket", socket_path_, "--max-campaigns",
-         std::to_string(max_campaigns)});
+    std::vector<std::string> argv = {FAV_CLI_PATH, "serve", "--socket",
+                                     socket_path_, "--max-campaigns",
+                                     std::to_string(max_campaigns)};
+    argv.insert(argv.end(), extra.begin(), extra.end());
+    Result<Subprocess> spawned = Subprocess::spawn(argv);
     EXPECT_TRUE(spawned.is_ok()) << spawned.status().to_string();
     proc_.emplace(std::move(spawned).value());
     for (int i = 0; i < 1000 && !fs::exists(socket_path_); ++i) {
@@ -136,12 +141,41 @@ class Daemon {
     return st;
   }
 
+  /// SIGKILL + wait: the crash the recovery ledger exists for.
+  void crash() {
+    if (!proc_.has_value()) return;
+    proc_->kill(SIGKILL);
+    proc_->wait();
+    proc_.reset();
+  }
+
   const std::string& socket_path() const { return socket_path_; }
 
  private:
   std::string socket_path_;
   std::optional<Subprocess> proc_;
 };
+
+/// Polls `dir` until a journal shard (*.fj) appears — the point past which a
+/// crash leaves resumable on-disk state. Returns false if `proc` exited
+/// first (the campaign outran the poll).
+bool wait_for_shard(const std::string& dir, Subprocess* proc,
+                    bool* proc_done) {
+  *proc_done = false;
+  for (int i = 0; i < 12000; ++i) {
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      if (entry.path().extension() == ".fj") return true;
+    }
+    Subprocess::ExitStatus st;
+    if (proc != nullptr && proc->try_wait(&st)) {
+      *proc_done = true;
+      return false;
+    }
+    ::usleep(10'000);
+  }
+  return false;
+}
 
 /// Common campaign flags (sans journal/report paths): small but large enough
 /// that every outcome path is exercised.
@@ -317,6 +351,170 @@ TEST(ServeCli, BusyJournalIsRefusedAndSigtermDrainsGracefully) {
   EXPECT_FALSE(a_st.signaled);
   EXPECT_TRUE(a_st.exit_code == 0 || a_st.exit_code == 3)
       << "campaign A exit " << a_st.exit_code;
+}
+
+TEST(ServeCli, DaemonCrashRecoveryBitwiseIdentity) {
+  const std::string base = fresh_dir("crash_base");
+  const std::string served = fresh_dir("crash_served");
+  const std::string state = fresh_dir("crash_state");
+  const std::string flags = campaign_flags(60000);
+  ASSERT_EQ(run_cli("evaluate " + flags + " --journal " + base +
+                        " --metrics-out " + base + "/report.json",
+                    base + "/out.txt"),
+            0);
+  auto daemon = std::make_unique<Daemon>("crash", /*max_campaigns=*/2,
+                                         std::vector<std::string>{
+                                             "--state-dir", state});
+  Result<Subprocess> a = Subprocess::spawn(
+      {FAV_CLI_PATH, "submit", "--socket", daemon->socket_path(),
+       "--benchmark", "write", "--samples", "60000", "--seed", "2017",
+       "--t-range", "20", "--shard-size", "16", "--journal", served,
+       "--metrics-out", served + "/report.json"});
+  ASSERT_TRUE(a.is_ok()) << a.status().to_string();
+  Subprocess proc_a = std::move(a).value();
+  bool a_done = false;
+  const bool a_started = wait_for_shard(served, &proc_a, &a_done);
+  ASSERT_TRUE(a_started || a_done) << "campaign never started";
+  if (a_started) {
+    // SIGKILL the daemon mid-campaign: no drain, no ledger finish record —
+    // exactly the crash the recovery path exists for. The orphaned client
+    // sees its stream die and fails.
+    daemon->crash();
+    const Subprocess::ExitStatus client_st = proc_a.wait();
+    EXPECT_NE(client_st.exit_code, 0);
+    fs::remove(served + "/report.json");
+    // A fresh daemon on the same state dir replays the ledger, finds the
+    // interrupted campaign, and re-runs it with --resume. The recovered
+    // report and journal must be bitwise what an uninterrupted local run
+    // produces.
+    daemon = std::make_unique<Daemon>("crash", /*max_campaigns=*/2,
+                                      std::vector<std::string>{
+                                          "--state-dir", state});
+    bool recovered = false;
+    for (int i = 0; i < 12000 && !recovered; ++i) {
+      recovered = fs::exists(served + "/report.json");
+      if (!recovered) ::usleep(10'000);
+    }
+    ASSERT_TRUE(recovered) << "restarted daemon never re-ran the campaign";
+  } else {
+    proc_a.wait();
+  }
+  expect_reports_equivalent(base + "/report.json", served + "/report.json");
+  expect_bitwise_equal_journals(base, "campaign.fj", served, "campaign.fj");
+  const Subprocess::ExitStatus st = daemon->stop();
+  EXPECT_FALSE(st.signaled);
+  EXPECT_EQ(st.exit_code, 0);
+}
+
+TEST(ServeCli, ClientDisconnectFreesSlotAndLeavesResumableJournal) {
+  const std::string dir = fresh_dir("disc");
+  const std::string base = fresh_dir("disc_base");
+  const std::string quick = fresh_dir("disc_quick");
+  const std::string stats = fresh_dir("disc_stats") + "/stats.json";
+  Daemon daemon("disc", /*max_campaigns=*/1,
+                {"--stats-out", stats});
+  Result<Subprocess> a = Subprocess::spawn(
+      {FAV_CLI_PATH, "submit", "--socket", daemon.socket_path(),
+       "--benchmark", "write", "--samples", "60000", "--seed", "2017",
+       "--t-range", "20", "--shard-size", "16", "--journal", dir});
+  ASSERT_TRUE(a.is_ok()) << a.status().to_string();
+  Subprocess proc_a = std::move(a).value();
+  bool a_done = false;
+  const bool a_started = wait_for_shard(dir, &proc_a, &a_done);
+  ASSERT_TRUE(a_started || a_done) << "campaign never started";
+  if (a_started && !a_done) {
+    // Kill the client outright: the daemon must notice the dead socket,
+    // cancel the campaign, and free the lone slot.
+    proc_a.kill(SIGKILL);
+    proc_a.wait();
+  } else {
+    proc_a.wait();
+  }
+  // The next campaign gets the slot (queued briefly while the cancelled one
+  // winds down). A wedged slot would hang this submit until the queue
+  // timeout and fail the test.
+  EXPECT_EQ(run_cli("submit --socket " + daemon.socket_path() + " " +
+                        campaign_flags(16) + " --journal " + quick,
+                    quick + "/out.txt"),
+            0);
+  const Subprocess::ExitStatus st = daemon.stop();
+  EXPECT_FALSE(st.signaled);
+  EXPECT_EQ(st.exit_code, 0);
+  // Drain wrote the stats snapshot; the kill above is the one cancellation.
+  const std::string snapshot = read_file(stats);
+  EXPECT_NE(snapshot.find("\"fav.serve_stats.v1\""), std::string::npos);
+  if (a_started && !a_done) {
+    EXPECT_NE(snapshot.find("\"cancelled\": 1"), std::string::npos)
+        << snapshot;
+    // The cancelled campaign left a resumable journal: finishing it locally
+    // must be bitwise-indistinguishable from never having been interrupted.
+    ASSERT_EQ(run_cli("evaluate " + campaign_flags(60000) + " --journal " +
+                          dir + " --resume --metrics-out " + dir +
+                          "/report.json",
+                      dir + "/resume.txt"),
+              0);
+    ASSERT_EQ(run_cli("evaluate " + campaign_flags(60000) + " --journal " +
+                          base + " --metrics-out " + base + "/report.json",
+                      base + "/out.txt"),
+              0);
+    expect_reports_equivalent(base + "/report.json", dir + "/report.json");
+    expect_bitwise_equal_journals(base, "campaign.fj", dir, "campaign.fj");
+  }
+}
+
+TEST(ServeCli, QueueOverflowBacksOffAndDeadlineFreesTheSlot) {
+  const std::string dir = fresh_dir("deadline");
+  const std::string retry = fresh_dir("deadline_retry");
+  // One slot, no queue, and a server-side deadline: campaign A is stopped by
+  // the daemon even though its client never cancels.
+  Daemon daemon("deadline", /*max_campaigns=*/1,
+                {"--max-queued", "0", "--campaign-deadline-ms", "2500"});
+  Result<Subprocess> a = Subprocess::spawn(
+      {FAV_CLI_PATH, "submit", "--socket", daemon.socket_path(),
+       "--benchmark", "write", "--samples", "60000", "--seed", "2017",
+       "--t-range", "20", "--shard-size", "16", "--journal", dir});
+  ASSERT_TRUE(a.is_ok()) << a.status().to_string();
+  Subprocess proc_a = std::move(a).value();
+  bool a_done = false;
+  const bool a_started = wait_for_shard(dir, &proc_a, &a_done);
+  ASSERT_TRUE(a_started || a_done) << "campaign never started";
+  if (a_started && !a_done) {
+    Subprocess::ExitStatus st;
+    if (!proc_a.try_wait(&st)) {
+      // No retries: the kBusy turnaway surfaces as an immediate failure.
+      // A can hit its deadline between the liveness check above and this
+      // request, in which case the submit wins the freed slot instead —
+      // both outcomes are correct; only a crash or hang is not.
+      const int rc = run_cli("submit --socket " + daemon.socket_path() + " " +
+                                 campaign_flags(16) + " --busy-retries 0",
+                             retry + "/refused.txt");
+      EXPECT_TRUE(rc == 0 || rc == 1) << "no-retry submit exit " << rc;
+      if (rc == 1) {
+        EXPECT_NE(read_file(retry + "/refused.txt.err").find("at capacity"),
+                  std::string::npos);
+      }
+    }
+  }
+  // With backoff the same request eventually lands: the server deadline
+  // stops A (exit 3, resumable) and the freed slot admits the retry. The
+  // deadline is server-wide, so on a heavily loaded machine the retry
+  // campaign itself can be deadline-stopped (exit 3) after admission —
+  // what must never happen is staying busy until the retries run out.
+  const int retry_rc =
+      run_cli("submit --socket " + daemon.socket_path() + " " +
+                  campaign_flags(16) + " --busy-retries 60" +
+                  " --retry-backoff-ms 250",
+              retry + "/ok.txt");
+  EXPECT_TRUE(retry_rc == 0 || retry_rc == 3)
+      << "backoff submit exit " << retry_rc << "\nstderr: "
+      << read_file(retry + "/ok.txt.err");
+  const Subprocess::ExitStatus a_st = proc_a.wait();
+  EXPECT_FALSE(a_st.signaled);
+  EXPECT_TRUE(a_st.exit_code == 0 || a_st.exit_code == 3)
+      << "campaign A exit " << a_st.exit_code;
+  const Subprocess::ExitStatus st = daemon.stop();
+  EXPECT_FALSE(st.signaled);
+  EXPECT_EQ(st.exit_code, 0);
 }
 
 }  // namespace

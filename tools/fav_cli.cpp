@@ -6,14 +6,26 @@
 //   fav harden     [options]             critical cells + hardening report
 //   fav export-verilog [--out FILE]      structural Verilog of the SoC
 //   fav trace      [options] --out FILE  VCD of the golden run
-//   fav serve  --socket PATH [--max-campaigns N]
+//   fav serve  --socket PATH [--max-campaigns N] [--max-queued N]
+//              [--campaign-deadline-ms N] [--heartbeat-interval-ms N]
+//              [--state-dir DIR] [--stats-out FILE]
 //                                        long-running campaign daemon on a
-//                                        Unix socket (see DESIGN.md §6k)
-//   fav submit --socket PATH [evaluate options]
+//                                        Unix socket (see DESIGN.md §6k, §6m).
+//                                        --state-dir enables the crash-
+//                                        recovery ledger: campaigns accepted
+//                                        before a daemon crash are re-run
+//                                        (resuming their journal) on restart
+//   fav submit --socket PATH [--idle-timeout-ms N] [--busy-retries N]
+//              [--retry-backoff-ms N] [evaluate options]
 //                                        run a campaign on a serving daemon;
 //                                        prints the same stdout block and
 //                                        writes the same run report as a
-//                                        local `fav evaluate`
+//                                        local `fav evaluate`. SIGINT/SIGTERM
+//                                        cancels the served campaign (the
+//                                        daemon stops it cooperatively and
+//                                        ships the partial, resumable
+//                                        report); a full queue is retried
+//                                        with exponential backoff
 //
 // Common options:
 //   --benchmark write|read|exec|dma   (default write)
@@ -191,6 +203,11 @@ struct Options {
   // Serving tier (`fav serve` / `fav submit`).
   std::string socket;
   std::size_t max_campaigns = 2;
+  std::size_t max_queued = 16;
+  std::uint64_t campaign_deadline_ms = 0;    // 0 = no deadline
+  std::uint64_t heartbeat_interval_ms = 1000;  // 0 = heartbeats off
+  std::string state_dir;   // serve: crash-recovery ledger lives here
+  std::string stats_out;   // serve: JSON stats snapshot path
   // Hidden `fav worker` mode (spawned by the supervisor).
   std::size_t worker_id = 0;
   // Test-only chaos injection, forwarded to workers (see WorkerHeartbeat).
@@ -258,7 +275,30 @@ void print_usage(const std::string& message) {
                "                              (evaluate only)\n"
                "         --socket PATH        (serve/submit: Unix socket)\n"
                "         --max-campaigns N    (serve: concurrent campaigns,\n"
-               "                              default 2)\n");
+               "                              default 2)\n"
+               "         --max-queued N       (serve: admission queue depth,\n"
+               "                              default 16; overflow is refused\n"
+               "                              with a busy/retry-after frame)\n"
+               "         --campaign-deadline-ms N\n"
+               "                              (serve: stop campaigns that run\n"
+               "                              longer than N ms; partial result\n"
+               "                              is journaled and resumable)\n"
+               "         --heartbeat-interval-ms N\n"
+               "                              (serve: keep-alive cadence to\n"
+               "                              clients, default 1000, 0 = off)\n"
+               "         --state-dir DIR      (serve: crash-recovery ledger;\n"
+               "                              interrupted campaigns re-run on\n"
+               "                              restart, resuming their journal)\n"
+               "         --stats-out FILE     (serve: JSON stats snapshot,\n"
+               "                              atomically rewritten as\n"
+               "                              campaigns finish)\n"
+               "         --idle-timeout-ms N  (submit: fail if no frame from\n"
+               "                              the daemon in N ms, default\n"
+               "                              30000, 0 = wait forever)\n"
+               "         --busy-retries N     (submit: reconnect attempts\n"
+               "                              after a busy refusal, default 4)\n"
+               "         --retry-backoff-ms N (submit: backoff base, default\n"
+               "                              0 = use the server's hint)\n");
 }
 
 // Strict numeric parsing: the whole token must parse and land in range,
@@ -356,6 +396,16 @@ Options parse(const std::vector<std::string>& args) {
       o.socket = value();
     } else if (arg == "--max-campaigns") {
       o.max_campaigns = parse_u64(arg, value(), 1, 256);
+    } else if (arg == "--max-queued") {
+      o.max_queued = parse_u64(arg, value(), 0, 4096);
+    } else if (arg == "--campaign-deadline-ms") {
+      o.campaign_deadline_ms = parse_u64(arg, value(), 0, 86'400'000);
+    } else if (arg == "--heartbeat-interval-ms") {
+      o.heartbeat_interval_ms = parse_u64(arg, value(), 0, 3'600'000);
+    } else if (arg == "--state-dir") {
+      o.state_dir = value();
+    } else if (arg == "--stats-out") {
+      o.stats_out = value();
     } else if (arg == "--worker-id") {
       o.worker_id = parse_u64(arg, value(), 0, 1024);
     } else if (arg == "--crash-after-samples") {
@@ -440,6 +490,10 @@ Options parse(const std::vector<std::string>& args) {
   }
   if (!o.socket.empty() && o.command != "serve") {
     usage("--socket only applies to the serve and submit commands");
+  }
+  if ((!o.state_dir.empty() || !o.stats_out.empty()) &&
+      o.command != "serve") {
+    usage("--state-dir/--stats-out only apply to the serve command");
   }
   return o;
 }
@@ -609,7 +663,8 @@ struct EvalOutcome {
 mc::SupervisorConfig make_supervisor_config(
     core::FaultAttackEvaluator& fw, const Options& o,
     const std::string& strategy, std::size_t samples,
-    const std::function<void()>& on_sample) {
+    const std::function<void()>& on_sample,
+    const std::atomic<bool>* stop) {
   mc::SupervisorConfig sc;
   sc.workers = o.supervise;
   sc.shard_size = o.shard_size;
@@ -628,7 +683,7 @@ mc::SupervisorConfig make_supervisor_config(
   sc.metrics = fw.evaluator().config().metrics;
   sc.progress = fw.evaluator().config().progress;
   sc.on_sample = on_sample;
-  sc.stop = &g_stop;
+  sc.stop = stop;
   return sc;
 }
 
@@ -655,13 +710,14 @@ EvalOutcome take_supervised(Result<mc::SupervisedResult>&& result) {
 /// literal "exhaustive".
 EvalOutcome run_eval_exhaustive(core::FaultAttackEvaluator& fw,
                                 const Options& o,
-                                const std::function<void()>& on_sample) {
+                                const std::function<void()>& on_sample,
+                                const std::atomic<bool>* stop) {
   const std::uint64_t space = fw.bind_exhaustive_space(o.t_range, o.radius);
   const std::uint64_t n =
       (o.space_limit != 0 && o.space_limit < space) ? o.space_limit : space;
   if (o.supervise > 0) {
     const mc::SupervisorConfig sc = make_supervisor_config(
-        fw, o, "exhaustive", static_cast<std::size_t>(n), on_sample);
+        fw, o, "exhaustive", static_cast<std::size_t>(n), on_sample, stop);
     mc::CampaignSupervisor supervisor(fw.evaluator(), sc);
     // The supervisor cross-checks journaled samples against this batch; the
     // workers re-derive the identical enumeration from --exhaustive.
@@ -715,10 +771,11 @@ core::SamplerSelection select_sampler(core::FaultAttackEvaluator& fw,
 
 EvalOutcome run_eval(core::FaultAttackEvaluator& fw, const Options& o,
                      std::string* actual_strategy = nullptr,
-                     const std::function<void()>& on_sample = {}) {
+                     const std::function<void()>& on_sample = {},
+                     const std::atomic<bool>* stop = &g_stop) {
   if (o.exhaustive) {
     if (actual_strategy != nullptr) *actual_strategy = "exhaustive";
-    return run_eval_exhaustive(fw, o, on_sample);
+    return run_eval_exhaustive(fw, o, on_sample, stop);
   }
   core::SamplerSelection sel = select_sampler(fw, o);
   if (sel.downgraded()) {
@@ -732,7 +789,7 @@ EvalOutcome run_eval(core::FaultAttackEvaluator& fw, const Options& o,
   out.total = o.samples;
   if (o.supervise > 0) {
     const mc::SupervisorConfig sc =
-        make_supervisor_config(fw, o, sel.actual, o.samples, on_sample);
+        make_supervisor_config(fw, o, sel.actual, o.samples, on_sample, stop);
     mc::CampaignSupervisor supervisor(fw.evaluator(), sc);
     EvalOutcome sup =
         take_supervised(supervisor.run(*sel.sampler, rng, o.samples));
@@ -813,9 +870,14 @@ struct CampaignOutput {
 /// run (in-process / journaled / supervised), the stdout block, and the run
 /// report. `local_files` writes --metrics-out / --trace-out to disk here
 /// (local `fav evaluate`); the serve daemon passes false and ships
-/// report_json back to the client, which writes its own file.
+/// report_json back to the client, which writes its own file — except for
+/// crash-recovered campaigns, whose client is long gone: the daemon re-runs
+/// those with local_files = true so the report lands at the originally
+/// requested path. `stop` is the cooperative-stop token the engine polls:
+/// &g_stop for local runs, the per-campaign cancel token for served ones.
 CampaignOutput run_evaluate_campaign(const Options& o, bool local_files,
-                                     const mc::ProgressFn& progress) {
+                                     const mc::ProgressFn& progress,
+                                     const std::atomic<bool>* stop) {
   CampaignOutput out;
   // Observability sinks live here (campaign scope); the evaluator only sees
   // non-null pointers for what was requested, so unused channels stay
@@ -828,7 +890,7 @@ CampaignOutput run_evaluate_campaign(const Options& o, bool local_files,
   if (!o.metrics_out.empty()) cfg.evaluator.metrics = &metrics;
   if (!o.trace_out.empty()) cfg.evaluator.trace = &trace;
   if (meter.has_value()) cfg.evaluator.progress = &*meter;
-  cfg.evaluator.stop = &g_stop;
+  cfg.evaluator.stop = stop;
   // Served progress: the in-process engine ticks through the evaluator's
   // on_sample (any worker thread); supervised campaigns tick through the
   // supervisor's on_sample hook below. Both count evaluated samples.
@@ -853,7 +915,8 @@ CampaignOutput run_evaluate_campaign(const Options& o, bool local_files,
   const EvalOutcome eval =
       run_eval(fw, o, &actual_strategy,
                (progress && o.supervise > 0) ? std::function<void()>(tick)
-                                             : std::function<void()>{});
+                                             : std::function<void()>{},
+               stop);
   // The injected fault targets the campaign write path; clear it so the
   // interrupted run report below can still land (the real-world analogue is
   // a report on a different device than the full journal disk).
@@ -975,7 +1038,7 @@ CampaignOutput run_evaluate_campaign(const Options& o, bool local_files,
 
 int cmd_evaluate(const Options& o) {
   install_stop_handlers();
-  const CampaignOutput out = run_evaluate_campaign(o, true, {});
+  const CampaignOutput out = run_evaluate_campaign(o, true, {}, &g_stop);
   if (!out.error.empty()) {
     std::fprintf(stderr, "fav: %s\n", out.error.c_str());
     return out.exit_code != 0 ? out.exit_code : 1;
@@ -1010,8 +1073,14 @@ void release_journal(const std::string& key) {
 /// `fav evaluate` — which is the served == local identity guarantee. A bad
 /// request fails this one campaign (never the daemon), and flags with
 /// process-global or client-side-file side effects are refused per-request.
+/// `cancel` is the per-campaign stop token the server trips on client
+/// disconnect / explicit cancel / deadline / daemon drain; `local_files` is
+/// false for live clients (the report ships over the socket) and true for
+/// crash-recovered campaigns (the daemon writes --metrics-out itself).
 mc::CampaignOutcome run_served_campaign(const std::vector<std::string>& args,
-                                        const mc::ProgressFn& progress) {
+                                        const mc::ProgressFn& progress,
+                                        const std::atomic<bool>& cancel,
+                                        bool local_files) {
   mc::CampaignOutcome out;
   Options o;
   try {
@@ -1054,7 +1123,8 @@ mc::CampaignOutcome run_served_campaign(const std::vector<std::string>& args,
     return out;
   }
   try {
-    const CampaignOutput run = run_evaluate_campaign(o, false, progress);
+    const CampaignOutput run =
+        run_evaluate_campaign(o, local_files, progress, &cancel);
     out.exit_code = run.exit_code;
     out.stdout_block = run.stdout_block;
     out.report_json = run.report_json;
@@ -1078,8 +1148,35 @@ int cmd_serve(const Options& o) {
   mc::ServeConfig sc;
   sc.socket_path = o.socket;
   sc.max_concurrent = o.max_campaigns;
+  sc.max_queued = o.max_queued;
+  sc.campaign_deadline_ms = o.campaign_deadline_ms;
+  sc.heartbeat_interval_ms = o.heartbeat_interval_ms;
+  sc.stats_path = o.stats_out;
   sc.stop = &g_stop;
-  mc::CampaignServer server(sc, run_served_campaign);
+  if (!o.state_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(o.state_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "fav serve: cannot create state dir %s: %s\n",
+                   o.state_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+    sc.ledger_path =
+        (std::filesystem::path(o.state_dir) / "ledger.fvl").string();
+  }
+  // Recovered campaigns have no client: the daemon itself writes the
+  // originally requested --metrics-out, so the report still lands where the
+  // (long-gone) submitter asked.
+  sc.recovery_runner = [](const std::vector<std::string>& args,
+                          const mc::ProgressFn& progress,
+                          const std::atomic<bool>& cancel) {
+    return run_served_campaign(args, progress, cancel, true);
+  };
+  mc::CampaignServer server(
+      sc, [](const std::vector<std::string>& args,
+             const mc::ProgressFn& progress, const std::atomic<bool>& cancel) {
+        return run_served_campaign(args, progress, cancel, false);
+      });
   const Status status = server.serve();
   if (!status.is_ok()) {
     std::fprintf(stderr, "fav serve: %s\n", status.to_string().c_str());
@@ -1094,30 +1191,57 @@ int cmd_serve(const Options& o) {
 /// --metrics-out path, the same exit code.
 int cmd_submit(const std::vector<std::string>& raw) {
   std::string socket;
+  std::uint64_t idle_timeout_ms = 30'000;  // 0 = wait forever
+  std::size_t busy_retries = 4;
+  std::uint64_t retry_backoff_ms = 0;  // 0 = use the server's hint
   std::vector<std::string> fwd;
   fwd.push_back("evaluate");
   for (std::size_t i = 0; i < raw.size(); ++i) {
-    if (raw[i] == "--socket") {
-      if (i + 1 >= raw.size()) usage("missing value for --socket");
-      socket = raw[++i];
-      continue;
+    const std::string& arg = raw[i];
+    auto value = [&]() -> const std::string& {
+      if (i + 1 >= raw.size()) usage(("missing value for " + arg).c_str());
+      return raw[++i];
+    };
+    if (arg == "--socket") {
+      socket = value();
+    } else if (arg == "--idle-timeout-ms") {
+      idle_timeout_ms = parse_u64(arg, value(), 0, 86'400'000);
+    } else if (arg == "--busy-retries") {
+      busy_retries = parse_u64(arg, value(), 0, 1000);
+    } else if (arg == "--retry-backoff-ms") {
+      retry_backoff_ms = parse_u64(arg, value(), 0, 3'600'000);
+    } else {
+      fwd.push_back(arg);
     }
-    fwd.push_back(raw[i]);
   }
   if (socket.empty()) usage("submit requires --socket PATH");
   // Validate client-side with the same parser the server will run, so a
   // typo fails here with the usage text instead of after a round-trip.
   const Options o = parse(fwd);
-  mc::ProgressFn on_progress;
+  // Ctrl-C cancels the served campaign: submit ships a cancel frame, the
+  // daemon stops the campaign cooperatively and returns the partial
+  // (resumable) result with exit code 3 — same contract as a local SIGINT.
+  install_stop_handlers();
+  mc::SubmitOptions opts;
   if (o.progress) {
-    on_progress = [](std::uint64_t done, std::uint64_t total) {
+    opts.on_progress = [](std::uint64_t done, std::uint64_t total) {
       std::fprintf(stderr, "fav submit: %llu / %llu samples\n",
                    static_cast<unsigned long long>(done),
                    static_cast<unsigned long long>(total));
     };
   }
+  opts.on_busy = [](std::uint64_t delay_ms) {
+    std::fprintf(stderr,
+                 "fav submit: server busy, retrying in %llu ms\n",
+                 static_cast<unsigned long long>(delay_ms));
+  };
+  opts.idle_timeout_ms =
+      idle_timeout_ms == 0 ? -1 : static_cast<int>(idle_timeout_ms);
+  opts.cancel = &g_stop;
+  opts.busy_retries = busy_retries;
+  opts.retry_backoff_ms = retry_backoff_ms;
   const Result<mc::SubmitResult> sent =
-      mc::submit_campaign(socket, fwd, on_progress);
+      mc::submit_campaign(socket, fwd, opts);
   if (!sent.is_ok()) {
     std::fprintf(stderr, "fav submit: %s\n",
                  sent.status().to_string().c_str());
